@@ -1,0 +1,28 @@
+"""Ablation E-A3: FastCFD constant-CFD handling (CFDMiner delegation vs inline).
+
+Section 5.5 of the paper recommends delegating constant CFD discovery to
+CFDMiner and reusing its closed item sets; the alternative discovers constant
+CFDs inline through FindMin's base case (a).  Both configurations must produce
+the same cover; the benchmark records their relative cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_ablation_constant_cfd_delegation(benchmark):
+    result = benchmark.pedantic(
+        figures.ablation_constant_delegation, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    delegated = dict(result.series("fastcfd(cfdminer)", "dbsize", y_key="cfds"))
+    inline = dict(result.series("fastcfd(inline)", "dbsize", y_key="cfds"))
+    assert delegated == inline
+    delegated_constant = dict(
+        result.series("fastcfd(cfdminer)", "dbsize", y_key="constant")
+    )
+    inline_constant = dict(result.series("fastcfd(inline)", "dbsize", y_key="constant"))
+    assert delegated_constant == inline_constant

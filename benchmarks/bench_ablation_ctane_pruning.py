@@ -1,0 +1,28 @@
+"""Ablation E-A2: CTANE's empty-C+ element pruning.
+
+Lemma 2 of the paper makes the C+ sets both a minimality test and a pruning
+device (empty-C+ elements cannot contribute minimal CFDs and are removed from
+the level).  Disabling the pruning must keep the output identical while
+exploring at least as many lattice elements.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_ablation_ctane_cplus_pruning(benchmark):
+    result = benchmark.pedantic(figures.ablation_ctane_pruning, rounds=1, iterations=1)
+    record_result(result)
+
+    by_size = {}
+    for run in result.runs:
+        by_size.setdefault(run.parameters["dbsize"], {})[run.algorithm] = run
+    for size, runs in by_size.items():
+        with_pruning = runs["ctane"]
+        without_pruning = runs["ctane(no-pruning)"]
+        # Same canonical cover.
+        assert with_pruning.n_cfds == without_pruning.n_cfds
+        # Pruning never makes CTANE slower by more than noise.
+        assert with_pruning.seconds <= without_pruning.seconds * 1.5

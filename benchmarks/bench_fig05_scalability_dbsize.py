@@ -1,0 +1,34 @@
+"""Fig. 5: scalability w.r.t. DBSIZE (Tax, ARITY 7, CF 0.7).
+
+Paper: DBSIZE 20K-1M, SUP 0.1 %, five curves (CFDMiner, CFDMiner(2), CTANE,
+NaiveFast, FastCFD).  Here: scaled-down DBSIZE sweep, same five curves.
+Expected shape: CFDMiner orders of magnitude faster than the general
+algorithms; NaiveFast competitive at small sizes but degrading fastest;
+FastCFD ahead of NaiveFast throughout.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_fig05_runtime_vs_dbsize(benchmark):
+    result = benchmark.pedantic(figures.figure5, rounds=1, iterations=1)
+    record_result(result)
+
+    def total(algorithm):
+        return sum(seconds for _, seconds in result.series(algorithm, "dbsize"))
+
+    # Shape check 1: CFDMiner is far faster than every general algorithm.
+    assert total("cfdminer") * 5 < min(total("ctane"), total("fastcfd"), total("naivefast"))
+    # Shape check 2: the closed-item-set provider beats the pairwise provider.
+    assert total("fastcfd") < total("naivefast")
+    # Shape check 3: NaiveFast degrades faster than FastCFD as DBSIZE grows.
+    naive = dict(result.series("naivefast", "dbsize"))
+    fast = dict(result.series("fastcfd", "dbsize"))
+    largest = max(naive)
+    smallest = min(naive)
+    assert naive[largest] / max(naive[smallest], 1e-9) > fast[largest] / max(
+        fast[smallest], 1e-9
+    ) * 0.8

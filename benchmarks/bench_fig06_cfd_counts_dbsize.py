@@ -1,0 +1,20 @@
+"""Fig. 6: number of constant/variable CFDs found w.r.t. DBSIZE (Tax).
+
+Paper: counts of constant and variable CFDs for the Fig. 5 sweep (all general
+algorithms find about the same number).  Expected shape: non-trivial numbers
+of both classes at every size.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_fig06_cfd_counts_vs_dbsize(benchmark):
+    result = benchmark.pedantic(figures.figure6, rounds=1, iterations=1)
+    record_result(result)
+    for run in result.runs:
+        assert run.n_cfds == run.n_constant + run.n_variable
+        assert run.n_constant > 0
+        assert run.n_variable > 0

@@ -1,0 +1,30 @@
+"""Fig. 7: scalability w.r.t. ARITY (Tax, CF 0.7).
+
+Paper: ARITY 7-31 at DBSIZE 20K; CTANE degrades exponentially and cannot run
+to completion above arity 17, while NaiveFast/FastCFD scale well.  Here:
+ARITY 7-15 at a scaled DBSIZE, with CTANE capped at a configurable arity.
+Expected shape: CTANE's runtime grows much faster with arity than FastCFD's.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_fig07_runtime_vs_arity(benchmark):
+    result = benchmark.pedantic(figures.figure7, rounds=1, iterations=1)
+    record_result(result)
+
+    ctane = dict(result.series("ctane", "arity"))
+    fastcfd = dict(result.series("fastcfd", "arity"))
+    assert fastcfd, "FastCFD must run at every arity"
+    # CTANE only runs up to the cutoff arity (the paper's completion wall).
+    assert max(ctane) <= figures.CTANE_MAX_ARITY
+    assert max(fastcfd) > max(ctane)
+    # Shape: CTANE's growth factor across its arity range exceeds FastCFD's
+    # growth factor over the same range.
+    lo, hi = min(ctane), max(ctane)
+    ctane_growth = ctane[hi] / max(ctane[lo], 1e-9)
+    fastcfd_growth = fastcfd[hi] / max(fastcfd[lo], 1e-9)
+    assert ctane_growth > fastcfd_growth

@@ -1,0 +1,27 @@
+"""Fig. 8: scalability w.r.t. the support threshold k (Tax).
+
+Paper: k 50-150 at DBSIZE 100K; CTANE is highly sensitive to k (faster as k
+grows) while NaiveFast/FastCFD improve only slightly.  Expected shape here:
+CTANE's runtime drops substantially from the smallest to the largest k, the
+depth-first algorithms change much less.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_fig08_runtime_vs_support(benchmark):
+    result = benchmark.pedantic(figures.figure8, rounds=1, iterations=1)
+    record_result(result)
+
+    ctane = dict(result.series("ctane", "k"))
+    fastcfd = dict(result.series("fastcfd", "k"))
+    low, high = min(ctane), max(ctane)
+    # CTANE improves as k grows.
+    assert ctane[high] < ctane[low]
+    # CTANE's relative improvement is larger than FastCFD's.
+    ctane_ratio = ctane[low] / max(ctane[high], 1e-9)
+    fastcfd_ratio = fastcfd[low] / max(fastcfd[high], 1e-9)
+    assert ctane_ratio >= fastcfd_ratio * 0.9

@@ -1,0 +1,19 @@
+"""Fig. 9: number of CFDs found w.r.t. the support threshold k (Tax).
+
+Paper: the number of discovered minimal CFDs decreases as k increases.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_fig09_cfd_counts_vs_support(benchmark):
+    result = benchmark.pedantic(figures.figure9, rounds=1, iterations=1)
+    record_result(result)
+    series = dict(result.series("fastcfd", "k", y_key="cfds"))
+    ks = sorted(series)
+    counts = [series[k] for k in ks]
+    assert counts == sorted(counts, reverse=True)
+    assert counts[-1] >= 0

@@ -1,0 +1,27 @@
+"""Fig. 10: scalability w.r.t. the correlation factor CF (Tax).
+
+Paper: CF 0.3-0.7 at DBSIZE 50K, k 50, ARITY 9; smaller CF means smaller
+active domains, hence more frequent item sets, which hurts CTANE far more
+than the depth-first algorithms.  Expected shape: CTANE's runtime increases
+as CF decreases, and the increase is steeper than FastCFD's.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_fig10_runtime_vs_cf(benchmark):
+    result = benchmark.pedantic(figures.figure10, rounds=1, iterations=1)
+    record_result(result)
+
+    ctane = dict(result.series("ctane", "cf"))
+    fastcfd = dict(result.series("fastcfd", "cf"))
+    low_cf, high_cf = min(ctane), max(ctane)
+    # CTANE suffers when CF shrinks (more frequent patterns).
+    assert ctane[low_cf] > ctane[high_cf]
+    # And it suffers more than FastCFD does.
+    ctane_ratio = ctane[low_cf] / max(ctane[high_cf], 1e-9)
+    fastcfd_ratio = fastcfd[low_cf] / max(fastcfd[high_cf], 1e-9)
+    assert ctane_ratio > fastcfd_ratio * 0.9

@@ -1,0 +1,22 @@
+"""Fig. 11: Wisconsin breast cancer — response time versus k (CTANE, FastCFD).
+
+Paper: on the real WBC data (699 x 11) CTANE is sensitive to k and improves
+as k grows; FastCFD is less sensitive.  The WBC stand-in has the same shape
+and cardinalities (see DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_fig11_wbc_runtime_vs_k(benchmark):
+    result = benchmark.pedantic(figures.figure11, rounds=1, iterations=1)
+    record_result(result)
+
+    ctane = dict(result.series("ctane", "k"))
+    fastcfd = dict(result.series("fastcfd", "k"))
+    low, high = min(ctane), max(ctane)
+    assert ctane[high] < ctane[low]          # CTANE improves with k
+    assert set(fastcfd) == set(ctane)        # both algorithms ran every k

@@ -1,0 +1,21 @@
+"""Fig. 12: Chess (KRK) — response time versus k (CTANE, FastCFD).
+
+Paper: same experiment as Fig. 11 on the Chess data set (28 056 x 7).  The
+stand-in computes legal KRK positions with a deterministic depth label.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_fig12_chess_runtime_vs_k(benchmark):
+    result = benchmark.pedantic(figures.figure12, rounds=1, iterations=1)
+    record_result(result)
+
+    ctane = dict(result.series("ctane", "k"))
+    fastcfd = dict(result.series("fastcfd", "k"))
+    low, high = min(ctane), max(ctane)
+    assert ctane[high] <= ctane[low] * 1.1   # CTANE does not get worse with k
+    assert set(fastcfd) == set(ctane)

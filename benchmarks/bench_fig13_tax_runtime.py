@@ -1,0 +1,20 @@
+"""Fig. 13: Tax — response time versus k (CTANE, FastCFD).
+
+Paper: same experiment as Figs. 11-12 on the synthetic Tax data.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_fig13_tax_runtime_vs_k(benchmark):
+    result = benchmark.pedantic(figures.figure13, rounds=1, iterations=1)
+    record_result(result)
+
+    ctane = dict(result.series("ctane", "k"))
+    fastcfd = dict(result.series("fastcfd", "k"))
+    low, high = min(ctane), max(ctane)
+    assert ctane[high] <= ctane[low] * 1.1
+    assert set(fastcfd) == set(ctane)

@@ -1,0 +1,17 @@
+"""Fig. 15: Chess (KRK) — number of CFDs found versus k.
+
+Paper: the number of discovered CFDs decreases as k increases.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_result
+from repro.experiments import figures
+
+
+def test_fig15_chess_counts_vs_k(benchmark):
+    result = benchmark.pedantic(figures.figure15, rounds=1, iterations=1)
+    record_result(result)
+    series = dict(result.series("fastcfd", "k", y_key="cfds"))
+    ks = sorted(series)
+    assert [series[k] for k in ks] == sorted((series[k] for k in ks), reverse=True)

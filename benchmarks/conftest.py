@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module regenerates one figure (or ablation) of the paper's
+evaluation.  Besides the pytest-benchmark timing, each module renders the
+series the figure plots as a text table, prints it, and records it under
+``benchmarks/results/`` so that EXPERIMENTS.md can be refreshed from a single
+run of ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult
+
+#: Where the rendered per-figure tables are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_result(result: ExperimentResult) -> str:
+    """Print and persist the table of an experiment; return the rendering."""
+    table = result.to_table()
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{result.figure}.txt"
+    path.write_text(table + "\n", encoding="utf-8")
+    print()
+    print(table)
+    return table
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+legacy editable installs (``pip install -e . --no-use-pep517``) work in
+offline environments that lack the ``wheel`` package required by PEP 660
+editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""repro — a reproduction of "Discovering Conditional Functional Dependencies".
+
+The package implements the three discovery algorithms of Fan, Geerts, Li and
+Xiong (ICDE 2009 / TKDE 2011) — CFDMiner, CTANE and FastCFD/NaiveFast —
+together with every substrate they rely on: a relational storage layer,
+free/closed item-set mining, classical FD discovery (TANE, FastFD), synthetic
+workload generators, a CFD-based data-cleaning layer and an experiment harness
+that regenerates the paper's figures.
+
+Quickstart
+----------
+>>> from repro import Relation, discover
+>>> r = Relation.from_rows(
+...     ["CC", "AC", "CT"],
+...     [
+...         ("01", "908", "MH"),
+...         ("01", "908", "MH"),
+...         ("01", "212", "NYC"),
+...         ("44", "131", "EDI"),
+...         ("44", "131", "EDI"),
+...     ],
+... )
+>>> result = discover(r, min_support=2, algorithm="fastcfd")
+>>> any(str(cfd) == "([AC] -> CT, (908 || MH))" for cfd in result.cfds)
+True
+"""
+
+from repro.core.cfd import CFD, ConstantCFD, VariableCFD, cfd_from_fd
+from repro.core.cfdminer import CFDMiner, discover_constant_cfds
+from repro.core.ctane import CTane, discover_cfds_ctane
+from repro.core.discovery import DiscoveryResult, discover
+from repro.core.fastcfd import FastCFD, NaiveFast, discover_cfds_fastcfd
+from repro.core.measures import confidence, measures, rank_by_interest
+from repro.core.minimality import canonical_cover, is_left_reduced, is_minimal
+from repro.core.pattern import WILDCARD, PatternTuple
+from repro.core.sampling import discover_with_sampling, stratified_sample
+from repro.core.tableau import TableauCFD, group_into_tableaux
+from repro.core.validation import holds, satisfies, support, support_count, violations
+from repro.fd.fd import FD
+from repro.fd.fastfd import FastFD as FastFDAlgorithm
+from repro.fd.tane import Tane
+from repro.relational.io import read_csv, write_csv
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # relational substrate
+    "Schema",
+    "Relation",
+    "read_csv",
+    "write_csv",
+    # CFD model
+    "WILDCARD",
+    "PatternTuple",
+    "CFD",
+    "ConstantCFD",
+    "VariableCFD",
+    "cfd_from_fd",
+    "satisfies",
+    "holds",
+    "support",
+    "support_count",
+    "violations",
+    "is_minimal",
+    "is_left_reduced",
+    "canonical_cover",
+    # discovery algorithms
+    "CFDMiner",
+    "discover_constant_cfds",
+    "CTane",
+    "discover_cfds_ctane",
+    "FastCFD",
+    "NaiveFast",
+    "discover_cfds_fastcfd",
+    "discover",
+    "DiscoveryResult",
+    # extensions: tableaux, interest measures, sampling-based discovery
+    "TableauCFD",
+    "group_into_tableaux",
+    "confidence",
+    "measures",
+    "rank_by_interest",
+    "stratified_sample",
+    "discover_with_sampling",
+    # FD baselines
+    "FD",
+    "Tane",
+    "FastFDAlgorithm",
+]

@@ -1,0 +1,21 @@
+"""CFD-based data cleaning.
+
+The motivation of the paper is that discovered CFDs serve as *data-quality
+rules*: they detect inconsistencies (Section 1, citing [1], [2]) and drive
+repairs.  This subpackage provides that application layer:
+
+* :mod:`repro.cleaning.detect` — violation detection and per-rule reports;
+* :mod:`repro.cleaning.repair` — a greedy pattern-directed repair routine in
+  the spirit of Cong et al. [2].
+"""
+
+from repro.cleaning.detect import ViolationReport, detect_violations, dirty_rows
+from repro.cleaning.repair import RepairResult, repair
+
+__all__ = [
+    "ViolationReport",
+    "detect_violations",
+    "dirty_rows",
+    "RepairResult",
+    "repair",
+]

@@ -1,0 +1,85 @@
+"""Violation detection for sets of CFDs.
+
+CFDs are constraints, so "detection" is simply evaluating each rule over the
+relation and collecting its witnesses — but unlike FDs a *single* tuple can
+violate a constant CFD (Example 3 of the paper), which is what makes CFDs
+useful for spotting errors in isolation.  :func:`detect_violations` aggregates
+per-rule witnesses into a :class:`ViolationReport` that the repair engine and
+the cleaning examples consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.cfd import CFD
+from repro.core.validation import Violation, violations
+from repro.relational.relation import Relation
+
+
+@dataclass
+class ViolationReport:
+    """The result of checking a relation against a set of CFDs."""
+
+    relation_size: int
+    per_cfd: Dict[CFD, List[Violation]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def violated_cfds(self) -> List[CFD]:
+        """The rules that have at least one witness."""
+        return [cfd for cfd, found in self.per_cfd.items() if found]
+
+    @property
+    def total_violations(self) -> int:
+        """Total number of witnessed violations across all rules."""
+        return sum(len(found) for found in self.per_cfd.values())
+
+    @property
+    def dirty_rows(self) -> Set[int]:
+        """Row indices involved in at least one violation."""
+        rows: Set[int] = set()
+        for found in self.per_cfd.values():
+            for violation in found:
+                rows.update(violation.rows)
+        return rows
+
+    @property
+    def is_clean(self) -> bool:
+        """``True`` iff no rule is violated."""
+        return self.total_violations == 0
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"{self.total_violations} violations across "
+            f"{len(self.violated_cfds)} rules; "
+            f"{len(self.dirty_rows)}/{self.relation_size} tuples affected"
+        ]
+        for cfd, found in sorted(
+            self.per_cfd.items(), key=lambda item: -len(item[1])
+        ):
+            if found:
+                lines.append(f"  {len(found):4d}  {cfd}")
+        return "\n".join(lines)
+
+
+def detect_violations(
+    relation: Relation, cfds: Iterable[CFD], *, max_violations_per_cfd: int = None
+) -> ViolationReport:
+    """Check every CFD against the relation and collect witnesses."""
+    report = ViolationReport(relation_size=relation.n_rows)
+    for cfd in cfds:
+        report.per_cfd[cfd] = violations(
+            relation, cfd, max_violations=max_violations_per_cfd
+        )
+    return report
+
+
+def dirty_rows(relation: Relation, cfds: Iterable[CFD]) -> Set[int]:
+    """Row indices involved in at least one violation of any rule."""
+    return detect_violations(relation, cfds).dirty_rows
+
+
+__all__ = ["ViolationReport", "detect_violations", "dirty_rows"]

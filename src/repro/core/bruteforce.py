@@ -1,0 +1,93 @@
+"""Definition-level (brute-force) CFD discovery.
+
+This module is **not** one of the paper's algorithms; it exists so that the
+reproduction can be validated.  It enumerates every candidate constant and
+variable CFD over the active domains of a relation and keeps exactly those
+that are minimal and k-frequent according to the definitions of Section 2.2.
+The output is therefore the *complete* set of minimal k-frequent CFDs (the
+superset of any canonical cover an algorithm may return, since canonical
+covers are allowed to omit CFDs implied by the rest).
+
+Complexity is exponential in the arity and in the domain sizes; use it only
+on small relations (the test-suite does).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.core.cfd import CFD
+from repro.core.minimality import is_minimal
+from repro.core.pattern import WILDCARD
+from repro.relational.relation import Relation
+
+
+def _variable_candidates(
+    relation: Relation, lhs: Sequence[str], rhs: str
+) -> Iterable[CFD]:
+    """All variable CFD candidates ``(lhs → rhs, (tp ‖ _))`` over active domains."""
+    domains = [
+        list(relation.active_domain(attribute)) + [WILDCARD] for attribute in lhs
+    ]
+    for pattern in product(*domains):
+        yield CFD(lhs, pattern, rhs, WILDCARD)
+
+
+def _constant_candidates(
+    relation: Relation, lhs: Sequence[str], rhs: str
+) -> Iterable[CFD]:
+    """All constant CFD candidates ``(lhs → rhs, (tp ‖ a))`` over active domains."""
+    domains = [list(relation.active_domain(attribute)) for attribute in lhs]
+    rhs_domain = list(relation.active_domain(rhs))
+    for pattern in product(*domains):
+        for rhs_value in rhs_domain:
+            yield CFD(lhs, pattern, rhs, rhs_value)
+
+
+def discover_bruteforce(
+    relation: Relation,
+    min_support: int = 1,
+    *,
+    max_lhs_size: Optional[int] = None,
+    constant_only: bool = False,
+    variable_only: bool = False,
+) -> Set[CFD]:
+    """All minimal ``min_support``-frequent CFDs of ``relation`` by definition.
+
+    Parameters
+    ----------
+    relation:
+        The sample relation (keep it small: the enumeration is exponential).
+    min_support:
+        The support threshold ``k``.
+    max_lhs_size:
+        Optional cap on the LHS size; ``None`` explores up to arity − 1.
+    constant_only / variable_only:
+        Restrict the search to one of the two canonical CFD classes.
+
+    Returns
+    -------
+    set of CFD
+        Every nontrivial, satisfied, k-frequent, left-reduced CFD in canonical
+        form (constant CFDs and variable CFDs).
+    """
+    attributes = relation.attributes
+    limit = len(attributes) - 1 if max_lhs_size is None else max_lhs_size
+    found: Set[CFD] = set()
+    for rhs in attributes:
+        others = [a for a in attributes if a != rhs]
+        for size in range(0, limit + 1):
+            for lhs in combinations(others, size):
+                if not variable_only:
+                    for candidate in _constant_candidates(relation, lhs, rhs):
+                        if is_minimal(relation, candidate, k=min_support):
+                            found.add(candidate)
+                if not constant_only:
+                    for candidate in _variable_candidates(relation, lhs, rhs):
+                        if is_minimal(relation, candidate, k=min_support):
+                            found.add(candidate)
+    return found
+
+
+__all__ = ["discover_bruteforce"]

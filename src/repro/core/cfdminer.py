@@ -1,0 +1,161 @@
+"""CFDMiner: discovery of minimal constant CFDs (Section 3 of the paper).
+
+CFDMiner exploits the correspondence (Proposition 1) between minimal,
+k-frequent constant CFDs ``(X → A, (tp ‖ a))`` and k-frequent **free** item
+sets ``(X, tp)`` whose closure contains the item ``(A, a)``, provided no free
+proper subset of ``(X, tp)`` already has ``(A, a)`` in its closure.
+
+The algorithm therefore:
+
+1. mines all k-frequent free item sets together with their closures and the
+   closed→free (C2F) mapping — the job of
+   :func:`repro.itemsets.mining.mine_free_and_closed`, standing in for
+   GCGROWTH [26];
+2. attaches to every free item set the candidate RHS items
+   ``clo(Y, sp) \\ (Y, sp)`` (restricted to attributes outside ``Y``);
+3. walks the free item sets in ascending size order and removes from the
+   candidate RHS of ``(Y, sp)`` every item that already appears in the
+   closure of one of its free proper subsets (the left-reducedness filter of
+   Proposition 1, implemented with a hash table of free item sets);
+4. emits a constant CFD per surviving ``(A, a)`` candidate.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.cfd import CFD
+from repro.exceptions import DiscoveryError
+from repro.itemsets.itemset import EncodedItem, EncodedItemSet
+from repro.itemsets.mining import FreeClosedResult, mine_free_and_closed
+from repro.relational.relation import Relation
+
+
+class CFDMiner:
+    """Constant CFD discovery via free/closed item-set mining.
+
+    Parameters
+    ----------
+    relation:
+        The sample relation ``r``.
+    min_support:
+        The support threshold ``k`` (at least 1).
+    max_lhs_size:
+        Optional cap on the number of LHS attributes (``None``: unbounded).
+
+    Examples
+    --------
+    >>> from repro.relational.relation import Relation
+    >>> r = Relation.from_rows(
+    ...     ["AC", "CT"],
+    ...     [("908", "MH"), ("908", "MH"), ("212", "NYC")],
+    ... )
+    >>> [str(c) for c in CFDMiner(r, min_support=2).discover()]
+    ['([AC] -> CT, (908 || MH))']
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        min_support: int = 1,
+        *,
+        max_lhs_size: Optional[int] = None,
+    ):
+        if min_support < 1:
+            raise DiscoveryError("min_support must be at least 1")
+        self._relation = relation
+        self._min_support = min_support
+        self._max_lhs_size = max_lhs_size
+        self._mining_result: Optional[FreeClosedResult] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    @property
+    def min_support(self) -> int:
+        return self._min_support
+
+    @property
+    def mining_result(self) -> FreeClosedResult:
+        """The free/closed mining result (computed lazily, reusable).
+
+        FastCFD reuses this to avoid mining twice when it delegates constant
+        CFD discovery to CFDMiner (Section 5.5).
+        """
+        if self._mining_result is None:
+            self._mining_result = mine_free_and_closed(
+                self._relation,
+                min_support=self._min_support,
+                max_size=self._max_lhs_size,
+            )
+        return self._mining_result
+
+    # ------------------------------------------------------------------ #
+    def discover(self) -> List[CFD]:
+        """Return the canonical cover of minimal k-frequent constant CFDs."""
+        result = self.mining_result
+        free_list = result.free_sets_sorted()
+        free_index: Set[EncodedItemSet] = set(result.free_sets.keys())
+
+        # Candidate RHS items per free set: closure items on attributes that
+        # are not part of the free set itself.
+        rhs_candidates: Dict[EncodedItemSet, Set[EncodedItem]] = {}
+        closures: Dict[EncodedItemSet, FrozenSet[EncodedItem]] = {}
+        for free in free_list:
+            own_attributes = free.attributes
+            closures[free.items] = free.closure
+            rhs_candidates[free.items] = {
+                item for item in free.closure if item[0] not in own_attributes
+            }
+
+        cfds: List[CFD] = []
+        for free in free_list:
+            candidates = rhs_candidates[free.items]
+            if not candidates:
+                continue
+            # Left-reducedness (Proposition 1, condition 3): drop candidates
+            # already produced by a free proper subset's closure.
+            survivors = set(candidates)
+            items_sorted = sorted(free.items)
+            for size in range(len(items_sorted)):
+                if not survivors:
+                    break
+                for subset in combinations(items_sorted, size):
+                    subset_key: EncodedItemSet = frozenset(subset)
+                    if subset_key not in free_index:
+                        continue
+                    survivors -= closures[subset_key]
+                    if not survivors:
+                        break
+            for attribute_index, code in sorted(survivors):
+                cfds.append(self._build_cfd(free.items, attribute_index, code))
+        return cfds
+
+    # ------------------------------------------------------------------ #
+    def _build_cfd(
+        self, lhs_items: EncodedItemSet, rhs_index: int, rhs_code: int
+    ) -> CFD:
+        """Decode an encoded (free set, RHS item) pair into a constant CFD."""
+        schema = self._relation.schema
+        encoding = self._relation.encoding
+        lhs_sorted = sorted(lhs_items)
+        lhs_names = tuple(schema.name_of(index) for index, _ in lhs_sorted)
+        lhs_values = tuple(
+            encoding.decode_value(index, code) for index, code in lhs_sorted
+        )
+        rhs_name = schema.name_of(rhs_index)
+        rhs_value = encoding.decode_value(rhs_index, rhs_code)
+        return CFD(lhs_names, lhs_values, rhs_name, rhs_value)
+
+
+def discover_constant_cfds(
+    relation: Relation, min_support: int = 1, *, max_lhs_size: Optional[int] = None
+) -> List[CFD]:
+    """Convenience wrapper: run :class:`CFDMiner` on ``relation``."""
+    return CFDMiner(relation, min_support, max_lhs_size=max_lhs_size).discover()
+
+
+__all__ = ["CFDMiner", "discover_constant_cfds"]

@@ -1,0 +1,158 @@
+"""Implication analysis and cover minimisation.
+
+The paper lists "the use of CFD inference in discovery, to eliminate CFDs that
+are entailed by those already found" as future work (Section 8).  This module
+provides the pieces of that programme that are tractable and useful in
+practice:
+
+* :func:`implies_constant` — sound and complete implication for *constant*
+  CFDs against a set of constant CFDs (a chase-style closure over constant
+  patterns);
+* :func:`variable_cfd_subsumed_by_constants` — the specific redundancy pattern
+  that distinguishes the outputs of CTANE and FastCFD: a variable CFD whose
+  matching tuples are forced to a single RHS constant by a constant CFD of the
+  cover is logically redundant;
+* :func:`minimise_constant_cover` — greedy removal of implied constant CFDs;
+* :func:`covers_equivalent_on` — an *empirical* equivalence check of two
+  covers on a reference relation (used by tests and examples to compare
+  algorithm outputs without solving the coNP-complete general implication
+  problem).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.cfd import CFD
+from repro.core.pattern import WILDCARD, is_wildcard, value_matches
+from repro.core.validation import satisfies
+from repro.relational.relation import Relation
+
+
+def _constant_lhs(cfd: CFD) -> Dict[str, Hashable]:
+    """The constant LHS pattern of a CFD as an ``{attribute: value}`` mapping."""
+    return {
+        attribute: value
+        for attribute, value in zip(cfd.lhs, cfd.lhs_pattern)
+        if not is_wildcard(value)
+    }
+
+
+def implies_constant(premises: Iterable[CFD], conclusion: CFD) -> bool:
+    """``True`` iff the constant CFDs in ``premises`` imply ``conclusion``.
+
+    ``conclusion`` must be a constant CFD.  The check performs a chase over a
+    single symbolic tuple: start with the conclusion's LHS pattern as known
+    cell values and repeatedly fire premise constant CFDs whose LHS is
+    contained in the known values; the conclusion is implied iff the chase
+    derives its RHS value (or derives a contradiction, in which case the
+    premises are unsatisfiable together with the LHS pattern and the
+    implication holds vacuously).
+    """
+    if not conclusion.is_constant:
+        raise ValueError("implies_constant expects a constant CFD conclusion")
+    constant_premises = [cfd for cfd in premises if cfd.is_constant]
+    known: Dict[str, Hashable] = dict(_constant_lhs(conclusion))
+    changed = True
+    while changed:
+        changed = False
+        for premise in constant_premises:
+            lhs = _constant_lhs(premise)
+            if any(known.get(a, _MISSING) != v for a, v in lhs.items()):
+                continue
+            if any(a not in known for a in lhs):
+                continue
+            current = known.get(premise.rhs, _MISSING)
+            if current is _MISSING:
+                known[premise.rhs] = premise.rhs_pattern
+                changed = True
+            elif current != premise.rhs_pattern:
+                return True  # contradiction: the LHS pattern is unsatisfiable
+    return known.get(conclusion.rhs, _MISSING) == conclusion.rhs_pattern
+
+
+_MISSING = object()
+
+
+def variable_cfd_subsumed_by_constants(cfd: CFD, cover: Iterable[CFD]) -> bool:
+    """``True`` iff a variable CFD is implied by a constant CFD of ``cover``.
+
+    A variable CFD ``(X → A, (tp ‖ _))`` is implied by a constant CFD
+    ``(Y → A, (sp ‖ a))`` whenever ``(Y, sp)`` is contained in the constant
+    part of ``(X, tp)``: every tuple matching ``tp`` then has ``A = a``, so
+    any two of them trivially agree on ``A``.  This is exactly the redundancy
+    FastCFD exploits when it emits a constant CFD instead of the
+    corresponding variable one (base case (a) of FindMin).
+    """
+    if not cfd.is_variable:
+        return False
+    constant_lhs = _constant_lhs(cfd)
+    for other in cover:
+        if not other.is_constant or other.rhs != cfd.rhs:
+            continue
+        other_lhs = _constant_lhs(other)
+        if all(constant_lhs.get(a, _MISSING) == v for a, v in other_lhs.items()):
+            return True
+    return False
+
+
+def is_implied_by_cover(cfd: CFD, cover: Iterable[CFD]) -> bool:
+    """A *sound* (not complete) implication test of one CFD against a cover.
+
+    Returns ``True`` when the CFD is a member of the cover, when it is a
+    constant CFD implied by the cover's constant CFDs, or when it is a
+    variable CFD subsumed by a constant CFD of the cover.  A ``False`` answer
+    therefore means "could not prove implication", not "not implied".
+    """
+    cover = list(cover)
+    if cfd in cover:
+        return True
+    if cfd.is_constant:
+        return implies_constant(cover, cfd)
+    return variable_cfd_subsumed_by_constants(cfd, cover)
+
+
+def minimise_constant_cover(cfds: Sequence[CFD]) -> List[CFD]:
+    """Greedily remove constant CFDs implied by the remaining ones.
+
+    Variable CFDs are kept untouched.  The result is order-independent up to
+    the greedy choice (CFDs are considered largest-LHS first so that specific
+    rules get eliminated in favour of general ones).
+    """
+    constants = [cfd for cfd in cfds if cfd.is_constant]
+    variables = [cfd for cfd in cfds if not cfd.is_constant]
+    kept: List[CFD] = list(
+        sorted(constants, key=lambda c: (len(c.lhs), str(c)))
+    )
+    for cfd in sorted(constants, key=lambda c: (-len(c.lhs), str(c))):
+        remaining = [c for c in kept if c != cfd]
+        if implies_constant(remaining, cfd):
+            kept = remaining
+    return kept + variables
+
+
+def covers_equivalent_on(
+    relation: Relation, first: Iterable[CFD], second: Iterable[CFD]
+) -> bool:
+    """Empirical cover comparison: both covers hold on the same relation.
+
+    This is the practical stand-in for logical equivalence used in examples:
+    two canonical covers discovered from the *same* relation always both hold
+    on it, so the function additionally requires that each cover's CFDs are
+    satisfied — it exists mainly to sanity-check covers against relations they
+    were *not* mined from (e.g. a repaired relation).
+    """
+    first = list(first)
+    second = list(second)
+    return all(satisfies(relation, cfd) for cfd in first) and all(
+        satisfies(relation, cfd) for cfd in second
+    )
+
+
+__all__ = [
+    "implies_constant",
+    "variable_cfd_subsumed_by_constants",
+    "is_implied_by_cover",
+    "minimise_constant_cover",
+    "covers_equivalent_on",
+]

@@ -1,0 +1,187 @@
+"""Interest measures for CFDs.
+
+The paper restricts attention to *support* (k-frequency) but points to two
+strands of follow-up work when discussing rule quality:
+
+* Chiang & Miller [21] rank discovered rules by association-rule style
+  measures — support, confidence, conviction and the χ² statistic;
+* Cormode et al. [30] study the *confidence* of a CFD: the largest fraction of
+  the matching tuples on which the CFD holds exactly.
+
+This module implements those measures on top of the library's CFD semantics
+so that discovered covers can be ranked or filtered, which is what the data
+cleaning examples use to pick "trustworthy" rules.  All measures are defined
+for arbitrary CFDs (constant or variable); conviction and χ² additionally need
+a constant RHS and fall back to ``None`` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.cfd import CFD
+from repro.core.pattern import is_wildcard, value_matches
+from repro.core.validation import matching_rows
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class CFDMeasures:
+    """All interest measures of one CFD on one relation."""
+
+    support_count: int
+    support_ratio: float
+    confidence: float
+    conviction: Optional[float]
+    chi_squared: Optional[float]
+
+
+def confidence(relation: Relation, cfd: CFD) -> float:
+    """The confidence of a CFD: the largest fraction of matching tuples keeping it.
+
+    Following [30], the confidence is ``|r'| / |r_tp|`` where ``r_tp`` is the
+    set of tuples matching the LHS pattern and ``r'`` is a maximum-size subset
+    of ``r_tp`` on which the CFD holds exactly.  The maximum subset keeps, per
+    LHS-value group, the most frequent RHS value that matches the RHS pattern.
+    A CFD that holds exactly has confidence 1; an empty match also yields 1.
+    """
+    rows = matching_rows(relation, cfd)
+    if not rows:
+        return 1.0
+    lhs_columns = [relation.column(a) for a in cfd.lhs]
+    rhs_column = relation.column(cfd.rhs)
+    groups: Dict[Tuple[Hashable, ...], Dict[Hashable, int]] = {}
+    for row in rows:
+        key = tuple(column[row] for column in lhs_columns)
+        counts = groups.setdefault(key, {})
+        value = rhs_column[row]
+        counts[value] = counts.get(value, 0) + 1
+    kept = 0
+    for counts in groups.values():
+        eligible = [
+            count
+            for value, count in counts.items()
+            if value_matches(value, cfd.rhs_pattern)
+        ]
+        if eligible:
+            kept += max(eligible)
+    return kept / len(rows)
+
+
+def _rhs_match_counts(relation: Relation, cfd: CFD) -> Tuple[int, int, int]:
+    """Counts used by conviction / χ²: (|r_tp|, |r_tp ∧ rhs|, |rhs matches overall|)."""
+    rows = matching_rows(relation, cfd)
+    rhs_column = relation.column(cfd.rhs)
+    rhs_in_match = sum(
+        1 for row in rows if value_matches(rhs_column[row], cfd.rhs_pattern)
+    )
+    rhs_total = sum(
+        1 for value in rhs_column if value_matches(value, cfd.rhs_pattern)
+    )
+    return len(rows), rhs_in_match, rhs_total
+
+
+def conviction(relation: Relation, cfd: CFD) -> Optional[float]:
+    """Conviction of a constant-RHS CFD (``None`` for variable CFDs).
+
+    ``conviction = (1 - P(rhs)) / (1 - confidence)`` where ``P(rhs)`` is the
+    frequency of the RHS constant in the whole relation and the confidence is
+    ``P(rhs | lhs pattern)``.  A rule that never fails has infinite conviction,
+    reported as ``float("inf")``.
+    """
+    if is_wildcard(cfd.rhs_pattern):
+        return None
+    n = relation.n_rows
+    if n == 0:
+        return None
+    n_match, rhs_in_match, rhs_total = _rhs_match_counts(relation, cfd)
+    if n_match == 0:
+        return None
+    rule_confidence = rhs_in_match / n_match
+    rhs_probability = rhs_total / n
+    if rule_confidence >= 1.0:
+        return float("inf")
+    return (1.0 - rhs_probability) / (1.0 - rule_confidence)
+
+
+def chi_squared(relation: Relation, cfd: CFD) -> Optional[float]:
+    """The χ² statistic of the 2×2 contingency table (LHS match × RHS match).
+
+    Returns ``None`` for variable CFDs (the RHS event is then always true) and
+    for degenerate tables (a marginal equal to zero or the full relation).
+    """
+    if is_wildcard(cfd.rhs_pattern):
+        return None
+    n = relation.n_rows
+    if n == 0:
+        return None
+    n_match, rhs_in_match, rhs_total = _rhs_match_counts(relation, cfd)
+    # contingency table cells: a = lhs ∧ rhs, b = lhs ∧ ¬rhs, c = ¬lhs ∧ rhs, d = rest
+    a = rhs_in_match
+    b = n_match - rhs_in_match
+    c = rhs_total - rhs_in_match
+    d = n - n_match - c
+    row1, row2 = a + b, c + d
+    col1, col2 = a + c, b + d
+    if 0 in (row1, row2, col1, col2):
+        return None
+    expected = [
+        (row1 * col1 / n, a),
+        (row1 * col2 / n, b),
+        (row2 * col1 / n, c),
+        (row2 * col2 / n, d),
+    ]
+    return sum((observed - exp) ** 2 / exp for exp, observed in expected if exp > 0)
+
+
+def measures(relation: Relation, cfd: CFD) -> CFDMeasures:
+    """Bundle all interest measures of one CFD on one relation."""
+    from repro.core.validation import support_count  # local import to avoid cycle noise
+
+    count = support_count(relation, cfd)
+    ratio = count / relation.n_rows if relation.n_rows else 0.0
+    return CFDMeasures(
+        support_count=count,
+        support_ratio=ratio,
+        confidence=confidence(relation, cfd),
+        conviction=conviction(relation, cfd),
+        chi_squared=chi_squared(relation, cfd),
+    )
+
+
+def rank_by_interest(
+    relation: Relation, cfds, *, key: str = "confidence", descending: bool = True
+):
+    """Rank a collection of CFDs by one of the interest measures.
+
+    ``key`` is one of ``"support"``, ``"confidence"``, ``"conviction"`` or
+    ``"chi_squared"``; missing values (``None``) sort last.
+    """
+    valid = {"support", "confidence", "conviction", "chi_squared"}
+    if key not in valid:
+        raise ValueError(f"key must be one of {sorted(valid)}")
+
+    def score(cfd: CFD):
+        bundle = measures(relation, cfd)
+        value = {
+            "support": bundle.support_count,
+            "confidence": bundle.confidence,
+            "conviction": bundle.conviction,
+            "chi_squared": bundle.chi_squared,
+        }[key]
+        missing = value is None
+        magnitude = -1.0 if missing else float(value)
+        return (missing, -magnitude if descending else magnitude)
+
+    return sorted(cfds, key=score)
+
+
+__all__ = [
+    "CFDMeasures",
+    "confidence",
+    "conviction",
+    "chi_squared",
+    "measures",
+    "rank_by_interest",
+]

@@ -1,0 +1,112 @@
+"""Minimal (left-reduced) CFDs and canonical covers (Section 2.2.1).
+
+A CFD is *minimal* on a relation ``r`` when it is nontrivial, holds on ``r``
+and is *left-reduced*:
+
+* **constant CFD** ``(X → A, (tp ‖ a))`` — no proper subset ``Y ⊊ X`` yields a
+  satisfied CFD ``(Y → A, (tp[Y] ‖ a))`` (attribute minimality);
+* **variable CFD** ``(X → A, (tp ‖ _))`` — (1) attribute minimality as above
+  and (2) no constant of ``tp`` can be upgraded to ``_`` while keeping the CFD
+  satisfied (pattern most-generality).
+
+Because satisfaction is preserved when patterns are *specialised* and when
+LHS attributes are *added*, it suffices to check single-attribute removals and
+single-constant upgrades; this module exploits that and is therefore usable as
+an (inexpensive) output guard for the discovery algorithms as well as by the
+brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from repro.core.cfd import CFD
+from repro.core.pattern import is_wildcard
+from repro.core.validation import satisfies, support_count
+from repro.relational.relation import Relation
+
+
+def is_trivial(cfd: CFD) -> bool:
+    """``True`` iff the RHS attribute occurs in the LHS (paper Section 2.2.1)."""
+    return cfd.is_trivial
+
+
+def _attribute_removals(cfd: CFD) -> Iterable[CFD]:
+    """CFDs obtained by dropping a single LHS attribute."""
+    for attribute in cfd.lhs:
+        yield cfd.drop_lhs_attribute(attribute)
+
+
+def _pattern_upgrades(cfd: CFD) -> Iterable[CFD]:
+    """Variable-CFD generalisations: one LHS constant upgraded to ``_``."""
+    for attribute, value in zip(cfd.lhs, cfd.lhs_pattern):
+        if not is_wildcard(value):
+            yield cfd.generalise_lhs_attribute(attribute)
+
+
+def is_left_reduced(relation: Relation, cfd: CFD) -> bool:
+    """``True`` iff ``cfd`` is left-reduced on ``relation``.
+
+    The check assumes ``relation ⊨ cfd`` (callers should test that first if it
+    is not already known); left-reducedness itself does not require it.
+    """
+    for generalisation in _attribute_removals(cfd):
+        if satisfies(relation, generalisation):
+            return False
+    if cfd.is_variable:
+        for generalisation in _pattern_upgrades(cfd):
+            if satisfies(relation, generalisation):
+                return False
+    return True
+
+
+def is_minimal(relation: Relation, cfd: CFD, k: int = 1) -> bool:
+    """``True`` iff ``cfd`` is a minimal, ``k``-frequent CFD of ``relation``."""
+    if cfd.is_trivial:
+        return False
+    if not satisfies(relation, cfd):
+        return False
+    if support_count(relation, cfd) < k:
+        return False
+    return is_left_reduced(relation, cfd)
+
+
+def filter_minimal(relation: Relation, cfds: Iterable[CFD], k: int = 1) -> List[CFD]:
+    """Keep only the CFDs that are minimal and ``k``-frequent on ``relation``."""
+    return [cfd for cfd in cfds if is_minimal(relation, cfd, k=k)]
+
+
+def canonical_cover(relation: Relation, cfds: Iterable[CFD], k: int = 1) -> Set[CFD]:
+    """The canonical cover induced by ``cfds``: minimal, ``k``-frequent, deduplicated.
+
+    This is a *filtering* canonicalisation: it assumes ``cfds`` enumerates (a
+    superset of) the k-frequent CFDs of interest — as the brute-force oracle
+    does — and keeps the minimal ones.  The discovery algorithms construct
+    canonical covers directly.
+    """
+    cover: Set[CFD] = set()
+    for cfd in cfds:
+        if is_minimal(relation, cfd, k=k):
+            cover.add(cfd)
+    return cover
+
+
+def assert_cover_properties(relation: Relation, cfds: Sequence[CFD], k: int = 1) -> None:
+    """Raise ``AssertionError`` unless every CFD is minimal and k-frequent.
+
+    Used by the test-suite and available to callers who want a hard guarantee
+    on an algorithm's output.
+    """
+    for cfd in cfds:
+        if not is_minimal(relation, cfd, k=k):
+            raise AssertionError(f"{cfd} is not a minimal {k}-frequent CFD")
+
+
+__all__ = [
+    "is_trivial",
+    "is_left_reduced",
+    "is_minimal",
+    "filter_minimal",
+    "canonical_cover",
+    "assert_cover_properties",
+]

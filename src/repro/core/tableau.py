@@ -1,0 +1,134 @@
+"""Pattern-tableau CFDs (Section 2.3 of the paper).
+
+The original CFD definition of [1] allows a *pattern tableau*: a CFD
+``φ = (X → A, Tp)`` whose tableau ``Tp`` contains several pattern tuples, and
+``r ⊨ φ`` iff ``r`` satisfies every single-pattern CFD ``(X → A, tp)`` with
+``tp ∈ Tp``.  The paper observes that a tableau CFD is equivalent to the set
+of its single-pattern CFDs, defines its support as the minimum support over
+its pattern tuples, and reduces the discovery of k-frequent tableau CFDs to
+the discovery of k-frequent single-pattern CFDs — which is what the three
+algorithms of the paper (and of this library) produce.
+
+This module provides the other direction of that reduction: the
+:class:`TableauCFD` value object, its semantics, and
+:func:`group_into_tableaux`, which folds a discovered canonical cover into one
+tableau CFD per embedded FD (the presentation format used by data-quality
+tools and by [10]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.cfd import CFD
+from repro.core.pattern import PatternTuple, pattern_str
+from repro.core.validation import satisfies, support_count
+from repro.exceptions import DependencyError
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class TableauCFD:
+    """A CFD ``(X → A, Tp)`` with a pattern tableau ``Tp``.
+
+    Attributes
+    ----------
+    lhs:
+        The LHS attributes ``X`` (sorted, as in :class:`~repro.core.cfd.CFD`).
+    rhs:
+        The RHS attribute ``A``.
+    tableau:
+        The pattern tuples, each ranging over ``X ∪ {A}``.
+    """
+
+    lhs: Tuple[str, ...]
+    rhs: str
+    tableau: Tuple[PatternTuple, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", tuple(sorted(self.lhs)))
+        expected = set(self.lhs) | {self.rhs}
+        for pattern in self.tableau:
+            if set(pattern.attributes) != expected:
+                raise DependencyError(
+                    f"pattern tuple {pattern} does not range over {sorted(expected)}"
+                )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def embedded_fd(self) -> Tuple[Tuple[str, ...], str]:
+        """The embedded FD ``X → A``."""
+        return self.lhs, self.rhs
+
+    def to_cfds(self) -> List[CFD]:
+        """The equivalent set of single-pattern CFDs (paper Section 2.3)."""
+        return [
+            CFD.from_pattern_tuple(self.lhs, self.rhs, pattern)
+            for pattern in self.tableau
+        ]
+
+    def __len__(self) -> int:
+        return len(self.tableau)
+
+    def __str__(self) -> str:
+        lhs = ", ".join(self.lhs)
+        rows = "; ".join(
+            "("
+            + ", ".join(pattern_str(pattern[a]) for a in self.lhs)
+            + " || "
+            + pattern_str(pattern[self.rhs])
+            + ")"
+            for pattern in self.tableau
+        )
+        return f"([{lhs}] -> {self.rhs}, {{{rows}}})"
+
+
+def tableau_satisfies(relation: Relation, tableau_cfd: TableauCFD) -> bool:
+    """``r ⊨ (X → A, Tp)`` iff every single-pattern CFD of the tableau holds."""
+    return all(satisfies(relation, cfd) for cfd in tableau_cfd.to_cfds())
+
+
+def tableau_support(relation: Relation, tableau_cfd: TableauCFD) -> int:
+    """The paper's tableau support: the minimum support over the tableau rows."""
+    supports = [support_count(relation, cfd) for cfd in tableau_cfd.to_cfds()]
+    return min(supports) if supports else 0
+
+
+def group_into_tableaux(cfds: Iterable[CFD]) -> List[TableauCFD]:
+    """Fold single-pattern CFDs into one tableau CFD per embedded FD.
+
+    The input is typically the canonical cover returned by one of the
+    discovery algorithms; the output presents the same rules grouped as
+    pattern tableaux (one per ``X → A``), which is how CFDs are usually shown
+    to users of data-quality tools.  Rows within a tableau are ordered by
+    their textual rendering to keep the result deterministic.
+    """
+    grouped: Dict[Tuple[Tuple[str, ...], str], List[CFD]] = {}
+    for cfd in cfds:
+        grouped.setdefault((cfd.lhs, cfd.rhs), []).append(cfd)
+    tableaux = []
+    for (lhs, rhs), members in sorted(grouped.items()):
+        patterns = tuple(
+            member.pattern_tuple
+            for member in sorted(members, key=str)
+        )
+        tableaux.append(TableauCFD(lhs=lhs, rhs=rhs, tableau=patterns))
+    return tableaux
+
+
+def flatten_tableaux(tableaux: Iterable[TableauCFD]) -> List[CFD]:
+    """The inverse of :func:`group_into_tableaux` (up to ordering)."""
+    cfds: List[CFD] = []
+    for tableau_cfd in tableaux:
+        cfds.extend(tableau_cfd.to_cfds())
+    return cfds
+
+
+__all__ = [
+    "TableauCFD",
+    "tableau_satisfies",
+    "tableau_support",
+    "group_into_tableaux",
+    "flatten_tableaux",
+]

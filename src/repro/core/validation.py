@@ -1,0 +1,198 @@
+"""Satisfaction, violation and support of CFDs (Sections 2.1.2 and 2.2.2).
+
+The semantics implemented here follow the paper exactly:
+
+* ``r ⊨ (X → A, tp)`` iff for every pair of tuples ``t1, t2`` (including
+  ``t1 = t2``): ``t1[X] = t2[X] ≼ tp[X]`` implies ``t1[A] = t2[A] ≼ tp[A]``.
+  Equivalently, restricted to the tuples matching ``tp[X]``: (i) tuples
+  agreeing on ``X`` agree on ``A`` and (ii) every matching tuple's ``A`` value
+  matches ``tp[A]``.
+* ``sup(φ, r)`` is the set of tuples matching the *whole* pattern (LHS and
+  RHS); ``φ`` is ``k``-frequent iff ``|sup(φ, r)| ≥ k``.
+* A violation is either a *single-tuple* violation (a matching tuple whose
+  ``A`` value does not match a constant ``tp[A]``) or a *pair* violation (two
+  matching tuples agreeing on ``X`` but differing on ``A``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.cfd import CFD
+from repro.core.pattern import is_wildcard, value_matches
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A witnessed violation of a CFD on a relation.
+
+    ``rows`` contains one row index for a single-tuple violation and two row
+    indices for a pair violation.
+    """
+
+    cfd: CFD
+    rows: Tuple[int, ...]
+    kind: str  # "single" or "pair"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind} violation of {self.cfd} by rows {self.rows}"
+
+
+# ---------------------------------------------------------------------- #
+# row matching helpers
+# ---------------------------------------------------------------------- #
+def _matching_row_mask(relation: Relation, cfd: CFD) -> np.ndarray:
+    """Boolean mask of rows matching the LHS pattern constants of ``cfd``."""
+    n = relation.n_rows
+    mask = np.ones(n, dtype=bool)
+    for attribute, pattern_value in zip(cfd.lhs, cfd.lhs_pattern):
+        if is_wildcard(pattern_value):
+            continue
+        column = relation.column(attribute)
+        mask &= np.fromiter(
+            (value == pattern_value for value in column), dtype=bool, count=n
+        )
+    return mask
+
+
+def matching_rows(relation: Relation, cfd: CFD) -> List[int]:
+    """Row indices whose ``X`` values match ``tp[X]`` (paper: ``r_tp``)."""
+    return np.nonzero(_matching_row_mask(relation, cfd))[0].tolist()
+
+
+# ---------------------------------------------------------------------- #
+# satisfaction
+# ---------------------------------------------------------------------- #
+def satisfies(relation: Relation, cfd: CFD) -> bool:
+    """``True`` iff ``relation ⊨ cfd``.
+
+    Trivial CFDs follow the paper's semantics literally (which usually makes
+    them unsatisfiable or vacuous); the discovery algorithms never emit them.
+    """
+    rows = matching_rows(relation, cfd)
+    if not rows:
+        return True
+    rhs_column = relation.column(cfd.rhs)
+    rhs_pattern = cfd.rhs_pattern
+    groups: Dict[Tuple[Hashable, ...], Hashable] = {}
+    lhs_columns = [relation.column(a) for a in cfd.lhs]
+    for row in rows:
+        rhs_value = rhs_column[row]
+        if not value_matches(rhs_value, rhs_pattern):
+            return False
+        key = tuple(column[row] for column in lhs_columns)
+        previous = groups.get(key, _SENTINEL)
+        if previous is _SENTINEL:
+            groups[key] = rhs_value
+        elif previous != rhs_value:
+            return False
+    return True
+
+
+_SENTINEL = object()
+
+
+def holds(relation: Relation, cfd: CFD, k: int = 1) -> bool:
+    """``True`` iff ``cfd`` is satisfied by ``relation`` and is ``k``-frequent."""
+    return satisfies(relation, cfd) and support_count(relation, cfd) >= k
+
+
+def satisfies_all(relation: Relation, cfds: Iterable[CFD]) -> bool:
+    """``True`` iff the relation satisfies every CFD of the collection."""
+    return all(satisfies(relation, cfd) for cfd in cfds)
+
+
+# ---------------------------------------------------------------------- #
+# support
+# ---------------------------------------------------------------------- #
+def support(relation: Relation, cfd: CFD) -> List[int]:
+    """Row indices matching the full pattern of ``cfd`` (LHS and RHS)."""
+    mask = _matching_row_mask(relation, cfd)
+    rhs_pattern = cfd.rhs_pattern
+    if not is_wildcard(rhs_pattern):
+        column = relation.column(cfd.rhs)
+        mask &= np.fromiter(
+            (value == rhs_pattern for value in column),
+            dtype=bool,
+            count=relation.n_rows,
+        )
+    return np.nonzero(mask)[0].tolist()
+
+
+def support_count(relation: Relation, cfd: CFD) -> int:
+    """``|sup(cfd, relation)|`` — the paper's support size."""
+    return len(support(relation, cfd))
+
+
+def is_frequent(relation: Relation, cfd: CFD, k: int) -> bool:
+    """``True`` iff ``cfd`` is ``k``-frequent in ``relation``."""
+    return support_count(relation, cfd) >= k
+
+
+# ---------------------------------------------------------------------- #
+# violations
+# ---------------------------------------------------------------------- #
+def violations(
+    relation: Relation, cfd: CFD, *, max_violations: Optional[int] = None
+) -> List[Violation]:
+    """All witnessed violations of ``cfd`` on ``relation``.
+
+    Pair violations report one representative pair per conflicting group pair
+    of RHS values (not every quadratic pair), which is enough to localise the
+    error for cleaning purposes.
+    """
+    found: List[Violation] = []
+    rows = matching_rows(relation, cfd)
+    if not rows:
+        return found
+    rhs_column = relation.column(cfd.rhs)
+    lhs_columns = [relation.column(a) for a in cfd.lhs]
+    rhs_pattern = cfd.rhs_pattern
+    rhs_constant = not is_wildcard(rhs_pattern)
+    groups: Dict[Tuple[Hashable, ...], Dict[Hashable, int]] = {}
+    for row in rows:
+        rhs_value = rhs_column[row]
+        if rhs_constant and rhs_value != rhs_pattern:
+            found.append(Violation(cfd=cfd, rows=(row,), kind="single"))
+            if max_violations is not None and len(found) >= max_violations:
+                return found
+        key = tuple(column[row] for column in lhs_columns)
+        witnesses = groups.setdefault(key, {})
+        if rhs_value not in witnesses:
+            witnesses[rhs_value] = row
+    for witnesses in groups.values():
+        if len(witnesses) > 1:
+            representative_rows = sorted(witnesses.values())
+            first = representative_rows[0]
+            for other in representative_rows[1:]:
+                found.append(Violation(cfd=cfd, rows=(first, other), kind="pair"))
+                if max_violations is not None and len(found) >= max_violations:
+                    return found
+    return found
+
+
+def violating_tuples(relation: Relation, cfds: Iterable[CFD]) -> Set[int]:
+    """Row indices involved in at least one violation of any given CFD."""
+    rows: Set[int] = set()
+    for cfd in cfds:
+        for violation in violations(relation, cfd):
+            rows.update(violation.rows)
+    return rows
+
+
+__all__ = [
+    "Violation",
+    "matching_rows",
+    "satisfies",
+    "satisfies_all",
+    "holds",
+    "support",
+    "support_count",
+    "is_frequent",
+    "violations",
+    "violating_tuples",
+]

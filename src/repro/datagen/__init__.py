@@ -1,0 +1,21 @@
+"""Synthetic workload generators for the paper's experiments (Section 6.1).
+
+* :mod:`repro.datagen.tax` — the Tax/cust-style generator with the paper's
+  three knobs DBSIZE, ARITY and CF (correlation factor).
+* :mod:`repro.datagen.uci` — offline stand-ins for the UCI Wisconsin Breast
+  Cancer and Chess (KRK) data sets (same shape, cardinalities and dependency
+  structure; see DESIGN.md for the substitution rationale).
+* :mod:`repro.datagen.noise` — error injection used by the cleaning examples.
+"""
+
+from repro.datagen.tax import TaxGenerator, generate_tax
+from repro.datagen.uci import chess, wisconsin_breast_cancer
+from repro.datagen.noise import inject_errors
+
+__all__ = [
+    "TaxGenerator",
+    "generate_tax",
+    "chess",
+    "wisconsin_breast_cancer",
+    "inject_errors",
+]

@@ -1,0 +1,86 @@
+"""Error injection.
+
+The motivating use of CFDs is data cleaning: rules are discovered on a clean
+(or mostly clean) sample and then used to detect and repair errors elsewhere.
+:func:`inject_errors` dirties a relation by replacing a fraction of its cells
+with other active-domain values (or with typo-like variants), which is what
+the cleaning examples and tests use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataGenerationError
+from repro.relational.relation import Relation
+
+
+def inject_errors(
+    relation: Relation,
+    error_rate: float,
+    *,
+    seed: int = 0,
+    attributes: Optional[Sequence[str]] = None,
+    typo_marker: str = "??",
+    use_domain_values: bool = True,
+) -> Tuple[Relation, List[Tuple[int, str]]]:
+    """Return a dirtied copy of ``relation`` plus the list of modified cells.
+
+    Parameters
+    ----------
+    relation:
+        The clean relation.
+    error_rate:
+        Fraction of cells to corrupt, in ``[0, 1]`` (relative to the number of
+        cells in the corruptible attributes).
+    seed:
+        Seed for reproducibility.
+    attributes:
+        Attributes eligible for corruption; default: all.
+    typo_marker:
+        Suffix appended when a typo-style error is produced.
+    use_domain_values:
+        When ``True`` (default) half of the errors swap in a *different* value
+        from the same active domain (harder to spot than typos).
+
+    Returns
+    -------
+    (Relation, list of (row, attribute))
+        The dirty relation and the coordinates of every corrupted cell.
+    """
+    if not 0 <= error_rate <= 1:
+        raise DataGenerationError("error_rate must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    eligible = list(attributes) if attributes is not None else list(relation.attributes)
+    for attribute in eligible:
+        if attribute not in relation.attributes:
+            raise DataGenerationError(f"unknown attribute {attribute!r}")
+
+    n_cells = relation.n_rows * len(eligible)
+    n_errors = int(round(error_rate * n_cells))
+    if n_errors == 0:
+        return relation, []
+
+    chosen: Set[Tuple[int, str]] = set()
+    while len(chosen) < min(n_errors, n_cells):
+        row = int(rng.integers(0, relation.n_rows))
+        attribute = eligible[int(rng.integers(0, len(eligible)))]
+        chosen.add((row, attribute))
+
+    columns = {name: list(relation.column(name)) for name in relation.attributes}
+    modified: List[Tuple[int, str]] = []
+    for row, attribute in sorted(chosen, key=lambda cell: (cell[0], cell[1])):
+        current = columns[attribute][row]
+        domain = [v for v in relation.active_domain(attribute) if v != current]
+        if use_domain_values and domain and rng.random() < 0.5:
+            replacement = domain[int(rng.integers(0, len(domain)))]
+        else:
+            replacement = f"{current}{typo_marker}"
+        columns[attribute][row] = replacement
+        modified.append((row, attribute))
+    return Relation(relation.schema, columns), modified
+
+
+__all__ = ["inject_errors"]

@@ -1,0 +1,158 @@
+"""Offline stand-ins for the UCI data sets used in Section 6.2.2.
+
+The paper evaluates CTANE and FastCFD on two UCI data sets:
+
+* **Wisconsin Breast Cancer (WBC)** — 699 tuples, 11 attributes (a sample
+  code number, nine cytological features with integer domains 1–10 and a
+  binary class);
+* **Chess (King-Rook versus King, KRK)** — 28 056 tuples, 7 attributes (the
+  files/ranks of the three pieces and an 18-valued depth-to-win class).
+
+This environment has no network access, so the functions below *synthesise*
+relations with the same shape (arity, size, per-attribute cardinalities) and
+the same kind of dependency structure (correlated features and a class
+attribute that is a function of the others), which is what the runtime and
+CFD-count experiments are sensitive to.  The substitution is recorded in
+DESIGN.md and EXPERIMENTS.md.
+
+Both generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataGenerationError
+from repro.relational.relation import Relation
+
+#: Attribute names of the WBC stand-in (the UCI column names, abbreviated).
+WBC_ATTRIBUTES: Tuple[str, ...] = (
+    "id",
+    "clump_thickness",
+    "cell_size",
+    "cell_shape",
+    "adhesion",
+    "epithelial_size",
+    "bare_nuclei",
+    "bland_chromatin",
+    "normal_nucleoli",
+    "mitoses",
+    "class",
+)
+
+#: Attribute names of the Chess (KRK) stand-in.
+CHESS_ATTRIBUTES: Tuple[str, ...] = (
+    "wk_file",
+    "wk_rank",
+    "wr_file",
+    "wr_rank",
+    "bk_file",
+    "bk_rank",
+    "depth",
+)
+
+
+def wisconsin_breast_cancer(n_rows: int = 699, seed: int = 7) -> Relation:
+    """A WBC-shaped relation: 11 attributes, feature domains 1–10, binary class.
+
+    Features are generated from a latent *severity* variable so that they are
+    strongly correlated (as in the real data set), and the class is a
+    deterministic function of a feature aggregate — this yields both exact and
+    conditional dependencies for the discovery algorithms to find.
+    """
+    if n_rows < 1:
+        raise DataGenerationError("n_rows must be positive")
+    rng = np.random.default_rng(seed)
+    severity = rng.beta(a=1.3, b=2.2, size=n_rows)  # skewed towards benign
+
+    def feature(noise_scale: float, quantisation: int = 10) -> np.ndarray:
+        noisy = severity + rng.normal(0.0, noise_scale, size=n_rows)
+        values = np.clip(np.round(noisy * (quantisation - 1)) + 1, 1, quantisation)
+        return values.astype(int)
+
+    columns = {
+        "id": [f"{1000000 + int(i)}" for i in rng.integers(0, n_rows // 2 + 1, size=n_rows)],
+        "clump_thickness": feature(0.10).tolist(),
+        "cell_size": feature(0.08).tolist(),
+        "cell_shape": feature(0.08).tolist(),
+        "adhesion": feature(0.15).tolist(),
+        "epithelial_size": feature(0.15).tolist(),
+        "bare_nuclei": feature(0.12).tolist(),
+        "bland_chromatin": feature(0.18).tolist(),
+        "normal_nucleoli": feature(0.18).tolist(),
+        "mitoses": np.clip(feature(0.25) // 2, 1, 10).astype(int).tolist(),
+    }
+    aggregate = (
+        np.asarray(columns["cell_size"])
+        + np.asarray(columns["cell_shape"])
+        + np.asarray(columns["bare_nuclei"])
+    )
+    columns["class"] = ["malignant" if value >= 18 else "benign" for value in aggregate]
+    ordered = {name: columns[name] for name in WBC_ATTRIBUTES}
+    return Relation(list(WBC_ATTRIBUTES), ordered)
+
+
+def _king_distance(file_a: int, rank_a: int, file_b: int, rank_b: int) -> int:
+    """Chebyshev distance between two squares."""
+    return max(abs(file_a - file_b), abs(rank_a - rank_b))
+
+
+def chess(n_rows: int = 28056, seed: int = 11) -> Relation:
+    """A KRK-shaped relation: 6 position attributes and an 18-valued class.
+
+    Positions are sampled uniformly from the legal KRK configurations (pieces
+    on distinct squares, kings not adjacent) and the ``depth`` class is a
+    deterministic function of the position (a bucketed combination of king
+    distance, rook alignment and board edge proximity producing the 18 class
+    labels ``draw, zero, one, …, sixteen`` of the original data set).  Being a
+    function of the other six attributes, it induces the same kind of
+    dependency structure the real data set has.
+    """
+    if n_rows < 1:
+        raise DataGenerationError("n_rows must be positive")
+    rng = np.random.default_rng(seed)
+    files = "abcdefgh"
+    labels = [
+        "draw", "zero", "one", "two", "three", "four", "five", "six", "seven",
+        "eight", "nine", "ten", "eleven", "twelve", "thirteen", "fourteen",
+        "fifteen", "sixteen",
+    ]
+    rows: List[Tuple[str, int, str, int, str, int, str]] = []
+    while len(rows) < n_rows:
+        batch = rng.integers(0, 8, size=(max(1024, n_rows), 6))
+        for wkf, wkr, wrf, wrr, bkf, bkr in batch:
+            if len(rows) >= n_rows:
+                break
+            squares = {(wkf, wkr), (wrf, wrr), (bkf, bkr)}
+            if len(squares) < 3:
+                continue
+            if _king_distance(wkf, wkr, bkf, bkr) <= 1:
+                continue
+            king_distance = _king_distance(wkf, wkr, bkf, bkr)
+            edge = min(bkf, 7 - bkf, bkr, 7 - bkr)
+            aligned = int(wrf == bkf) + int(wrr == bkr)
+            rook_king = _king_distance(wrf, wrr, bkf, bkr)
+            if aligned and rook_king <= 1 and king_distance > 2:
+                label = labels[0]  # stalemate-ish positions labelled "draw"
+            else:
+                score = (
+                    2 * edge
+                    + king_distance
+                    + 2 * aligned
+                    + (rook_king // 2)
+                )
+                label = labels[1 + min(score, 16)]
+            rows.append(
+                (
+                    files[wkf], int(wkr) + 1,
+                    files[wrf], int(wrr) + 1,
+                    files[bkf], int(bkr) + 1,
+                    label,
+                )
+            )
+    return Relation.from_rows(list(CHESS_ATTRIBUTES), rows[:n_rows])
+
+
+__all__ = ["WBC_ATTRIBUTES", "CHESS_ATTRIBUTES", "wisconsin_breast_cancer", "chess"]

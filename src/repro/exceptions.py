@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause without
+swallowing unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """Raised when a schema is malformed or an unknown attribute is used."""
+
+
+class RelationError(ReproError):
+    """Raised when relation construction or access is invalid."""
+
+
+class PatternError(ReproError):
+    """Raised when a pattern tuple is inconsistent with its attributes."""
+
+
+class DependencyError(ReproError):
+    """Raised when a CFD or FD object is structurally invalid."""
+
+
+class DiscoveryError(ReproError):
+    """Raised when a discovery algorithm is invoked with invalid parameters."""
+
+
+class DataGenerationError(ReproError):
+    """Raised when a synthetic data generator receives invalid parameters."""
+
+
+class RepairError(ReproError):
+    """Raised when the repair engine cannot produce a consistent relation."""

@@ -1,0 +1,27 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6).
+
+* :mod:`repro.experiments.datasets` — the data sets of Table 1 (WBC, Chess,
+  Tax) with the scaling policy used in this reproduction.
+* :mod:`repro.experiments.runner` — timing utilities shared by all figures.
+* :mod:`repro.experiments.figures` — one function per paper figure (5–16)
+  plus the ablation experiments; each returns an :class:`ExperimentResult`.
+* :mod:`repro.experiments.reporting` — fixed-width table rendering used by the
+  benchmark modules and EXPERIMENTS.md.
+"""
+
+from repro.experiments.datasets import DatasetSpec, dataset_registry, load_dataset, scale_factor
+from repro.experiments.runner import AlgorithmRun, ExperimentResult, run_algorithms
+from repro.experiments.reporting import format_table
+from repro.experiments import figures
+
+__all__ = [
+    "DatasetSpec",
+    "dataset_registry",
+    "load_dataset",
+    "scale_factor",
+    "AlgorithmRun",
+    "ExperimentResult",
+    "run_algorithms",
+    "format_table",
+    "figures",
+]

@@ -1,0 +1,415 @@
+"""One experiment definition per paper figure (Section 6.2) plus ablations.
+
+Every function returns an :class:`~repro.experiments.runner.ExperimentResult`
+whose rows are the points of the corresponding figure.  The paper's absolute
+data sizes (up to one million tuples, C++ implementation) are scaled down to
+pure-Python-friendly defaults; the mapping is:
+
+=======  ==========================================  =================================
+figure   paper parameters                            default parameters here
+=======  ==========================================  =================================
+Fig. 5   DBSIZE 20K–1M, ARITY 7, CF 0.7, SUP 0.1 %   DBSIZE 500–4 000, SUP 1 %
+Fig. 6   #CFDs for the Fig. 5 sweep                  same sweep
+Fig. 7   ARITY 7–31, DBSIZE 20K, SUP 0.1 %           ARITY 7–13, DBSIZE 500
+Fig. 8   k 50–150, DBSIZE 100K, CF 0.7               k 5–40, DBSIZE 2 000
+Fig. 9   #CFDs for the Fig. 8 sweep                  same sweep
+Fig. 10  CF 0.3–0.7, DBSIZE 50K, k 50, ARITY 9       CF 0.3–0.7, DBSIZE 1 000, k 12
+Fig. 11  WBC, k sweep                                WBC stand-in (699 rows), k 40–160
+Fig. 12  Chess, k sweep                              Chess stand-in (2 000 rows), k 16–96
+Fig. 13  Tax, k sweep                                Tax (2 000 rows), k 10–80
+Fig. 14  WBC #CFDs                                   same sweep as Fig. 11
+Fig. 15  Chess #CFDs                                 same sweep as Fig. 12
+Fig. 16  Tax #CFDs                                   same sweep as Fig. 13
+=======  ==========================================  =================================
+
+Every size is additionally multiplied by the ``REPRO_SCALE`` environment
+variable so the full paper-scale sweep can be requested on faster hardware.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.ctane import CTane
+from repro.core.discovery import discover
+from repro.datagen.tax import generate_tax
+from repro.experiments.datasets import load_dataset, scaled
+from repro.experiments.runner import AlgorithmRun, ExperimentResult, run_algorithms
+from repro.relational.relation import Relation
+
+#: CTANE is excluded from sweeps beyond this arity by default; the paper
+#: reports that CTANE cannot run to completion above arity 17 (Section 6.2.1),
+#: and the same wall appears (earlier) in pure Python.
+CTANE_MAX_ARITY = 9
+
+
+# ---------------------------------------------------------------------- #
+# scalability on synthetic data (Figs. 5-10)
+# ---------------------------------------------------------------------- #
+def figure5(
+    sizes: Optional[Sequence[int]] = None,
+    *,
+    arity: int = 7,
+    cf: float = 0.7,
+    support_ratio: float = 0.01,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Fig. 5 — response time versus DBSIZE (all five algorithm variants)."""
+    sizes = list(sizes) if sizes is not None else [scaled(s) for s in (500, 1000, 2000, 4000)]
+    result = ExperimentResult(
+        figure="fig5", description="scalability w.r.t. DBSIZE (Tax, ARITY 7, CF 0.7)"
+    )
+    for size in sizes:
+        relation = generate_tax(db_size=size, arity=arity, cf=cf, seed=seed)
+        k = max(2, int(round(support_ratio * size)))
+        parameters = {"dbsize": size, "k": k}
+        for run in run_algorithms(
+            "fig5", relation, k, parameters, algorithms=("cfdminer", "ctane", "naivefast", "fastcfd")
+        ):
+            result.add(run)
+        # CFDMiner(2): the k=2 run whose closed item sets FastCFD reuses.
+        for run in run_algorithms(
+            "fig5",
+            relation,
+            2,
+            parameters,
+            algorithms=("cfdminer",),
+            labels={"cfdminer": "cfdminer(2)"},
+        ):
+            result.add(run)
+    return result
+
+
+def figure6(
+    sizes: Optional[Sequence[int]] = None,
+    *,
+    arity: int = 7,
+    cf: float = 0.7,
+    support_ratio: float = 0.01,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Fig. 6 — number of constant/variable CFDs versus DBSIZE (FastCFD)."""
+    sizes = list(sizes) if sizes is not None else [scaled(s) for s in (500, 1000, 2000, 4000)]
+    result = ExperimentResult(
+        figure="fig6", description="number of CFDs found w.r.t. DBSIZE (Tax)"
+    )
+    for size in sizes:
+        relation = generate_tax(db_size=size, arity=arity, cf=cf, seed=seed)
+        k = max(2, int(round(support_ratio * size)))
+        for run in run_algorithms(
+            "fig6", relation, k, {"dbsize": size, "k": k}, algorithms=("fastcfd",)
+        ):
+            result.add(run)
+    return result
+
+
+def figure7(
+    arities: Optional[Sequence[int]] = None,
+    *,
+    db_size: int = 500,
+    cf: float = 0.7,
+    support_ratio: float = 0.02,
+    seed: int = 42,
+    ctane_max_arity: int = CTANE_MAX_ARITY,
+) -> ExperimentResult:
+    """Fig. 7 — response time versus ARITY (CTANE vs NaiveFast vs FastCFD)."""
+    arities = list(arities) if arities is not None else [7, 9, 11, 13]
+    db_size = scaled(db_size)
+    k = max(2, int(round(support_ratio * db_size)))
+    result = ExperimentResult(
+        figure="fig7", description="scalability w.r.t. ARITY (Tax, CF 0.7)"
+    )
+    for arity in arities:
+        relation = generate_tax(db_size=db_size, arity=arity, cf=cf, seed=seed)
+        algorithms: List[str] = ["naivefast", "fastcfd"]
+        if arity <= ctane_max_arity:
+            algorithms.insert(0, "ctane")
+        for run in run_algorithms(
+            "fig7", relation, k, {"arity": arity, "dbsize": db_size, "k": k}, algorithms
+        ):
+            result.add(run)
+    return result
+
+
+def figure8(
+    ks: Optional[Sequence[int]] = None,
+    *,
+    db_size: int = 2000,
+    arity: int = 7,
+    cf: float = 0.7,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Fig. 8 — response time versus the support threshold ``k``."""
+    db_size = scaled(db_size)
+    ks = list(ks) if ks is not None else [5, 10, 20, 40]
+    relation = generate_tax(db_size=db_size, arity=arity, cf=cf, seed=seed)
+    result = ExperimentResult(
+        figure="fig8", description="scalability w.r.t. support threshold k (Tax)"
+    )
+    for k in ks:
+        for run in run_algorithms(
+            "fig8",
+            relation,
+            k,
+            {"dbsize": db_size, "k": k},
+            algorithms=("ctane", "naivefast", "fastcfd"),
+        ):
+            result.add(run)
+    return result
+
+
+def figure9(
+    ks: Optional[Sequence[int]] = None,
+    *,
+    db_size: int = 2000,
+    arity: int = 7,
+    cf: float = 0.7,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Fig. 9 — number of constant/variable CFDs versus ``k`` (FastCFD)."""
+    db_size = scaled(db_size)
+    ks = list(ks) if ks is not None else [5, 10, 20, 40]
+    relation = generate_tax(db_size=db_size, arity=arity, cf=cf, seed=seed)
+    result = ExperimentResult(
+        figure="fig9", description="number of CFDs found w.r.t. k (Tax)"
+    )
+    for k in ks:
+        for run in run_algorithms(
+            "fig9", relation, k, {"dbsize": db_size, "k": k}, algorithms=("fastcfd",)
+        ):
+            result.add(run)
+    return result
+
+
+def figure10(
+    cfs: Optional[Sequence[float]] = None,
+    *,
+    db_size: int = 1000,
+    arity: int = 9,
+    k: int = 12,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Fig. 10 — response time versus the correlation factor CF."""
+    db_size = scaled(db_size)
+    cfs = list(cfs) if cfs is not None else [0.3, 0.5, 0.7]
+    result = ExperimentResult(
+        figure="fig10", description="scalability w.r.t. correlation factor CF (Tax)"
+    )
+    for cf in cfs:
+        relation = generate_tax(db_size=db_size, arity=arity, cf=cf, seed=seed)
+        for run in run_algorithms(
+            "fig10",
+            relation,
+            k,
+            {"cf": cf, "dbsize": db_size, "k": k},
+            algorithms=("ctane", "naivefast", "fastcfd"),
+        ):
+            result.add(run)
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# real-data experiments (Figs. 11-16)
+# ---------------------------------------------------------------------- #
+def _dataset_k_sweep(
+    figure: str,
+    description: str,
+    dataset: str,
+    ks: Sequence[int],
+    algorithms: Sequence[str],
+) -> ExperimentResult:
+    relation = load_dataset(dataset)
+    result = ExperimentResult(figure=figure, description=description)
+    for k in ks:
+        for run in run_algorithms(
+            figure,
+            relation,
+            k,
+            {"dataset": dataset, "dbsize": relation.n_rows, "k": k},
+            algorithms=algorithms,
+        ):
+            result.add(run)
+    return result
+
+
+def figure11(ks: Optional[Sequence[int]] = None) -> ExperimentResult:
+    """Fig. 11 — WBC: response time versus ``k`` (CTANE vs FastCFD)."""
+    ks = list(ks) if ks is not None else [40, 80, 120, 160]
+    return _dataset_k_sweep(
+        "fig11", "Wisconsin breast cancer: runtime vs k", "wbc", ks, ("ctane", "fastcfd")
+    )
+
+
+def figure12(ks: Optional[Sequence[int]] = None) -> ExperimentResult:
+    """Fig. 12 — Chess: response time versus ``k`` (CTANE vs FastCFD)."""
+    ks = list(ks) if ks is not None else [16, 32, 64, 96]
+    return _dataset_k_sweep(
+        "fig12", "Chess (KRK): runtime vs k", "chess", ks, ("ctane", "fastcfd")
+    )
+
+
+def figure13(ks: Optional[Sequence[int]] = None) -> ExperimentResult:
+    """Fig. 13 — Tax: response time versus ``k`` (CTANE vs FastCFD)."""
+    ks = list(ks) if ks is not None else [10, 20, 40, 80]
+    return _dataset_k_sweep(
+        "fig13", "Tax: runtime vs k", "tax", ks, ("ctane", "fastcfd")
+    )
+
+
+def figure14(ks: Optional[Sequence[int]] = None) -> ExperimentResult:
+    """Fig. 14 — WBC: number of CFDs versus ``k``."""
+    ks = list(ks) if ks is not None else [40, 80, 120, 160]
+    return _dataset_k_sweep(
+        "fig14", "Wisconsin breast cancer: #CFDs vs k", "wbc", ks, ("fastcfd",)
+    )
+
+
+def figure15(ks: Optional[Sequence[int]] = None) -> ExperimentResult:
+    """Fig. 15 — Chess: number of CFDs versus ``k``."""
+    ks = list(ks) if ks is not None else [16, 32, 64, 96]
+    return _dataset_k_sweep(
+        "fig15", "Chess (KRK): #CFDs vs k", "chess", ks, ("fastcfd",)
+    )
+
+
+def figure16(ks: Optional[Sequence[int]] = None) -> ExperimentResult:
+    """Fig. 16 — Tax: number of CFDs versus ``k``."""
+    ks = list(ks) if ks is not None else [10, 20, 40, 80]
+    return _dataset_k_sweep(
+        "fig16", "Tax: #CFDs vs k", "tax", ks, ("fastcfd",)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# ablations (design choices called out in DESIGN.md)
+# ---------------------------------------------------------------------- #
+def ablation_closed_sets(
+    sizes: Optional[Sequence[int]] = None,
+    *,
+    arity: int = 7,
+    cf: float = 0.7,
+    support_ratio: float = 0.01,
+    seed: int = 42,
+) -> ExperimentResult:
+    """E-A1 — closed-item-set difference sets (FastCFD) vs pairwise (NaiveFast).
+
+    The paper reports a 5-10x improvement from the closed-item-set pruning,
+    growing with DBSIZE; this ablation measures the same ratio.
+    """
+    sizes = list(sizes) if sizes is not None else [scaled(s) for s in (500, 1000, 2000)]
+    result = ExperimentResult(
+        figure="ablation-closed-sets",
+        description="FastCFD difference-set provider ablation (closed vs partition)",
+    )
+    for size in sizes:
+        relation = generate_tax(db_size=size, arity=arity, cf=cf, seed=seed)
+        k = max(2, int(round(support_ratio * size)))
+        for run in run_algorithms(
+            "ablation-closed-sets",
+            relation,
+            k,
+            {"dbsize": size, "k": k},
+            algorithms=("naivefast", "fastcfd"),
+        ):
+            result.add(run)
+    return result
+
+
+def ablation_ctane_pruning(
+    sizes: Optional[Sequence[int]] = None,
+    *,
+    arity: int = 7,
+    cf: float = 0.7,
+    support_ratio: float = 0.02,
+    seed: int = 42,
+) -> ExperimentResult:
+    """E-A2 — CTANE with and without the empty-``C⁺`` element pruning."""
+    sizes = list(sizes) if sizes is not None else [scaled(s, minimum=50) for s in (300, 600)]
+    result = ExperimentResult(
+        figure="ablation-ctane-pruning",
+        description="CTANE C+ pruning ablation (pruning on vs off)",
+    )
+    for size in sizes:
+        relation = generate_tax(db_size=size, arity=arity, cf=cf, seed=seed)
+        k = max(2, int(round(support_ratio * size)))
+        for label, pruning in (("ctane", True), ("ctane(no-pruning)", False)):
+            start = time.perf_counter()
+            ctane = CTane(relation, k, cplus_pruning=pruning)
+            cfds = ctane.discover()
+            elapsed = time.perf_counter() - start
+            result.add(
+                AlgorithmRun(
+                    figure="ablation-ctane-pruning",
+                    algorithm=label,
+                    parameters={"dbsize": size, "k": k},
+                    seconds=elapsed,
+                    n_cfds=len(cfds),
+                    n_constant=sum(1 for c in cfds if c.is_constant),
+                    n_variable=sum(1 for c in cfds if c.is_variable),
+                )
+            )
+    return result
+
+
+def ablation_constant_delegation(
+    sizes: Optional[Sequence[int]] = None,
+    *,
+    arity: int = 7,
+    cf: float = 0.7,
+    support_ratio: float = 0.01,
+    seed: int = 42,
+) -> ExperimentResult:
+    """E-A3 — FastCFD constant-CFD handling: CFDMiner delegation vs inline.
+
+    Delegating constant CFDs to CFDMiner (and reusing its closed item sets) is
+    the optimisation Section 5.5 recommends; the inline mode discovers them
+    through FindMin's base case (a) instead.
+    """
+    sizes = list(sizes) if sizes is not None else [scaled(s) for s in (500, 1000, 2000)]
+    result = ExperimentResult(
+        figure="ablation-constant-delegation",
+        description="FastCFD constant-CFD discovery ablation (cfdminer vs inline)",
+    )
+    for size in sizes:
+        relation = generate_tax(db_size=size, arity=arity, cf=cf, seed=seed)
+        k = max(2, int(round(support_ratio * size)))
+        for label, mode in (("fastcfd(cfdminer)", "cfdminer"), ("fastcfd(inline)", "inline")):
+            start = time.perf_counter()
+            outcome = discover(
+                relation, k, algorithm="fastcfd", constant_cfds=mode
+            )
+            elapsed = time.perf_counter() - start
+            counts = outcome.counts()
+            result.add(
+                AlgorithmRun(
+                    figure="ablation-constant-delegation",
+                    algorithm=label,
+                    parameters={"dbsize": size, "k": k},
+                    seconds=elapsed,
+                    n_cfds=counts["total"],
+                    n_constant=counts["constant"],
+                    n_variable=counts["variable"],
+                )
+            )
+    return result
+
+
+__all__ = [
+    "CTANE_MAX_ARITY",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "ablation_closed_sets",
+    "ablation_ctane_pruning",
+    "ablation_constant_delegation",
+]

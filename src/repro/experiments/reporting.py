@@ -1,0 +1,44 @@
+"""Fixed-width table rendering for experiment output.
+
+The benchmarks print the series each paper figure plots; this module renders
+lists of dictionaries as aligned text tables so the output is readable both on
+a terminal and inside EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] = None) -> str:
+    """Render ``rows`` (list of dicts) as an aligned, pipe-separated table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered = [[str(row.get(column, "")) for column in columns] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in rendered:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    header = " | ".join(column.ljust(widths[j]) for j, column in enumerate(columns))
+    rule = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+        for row in rendered
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def format_series(series: Iterable[tuple], x_label: str, y_label: str) -> str:
+    """Render an ``(x, y)`` series as a two-column table."""
+    rows = [{x_label: x, y_label: y} for x, y in series]
+    return format_table(rows, columns=[x_label, y_label])
+
+
+__all__ = ["format_table", "format_series"]

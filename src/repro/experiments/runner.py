@@ -1,0 +1,142 @@
+"""Timing runner shared by every figure experiment.
+
+The paper reports response times of CFDMiner, CTANE, NaiveFast and FastCFD
+under parameter sweeps.  :func:`run_algorithms` times the requested algorithms
+on one relation and packages the measurements (plus CFD counts) into
+:class:`AlgorithmRun` records; :class:`ExperimentResult` collects the records
+of a whole sweep and renders them as the table each benchmark prints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.discovery import discover
+from repro.experiments.reporting import format_table
+from repro.relational.relation import Relation
+
+#: The algorithm line-up of the scalability figures (Fig. 5, 7, 8, 10).
+DEFAULT_ALGORITHMS = ("cfdminer", "ctane", "naivefast", "fastcfd")
+
+
+@dataclass
+class AlgorithmRun:
+    """One timed discovery run (one point of one curve of one figure)."""
+
+    figure: str
+    algorithm: str
+    parameters: Dict[str, object]
+    seconds: float
+    n_cfds: int
+    n_constant: int
+    n_variable: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to a dictionary for table rendering."""
+        row: Dict[str, object] = {"algorithm": self.algorithm}
+        row.update(self.parameters)
+        row.update(
+            {
+                "seconds": round(self.seconds, 4),
+                "cfds": self.n_cfds,
+                "constant": self.n_constant,
+                "variable": self.n_variable,
+            }
+        )
+        return row
+
+
+@dataclass
+class ExperimentResult:
+    """All runs of one experiment (one paper figure or ablation)."""
+
+    figure: str
+    description: str
+    runs: List[AlgorithmRun] = field(default_factory=list)
+
+    def add(self, run: AlgorithmRun) -> None:
+        self.runs.append(run)
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [run.as_row() for run in self.runs]
+
+    def series(self, algorithm: str, x_key: str, y_key: str = "seconds") -> List[tuple]:
+        """The ``(x, y)`` series of one algorithm (what the figure plots)."""
+        return [
+            (run.parameters.get(x_key), run.as_row()[y_key])
+            for run in self.runs
+            if run.algorithm == algorithm
+        ]
+
+    def algorithms(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for run in self.runs:
+            seen.setdefault(run.algorithm, None)
+        return list(seen)
+
+    def to_table(self) -> str:
+        """Fixed-width rendering of all runs (printed by the benchmarks)."""
+        header = f"== {self.figure}: {self.description} =="
+        return header + "\n" + format_table(self.rows())
+
+
+def run_algorithms(
+    figure: str,
+    relation: Relation,
+    min_support: int,
+    parameters: Dict[str, object],
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    *,
+    algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
+    labels: Optional[Dict[str, str]] = None,
+) -> List[AlgorithmRun]:
+    """Time each algorithm on ``relation`` and return one record per run.
+
+    Parameters
+    ----------
+    figure:
+        Figure identifier (e.g. ``"fig5"``), stored on each record.
+    relation, min_support:
+        The workload.
+    parameters:
+        Sweep coordinates (e.g. ``{"dbsize": 2000, "k": 2}``) copied onto every
+        record.
+    algorithms:
+        Which algorithms to run (names accepted by
+        :func:`repro.core.discovery.discover`).
+    algorithm_options:
+        Optional per-algorithm keyword arguments.
+    labels:
+        Optional display names (e.g. ``{"cfdminer": "CFDMiner(2)"}``).
+    """
+    algorithm_options = algorithm_options or {}
+    labels = labels or {}
+    records: List[AlgorithmRun] = []
+    for algorithm in algorithms:
+        options = dict(algorithm_options.get(algorithm, {}))
+        start = time.perf_counter()
+        result = discover(relation, min_support, algorithm=algorithm, **options)
+        elapsed = time.perf_counter() - start
+        counts = result.counts()
+        records.append(
+            AlgorithmRun(
+                figure=figure,
+                algorithm=labels.get(algorithm, algorithm),
+                parameters=dict(parameters),
+                seconds=elapsed,
+                n_cfds=counts["total"],
+                n_constant=counts["constant"],
+                n_variable=counts["variable"],
+            )
+        )
+    return records
+
+
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "AlgorithmRun",
+    "ExperimentResult",
+    "run_algorithms",
+]

@@ -1,0 +1,40 @@
+"""Classical FD discovery substrate (TANE and FastFD).
+
+CFDs generalise FDs, and the paper's CTANE / FastCFD algorithms are direct
+extensions of TANE [13] and FastFD [14].  This subpackage implements the two
+classical algorithms (they also serve as baselines and as the ``tp = (_,…,_)``
+special case used in tests), plus the machinery they share with their CFD
+extensions:
+
+* :mod:`repro.fd.difference_sets` — agree/difference sets and their minimal
+  elements (used by FastFD and FastCFD/NaiveFast);
+* :mod:`repro.fd.covers` — minimal covers of set families (hypergraph
+  transversals) with the FastFD depth-first enumeration;
+* :mod:`repro.fd.tane` — levelwise FD discovery with partitions and C+ sets;
+* :mod:`repro.fd.fastfd` — depth-first FD discovery.
+"""
+
+from repro.fd.fd import FD, fd_error, fd_holds, minimal_fds_bruteforce
+from repro.fd.difference_sets import (
+    difference_sets,
+    difference_sets_wrt,
+    minimal_sets,
+)
+from repro.fd.covers import covers, is_minimal_cover, minimal_covers
+from repro.fd.tane import Tane
+from repro.fd.fastfd import FastFD as FastFDAlgorithm
+
+__all__ = [
+    "FD",
+    "fd_holds",
+    "fd_error",
+    "minimal_fds_bruteforce",
+    "difference_sets",
+    "difference_sets_wrt",
+    "minimal_sets",
+    "covers",
+    "is_minimal_cover",
+    "minimal_covers",
+    "Tane",
+    "FastFDAlgorithm",
+]

@@ -1,0 +1,114 @@
+"""Minimal covers of set families (hypergraph transversals).
+
+A set of attributes ``Z`` *covers* a family ``F`` of attribute sets iff ``Z``
+intersects every member of ``F``; ``Z`` is a *minimal cover* if no proper
+subset of ``Z`` covers ``F`` (Section 5.1 of the paper).  FastFD — and its CFD
+extension FastCFD — reduce dependency discovery to enumerating minimal covers
+of minimal difference sets, which is done here with the depth-first,
+left-to-right enumeration over an attribute ordering described in the paper,
+optionally with the dynamic greedy reordering of Section 5.6.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+AttributeSet = FrozenSet[int]
+
+
+def covers(candidate: Iterable[int], family: Iterable[AttributeSet]) -> bool:
+    """``True`` iff ``candidate`` intersects every member of ``family``."""
+    candidate = set(candidate)
+    return all(candidate & member for member in family)
+
+
+def is_minimal_cover(candidate: Iterable[int], family: Iterable[AttributeSet]) -> bool:
+    """``True`` iff ``candidate`` covers ``family`` and no proper subset does.
+
+    Because covering is monotone it suffices to test single-element removals.
+    """
+    candidate = set(candidate)
+    family = list(family)
+    if not covers(candidate, family):
+        return False
+    for element in candidate:
+        if covers(candidate - {element}, family):
+            return False
+    return True
+
+
+def _order_by_cover_count(
+    attributes: Sequence[int], family: Sequence[AttributeSet]
+) -> List[int]:
+    """Attributes ordered by how many family members they cover (descending).
+
+    Ties are broken by attribute index so the enumeration stays deterministic.
+    This is the greedy cost model FastFD/FastCFD use for dynamic reordering.
+    """
+    counts = {a: 0 for a in attributes}
+    for member in family:
+        for attribute in member:
+            if attribute in counts:
+                counts[attribute] += 1
+    return sorted(attributes, key=lambda a: (-counts[a], a))
+
+
+def minimal_covers(
+    family: Iterable[AttributeSet],
+    attributes: Sequence[int],
+    *,
+    dynamic_reordering: bool = True,
+) -> Iterator[FrozenSet[int]]:
+    """Enumerate all minimal covers of ``family`` using ``attributes``.
+
+    Parameters
+    ----------
+    family:
+        The sets to cover (typically minimal difference sets).
+    attributes:
+        The candidate attributes (the paper's ``attr(R) \\ {A}`` minus the
+        constant-pattern attributes).
+    dynamic_reordering:
+        Reorder the remaining attributes greedily at every branch (Section
+        5.6).  Turning it off gives the plain left-to-right enumeration.
+
+    Yields
+    ------
+    frozenset of int
+        Each minimal cover exactly once.
+
+    Notes
+    -----
+    * An empty family is covered by the empty set only (yields ``frozenset()``).
+    * If some member of the family is empty no cover exists and nothing is
+      yielded.
+    """
+    family = [frozenset(member) for member in family]
+    if any(not member for member in family):
+        return
+    seen: Set[FrozenSet[int]] = set()
+
+    def recurse(current: Tuple[int, ...], remaining: List[AttributeSet],
+                available: Sequence[int]) -> Iterator[FrozenSet[int]]:
+        if not remaining:
+            candidate = frozenset(current)
+            if candidate not in seen and is_minimal_cover(candidate, family):
+                seen.add(candidate)
+                yield candidate
+            return
+        if not available:
+            return
+        order = (
+            _order_by_cover_count(available, remaining)
+            if dynamic_reordering
+            else list(available)
+        )
+        for position, attribute in enumerate(order):
+            next_remaining = [m for m in remaining if attribute not in m]
+            next_available = order[position + 1:]
+            yield from recurse(current + (attribute,), next_remaining, next_available)
+
+    yield from recurse((), family, list(attributes))
+
+
+__all__ = ["covers", "is_minimal_cover", "minimal_covers"]

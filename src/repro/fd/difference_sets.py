@@ -1,0 +1,118 @@
+"""Difference sets (Section 5.1 of the paper).
+
+For tuples ``t1, t2`` the *difference set* ``D(t1, t2)`` is the set of
+attributes on which they disagree.  FastFD and FastCFD work with the
+difference sets *with respect to a RHS attribute* ``A``:
+
+``D_A(r) = { D(t1, t2) \\ {A} : t1, t2 ∈ r, A ∈ D(t1, t2) }``
+
+and, crucially, with its *minimal* elements ``Dᵐ_A(r)``: a set of attributes
+``Y`` covers ``Dᵐ_A(r)`` iff the FD/CFD with LHS ``Y`` (and wildcards) holds.
+
+The functions here operate on encoded integer matrices (optionally restricted
+to a row subset) and use bitmask tricks so that the inner pairwise loop stays
+inside numpy.  The complexity is inherently quadratic in the number of
+distinct rows — that is exactly the behaviour the paper observes for
+NaiveFast, and the closed-item-set based provider in
+:mod:`repro.core.fastcfd` exists to avoid it.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+AttributeSet = FrozenSet[int]
+
+
+def _bitmask_to_attrs(mask: int, exclude: Optional[int] = None) -> AttributeSet:
+    """Decode a difference bitmask into a frozenset of attribute indices."""
+    attrs = []
+    index = 0
+    while mask:
+        if mask & 1 and index != exclude:
+            attrs.append(index)
+        mask >>= 1
+        index += 1
+    return frozenset(attrs)
+
+
+def _pairwise_difference_bitmasks(
+    matrix: np.ndarray, require_attr: Optional[int] = None
+) -> Set[int]:
+    """Distinct difference bitmasks over all row pairs of ``matrix``.
+
+    When ``require_attr`` is given only pairs differing on that attribute are
+    reported.  Duplicate rows are removed first; identical rows produce the
+    empty difference set which never matters for covers.
+    """
+    if matrix.shape[0] == 0:
+        return set()
+    unique = np.unique(matrix, axis=0)
+    n, arity = unique.shape
+    if arity > 62:
+        raise ValueError("bitmask difference sets support at most 62 attributes")
+    weights = (np.int64(1) << np.arange(arity, dtype=np.int64))
+    masks: Set[int] = set()
+    for i in range(n - 1):
+        diffs = unique[i + 1:] != unique[i]
+        if require_attr is not None:
+            keep = diffs[:, require_attr]
+            if not keep.any():
+                continue
+            diffs = diffs[keep]
+        codes = diffs.astype(np.int64) @ weights
+        masks.update(int(code) for code in np.unique(codes))
+    masks.discard(0)
+    return masks
+
+
+def difference_sets(
+    matrix: np.ndarray, rows: Optional[Sequence[int]] = None
+) -> Set[AttributeSet]:
+    """``D(r)``: the distinct non-empty difference sets over all tuple pairs."""
+    if rows is not None:
+        matrix = matrix[np.asarray(rows, dtype=np.int64), :]
+    masks = _pairwise_difference_bitmasks(matrix)
+    return {_bitmask_to_attrs(mask) for mask in masks}
+
+
+def difference_sets_wrt(
+    matrix: np.ndarray,
+    rhs: int,
+    rows: Optional[Sequence[int]] = None,
+) -> Set[AttributeSet]:
+    """``D_A(r)``: difference sets of pairs disagreeing on ``rhs``, with ``rhs`` removed."""
+    if rows is not None:
+        matrix = matrix[np.asarray(rows, dtype=np.int64), :]
+    masks = _pairwise_difference_bitmasks(matrix, require_attr=rhs)
+    return {_bitmask_to_attrs(mask, exclude=rhs) for mask in masks}
+
+
+def minimal_sets(family: Iterable[AttributeSet]) -> Set[AttributeSet]:
+    """The ⊆-minimal members of a family of attribute sets."""
+    ordered = sorted(set(family), key=len)
+    minimal: List[AttributeSet] = []
+    for candidate in ordered:
+        if not any(kept <= candidate for kept in minimal):
+            minimal.append(candidate)
+    return set(minimal)
+
+
+def minimal_difference_sets_wrt(
+    matrix: np.ndarray,
+    rhs: int,
+    rows: Optional[Sequence[int]] = None,
+) -> Set[AttributeSet]:
+    """``Dᵐ_A(r)``: the minimal difference sets with respect to ``rhs``."""
+    return minimal_sets(difference_sets_wrt(matrix, rhs, rows))
+
+
+__all__ = [
+    "AttributeSet",
+    "difference_sets",
+    "difference_sets_wrt",
+    "minimal_sets",
+    "minimal_difference_sets_wrt",
+]

@@ -1,0 +1,103 @@
+"""Plain functional dependencies.
+
+The :class:`FD` value object, satisfaction, the ``g3`` error measure used in
+the approximate-FD literature (referenced by the paper when contrasting
+frequent CFDs with approximate FDs, Section 2.2.2) and a brute-force minimal
+FD discoverer used as the oracle in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
+
+from repro.exceptions import DependencyError
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``X → A`` with a single RHS attribute."""
+
+    lhs: Tuple[str, ...]
+    rhs: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", tuple(sorted(self.lhs)))
+        if len(set(self.lhs)) != len(self.lhs):
+            raise DependencyError(f"duplicate LHS attributes: {self.lhs}")
+
+    @property
+    def is_trivial(self) -> bool:
+        """``True`` iff the RHS attribute is part of the LHS."""
+        return self.rhs in self.lhs
+
+    def __str__(self) -> str:
+        return f"[{', '.join(self.lhs)}] -> {self.rhs}"
+
+
+def fd_holds(relation: Relation, fd: FD) -> bool:
+    """``True`` iff the FD holds exactly on the relation."""
+    seen: Dict[Tuple[Hashable, ...], Hashable] = {}
+    lhs_columns = [relation.column(a) for a in fd.lhs]
+    rhs_column = relation.column(fd.rhs)
+    for row in range(relation.n_rows):
+        key = tuple(column[row] for column in lhs_columns)
+        value = rhs_column[row]
+        previous = seen.setdefault(key, value)
+        if previous != value:
+            return False
+    return True
+
+
+def fd_error(relation: Relation, fd: FD) -> float:
+    """The ``g3`` error: the fraction of tuples to delete for the FD to hold.
+
+    ``g3(X → A) = 1 - (Σ_groups max RHS-value count) / |r|``; an exact FD has
+    error 0.
+    """
+    if relation.n_rows == 0:
+        return 0.0
+    groups: Dict[Tuple[Hashable, ...], Dict[Hashable, int]] = {}
+    lhs_columns = [relation.column(a) for a in fd.lhs]
+    rhs_column = relation.column(fd.rhs)
+    for row in range(relation.n_rows):
+        key = tuple(column[row] for column in lhs_columns)
+        counts = groups.setdefault(key, {})
+        value = rhs_column[row]
+        counts[value] = counts.get(value, 0) + 1
+    keep = sum(max(counts.values()) for counts in groups.values())
+    return 1.0 - keep / relation.n_rows
+
+
+def is_minimal_fd(relation: Relation, fd: FD) -> bool:
+    """Nontrivial, satisfied and left-reduced (no proper LHS subset works)."""
+    if fd.is_trivial or not fd_holds(relation, fd):
+        return False
+    for attribute in fd.lhs:
+        smaller = FD(tuple(a for a in fd.lhs if a != attribute), fd.rhs)
+        if fd_holds(relation, smaller):
+            return False
+    return True
+
+
+def minimal_fds_bruteforce(relation: Relation, max_lhs: int = None) -> Set[FD]:
+    """All minimal FDs of a relation by definition-level enumeration.
+
+    Exponential in the arity; intended for small relations in tests.
+    """
+    attributes = relation.attributes
+    limit = len(attributes) - 1 if max_lhs is None else max_lhs
+    result: Set[FD] = set()
+    for rhs in attributes:
+        others = [a for a in attributes if a != rhs]
+        for size in range(0, limit + 1):
+            for lhs in combinations(others, size):
+                fd = FD(lhs, rhs)
+                if is_minimal_fd(relation, fd):
+                    result.add(fd)
+    return result
+
+
+__all__ = ["FD", "fd_holds", "fd_error", "is_minimal_fd", "minimal_fds_bruteforce"]

@@ -1,0 +1,28 @@
+"""Free / closed item-set mining substrate (Section 3.1 of the paper).
+
+An *item* is an ``(attribute, value)`` pair; an *item set* ``(X, tp)`` is a
+constant pattern over a set of attributes.  The paper's CFDMiner and the
+FastCFD pruning optimisation both consume the output of a miner that produces
+all k-frequent **closed** item sets together with their **free** generators
+(the GCGROWTH algorithm of reference [26]).  :func:`mine_free_and_closed`
+produces exactly that artefact.
+"""
+
+from repro.itemsets.itemset import Item, ItemSetView, decode_items, encode_items
+from repro.itemsets.mining import (
+    FreeItemSet,
+    FreeClosedResult,
+    mine_free_and_closed,
+    closed_itemsets,
+)
+
+__all__ = [
+    "Item",
+    "ItemSetView",
+    "decode_items",
+    "encode_items",
+    "FreeItemSet",
+    "FreeClosedResult",
+    "mine_free_and_closed",
+    "closed_itemsets",
+]

@@ -1,0 +1,92 @@
+"""Decoded item-set views.
+
+Internally the miner works with *encoded items* — ``(attribute_index,
+value_code)`` pairs — for speed.  This module provides the decoded,
+user-facing view (:class:`Item`, :class:`ItemSetView`) plus the translation
+helpers between the two representations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Tuple
+
+from repro.relational.relation import Relation
+
+EncodedItem = Tuple[int, int]
+EncodedItemSet = FrozenSet[EncodedItem]
+
+
+@dataclass(frozen=True, order=True)
+class Item:
+    """A decoded item: an attribute name together with a constant value."""
+
+    attribute: str
+    value: Hashable
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.attribute}={self.value})"
+
+
+@dataclass(frozen=True)
+class ItemSetView:
+    """A decoded item set ``(X, tp)`` with its support size."""
+
+    items: Tuple[Item, ...]
+    support: int
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attributes of the item set, sorted."""
+        return tuple(sorted(item.attribute for item in self.items))
+
+    def pattern(self) -> Dict[str, Hashable]:
+        """The item set as an ``{attribute: value}`` constant pattern."""
+        return {item.attribute: item.value for item in self.items}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(item) for item in sorted(self.items))
+        return f"{{{inner}}} (support={self.support})"
+
+
+def encode_items(relation: Relation, pattern: Dict[str, Hashable]) -> EncodedItemSet:
+    """Encode an ``{attribute: value}`` pattern to ``(index, code)`` items.
+
+    Values outside the active domain encode to ``-1`` codes, which never match
+    any tuple (support is empty).
+    """
+    encoding = relation.encoding
+    schema = relation.schema
+    items = []
+    for attribute, value in pattern.items():
+        index = schema.index_of(attribute)
+        items.append((index, encoding.encode_value(index, value)))
+    return frozenset(items)
+
+
+def decode_items(
+    relation: Relation, items: Iterable[EncodedItem], support: int = 0
+) -> ItemSetView:
+    """Decode ``(index, code)`` items back to an :class:`ItemSetView`."""
+    encoding = relation.encoding
+    schema = relation.schema
+    decoded = tuple(
+        sorted(
+            Item(
+                attribute=schema.name_of(index),
+                value=encoding.decode_value(index, code),
+            )
+            for index, code in items
+        )
+    )
+    return ItemSetView(items=decoded, support=support)
+
+
+__all__ = [
+    "EncodedItem",
+    "EncodedItemSet",
+    "Item",
+    "ItemSetView",
+    "encode_items",
+    "decode_items",
+]

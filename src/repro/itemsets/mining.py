@@ -1,0 +1,337 @@
+"""Mining k-frequent free and closed item sets with the C2F mapping.
+
+This module plays the role of the GCGROWTH algorithm [26] used by the paper:
+given a relation and a support threshold ``k`` it produces
+
+* every k-frequent **free** item set ``(X, tp)`` — no proper subset has the
+  same support — together with its tid-list,
+* its **closure** ``clo(X, tp)`` — the unique maximal item set with the same
+  support, and
+* the **C2F** mapping from each k-frequent closed item set to the free item
+  sets that generate it,
+
+which is exactly the artefact CFDMiner consumes (Section 3.2) and which
+FastCFD's closed-set-based difference-set provider consumes (Section 5.5).
+
+The implementation is a levelwise (Apriori-style) enumeration of free item
+sets.  Freeness is anti-monotone — every subset of a free set is free — and
+support is anti-monotone, so candidate generation by prefix join over the
+previous level is sound and complete.  Tid-lists are kept as sorted numpy
+arrays; candidate supports are tid-list intersections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DiscoveryError
+from repro.itemsets.itemset import EncodedItem, EncodedItemSet
+from repro.relational.relation import Relation
+
+TidArray = np.ndarray
+
+
+@dataclass(frozen=True)
+class FreeItemSet:
+    """A k-frequent free item set, its tid-list and its closure."""
+
+    items: EncodedItemSet
+    tids: TidArray
+    closure: EncodedItemSet
+
+    @property
+    def support(self) -> int:
+        """Number of supporting tuples."""
+        return int(self.tids.size)
+
+    @property
+    def attributes(self) -> FrozenSet[int]:
+        """Attribute indices of the item set."""
+        return frozenset(index for index, _ in self.items)
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
+
+
+class FreeClosedResult:
+    """The output of :func:`mine_free_and_closed`.
+
+    Attributes
+    ----------
+    free_sets:
+        Mapping from an encoded free item set to its :class:`FreeItemSet`.
+    closed_to_free:
+        The C2F mapping: encoded closed item set → list of its free item sets.
+    closed_supports:
+        Support size of each closed item set.
+    min_support:
+        The threshold the mining ran with.
+    n_rows:
+        Number of tuples of the mined relation.
+    """
+
+    def __init__(
+        self,
+        free_sets: Dict[EncodedItemSet, FreeItemSet],
+        min_support: int,
+        n_rows: int,
+    ):
+        self.free_sets = free_sets
+        self.min_support = min_support
+        self.n_rows = n_rows
+        self.closed_to_free: Dict[EncodedItemSet, List[FreeItemSet]] = {}
+        self.closed_supports: Dict[EncodedItemSet, int] = {}
+        for free in free_sets.values():
+            self.closed_to_free.setdefault(free.closure, []).append(free)
+            self.closed_supports[free.closure] = free.support
+
+    # ------------------------------------------------------------------ #
+    def closed_sets(self) -> List[EncodedItemSet]:
+        """All k-frequent closed item sets."""
+        return list(self.closed_to_free.keys())
+
+    def free_sets_sorted(self) -> List[FreeItemSet]:
+        """Free item sets in ascending size order (the paper's list ``L``)."""
+        return sorted(
+            self.free_sets.values(),
+            key=lambda free: (free.size, sorted(free.items)),
+        )
+
+    def is_free(self, items: EncodedItemSet) -> bool:
+        """``True`` iff ``items`` was mined as a k-frequent free item set."""
+        return frozenset(items) in self.free_sets
+
+    def tids_of(self, items: EncodedItemSet) -> Optional[TidArray]:
+        """Tid-list of a mined free item set, or ``None`` if not mined."""
+        free = self.free_sets.get(frozenset(items))
+        return None if free is None else free.tids
+
+    def __len__(self) -> int:
+        return len(self.free_sets)
+
+
+# ---------------------------------------------------------------------- #
+# mining
+# ---------------------------------------------------------------------- #
+def _closure_of(
+    matrix: np.ndarray, tids: TidArray, base_items: EncodedItemSet
+) -> EncodedItemSet:
+    """The closure of an item set: items shared by every supporting tuple."""
+    closure = set(base_items)
+    if tids.size == 0:
+        return frozenset(closure)
+    sub = matrix[tids, :]
+    for attribute in range(matrix.shape[1]):
+        column = sub[:, attribute]
+        first = column[0]
+        if (column == first).all():
+            closure.add((attribute, int(first)))
+    return frozenset(closure)
+
+
+def mine_free_and_closed(
+    relation: Relation,
+    min_support: int = 1,
+    *,
+    max_size: Optional[int] = None,
+) -> FreeClosedResult:
+    """Mine all ``min_support``-frequent free item sets and their closures.
+
+    Parameters
+    ----------
+    relation:
+        The relation to mine.
+    min_support:
+        The paper's threshold ``k`` (at least 1).
+    max_size:
+        Optional cap on the number of items per free set (useful to bound
+        work on very wide relations); ``None`` means no cap.
+
+    Returns
+    -------
+    FreeClosedResult
+        Free item sets (with tid-lists and closures) and the C2F mapping.
+    """
+    if min_support < 1:
+        raise DiscoveryError("min_support must be at least 1")
+    matrix = relation.encoded_matrix()
+    n_rows, arity = matrix.shape
+
+    free_sets: Dict[EncodedItemSet, FreeItemSet] = {}
+    all_tids = np.arange(n_rows, dtype=np.int64)
+
+    # The empty item set is always free; its closure captures constant columns.
+    if n_rows >= min_support:
+        empty: EncodedItemSet = frozenset()
+        free_sets[empty] = FreeItemSet(
+            items=empty,
+            tids=all_tids,
+            closure=_closure_of(matrix, all_tids, empty),
+        )
+
+    # Level 1: single items.
+    level: Dict[EncodedItemSet, TidArray] = {}
+    single_tids: Dict[EncodedItem, TidArray] = {}
+    free_singletons: List[EncodedItem] = []
+    for attribute in range(arity):
+        column = matrix[:, attribute]
+        for code in np.unique(column):
+            tids = np.nonzero(column == code)[0].astype(np.int64)
+            if tids.size < min_support:
+                continue
+            item: EncodedItem = (attribute, int(code))
+            single_tids[item] = tids
+            if tids.size < n_rows:  # otherwise the empty set has equal support
+                itemset = frozenset([item])
+                level[itemset] = tids
+                free_singletons.append(item)
+                free_sets[itemset] = FreeItemSet(
+                    items=itemset,
+                    tids=tids,
+                    closure=_closure_of(matrix, tids, itemset),
+                )
+
+    def register(candidate: EncodedItemSet, tids: TidArray) -> None:
+        free_sets[candidate] = FreeItemSet(
+            items=candidate,
+            tids=tids,
+            closure=_closure_of(matrix, tids, candidate),
+        )
+
+    # Level 2: rather than joining every pair of frequent items (quadratic in
+    # the number of items), count co-occurrences transaction by transaction —
+    # only item pairs that actually appear together in at least min_support
+    # rows can be frequent.
+    next_level: Dict[EncodedItemSet, TidArray] = {}
+    if max_size is None or max_size >= 2:
+        free_singleton_set = set(free_singletons)
+        pair_counts: Dict[Tuple[EncodedItem, EncodedItem], int] = {}
+        row_items: List[EncodedItem] = []
+        for row in range(n_rows):
+            row_items = [
+                (attribute, int(matrix[row, attribute]))
+                for attribute in range(arity)
+            ]
+            row_items = [item for item in row_items if item in free_singleton_set]
+            for i, first in enumerate(row_items):
+                for second in row_items[i + 1:]:
+                    key = (first, second) if first <= second else (second, first)
+                    pair_counts[key] = pair_counts.get(key, 0) + 1
+        for (first, second), count in pair_counts.items():
+            if count < min_support:
+                continue
+            first_tids = single_tids[first]
+            second_tids = single_tids[second]
+            if count == first_tids.size or count == second_tids.size:
+                continue  # not free: same support as an immediate subset
+            tids = np.intersect1d(first_tids, second_tids, assume_unique=True)
+            candidate = frozenset((first, second))
+            next_level[candidate] = tids
+            register(candidate, tids)
+    level = next_level
+
+    # Levels >= 3: classical prefix join restricted to buckets sharing the
+    # first (size - 1) items, which keeps the join quadratic only within
+    # buckets rather than across the whole level.
+    size = 2
+    while level and (max_size is None or size < max_size):
+        next_level = {}
+        buckets: Dict[Tuple[EncodedItem, ...], List[Tuple[EncodedItem, ...]]] = {}
+        for itemset in level:
+            ordered = tuple(sorted(itemset))
+            buckets.setdefault(ordered[:-1], []).append(ordered)
+        for prefix, members in buckets.items():
+            members.sort()
+            for i, left_sorted in enumerate(members):
+                left = frozenset(left_sorted)
+                for right_sorted in members[i + 1:]:
+                    new_item = right_sorted[-1]
+                    if any(attr == new_item[0] for attr, _ in left):
+                        continue  # two values on the same attribute never co-occur
+                    candidate = frozenset(left | {new_item})
+                    if candidate in next_level or candidate in free_sets:
+                        continue
+                    # Downward closure: every immediate subset must be a known
+                    # frequent free set with strictly larger support.
+                    subset_supports = []
+                    is_candidate = True
+                    for item in candidate:
+                        subset = candidate - {item}
+                        known = level.get(subset)
+                        if known is None:
+                            is_candidate = False
+                            break
+                        subset_supports.append(known.size)
+                    if not is_candidate:
+                        continue
+                    tids = np.intersect1d(
+                        level[left], single_tids[new_item], assume_unique=True
+                    )
+                    if tids.size < min_support:
+                        continue
+                    if any(tids.size == support for support in subset_supports):
+                        continue  # not free: same support as an immediate subset
+                    next_level[candidate] = tids
+                    register(candidate, tids)
+        level = next_level
+        size += 1
+
+    return FreeClosedResult(free_sets, min_support=min_support, n_rows=n_rows)
+
+
+def closed_itemsets(
+    relation: Relation, min_support: int = 2
+) -> List[Tuple[EncodedItemSet, int]]:
+    """All ``min_support``-frequent closed item sets with their support sizes.
+
+    This is the ``Closed₂(r)`` collection used by FastCFD's difference-set
+    optimisation (Section 5.5); it is derived from the free-set mining result
+    (every frequent closed set is the closure of a frequent free set).
+    """
+    result = mine_free_and_closed(relation, min_support=min_support)
+    return [
+        (closed, result.closed_supports[closed]) for closed in result.closed_sets()
+    ]
+
+
+def itemset_support(relation: Relation, items: Iterable[EncodedItem]) -> TidArray:
+    """Tid-list of an arbitrary encoded item set (independent of the miner)."""
+    matrix = relation.encoded_matrix()
+    mask = np.ones(matrix.shape[0], dtype=bool)
+    for attribute, code in items:
+        mask &= matrix[:, attribute] == code
+    return np.nonzero(mask)[0].astype(np.int64)
+
+
+def is_free_itemset(relation: Relation, items: EncodedItemSet) -> bool:
+    """Definition-level freeness check (used by tests, not by the miner)."""
+    items = frozenset(items)
+    support = itemset_support(relation, items).size
+    for item in items:
+        if itemset_support(relation, items - {item}).size == support:
+            return False
+    return True
+
+
+def is_closed_itemset(relation: Relation, items: EncodedItemSet) -> bool:
+    """Definition-level closedness check (used by tests, not by the miner)."""
+    items = frozenset(items)
+    tids = itemset_support(relation, items)
+    closure = _closure_of(relation.encoded_matrix(), tids, items)
+    return closure == items
+
+
+__all__ = [
+    "FreeItemSet",
+    "FreeClosedResult",
+    "mine_free_and_closed",
+    "closed_itemsets",
+    "itemset_support",
+    "is_free_itemset",
+    "is_closed_itemset",
+]

@@ -1,0 +1,38 @@
+"""Relational substrate: schemas, relations, encodings and partitions.
+
+This subpackage provides the storage layer shared by every discovery
+algorithm in the library:
+
+* :class:`~repro.relational.schema.Schema` — an ordered set of named
+  attributes.
+* :class:`~repro.relational.relation.Relation` — an immutable, column
+  oriented relation instance with dictionary-encoded integer views used by
+  the mining algorithms.
+* :class:`~repro.relational.partition.Partition` and
+  :func:`~repro.relational.partition.pattern_partition` — equivalence-class
+  partitions (the TANE/CTANE workhorse).
+* :mod:`~repro.relational.io` — CSV import/export helpers.
+"""
+
+from repro.relational.schema import Attribute, Schema
+from repro.relational.encoding import ColumnEncoder, RelationEncoding
+from repro.relational.relation import Relation
+from repro.relational.partition import (
+    Partition,
+    attribute_partition,
+    pattern_partition,
+)
+from repro.relational.io import read_csv, write_csv
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "ColumnEncoder",
+    "RelationEncoding",
+    "Relation",
+    "Partition",
+    "attribute_partition",
+    "pattern_partition",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,149 @@
+"""Dictionary encoding of relation columns.
+
+All discovery algorithms operate on small non-negative integer codes instead
+of raw Python values: equality checks become integer comparisons and columns
+become dense numpy arrays.  :class:`ColumnEncoder` maps the values of a single
+column to codes ``0..n-1`` (in first-appearance order, which keeps encodings
+deterministic), and :class:`RelationEncoding` bundles the encoders of a whole
+relation together with the encoded integer matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import RelationError
+
+
+class ColumnEncoder:
+    """Bidirectional mapping between raw column values and integer codes.
+
+    Codes are assigned in order of first appearance so that encoding the same
+    column twice yields identical codes (important for reproducible tests and
+    benchmarks).
+    """
+
+    __slots__ = ("_value_to_code", "_code_to_value")
+
+    def __init__(self) -> None:
+        self._value_to_code: Dict[Hashable, int] = {}
+        self._code_to_value: List[Hashable] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values seen so far (the active domain size)."""
+        return len(self._code_to_value)
+
+    def encode(self, value: Hashable) -> int:
+        """Return the code of ``value``, assigning a fresh one if unseen."""
+        code = self._value_to_code.get(value)
+        if code is None:
+            code = len(self._code_to_value)
+            self._value_to_code[value] = code
+            self._code_to_value.append(value)
+        return code
+
+    def encode_existing(self, value: Hashable) -> int:
+        """Return the code of ``value``; raise if the value was never seen."""
+        try:
+            return self._value_to_code[value]
+        except KeyError:
+            raise RelationError(f"value {value!r} is not in the active domain") from None
+
+    def try_encode(self, value: Hashable) -> int:
+        """Return the code of ``value`` or ``-1`` if it was never seen."""
+        return self._value_to_code.get(value, -1)
+
+    def decode(self, code: int) -> Hashable:
+        """Return the raw value for ``code``."""
+        try:
+            return self._code_to_value[code]
+        except IndexError:
+            raise RelationError(f"code {code} is out of range") from None
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._value_to_code
+
+    def values(self) -> Tuple[Hashable, ...]:
+        """All distinct values, ordered by their code."""
+        return tuple(self._code_to_value)
+
+    def encode_column(self, values: Iterable[Hashable]) -> np.ndarray:
+        """Encode an entire column into an ``int32`` numpy array."""
+        return np.fromiter(
+            (self.encode(v) for v in values), dtype=np.int32, count=-1
+        )
+
+
+class RelationEncoding:
+    """The integer-encoded view of a relation.
+
+    Attributes
+    ----------
+    matrix:
+        ``(n_rows, arity)`` int32 matrix; ``matrix[t, a]`` is the code of the
+        value of tuple ``t`` on attribute index ``a``.
+    encoders:
+        One :class:`ColumnEncoder` per attribute, aligned with schema order.
+    """
+
+    __slots__ = ("matrix", "encoders")
+
+    def __init__(self, matrix: np.ndarray, encoders: Sequence[ColumnEncoder]):
+        if matrix.ndim != 2:
+            raise RelationError("encoded matrix must be two-dimensional")
+        if matrix.shape[1] != len(encoders):
+            raise RelationError(
+                "number of encoders must match the number of columns"
+            )
+        self.matrix = matrix
+        self.encoders = tuple(encoders)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_columns(cls, columns: Sequence[Sequence[Hashable]]) -> "RelationEncoding":
+        """Encode raw columns (one sequence per attribute)."""
+        encoders = [ColumnEncoder() for _ in columns]
+        if columns:
+            n_rows = len(columns[0])
+        else:
+            n_rows = 0
+        matrix = np.empty((n_rows, len(columns)), dtype=np.int32)
+        for j, (column, encoder) in enumerate(zip(columns, encoders)):
+            if len(column) != n_rows:
+                raise RelationError("all columns must have the same length")
+            matrix[:, j] = encoder.encode_column(column)
+        return cls(matrix, encoders)
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def arity(self) -> int:
+        return int(self.matrix.shape[1])
+
+    def column(self, attr_index: int) -> np.ndarray:
+        """Encoded column for attribute index ``attr_index``."""
+        return self.matrix[:, attr_index]
+
+    def cardinality(self, attr_index: int) -> int:
+        """Active-domain size of attribute index ``attr_index``."""
+        return self.encoders[attr_index].cardinality
+
+    def decode_value(self, attr_index: int, code: int) -> Hashable:
+        """Decode ``code`` of attribute ``attr_index`` back to the raw value."""
+        return self.encoders[attr_index].decode(code)
+
+    def encode_value(self, attr_index: int, value: Hashable) -> int:
+        """Encode ``value`` of attribute ``attr_index``; ``-1`` if unseen."""
+        return self.encoders[attr_index].try_encode(value)
+
+    def decode_row(self, row: Sequence[int]) -> Tuple[Hashable, ...]:
+        """Decode a full encoded row back to raw values."""
+        return tuple(
+            self.encoders[j].decode(int(code)) for j, code in enumerate(row)
+        )

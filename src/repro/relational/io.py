@@ -1,0 +1,78 @@
+"""CSV import and export for relations.
+
+The paper's experiments load UCI data sets from flat files; this module
+provides the equivalent plumbing so that users can point the discovery
+algorithms at their own CSV data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.exceptions import RelationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+PathLike = Union[str, Path]
+
+
+def read_csv(
+    path: PathLike,
+    *,
+    has_header: bool = True,
+    attribute_names: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+    limit: Optional[int] = None,
+) -> Relation:
+    """Load a relation from a CSV file.
+
+    Parameters
+    ----------
+    path:
+        Path of the CSV file.
+    has_header:
+        When ``True`` (default) the first row provides the attribute names.
+    attribute_names:
+        Explicit attribute names; required when ``has_header`` is ``False``
+        and, when given together with a header, overrides it.
+    delimiter:
+        Field separator.
+    limit:
+        Optional maximum number of data rows to read.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = []
+        header: Optional[Sequence[str]] = None
+        for i, row in enumerate(reader):
+            if i == 0 and has_header:
+                header = row
+                continue
+            if not row:
+                continue
+            rows.append(tuple(cell.strip() for cell in row))
+            if limit is not None and len(rows) >= limit:
+                break
+    if attribute_names is not None:
+        names = list(attribute_names)
+    elif header is not None:
+        names = [name.strip() for name in header]
+    else:
+        raise RelationError(
+            "attribute_names must be provided when the CSV file has no header"
+        )
+    return Relation.from_rows(Schema(names), rows)
+
+
+def write_csv(relation: Relation, path: PathLike, *, delimiter: str = ",") -> None:
+    """Write a relation to a CSV file (header row included)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(relation.attributes)
+        for row in relation.rows():
+            writer.writerow(list(row))

@@ -1,0 +1,351 @@
+"""Column-oriented relation instances.
+
+:class:`Relation` is the central data container of the library.  It stores raw
+values column-wise, exposes a lazily computed dictionary-encoded integer view
+(:class:`~repro.relational.encoding.RelationEncoding`) that the discovery
+algorithms use, and offers the usual relational helpers (projection, row
+selection, active domains, CSV round-trips).
+
+Relations are treated as immutable: all "modifying" operations return new
+relations.  The cleaning subpackage builds mutable *repairs* on top of this by
+materialising new relations.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.exceptions import RelationError
+from repro.relational.encoding import RelationEncoding
+from repro.relational.schema import AttributeLike, Schema
+
+Row = Tuple[Hashable, ...]
+
+
+class Relation:
+    """An immutable instance ``r`` of a relation schema ``R``.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.relational.schema.Schema` (or a list of attribute
+        names, which is converted).
+    columns:
+        A mapping from attribute name to a sequence of values, or a sequence
+        of column sequences aligned with the schema order.
+
+    Examples
+    --------
+    >>> r = Relation.from_rows(["CC", "AC"], [("01", "908"), ("01", "212")])
+    >>> r.n_rows, r.arity
+    (2, 2)
+    >>> r.value(0, "AC")
+    '908'
+    """
+
+    __slots__ = ("_schema", "_columns", "_encoding")
+
+    def __init__(
+        self,
+        schema: Union[Schema, Sequence[str]],
+        columns: Union[Mapping[str, Sequence[Hashable]], Sequence[Sequence[Hashable]]],
+    ):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self._schema = schema
+        if isinstance(columns, Mapping):
+            ordered: List[Tuple[Hashable, ...]] = []
+            missing = [name for name in schema.names if name not in columns]
+            if missing:
+                raise RelationError(f"missing columns for attributes {missing}")
+            for name in schema.names:
+                ordered.append(tuple(columns[name]))
+        else:
+            columns = list(columns)
+            if len(columns) != schema.arity:
+                raise RelationError(
+                    f"expected {schema.arity} columns, got {len(columns)}"
+                )
+            ordered = [tuple(column) for column in columns]
+        lengths = {len(column) for column in ordered}
+        if len(lengths) > 1:
+            raise RelationError(f"columns have inconsistent lengths: {lengths}")
+        self._columns: Tuple[Tuple[Hashable, ...], ...] = tuple(ordered)
+        self._encoding: Optional[RelationEncoding] = None
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Union[Schema, Sequence[str]],
+        rows: Iterable[Sequence[Hashable]],
+    ) -> "Relation":
+        """Build a relation from an iterable of row tuples."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        rows = [tuple(row) for row in rows]
+        for row in rows:
+            if len(row) != schema.arity:
+                raise RelationError(
+                    f"row {row!r} has {len(row)} values, expected {schema.arity}"
+                )
+        columns = [
+            tuple(row[j] for row in rows) for j in range(schema.arity)
+        ]
+        return cls(schema, columns)
+
+    @classmethod
+    def from_dicts(
+        cls,
+        rows: Sequence[Mapping[str, Hashable]],
+        schema: Optional[Union[Schema, Sequence[str]]] = None,
+    ) -> "Relation":
+        """Build a relation from a list of ``{attribute: value}`` mappings."""
+        if not rows and schema is None:
+            raise RelationError("cannot infer a schema from zero dictionaries")
+        if schema is None:
+            schema = Schema(list(rows[0].keys()))
+        elif not isinstance(schema, Schema):
+            schema = Schema(schema)
+        tuples = []
+        for row in rows:
+            try:
+                tuples.append(tuple(row[name] for name in schema.names))
+            except KeyError as exc:
+                raise RelationError(f"row {row!r} is missing attribute {exc}") from None
+        return cls.from_rows(schema, tuples)
+
+    @classmethod
+    def from_encoded(
+        cls,
+        schema: Union[Schema, Sequence[str]],
+        encoding: RelationEncoding,
+        row_indices: Optional[Sequence[int]] = None,
+    ) -> "Relation":
+        """Materialise a relation (or a row subset of it) from an encoding."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        matrix = encoding.matrix
+        if row_indices is not None:
+            matrix = matrix[np.asarray(row_indices, dtype=np.int64), :]
+        columns = []
+        for j in range(schema.arity):
+            decoder = encoding.encoders[j]
+            columns.append(tuple(decoder.decode(int(code)) for code in matrix[:, j]))
+        return cls(schema, columns)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attribute names (schema order)."""
+        return self._schema.names
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes (the paper's ARITY)."""
+        return self._schema.arity
+
+    @property
+    def n_rows(self) -> int:
+        """Number of tuples (the paper's DBSIZE)."""
+        return len(self._columns[0]) if self._columns else 0
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Relation)
+            and other._schema == self._schema
+            and other._columns == self._columns
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._columns))
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation(arity={self.arity}, n_rows={self.n_rows}, "
+            f"attributes={list(self.attributes)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # cell / row / column access
+    # ------------------------------------------------------------------ #
+    def column(self, attribute: AttributeLike) -> Tuple[Hashable, ...]:
+        """The raw values of one column."""
+        return self._columns[self._schema.index_of(attribute)]
+
+    def value(self, row: int, attribute: AttributeLike) -> Hashable:
+        """The raw value of tuple ``row`` on ``attribute``."""
+        return self._columns[self._schema.index_of(attribute)][row]
+
+    def row(self, row: int) -> Row:
+        """Tuple ``row`` as a tuple of raw values in schema order."""
+        return tuple(column[row] for column in self._columns)
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over all tuples in order."""
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    def row_dict(self, row: int) -> Dict[str, Hashable]:
+        """Tuple ``row`` as an ``{attribute: value}`` dictionary."""
+        return dict(zip(self._schema.names, self.row(row)))
+
+    def to_dicts(self) -> List[Dict[str, Hashable]]:
+        """The whole relation as a list of dictionaries."""
+        return [self.row_dict(i) for i in range(self.n_rows)]
+
+    def to_rows(self) -> List[Row]:
+        """The whole relation as a list of tuples."""
+        return list(self.rows())
+
+    # ------------------------------------------------------------------ #
+    # derived relations
+    # ------------------------------------------------------------------ #
+    def project(self, attributes: Sequence[AttributeLike]) -> "Relation":
+        """Project onto ``attributes`` (duplicates of rows are kept)."""
+        indices = self._schema.indices_of(attributes)
+        schema = self._schema.project(attributes)
+        return Relation(schema, [self._columns[i] for i in indices])
+
+    def take(self, row_indices: Sequence[int]) -> "Relation":
+        """Select the rows with the given indices (in the given order)."""
+        rows = [self.row(i) for i in row_indices]
+        return Relation.from_rows(self._schema, rows)
+
+    def head(self, n: int) -> "Relation":
+        """The first ``n`` rows."""
+        return self.take(range(min(n, self.n_rows)))
+
+    def sample(self, n: int, seed: int = 0) -> "Relation":
+        """A deterministic random sample of ``n`` rows (without replacement)."""
+        if n >= self.n_rows:
+            return self
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(self.n_rows, size=n, replace=False)
+        return self.take(sorted(int(i) for i in indices))
+
+    def with_value(self, row: int, attribute: AttributeLike, value: Hashable) -> "Relation":
+        """Return a copy of the relation with one cell replaced."""
+        j = self._schema.index_of(attribute)
+        columns = list(self._columns)
+        column = list(columns[j])
+        if not 0 <= row < self.n_rows:
+            raise RelationError(f"row index {row} out of range")
+        column[row] = value
+        columns[j] = tuple(column)
+        return Relation(self._schema, columns)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Append the rows of ``other`` (same schema required)."""
+        if other.schema != self._schema:
+            raise RelationError("cannot concatenate relations with different schemas")
+        columns = [
+            self._columns[j] + other._columns[j] for j in range(self.arity)
+        ]
+        return Relation(self._schema, columns)
+
+    def distinct(self) -> "Relation":
+        """Remove duplicate rows, keeping first occurrences in order."""
+        seen = set()
+        keep: List[int] = []
+        for i, row in enumerate(self.rows()):
+            if row not in seen:
+                seen.add(row)
+                keep.append(i)
+        return self.take(keep)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def active_domain(self, attribute: AttributeLike) -> Tuple[Hashable, ...]:
+        """Distinct values of ``attribute`` in first-appearance order."""
+        seen: Dict[Hashable, None] = {}
+        for value in self.column(attribute):
+            if value not in seen:
+                seen[value] = None
+        return tuple(seen.keys())
+
+    def domain_size(self, attribute: AttributeLike) -> int:
+        """Size of the active domain of ``attribute``."""
+        return len(set(self.column(attribute)))
+
+    def domain_sizes(self) -> Dict[str, int]:
+        """Active-domain sizes of every attribute."""
+        return {name: self.domain_size(name) for name in self.attributes}
+
+    def value_counts(self, attribute: AttributeLike) -> Dict[Hashable, int]:
+        """Frequency of each value of ``attribute``."""
+        counts: Dict[Hashable, int] = {}
+        for value in self.column(attribute):
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # encoded view
+    # ------------------------------------------------------------------ #
+    @property
+    def encoding(self) -> RelationEncoding:
+        """The dictionary-encoded integer view (computed lazily, cached)."""
+        if self._encoding is None:
+            self._encoding = RelationEncoding.from_columns(self._columns)
+        return self._encoding
+
+    def encoded_matrix(self) -> np.ndarray:
+        """The ``(n_rows, arity)`` int32 code matrix."""
+        return self.encoding.matrix
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename attributes according to ``mapping`` (missing names kept)."""
+        new_names = [mapping.get(name, name) for name in self._schema.names]
+        return Relation(Schema(new_names), list(self._columns))
+
+    def copy(self) -> "Relation":
+        """A shallow copy (relations are immutable, so this is cheap)."""
+        return copy.copy(self)
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """A small fixed-width textual rendering (for examples and docs)."""
+        names = list(self.attributes)
+        rows = [list(map(str, row)) for row in list(self.rows())[:max_rows]]
+        widths = [len(name) for name in names]
+        for row in rows:
+            for j, cell in enumerate(row):
+                widths[j] = max(widths[j], len(cell))
+        header = " | ".join(name.ljust(widths[j]) for j, name in enumerate(names))
+        rule = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+            for row in rows
+        ]
+        suffix = []
+        if self.n_rows > max_rows:
+            suffix.append(f"... ({self.n_rows - max_rows} more rows)")
+        return "\n".join([header, rule, *body, *suffix])

@@ -1,0 +1,169 @@
+"""Relation schemas.
+
+A :class:`Schema` is an ordered collection of uniquely named attributes.  All
+discovery algorithms address attributes either by name (public API) or by
+positional index (internal, fast path); the schema is the translation layer
+between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute at a fixed position of a schema.
+
+    Attributes
+    ----------
+    name:
+        The attribute name, unique within its schema.
+    index:
+        Zero-based position of the attribute in the schema.
+    """
+
+    name: str
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+AttributeLike = Union[str, int, Attribute]
+
+
+class Schema:
+    """An ordered, immutable collection of uniquely named attributes.
+
+    Parameters
+    ----------
+    names:
+        Attribute names in column order.  Names must be non-empty strings and
+        unique.
+
+    Examples
+    --------
+    >>> schema = Schema(["CC", "AC", "PN"])
+    >>> schema.arity
+    3
+    >>> schema.index_of("AC")
+    1
+    >>> schema.names
+    ('CC', 'AC', 'PN')
+    """
+
+    __slots__ = ("_names", "_index", "_attributes")
+
+    def __init__(self, names: Iterable[str]):
+        names = tuple(names)
+        if not names:
+            raise SchemaError("a schema needs at least one attribute")
+        seen = set()
+        for name in names:
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"invalid attribute name: {name!r}")
+            if name in seen:
+                raise SchemaError(f"duplicate attribute name: {name!r}")
+            seen.add(name)
+        self._names: Tuple[str, ...] = names
+        self._index = {name: i for i, name in enumerate(names)}
+        self._attributes = tuple(
+            Attribute(name=name, index=i) for i, name in enumerate(names)
+        )
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Attribute names in column order."""
+        return self._names
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """The :class:`Attribute` objects in column order."""
+        return self._attributes
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes (the paper's ``|R|``)."""
+        return len(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and other._names == self._names
+
+    def __hash__(self) -> int:
+        return hash(self._names)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._names)!r})"
+
+    # ------------------------------------------------------------------ #
+    # name/index translation
+    # ------------------------------------------------------------------ #
+    def index_of(self, attribute: AttributeLike) -> int:
+        """Return the positional index of ``attribute``.
+
+        ``attribute`` may be a name, an index (validated and passed through)
+        or an :class:`Attribute`.
+        """
+        if isinstance(attribute, Attribute):
+            attribute = attribute.name
+        if isinstance(attribute, str):
+            try:
+                return self._index[attribute]
+            except KeyError:
+                raise SchemaError(
+                    f"unknown attribute {attribute!r}; schema has {self._names}"
+                ) from None
+        if isinstance(attribute, int):
+            if not 0 <= attribute < len(self._names):
+                raise SchemaError(
+                    f"attribute index {attribute} out of range for arity "
+                    f"{len(self._names)}"
+                )
+            return attribute
+        raise SchemaError(f"cannot interpret {attribute!r} as an attribute")
+
+    def name_of(self, attribute: AttributeLike) -> str:
+        """Return the name of ``attribute`` (name, index or Attribute)."""
+        return self._names[self.index_of(attribute)]
+
+    def indices_of(self, attributes: Iterable[AttributeLike]) -> Tuple[int, ...]:
+        """Translate a collection of attributes to a tuple of indices."""
+        return tuple(self.index_of(a) for a in attributes)
+
+    def names_of(self, attributes: Iterable[AttributeLike]) -> Tuple[str, ...]:
+        """Translate a collection of attributes to a tuple of names."""
+        return tuple(self.name_of(a) for a in attributes)
+
+    def sorted_indices(self, attributes: Iterable[AttributeLike]) -> Tuple[int, ...]:
+        """Translate to indices and sort them in schema order."""
+        return tuple(sorted(self.indices_of(attributes)))
+
+    # ------------------------------------------------------------------ #
+    # derivation
+    # ------------------------------------------------------------------ #
+    def project(self, attributes: Sequence[AttributeLike]) -> "Schema":
+        """Return a new schema restricted to ``attributes`` (given order)."""
+        return Schema(self.names_of(attributes))
+
+    def complement(self, attributes: Iterable[AttributeLike]) -> Tuple[str, ...]:
+        """Names of the attributes *not* listed in ``attributes``."""
+        excluded = set(self.indices_of(attributes))
+        return tuple(
+            name for i, name in enumerate(self._names) if i not in excluded
+        )

@@ -1,0 +1,72 @@
+"""Unit tests for CFD-based violation detection."""
+
+import pytest
+
+from repro.cleaning.detect import detect_violations, dirty_rows
+from repro.core.cfd import CFD, cfd_from_fd
+from repro.core.pattern import WILDCARD
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["AC", "CT", "ST"],
+        [
+            ("908", "MH", "NJ"),
+            ("908", "MH", "NJ"),
+            ("908", "XX", "NJ"),   # violates (AC -> CT, (908 || MH))
+            ("212", "NYC", "NY"),
+            ("212", "BRX", "NY"),  # violates (AC -> CT, (_ || _)) pairs
+        ],
+    )
+
+
+@pytest.fixture
+def rules():
+    return [
+        CFD(("AC",), ("908",), "CT", "MH"),
+        cfd_from_fd(("AC",), "CT"),
+        cfd_from_fd(("CT",), "AC"),  # satisfied
+    ]
+
+
+class TestDetectViolations:
+    def test_total_and_per_rule_counts(self, relation, rules):
+        report = detect_violations(relation, rules)
+        assert report.total_violations > 0
+        assert len(report.per_cfd) == 3
+        assert report.per_cfd[rules[2]] == []
+
+    def test_violated_cfds(self, relation, rules):
+        report = detect_violations(relation, rules)
+        assert rules[0] in report.violated_cfds
+        assert rules[2] not in report.violated_cfds
+
+    def test_dirty_rows(self, relation, rules):
+        report = detect_violations(relation, rules)
+        assert 2 in report.dirty_rows
+        assert report.dirty_rows <= set(range(relation.n_rows))
+
+    def test_is_clean_on_satisfied_rules(self, relation, rules):
+        report = detect_violations(relation, [rules[2]])
+        assert report.is_clean
+        assert report.dirty_rows == set()
+
+    def test_summary_mentions_counts(self, relation, rules):
+        summary = detect_violations(relation, rules).summary()
+        assert "violations" in summary
+        assert "tuples affected" in summary
+
+    def test_max_violations_cap(self, relation, rules):
+        report = detect_violations(relation, rules, max_violations_per_cfd=1)
+        assert all(len(found) <= 1 for found in report.per_cfd.values())
+
+    def test_dirty_rows_helper(self, relation, rules):
+        assert dirty_rows(relation, rules) == detect_violations(relation, rules).dirty_rows
+
+    def test_clean_relation_report(self):
+        r = Relation.from_rows(["A", "B"], [(1, 2), (1, 2)])
+        report = detect_violations(r, [cfd_from_fd(("A",), "B")])
+        assert report.is_clean
+        assert report.total_violations == 0

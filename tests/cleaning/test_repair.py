@@ -1,0 +1,107 @@
+"""Unit tests for the greedy CFD repair engine."""
+
+import pytest
+
+from repro.cleaning.detect import detect_violations
+from repro.cleaning.repair import repair
+from repro.core.cfd import CFD, cfd_from_fd
+from repro.core.fastcfd import FastCFD
+from repro.core.validation import satisfies_all
+from repro.datagen.noise import inject_errors
+from repro.datagen.tax import generate_tax
+from repro.exceptions import RepairError
+from repro.relational.relation import Relation
+
+
+class TestRepairBasics:
+    def test_invalid_max_passes(self):
+        r = Relation.from_rows(["A", "B"], [(1, 2)])
+        with pytest.raises(RepairError):
+            repair(r, [], max_passes=0)
+
+    def test_clean_relation_untouched(self):
+        r = Relation.from_rows(["A", "B"], [(1, 2), (1, 2)])
+        result = repair(r, [cfd_from_fd(("A",), "B")])
+        assert result.clean
+        assert result.n_changes == 0
+        assert result.relation == r
+
+    def test_constant_rule_repair(self):
+        r = Relation.from_rows(
+            ["AC", "CT"],
+            [("908", "MH"), ("908", "XX"), ("212", "NYC")],
+        )
+        rule = CFD(("AC",), ("908",), "CT", "MH")
+        result = repair(r, [rule])
+        assert result.clean
+        assert result.relation.value(1, "CT") == "MH"
+        assert result.n_changes == 1
+
+    def test_variable_rule_repair_uses_majority(self):
+        r = Relation.from_rows(
+            ["A", "B"],
+            [(1, "x"), (1, "x"), (1, "y"), (2, "z")],
+        )
+        result = repair(r, [cfd_from_fd(("A",), "B")])
+        assert result.clean
+        assert result.relation.value(2, "B") == "x"
+
+    def test_change_log_records_old_and_new_values(self):
+        r = Relation.from_rows(["A", "B"], [(1, "x"), (1, "y")])
+        result = repair(r, [cfd_from_fd(("A",), "B")])
+        assert result.n_changes == 1
+        row, attribute, old, new = result.changed_cells[0]
+        assert attribute == "B"
+        assert old != new
+
+    def test_summary_mentions_status(self):
+        r = Relation.from_rows(["A", "B"], [(1, "x"), (1, "y")])
+        assert "clean" in repair(r, [cfd_from_fd(("A",), "B")]).summary()
+
+    def test_interacting_rules_need_multiple_passes(self):
+        # Repairing B with the first rule creates input for the second rule.
+        r = Relation.from_rows(
+            ["A", "B", "C"],
+            [(1, "b", "c"), (1, "b", "c"), (1, "x", "c"), (1, "b", "z")],
+        )
+        rules = [
+            CFD(("A",), (1,), "B", "b"),
+            CFD(("B",), ("b",), "C", "c"),
+        ]
+        result = repair(r, rules)
+        assert result.clean
+        assert satisfies_all(result.relation, rules)
+
+
+class TestRepairEndToEnd:
+    def test_discovered_rules_repair_typo_errors(self):
+        """Typo-style errors never collide with rule patterns, so the greedy
+        RHS repair converges to a relation satisfying every rule."""
+        clean = generate_tax(db_size=300, seed=7)
+        rules = [
+            cfd for cfd in FastCFD(clean, min_support=6).discover()
+            if cfd.is_constant and len(cfd.lhs) >= 1
+        ]
+        assert rules, "expected some constant rules to be discovered"
+        dirty, _ = inject_errors(
+            clean, 0.01, seed=8, attributes=["CT", "STR"], use_domain_values=False
+        )
+        result = repair(dirty, rules)
+        report = detect_violations(result.relation, rules)
+        assert report.is_clean
+        assert result.clean
+
+    def test_domain_value_errors_never_increase_violations(self):
+        """Domain-value swaps can put rules in conflict; the engine must then
+        terminate gracefully (bounded passes) without making things worse."""
+        clean = generate_tax(db_size=300, seed=7)
+        rules = [
+            cfd for cfd in FastCFD(clean, min_support=6).discover()
+            if cfd.is_constant and len(cfd.lhs) >= 1
+        ]
+        dirty, _ = inject_errors(clean, 0.01, seed=8, attributes=["CT", "STR"])
+        before = detect_violations(dirty, rules).total_violations
+        result = repair(dirty, rules, max_passes=3)
+        after = detect_violations(result.relation, rules).total_violations
+        assert after <= before
+        assert result.passes <= 3

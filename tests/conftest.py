@@ -1,0 +1,58 @@
+"""Shared fixtures: the paper's cust relation and small synthetic relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.relation import Relation
+
+#: Attribute names of the cust relation (Fig. 1 of the paper).
+CUST_ATTRIBUTES = ("CC", "AC", "PN", "NM", "STR", "CT", "ZIP")
+
+#: A reconstruction of the cust instance r0 of Fig. 1: eight customer tuples,
+#: US (CC=01) and UK (CC=44), exhibiting the dependencies discussed in
+#: Examples 1-9 of the paper (AC=908 -> CT=MH, for CC=44 ZIP determines STR,
+#: t8 breaking AC=131 -> CT=EDI, and [CC,ZIP] -> STR failing globally).
+CUST_ROWS = [
+    ("01", "908", "1111111", "Mike", "Tree Ave.", "MH", "07974"),
+    ("01", "908", "1111111", "Rick", "Tree Ave.", "MH", "07974"),
+    ("01", "212", "2222222", "Joe", "5th Ave", "NYC", "01202"),
+    ("01", "908", "2222222", "Jim", "Elm Str.", "MH", "07974"),
+    ("44", "131", "3333333", "Ben", "High St.", "EDI", "EH4 1DT"),
+    ("44", "131", "4444444", "Ian", "High St.", "EDI", "EH4 1DT"),
+    ("44", "908", "4444444", "Ian", "Port PI", "MH", "W1B 1JH"),
+    ("01", "131", "2222222", "Sean", "3rd Str.", "UN", "01202"),
+]
+
+
+@pytest.fixture(scope="session")
+def cust_relation() -> Relation:
+    """The cust relation r0 of Fig. 1 (reconstructed)."""
+    return Relation.from_rows(list(CUST_ATTRIBUTES), CUST_ROWS)
+
+
+@pytest.fixture(scope="session")
+def tiny_relation() -> Relation:
+    """A 3-attribute, 6-row relation small enough for brute-force oracles."""
+    rows = [
+        ("a", "x", "1"),
+        ("a", "x", "1"),
+        ("a", "y", "2"),
+        ("b", "y", "2"),
+        ("b", "y", "2"),
+        ("b", "z", "1"),
+    ]
+    return Relation.from_rows(["A", "B", "C"], rows)
+
+
+@pytest.fixture(scope="session")
+def conditional_relation() -> Relation:
+    """A relation where A -> B holds only conditionally (A=1)."""
+    rows = [
+        (1, 5, 0),
+        (1, 5, 1),
+        (2, 6, 0),
+        (2, 7, 1),
+        (2, 7, 0),
+    ]
+    return Relation.from_rows(["A", "B", "C"], rows)

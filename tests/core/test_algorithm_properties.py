@@ -1,0 +1,81 @@
+"""Property-based cross-validation of the discovery algorithms.
+
+For random small relations:
+
+* every CFD emitted by CFDMiner / CTANE / FastCFD / NaiveFast is minimal and
+  k-frequent by definition (soundness);
+* CFDMiner's output equals the constant part of the brute-force cover;
+* every minimal k-frequent CFD (brute force) is either in an algorithm's
+  output or implied by it (completeness up to implication — FastCFD omits
+  variable CFDs that are subsumed by constant CFDs, see DESIGN.md);
+* FastCFD and NaiveFast produce identical covers.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bruteforce import discover_bruteforce
+from repro.core.cfdminer import CFDMiner
+from repro.core.ctane import CTane
+from repro.core.fastcfd import FastCFD, NaiveFast
+from repro.core.implication import is_implied_by_cover
+from repro.core.minimality import is_minimal
+from repro.relational.relation import Relation
+
+
+def small_relations(max_rows: int = 6, n_cols: int = 3, domain: int = 2):
+    names = [f"A{i}" for i in range(n_cols)]
+    return st.lists(
+        st.tuples(*[st.integers(0, domain - 1) for _ in range(n_cols)]),
+        min_size=1,
+        max_size=max_rows,
+    ).map(lambda rows: Relation.from_rows(names, rows))
+
+
+SUPPORTS = st.integers(min_value=1, max_value=3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(relation=small_relations(), k=SUPPORTS)
+def test_all_algorithms_are_sound(relation, k):
+    for algorithm in (CFDMiner, CTane, FastCFD, NaiveFast):
+        for cfd in algorithm(relation, k).discover():
+            assert is_minimal(relation, cfd, k=k), f"{algorithm.__name__}: {cfd}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(relation=small_relations(), k=SUPPORTS)
+def test_cfdminer_matches_bruteforce_constants(relation, k):
+    expected = discover_bruteforce(relation, k, constant_only=True)
+    assert set(CFDMiner(relation, k).discover()) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(relation=small_relations(), k=SUPPORTS)
+def test_ctane_is_complete_up_to_implication(relation, k):
+    cover = set(CTane(relation, k).discover())
+    for cfd in discover_bruteforce(relation, k):
+        assert is_implied_by_cover(cfd, cover), str(cfd)
+
+
+@settings(max_examples=20, deadline=None)
+@given(relation=small_relations(), k=SUPPORTS)
+def test_fastcfd_is_complete_up_to_implication(relation, k):
+    cover = set(FastCFD(relation, k).discover())
+    for cfd in discover_bruteforce(relation, k):
+        assert is_implied_by_cover(cfd, cover), str(cfd)
+
+
+@settings(max_examples=25, deadline=None)
+@given(relation=small_relations(max_rows=7, n_cols=3, domain=3), k=SUPPORTS)
+def test_fastcfd_equals_naivefast(relation, k):
+    fastcfd = set(FastCFD(relation, k, constant_cfds="inline").discover())
+    naivefast = set(NaiveFast(relation, k).discover())
+    assert fastcfd == naivefast
+
+
+@settings(max_examples=20, deadline=None)
+@given(relation=small_relations(max_rows=6, n_cols=4, domain=2), k=SUPPORTS)
+def test_ctane_and_fastcfd_agree_on_constant_cfds(relation, k):
+    ctane = {c for c in CTane(relation, k).discover() if c.is_constant}
+    fastcfd = {c for c in FastCFD(relation, k).discover() if c.is_constant}
+    assert ctane == fastcfd

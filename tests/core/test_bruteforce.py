@@ -1,0 +1,58 @@
+"""Unit tests for the brute-force reference discoverer."""
+
+import pytest
+
+from repro.core.bruteforce import discover_bruteforce
+from repro.core.cfd import CFD, cfd_from_fd
+from repro.core.minimality import is_minimal
+from repro.core.pattern import WILDCARD
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["A", "B"],
+        [(1, 5), (1, 5), (2, 6), (2, 7)],
+    )
+
+
+class TestBruteforce:
+    def test_everything_returned_is_minimal(self, relation):
+        for k in (1, 2):
+            for cfd in discover_bruteforce(relation, k):
+                assert is_minimal(relation, cfd, k=k)
+
+    def test_contains_expected_constant_cfd(self, relation):
+        assert CFD(("A",), (1,), "B", 5) in discover_bruteforce(relation, 2)
+
+    def test_contains_expected_variable_cfd(self, relation):
+        assert CFD(("A",), (1,), "B", WILDCARD) in discover_bruteforce(relation, 2)
+
+    def test_does_not_contain_violated_fd(self, relation):
+        assert cfd_from_fd(("A",), "B") not in discover_bruteforce(relation, 1)
+
+    def test_constant_only_filter(self, relation):
+        constant = discover_bruteforce(relation, 1, constant_only=True)
+        assert constant
+        assert all(cfd.is_constant for cfd in constant)
+
+    def test_variable_only_filter(self, relation):
+        variable = discover_bruteforce(relation, 1, variable_only=True)
+        assert variable
+        assert all(cfd.is_variable for cfd in variable)
+
+    def test_partition_of_classes(self, relation):
+        both = discover_bruteforce(relation, 1)
+        constant = discover_bruteforce(relation, 1, constant_only=True)
+        variable = discover_bruteforce(relation, 1, variable_only=True)
+        assert both == constant | variable
+
+    def test_max_lhs_size(self, relation):
+        for cfd in discover_bruteforce(relation, 1, max_lhs_size=0):
+            assert cfd.lhs == ()
+
+    def test_frequency_filter_reduces_output(self, relation):
+        assert len(discover_bruteforce(relation, 2)) <= len(
+            discover_bruteforce(relation, 1)
+        )

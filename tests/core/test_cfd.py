@@ -1,0 +1,181 @@
+"""Unit tests for repro.core.cfd (the CFD value object)."""
+
+import pytest
+
+from repro.core.cfd import (
+    CFD,
+    ConstantCFD,
+    VariableCFD,
+    cfd_from_fd,
+    normalise_constant_cfd,
+)
+from repro.core.pattern import WILDCARD, PatternTuple, is_wildcard
+from repro.exceptions import DependencyError
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        phi = CFD(("CC", "AC"), ("01", "908"), "CT", "MH")
+        assert phi.rhs == "CT"
+        assert phi.rhs_pattern == "MH"
+        assert set(phi.lhs) == {"CC", "AC"}
+
+    def test_lhs_canonicalised_by_name(self):
+        phi = CFD(("CC", "AC"), ("01", "908"), "CT", "MH")
+        assert phi.lhs == ("AC", "CC")
+        assert phi.lhs_pattern == ("908", "01")
+
+    def test_equality_is_order_insensitive(self):
+        first = CFD(("CC", "AC"), ("01", "908"), "CT", "MH")
+        second = CFD(("AC", "CC"), ("908", "01"), "CT", "MH")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_mismatched_pattern_length(self):
+        with pytest.raises(DependencyError):
+            CFD(("A", "B"), ("x",), "C", "y")
+
+    def test_duplicate_lhs_attributes(self):
+        with pytest.raises(DependencyError):
+            CFD(("A", "A"), ("x", "y"), "C", "z")
+
+    def test_invalid_rhs(self):
+        with pytest.raises(DependencyError):
+            CFD(("A",), ("x",), "", "z")
+
+    def test_constant_constructor(self):
+        phi = CFD.constant({"AC": "908"}, "CT", "MH")
+        assert phi.is_constant
+
+    def test_variable_constructor(self):
+        phi = CFD.variable({"CC": "01", "AC": WILDCARD}, "CT")
+        assert phi.is_variable
+
+    def test_from_pattern_tuple(self):
+        pattern = PatternTuple(("CC", "AC", "CT"), ("01", WILDCARD, WILDCARD))
+        phi = CFD.from_pattern_tuple(("CC", "AC"), "CT", pattern)
+        assert phi.lhs_value("CC") == "01"
+        assert is_wildcard(phi.rhs_pattern)
+
+    def test_from_pattern_tuple_missing_attribute(self):
+        pattern = PatternTuple(("CC",), ("01",))
+        with pytest.raises(DependencyError):
+            CFD.from_pattern_tuple(("CC", "AC"), "CT", pattern)
+
+    def test_empty_lhs(self):
+        phi = CFD((), (), "CT", "MH")
+        assert phi.lhs == ()
+        assert "[] -> CT" in str(phi)
+
+
+class TestClassification:
+    def test_constant_cfd(self):
+        assert CFD(("A",), ("x",), "B", "y").is_constant
+
+    def test_variable_cfd(self):
+        assert CFD(("A",), ("x",), "B", WILDCARD).is_variable
+
+    def test_mixed_rhs_constant_is_not_constant_class(self):
+        phi = CFD(("A", "B"), ("x", WILDCARD), "C", "z")
+        assert not phi.is_constant
+        assert not phi.is_variable
+
+    def test_trivial(self):
+        assert CFD(("A",), ("x",), "A", "x").is_trivial
+        assert not CFD(("A",), ("x",), "B", "y").is_trivial
+
+    def test_pure_fd(self):
+        assert cfd_from_fd(("A", "B"), "C").is_pure_fd
+        assert not CFD(("A",), ("x",), "B", WILDCARD).is_pure_fd
+
+    def test_embedded_fd(self):
+        assert CFD(("B", "A"), ("x", "y"), "C", WILDCARD).embedded_fd == (("A", "B"), "C")
+
+    def test_constant_and_wildcard_lhs_attributes(self):
+        phi = CFD(("A", "B"), ("x", WILDCARD), "C", WILDCARD)
+        assert phi.constant_lhs_attributes == ("A",)
+        assert phi.wildcard_lhs_attributes == ("B",)
+
+    def test_attributes_property(self):
+        assert CFD(("A",), ("x",), "B", "y").attributes == ("A", "B")
+
+    def test_pattern_tuples(self):
+        phi = CFD(("A",), ("x",), "B", WILDCARD)
+        assert phi.lhs_pattern_tuple == PatternTuple(("A",), ("x",))
+        assert phi.pattern_tuple.as_dict() == {"A": "x", "B": WILDCARD}
+
+
+class TestDerivation:
+    def test_drop_lhs_attribute(self):
+        phi = CFD(("A", "B"), ("x", "y"), "C", "z")
+        reduced = phi.drop_lhs_attribute("A")
+        assert reduced.lhs == ("B",)
+        assert reduced.lhs_pattern == ("y",)
+
+    def test_drop_unknown_attribute(self):
+        with pytest.raises(DependencyError):
+            CFD(("A",), ("x",), "B", "y").drop_lhs_attribute("Z")
+
+    def test_generalise_lhs_attribute(self):
+        phi = CFD(("A", "B"), ("x", "y"), "C", WILDCARD)
+        general = phi.generalise_lhs_attribute("A")
+        assert is_wildcard(general.lhs_value("A"))
+        assert general.lhs_value("B") == "y"
+
+    def test_generalise_wildcard_rejected(self):
+        phi = CFD(("A",), (WILDCARD,), "B", WILDCARD)
+        with pytest.raises(DependencyError):
+            phi.generalise_lhs_attribute("A")
+
+    def test_restrict_lhs(self):
+        phi = CFD(("A", "B", "C"), (1, 2, 3), "D", WILDCARD)
+        assert phi.restrict_lhs(["B"]).lhs == ("B",)
+
+    def test_restrict_lhs_unknown(self):
+        with pytest.raises(DependencyError):
+            CFD(("A",), (1,), "B", WILDCARD).restrict_lhs(["Z"])
+
+    def test_lhs_value_unknown(self):
+        with pytest.raises(DependencyError):
+            CFD(("A",), (1,), "B", WILDCARD).lhs_value("Z")
+
+
+class TestRendering:
+    def test_str_constant(self):
+        phi = CFD(("AC",), ("908",), "CT", "MH")
+        assert str(phi) == "([AC] -> CT, (908 || MH))"
+
+    def test_str_variable(self):
+        phi = CFD(("CC", "ZIP"), ("44", WILDCARD), "STR", WILDCARD)
+        assert str(phi) == "([CC, ZIP] -> STR, (44, _ || _))"
+
+    def test_repr_contains_fields(self):
+        assert "rhs='CT'" in repr(CFD(("AC",), ("908",), "CT", "MH"))
+
+
+class TestSubclassesAndHelpers:
+    def test_constant_cfd_class_rejects_wildcards(self):
+        with pytest.raises(DependencyError):
+            ConstantCFD(("A",), (WILDCARD,), "B", "y")
+        with pytest.raises(DependencyError):
+            ConstantCFD(("A",), ("x",), "B", WILDCARD)
+
+    def test_variable_cfd_class_requires_wildcard_rhs(self):
+        with pytest.raises(DependencyError):
+            VariableCFD(("A",), ("x",), "B", "y")
+        assert VariableCFD(("A",), ("x",), "B").is_variable
+
+    def test_cfd_from_fd(self):
+        phi = cfd_from_fd(("CC", "AC"), "CT")
+        assert phi.is_pure_fd
+        assert phi.lhs == ("AC", "CC")
+
+    def test_normalise_constant_cfd_drops_wildcard_lhs(self):
+        phi = CFD(("A", "B"), ("x", WILDCARD), "C", "z")
+        normalised = normalise_constant_cfd(phi)
+        assert normalised.lhs == ("A",)
+        assert normalised.is_constant
+
+    def test_normalise_keeps_variable_cfds(self):
+        phi = CFD(("A",), (WILDCARD,), "C", WILDCARD)
+        assert normalise_constant_cfd(phi) == phi

@@ -1,0 +1,121 @@
+"""Unit tests for CFDMiner (constant CFD discovery, Section 3)."""
+
+import pytest
+
+from repro.core.bruteforce import discover_bruteforce
+from repro.core.cfd import CFD
+from repro.core.cfdminer import CFDMiner, discover_constant_cfds
+from repro.core.minimality import is_minimal
+from repro.core.validation import support_count
+from repro.exceptions import DiscoveryError
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["AC", "CT", "ST"],
+        [
+            ("908", "MH", "NJ"),
+            ("908", "MH", "NJ"),
+            ("908", "MH", "NJ"),
+            ("212", "NYC", "NY"),
+            ("212", "NYC", "NY"),
+            ("201", "HOB", "NJ"),
+        ],
+    )
+
+
+class TestCFDMinerBasics:
+    def test_invalid_support_rejected(self, relation):
+        with pytest.raises(DiscoveryError):
+            CFDMiner(relation, min_support=0)
+
+    def test_only_constant_cfds_are_returned(self, relation):
+        for cfd in CFDMiner(relation, min_support=2).discover():
+            assert cfd.is_constant
+
+    def test_known_rules_found(self, relation):
+        found = {str(c) for c in CFDMiner(relation, min_support=2).discover()}
+        assert "([AC] -> CT, (908 || MH))" in found
+        assert "([AC] -> CT, (212 || NYC))" in found
+        assert "([CT] -> AC, (MH || 908))" in found
+
+    def test_left_reduced_rule_preferred(self, relation):
+        found = {str(c) for c in CFDMiner(relation, min_support=2).discover()}
+        # ([AC, ST] -> CT, (908, NJ || MH)) is implied by the smaller rule and
+        # must not be reported.
+        assert "([AC, ST] -> CT, (908, NJ || MH))" not in found
+
+    def test_every_output_is_minimal_and_frequent(self, relation):
+        for k in (1, 2, 3):
+            for cfd in CFDMiner(relation, min_support=k).discover():
+                assert is_minimal(relation, cfd, k=k)
+                assert support_count(relation, cfd) >= k
+
+    def test_no_duplicates(self, relation):
+        found = CFDMiner(relation, min_support=1).discover()
+        assert len(found) == len(set(found))
+
+    def test_matches_bruteforce_constants(self, relation):
+        for k in (1, 2, 3):
+            mined = set(CFDMiner(relation, min_support=k).discover())
+            expected = discover_bruteforce(relation, k, constant_only=True)
+            assert mined == expected
+
+    def test_support_threshold_monotone(self, relation):
+        counts = [
+            len(CFDMiner(relation, min_support=k).discover()) for k in (1, 2, 3, 4)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_max_lhs_size_limits_lhs(self, relation):
+        for cfd in CFDMiner(relation, min_support=1, max_lhs_size=1).discover():
+            assert len(cfd.lhs) <= 1
+
+    def test_wrapper(self, relation):
+        assert set(discover_constant_cfds(relation, 2)) == set(
+            CFDMiner(relation, 2).discover()
+        )
+
+    def test_mining_result_is_cached(self, relation):
+        miner = CFDMiner(relation, min_support=2)
+        assert miner.mining_result is miner.mining_result
+
+    def test_properties(self, relation):
+        miner = CFDMiner(relation, min_support=3)
+        assert miner.relation is relation
+        assert miner.min_support == 3
+
+
+class TestEdgeCases:
+    def test_constant_column_yields_empty_lhs_rule(self):
+        r = Relation.from_rows(["A", "B"], [(1, "k"), (2, "k"), (3, "k")])
+        found = CFDMiner(r, min_support=1).discover()
+        assert CFD((), (), "B", "k") in found
+
+    def test_unique_columns_yield_no_frequent_rules(self):
+        r = Relation.from_rows(["A", "B"], [(1, "x"), (2, "y"), (3, "z")])
+        assert CFDMiner(r, min_support=2).discover() == []
+
+    def test_single_tuple_relation(self):
+        r = Relation.from_rows(["A", "B"], [(1, "x")])
+        found = CFDMiner(r, min_support=1).discover()
+        # every column is constant on a one-tuple relation
+        assert CFD((), (), "A", 1) in found
+        assert CFD((), (), "B", "x") in found
+
+    def test_support_larger_than_relation(self):
+        r = Relation.from_rows(["A", "B"], [(1, "x"), (1, "x")])
+        assert CFDMiner(r, min_support=5).discover() == []
+
+    def test_two_attribute_equivalence(self):
+        # A and B are in bijection: rules both ways, per value pair.
+        r = Relation.from_rows(
+            ["A", "B"], [(1, "x"), (1, "x"), (2, "y"), (2, "y")]
+        )
+        found = set(CFDMiner(r, min_support=2).discover())
+        assert CFD(("A",), (1,), "B", "x") in found
+        assert CFD(("B",), ("x",), "A", 1) in found
+        assert CFD(("A",), (2,), "B", "y") in found
+        assert CFD(("B",), ("y",), "A", 2) in found

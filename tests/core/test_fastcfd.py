@@ -1,0 +1,149 @@
+"""Unit tests for FastCFD and NaiveFast (depth-first discovery, Section 5)."""
+
+import pytest
+
+from repro.core.bruteforce import discover_bruteforce
+from repro.core.cfd import CFD, cfd_from_fd
+from repro.core.fastcfd import (
+    ClosedSetDifferenceSets,
+    FastCFD,
+    NaiveFast,
+    PartitionDifferenceSets,
+    discover_cfds_fastcfd,
+)
+from repro.core.implication import is_implied_by_cover
+from repro.core.minimality import is_minimal
+from repro.core.pattern import WILDCARD
+from repro.core.validation import support_count
+from repro.exceptions import DiscoveryError
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["A", "B", "C", "D"],
+        [
+            (1, 5, "p", "k"),
+            (1, 5, "q", "k"),
+            (2, 6, "r", "k"),
+            (2, 7, "s", "k"),
+            (2, 7, "s", "k"),
+        ],
+    )
+
+
+class TestFastCFDBasics:
+    def test_invalid_support_rejected(self, relation):
+        with pytest.raises(DiscoveryError):
+            FastCFD(relation, min_support=0)
+
+    def test_invalid_constant_mode_rejected(self, relation):
+        with pytest.raises(DiscoveryError):
+            FastCFD(relation, constant_cfds="bogus")
+
+    def test_invalid_provider_rejected(self, relation):
+        with pytest.raises(DiscoveryError):
+            FastCFD(relation, difference_sets="bogus")
+
+    def test_finds_conditional_constant_rule(self, relation):
+        found = set(FastCFD(relation, 2).discover())
+        assert CFD(("A",), (1,), "B", 5) in found
+
+    def test_finds_global_fd(self, relation):
+        found = set(FastCFD(relation, 1).discover())
+        assert cfd_from_fd(("C",), "B") in found
+
+    def test_violated_fd_absent(self, relation):
+        assert cfd_from_fd(("A",), "B") not in set(FastCFD(relation, 1).discover())
+
+    def test_every_output_is_minimal_and_frequent(self, relation):
+        for k in (1, 2, 3):
+            for cfd in FastCFD(relation, k).discover():
+                assert is_minimal(relation, cfd, k=k), str(cfd)
+                assert support_count(relation, cfd) >= k
+
+    def test_no_duplicates(self, relation):
+        found = FastCFD(relation, 1).discover()
+        assert len(found) == len(set(found))
+
+    def test_output_subset_of_bruteforce(self, relation):
+        for k in (1, 2):
+            assert set(FastCFD(relation, k).discover()) <= discover_bruteforce(relation, k)
+
+    def test_bruteforce_cover_is_implied(self, relation):
+        """Completeness up to implication (see DESIGN.md)."""
+        for k in (1, 2):
+            cover = set(FastCFD(relation, k).discover())
+            for cfd in discover_bruteforce(relation, k):
+                assert is_implied_by_cover(cfd, cover), str(cfd)
+
+    def test_wrapper(self, relation):
+        assert set(discover_cfds_fastcfd(relation, 2)) == set(
+            FastCFD(relation, 2).discover()
+        )
+
+
+class TestProvidersAndModes:
+    def test_naivefast_equals_fastcfd(self, relation):
+        for k in (1, 2):
+            assert set(NaiveFast(relation, k).discover()) == set(
+                FastCFD(relation, k, constant_cfds="inline").discover()
+            )
+
+    def test_provider_instances_accepted(self, relation):
+        provider = PartitionDifferenceSets(relation)
+        found = set(FastCFD(relation, 2, difference_sets=provider).discover())
+        assert found == set(FastCFD(relation, 2).discover())
+
+    def test_closed_and_partition_providers_agree(self, relation):
+        closed = ClosedSetDifferenceSets(relation)
+        partition = PartitionDifferenceSets(relation)
+        for rhs in range(relation.arity):
+            for items in [frozenset(), frozenset({(0, 0)}), frozenset({(3, 0)})]:
+                assert closed.minimal_difference_sets(rhs, items) == (
+                    partition.minimal_difference_sets(rhs, items)
+                )
+
+    def test_constant_mode_inline_equals_cfdminer_delegation(self, relation):
+        inline = set(FastCFD(relation, 2, constant_cfds="inline").discover())
+        delegated = set(FastCFD(relation, 2, constant_cfds="cfdminer").discover())
+        assert inline == delegated
+
+    def test_constant_mode_skip_returns_variable_only(self, relation):
+        found = FastCFD(relation, 2, constant_cfds="skip").discover()
+        assert found
+        assert all(cfd.is_variable for cfd in found)
+
+    def test_dynamic_reordering_does_not_change_output(self, relation):
+        with_reordering = set(FastCFD(relation, 2, dynamic_reordering=True).discover())
+        without = set(FastCFD(relation, 2, dynamic_reordering=False).discover())
+        assert with_reordering == without
+
+    def test_max_lhs_size_caps_constant_patterns(self, relation):
+        for cfd in FastCFD(relation, 1, max_lhs_size=1).discover():
+            assert len(cfd.constant_lhs_attributes) <= 1
+
+
+class TestFastCFDEdgeCases:
+    def test_single_tuple_relation(self):
+        r = Relation.from_rows(["A", "B"], [(1, "x")])
+        found = set(FastCFD(r, 1).discover())
+        assert CFD((), (), "A", 1) in found
+        assert CFD((), (), "B", "x") in found
+
+    def test_no_frequent_patterns(self):
+        r = Relation.from_rows(["A", "B"], [(1, "x"), (2, "y"), (3, "z")])
+        found = set(FastCFD(r, 2).discover())
+        assert all(support_count(r, cfd) >= 2 for cfd in found)
+
+    def test_key_column(self):
+        r = Relation.from_rows(
+            ["K", "V"], [(1, "a"), (2, "a"), (3, "b"), (4, "b")]
+        )
+        found = set(FastCFD(r, 1).discover())
+        assert cfd_from_fd(("K",), "V") in found
+
+    def test_constant_column(self):
+        r = Relation.from_rows(["A", "B"], [(1, "k"), (2, "k"), (3, "k")])
+        assert CFD((), (), "B", "k") in set(FastCFD(r, 1).discover())

@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.implication."""
+
+import pytest
+
+from repro.core.cfd import CFD, cfd_from_fd
+from repro.core.implication import (
+    covers_equivalent_on,
+    implies_constant,
+    is_implied_by_cover,
+    minimise_constant_cover,
+    variable_cfd_subsumed_by_constants,
+)
+from repro.core.pattern import WILDCARD
+from repro.relational.relation import Relation
+
+
+class TestImpliesConstant:
+    def test_membership_implies(self):
+        phi = CFD(("A",), (1,), "B", 2)
+        assert implies_constant([phi], phi)
+
+    def test_transitive_chase(self):
+        # A=1 -> B=2 and B=2 -> C=3 imply A=1 -> C=3.
+        premises = [CFD(("A",), (1,), "B", 2), CFD(("B",), (2,), "C", 3)]
+        conclusion = CFD(("A",), (1,), "C", 3)
+        assert implies_constant(premises, conclusion)
+
+    def test_non_implication(self):
+        premises = [CFD(("A",), (1,), "B", 2)]
+        assert not implies_constant(premises, CFD(("A",), (2,), "B", 2))
+
+    def test_weaker_lhs_implies_stronger_lhs(self):
+        premises = [CFD(("A",), (1,), "C", 3)]
+        conclusion = CFD(("A", "B"), (1, 9), "C", 3)
+        assert implies_constant(premises, conclusion)
+
+    def test_contradictory_premises_imply_vacuously(self):
+        premises = [CFD(("A",), (1,), "B", 2), CFD(("A",), (1,), "B", 3)]
+        assert implies_constant(premises, CFD(("A",), (1,), "C", 99))
+
+    def test_variable_conclusion_rejected(self):
+        with pytest.raises(ValueError):
+            implies_constant([], cfd_from_fd(("A",), "B"))
+
+
+class TestVariableSubsumption:
+    def test_subsumed_by_matching_constant_rule(self):
+        variable = CFD(("A", "B"), (1, WILDCARD), "C", WILDCARD)
+        constant = CFD(("A",), (1,), "C", 7)
+        assert variable_cfd_subsumed_by_constants(variable, [constant])
+
+    def test_not_subsumed_when_rhs_differs(self):
+        variable = CFD(("A",), (1,), "C", WILDCARD)
+        constant = CFD(("A",), (1,), "D", 7)
+        assert not variable_cfd_subsumed_by_constants(variable, [constant])
+
+    def test_not_subsumed_when_pattern_not_contained(self):
+        variable = CFD(("A",), (1,), "C", WILDCARD)
+        constant = CFD(("A", "B"), (1, 2), "C", 7)
+        assert not variable_cfd_subsumed_by_constants(variable, [constant])
+
+    def test_constant_cfd_never_subsumed_by_this_rule(self):
+        constant = CFD(("A",), (1,), "C", 7)
+        assert not variable_cfd_subsumed_by_constants(constant, [constant])
+
+
+class TestIsImpliedByCover:
+    def test_member_is_implied(self):
+        phi = cfd_from_fd(("A",), "B")
+        assert is_implied_by_cover(phi, [phi])
+
+    def test_constant_implication_path(self):
+        premises = [CFD(("A",), (1,), "B", 2), CFD(("B",), (2,), "C", 3)]
+        assert is_implied_by_cover(CFD(("A",), (1,), "C", 3), premises)
+
+    def test_unprovable_returns_false(self):
+        assert not is_implied_by_cover(cfd_from_fd(("A",), "B"), [])
+
+
+class TestMinimiseConstantCover:
+    def test_removes_implied_rule(self):
+        rules = [
+            CFD(("A",), (1,), "B", 2),
+            CFD(("B",), (2,), "C", 3),
+            CFD(("A",), (1,), "C", 3),  # implied by the other two
+        ]
+        minimised = minimise_constant_cover(rules)
+        assert CFD(("A",), (1,), "C", 3) not in minimised
+        assert len(minimised) == 2
+
+    def test_keeps_variable_rules_untouched(self):
+        rules = [cfd_from_fd(("A",), "B"), CFD(("A",), (1,), "B", 2)]
+        minimised = minimise_constant_cover(rules)
+        assert cfd_from_fd(("A",), "B") in minimised
+
+    def test_idempotent(self):
+        rules = [CFD(("A",), (1,), "B", 2), CFD(("B",), (2,), "C", 3)]
+        once = minimise_constant_cover(rules)
+        assert minimise_constant_cover(once) == once
+
+
+class TestCoversEquivalentOn:
+    def test_true_when_both_covers_hold(self):
+        r = Relation.from_rows(["A", "B"], [(1, 2), (1, 2), (3, 4)])
+        first = [CFD(("A",), (1,), "B", 2)]
+        second = [cfd_from_fd(("A",), "B")]
+        assert covers_equivalent_on(r, first, second)
+
+    def test_false_when_a_cover_is_violated(self):
+        r = Relation.from_rows(["A", "B"], [(1, 2), (1, 3)])
+        assert not covers_equivalent_on(r, [cfd_from_fd(("A",), "B")], [])

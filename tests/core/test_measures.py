@@ -1,0 +1,106 @@
+"""Unit tests for CFD interest measures (support, confidence, conviction, χ²)."""
+
+import pytest
+
+from repro.core.cfd import CFD, cfd_from_fd
+from repro.core.measures import (
+    chi_squared,
+    confidence,
+    conviction,
+    measures,
+    rank_by_interest,
+)
+from repro.core.pattern import WILDCARD
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    # A=1 maps to B=x in 3 of 4 matching tuples; A=2 maps to B=y always.
+    return Relation.from_rows(
+        ["A", "B"],
+        [
+            (1, "x"),
+            (1, "x"),
+            (1, "x"),
+            (1, "z"),
+            (2, "y"),
+            (2, "y"),
+        ],
+    )
+
+
+class TestConfidence:
+    def test_exact_rule_has_confidence_one(self, relation):
+        assert confidence(relation, CFD(("A",), (2,), "B", "y")) == 1.0
+
+    def test_partial_rule_confidence(self, relation):
+        assert confidence(relation, CFD(("A",), (1,), "B", "x")) == pytest.approx(0.75)
+
+    def test_variable_cfd_confidence(self, relation):
+        assert confidence(relation, cfd_from_fd(("A",), "B")) == pytest.approx(5 / 6)
+
+    def test_empty_match_confidence_is_one(self, relation):
+        assert confidence(relation, CFD(("A",), (99,), "B", "x")) == 1.0
+
+    def test_confidence_counts_only_pattern_compatible_values(self, relation):
+        # RHS constant 'z' matches a single tuple of the A=1 group.
+        assert confidence(relation, CFD(("A",), (1,), "B", "z")) == pytest.approx(0.25)
+
+
+class TestConvictionAndChiSquared:
+    def test_conviction_none_for_variable_cfds(self, relation):
+        assert conviction(relation, cfd_from_fd(("A",), "B")) is None
+        assert chi_squared(relation, cfd_from_fd(("A",), "B")) is None
+
+    def test_conviction_infinite_for_exact_rule(self, relation):
+        assert conviction(relation, CFD(("A",), (2,), "B", "y")) == float("inf")
+
+    def test_conviction_value(self, relation):
+        # P(B=x) = 3/6, confidence = 3/4 -> conviction = (1-0.5)/(1-0.75) = 2.
+        assert conviction(relation, CFD(("A",), (1,), "B", "x")) == pytest.approx(2.0)
+
+    def test_chi_squared_positive_for_correlated_rule(self, relation):
+        value = chi_squared(relation, CFD(("A",), (2,), "B", "y"))
+        assert value is not None and value > 0
+
+    def test_chi_squared_none_for_degenerate_table(self):
+        r = Relation.from_rows(["A", "B"], [(1, "x"), (1, "x")])
+        # every tuple matches both sides: the contingency table is degenerate
+        assert chi_squared(r, CFD(("A",), (1,), "B", "x")) is None
+
+    def test_empty_relation(self):
+        empty = Relation(["A", "B"], [[], []])
+        assert conviction(empty, CFD(("A",), (1,), "B", "x")) is None
+        assert chi_squared(empty, CFD(("A",), (1,), "B", "x")) is None
+
+
+class TestBundleAndRanking:
+    def test_measures_bundle(self, relation):
+        bundle = measures(relation, CFD(("A",), (2,), "B", "y"))
+        assert bundle.support_count == 2
+        assert bundle.support_ratio == pytest.approx(2 / 6)
+        assert bundle.confidence == 1.0
+        assert bundle.conviction == float("inf")
+
+    def test_rank_by_confidence(self, relation):
+        exact = CFD(("A",), (2,), "B", "y")
+        partial = CFD(("A",), (1,), "B", "x")
+        ranked = rank_by_interest(relation, [partial, exact], key="confidence")
+        assert ranked[0] == exact
+
+    def test_rank_by_support(self, relation):
+        exact = CFD(("A",), (2,), "B", "y")       # support 2
+        partial = CFD(("A",), (1,), "B", "x")     # support 3
+        ranked = rank_by_interest(relation, [exact, partial], key="support")
+        assert ranked[0] == partial
+
+    def test_rank_puts_missing_values_last(self, relation):
+        variable = cfd_from_fd(("A",), "B")       # conviction is None
+        constant = CFD(("A",), (2,), "B", "y")
+        ranked = rank_by_interest(relation, [variable, constant], key="conviction")
+        assert ranked[-1] == variable
+
+    def test_rank_rejects_unknown_key(self, relation):
+        with pytest.raises(ValueError):
+            rank_by_interest(relation, [], key="nope")

@@ -1,0 +1,126 @@
+"""Unit tests for repro.core.minimality (left-reducedness, minimality, covers)."""
+
+import pytest
+
+from repro.core.cfd import CFD, cfd_from_fd
+from repro.core.minimality import (
+    assert_cover_properties,
+    canonical_cover,
+    filter_minimal,
+    is_left_reduced,
+    is_minimal,
+    is_trivial,
+)
+from repro.core.pattern import WILDCARD
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    # A -> B holds only when A = 1; C is irrelevant padding.
+    return Relation.from_rows(
+        ["A", "B", "C"],
+        [
+            (1, 5, 0),
+            (1, 5, 1),
+            (2, 6, 0),
+            (2, 7, 1),
+            (2, 7, 0),
+        ],
+    )
+
+
+class TestTrivial:
+    def test_trivial_cfd(self):
+        assert is_trivial(CFD(("A",), (1,), "A", 1))
+
+    def test_non_trivial_cfd(self):
+        assert not is_trivial(CFD(("A",), (1,), "B", 2))
+
+
+class TestLeftReduced:
+    def test_minimal_constant_cfd(self, relation):
+        assert is_left_reduced(relation, CFD(("A",), (1,), "B", 5))
+
+    def test_constant_cfd_with_redundant_attribute(self, relation):
+        phi = CFD(("A", "C"), (1, 0), "B", 5)
+        assert not is_left_reduced(relation, phi)
+
+    def test_variable_cfd_with_upgradeable_constant(self):
+        # B -> C holds globally, so the pattern (1, _) is not most general.
+        r = Relation.from_rows(
+            ["A", "B", "C"],
+            [(1, "p", "u"), (1, "p", "u"), (2, "q", "v")],
+        )
+        phi = CFD(("A", "B"), (1, WILDCARD), "C", WILDCARD)
+        assert not is_left_reduced(r, phi)
+        assert is_left_reduced(r, cfd_from_fd(("B",), "C"))
+
+    def test_variable_cfd_minimal(self, relation):
+        phi = CFD(("A",), (1,), "B", WILDCARD)
+        assert is_left_reduced(relation, phi)
+
+
+class TestIsMinimal:
+    def test_minimal_constant(self, relation):
+        assert is_minimal(relation, CFD(("A",), (1,), "B", 5))
+
+    def test_minimal_variable(self, relation):
+        assert is_minimal(relation, CFD(("A",), (1,), "B", WILDCARD))
+
+    def test_not_satisfied_not_minimal(self, relation):
+        assert not is_minimal(relation, cfd_from_fd(("A",), "B"))
+
+    def test_trivial_not_minimal(self, relation):
+        assert not is_minimal(relation, CFD(("A",), (1,), "A", 1))
+
+    def test_infrequent_not_minimal(self, relation):
+        assert is_minimal(relation, CFD(("A",), (1,), "B", 5), k=2)
+        assert not is_minimal(relation, CFD(("A",), (1,), "B", 5), k=3)
+
+    def test_redundant_attribute_not_minimal(self, relation):
+        assert not is_minimal(relation, CFD(("A", "C"), (1, 0), "B", 5))
+
+
+class TestCoverHelpers:
+    def test_filter_minimal(self, relation):
+        candidates = [
+            CFD(("A",), (1,), "B", 5),
+            CFD(("A", "C"), (1, 0), "B", 5),
+            cfd_from_fd(("A",), "B"),
+        ]
+        assert filter_minimal(relation, candidates) == [CFD(("A",), (1,), "B", 5)]
+
+    def test_canonical_cover_deduplicates(self, relation):
+        phi = CFD(("A",), (1,), "B", 5)
+        assert canonical_cover(relation, [phi, phi]) == {phi}
+
+    def test_assert_cover_properties_passes(self, relation):
+        assert_cover_properties(relation, [CFD(("A",), (1,), "B", 5)], k=2)
+
+    def test_assert_cover_properties_raises(self, relation):
+        with pytest.raises(AssertionError):
+            assert_cover_properties(relation, [cfd_from_fd(("A",), "B")])
+
+
+class TestPaperExample5:
+    """Example 5: the fi1 patterns of f1 are not minimal because (_, _ || _) holds."""
+
+    def test_specialised_patterns_of_a_holding_fd_are_not_minimal(self):
+        r = Relation.from_rows(
+            ["CC", "AC", "CT"],
+            [
+                ("01", "908", "MH"),
+                ("01", "908", "MH"),
+                ("44", "131", "EDI"),
+                ("44", "131", "EDI"),
+                # breaks both AC -> CT and CC -> CT, keeping [CC, AC] -> CT minimal
+                ("01", "131", "NYC"),
+            ],
+        )
+        fd_cfd = cfd_from_fd(("CC", "AC"), "CT")
+        assert is_minimal(r, fd_cfd)
+        f11 = CFD(("CC", "AC"), ("01", WILDCARD), "CT", WILDCARD)
+        f31 = CFD(("CC", "AC"), (WILDCARD, "908"), "CT", WILDCARD)
+        assert not is_minimal(r, f11)
+        assert not is_minimal(r, f31)

@@ -1,0 +1,140 @@
+"""Integration tests: the worked examples of the paper on the cust relation.
+
+The fixtures reconstruct the instance r0 of Fig. 1; these tests verify the
+claims the paper makes about it in Examples 1-7 and check that the discovery
+algorithms find the corresponding (left-reduced) rules.
+"""
+
+import pytest
+
+from repro.core.cfd import CFD, cfd_from_fd
+from repro.core.cfdminer import CFDMiner
+from repro.core.ctane import CTane
+from repro.core.fastcfd import FastCFD
+from repro.core.minimality import is_minimal
+from repro.core.pattern import WILDCARD
+from repro.core.validation import satisfies, support_count
+from repro.itemsets.itemset import encode_items
+from repro.itemsets.mining import mine_free_and_closed
+
+
+# ------------------------------------------------------------------------- #
+# Example 1 / Example 3: FDs and CFDs that hold (or fail) on r0
+# ------------------------------------------------------------------------- #
+class TestExampleCFDs:
+    def test_f1_holds(self, cust_relation):
+        assert satisfies(cust_relation, cfd_from_fd(("CC", "AC"), "CT"))
+
+    def test_f2_holds(self, cust_relation):
+        assert satisfies(cust_relation, cfd_from_fd(("CC", "AC", "PN"), "STR"))
+
+    def test_phi0_holds(self, cust_relation):
+        phi0 = CFD(("CC", "ZIP"), ("44", WILDCARD), "STR", WILDCARD)
+        assert satisfies(cust_relation, phi0)
+
+    def test_phi1_holds_and_is_3_frequent(self, cust_relation):
+        phi1 = CFD(("CC", "AC"), ("01", "908"), "CT", "MH")
+        assert satisfies(cust_relation, phi1)
+        assert support_count(cust_relation, phi1) >= 3
+
+    def test_phi2_holds_and_is_2_frequent(self, cust_relation):
+        phi2 = CFD(("CC", "AC"), ("44", "131"), "CT", "EDI")
+        assert satisfies(cust_relation, phi2)
+        assert support_count(cust_relation, phi2) == 2
+
+    def test_unconditional_zip_to_str_fails(self, cust_relation):
+        """Example 3: ([CC, ZIP] -> STR, (_, _ || _)) is violated."""
+        assert not satisfies(cust_relation, cfd_from_fd(("CC", "ZIP"), "STR"))
+
+    def test_ac_to_ct_131_edi_fails_because_of_t8(self, cust_relation):
+        """Example 3: (AC -> CT, (131 || EDI)) is violated by a single tuple."""
+        assert not satisfies(cust_relation, CFD(("AC",), ("131",), "CT", "EDI"))
+
+
+# ------------------------------------------------------------------------- #
+# Example 5: minimality on r0
+# ------------------------------------------------------------------------- #
+class TestExampleMinimality:
+    def test_phi2_is_minimal(self, cust_relation):
+        phi2 = CFD(("CC", "AC"), ("44", "131"), "CT", "EDI")
+        assert is_minimal(cust_relation, phi2)
+
+    def test_phi1_is_not_minimal(self, cust_relation):
+        """phi1 can be reduced to (AC -> CT, (908 || MH))."""
+        phi1 = CFD(("CC", "AC"), ("01", "908"), "CT", "MH")
+        assert not is_minimal(cust_relation, phi1)
+        assert is_minimal(cust_relation, CFD(("AC",), ("908",), "CT", "MH"))
+
+    def test_f1_and_phi0_are_minimal_variable_cfds(self, cust_relation):
+        assert is_minimal(cust_relation, cfd_from_fd(("CC", "AC"), "CT"))
+        assert is_minimal(
+            cust_relation, CFD(("CC", "ZIP"), ("44", WILDCARD), "STR", WILDCARD)
+        )
+
+    def test_specialisations_of_f1_are_not_minimal(self, cust_relation):
+        for pattern in [("01", WILDCARD), ("44", WILDCARD), (WILDCARD, "908")]:
+            phi = CFD(("CC", "AC"), pattern, "CT", WILDCARD)
+            assert not is_minimal(cust_relation, phi), pattern
+
+
+# ------------------------------------------------------------------------- #
+# Examples 6/7: free and closed item sets on r0
+# ------------------------------------------------------------------------- #
+class TestExampleItemsets:
+    def test_ct_mh_closed_set_support_three(self, cust_relation):
+        """([CC, AC, CT, ZIP], (01, 908, MH, 07974)) has support 3 (Fig. 2)."""
+        result = mine_free_and_closed(cust_relation, min_support=3)
+        closed = encode_items(
+            cust_relation, {"CC": "01", "AC": "908", "CT": "MH", "ZIP": "07974"}
+        )
+        assert closed in result.closed_supports
+        assert result.closed_supports[closed] == 3
+
+    def test_free_generators_of_that_closed_set(self, cust_relation):
+        """Its free generators include ([CC, AC], (01, 908)) and (ZIP, 07974)."""
+        result = mine_free_and_closed(cust_relation, min_support=3)
+        closed = encode_items(
+            cust_relation, {"CC": "01", "AC": "908", "CT": "MH", "ZIP": "07974"}
+        )
+        generators = {free.items for free in result.closed_to_free[closed]}
+        assert encode_items(cust_relation, {"CC": "01", "AC": "908"}) in generators
+        assert encode_items(cust_relation, {"ZIP": "07974"}) in generators
+
+    def test_example7_ac_908_to_mh_is_4_frequent_left_reduced(self, cust_relation):
+        """(AC -> CT, (908 || MH)) is a 4-frequent left-reduced constant CFD."""
+        phi = CFD(("AC",), ("908",), "CT", "MH")
+        assert support_count(cust_relation, phi) == 4
+        assert is_minimal(cust_relation, phi, k=4)
+
+
+# ------------------------------------------------------------------------- #
+# end-to-end discovery on r0
+# ------------------------------------------------------------------------- #
+class TestDiscoveryOnCust:
+    def test_cfdminer_finds_example_rules(self, cust_relation):
+        found = set(CFDMiner(cust_relation, min_support=2).discover())
+        assert CFD(("AC",), ("908",), "CT", "MH") in found
+        assert CFD(("CC", "AC"), ("44", "131"), "CT", "EDI") in found
+
+    def test_ctane_finds_f1_and_phi0(self, cust_relation):
+        found = set(CTane(cust_relation, min_support=2).discover())
+        assert cfd_from_fd(("CC", "AC"), "CT") in found
+        assert CFD(("CC", "ZIP"), ("44", WILDCARD), "STR", WILDCARD) in found
+
+    def test_fastcfd_finds_f1_and_phi0(self, cust_relation):
+        found = set(FastCFD(cust_relation, min_support=2).discover())
+        assert cfd_from_fd(("CC", "AC"), "CT") in found
+        assert CFD(("CC", "ZIP"), ("44", WILDCARD), "STR", WILDCARD) in found
+
+    def test_all_general_algorithms_find_same_constant_rules(self, cust_relation):
+        ctane = {c for c in CTane(cust_relation, 2).discover() if c.is_constant}
+        fastcfd = {c for c in FastCFD(cust_relation, 2).discover() if c.is_constant}
+        cfdminer = set(CFDMiner(cust_relation, 2).discover())
+        assert ctane == cfdminer
+        assert fastcfd == cfdminer
+
+    def test_every_discovered_rule_holds_on_r0(self, cust_relation):
+        for algorithm in (CTane, FastCFD):
+            for cfd in algorithm(cust_relation, 3).discover():
+                assert satisfies(cust_relation, cfd)
+                assert support_count(cust_relation, cfd) >= 3

@@ -1,0 +1,164 @@
+"""Unit tests for repro.core.pattern (pattern values and the ≼ order)."""
+
+import pickle
+
+import pytest
+
+from repro.core.pattern import (
+    WILDCARD,
+    PatternTuple,
+    is_wildcard,
+    pattern_leq,
+    pattern_str,
+    value_matches,
+)
+from repro.exceptions import PatternError
+
+
+class TestWildcard:
+    def test_singleton(self):
+        from repro.core.pattern import _Wildcard
+
+        assert _Wildcard() is WILDCARD
+
+    def test_repr_and_str(self):
+        assert repr(WILDCARD) == "_"
+        assert str(WILDCARD) == "_"
+
+    def test_equality_only_with_wildcards(self):
+        assert WILDCARD == WILDCARD
+        assert WILDCARD != "_"
+        assert WILDCARD != 0
+
+    def test_hashable(self):
+        assert len({WILDCARD, WILDCARD}) == 1
+
+    def test_pickle_round_trip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(WILDCARD)) == WILDCARD
+
+    def test_is_wildcard(self):
+        assert is_wildcard(WILDCARD)
+        assert not is_wildcard("_")
+        assert not is_wildcard(None)
+
+
+class TestValueMatching:
+    def test_value_matches_wildcard(self):
+        assert value_matches("anything", WILDCARD)
+
+    def test_value_matches_equal_constant(self):
+        assert value_matches("x", "x")
+        assert not value_matches("x", "y")
+
+    def test_pattern_leq_reflexive(self):
+        assert pattern_leq("a", "a")
+        assert pattern_leq(WILDCARD, WILDCARD)
+
+    def test_pattern_leq_constant_below_wildcard(self):
+        assert pattern_leq("a", WILDCARD)
+        assert not pattern_leq(WILDCARD, "a")
+
+    def test_pattern_leq_different_constants(self):
+        assert not pattern_leq("a", "b")
+
+    def test_pattern_str(self):
+        assert pattern_str(WILDCARD) == "_"
+        assert pattern_str(42) == "42"
+
+
+class TestPatternTuple:
+    def test_construction_and_access(self):
+        tp = PatternTuple(("CC", "AC"), ("01", WILDCARD))
+        assert tp["CC"] == "01"
+        assert is_wildcard(tp["AC"])
+        assert len(tp) == 2
+        assert "CC" in tp and "ZZ" not in tp
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PatternError):
+            PatternTuple(("A",), ("x", "y"))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(PatternError):
+            PatternTuple(("A", "A"), ("x", "y"))
+
+    def test_unknown_attribute_access(self):
+        with pytest.raises(PatternError):
+            PatternTuple(("A",), ("x",))["B"]
+
+    def test_from_mapping_and_as_dict(self):
+        tp = PatternTuple.from_mapping({"A": 1, "B": WILDCARD})
+        assert tp.as_dict() == {"A": 1, "B": WILDCARD}
+
+    def test_all_wildcards(self):
+        tp = PatternTuple.all_wildcards(["A", "B"])
+        assert tp.is_all_wildcards
+        assert not tp.is_constant
+
+    def test_classification(self):
+        assert PatternTuple(("A",), ("x",)).is_constant
+        assert PatternTuple(("A", "B"), ("x", WILDCARD)).constant_attributes == ("A",)
+        assert PatternTuple(("A", "B"), ("x", WILDCARD)).wildcard_attributes == ("B",)
+
+    def test_restrict(self):
+        tp = PatternTuple(("A", "B", "C"), (1, 2, 3))
+        assert tp.restrict(["C", "A"]).values == (3, 1)
+
+    def test_restrict_unknown_attribute(self):
+        with pytest.raises(PatternError):
+            PatternTuple(("A",), (1,)).restrict(["B"])
+
+    def test_constant_part(self):
+        tp = PatternTuple(("A", "B"), (1, WILDCARD))
+        assert tp.constant_part().attributes == ("A",)
+
+    def test_with_value_and_generalise(self):
+        tp = PatternTuple(("A", "B"), (1, 2))
+        assert tp.with_value("B", 9)["B"] == 9
+        assert is_wildcard(tp.generalise("A")["A"])
+
+    def test_with_value_unknown_attribute(self):
+        with pytest.raises(PatternError):
+            PatternTuple(("A",), (1,)).with_value("B", 2)
+
+    def test_matches_row(self):
+        tp = PatternTuple(("A", "B"), (1, WILDCARD))
+        assert tp.matches_row({"A": 1, "B": 99})
+        assert not tp.matches_row({"A": 2, "B": 99})
+
+    def test_leq_componentwise(self):
+        specific = PatternTuple(("A", "B"), (1, 2))
+        general = PatternTuple(("A", "B"), (1, WILDCARD))
+        assert specific.leq(general)
+        assert not general.leq(specific)
+        assert general.strictly_more_general_than(specific)
+
+    def test_leq_requires_same_attributes(self):
+        with pytest.raises(PatternError):
+            PatternTuple(("A",), (1,)).leq(PatternTuple(("B",), (1,)))
+
+    def test_generalisations_upgrade_one_constant_each(self):
+        tp = PatternTuple(("A", "B"), (1, 2))
+        generalisations = list(tp.generalisations())
+        assert len(generalisations) == 2
+        for generalisation in generalisations:
+            assert generalisation.strictly_more_general_than(tp) or tp.leq(generalisation)
+
+    def test_equality_and_hash(self):
+        assert PatternTuple(("A",), (1,)) == PatternTuple(("A",), (1,))
+        assert PatternTuple(("A",), (1,)) != PatternTuple(("A",), (2,))
+        assert hash(PatternTuple(("A",), (1,))) == hash(PatternTuple(("A",), (1,)))
+
+    def test_str_and_repr(self):
+        tp = PatternTuple(("A", "B"), (1, WILDCARD))
+        assert str(tp) == "(1, _)"
+        assert "A=1" in repr(tp)
+
+    def test_paper_example_order(self):
+        """(44, "EH4 1DT", "EDI") ≼ (44, _, _) but not vice versa (Section 2.1.2)."""
+        specific = PatternTuple(("CC", "ZIP", "CT"), ("44", "EH4 1DT", "EDI"))
+        general = PatternTuple(("CC", "ZIP", "CT"), ("44", WILDCARD, WILDCARD))
+        assert specific.leq(general)
+        assert not general.leq(specific)
+        other = PatternTuple(("CC", "ZIP", "CT"), ("01", "07974", "Tree Ave."))
+        assert not other.leq(general)

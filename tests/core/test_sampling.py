@@ -1,0 +1,98 @@
+"""Unit tests for sampling-based discovery (the paper's future-work item)."""
+
+import pytest
+
+from repro.core.minimality import is_minimal
+from repro.core.sampling import discover_with_sampling, stratified_sample
+from repro.datagen.tax import generate_tax
+from repro.exceptions import DiscoveryError
+from repro.relational.relation import Relation
+
+
+@pytest.fixture(scope="module")
+def tax() -> Relation:
+    return generate_tax(db_size=600, arity=7, cf=0.7, seed=3)
+
+
+class TestStratifiedSample:
+    def test_invalid_size_rejected(self, tax):
+        with pytest.raises(DiscoveryError):
+            stratified_sample(tax, 0)
+
+    def test_oversized_sample_returns_relation(self, tax):
+        assert stratified_sample(tax, tax.n_rows + 10) is tax
+
+    def test_uniform_sample_size_and_schema(self, tax):
+        sample = stratified_sample(tax, 100, seed=1)
+        assert sample.n_rows == 100
+        assert sample.schema == tax.schema
+
+    def test_sample_rows_come_from_the_relation(self, tax):
+        sample = stratified_sample(tax, 50, seed=2)
+        original = set(tax.rows())
+        assert all(row in original for row in sample.rows())
+
+    def test_deterministic_given_seed(self, tax):
+        assert stratified_sample(tax, 80, seed=5) == stratified_sample(tax, 80, seed=5)
+
+    def test_stratified_sample_preserves_proportions(self, tax):
+        sample = stratified_sample(tax, 200, strata=["CC"], seed=4)
+        assert sample.n_rows == 200
+        full_ratio = tax.value_counts("CC")["01"] / tax.n_rows
+        sample_ratio = sample.value_counts("CC")["01"] / sample.n_rows
+        assert abs(full_ratio - sample_ratio) < 0.05
+
+    def test_stratified_sample_covers_all_large_strata(self, tax):
+        sample = stratified_sample(tax, 100, strata=["CC", "AC"], seed=6)
+        large_strata = {
+            key
+            for key, count in _group_counts(tax, ["CC", "AC"]).items()
+            if count >= tax.n_rows * 0.05
+        }
+        sampled_strata = set(_group_counts(sample, ["CC", "AC"]).keys())
+        assert large_strata <= sampled_strata
+
+
+def _group_counts(relation, attributes):
+    counts = {}
+    columns = [relation.column(a) for a in attributes]
+    for row in range(relation.n_rows):
+        key = tuple(column[row] for column in columns)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class TestDiscoverWithSampling:
+    def test_invalid_support_rejected(self, tax):
+        with pytest.raises(DiscoveryError):
+            discover_with_sampling(tax, 0, sample_size=100)
+
+    def test_validated_rules_hold_on_full_relation(self, tax):
+        result = discover_with_sampling(
+            tax, 12, sample_size=200, algorithm="fastcfd", seed=7
+        )
+        assert result.cfds, "expected some rules to survive validation"
+        for cfd in result.cfds:
+            assert is_minimal(tax, cfd, k=12)
+
+    def test_precision_and_counts_consistent(self, tax):
+        result = discover_with_sampling(tax, 12, sample_size=200, seed=7)
+        assert result.validated == len(result.cfds)
+        assert result.candidates == result.validated + len(result.rejected)
+        assert 0.0 <= result.precision <= 1.0
+
+    def test_sample_support_scaled_proportionally(self, tax):
+        result = discover_with_sampling(tax, 12, sample_size=300, seed=7)
+        assert result.sample_support == max(1, round(12 * 300 / tax.n_rows))
+
+    def test_unvalidated_mode_returns_raw_candidates(self, tax):
+        raw = discover_with_sampling(tax, 12, sample_size=200, seed=7, validate=False)
+        assert raw.candidates == len(raw.cfds)
+        assert raw.rejected == []
+
+    def test_stratified_sampling_mode_runs(self, tax):
+        result = discover_with_sampling(
+            tax, 12, sample_size=200, strata=["CC"], seed=9
+        )
+        assert result.sample_size == 200
+        assert "sampling discovery" in result.summary()

@@ -1,0 +1,130 @@
+"""Unit tests for pattern-tableau CFDs (Section 2.3 of the paper)."""
+
+import pytest
+
+from repro.core.cfd import CFD, cfd_from_fd
+from repro.core.fastcfd import FastCFD
+from repro.core.pattern import WILDCARD, PatternTuple
+from repro.core.tableau import (
+    TableauCFD,
+    flatten_tableaux,
+    group_into_tableaux,
+    tableau_satisfies,
+    tableau_support,
+)
+from repro.core.validation import satisfies
+from repro.exceptions import DependencyError
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["CC", "AC", "CT"],
+        [
+            ("01", "908", "MH"),
+            ("01", "908", "MH"),
+            ("01", "212", "NYC"),
+            ("44", "131", "EDI"),
+            ("44", "131", "EDI"),
+        ],
+    )
+
+
+@pytest.fixture
+def tableau_cfd() -> TableauCFD:
+    return TableauCFD(
+        lhs=("CC", "AC"),
+        rhs="CT",
+        tableau=(
+            PatternTuple(("AC", "CC", "CT"), ("908", "01", "MH")),
+            PatternTuple(("AC", "CC", "CT"), ("131", "44", "EDI")),
+        ),
+    )
+
+
+class TestTableauCFD:
+    def test_lhs_sorted_and_embedded_fd(self, tableau_cfd):
+        assert tableau_cfd.lhs == ("AC", "CC")
+        assert tableau_cfd.embedded_fd == (("AC", "CC"), "CT")
+
+    def test_pattern_must_range_over_all_attributes(self):
+        with pytest.raises(DependencyError):
+            TableauCFD(
+                lhs=("A",),
+                rhs="B",
+                tableau=(PatternTuple(("A",), ("x",)),),
+            )
+
+    def test_to_cfds_round_trip(self, tableau_cfd):
+        cfds = tableau_cfd.to_cfds()
+        assert len(cfds) == 2
+        assert CFD(("CC", "AC"), ("01", "908"), "CT", "MH") in cfds
+
+    def test_len_and_str(self, tableau_cfd):
+        assert len(tableau_cfd) == 2
+        text = str(tableau_cfd)
+        assert "AC, CC" in text and "||" in text
+
+
+class TestTableauSemantics:
+    def test_satisfied_tableau(self, relation, tableau_cfd):
+        assert tableau_satisfies(relation, tableau_cfd)
+
+    def test_violated_tableau(self, relation):
+        bad = TableauCFD(
+            lhs=("AC",),
+            rhs="CT",
+            tableau=(PatternTuple(("AC", "CT"), ("908", "EDI")),),
+        )
+        assert not tableau_satisfies(relation, bad)
+
+    def test_support_is_minimum_over_rows(self, relation, tableau_cfd):
+        # (01, 908 || MH) has support 2; (44, 131 || EDI) has support 2.
+        assert tableau_support(relation, tableau_cfd) == 2
+
+    def test_support_of_empty_tableau(self, relation):
+        empty = TableauCFD(lhs=("AC",), rhs="CT", tableau=())
+        assert tableau_support(relation, empty) == 0
+
+    def test_equivalence_with_single_pattern_cfds(self, relation, tableau_cfd):
+        assert tableau_satisfies(relation, tableau_cfd) == all(
+            satisfies(relation, cfd) for cfd in tableau_cfd.to_cfds()
+        )
+
+
+class TestGrouping:
+    def test_group_by_embedded_fd(self):
+        cfds = [
+            CFD(("AC",), ("908",), "CT", "MH"),
+            CFD(("AC",), ("212",), "CT", "NYC"),
+            cfd_from_fd(("CC", "AC"), "CT"),
+        ]
+        tableaux = group_into_tableaux(cfds)
+        assert len(tableaux) == 2
+        sizes = {t.embedded_fd: len(t) for t in tableaux}
+        assert sizes[(("AC",), "CT")] == 2
+        assert sizes[(("AC", "CC"), "CT")] == 1
+
+    def test_flatten_is_inverse(self):
+        cfds = [
+            CFD(("AC",), ("908",), "CT", "MH"),
+            CFD(("AC",), ("212",), "CT", "NYC"),
+            cfd_from_fd(("CC", "AC"), "CT"),
+        ]
+        assert set(flatten_tableaux(group_into_tableaux(cfds))) == set(cfds)
+
+    def test_grouping_discovered_cover_preserves_satisfaction(self, relation):
+        cover = FastCFD(relation, min_support=2).discover()
+        tableaux = group_into_tableaux(cover)
+        assert tableaux
+        for tableau_cfd in tableaux:
+            assert tableau_satisfies(relation, tableau_cfd)
+        assert set(flatten_tableaux(tableaux)) == set(cover)
+
+    def test_grouping_is_deterministic(self):
+        cfds = [
+            CFD(("AC",), ("212",), "CT", "NYC"),
+            CFD(("AC",), ("908",), "CT", "MH"),
+        ]
+        assert group_into_tableaux(cfds) == group_into_tableaux(list(reversed(cfds)))

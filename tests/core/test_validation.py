@@ -1,0 +1,130 @@
+"""Unit tests for repro.core.validation (satisfaction, support, violations)."""
+
+import pytest
+
+from repro.core.cfd import CFD, cfd_from_fd
+from repro.core.pattern import WILDCARD
+from repro.core.validation import (
+    holds,
+    is_frequent,
+    matching_rows,
+    satisfies,
+    satisfies_all,
+    support,
+    support_count,
+    violating_tuples,
+    violations,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["A", "B", "C"],
+        [
+            (1, "x", 10),
+            (1, "x", 10),
+            (1, "y", 20),
+            (2, "y", 30),
+            (2, "y", 40),
+        ],
+    )
+
+
+class TestMatchingAndSupport:
+    def test_matching_rows_with_constants(self, relation):
+        phi = CFD(("A",), (1,), "B", WILDCARD)
+        assert matching_rows(relation, phi) == [0, 1, 2]
+
+    def test_matching_rows_all_wildcards(self, relation):
+        assert matching_rows(relation, cfd_from_fd(("A",), "B")) == [0, 1, 2, 3, 4]
+
+    def test_support_includes_rhs_pattern(self, relation):
+        phi = CFD(("A",), (1,), "B", "x")
+        assert support(relation, phi) == [0, 1]
+        assert support_count(relation, phi) == 2
+
+    def test_support_with_wildcard_rhs(self, relation):
+        phi = CFD(("A",), (1,), "B", WILDCARD)
+        assert support_count(relation, phi) == 3
+
+    def test_support_empty_lhs(self, relation):
+        phi = CFD((), (), "B", "y")
+        assert support_count(relation, phi) == 3
+
+    def test_is_frequent(self, relation):
+        phi = CFD(("A",), (1,), "B", "x")
+        assert is_frequent(relation, phi, 2)
+        assert not is_frequent(relation, phi, 3)
+
+
+class TestSatisfaction:
+    def test_fd_like_cfd_satisfied(self, relation):
+        # C -> B holds on the instance.
+        assert satisfies(relation, cfd_from_fd(("C",), "B"))
+
+    def test_fd_like_cfd_violated(self, relation):
+        # A -> B is violated (A=1 maps to both x and y).
+        assert not satisfies(relation, cfd_from_fd(("A",), "B"))
+
+    def test_conditional_cfd_satisfied(self, relation):
+        # Restricted to A=2, B is constant 'y'.
+        assert satisfies(relation, CFD(("A",), (2,), "B", WILDCARD))
+        assert satisfies(relation, CFD(("A",), (2,), "B", "y"))
+
+    def test_constant_cfd_violated_by_single_tuple(self, relation):
+        assert not satisfies(relation, CFD(("A",), (1,), "B", "x"))
+
+    def test_empty_match_is_vacuously_satisfied(self, relation):
+        assert satisfies(relation, CFD(("A",), (99,), "B", "x"))
+
+    def test_holds_combines_satisfaction_and_support(self, relation):
+        phi = CFD(("A",), (2,), "B", "y")
+        assert holds(relation, phi, k=2)
+        assert not holds(relation, phi, k=3)
+
+    def test_satisfies_all(self, relation):
+        good = [CFD(("A",), (2,), "B", "y"), cfd_from_fd(("C",), "B")]
+        assert satisfies_all(relation, good)
+        assert not satisfies_all(relation, good + [cfd_from_fd(("A",), "B")])
+
+    def test_paper_semantics_single_tuple_violation(self):
+        """(AC -> CT, (131 || EDI)) is violated by a single tuple (Example 3)."""
+        r = Relation.from_rows(
+            ["AC", "CT"],
+            [("131", "EDI"), ("131", "EDI"), ("131", "NYC")],
+        )
+        assert not satisfies(r, CFD(("AC",), ("131",), "CT", "EDI"))
+
+
+class TestViolations:
+    def test_single_tuple_violation_reported(self, relation):
+        phi = CFD(("A",), (1,), "B", "x")
+        found = violations(relation, phi)
+        kinds = {violation.kind for violation in found}
+        assert "single" in kinds
+        single = [v for v in found if v.kind == "single"][0]
+        assert single.rows == (2,)
+
+    def test_pair_violation_reported(self, relation):
+        phi = cfd_from_fd(("A",), "B")
+        found = violations(relation, phi)
+        assert any(v.kind == "pair" for v in found)
+        pair = [v for v in found if v.kind == "pair"][0]
+        assert len(pair.rows) == 2
+
+    def test_no_violations_for_satisfied_cfd(self, relation):
+        assert violations(relation, cfd_from_fd(("C",), "B")) == []
+
+    def test_max_violations_cap(self, relation):
+        phi = CFD(("A",), (1,), "B", "x")
+        assert len(violations(relation, phi, max_violations=1)) == 1
+
+    def test_violating_tuples_union(self, relation):
+        rows = violating_tuples(relation, [cfd_from_fd(("A",), "B")])
+        assert rows  # at least the conflicting pair
+        assert rows <= set(range(relation.n_rows))
+
+    def test_satisfied_set_has_no_violating_tuples(self, relation):
+        assert violating_tuples(relation, [cfd_from_fd(("C",), "B")]) == set()

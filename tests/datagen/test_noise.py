@@ -1,0 +1,66 @@
+"""Unit tests for error injection."""
+
+import pytest
+
+from repro.datagen.noise import inject_errors
+from repro.exceptions import DataGenerationError
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["A", "B"],
+        [(i % 3, f"v{i % 4}") for i in range(40)],
+    )
+
+
+class TestInjectErrors:
+    def test_zero_rate_returns_same_relation(self, relation):
+        dirty, cells = inject_errors(relation, 0.0)
+        assert dirty == relation
+        assert cells == []
+
+    def test_invalid_rate_rejected(self, relation):
+        with pytest.raises(DataGenerationError):
+            inject_errors(relation, 1.5)
+
+    def test_unknown_attribute_rejected(self, relation):
+        with pytest.raises(DataGenerationError):
+            inject_errors(relation, 0.1, attributes=["Z"])
+
+    def test_number_of_errors_matches_rate(self, relation):
+        _, cells = inject_errors(relation, 0.1, seed=1)
+        assert len(cells) == int(round(0.1 * relation.n_rows * relation.arity))
+
+    def test_modified_cells_actually_changed(self, relation):
+        dirty, cells = inject_errors(relation, 0.1, seed=2)
+        assert cells
+        for row, attribute in cells:
+            assert dirty.value(row, attribute) != relation.value(row, attribute)
+
+    def test_untouched_cells_preserved(self, relation):
+        dirty, cells = inject_errors(relation, 0.05, seed=3)
+        touched = set(cells)
+        for row in range(relation.n_rows):
+            for attribute in relation.attributes:
+                if (row, attribute) not in touched:
+                    assert dirty.value(row, attribute) == relation.value(row, attribute)
+
+    def test_restrict_to_attributes(self, relation):
+        _, cells = inject_errors(relation, 0.2, seed=4, attributes=["B"])
+        assert cells
+        assert all(attribute == "B" for _, attribute in cells)
+
+    def test_deterministic_given_seed(self, relation):
+        first = inject_errors(relation, 0.1, seed=5)
+        second = inject_errors(relation, 0.1, seed=5)
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+    def test_typo_only_mode(self, relation):
+        dirty, cells = inject_errors(
+            relation, 0.1, seed=6, use_domain_values=False, typo_marker="!!"
+        )
+        for row, attribute in cells:
+            assert str(dirty.value(row, attribute)).endswith("!!")

@@ -1,0 +1,83 @@
+"""Unit tests for the Tax/cust synthetic data generator."""
+
+import pytest
+
+from repro.core.cfd import CFD, cfd_from_fd
+from repro.core.pattern import WILDCARD
+from repro.core.validation import satisfies
+from repro.datagen.tax import BASE_ATTRIBUTES, TaxGenerator, generate_tax
+from repro.exceptions import DataGenerationError
+
+
+class TestParameters:
+    def test_invalid_db_size(self):
+        with pytest.raises(DataGenerationError):
+            TaxGenerator(db_size=0)
+
+    def test_invalid_arity(self):
+        with pytest.raises(DataGenerationError):
+            TaxGenerator(db_size=10, arity=5)
+
+    def test_invalid_cf(self):
+        with pytest.raises(DataGenerationError):
+            TaxGenerator(db_size=10, cf=0.0)
+        with pytest.raises(DataGenerationError):
+            TaxGenerator(db_size=10, cf=1.5)
+
+    def test_attribute_names_base(self):
+        assert TaxGenerator(db_size=10).attribute_names() == list(BASE_ATTRIBUTES)
+
+    def test_attribute_names_extended(self):
+        names = TaxGenerator(db_size=10, arity=10).attribute_names()
+        assert len(names) == 10
+        assert names[:7] == list(BASE_ATTRIBUTES)
+        assert names[7:] == ["X01", "X02", "X03"]
+
+
+class TestGeneratedData:
+    def test_shape(self):
+        relation = generate_tax(db_size=200, arity=9, cf=0.5, seed=1)
+        assert relation.n_rows == 200
+        assert relation.arity == 9
+
+    def test_deterministic_given_seed(self):
+        assert generate_tax(100, seed=3) == generate_tax(100, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert generate_tax(100, seed=3) != generate_tax(100, seed=4)
+
+    def test_country_codes_are_binary(self):
+        relation = generate_tax(db_size=300, seed=0)
+        assert set(relation.active_domain("CC")) <= {"01", "44"}
+
+    def test_embedded_conditional_dependency_us_area_to_city(self):
+        relation = generate_tax(db_size=400, seed=0)
+        phi = CFD(("CC", "AC"), ("01", WILDCARD), "CT", WILDCARD)
+        assert satisfies(relation, phi)
+
+    def test_embedded_conditional_dependency_uk_zip_to_street(self):
+        relation = generate_tax(db_size=400, seed=0)
+        phi = CFD(("CC", "ZIP"), ("44", WILDCARD), "STR", WILDCARD)
+        assert satisfies(relation, phi)
+
+    def test_dependencies_are_genuinely_conditional(self):
+        """The embedded rules must not hold unconditionally (else they are FDs)."""
+        relation = generate_tax(db_size=800, seed=0)
+        assert not satisfies(relation, cfd_from_fd(("ZIP",), "STR"))
+
+    def test_cf_controls_domain_sizes(self):
+        small_cf = generate_tax(db_size=500, cf=0.3, seed=1)
+        large_cf = generate_tax(db_size=500, cf=0.9, seed=1)
+        assert small_cf.domain_size("PN") < large_cf.domain_size("PN")
+
+    def test_extra_dependent_attribute_follows_area_code(self):
+        relation = generate_tax(db_size=400, arity=9, seed=2)
+        # X01 is a function of AC within the US partition by construction.
+        phi = CFD(("CC", "AC"), ("01", WILDCARD), "X01", WILDCARD)
+        assert satisfies(relation, phi)
+
+    def test_dbsize_scales_rows_not_schema(self):
+        small = generate_tax(db_size=50, seed=5)
+        large = generate_tax(db_size=150, seed=5)
+        assert small.arity == large.arity == 7
+        assert large.n_rows == 3 * small.n_rows

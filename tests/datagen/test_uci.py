@@ -1,0 +1,85 @@
+"""Unit tests for the UCI data-set stand-ins (WBC and Chess)."""
+
+import pytest
+
+from repro.core.cfd import cfd_from_fd
+from repro.core.validation import satisfies
+from repro.datagen.uci import (
+    CHESS_ATTRIBUTES,
+    WBC_ATTRIBUTES,
+    chess,
+    wisconsin_breast_cancer,
+)
+from repro.exceptions import DataGenerationError
+
+
+class TestWisconsinBreastCancer:
+    def test_default_shape_matches_uci(self):
+        relation = wisconsin_breast_cancer()
+        assert relation.n_rows == 699
+        assert relation.arity == 11
+        assert relation.attributes == WBC_ATTRIBUTES
+
+    def test_feature_domains_are_one_to_ten(self):
+        relation = wisconsin_breast_cancer(n_rows=300)
+        for attribute in WBC_ATTRIBUTES[1:-1]:
+            values = set(relation.column(attribute))
+            assert values <= set(range(1, 11))
+
+    def test_class_is_binary(self):
+        relation = wisconsin_breast_cancer(n_rows=300)
+        assert set(relation.active_domain("class")) <= {"benign", "malignant"}
+
+    def test_class_is_function_of_features(self):
+        relation = wisconsin_breast_cancer(n_rows=300)
+        fd = cfd_from_fd(("cell_size", "cell_shape", "bare_nuclei"), "class")
+        assert satisfies(relation, fd)
+
+    def test_deterministic(self):
+        assert wisconsin_breast_cancer(n_rows=100) == wisconsin_breast_cancer(n_rows=100)
+
+    def test_invalid_size(self):
+        with pytest.raises(DataGenerationError):
+            wisconsin_breast_cancer(n_rows=0)
+
+
+class TestChess:
+    def test_shape(self):
+        relation = chess(n_rows=500)
+        assert relation.n_rows == 500
+        assert relation.attributes == CHESS_ATTRIBUTES
+
+    def test_files_and_ranks_are_board_coordinates(self):
+        relation = chess(n_rows=300)
+        assert set(relation.active_domain("wk_file")) <= set("abcdefgh")
+        assert set(relation.active_domain("wk_rank")) <= set(range(1, 9))
+
+    def test_kings_are_never_adjacent_or_overlapping(self):
+        relation = chess(n_rows=300)
+        files = "abcdefgh"
+        for row in relation.rows():
+            wkf, wkr, _, _, bkf, bkr = (
+                files.index(row[0]), row[1], row[2], row[3], files.index(row[4]), row[5]
+            )
+            assert max(abs(wkf - bkf), abs(wkr - bkr)) > 1
+
+    def test_depth_is_function_of_position(self):
+        relation = chess(n_rows=400)
+        fd = cfd_from_fd(tuple(CHESS_ATTRIBUTES[:-1]), "depth")
+        assert satisfies(relation, fd)
+
+    def test_class_labels_come_from_the_krk_label_set(self):
+        relation = chess(n_rows=400)
+        labels = set(relation.active_domain("depth"))
+        assert labels <= {
+            "draw", "zero", "one", "two", "three", "four", "five", "six", "seven",
+            "eight", "nine", "ten", "eleven", "twelve", "thirteen", "fourteen",
+            "fifteen", "sixteen",
+        }
+
+    def test_deterministic(self):
+        assert chess(n_rows=200) == chess(n_rows=200)
+
+    def test_invalid_size(self):
+        with pytest.raises(DataGenerationError):
+            chess(n_rows=0)

@@ -1,0 +1,71 @@
+"""Unit tests for the experiment dataset registry and scaling policy."""
+
+import pytest
+
+from repro.exceptions import DataGenerationError
+from repro.experiments.datasets import (
+    SCALE_ENV_VAR,
+    dataset_registry,
+    load_dataset,
+    scale_factor,
+    scaled,
+)
+
+
+class TestScaleFactor:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        assert scale_factor() == 1.0
+
+    def test_reads_environment(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "0.5")
+        assert scale_factor() == 0.5
+
+    def test_invalid_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "abc")
+        with pytest.raises(DataGenerationError):
+            scale_factor()
+
+    def test_non_positive_rejected(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "0")
+        with pytest.raises(DataGenerationError):
+            scale_factor()
+
+    def test_scaled_respects_minimum(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "0.001")
+        assert scaled(1000, minimum=50) == 50
+
+    def test_scaled_multiplies(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "2.0")
+        assert scaled(100) == 200
+
+
+class TestRegistry:
+    def test_registry_contains_paper_datasets(self):
+        registry = dataset_registry()
+        assert set(registry) == {"wbc", "chess", "tax"}
+
+    def test_paper_shapes_recorded(self):
+        registry = dataset_registry()
+        assert registry["wbc"].paper_size == 699
+        assert registry["wbc"].paper_arity == 11
+        assert registry["chess"].paper_size == 28056
+        assert registry["chess"].paper_arity == 7
+
+    def test_load_dataset_by_name(self):
+        relation = load_dataset("wbc", n_rows=120)
+        assert relation.n_rows == 120
+        assert relation.arity == 11
+
+    def test_load_dataset_default_size_is_scaled(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "0.2")
+        relation = load_dataset("tax")
+        assert relation.n_rows == scaled(dataset_registry()["tax"].default_size)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DataGenerationError):
+            load_dataset("nope")
+
+    def test_spec_load(self):
+        spec = dataset_registry()["chess"]
+        assert spec.load(n_rows=80).n_rows == 80

@@ -1,0 +1,82 @@
+"""Smoke tests for the per-figure experiment definitions (tiny workloads).
+
+The real sweeps live in ``benchmarks/``; here every figure function is run at
+a deliberately tiny size to verify that it assembles the right algorithms,
+parameters and output structure.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+class TestSyntheticFigures:
+    def test_figure5_contains_all_algorithm_variants(self):
+        result = figures.figure5(sizes=[60])
+        assert set(result.algorithms()) == {
+            "cfdminer", "ctane", "naivefast", "fastcfd", "cfdminer(2)"
+        }
+        assert all(run.parameters["dbsize"] == 60 for run in result.runs)
+
+    def test_figure6_counts_only_fastcfd(self):
+        result = figures.figure6(sizes=[60])
+        assert result.algorithms() == ["fastcfd"]
+        assert all(run.n_cfds == run.n_constant + run.n_variable for run in result.runs)
+
+    def test_figure7_excludes_ctane_beyond_cutoff(self):
+        result = figures.figure7(arities=[7, 9], db_size=60, ctane_max_arity=7)
+        by_arity = {}
+        for run in result.runs:
+            by_arity.setdefault(run.parameters["arity"], set()).add(run.algorithm)
+        assert "ctane" in by_arity[7]
+        assert "ctane" not in by_arity[9]
+
+    def test_figure8_sweeps_support(self):
+        result = figures.figure8(ks=[2, 4], db_size=60)
+        assert sorted({run.parameters["k"] for run in result.runs}) == [2, 4]
+
+    def test_figure9_counts_decrease_with_k(self):
+        result = figures.figure9(ks=[2, 8], db_size=80)
+        series = dict(result.series("fastcfd", "k", y_key="cfds"))
+        assert series[8] <= series[2]
+
+    def test_figure10_sweeps_cf(self):
+        result = figures.figure10(cfs=[0.5, 0.7], db_size=60, k=2)
+        assert sorted({run.parameters["cf"] for run in result.runs}) == [0.5, 0.7]
+
+
+class TestRealDataFigures:
+    @pytest.mark.parametrize(
+        "figure, algorithms",
+        [
+            (figures.figure11, {"ctane", "fastcfd"}),
+            (figures.figure12, {"ctane", "fastcfd"}),
+            (figures.figure13, {"ctane", "fastcfd"}),
+            (figures.figure14, {"fastcfd"}),
+            (figures.figure15, {"fastcfd"}),
+            (figures.figure16, {"fastcfd"}),
+        ],
+    )
+    def test_dataset_sweeps_run(self, figure, algorithms, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        result = figure(ks=[4])
+        assert set(result.algorithms()) == algorithms
+        assert all(run.parameters["k"] == 4 for run in result.runs)
+
+
+class TestAblations:
+    def test_closed_set_ablation(self):
+        result = figures.ablation_closed_sets(sizes=[60])
+        assert set(result.algorithms()) == {"naivefast", "fastcfd"}
+
+    def test_ctane_pruning_ablation_same_counts(self):
+        result = figures.ablation_ctane_pruning(sizes=[60])
+        counts = {}
+        for run in result.runs:
+            counts.setdefault(run.parameters["dbsize"], set()).add(run.n_cfds)
+        assert all(len(values) == 1 for values in counts.values())
+
+    def test_constant_delegation_ablation_same_counts(self):
+        result = figures.ablation_constant_delegation(sizes=[60])
+        totals = {run.algorithm: run.n_cfds for run in result.runs}
+        assert totals["fastcfd(cfdminer)"] == totals["fastcfd(inline)"]

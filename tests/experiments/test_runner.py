@@ -1,0 +1,93 @@
+"""Unit tests for the experiment timing runner and reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import AlgorithmRun, ExperimentResult, run_algorithms
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["A", "B"],
+        [(1, "x"), (1, "x"), (2, "y"), (2, "y")],
+    )
+
+
+class TestRunAlgorithms:
+    def test_one_record_per_algorithm(self, relation):
+        records = run_algorithms(
+            "figX", relation, 2, {"dbsize": 4}, algorithms=("cfdminer", "fastcfd")
+        )
+        assert [record.algorithm for record in records] == ["cfdminer", "fastcfd"]
+
+    def test_records_carry_parameters_and_counts(self, relation):
+        (record,) = run_algorithms(
+            "figX", relation, 2, {"dbsize": 4, "k": 2}, algorithms=("fastcfd",)
+        )
+        assert record.parameters == {"dbsize": 4, "k": 2}
+        assert record.n_cfds == record.n_constant + record.n_variable
+        assert record.seconds >= 0
+
+    def test_labels_override_names(self, relation):
+        (record,) = run_algorithms(
+            "figX", relation, 2, {}, algorithms=("cfdminer",),
+            labels={"cfdminer": "CFDMiner(2)"},
+        )
+        assert record.algorithm == "CFDMiner(2)"
+
+    def test_as_row_flattens(self, relation):
+        (record,) = run_algorithms(
+            "figX", relation, 2, {"dbsize": 4}, algorithms=("fastcfd",)
+        )
+        row = record.as_row()
+        assert row["algorithm"] == "fastcfd"
+        assert row["dbsize"] == 4
+        assert "seconds" in row and "cfds" in row
+
+
+class TestExperimentResult:
+    def test_rows_series_and_table(self, relation):
+        result = ExperimentResult(figure="figX", description="demo")
+        for size in (2, 4):
+            for record in run_algorithms(
+                "figX", relation.head(size), 1, {"dbsize": size}, algorithms=("fastcfd",)
+            ):
+                result.add(record)
+        assert len(result.rows()) == 2
+        series = result.series("fastcfd", "dbsize")
+        assert [x for x, _ in series] == [2, 4]
+        assert result.algorithms() == ["fastcfd"]
+        table = result.to_table()
+        assert "figX" in table and "dbsize" in table
+
+    def test_series_on_counts(self, relation):
+        result = ExperimentResult(figure="figX", description="demo")
+        for record in run_algorithms("figX", relation, 1, {"k": 1}, algorithms=("fastcfd",)):
+            result.add(record)
+        assert result.series("fastcfd", "k", y_key="cfds")[0][1] == result.runs[0].n_cfds
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table([{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_missing_keys(self):
+        table = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in table and "b" in table
+
+    def test_format_table_explicit_columns(self):
+        table = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_format_series(self):
+        text = format_series([(1, 0.5), (2, 0.7)], "k", "seconds")
+        assert "k" in text and "seconds" in text and "0.7" in text

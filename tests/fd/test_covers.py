@@ -1,0 +1,74 @@
+"""Unit tests for repro.fd.covers (minimal hypergraph covers)."""
+
+import pytest
+
+from repro.fd.covers import covers, is_minimal_cover, minimal_covers
+
+
+class TestCovers:
+    def test_covers_true(self):
+        assert covers({1, 3}, [frozenset({1, 2}), frozenset({3})])
+
+    def test_covers_false(self):
+        assert not covers({1}, [frozenset({1, 2}), frozenset({3})])
+
+    def test_empty_family_always_covered(self):
+        assert covers(set(), [])
+
+    def test_minimal_cover_true(self):
+        family = [frozenset({1, 2}), frozenset({3})]
+        assert is_minimal_cover({1, 3}, family)
+        assert is_minimal_cover({2, 3}, family)
+
+    def test_minimal_cover_false_for_superset(self):
+        family = [frozenset({1, 2}), frozenset({3})]
+        assert not is_minimal_cover({1, 2, 3}, family)
+
+    def test_minimal_cover_false_when_not_covering(self):
+        assert not is_minimal_cover({1}, [frozenset({2})])
+
+
+class TestMinimalCoversEnumeration:
+    def test_simple_family(self):
+        family = [frozenset({0, 1}), frozenset({2})]
+        found = set(minimal_covers(family, [0, 1, 2]))
+        assert found == {frozenset({0, 2}), frozenset({1, 2})}
+
+    def test_empty_family_yields_empty_cover(self):
+        assert list(minimal_covers([], [0, 1])) == [frozenset()]
+
+    def test_family_with_empty_member_has_no_cover(self):
+        assert list(minimal_covers([frozenset()], [0, 1])) == []
+
+    def test_attributes_outside_family_never_used(self):
+        family = [frozenset({0})]
+        found = set(minimal_covers(family, [0, 1, 2]))
+        assert found == {frozenset({0})}
+
+    def test_all_covers_are_minimal(self):
+        family = [frozenset({0, 1}), frozenset({1, 2}), frozenset({2, 3})]
+        for cover in minimal_covers(family, [0, 1, 2, 3]):
+            assert is_minimal_cover(cover, family)
+
+    def test_reordering_does_not_change_result_set(self):
+        family = [frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 3})]
+        with_reordering = set(minimal_covers(family, [0, 1, 2, 3], dynamic_reordering=True))
+        without = set(minimal_covers(family, [0, 1, 2, 3], dynamic_reordering=False))
+        assert with_reordering == without
+
+    def test_no_duplicates(self):
+        family = [frozenset({0, 1}), frozenset({1, 2})]
+        found = list(minimal_covers(family, [0, 1, 2]))
+        assert len(found) == len(set(found))
+
+    def test_exhaustive_against_bruteforce(self):
+        from itertools import combinations
+
+        family = [frozenset({0, 1}), frozenset({2, 3}), frozenset({1, 3})]
+        universe = [0, 1, 2, 3]
+        expected = set()
+        for size in range(len(universe) + 1):
+            for subset in combinations(universe, size):
+                if is_minimal_cover(set(subset), family):
+                    expected.add(frozenset(subset))
+        assert set(minimal_covers(family, universe)) == expected

@@ -1,0 +1,96 @@
+"""Unit tests for repro.fd.difference_sets."""
+
+import numpy as np
+import pytest
+
+from repro.fd.difference_sets import (
+    difference_sets,
+    difference_sets_wrt,
+    minimal_difference_sets_wrt,
+    minimal_sets,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def matrix() -> np.ndarray:
+    relation = Relation.from_rows(
+        ["A", "B", "C"],
+        [
+            (1, "x", 10),
+            (1, "x", 20),
+            (1, "y", 20),
+            (2, "y", 20),
+        ],
+    )
+    return relation.encoded_matrix()
+
+
+class TestDifferenceSets:
+    def test_all_pairs(self, matrix):
+        expected = {
+            frozenset({2}),          # rows 0-1 differ on C only
+            frozenset({1, 2}),       # rows 0-2
+            frozenset({0, 1, 2}),    # rows 0-3
+            frozenset({1}),          # rows 1-2
+            frozenset({0, 1}),       # rows 1-3
+            frozenset({0}),          # rows 2-3
+        }
+        assert difference_sets(matrix) == expected
+
+    def test_duplicate_rows_produce_no_empty_set(self):
+        matrix = np.zeros((3, 2), dtype=np.int32)
+        assert difference_sets(matrix) == set()
+
+    def test_row_subset(self, matrix):
+        assert difference_sets(matrix, rows=[0, 1]) == {frozenset({2})}
+
+    def test_empty_matrix(self):
+        assert difference_sets(np.empty((0, 3), dtype=np.int32)) == set()
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            difference_sets(np.zeros((2, 70), dtype=np.int32))
+
+
+class TestDifferenceSetsWrt:
+    def test_only_pairs_differing_on_rhs(self, matrix):
+        # w.r.t. A (index 0): pairs (0,3), (1,3), (2,3)
+        assert difference_sets_wrt(matrix, 0) == {
+            frozenset({1, 2}),
+            frozenset({1}),
+            frozenset(),
+        }
+
+    def test_rhs_attribute_removed_from_sets(self, matrix):
+        for diff in difference_sets_wrt(matrix, 2):
+            assert 2 not in diff
+
+    def test_minimal_variant(self, matrix):
+        assert minimal_difference_sets_wrt(matrix, 0) == {frozenset()}
+        # Rows 1 and 2 differ on B only, so the empty set dominates for RHS B.
+        assert minimal_difference_sets_wrt(matrix, 1) == {frozenset()}
+
+    def test_minimal_variant_on_row_subset(self, matrix):
+        # Restricted to rows {0, 2, 3} the pairs differing on B also differ on
+        # C (and possibly A), so {C} is the unique minimal difference set.
+        assert minimal_difference_sets_wrt(matrix, 1, rows=[0, 2, 3]) == {
+            frozenset({2})
+        }
+
+    def test_row_subset(self, matrix):
+        assert difference_sets_wrt(matrix, 2, rows=[0, 1]) == {frozenset()}
+
+
+class TestMinimalSets:
+    def test_keeps_only_minimal_members(self):
+        family = {frozenset({1}), frozenset({1, 2}), frozenset({3})}
+        assert minimal_sets(family) == {frozenset({1}), frozenset({3})}
+
+    def test_empty_set_dominates_everything(self):
+        family = {frozenset(), frozenset({1})}
+        assert minimal_sets(family) == {frozenset()}
+
+    def test_idempotent(self):
+        family = {frozenset({1}), frozenset({2})}
+        assert minimal_sets(minimal_sets(family)) == family

@@ -1,0 +1,85 @@
+"""Unit tests for repro.fd.fd (FD objects, satisfaction, g3 error, oracle)."""
+
+import pytest
+
+from repro.exceptions import DependencyError
+from repro.fd.fd import FD, fd_error, fd_holds, is_minimal_fd, minimal_fds_bruteforce
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["A", "B", "C"],
+        [
+            (1, "x", 10),
+            (1, "x", 20),
+            (2, "y", 10),
+            (3, "y", 30),
+        ],
+    )
+
+
+class TestFDObject:
+    def test_lhs_is_sorted(self):
+        assert FD(("B", "A"), "C").lhs == ("A", "B")
+
+    def test_duplicate_lhs_rejected(self):
+        with pytest.raises(DependencyError):
+            FD(("A", "A"), "B")
+
+    def test_trivial_detection(self):
+        assert FD(("A",), "A").is_trivial
+        assert not FD(("A",), "B").is_trivial
+
+    def test_str(self):
+        assert str(FD(("A", "B"), "C")) == "[A, B] -> C"
+
+    def test_equality_is_order_insensitive(self):
+        assert FD(("A", "B"), "C") == FD(("B", "A"), "C")
+
+
+class TestSatisfaction:
+    def test_holding_fd(self, relation):
+        assert fd_holds(relation, FD(("A",), "B"))
+
+    def test_violated_fd(self, relation):
+        assert not fd_holds(relation, FD(("B",), "A"))
+
+    def test_empty_lhs_constant_column(self):
+        r = Relation.from_rows(["A", "B"], [(1, "k"), (2, "k")])
+        assert fd_holds(r, FD((), "B"))
+        assert not fd_holds(r, FD((), "A"))
+
+    def test_error_zero_for_exact_fd(self, relation):
+        assert fd_error(relation, FD(("A",), "B")) == 0.0
+
+    def test_error_counts_minimum_deletions(self, relation):
+        # B -> A: group 'y' has values {2, 3}; deleting one of four tuples fixes it.
+        assert fd_error(relation, FD(("B",), "A")) == pytest.approx(0.25)
+
+    def test_error_on_empty_relation(self):
+        empty = Relation(["A", "B"], [[], []])
+        assert fd_error(empty, FD(("A",), "B")) == 0.0
+
+
+class TestMinimality:
+    def test_minimal_fd(self, relation):
+        assert is_minimal_fd(relation, FD(("A",), "B"))
+
+    def test_non_minimal_due_to_subset(self, relation):
+        assert not is_minimal_fd(relation, FD(("A", "C"), "B"))
+
+    def test_trivial_never_minimal(self, relation):
+        assert not is_minimal_fd(relation, FD(("A",), "A"))
+
+    def test_bruteforce_returns_only_minimal_fds(self, relation):
+        for fd in minimal_fds_bruteforce(relation):
+            assert is_minimal_fd(relation, fd)
+
+    def test_bruteforce_known_fd_present(self, relation):
+        assert FD(("A",), "B") in minimal_fds_bruteforce(relation)
+
+    def test_bruteforce_respects_max_lhs(self, relation):
+        for fd in minimal_fds_bruteforce(relation, max_lhs=1):
+            assert len(fd.lhs) <= 1

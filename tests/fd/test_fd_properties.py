@@ -1,0 +1,36 @@
+"""Property-based tests: TANE ≡ FastFD ≡ brute force on random relations."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fd.fastfd import FastFD
+from repro.fd.fd import is_minimal_fd, minimal_fds_bruteforce
+from repro.fd.tane import Tane
+from repro.relational.relation import Relation
+
+
+def small_relations(max_rows: int = 7, n_cols: int = 4, domain: int = 2):
+    names = [f"A{i}" for i in range(n_cols)]
+    return st.lists(
+        st.tuples(*[st.integers(0, domain - 1) for _ in range(n_cols)]),
+        min_size=1,
+        max_size=max_rows,
+    ).map(lambda rows: Relation.from_rows(names, rows))
+
+
+@settings(max_examples=40, deadline=None)
+@given(relation=small_relations())
+def test_tane_equals_fastfd(relation):
+    assert set(Tane(relation).discover()) == set(FastFD(relation).discover())
+
+
+@settings(max_examples=30, deadline=None)
+@given(relation=small_relations(max_rows=6, n_cols=3, domain=2))
+def test_tane_equals_bruteforce(relation):
+    assert set(Tane(relation).discover()) == minimal_fds_bruteforce(relation)
+
+
+@settings(max_examples=30, deadline=None)
+@given(relation=small_relations(max_rows=6, n_cols=3, domain=3))
+def test_fastfd_output_is_sound(relation):
+    for fd in FastFD(relation).discover():
+        assert is_minimal_fd(relation, fd)

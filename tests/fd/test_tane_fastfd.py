@@ -1,0 +1,95 @@
+"""Unit tests for the classical FD discoverers (TANE and FastFD)."""
+
+import pytest
+
+from repro.fd.fastfd import FastFD, discover_fds_fastfd
+from repro.fd.fd import FD, is_minimal_fd, minimal_fds_bruteforce
+from repro.fd.tane import Tane, discover_fds_tane
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["A", "B", "C", "D"],
+        [
+            (1, "x", 10, "k"),
+            (1, "x", 20, "k"),
+            (2, "y", 10, "k"),
+            (3, "y", 30, "k"),
+            (3, "y", 30, "k"),
+        ],
+    )
+
+
+class TestTane:
+    def test_finds_known_fd(self, relation):
+        assert FD(("A",), "B") in set(Tane(relation).discover())
+
+    def test_finds_constant_column(self, relation):
+        assert FD((), "D") in set(Tane(relation).discover())
+
+    def test_output_is_minimal(self, relation):
+        for fd in Tane(relation).discover():
+            assert is_minimal_fd(relation, fd)
+
+    def test_matches_bruteforce(self, relation):
+        assert set(Tane(relation).discover()) == minimal_fds_bruteforce(relation)
+
+    def test_max_lhs_size_limits_output(self, relation):
+        limited = Tane(relation, max_lhs_size=1).discover()
+        assert all(len(fd.lhs) <= 2 for fd in limited)
+
+    def test_wrapper(self, relation):
+        assert set(discover_fds_tane(relation)) == set(Tane(relation).discover())
+
+    def test_counts_candidates(self, relation):
+        tane = Tane(relation)
+        tane.discover()
+        assert tane.candidates_checked > 0
+
+
+class TestFastFD:
+    def test_finds_known_fd(self, relation):
+        assert FD(("A",), "B") in set(FastFD(relation).discover())
+
+    def test_finds_constant_column(self, relation):
+        assert FD((), "D") in set(FastFD(relation).discover())
+
+    def test_output_is_minimal(self, relation):
+        for fd in FastFD(relation).discover():
+            assert is_minimal_fd(relation, fd)
+
+    def test_matches_bruteforce(self, relation):
+        assert set(FastFD(relation).discover()) == minimal_fds_bruteforce(relation)
+
+    def test_matches_tane(self, relation):
+        assert set(FastFD(relation).discover()) == set(Tane(relation).discover())
+
+    def test_reordering_does_not_change_output(self, relation):
+        with_reordering = set(FastFD(relation, dynamic_reordering=True).discover())
+        without = set(FastFD(relation, dynamic_reordering=False).discover())
+        assert with_reordering == without
+
+    def test_wrapper(self, relation):
+        assert set(discover_fds_fastfd(relation)) == set(FastFD(relation).discover())
+
+
+class TestKeyLikeRelations:
+    def test_unique_column_determines_everything(self):
+        r = Relation.from_rows(
+            ["K", "V", "W"],
+            [(1, "a", "p"), (2, "a", "q"), (3, "b", "p")],
+        )
+        tane_fds = set(Tane(r).discover())
+        fastfd_fds = set(FastFD(r).discover())
+        assert tane_fds == fastfd_fds
+        assert FD(("K",), "V") in tane_fds
+        assert FD(("K",), "W") in tane_fds
+
+    def test_duplicate_rows_only(self):
+        r = Relation.from_rows(["A", "B"], [(1, 2), (1, 2), (1, 2)])
+        fds = set(Tane(r).discover())
+        # Both columns are constant: the empty LHS determines each of them.
+        assert FD((), "A") in fds and FD((), "B") in fds
+        assert set(FastFD(r).discover()) == fds

@@ -1,0 +1,50 @@
+"""Unit tests for repro.itemsets.itemset (decoded views and translation)."""
+
+import pytest
+
+from repro.itemsets.itemset import Item, ItemSetView, decode_items, encode_items
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["A", "B"],
+        [("x", 1), ("y", 2), ("x", 2)],
+    )
+
+
+class TestItem:
+    def test_ordering_and_str(self):
+        items = sorted([Item("B", 2), Item("A", 1)])
+        assert items[0].attribute == "A"
+        assert str(items[1]) == "(B=2)"
+
+
+class TestItemSetView:
+    def test_attributes_sorted(self):
+        view = ItemSetView(items=(Item("B", 2), Item("A", 1)), support=3)
+        assert view.attributes == ("A", "B")
+
+    def test_pattern_mapping(self):
+        view = ItemSetView(items=(Item("A", 1),), support=1)
+        assert view.pattern() == {"A": 1}
+
+    def test_str_contains_support(self):
+        assert "support=4" in str(ItemSetView(items=(Item("A", 1),), support=4))
+
+
+class TestEncodeDecode:
+    def test_encode_known_values(self, relation):
+        encoded = encode_items(relation, {"A": "x", "B": 2})
+        assert encoded == frozenset({(0, 0), (1, 1)})
+
+    def test_encode_unknown_value_yields_minus_one(self, relation):
+        encoded = encode_items(relation, {"A": "zzz"})
+        assert encoded == frozenset({(0, -1)})
+
+    def test_decode_round_trip(self, relation):
+        encoded = encode_items(relation, {"A": "y", "B": 1})
+        view = decode_items(relation, encoded, support=2)
+        assert view.pattern() == {"A": "y", "B": 1}
+        assert view.support == 2

@@ -1,0 +1,119 @@
+"""Unit tests for repro.itemsets.mining (free / closed item sets, C2F)."""
+
+import pytest
+
+from repro.exceptions import DiscoveryError
+from repro.itemsets.mining import (
+    closed_itemsets,
+    is_closed_itemset,
+    is_free_itemset,
+    itemset_support,
+    mine_free_and_closed,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    # Columns: A in {a, b}; B = x whenever A = a (and also for one A = b row);
+    # C is constant.  Designed so closures and free sets are easy to read off.
+    return Relation.from_rows(
+        ["A", "B", "C"],
+        [
+            ("a", "x", "k"),
+            ("a", "x", "k"),
+            ("a", "x", "k"),
+            ("b", "x", "k"),
+            ("b", "y", "k"),
+        ],
+    )
+
+
+class TestMiningBasics:
+    def test_min_support_validated(self, relation):
+        with pytest.raises(DiscoveryError):
+            mine_free_and_closed(relation, min_support=0)
+
+    def test_empty_free_set_present_with_constant_column_closure(self, relation):
+        result = mine_free_and_closed(relation, min_support=1)
+        empty = result.free_sets[frozenset()]
+        assert empty.support == 5
+        # C is constant, so the closure of the empty set contains (C, 'k').
+        assert (2, 0) in empty.closure
+
+    def test_constant_column_item_is_not_free(self, relation):
+        result = mine_free_and_closed(relation, min_support=1)
+        # (C='k') has full support: same support as the empty set, hence not free.
+        assert frozenset({(2, 0)}) not in result.free_sets
+
+    def test_every_mined_free_set_is_free_by_definition(self, relation):
+        result = mine_free_and_closed(relation, min_support=1)
+        for items in result.free_sets:
+            assert is_free_itemset(relation, items)
+
+    def test_every_closure_is_closed_by_definition(self, relation):
+        result = mine_free_and_closed(relation, min_support=1)
+        for closed in result.closed_sets():
+            assert is_closed_itemset(relation, closed)
+
+    def test_closure_has_same_support_as_generator(self, relation):
+        result = mine_free_and_closed(relation, min_support=1)
+        for free in result.free_sets.values():
+            closure_support = itemset_support(relation, free.closure)
+            assert closure_support.size == free.support
+
+    def test_support_threshold_filters_itemsets(self, relation):
+        small = mine_free_and_closed(relation, min_support=1)
+        large = mine_free_and_closed(relation, min_support=3)
+        assert len(large.free_sets) < len(small.free_sets)
+        for free in large.free_sets.values():
+            assert free.support >= 3
+
+    def test_specific_closure(self, relation):
+        result = mine_free_and_closed(relation, min_support=1)
+        # A='a' (codes 0,0) implies B='x' and C='k'.
+        free = result.free_sets[frozenset({(0, 0)})]
+        assert free.closure == frozenset({(0, 0), (1, 0), (2, 0)})
+
+    def test_c2f_mapping_links_closure_to_generators(self, relation):
+        result = mine_free_and_closed(relation, min_support=1)
+        closure = frozenset({(0, 0), (1, 0), (2, 0)})
+        generators = result.closed_to_free[closure]
+        assert frozenset({(0, 0)}) in {free.items for free in generators}
+
+    def test_free_sets_sorted_by_size(self, relation):
+        result = mine_free_and_closed(relation, min_support=1)
+        sizes = [free.size for free in result.free_sets_sorted()]
+        assert sizes == sorted(sizes)
+
+    def test_max_size_caps_itemset_size(self, relation):
+        result = mine_free_and_closed(relation, min_support=1, max_size=1)
+        assert all(free.size <= 1 for free in result.free_sets.values())
+
+    def test_tids_of_and_is_free(self, relation):
+        result = mine_free_and_closed(relation, min_support=1)
+        assert result.is_free(frozenset({(0, 0)}))
+        assert result.tids_of(frozenset({(0, 0)})).tolist() == [0, 1, 2]
+        assert result.tids_of(frozenset({(0, 999)})) is None
+
+    def test_len_counts_free_sets(self, relation):
+        result = mine_free_and_closed(relation, min_support=1)
+        assert len(result) == len(result.free_sets)
+
+
+class TestClosedItemsets:
+    def test_closed_itemsets_support_threshold(self, relation):
+        closed = closed_itemsets(relation, min_support=2)
+        assert closed
+        for items, support in closed:
+            assert support >= 2
+            assert is_closed_itemset(relation, items)
+
+    def test_itemset_support_counts_matching_rows(self, relation):
+        tids = itemset_support(relation, frozenset({(0, 0), (1, 0)}))
+        assert tids.tolist() == [0, 1, 2]
+
+    def test_itemset_support_empty_for_contradiction(self, relation):
+        # A='a' (code 0) together with B='y' (code 1) never co-occurs.
+        tids = itemset_support(relation, frozenset({(0, 0), (1, 1)}))
+        assert tids.size == 0

@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the free/closed item-set miner."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.itemsets.mining import (
+    is_closed_itemset,
+    is_free_itemset,
+    itemset_support,
+    mine_free_and_closed,
+)
+from repro.relational.relation import Relation
+
+
+def small_relations(max_rows: int = 7, max_cols: int = 3, domain: int = 3):
+    """Strategy producing small relations over a tiny value alphabet."""
+    def build(data):
+        n_cols, rows = data
+        names = [f"A{i}" for i in range(n_cols)]
+        return Relation.from_rows(names, rows)
+
+    return st.integers(min_value=2, max_value=max_cols).flatmap(
+        lambda n_cols: st.tuples(
+            st.just(n_cols),
+            st.lists(
+                st.tuples(*[st.integers(0, domain - 1) for _ in range(n_cols)]),
+                min_size=1,
+                max_size=max_rows,
+            ),
+        )
+    ).map(build)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relation=small_relations(), k=st.integers(min_value=1, max_value=3))
+def test_mined_free_sets_are_free_and_frequent(relation, k):
+    result = mine_free_and_closed(relation, min_support=k)
+    for free in result.free_sets.values():
+        assert free.support >= k
+        assert is_free_itemset(relation, free.items)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relation=small_relations(), k=st.integers(min_value=1, max_value=3))
+def test_closures_are_closed_extensive_and_support_preserving(relation, k):
+    result = mine_free_and_closed(relation, min_support=k)
+    for free in result.free_sets.values():
+        assert free.items <= free.closure
+        assert is_closed_itemset(relation, free.closure)
+        assert itemset_support(relation, free.closure).size == free.support
+
+
+@settings(max_examples=40, deadline=None)
+@given(relation=small_relations(), k=st.integers(min_value=1, max_value=3))
+def test_freeness_is_downward_closed_in_the_result(relation, k):
+    """Every subset of a mined free set that is itself an item set is free."""
+    result = mine_free_and_closed(relation, min_support=k)
+    mined = set(result.free_sets.keys())
+    for items in mined:
+        for size in range(len(items)):
+            for subset in combinations(sorted(items), size):
+                assert is_free_itemset(relation, frozenset(subset))
+
+
+@settings(max_examples=30, deadline=None)
+@given(relation=small_relations(max_rows=6, max_cols=3, domain=2))
+def test_mining_is_complete_for_k1_free_sets(relation):
+    """Exhaustive check: every frequent free item set is mined (k = 1)."""
+    result = mine_free_and_closed(relation, min_support=1)
+    mined = set(result.free_sets.keys())
+    matrix = relation.encoded_matrix()
+    arity = relation.arity
+    # enumerate all item sets over active domains with one item per attribute
+    per_attribute = [
+        [(a, code) for code in range(relation.domain_size(relation.attributes[a]))]
+        for a in range(arity)
+    ]
+    def all_itemsets():
+        yield frozenset()
+        for size in range(1, arity + 1):
+            for attrs in combinations(range(arity), size):
+                def expand(prefix, remaining):
+                    if not remaining:
+                        yield frozenset(prefix)
+                        return
+                    for item in per_attribute[remaining[0]]:
+                        yield from expand(prefix + [item], remaining[1:])
+                yield from expand([], list(attrs))
+    for items in all_itemsets():
+        support = itemset_support(relation, items).size
+        if support >= 1 and is_free_itemset(relation, items):
+            assert items in mined, f"free item set {sorted(items)} not mined"

@@ -1,0 +1,85 @@
+"""Unit tests for repro.relational.encoding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RelationError
+from repro.relational.encoding import ColumnEncoder, RelationEncoding
+
+
+class TestColumnEncoder:
+    def test_codes_follow_first_appearance(self):
+        encoder = ColumnEncoder()
+        assert encoder.encode("x") == 0
+        assert encoder.encode("y") == 1
+        assert encoder.encode("x") == 0
+        assert encoder.cardinality == 2
+
+    def test_decode_round_trip(self):
+        encoder = ColumnEncoder()
+        for value in ["a", "b", "c"]:
+            code = encoder.encode(value)
+            assert encoder.decode(code) == value
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(RelationError):
+            ColumnEncoder().decode(0)
+
+    def test_encode_existing_unknown_raises(self):
+        with pytest.raises(RelationError):
+            ColumnEncoder().encode_existing("missing")
+
+    def test_try_encode_returns_minus_one_for_unknown(self):
+        encoder = ColumnEncoder()
+        encoder.encode("x")
+        assert encoder.try_encode("x") == 0
+        assert encoder.try_encode("nope") == -1
+
+    def test_contains_and_values(self):
+        encoder = ColumnEncoder()
+        encoder.encode("x")
+        assert "x" in encoder
+        assert "y" not in encoder
+        assert encoder.values() == ("x",)
+
+    def test_encode_column_array(self):
+        encoder = ColumnEncoder()
+        array = encoder.encode_column(["p", "q", "p"])
+        assert array.dtype == np.int32
+        assert array.tolist() == [0, 1, 0]
+
+
+class TestRelationEncoding:
+    def test_from_columns_shape(self):
+        encoding = RelationEncoding.from_columns([["a", "b"], ["x", "x"]])
+        assert encoding.n_rows == 2
+        assert encoding.arity == 2
+        assert encoding.matrix.shape == (2, 2)
+
+    def test_column_and_cardinality(self):
+        encoding = RelationEncoding.from_columns([["a", "b", "a"], ["x", "x", "y"]])
+        assert encoding.column(0).tolist() == [0, 1, 0]
+        assert encoding.cardinality(0) == 2
+        assert encoding.cardinality(1) == 2
+
+    def test_decode_and_encode_value(self):
+        encoding = RelationEncoding.from_columns([["a", "b"]])
+        assert encoding.decode_value(0, 1) == "b"
+        assert encoding.encode_value(0, "a") == 0
+        assert encoding.encode_value(0, "zzz") == -1
+
+    def test_decode_row(self):
+        encoding = RelationEncoding.from_columns([["a", "b"], ["x", "y"]])
+        assert encoding.decode_row(encoding.matrix[1]) == ("b", "y")
+
+    def test_inconsistent_column_lengths_raise(self):
+        with pytest.raises(RelationError):
+            RelationEncoding.from_columns([["a"], ["x", "y"]])
+
+    def test_mismatched_encoder_count_raises(self):
+        with pytest.raises(RelationError):
+            RelationEncoding(np.zeros((2, 2), dtype=np.int32), [ColumnEncoder()])
+
+    def test_non_2d_matrix_rejected(self):
+        with pytest.raises(RelationError):
+            RelationEncoding(np.zeros(3, dtype=np.int32), [ColumnEncoder()])

@@ -1,0 +1,67 @@
+"""Unit tests for repro.relational.io (CSV round-trips)."""
+
+import pytest
+
+from repro.exceptions import RelationError
+from repro.relational.io import read_csv, write_csv
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["CC", "AC", "CT"],
+        [("01", "908", "MH"), ("44", "131", "EDI")],
+    )
+
+
+class TestCsvRoundTrip:
+    def test_write_then_read(self, relation, tmp_path):
+        path = tmp_path / "cust.csv"
+        write_csv(relation, path)
+        loaded = read_csv(path)
+        assert loaded == relation
+
+    def test_write_creates_parent_directories(self, relation, tmp_path):
+        path = tmp_path / "nested" / "deep" / "cust.csv"
+        write_csv(relation, path)
+        assert path.exists()
+
+    def test_read_without_header(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,2\n3,4\n", encoding="utf-8")
+        loaded = read_csv(path, has_header=False, attribute_names=["A", "B"])
+        assert loaded.to_rows() == [("1", "2"), ("3", "4")]
+
+    def test_read_without_header_requires_names(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,2\n", encoding="utf-8")
+        with pytest.raises(RelationError):
+            read_csv(path, has_header=False)
+
+    def test_explicit_names_override_header(self, relation, tmp_path):
+        path = tmp_path / "cust.csv"
+        write_csv(relation, path)
+        loaded = read_csv(path, attribute_names=["X", "Y", "Z"])
+        assert loaded.attributes == ("X", "Y", "Z")
+
+    def test_limit_rows(self, relation, tmp_path):
+        path = tmp_path / "cust.csv"
+        write_csv(relation, path)
+        assert read_csv(path, limit=1).n_rows == 1
+
+    def test_custom_delimiter(self, relation, tmp_path):
+        path = tmp_path / "cust.tsv"
+        write_csv(relation, path, delimiter=";")
+        loaded = read_csv(path, delimiter=";")
+        assert loaded == relation
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("A,B\n1,2\n\n3,4\n", encoding="utf-8")
+        assert read_csv(path).n_rows == 2
+
+    def test_values_are_stripped(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("A,B\n 1 , 2 \n", encoding="utf-8")
+        assert read_csv(path).row(0) == ("1", "2")

@@ -1,0 +1,157 @@
+"""Unit tests for repro.relational.relation."""
+
+import pytest
+
+from repro.exceptions import RelationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def small() -> Relation:
+    return Relation.from_rows(
+        ["A", "B", "C"],
+        [("a", "x", 1), ("a", "y", 2), ("b", "x", 1)],
+    )
+
+
+class TestConstruction:
+    def test_from_rows(self, small):
+        assert small.n_rows == 3
+        assert small.arity == 3
+        assert small.attributes == ("A", "B", "C")
+
+    def test_from_rows_wrong_width(self):
+        with pytest.raises(RelationError):
+            Relation.from_rows(["A", "B"], [("a",)])
+
+    def test_from_columns_mapping(self):
+        r = Relation(["A", "B"], {"B": [1, 2], "A": ["x", "y"]})
+        assert r.row(0) == ("x", 1)
+
+    def test_from_columns_missing_attribute(self):
+        with pytest.raises(RelationError):
+            Relation(["A", "B"], {"A": [1]})
+
+    def test_from_columns_wrong_count(self):
+        with pytest.raises(RelationError):
+            Relation(["A", "B"], [[1, 2]])
+
+    def test_from_columns_inconsistent_lengths(self):
+        with pytest.raises(RelationError):
+            Relation(["A", "B"], [[1, 2], [1]])
+
+    def test_from_dicts(self):
+        r = Relation.from_dicts([{"A": 1, "B": 2}, {"A": 3, "B": 4}])
+        assert r.to_rows() == [(1, 2), (3, 4)]
+
+    def test_from_dicts_with_schema(self):
+        r = Relation.from_dicts([{"A": 1, "B": 2}], schema=["B", "A"])
+        assert r.row(0) == (2, 1)
+
+    def test_from_dicts_missing_key(self):
+        with pytest.raises(RelationError):
+            Relation.from_dicts([{"A": 1}], schema=["A", "B"])
+
+    def test_from_dicts_empty_without_schema(self):
+        with pytest.raises(RelationError):
+            Relation.from_dicts([])
+
+    def test_from_encoded_round_trip(self, small):
+        rebuilt = Relation.from_encoded(small.schema, small.encoding)
+        assert rebuilt == small
+
+    def test_from_encoded_row_subset(self, small):
+        subset = Relation.from_encoded(small.schema, small.encoding, row_indices=[2, 0])
+        assert subset.to_rows() == [("b", "x", 1), ("a", "x", 1)]
+
+
+class TestAccessors:
+    def test_value_and_row(self, small):
+        assert small.value(1, "B") == "y"
+        assert small.row(2) == ("b", "x", 1)
+        assert small.row_dict(0) == {"A": "a", "B": "x", "C": 1}
+
+    def test_column(self, small):
+        assert small.column("A") == ("a", "a", "b")
+
+    def test_rows_iteration(self, small):
+        assert list(small.rows()) == small.to_rows()
+
+    def test_to_dicts(self, small):
+        assert small.to_dicts()[1] == {"A": "a", "B": "y", "C": 2}
+
+    def test_len_and_repr(self, small):
+        assert len(small) == 3
+        assert "arity=3" in repr(small)
+
+    def test_equality_and_hash(self, small):
+        same = Relation.from_rows(["A", "B", "C"], small.to_rows())
+        assert same == small
+        assert hash(same) == hash(small)
+
+    def test_pretty_renders_all_columns(self, small):
+        text = small.pretty()
+        assert "A" in text and "B" in text and "C" in text
+        assert "b" in text
+
+
+class TestDerivedRelations:
+    def test_project(self, small):
+        projected = small.project(["C", "A"])
+        assert projected.attributes == ("C", "A")
+        assert projected.row(0) == (1, "a")
+
+    def test_take_and_head(self, small):
+        assert small.take([2]).to_rows() == [("b", "x", 1)]
+        assert small.head(2).n_rows == 2
+        assert small.head(10).n_rows == 3
+
+    def test_sample_is_deterministic(self, small):
+        assert small.sample(2, seed=1) == small.sample(2, seed=1)
+        assert small.sample(5).n_rows == 3
+
+    def test_with_value(self, small):
+        changed = small.with_value(0, "B", "z")
+        assert changed.value(0, "B") == "z"
+        assert small.value(0, "B") == "x"  # original untouched
+
+    def test_with_value_out_of_range(self, small):
+        with pytest.raises(RelationError):
+            small.with_value(99, "B", "z")
+
+    def test_concat(self, small):
+        doubled = small.concat(small)
+        assert doubled.n_rows == 6
+
+    def test_concat_schema_mismatch(self, small):
+        other = Relation.from_rows(["X"], [(1,)])
+        with pytest.raises(RelationError):
+            small.concat(other)
+
+    def test_distinct(self):
+        r = Relation.from_rows(["A"], [(1,), (1,), (2,)])
+        assert r.distinct().to_rows() == [(1,), (2,)]
+
+    def test_rename(self, small):
+        renamed = small.rename({"A": "Z"})
+        assert renamed.attributes == ("Z", "B", "C")
+        assert renamed.column("Z") == small.column("A")
+
+
+class TestStatistics:
+    def test_active_domain_order(self, small):
+        assert small.active_domain("A") == ("a", "b")
+
+    def test_domain_size(self, small):
+        assert small.domain_size("A") == 2
+        assert small.domain_sizes() == {"A": 2, "B": 2, "C": 2}
+
+    def test_value_counts(self, small):
+        assert small.value_counts("A") == {"a": 2, "b": 1}
+
+    def test_encoded_matrix_shape(self, small):
+        assert small.encoded_matrix().shape == (3, 3)
+
+    def test_encoding_cached(self, small):
+        assert small.encoding is small.encoding

@@ -1,0 +1,96 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import Attribute, Schema
+
+
+class TestSchemaConstruction:
+    def test_basic_names(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.names == ("A", "B", "C")
+        assert schema.arity == 3
+        assert len(schema) == 3
+
+    def test_attributes_expose_index(self):
+        schema = Schema(["A", "B"])
+        assert schema.attributes == (Attribute("A", 0), Attribute("B", 1))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", "A"])
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", 3])
+
+    def test_empty_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", ""])
+
+    def test_iteration_and_containment(self):
+        schema = Schema(["A", "B"])
+        assert list(schema) == ["A", "B"]
+        assert "A" in schema
+        assert "Z" not in schema
+
+    def test_equality_and_hash(self):
+        assert Schema(["A", "B"]) == Schema(["A", "B"])
+        assert Schema(["A", "B"]) != Schema(["B", "A"])
+        assert hash(Schema(["A"])) == hash(Schema(["A"]))
+
+
+class TestSchemaTranslation:
+    def test_index_of_name(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.index_of("B") == 1
+
+    def test_index_of_attribute_object(self):
+        schema = Schema(["A", "B"])
+        assert schema.index_of(Attribute("B", 1)) == 1
+
+    def test_index_of_integer_passthrough(self):
+        schema = Schema(["A", "B"])
+        assert schema.index_of(1) == 1
+
+    def test_index_of_unknown_name_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).index_of("Z")
+
+    def test_index_of_out_of_range_int_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).index_of(5)
+
+    def test_index_of_invalid_type_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).index_of(3.5)
+
+    def test_name_of(self):
+        schema = Schema(["A", "B"])
+        assert schema.name_of(1) == "B"
+        assert schema.name_of("A") == "A"
+
+    def test_indices_and_names_of(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.indices_of(["C", "A"]) == (2, 0)
+        assert schema.names_of([2, 0]) == ("C", "A")
+
+    def test_sorted_indices(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.sorted_indices(["C", "A"]) == (0, 2)
+
+
+class TestSchemaDerivation:
+    def test_project_keeps_requested_order(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.project(["C", "A"]).names == ("C", "A")
+
+    def test_complement(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.complement(["B"]) == ("A", "C")
+        assert schema.complement([]) == ("A", "B", "C")

@@ -1,0 +1,102 @@
+"""Tests for the repro-discover command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relational.io import write_csv
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    relation = Relation.from_rows(
+        ["AC", "CT", "ST"],
+        [
+            ("908", "MH", "NJ"),
+            ("908", "MH", "NJ"),
+            ("908", "MH", "NJ"),
+            ("212", "NYC", "NY"),
+            ("212", "NYC", "NY"),
+        ],
+    )
+    path = tmp_path / "cust.csv"
+    write_csv(relation, path)
+    return path
+
+
+class TestParser:
+    def test_defaults(self, csv_path):
+        args = build_parser().parse_args([str(csv_path)])
+        assert args.support == 1
+        assert args.algorithm == "auto"
+
+    def test_unknown_algorithm_rejected(self, csv_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([str(csv_path), "--algorithm", "nope"])
+
+
+class TestMain:
+    def test_discovers_rules_to_stdout(self, csv_path, capsys):
+        exit_code = main([str(csv_path), "--support", "2", "--algorithm", "fastcfd"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "([AC] -> CT, (908 || MH))" in captured.out
+        assert "rules reported" in captured.err
+
+    def test_constant_only(self, csv_path, capsys):
+        main([str(csv_path), "--support", "2", "--constant-only"])
+        out = capsys.readouterr().out
+        assert out.strip()
+        assert "_" not in out  # no wildcards in constant rules
+
+    def test_variable_only(self, csv_path, capsys):
+        main([str(csv_path), "--support", "2", "--variable-only", "-a", "ctane"])
+        out = capsys.readouterr().out
+        for line in out.strip().splitlines():
+            assert "|| _" in line
+
+    def test_conflicting_filters_rejected(self, csv_path):
+        with pytest.raises(SystemExit):
+            main([str(csv_path), "--constant-only", "--variable-only"])
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(tmp_path / "missing.csv")])
+
+    def test_output_file(self, csv_path, tmp_path, capsys):
+        target = tmp_path / "out" / "rules.txt"
+        main([str(csv_path), "--support", "2", "--output", str(target)])
+        assert target.exists()
+        assert "-> " in target.read_text(encoding="utf-8")
+        assert capsys.readouterr().out == ""
+
+    def test_tableau_grouping(self, csv_path, capsys):
+        main([str(csv_path), "--support", "2", "--tableau", "-a", "fastcfd"])
+        out = capsys.readouterr().out
+        assert "{" in out and "}" in out
+
+    def test_rank_by_support(self, csv_path, capsys):
+        main([str(csv_path), "--support", "2", "--rank-by", "support",
+              "--constant-only"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines  # ranked output is still one rule per line
+
+    def test_no_header_mode(self, tmp_path, capsys):
+        path = tmp_path / "raw.csv"
+        path.write_text("1,2\n1,2\n3,4\n", encoding="utf-8")
+        main([str(path), "--no-header", "--support", "2"])
+        out = capsys.readouterr().out
+        assert "A0" in out or "A1" in out
+
+    def test_limit_rows_and_max_lhs(self, csv_path, capsys):
+        exit_code = main(
+            [str(csv_path), "--support", "1", "--limit-rows", "3", "--max-lhs", "1"]
+        )
+        assert exit_code == 0
+
+    def test_delimiter_option(self, tmp_path, capsys):
+        path = tmp_path / "semi.csv"
+        path.write_text("A;B\n1;2\n1;2\n", encoding="utf-8")
+        exit_code = main([str(path), "--delimiter", ";", "--support", "2"])
+        assert exit_code == 0
+        assert "-> " in capsys.readouterr().out

@@ -1,0 +1,35 @@
+"""Tests for the package-level public API surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_flow(self):
+        r = repro.Relation.from_rows(
+            ["CC", "AC", "CT"],
+            [
+                ("01", "908", "MH"),
+                ("01", "908", "MH"),
+                ("01", "212", "NYC"),
+                ("44", "131", "EDI"),
+                ("44", "131", "EDI"),
+            ],
+        )
+        result = repro.discover(r, min_support=2, algorithm="fastcfd")
+        assert any(str(cfd) == "([AC] -> CT, (908 || MH))" for cfd in result.cfds)
+
+    def test_discover_constant_helpers(self):
+        r = repro.Relation.from_rows(["A", "B"], [(1, 2), (1, 2), (3, 4)])
+        constant = repro.discover_constant_cfds(r, 2)
+        assert all(cfd.is_constant for cfd in constant)
+
+    def test_fd_baselines_exposed(self):
+        r = repro.Relation.from_rows(["A", "B"], [(1, 2), (1, 2), (3, 4)])
+        assert set(repro.Tane(r).discover()) == set(repro.FastFDAlgorithm(r).discover())
