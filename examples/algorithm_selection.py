@@ -7,9 +7,12 @@ The paper's conclusion gives a decision guide:
 * wide relations (large arity)         -> FastCFD
 * large support threshold, small arity -> CTANE
 
-This example measures the three algorithms on small synthetic workloads that
-differ in arity and support threshold, prints the timing table, and shows what
-the library's ``algorithm="auto"`` mode picks for each workload.
+In the unified API that guide is *capability metadata*: every engine in the
+algorithm registry declares what it emits and where it scales, and
+``algorithm="auto"`` dispatch reads those declarations.  This example prints
+the registry's capability table, measures the engines on small synthetic
+workloads that differ in arity and support threshold, and shows what the
+registry selects for each workload.
 
 Run with::
 
@@ -18,26 +21,43 @@ Run with::
 
 from __future__ import annotations
 
-import time
-
-from repro import discover
-from repro.core.discovery import choose_algorithm
+from repro import REGISTRY, DiscoveryRequest, execute_request
 from repro.datagen import generate_tax
 from repro.experiments.reporting import format_table
+
+
+def capability_table() -> str:
+    rows = []
+    for name in REGISTRY.names():
+        caps = REGISTRY.capabilities_of(name)
+        rows.append(
+            {
+                "algorithm": name,
+                "constant": caps.constant_cfds,
+                "variable": caps.variable_cfds,
+                "wide-arity": caps.handles_wide_relations,
+                "high-k": caps.prefers_high_support,
+                "auto": caps.auto_candidate,
+            }
+        )
+    return format_table(rows)
 
 
 def time_algorithms(relation, k, algorithms):
     rows = []
     for algorithm in algorithms:
-        start = time.perf_counter()
-        result = discover(relation, k, algorithm=algorithm)
+        # One-shot runs (no shared session): each engine builds its own
+        # structures, so the seconds compare the algorithms fairly.
+        result = execute_request(
+            relation, DiscoveryRequest(min_support=k, algorithm=algorithm)
+        )
         rows.append(
             {
                 "algorithm": algorithm,
-                "arity": relation.arity,
-                "dbsize": relation.n_rows,
+                "arity": result.relation_arity,
+                "dbsize": result.relation_size,
                 "k": k,
-                "seconds": round(time.perf_counter() - start, 3),
+                "seconds": round(result.elapsed_seconds, 3),
                 "cfds": result.n_cfds,
             }
         )
@@ -45,6 +65,10 @@ def time_algorithms(relation, k, algorithms):
 
 
 def main() -> None:
+    print("== the algorithm registry's capability metadata ==")
+    print(capability_table())
+    print()
+
     workloads = [
         ("narrow relation, low support", generate_tax(1200, arity=7, seed=1), 6),
         ("narrow relation, high support", generate_tax(1200, arity=7, seed=1), 60),
@@ -58,7 +82,8 @@ def main() -> None:
         if relation.arity <= 9:
             algorithms.insert(1, "ctane")
         print(format_table(time_algorithms(relation, k, algorithms)))
-        print(f"auto mode would pick: {choose_algorithm(relation, k)}")
+        request = DiscoveryRequest(min_support=k)
+        print(f"auto mode would pick: {REGISTRY.select(relation, request)}")
         print()
 
 

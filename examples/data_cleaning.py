@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Data cleaning with discovered CFDs (the paper's motivating application).
 
-Workflow:
+Workflow, driven entirely through the unified discovery API:
 
 1. generate a clean synthetic Tax relation (the paper's workload generator);
-2. discover a canonical cover of CFDs on it with FastCFD;
+2. discover a canonical cover of constant CFDs on it through a
+   :class:`repro.Profiler` session (``constant_only`` routes straight to
+   CFDMiner via the registry's capability-driven dispatch);
 3. corrupt a copy of the data with typo-style errors;
-4. use the discovered rules to *detect* the dirty tuples;
+4. use the discovered rules to *detect* the dirty tuples
+   (:func:`repro.cleaning.discover_and_detect` does 2+4 in one call);
 5. *repair* the dirty relation and verify that it satisfies the rules again.
 
 Run with::
@@ -16,8 +19,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import FastCFD
-from repro.cleaning import detect_violations, repair
+from repro import DiscoveryRequest
+from repro.cleaning import discover_and_detect, detect_violations, repair
 from repro.datagen import generate_tax, inject_errors
 
 
@@ -26,23 +29,23 @@ def main() -> None:
     clean = generate_tax(db_size=800, arity=7, cf=0.7, seed=11)
     print(f"clean sample: {clean.n_rows} tuples, {clean.arity} attributes")
 
-    # 2. discover data-quality rules (constant rules are the most actionable)
-    cover = FastCFD(clean, min_support=8).discover()
-    rules = [cfd for cfd in cover if cfd.is_constant and len(cfd.lhs) >= 1]
-    print(f"discovered {len(cover)} CFDs, keeping {len(rules)} constant rules "
-          f"as cleaning rules, e.g.:")
-    for cfd in sorted(rules, key=str)[:5]:
-        print(f"    {cfd}")
-    print()
-
     # 3. corrupt city and street values
     dirty, corrupted_cells = inject_errors(
         clean, 0.02, seed=13, attributes=["CT", "STR"], use_domain_values=False
     )
     print(f"injected {len(corrupted_cells)} typo errors into CT / STR")
+    print()
 
-    # 4. detect
-    report = detect_violations(dirty, rules)
+    # 2 + 4. profile the clean sample, audit the dirty copy — one call
+    # through the front door (constant rules are the most actionable).
+    request = DiscoveryRequest(min_support=8, constant_only=True)
+    result, report = discover_and_detect(clean, dirty, request)
+    rules = [cfd for cfd in result.cfds if len(cfd.lhs) >= 1]
+    print(f"profiled with {result.algorithm} (capability-driven dispatch): "
+          f"{result.n_cfds} constant rules, e.g.:")
+    for cfd in sorted(rules, key=str)[:5]:
+        print(f"    {cfd}")
+    print()
     print("violation report on the dirty data:")
     print(report.summary())
     print()
@@ -54,14 +57,14 @@ def main() -> None:
     print()
 
     # 5. repair
-    result = repair(dirty, rules)
-    print(result.summary())
-    after = detect_violations(result.relation, rules)
+    outcome = repair(dirty, rules)
+    print(outcome.summary())
+    after = detect_violations(outcome.relation, rules)
     print(f"violations after repair: {after.total_violations}")
     restored = sum(
         1
         for row, attribute in corrupted_cells
-        if result.relation.value(row, attribute) == clean.value(row, attribute)
+        if outcome.relation.value(row, attribute) == clean.value(row, attribute)
     )
     print(f"{restored}/{len(corrupted_cells)} corrupted cells restored to their "
           f"original value")

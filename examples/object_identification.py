@@ -8,6 +8,10 @@ different conventions, and the constant CFDs mined from the merged feed expose
 value-level correspondences (area code ⇔ city ⇔ state) that can be used as
 matching rules when linking records.
 
+The mining goes through the unified front door: a ``constant_only``
+:class:`repro.DiscoveryRequest` is dispatched by the registry straight to a
+constant-only engine (CFDMiner) — no variable CFDs are mined and discarded.
+
 Run with::
 
     python examples/object_identification.py
@@ -15,7 +19,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import CFDMiner, Relation
+from repro import DiscoveryRequest, Profiler, Relation
 from repro.core.implication import minimise_constant_cover
 
 #: A merged feed of customer records from two sources.  Both sources describe
@@ -44,9 +48,12 @@ def main() -> None:
     print()
 
     # Mine constant CFDs that hold across both sources (support >= 3 tuples).
-    rules = CFDMiner(relation, min_support=3).discover()
-    print(f"{len(rules)} minimal 3-frequent constant CFDs:")
-    for cfd in sorted(rules, key=str):
+    result = Profiler(relation).run(
+        DiscoveryRequest(min_support=3, constant_only=True)
+    )
+    print(f"{result.n_cfds} minimal 3-frequent constant CFDs "
+          f"(served by {result.algorithm}):")
+    for cfd in sorted(result.cfds, key=str):
         print(f"    {cfd}")
     print()
 
@@ -54,7 +61,7 @@ def main() -> None:
     # ones) and remove logically redundant rules.
     identifying = [
         cfd
-        for cfd in rules
+        for cfd in result.cfds
         if "SRC" not in cfd.lhs and cfd.rhs != "SRC"
     ]
     minimal_rules = minimise_constant_cover(identifying)

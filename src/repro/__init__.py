@@ -9,7 +9,14 @@ that regenerates the paper's figures.
 
 Quickstart
 ----------
->>> from repro import Relation, discover
+The canonical entry point is the unified discovery API in :mod:`repro.api`:
+build a :class:`~repro.api.DiscoveryRequest`, open a
+:class:`~repro.api.Profiler` session over a relation, and run.  The session
+caches the expensive per-relation structures (encodings, item-set mining,
+difference-set indexes), so sweeping the support threshold — or re-running
+after sampling — skips recomputation:
+
+>>> from repro import DiscoveryRequest, Profiler, Relation
 >>> r = Relation.from_rows(
 ...     ["CC", "AC", "CT"],
 ...     [
@@ -20,12 +27,42 @@ Quickstart
 ...         ("44", "131", "EDI"),
 ...     ],
 ... )
->>> result = discover(r, min_support=2, algorithm="fastcfd")
+>>> profiler = Profiler(r)
+>>> result = profiler.run(DiscoveryRequest(min_support=2, algorithm="fastcfd"))
 >>> any(str(cfd) == "([AC] -> CT, (908 || MH))" for cfd in result.cfds)
 True
+>>> sweep = profiler.run(DiscoveryRequest(min_support=3, algorithm="fastcfd"))
+>>> sweep.n_cfds <= result.n_cfds  # higher threshold, smaller cover
+True
+
+The one-shot :func:`repro.discover` shim from the seed API keeps working:
+
+>>> repro_result = discover(r, min_support=2, algorithm="fastcfd")
+>>> sorted(map(str, repro_result.cfds)) == sorted(map(str, result.cfds))
+True
+
+New algorithms plug in through the registry: subclass
+:class:`~repro.api.DiscoveryAlgorithm`, declare
+:class:`~repro.api.AlgorithmCapabilities`, and decorate with
+:func:`~repro.api.register_algorithm`; ``algorithm="auto"`` dispatch is
+driven by the declared capabilities (the paper's Section 8 guidance).
 """
 
+# NOTE: repro.core must initialise before repro.api is imported directly —
+# core.pattern / core.cfd load first, then core.discovery pulls repro.api in
+# at a point where every module the api needs is already in sys.modules.
 from repro.core.cfd import CFD, ConstantCFD, VariableCFD, cfd_from_fd
+from repro.api import (
+    AlgorithmCapabilities,
+    AlgorithmRegistry,
+    AlgorithmStats,
+    DiscoveryAlgorithm,
+    DiscoveryRequest,
+    Profiler,
+    REGISTRY,
+    register_algorithm,
+)
+from repro.api import execute as execute_request
 from repro.core.cfdminer import CFDMiner, discover_constant_cfds
 from repro.core.ctane import CTane, discover_cfds_ctane
 from repro.core.discovery import DiscoveryResult, discover
@@ -67,6 +104,16 @@ __all__ = [
     "is_minimal",
     "is_left_reduced",
     "canonical_cover",
+    # unified discovery API (the canonical front door)
+    "AlgorithmCapabilities",
+    "AlgorithmRegistry",
+    "AlgorithmStats",
+    "DiscoveryAlgorithm",
+    "DiscoveryRequest",
+    "Profiler",
+    "REGISTRY",
+    "execute_request",
+    "register_algorithm",
     # discovery algorithms
     "CFDMiner",
     "discover_constant_cfds",

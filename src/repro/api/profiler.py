@@ -1,0 +1,253 @@
+"""The :class:`Profiler` session and the :func:`execute` front door.
+
+A Profiler binds to one relation and caches the expensive per-relation
+structures the discovery engines share:
+
+* the dictionary encoding / integer matrix (cached on the relation itself),
+* k-frequent free/closed item-set mining results per ``(k, max_lhs_size)``
+  (shared by CFDMiner and FastCFD at the same threshold),
+* the closed-set difference-set provider — its 2-frequent closed-set index is
+  *independent of k*, so every FastCFD run over the session reuses it no
+  matter the threshold (this is what makes support sweeps like
+  ``benchmarks/bench_fig08_scalability_support.py`` and sampling-based
+  discovery cheap),
+* the partition difference-set provider (NaiveFast) and single-attribute
+  partitions, likewise k-independent.
+
+:func:`execute` runs one :class:`~repro.api.request.DiscoveryRequest` through
+the registry — with or without a session — and applies the request's rule
+filters and ranking; it is the single code path behind ``repro.discover()``,
+the CLI, the experiment harness, sampling and cleaning.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.api.registry import REGISTRY, AlgorithmRegistry
+from repro.api.request import DiscoveryRequest
+from repro.api.result import DiscoveryResult
+from repro.core.fastcfd import ClosedSetDifferenceSets, PartitionDifferenceSets
+from repro.exceptions import DiscoveryError
+from repro.itemsets.mining import FreeClosedResult, mine_free_and_closed
+from repro.relational.relation import Relation
+
+if False:  # pragma: no cover - typing only (import would be circular)
+    from repro.relational.partition import Partition
+
+#: ``progress(stage, done, total)`` — invoked by engines during long runs.
+ProgressCallback = Callable[[str, int, int], None]
+
+
+def execute(
+    relation: Relation,
+    request: DiscoveryRequest,
+    *,
+    session: Optional["Profiler"] = None,
+    registry: AlgorithmRegistry = REGISTRY,
+) -> DiscoveryResult:
+    """Run one discovery request through the registry and post-process it.
+
+    Without a ``session`` the engines build their structures from scratch
+    (the seed behaviour, which keeps benchmark timings honest); with one they
+    reuse the session's caches.  ``limit_rows``, the constant/variable
+    filters and ``rank_by`` of the request are applied here so every front
+    end behaves identically.
+    """
+    if request.limit_rows is not None and request.limit_rows < relation.n_rows:
+        # The truncated prefix is a different relation: session caches built
+        # on the full relation would be wrong (or crash) here, so drop them.
+        relation = relation.head(request.limit_rows)
+        request = request.replace(limit_rows=None)
+        session = None
+    name = request.algorithm
+    if name == "auto":
+        name = registry.select(relation, request)
+    engine = registry.create(name)
+    if request.variable_only and not engine.capabilities.variable_cfds:
+        raise DiscoveryError(
+            f"algorithm {name!r} emits no variable CFDs but the request is "
+            "variable-only"
+        )
+
+    start = time.perf_counter()
+    cfds, stats = engine.run(relation, request, session)
+    elapsed = time.perf_counter() - start
+
+    cfds = list(cfds)
+    if request.constant_only:
+        cfds = [cfd for cfd in cfds if cfd.is_constant]
+    elif request.variable_only:
+        cfds = [cfd for cfd in cfds if cfd.is_variable]
+    if request.rank_by is not None:
+        from repro.core.measures import rank_by_interest
+
+        cfds = rank_by_interest(relation, cfds, key=request.rank_by)
+
+    return DiscoveryResult(
+        algorithm=name,
+        cfds=cfds,
+        min_support=request.min_support,
+        elapsed_seconds=elapsed,
+        relation_size=relation.n_rows,
+        relation_arity=relation.arity,
+        extra=stats.as_dict(),
+        stats=stats,
+    )
+
+
+class Profiler:
+    """A discovery session over one relation with shared structure caches.
+
+    Examples
+    --------
+    >>> from repro.relational.relation import Relation
+    >>> r = Relation.from_rows(
+    ...     ["AC", "CT"],
+    ...     [("908", "MH"), ("908", "MH"), ("212", "NYC")],
+    ... )
+    >>> profiler = Profiler(r)
+    >>> low = profiler.run(DiscoveryRequest(min_support=1, algorithm="fastcfd"))
+    >>> high = profiler.run(DiscoveryRequest(min_support=2, algorithm="fastcfd"))
+    >>> profiler.cache_info()["closed_difference_sets"]["hits"]
+    1
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        progress: Optional[ProgressCallback] = None,
+        registry: AlgorithmRegistry = REGISTRY,
+    ):
+        self._relation = relation
+        self._registry = registry
+        self.progress = progress
+        self._free_closed: Dict[Tuple[int, Optional[int]], FreeClosedResult] = {}
+        self._closed_provider: Optional[ClosedSetDifferenceSets] = None
+        self._partition_provider: Optional[PartitionDifferenceSets] = None
+        self._partitions: Dict[Tuple[int, ...], "Partition"] = {}
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def relation(self) -> Relation:
+        """The profiled relation."""
+        return self._relation
+
+    def _count(self, cache: str, hit: bool) -> None:
+        bucket = self._hits if hit else self._misses
+        bucket[cache] = bucket.get(cache, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # cached per-relation structures
+    # ------------------------------------------------------------------ #
+    def free_closed(
+        self, min_support: int, max_lhs_size: Optional[int] = None
+    ) -> FreeClosedResult:
+        """The k-frequent free/closed mining result (cached per threshold)."""
+        key = (min_support, max_lhs_size)
+        cached = self._free_closed.get(key)
+        if cached is not None:
+            self._count("free_closed", hit=True)
+            return cached
+        self._count("free_closed", hit=False)
+        result = mine_free_and_closed(
+            self._relation, min_support=min_support, max_size=max_lhs_size
+        )
+        self._free_closed[key] = result
+        return result
+
+    def closed_difference_sets(self) -> ClosedSetDifferenceSets:
+        """The FastCFD difference-set provider (k-independent, cached once).
+
+        The provider is built from the session's 2-frequent closed item sets,
+        so the first FastCFD run pays for the index and every later run —
+        at *any* support threshold — reuses it, including its per-query
+        difference-set cache.
+        """
+        if self._closed_provider is not None:
+            self._count("closed_difference_sets", hit=True)
+            return self._closed_provider
+        self._count("closed_difference_sets", hit=False)
+        self._closed_provider = ClosedSetDifferenceSets(
+            self._relation, closed_result=self.free_closed(2)
+        )
+        return self._closed_provider
+
+    def partition_difference_sets(self) -> PartitionDifferenceSets:
+        """The NaiveFast difference-set provider (k-independent, cached once)."""
+        if self._partition_provider is not None:
+            self._count("partition_difference_sets", hit=True)
+            return self._partition_provider
+        self._count("partition_difference_sets", hit=False)
+        self._partition_provider = PartitionDifferenceSets(self._relation)
+        return self._partition_provider
+
+    def attribute_partition(self, attributes: Sequence[object]) -> "Partition":
+        """The equivalence-class partition by ``attributes`` (names or indices, cached)."""
+        from repro.relational.partition import attribute_partition
+
+        key = tuple(sorted(self._relation.schema.indices_of(attributes)))
+        cached = self._partitions.get(key)
+        if cached is not None:
+            self._count("attribute_partitions", hit=True)
+            return cached
+        self._count("attribute_partitions", hit=False)
+        partition = attribute_partition(self._relation.encoded_matrix(), key)
+        self._partitions[key] = partition
+        return partition
+
+    def cache_info(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/size counters of every session cache."""
+        sizes = {
+            "free_closed": len(self._free_closed),
+            "closed_difference_sets": int(self._closed_provider is not None),
+            "partition_difference_sets": int(self._partition_provider is not None),
+            "attribute_partitions": len(self._partitions),
+        }
+        info: Dict[str, Dict[str, int]] = {}
+        for cache, size in sizes.items():
+            info[cache] = {
+                "hits": self._hits.get(cache, 0),
+                "misses": self._misses.get(cache, 0),
+                "size": size,
+            }
+        return info
+
+    # ------------------------------------------------------------------ #
+    # running requests
+    # ------------------------------------------------------------------ #
+    def run(self, request: DiscoveryRequest) -> DiscoveryResult:
+        """Execute one request against the session's relation and caches.
+
+        A truncating ``limit_rows`` profiles a different relation, so
+        :func:`execute` runs it one-shot instead of using (or poisoning)
+        the session caches.
+        """
+        return execute(
+            self._relation, request, session=self, registry=self._registry
+        )
+
+    def discover(
+        self,
+        min_support: int = 1,
+        *,
+        algorithm: str = "auto",
+        max_lhs_size: Optional[int] = None,
+        **options: object,
+    ) -> DiscoveryResult:
+        """Keyword-style convenience wrapper around :meth:`run`."""
+        return self.run(
+            DiscoveryRequest(
+                min_support=min_support,
+                algorithm=algorithm,
+                max_lhs_size=max_lhs_size,
+                options=options,
+            )
+        )
+
+
+__all__ = ["ProgressCallback", "Profiler", "execute"]

@@ -1,0 +1,161 @@
+"""Result objects of the unified discovery API.
+
+:class:`DiscoveryResult` is the value object every discovery entry point
+returns (it used to live in :mod:`repro.core.discovery`, which now re-exports
+it for backward compatibility).  :class:`AlgorithmStats` normalises the
+per-algorithm counters — CTANE's lattice statistics, the item-set mining
+volumes of CFDMiner/FastCFD — into one uniform record instead of the ad-hoc
+``extra`` dictionary of the seed API; ``extra`` is still populated from the
+stats so existing callers keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cfd import CFD
+from repro.core.pattern import is_wildcard
+
+
+@dataclass
+class AlgorithmStats:
+    """Uniform per-run statistics reported by every registered algorithm.
+
+    Counters that an algorithm does not track are ``None`` and omitted from
+    :meth:`as_dict`; algorithm-specific oddities go into :attr:`extras`.
+    """
+
+    algorithm: str = ""
+    #: CFD validity checks performed (CTANE's ``candidates_checked``).
+    candidates_checked: Optional[int] = None
+    #: Lattice elements generated across all levels (CTANE).
+    elements_generated: Optional[int] = None
+    #: Emitted CFDs dropped by the optional minimality re-check (CTANE).
+    non_minimal_dropped: Optional[int] = None
+    #: k-frequent free item sets mined (CFDMiner, FastCFD).
+    free_sets: Optional[int] = None
+    #: k-frequent closed item sets mined (CFDMiner, FastCFD).
+    closed_sets: Optional[int] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    _COUNTERS = (
+        "candidates_checked",
+        "elements_generated",
+        "non_minimal_dropped",
+        "free_sets",
+        "closed_sets",
+    )
+
+    def as_dict(self) -> Dict[str, object]:
+        """The tracked counters (``None`` entries omitted) plus the extras."""
+        out: Dict[str, object] = {}
+        for name in self._COUNTERS:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        out.update(self.extras)
+        return out
+
+
+@dataclass
+class DiscoveryResult:
+    """The outcome of one discovery run.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that produced the result.
+    cfds:
+        The discovered canonical cover.
+    min_support:
+        The support threshold ``k`` used.
+    elapsed_seconds:
+        Wall-clock time of the discovery call.
+    relation_size / relation_arity:
+        Shape of the profiled relation (the paper's DBSIZE and ARITY).
+    extra:
+        Backward-compatible dictionary view of :attr:`stats`.
+    stats:
+        The normalised :class:`AlgorithmStats` of the run (``None`` only for
+        results built by hand).
+    """
+
+    algorithm: str
+    cfds: List[CFD]
+    min_support: int
+    elapsed_seconds: float
+    relation_size: int
+    relation_arity: int
+    extra: Dict[str, object] = field(default_factory=dict)
+    stats: Optional[AlgorithmStats] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def constant_cfds(self) -> List[CFD]:
+        """The constant CFDs of the cover."""
+        return [cfd for cfd in self.cfds if cfd.is_constant]
+
+    @property
+    def variable_cfds(self) -> List[CFD]:
+        """The variable CFDs of the cover."""
+        return [cfd for cfd in self.cfds if cfd.is_variable]
+
+    @property
+    def n_cfds(self) -> int:
+        return len(self.cfds)
+
+    def counts(self) -> Dict[str, int]:
+        """Counts of constant/variable/total CFDs (Figures 6, 9, 14-16)."""
+        return {
+            "constant": len(self.constant_cfds),
+            "variable": len(self.variable_cfds),
+            "total": len(self.cfds),
+        }
+
+    def tableaux(self):
+        """The cover folded into one pattern tableau per embedded FD."""
+        from repro.core.tableau import group_into_tableaux
+
+        return group_into_tableaux(self.cfds)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        counts = self.counts()
+        return (
+            f"{self.algorithm}: {counts['total']} CFDs "
+            f"({counts['constant']} constant, {counts['variable']} variable) "
+            f"on |r|={self.relation_size}, arity={self.relation_arity}, "
+            f"k={self.min_support} in {self.elapsed_seconds:.3f}s"
+        )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """A machine-readable rendering of rules and stats (the CLI's --json)."""
+        rules = []
+        for cfd in self.cfds:
+            rules.append(
+                {
+                    "lhs": list(cfd.lhs),
+                    "lhs_pattern": [
+                        None if is_wildcard(v) else v for v in cfd.lhs_pattern
+                    ],
+                    "rhs": cfd.rhs,
+                    "rhs_pattern": (
+                        None if is_wildcard(cfd.rhs_pattern) else cfd.rhs_pattern
+                    ),
+                    "constant": cfd.is_constant,
+                    "text": str(cfd),
+                }
+            )
+        return {
+            "algorithm": self.algorithm,
+            "min_support": self.min_support,
+            "elapsed_seconds": self.elapsed_seconds,
+            "relation": {"rows": self.relation_size, "arity": self.relation_arity},
+            "counts": self.counts(),
+            "stats": self.stats.as_dict() if self.stats is not None else dict(self.extra),
+            "rules": rules,
+        }
+
+
+__all__ = ["AlgorithmStats", "DiscoveryResult"]

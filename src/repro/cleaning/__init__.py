@@ -9,13 +9,19 @@ repairs.  This subpackage provides that application layer:
   the spirit of Cong et al. [2].
 """
 
-from repro.cleaning.detect import ViolationReport, detect_violations, dirty_rows
+from repro.cleaning.detect import (
+    ViolationReport,
+    detect_violations,
+    dirty_rows,
+    discover_and_detect,
+)
 from repro.cleaning.repair import RepairResult, repair
 
 __all__ = [
     "ViolationReport",
     "detect_violations",
     "dirty_rows",
+    "discover_and_detect",
     "RepairResult",
     "repair",
 ]

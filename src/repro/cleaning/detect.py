@@ -5,15 +5,20 @@ relation and collecting its witnesses — but unlike FDs a *single* tuple can
 violate a constant CFD (Example 3 of the paper), which is what makes CFDs
 useful for spotting errors in isolation.  :func:`detect_violations` aggregates
 per-rule witnesses into a :class:`ViolationReport` that the repair engine and
-the cleaning examples consume.
+the cleaning examples consume.  :func:`discover_and_detect` closes the loop
+through the unified discovery API: profile a trusted sample with one
+:class:`~repro.api.DiscoveryRequest`, then audit a (possibly dirty) relation
+against the discovered rules.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.api import DiscoveryRequest, DiscoveryResult, Profiler
 from repro.core.cfd import CFD
+from repro.exceptions import DiscoveryError
 from repro.core.validation import Violation, violations
 from repro.relational.relation import Relation
 
@@ -82,4 +87,39 @@ def dirty_rows(relation: Relation, cfds: Iterable[CFD]) -> Set[int]:
     return detect_violations(relation, cfds).dirty_rows
 
 
-__all__ = ["ViolationReport", "detect_violations", "dirty_rows"]
+def discover_and_detect(
+    sample: Relation,
+    relation: Relation,
+    request: Optional[DiscoveryRequest] = None,
+    *,
+    session: Optional[Profiler] = None,
+    max_violations_per_cfd: int = None,
+) -> Tuple[DiscoveryResult, ViolationReport]:
+    """Profile a trusted ``sample`` for rules, then audit ``relation``.
+
+    This is the paper's motivating workflow (discover data-quality rules,
+    detect inconsistencies) as one call through the unified API.  ``request``
+    defaults to mining constant CFDs only — the most actionable cleaning
+    rules, Example 3 of the paper — at ``min_support=1``; pass a custom
+    :class:`~repro.api.DiscoveryRequest` (or a warmed ``session`` over
+    ``sample``) to tune the profiling.
+    """
+    if request is None:
+        request = DiscoveryRequest(constant_only=True)
+    if session is None:
+        session = Profiler(sample)
+    elif session.relation != sample:
+        raise DiscoveryError("the provided session does not profile the sample")
+    result = session.run(request)
+    report = detect_violations(
+        relation, result.cfds, max_violations_per_cfd=max_violations_per_cfd
+    )
+    return result, report
+
+
+__all__ = [
+    "ViolationReport",
+    "detect_violations",
+    "dirty_rows",
+    "discover_and_detect",
+]

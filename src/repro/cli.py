@@ -4,24 +4,33 @@ Installed as the ``repro-discover`` console script::
 
     repro-discover data.csv --support 10 --algorithm fastcfd
     repro-discover data.csv --support 10 --constant-only --tableau
+    repro-discover data.csv --support 10 --json
     repro-discover data.csv --support 10 --output rules.txt
 
 The CSV's first row is taken as the header unless ``--no-header`` is given
 (in which case attributes are named ``A0, A1, …``).  The discovered canonical
-cover is printed one rule per line (optionally grouped into pattern tableaux)
-together with a short summary on stderr.
+cover is printed one rule per line (optionally grouped into pattern tableaux,
+or as a machine-readable JSON document with ``--json``) together with a short
+summary on stderr.
+
+The command is a thin shell over the unified discovery API: the flags are
+packed into one :class:`repro.api.DiscoveryRequest` and executed through a
+:class:`repro.api.Profiler`, so ``--constant-only`` with the default
+``auto`` algorithm routes to a constant-only engine (CFDMiner) *before* any
+variable CFDs are mined.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.core.discovery import ALGORITHMS, discover
-from repro.core.measures import rank_by_interest
-from repro.core.tableau import group_into_tableaux
+from repro.api import RANKING_KEYS, REGISTRY, DiscoveryRequest, Profiler
+from repro.exceptions import DiscoveryError
 from repro.relational.io import read_csv
 from repro.relational.relation import Relation
 
@@ -39,7 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="support threshold k (default: 1)",
     )
     parser.add_argument(
-        "--algorithm", "-a", choices=ALGORITHMS, default="auto",
+        "--algorithm", "-a", choices=REGISTRY.choices(), default="auto",
         help="discovery algorithm (default: auto — the paper's guidance)",
     )
     parser.add_argument(
@@ -70,8 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="group the rules into one pattern tableau per embedded FD",
     )
     parser.add_argument(
-        "--rank-by", choices=["support", "confidence", "conviction", "chi_squared"],
+        "--rank-by", choices=list(RANKING_KEYS),
         default=None, help="rank the reported rules by an interest measure",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit rules and run statistics as machine-readable JSON",
     )
     parser.add_argument(
         "--output", "-o", type=Path, default=None,
@@ -80,12 +93,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _peek_arity(path: Path, delimiter: str) -> int:
+    """Number of fields of the first CSV record (quote-aware)."""
+    with path.open(encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        first = next(reader, [])
+    return len(first)
+
+
 def _load_relation(args: argparse.Namespace) -> Relation:
     if args.no_header:
-        # Peek at the first line to size the schema.
-        with args.csv.open(encoding="utf-8") as handle:
-            first = handle.readline()
-        arity = len(first.rstrip("\n").split(args.delimiter))
+        # Peek at the first record to size the schema; csv handles quoted
+        # fields that a naive split on the delimiter would miscount.
+        arity = _peek_arity(args.csv, args.delimiter)
         names = [f"A{i}" for i in range(arity)]
         return read_csv(
             args.csv,
@@ -107,27 +127,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"no such file: {args.csv}")
 
     relation = _load_relation(args)
-    algorithm = "cfdminer" if args.constant_only and args.algorithm == "auto" else args.algorithm
-    result = discover(
-        relation, args.support, algorithm=algorithm, max_lhs_size=args.max_lhs
-    )
+    try:
+        request = DiscoveryRequest(
+            min_support=args.support,
+            algorithm=args.algorithm,
+            max_lhs_size=args.max_lhs,
+            constant_only=args.constant_only,
+            variable_only=args.variable_only,
+            rank_by=args.rank_by,
+            tableau=args.tableau,
+        )
+        result = Profiler(relation).run(request)
+    except DiscoveryError as exc:
+        parser.error(str(exc))
 
+    if args.rank_by is None:
+        # Deterministic presentation order (ranked output keeps rank order).
+        result.cfds = sorted(result.cfds, key=str)
     cfds = result.cfds
-    if args.constant_only:
-        cfds = [cfd for cfd in cfds if cfd.is_constant]
-    if args.variable_only:
-        cfds = [cfd for cfd in cfds if cfd.is_variable]
-    if args.rank_by:
-        cfds = rank_by_interest(relation, cfds, key=args.rank_by)
-    else:
-        cfds = sorted(cfds, key=str)
 
-    if args.tableau:
-        lines: List[str] = [str(tableau) for tableau in group_into_tableaux(cfds)]
+    if args.as_json:
+        document = result.to_json_dict()
+        if args.tableau:
+            document["tableaux"] = [str(t) for t in result.tableaux()]
+        text = json.dumps(document, indent=2, default=str)
+        n_reported = len(document["rules"])
+        unit = "rules"
+    elif args.tableau:
+        lines: List[str] = [str(tableau) for tableau in result.tableaux()]
+        text = "\n".join(lines)
+        n_reported = len(lines)
+        unit = "tableaux"
     else:
         lines = [str(cfd) for cfd in cfds]
+        text = "\n".join(lines)
+        n_reported = len(lines)
+        unit = "rules"
 
-    text = "\n".join(lines)
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(text + ("\n" if text else ""), encoding="utf-8")
@@ -135,8 +171,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if text:
             print(text)
     print(
-        f"# {result.summary()} -> {len(lines)} "
-        f"{'tableaux' if args.tableau else 'rules'} reported",
+        f"# {result.summary()} -> {n_reported} {unit} reported",
         file=sys.stderr,
     )
     return 0

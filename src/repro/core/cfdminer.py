@@ -23,7 +23,7 @@ The algorithm therefore:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.cfd import CFD
 from repro.exceptions import DiscoveryError
@@ -43,6 +43,14 @@ class CFDMiner:
         The support threshold ``k`` (at least 1).
     max_lhs_size:
         Optional cap on the number of LHS attributes (``None``: unbounded).
+    mining_result:
+        Optional pre-computed free/closed mining result for this relation and
+        threshold (a :class:`~repro.itemsets.mining.FreeClosedResult`); the
+        :class:`~repro.api.profiler.Profiler` session passes its cached copy
+        here so repeated runs skip the mining phase.
+    progress:
+        Optional callback ``progress(stage, done, total)`` invoked while the
+        free item sets are processed (for long-run feedback).
 
     Examples
     --------
@@ -61,13 +69,16 @@ class CFDMiner:
         min_support: int = 1,
         *,
         max_lhs_size: Optional[int] = None,
+        mining_result: Optional[FreeClosedResult] = None,
+        progress: Optional[Callable[[str, int, int], None]] = None,
     ):
         if min_support < 1:
             raise DiscoveryError("min_support must be at least 1")
         self._relation = relation
         self._min_support = min_support
         self._max_lhs_size = max_lhs_size
-        self._mining_result: Optional[FreeClosedResult] = None
+        self._mining_result: Optional[FreeClosedResult] = mining_result
+        self._progress = progress
 
     # ------------------------------------------------------------------ #
     @property
@@ -112,7 +123,9 @@ class CFDMiner:
             }
 
         cfds: List[CFD] = []
-        for free in free_list:
+        for position, free in enumerate(free_list):
+            if self._progress is not None:
+                self._progress("cfdminer:free-set", position + 1, len(free_list))
             candidates = rhs_candidates[free.items]
             if not candidates:
                 continue

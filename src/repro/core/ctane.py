@@ -24,7 +24,7 @@ patterns, see DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -60,6 +60,9 @@ class CTane:
         Re-check every emitted CFD against the minimality definition and drop
         (and count) any failure.  Off by default; the test-suite validates the
         raw output against the brute-force oracle.
+    progress:
+        Optional callback ``progress(stage, level, arity)`` invoked once per
+        lattice level (for long-run feedback on large relations).
     """
 
     def __init__(
@@ -70,6 +73,7 @@ class CTane:
         max_lhs_size: Optional[int] = None,
         cplus_pruning: bool = True,
         verify_minimality: bool = False,
+        progress: Optional[Callable[[str, int, int], None]] = None,
     ):
         if min_support < 1:
             raise DiscoveryError("min_support must be at least 1")
@@ -78,6 +82,7 @@ class CTane:
         self._max_lhs_size = max_lhs_size
         self._cplus_pruning = cplus_pruning
         self._verify_minimality = verify_minimality
+        self._progress = progress
         self._matrix = relation.encoded_matrix()
         self._arity = relation.arity
         self._n_rows = relation.n_rows
@@ -223,6 +228,8 @@ class CTane:
 
         size = 1
         while level:
+            if self._progress is not None:
+                self._progress("ctane:level", size, self._arity)
             # --- Step 1: candidate RHS sets ------------------------------ #
             cplus: Dict[Element, Set[CandidateItem]] = {}
             for element in level:

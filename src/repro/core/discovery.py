@@ -1,108 +1,40 @@
-"""Unified front-end for CFD discovery.
+"""Backward-compatible front-end for CFD discovery (thin shim).
 
-The paper's conclusion positions the three algorithms as a *toolbox*: use
-CFDMiner when only constant CFDs are needed, FastCFD when the arity is large,
-CTANE when the support threshold is large and the arity moderate.  This module
-provides a single :func:`discover` entry point with an ``algorithm`` switch
-(plus ``"auto"`` which applies the paper's guidance) and a
-:class:`DiscoveryResult` value object that callers and the experiment harness
-share.
+The canonical entry point now lives in :mod:`repro.api`: an algorithm
+registry with capability metadata, a frozen
+:class:`~repro.api.request.DiscoveryRequest` and a
+:class:`~repro.api.profiler.Profiler` session that caches per-relation
+structures across runs.  This module keeps the seed API — :func:`discover`,
+:func:`choose_algorithm`, :data:`ALGORITHMS` and
+:class:`~repro.api.result.DiscoveryResult` — as thin delegating wrappers so
+existing callers and scripts keep working unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
-from repro.core.cfd import CFD
-from repro.core.cfdminer import CFDMiner
-from repro.core.ctane import CTane
-from repro.core.fastcfd import FastCFD, NaiveFast
-from repro.exceptions import DiscoveryError
+from repro.api import (
+    AUTO_ARITY_CUTOFF,
+    AUTO_SUPPORT_RATIO_CUTOFF,
+    DiscoveryRequest,
+    DiscoveryResult,
+    REGISTRY,
+    execute,
+)
 from repro.relational.relation import Relation
 
-#: Algorithms accepted by :func:`discover`.
-ALGORITHMS = ("cfdminer", "ctane", "fastcfd", "naivefast", "auto")
-
-#: The arity above which ``"auto"`` prefers FastCFD over CTANE; the paper
-#: reports CTANE failing to complete beyond arity 17 and FastCFD winning by
-#: orders of magnitude from arity 10-15 onwards (Section 6.2.1).
-AUTO_ARITY_CUTOFF = 10
-
-#: The relative support (k / |r|) above which ``"auto"`` prefers CTANE when
-#: the arity is moderate (the paper: CTANE outperforms FastCFD when the
-#: support threshold is large).
-AUTO_SUPPORT_RATIO_CUTOFF = 0.05
-
-
-@dataclass
-class DiscoveryResult:
-    """The outcome of one discovery run.
-
-    Attributes
-    ----------
-    algorithm:
-        Name of the algorithm that produced the result.
-    cfds:
-        The discovered canonical cover.
-    min_support:
-        The support threshold ``k`` used.
-    elapsed_seconds:
-        Wall-clock time of the discovery call.
-    relation_size / relation_arity:
-        Shape of the profiled relation (the paper's DBSIZE and ARITY).
-    """
-
-    algorithm: str
-    cfds: List[CFD]
-    min_support: int
-    elapsed_seconds: float
-    relation_size: int
-    relation_arity: int
-    extra: Dict[str, object] = field(default_factory=dict)
-
-    # ------------------------------------------------------------------ #
-    @property
-    def constant_cfds(self) -> List[CFD]:
-        """The constant CFDs of the cover."""
-        return [cfd for cfd in self.cfds if cfd.is_constant]
-
-    @property
-    def variable_cfds(self) -> List[CFD]:
-        """The variable CFDs of the cover."""
-        return [cfd for cfd in self.cfds if cfd.is_variable]
-
-    @property
-    def n_cfds(self) -> int:
-        return len(self.cfds)
-
-    def counts(self) -> Dict[str, int]:
-        """Counts of constant/variable/total CFDs (Figures 6, 9, 14-16)."""
-        return {
-            "constant": len(self.constant_cfds),
-            "variable": len(self.variable_cfds),
-            "total": len(self.cfds),
-        }
-
-    def summary(self) -> str:
-        """One-line human-readable summary."""
-        counts = self.counts()
-        return (
-            f"{self.algorithm}: {counts['total']} CFDs "
-            f"({counts['constant']} constant, {counts['variable']} variable) "
-            f"on |r|={self.relation_size}, arity={self.relation_arity}, "
-            f"k={self.min_support} in {self.elapsed_seconds:.3f}s"
-        )
+#: Algorithms accepted by :func:`discover` (registry names plus ``"auto"``).
+ALGORITHMS = REGISTRY.choices()
 
 
 def choose_algorithm(relation: Relation, min_support: int) -> str:
-    """The paper's guidance (Section 8) as an automatic selection rule."""
-    if relation.arity > AUTO_ARITY_CUTOFF:
-        return "fastcfd"
-    if relation.n_rows and min_support / relation.n_rows >= AUTO_SUPPORT_RATIO_CUTOFF:
-        return "ctane"
-    return "fastcfd"
+    """The paper's guidance (Section 8) as an automatic selection rule.
+
+    Delegates to the registry's capability-driven dispatch
+    (:meth:`repro.api.registry.AlgorithmRegistry.select`).
+    """
+    return REGISTRY.select(relation, DiscoveryRequest(min_support=min_support))
 
 
 def discover(
@@ -123,7 +55,7 @@ def discover(
         The support threshold ``k``.
     algorithm:
         One of ``"cfdminer"`` (constant CFDs only), ``"ctane"``, ``"fastcfd"``,
-        ``"naivefast"`` or ``"auto"`` (paper guidance).
+        ``"naivefast"`` or ``"auto"`` (paper guidance via the registry).
     max_lhs_size:
         Optional cap on the LHS size.
     options:
@@ -133,44 +65,20 @@ def discover(
     -------
     DiscoveryResult
     """
-    if algorithm not in ALGORITHMS:
-        raise DiscoveryError(
-            f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}"
-        )
-    if algorithm == "auto":
-        algorithm = choose_algorithm(relation, min_support)
-
-    start = time.perf_counter()
-    extra: Dict[str, object] = {}
-    if algorithm == "cfdminer":
-        miner = CFDMiner(relation, min_support, max_lhs_size=max_lhs_size, **options)
-        cfds = miner.discover()
-    elif algorithm == "ctane":
-        ctane = CTane(relation, min_support, max_lhs_size=max_lhs_size, **options)
-        cfds = ctane.discover()
-        extra["candidates_checked"] = ctane.candidates_checked
-        extra["elements_generated"] = ctane.elements_generated
-    elif algorithm == "fastcfd":
-        cfds = FastCFD(
-            relation, min_support, max_lhs_size=max_lhs_size, **options
-        ).discover()
-    elif algorithm == "naivefast":
-        cfds = NaiveFast(
-            relation, min_support, max_lhs_size=max_lhs_size, **options
-        ).discover()
-    else:  # pragma: no cover - exhaustiveness guard
-        raise DiscoveryError(f"unhandled algorithm {algorithm!r}")
-    elapsed = time.perf_counter() - start
-
-    return DiscoveryResult(
-        algorithm=algorithm,
-        cfds=list(cfds),
+    request = DiscoveryRequest(
         min_support=min_support,
-        elapsed_seconds=elapsed,
-        relation_size=relation.n_rows,
-        relation_arity=relation.arity,
-        extra=extra,
+        algorithm=algorithm,
+        max_lhs_size=max_lhs_size,
+        options=options,
     )
+    return execute(relation, request)
 
 
-__all__ = ["ALGORITHMS", "DiscoveryResult", "choose_algorithm", "discover"]
+__all__ = [
+    "ALGORITHMS",
+    "AUTO_ARITY_CUTOFF",
+    "AUTO_SUPPORT_RATIO_CUTOFF",
+    "DiscoveryResult",
+    "choose_algorithm",
+    "discover",
+]

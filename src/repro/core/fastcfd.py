@@ -22,7 +22,17 @@ variants:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -184,6 +194,14 @@ class FastCFD:
     max_lhs_size:
         Optional cap on the constant-pattern size considered (free item sets
         larger than this are not enumerated); ``None`` means unbounded.
+    free_result:
+        Optional pre-computed k-frequent free/closed mining result for this
+        relation and threshold; the :class:`~repro.api.profiler.Profiler`
+        session passes its cached copy here so repeated runs skip the mining
+        phase.
+    progress:
+        Optional callback ``progress(stage, done, total)`` invoked once per
+        RHS attribute while the per-attribute covers are enumerated.
     """
 
     def __init__(
@@ -195,6 +213,8 @@ class FastCFD:
         constant_cfds: str = "cfdminer",
         dynamic_reordering: bool = True,
         max_lhs_size: Optional[int] = None,
+        free_result: Optional[FreeClosedResult] = None,
+        progress: Optional[Callable[[str, int, int], None]] = None,
     ):
         if min_support < 1:
             raise DiscoveryError("min_support must be at least 1")
@@ -209,7 +229,8 @@ class FastCFD:
         self._max_lhs_size = max_lhs_size
         self._matrix = relation.encoded_matrix()
         self._arity = relation.arity
-        self._free_result: Optional[FreeClosedResult] = None
+        self._free_result: Optional[FreeClosedResult] = free_result
+        self._progress = progress
         if isinstance(difference_sets, DifferenceSetProvider):
             self._provider: DifferenceSetProvider = difference_sets
         elif difference_sets == "closed":
@@ -242,10 +263,12 @@ class FastCFD:
                 self._relation,
                 self._min_support,
                 max_lhs_size=self._max_lhs_size,
+                mining_result=self.free_result,  # share the mining work
             )
-            miner._mining_result = self.free_result  # share the mining work
             cfds.extend(miner.discover())
         for rhs in range(self._arity):
+            if self._progress is not None:
+                self._progress("fastcfd:rhs", rhs + 1, self._arity)
             cfds.extend(self._find_cover(rhs))
         return cfds
 
@@ -363,17 +386,28 @@ class NaiveFast(FastCFD):
         relation: Relation,
         min_support: int = 1,
         *,
+        difference_sets: object = None,
         constant_cfds: str = "inline",
         dynamic_reordering: bool = True,
         max_lhs_size: Optional[int] = None,
+        free_result: Optional[FreeClosedResult] = None,
+        progress: Optional[Callable[[str, int, int], None]] = None,
     ):
+        if difference_sets is None:
+            difference_sets = PartitionDifferenceSets(relation)
+        elif not isinstance(difference_sets, PartitionDifferenceSets):
+            raise DiscoveryError(
+                "NaiveFast requires a PartitionDifferenceSets provider"
+            )
         super().__init__(
             relation,
             min_support,
-            difference_sets=PartitionDifferenceSets(relation),
+            difference_sets=difference_sets,
             constant_cfds=constant_cfds,
             dynamic_reordering=dynamic_reordering,
             max_lhs_size=max_lhs_size,
+            free_result=free_result,
+            progress=progress,
         )
 
 

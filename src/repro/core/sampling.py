@@ -26,8 +26,8 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api import DiscoveryRequest, Profiler, execute
 from repro.core.cfd import CFD
-from repro.core.discovery import discover
 from repro.core.minimality import is_minimal
 from repro.exceptions import DiscoveryError
 from repro.relational.relation import Relation
@@ -124,6 +124,7 @@ def discover_with_sampling(
     strata: Optional[Sequence[str]] = None,
     seed: int = 0,
     validate: bool = True,
+    session: Optional[Profiler] = None,
     **options: object,
 ) -> SampledDiscoveryResult:
     """Mine CFDs on a stratified sample and validate them on the full relation.
@@ -146,13 +147,27 @@ def discover_with_sampling(
         relation (minimality + k-frequency) and only survivors are returned;
         when ``False`` the raw sample cover is returned (useful to study the
         sampling error itself).
+    session:
+        Optional :class:`~repro.api.Profiler` bound to the *sample* to mine
+        through (e.g. when probing several thresholds over one sample); by
+        default a one-shot run through :func:`repro.api.execute` is used.
     """
     if min_support < 1:
         raise DiscoveryError("min_support must be at least 1")
     sample = stratified_sample(relation, sample_size, strata=strata, seed=seed)
     ratio = sample.n_rows / relation.n_rows if relation.n_rows else 1.0
     sample_support = max(1, int(round(min_support * ratio)))
-    outcome = discover(sample, sample_support, algorithm=algorithm, **options)
+    request = DiscoveryRequest(
+        min_support=sample_support, algorithm=algorithm, options=options
+    )
+    if session is not None:
+        if session.relation != sample:
+            raise DiscoveryError(
+                "the provided session does not profile the drawn sample"
+            )
+        outcome = session.run(request)
+    else:
+        outcome = execute(sample, request)
     candidates = list(outcome.cfds)
     if not validate:
         return SampledDiscoveryResult(

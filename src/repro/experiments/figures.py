@@ -31,8 +31,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import DiscoveryRequest, execute
 from repro.core.ctane import CTane
-from repro.core.discovery import discover
 from repro.datagen.tax import generate_tax
 from repro.experiments.datasets import load_dataset, scaled
 from repro.experiments.runner import AlgorithmRun, ExperimentResult, run_algorithms
@@ -375,11 +375,15 @@ def ablation_constant_delegation(
         relation = generate_tax(db_size=size, arity=arity, cf=cf, seed=seed)
         k = max(2, int(round(support_ratio * size)))
         for label, mode in (("fastcfd(cfdminer)", "cfdminer"), ("fastcfd(inline)", "inline")):
-            start = time.perf_counter()
-            outcome = discover(
-                relation, k, algorithm="fastcfd", constant_cfds=mode
+            outcome = execute(
+                relation,
+                DiscoveryRequest(
+                    min_support=k,
+                    algorithm="fastcfd",
+                    options={"constant_cfds": mode},
+                ),
             )
-            elapsed = time.perf_counter() - start
+            elapsed = outcome.elapsed_seconds
             counts = outcome.counts()
             result.add(
                 AlgorithmRun(

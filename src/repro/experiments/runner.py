@@ -9,11 +9,10 @@ of a whole sweep and renders them as the table each benchmark prints.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.discovery import discover
+from repro.api import DiscoveryRequest, Profiler, execute
 from repro.experiments.reporting import format_table
 from repro.relational.relation import Relation
 
@@ -91,6 +90,7 @@ def run_algorithms(
     *,
     algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
     labels: Optional[Dict[str, str]] = None,
+    session: Optional[Profiler] = None,
 ) -> List[AlgorithmRun]:
     """Time each algorithm on ``relation`` and return one record per run.
 
@@ -104,28 +104,39 @@ def run_algorithms(
         Sweep coordinates (e.g. ``{"dbsize": 2000, "k": 2}``) copied onto every
         record.
     algorithms:
-        Which algorithms to run (names accepted by
-        :func:`repro.core.discovery.discover`).
+        Which algorithms to run (registered names, see
+        :data:`repro.api.REGISTRY`, or ``"auto"``).
     algorithm_options:
         Optional per-algorithm keyword arguments.
     labels:
         Optional display names (e.g. ``{"cfdminer": "CFDMiner(2)"}``).
+    session:
+        Optional shared :class:`~repro.api.Profiler` for ``relation``.  By
+        default every algorithm runs one-shot — each builds its own
+        structures, so the reported seconds compare algorithms fairly, which
+        is what the paper's figures measure.  Pass a session to study warmed
+        (production-style) runs instead.
     """
     algorithm_options = algorithm_options or {}
     labels = labels or {}
     records: List[AlgorithmRun] = []
     for algorithm in algorithms:
-        options = dict(algorithm_options.get(algorithm, {}))
-        start = time.perf_counter()
-        result = discover(relation, min_support, algorithm=algorithm, **options)
-        elapsed = time.perf_counter() - start
+        request = DiscoveryRequest(
+            min_support=min_support,
+            algorithm=algorithm,
+            options=dict(algorithm_options.get(algorithm, {})),
+        )
+        if session is not None:
+            result = session.run(request)
+        else:
+            result = execute(relation, request)
         counts = result.counts()
         records.append(
             AlgorithmRun(
                 figure=figure,
                 algorithm=labels.get(algorithm, algorithm),
                 parameters=dict(parameters),
-                seconds=elapsed,
+                seconds=result.elapsed_seconds,
                 n_cfds=counts["total"],
                 n_constant=counts["constant"],
                 n_variable=counts["variable"],

@@ -1,0 +1,174 @@
+"""Tests for the Profiler session: cache reuse, progress, execution."""
+
+import pytest
+
+from repro.api import DiscoveryRequest, Profiler, execute
+from repro.exceptions import DiscoveryError
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation(cust_relation) -> Relation:
+    return cust_relation
+
+
+class TestCacheReuse:
+    def test_two_supports_reuse_cached_structures(self, relation):
+        """A support sweep over one relation must not re-mine shared structures."""
+        profiler = Profiler(relation)
+        low = profiler.run(DiscoveryRequest(min_support=2, algorithm="fastcfd"))
+        high = profiler.run(DiscoveryRequest(min_support=3, algorithm="fastcfd"))
+        info = profiler.cache_info()
+        # The closed-set difference-set provider is k-independent: built once
+        # on the first run, reused verbatim by the second.
+        assert info["closed_difference_sets"]["misses"] == 1
+        assert info["closed_difference_sets"]["hits"] >= 1
+        assert info["closed_difference_sets"]["size"] == 1
+        # And the covers match fresh one-shot runs exactly.
+        for result, k in ((low, 2), (high, 3)):
+            oneshot = execute(
+                relation, DiscoveryRequest(min_support=k, algorithm="fastcfd")
+            )
+            assert sorted(map(str, result.cfds)) == sorted(map(str, oneshot.cfds))
+
+    def test_same_support_reuses_mining(self, relation):
+        profiler = Profiler(relation)
+        profiler.run(DiscoveryRequest(min_support=2, algorithm="cfdminer"))
+        profiler.run(DiscoveryRequest(min_support=2, algorithm="fastcfd"))
+        info = profiler.cache_info()
+        # CFDMiner mined (k=2); FastCFD at the same k reuses that result
+        # (which doubles as the provider's closed-set index).
+        assert info["free_closed"]["hits"] >= 1
+
+    def test_partition_provider_cached_across_naivefast_runs(self, relation):
+        profiler = Profiler(relation)
+        profiler.run(DiscoveryRequest(min_support=2, algorithm="naivefast"))
+        profiler.run(DiscoveryRequest(min_support=3, algorithm="naivefast"))
+        info = profiler.cache_info()
+        assert info["partition_difference_sets"]["misses"] == 1
+        assert info["partition_difference_sets"]["hits"] == 1
+
+    def test_attribute_partition_cached(self, relation):
+        profiler = Profiler(relation)
+        first = profiler.attribute_partition(["CC", "AC"])
+        second = profiler.attribute_partition(["AC", "CC"])  # order-insensitive
+        assert first is second
+        info = profiler.cache_info()
+        assert info["attribute_partitions"] == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_naivefast_timing_unaffected_by_fastcfd_cache(self, relation):
+        """The two FastCFD variants keep separate difference-set providers."""
+        profiler = Profiler(relation)
+        profiler.run(DiscoveryRequest(min_support=2, algorithm="fastcfd"))
+        profiler.run(DiscoveryRequest(min_support=2, algorithm="naivefast"))
+        info = profiler.cache_info()
+        assert info["partition_difference_sets"]["misses"] == 1
+
+
+class TestExecution:
+    def test_equivalent_covers_across_fastcfd_variants(self, relation):
+        profiler = Profiler(relation)
+        fastcfd = profiler.run(DiscoveryRequest(min_support=2, algorithm="fastcfd"))
+        naive = profiler.run(DiscoveryRequest(min_support=2, algorithm="naivefast"))
+        # NaiveFast is documented to produce the identical cover.
+        assert sorted(map(str, fastcfd.cfds)) == sorted(map(str, naive.cfds))
+
+    def test_constant_only_filter_and_dispatch(self, relation):
+        profiler = Profiler(relation)
+        result = profiler.run(DiscoveryRequest(min_support=2, constant_only=True))
+        assert result.algorithm == "cfdminer"  # capability-driven dispatch
+        assert result.cfds and all(cfd.is_constant for cfd in result.cfds)
+
+    def test_variable_only_filter(self, relation):
+        profiler = Profiler(relation)
+        result = profiler.run(
+            DiscoveryRequest(min_support=2, algorithm="ctane", variable_only=True)
+        )
+        assert result.cfds and all(cfd.is_variable for cfd in result.cfds)
+
+    def test_variable_only_on_constant_engine_rejected(self, relation):
+        request = DiscoveryRequest(
+            min_support=2, algorithm="cfdminer", variable_only=True
+        )
+        with pytest.raises(DiscoveryError, match="variable"):
+            Profiler(relation).run(request)
+
+    def test_rank_by_orders_rules(self, relation):
+        from repro.core.measures import measures
+
+        result = Profiler(relation).run(
+            DiscoveryRequest(min_support=2, algorithm="cfdminer", rank_by="support")
+        )
+        supports = [measures(relation, cfd).support_count for cfd in result.cfds]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_limit_rows_profiles_the_prefix(self, relation):
+        result = Profiler(relation).run(
+            DiscoveryRequest(min_support=1, algorithm="fastcfd", limit_rows=4)
+        )
+        assert result.relation_size == 4
+
+    def test_limit_rows_does_not_poison_session_caches(self, relation):
+        profiler = Profiler(relation)
+        profiler.run(
+            DiscoveryRequest(min_support=1, algorithm="fastcfd", limit_rows=4)
+        )
+        info = profiler.cache_info()
+        assert all(bucket["size"] == 0 for bucket in info.values())
+
+    def test_discover_convenience_wrapper(self, relation):
+        result = Profiler(relation).discover(
+            2, algorithm="fastcfd", constant_cfds="skip"
+        )
+        assert result.cfds and all(cfd.is_variable for cfd in result.cfds)
+
+    def test_options_forwarded_through_request(self, relation):
+        result = execute(
+            relation,
+            DiscoveryRequest(
+                min_support=2,
+                algorithm="fastcfd",
+                options={"constant_cfds": "skip"},
+            ),
+        )
+        assert all(cfd.is_variable for cfd in result.cfds)
+
+    def test_stats_normalised(self, relation):
+        result = Profiler(relation).run(
+            DiscoveryRequest(min_support=2, algorithm="ctane")
+        )
+        assert result.stats is not None
+        assert result.stats.algorithm == "ctane"
+        assert result.stats.candidates_checked > 0
+        # extra stays as the backward-compatible dictionary view
+        assert result.extra["candidates_checked"] == result.stats.candidates_checked
+
+    def test_unknown_algorithm_rejected(self, relation):
+        with pytest.raises(DiscoveryError, match="unknown algorithm"):
+            Profiler(relation).run(DiscoveryRequest(algorithm="nope"))
+
+
+class TestProgress:
+    @pytest.mark.parametrize(
+        "algorithm,stage",
+        [
+            ("ctane", "ctane:level"),
+            ("fastcfd", "fastcfd:rhs"),
+            ("cfdminer", "cfdminer:free-set"),
+        ],
+    )
+    def test_progress_callback_fires(self, relation, algorithm, stage):
+        events = []
+        profiler = Profiler(
+            relation, progress=lambda s, done, total: events.append((s, done, total))
+        )
+        profiler.run(DiscoveryRequest(min_support=2, algorithm=algorithm))
+        stages = {s for s, _, _ in events}
+        assert stage in stages
+        for _, done, total in events:
+            assert 1 <= done <= total
+
+    def test_one_shot_runs_have_no_progress(self, relation):
+        # execute() without a session must not crash on progress handling
+        result = execute(relation, DiscoveryRequest(min_support=2, algorithm="ctane"))
+        assert result.n_cfds > 0

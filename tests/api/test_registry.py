@@ -1,0 +1,122 @@
+"""Tests for the algorithm registry and capability-driven dispatch."""
+
+import pytest
+
+from repro.api import (
+    AlgorithmCapabilities,
+    AlgorithmRegistry,
+    AlgorithmStats,
+    DiscoveryAlgorithm,
+    DiscoveryRequest,
+    REGISTRY,
+)
+from repro.exceptions import DiscoveryError
+from repro.relational.relation import Relation
+
+
+class DummyAlgorithm(DiscoveryAlgorithm):
+    name = "dummy"
+    capabilities = AlgorithmCapabilities(constant_cfds=True, variable_cfds=True)
+
+    def run(self, relation, request, session=None):
+        return [], AlgorithmStats(algorithm=self.name)
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["A", "B", "C"],
+        [(1, 5, "p"), (1, 5, "q"), (2, 6, "p"), (2, 6, "q")],
+    )
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        registry = AlgorithmRegistry()
+        registry.register(DummyAlgorithm)
+        assert "dummy" in registry
+        assert registry.names() == ("dummy",)
+        assert registry.choices() == ("dummy", "auto")
+        assert isinstance(registry.create("dummy"), DummyAlgorithm)
+        assert registry.capabilities_of("dummy").variable_cfds
+
+    def test_duplicate_name_rejected(self):
+        registry = AlgorithmRegistry()
+        registry.register(DummyAlgorithm)
+        with pytest.raises(DiscoveryError, match="already registered"):
+            registry.register(DummyAlgorithm)
+
+    def test_missing_name_rejected(self):
+        class Nameless(DiscoveryAlgorithm):
+            capabilities = AlgorithmCapabilities()
+
+            def run(self, relation, request, session=None):
+                return [], AlgorithmStats()
+
+        with pytest.raises(DiscoveryError, match="no algorithm name"):
+            AlgorithmRegistry().register(Nameless)
+
+    def test_auto_name_reserved(self):
+        class Auto(DummyAlgorithm):
+            name = "auto"
+
+        with pytest.raises(DiscoveryError, match="reserved"):
+            AlgorithmRegistry().register(Auto)
+
+    def test_non_subclass_rejected(self):
+        with pytest.raises(DiscoveryError):
+            AlgorithmRegistry().register(object)
+
+    def test_unknown_algorithm_error(self):
+        registry = AlgorithmRegistry()
+        with pytest.raises(DiscoveryError, match="unknown algorithm"):
+            registry.create("nope")
+
+    def test_decorator_usage(self):
+        registry = AlgorithmRegistry()
+        decorated = registry.register(DummyAlgorithm)
+        assert decorated is DummyAlgorithm  # usable as a class decorator
+
+
+class TestGlobalRegistry:
+    def test_all_four_engines_registered(self):
+        assert REGISTRY.names() == ("cfdminer", "ctane", "fastcfd", "naivefast")
+
+    def test_capability_metadata_of_the_paper_toolbox(self):
+        assert not REGISTRY.capabilities_of("cfdminer").variable_cfds
+        assert REGISTRY.capabilities_of("ctane").prefers_high_support
+        assert REGISTRY.capabilities_of("fastcfd").handles_wide_relations
+        assert not REGISTRY.capabilities_of("naivefast").auto_candidate
+
+
+class TestCapabilityDrivenSelection:
+    def test_wide_relation_prefers_fastcfd(self):
+        wide = Relation.from_rows(
+            [f"A{i}" for i in range(12)], [tuple(range(12)), tuple(range(12))]
+        )
+        assert REGISTRY.select(wide, DiscoveryRequest(min_support=2)) == "fastcfd"
+
+    def test_high_support_prefers_ctane(self, relation):
+        # k/|r| = 0.5 is above the cutoff.
+        assert REGISTRY.select(relation, DiscoveryRequest(min_support=2)) == "ctane"
+
+    def test_low_support_prefers_fastcfd(self):
+        tall = Relation.from_rows(["A", "B"], [(i % 5, i % 3) for i in range(100)])
+        assert REGISTRY.select(tall, DiscoveryRequest(min_support=2)) == "fastcfd"
+
+    def test_constant_only_routes_to_cfdminer(self, relation):
+        request = DiscoveryRequest(min_support=2, constant_only=True)
+        assert REGISTRY.select(relation, request) == "cfdminer"
+
+    def test_naivefast_never_auto_selected(self):
+        for arity, rows, k in [(2, 100, 1), (12, 2, 2), (3, 4, 2)]:
+            r = Relation.from_rows(
+                [f"A{i}" for i in range(arity)],
+                [tuple((i + j) % 3 for j in range(arity)) for i in range(rows)],
+            )
+            assert REGISTRY.select(r, DiscoveryRequest(min_support=k)) != "naivefast"
+
+    def test_selection_with_no_candidates_raises(self, relation):
+        registry = AlgorithmRegistry()
+        with pytest.raises(DiscoveryError):
+            registry.select(relation, DiscoveryRequest(min_support=1))

@@ -1,0 +1,78 @@
+"""Tests for the frozen DiscoveryRequest configuration object."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import DiscoveryRequest
+from repro.exceptions import DiscoveryError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        request = DiscoveryRequest()
+        assert request.min_support == 1
+        assert request.algorithm == "auto"
+        assert request.max_lhs_size is None
+        assert not request.constant_only and not request.variable_only
+        assert request.options == ()
+
+    def test_frozen(self):
+        request = DiscoveryRequest()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.min_support = 5
+
+    def test_hashable(self):
+        a = DiscoveryRequest(min_support=2, options={"b": 1, "a": 2})
+        b = DiscoveryRequest(min_support=2, options={"a": 2, "b": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_options_mapping_normalised(self):
+        request = DiscoveryRequest(options={"z": 1, "a": 2})
+        assert request.options == (("a", 2), ("z", 1))
+        assert request.options_dict == {"a": 2, "z": 1}
+        # options_dict hands out a fresh dictionary each time
+        assert request.options_dict is not request.options_dict
+
+
+class TestValidation:
+    def test_min_support_validated(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryRequest(min_support=0)
+
+    def test_max_lhs_validated(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryRequest(max_lhs_size=0)
+
+    def test_limit_rows_validated(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryRequest(limit_rows=0)
+
+    def test_rank_by_validated(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryRequest(rank_by="popularity")
+
+    def test_conflicting_filters_rejected(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryRequest(constant_only=True, variable_only=True)
+
+    def test_empty_algorithm_rejected(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryRequest(algorithm="")
+
+
+class TestDerivation:
+    def test_with_support(self):
+        request = DiscoveryRequest(min_support=2, algorithm="ctane")
+        derived = request.with_support(7)
+        assert derived.min_support == 7
+        assert derived.algorithm == "ctane"
+        assert request.min_support == 2  # original untouched
+
+    def test_with_algorithm(self):
+        assert DiscoveryRequest().with_algorithm("fastcfd").algorithm == "fastcfd"
+
+    def test_replace_validates(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryRequest().replace(min_support=-1)

@@ -70,3 +70,32 @@ class TestDetectViolations:
         report = detect_violations(r, [cfd_from_fd(("A",), "B")])
         assert report.is_clean
         assert report.total_violations == 0
+
+
+class TestDiscoverAndDetect:
+    def test_profile_then_audit(self):
+        from repro.api import DiscoveryRequest
+        from repro.cleaning.detect import discover_and_detect
+
+        clean = Relation.from_rows(
+            ["AC", "CT"],
+            [("908", "MH"), ("908", "MH"), ("908", "MH"), ("212", "NYC")],
+        )
+        dirty = clean.with_value(1, "CT", "XX")
+        result, report = discover_and_detect(
+            clean, dirty, DiscoveryRequest(min_support=2, constant_only=True)
+        )
+        assert result.algorithm == "cfdminer"  # capability-driven default
+        assert all(cfd.is_constant for cfd in result.cfds)
+        assert not report.is_clean
+        assert 1 in report.dirty_rows
+
+    def test_default_request_is_constant_only(self):
+        from repro.cleaning.detect import discover_and_detect
+
+        clean = Relation.from_rows(
+            ["AC", "CT"], [("908", "MH"), ("908", "MH"), ("212", "NYC")]
+        )
+        result, report = discover_and_detect(clean, clean)
+        assert all(cfd.is_constant for cfd in result.cfds)
+        assert report.is_clean

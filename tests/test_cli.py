@@ -1,5 +1,7 @@
 """Tests for the repro-discover command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -100,3 +102,56 @@ class TestMain:
         exit_code = main([str(path), "--delimiter", ";", "--support", "2"])
         assert exit_code == 0
         assert "-> " in capsys.readouterr().out
+
+    def test_no_header_quoted_delimiter(self, tmp_path, capsys):
+        # The quoted first field contains the delimiter: a naive split would
+        # size the schema at 3 attributes instead of 2.
+        path = tmp_path / "quoted.csv"
+        path.write_text('"a,b",c\n"a,b",c\n"x,y",z\n', encoding="utf-8")
+        exit_code = main([str(path), "--no-header", "--support", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "A1" in captured.out
+        assert "A2" not in captured.out
+        assert "arity=2" in captured.err
+
+    def test_constant_only_auto_routes_to_cfdminer(self, csv_path, capsys):
+        main([str(csv_path), "--support", "2", "--constant-only"])
+        err = capsys.readouterr().err
+        # Capability-driven dispatch: variable CFDs are never mined at all.
+        assert "cfdminer:" in err
+
+    def test_json_output(self, csv_path, capsys):
+        exit_code = main(
+            [str(csv_path), "--support", "2", "--algorithm", "fastcfd", "--json"]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert document["algorithm"] == "fastcfd"
+        assert document["min_support"] == 2
+        assert document["relation"] == {"rows": 5, "arity": 3}
+        assert document["counts"]["total"] == len(document["rules"])
+        assert any(r["text"] == "([AC] -> CT, (908 || MH))" for r in document["rules"])
+        constant = next(r for r in document["rules"] if r["constant"])
+        assert None not in constant["lhs_pattern"]
+        variable = next(r for r in document["rules"] if not r["constant"])
+        assert variable["rhs_pattern"] is None
+        assert document["stats"]  # normalised algorithm statistics present
+
+    def test_impossible_request_reported_cleanly(self, csv_path, capsys):
+        # cfdminer emits no variable CFDs: the CLI must error, not traceback.
+        with pytest.raises(SystemExit):
+            main([str(csv_path), "-a", "cfdminer", "--variable-only"])
+        assert "no variable CFDs" in capsys.readouterr().err
+
+    def test_invalid_support_reported_cleanly(self, csv_path, capsys):
+        with pytest.raises(SystemExit):
+            main([str(csv_path), "--support", "0"])
+        assert "min_support" in capsys.readouterr().err
+
+    def test_json_output_to_file(self, csv_path, tmp_path, capsys):
+        target = tmp_path / "rules.json"
+        main([str(csv_path), "--support", "2", "--json", "-o", str(target)])
+        document = json.loads(target.read_text(encoding="utf-8"))
+        assert document["rules"]
+        assert capsys.readouterr().out == ""
