@@ -1,0 +1,215 @@
+"""The tracked perf-benchmark suite → ``BENCH_perf.json`` at the repo root.
+
+Three sections, re-measured on every run so the numbers never rot:
+
+1. **Partition microbenchmarks** — construction of the single-attribute
+   partitions and a full product chain across the schema, timed for the
+   label-array substrate (:mod:`repro.relational.partition`) *and* for the
+   original tuple-of-tuples implementation
+   (:mod:`repro.relational._reference`).  The reported speedup is the
+   substrate's improvement over the reference, i.e. over the pre-change
+   baseline.
+2. **CTANE partition ablation** — end-to-end CTANE with incremental pattern
+   partitions (the default) against ``incremental_partitions=False`` (the
+   pre-change per-candidate matrix re-scans), at a fixed support.
+3. **End-to-end discovery** — CFDMiner, CTANE and FastCFD on generated Tax
+   data across a support sweep, the trajectory future PRs compare against.
+
+Run ``python benchmarks/bench_perf_suite.py`` for the tracked numbers or
+``--smoke`` for the tiny CI configuration (same shape, toy sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.perf_common import (
+    DEFAULT_OUTPUT,
+    machine_info,
+    render_rows,
+    tax_relation,
+    time_best,
+    write_report,
+)
+from repro.core.cfdminer import CFDMiner
+from repro.core.ctane import CTane
+from repro.core.fastcfd import FastCFD
+from repro.relational._reference import reference_attribute_partition
+from repro.relational.partition import attribute_partition
+
+
+# ---------------------------------------------------------------------- #
+# section 1: partition microbenchmarks
+# ---------------------------------------------------------------------- #
+def bench_partitions(db_size: int, arity: int, repeats: int) -> dict:
+    relation = tax_relation(db_size, arity=arity, seed=7)
+    matrix = relation.encoded_matrix()
+
+    def construct_labels():
+        return [attribute_partition(matrix, [a]) for a in range(arity)]
+
+    def construct_reference():
+        return [reference_attribute_partition(matrix, [a]) for a in range(arity)]
+
+    label_singles = construct_labels()
+    reference_singles = construct_reference()
+
+    def chain(singles):
+        def run():
+            partition = singles[0]
+            for other in singles[1:]:
+                partition = partition.product(other)
+            return partition
+
+        return run
+
+    construct = {
+        "label_array_s": time_best(construct_labels, repeats),
+        "reference_s": time_best(construct_reference, repeats),
+    }
+    construct["speedup"] = construct["reference_s"] / construct["label_array_s"]
+    product = {
+        "label_array_s": time_best(chain(label_singles), repeats),
+        "reference_s": time_best(chain(reference_singles), repeats),
+    }
+    product["speedup"] = product["reference_s"] / product["label_array_s"]
+    return {
+        "rows": db_size,
+        "arity": arity,
+        "partition_construct": construct,
+        "partition_product_chain": product,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# section 2: CTANE incremental-partition ablation
+# ---------------------------------------------------------------------- #
+def bench_ctane_ablation(db_size: int, support: int, repeats: int) -> dict:
+    relation = tax_relation(db_size, seed=3)
+    incremental = time_best(
+        lambda: CTane(relation, support).discover(), repeats
+    )
+    legacy = time_best(
+        lambda: CTane(relation, support, incremental_partitions=False).discover(),
+        repeats,
+    )
+    n_cfds = len(CTane(relation, support).discover())
+    return {
+        "db_size": db_size,
+        "support": support,
+        "incremental_s": incremental,
+        "legacy_s": legacy,
+        "speedup": legacy / incremental,
+        "n_cfds": n_cfds,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# section 3: end-to-end discovery across supports
+# ---------------------------------------------------------------------- #
+def bench_end_to_end(db_size: int, supports: list, repeats: int) -> list:
+    relation = tax_relation(db_size, seed=3)
+    engines = {
+        "cfdminer": lambda k: CFDMiner(relation, k).discover(),
+        "ctane": lambda k: CTane(relation, k).discover(),
+        "fastcfd": lambda k: FastCFD(relation, k).discover(),
+    }
+    rows = []
+    for support in supports:
+        for name, run in engines.items():
+            seconds = time_best(lambda: run(support), repeats)
+            rows.append(
+                {
+                    "algorithm": name,
+                    "db_size": db_size,
+                    "support": support,
+                    "seconds": seconds,
+                    "n_cfds": len(run(support)),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: same document shape, seconds of runtime",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON document (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats (best-of)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        micro_rows, ablation_db, ablation_k = 400, 300, 5
+        e2e_db, supports, repeats = 300, [5], 1
+    else:
+        micro_rows, ablation_db, ablation_k = 5000, 2000, 20
+        e2e_db, supports, repeats = 2000, [10, 20, 50], 3
+    if args.repeats is not None:
+        repeats = args.repeats
+
+    started = time.perf_counter()
+    micro = bench_partitions(micro_rows, 7, repeats)
+    ablation = bench_ctane_ablation(ablation_db, ablation_k, max(1, repeats - 1))
+    end_to_end = bench_end_to_end(e2e_db, supports, max(1, repeats - 1))
+
+    document = {
+        "suite": "bench_perf_suite",
+        "mode": "smoke" if args.smoke else "full",
+        **machine_info(),
+        "total_seconds": round(time.perf_counter() - started, 3),
+        "micro": micro,
+        "ctane_partition_ablation": ablation,
+        "end_to_end": end_to_end,
+        # Pre-substrate numbers measured on the PR-1 tree (same machine
+        # class, db_size=2000/k=20 and the 5000-row product chain), kept as
+        # the fixed origin of the trajectory.
+        "recorded_seed_baseline": {
+            "partition_product_chain_s": 0.0313,
+            "partition_construct_s": 0.0145,
+            "ctane_2000_k20_s": 1.136,
+            "fastcfd_2000_k20_s": 0.646,
+            "cfdminer_2000_k20_s": 0.042,
+        },
+    }
+    write_report(document, args.output)
+
+    print(f"wrote {args.output}")
+    print("\npartition microbenchmarks "
+          f"({micro['rows']} rows, arity {micro['arity']}):")
+    micro_rows_table = [
+        {"benchmark": key, **values}
+        for key, values in micro.items()
+        if isinstance(values, dict)
+    ]
+    print(render_rows(
+        micro_rows_table, ["benchmark", "label_array_s", "reference_s", "speedup"]
+    ))
+    print(f"\nCTANE ablation (db={ablation['db_size']}, k={ablation['support']}): "
+          f"incremental {ablation['incremental_s']:.3f}s vs "
+          f"legacy {ablation['legacy_s']:.3f}s "
+          f"({ablation['speedup']:.2f}x, {ablation['n_cfds']} CFDs)")
+    print("\nend-to-end discovery:")
+    print(render_rows(
+        end_to_end, ["algorithm", "db_size", "support", "seconds", "n_cfds"]
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

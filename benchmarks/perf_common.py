@@ -1,0 +1,85 @@
+"""Shared plumbing for the tracked perf-benchmark suite.
+
+The figure benchmarks (``bench_fig*.py``) regenerate the paper's evaluation
+through pytest-benchmark; this module instead backs the *tracked* suite
+(``bench_perf_suite.py``) that every PR runs to keep a performance
+trajectory: plain ``perf_counter`` timings, a machine fingerprint, and the
+single JSON document written to ``BENCH_perf.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.datagen import generate_tax
+from repro.relational.relation import Relation
+
+#: Repository root — BENCH_perf.json lives here so the trajectory is visible.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_perf.json"
+
+
+def time_best(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def tax_relation(db_size: int, arity: int = 7, cf: float = 0.7, seed: int = 3) -> Relation:
+    """The paper's synthetic Tax/cust relation (deterministic per seed)."""
+    return generate_tax(db_size, arity=arity, cf=cf, seed=seed)
+
+
+def machine_info() -> Dict[str, str]:
+    """Fingerprint of the interpreter/host the numbers were taken on."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def write_report(document: Dict, output: Path) -> None:
+    """Write the benchmark document as stable, diff-friendly JSON."""
+    output.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+
+
+def render_rows(rows: List[Dict], columns: List[str]) -> str:
+    """A minimal fixed-width text table (printed to the console log)."""
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c)
+        for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+__all__ = [
+    "REPO_ROOT",
+    "DEFAULT_OUTPUT",
+    "time_best",
+    "tax_relation",
+    "machine_info",
+    "write_report",
+    "render_rows",
+]

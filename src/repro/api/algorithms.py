@@ -106,6 +106,7 @@ class CTaneAlgorithm(DiscoveryAlgorithm):
             relation,
             request.min_support,
             max_lhs_size=request.max_lhs_size,
+            session=session,
             progress=_session_progress(session),
             **request.options_dict,
         )

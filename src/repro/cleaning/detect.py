@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.api import DiscoveryRequest, DiscoveryResult, Profiler
 from repro.core.cfd import CFD
+from repro.core.pattern import is_wildcard
 from repro.exceptions import DiscoveryError
 from repro.core.validation import Violation, violations
 from repro.relational.relation import Relation
@@ -70,12 +71,45 @@ class ViolationReport:
         return "\n".join(lines)
 
 
+def _provably_clean(session: Profiler, cfd: CFD) -> bool:
+    """Partition-based proof that an all-wildcard rule has no violations.
+
+    For a CFD whose pattern is wildcards throughout (an embedded FD) the rule
+    holds iff the partition by the LHS attributes has exactly as many classes
+    as the partition by LHS ∪ {RHS} — TANE's validity test, served from the
+    session's shared attribute-partition cache.  Constant patterns are left
+    to the witness scan (class counts are not sound for them, see DESIGN.md).
+    """
+    if not is_wildcard(cfd.rhs_pattern):
+        return False
+    if any(not is_wildcard(value) for value in cfd.lhs_pattern):
+        return False
+    lhs = session.attribute_partition(cfd.lhs)
+    full = session.attribute_partition(tuple(cfd.lhs) + (cfd.rhs,))
+    return lhs.n_classes == full.n_classes
+
+
 def detect_violations(
-    relation: Relation, cfds: Iterable[CFD], *, max_violations_per_cfd: int = None
+    relation: Relation,
+    cfds: Iterable[CFD],
+    *,
+    max_violations_per_cfd: int = None,
+    session: Optional[Profiler] = None,
 ) -> ViolationReport:
-    """Check every CFD against the relation and collect witnesses."""
+    """Check every CFD against the relation and collect witnesses.
+
+    With a ``session`` (a :class:`~repro.api.Profiler` bound to *this*
+    relation) the all-wildcard rules are first checked against the session's
+    cached attribute partitions; rules proven clean skip the per-witness scan
+    entirely.  The report is identical either way.
+    """
+    if session is not None and session.relation != relation:
+        raise DiscoveryError("the provided session does not profile this relation")
     report = ViolationReport(relation_size=relation.n_rows)
     for cfd in cfds:
+        if session is not None and _provably_clean(session, cfd):
+            report.per_cfd[cfd] = []
+            continue
         report.per_cfd[cfd] = violations(
             relation, cfd, max_violations=max_violations_per_cfd
         )
@@ -111,8 +145,15 @@ def discover_and_detect(
     elif session.relation != sample:
         raise DiscoveryError("the provided session does not profile the sample")
     result = session.run(request)
+    # When the audited relation IS the profiled sample (self-audit), the
+    # detection pass shares the session's attribute-partition cache with the
+    # discovery engines that just warmed it.
+    audit_session = session if relation == sample else None
     report = detect_violations(
-        relation, result.cfds, max_violations_per_cfd=max_violations_per_cfd
+        relation,
+        result.cfds,
+        max_violations_per_cfd=max_violations_per_cfd,
+        session=audit_session,
     )
     return result, report
 

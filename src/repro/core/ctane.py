@@ -20,11 +20,36 @@ Validity is checked directly on the *pattern partition* (every equivalence
 class of the LHS-pattern partition must be constant on the RHS and match the
 RHS pattern); the TANE class-count comparison is not sound for constant RHS
 patterns, see DESIGN.md.
+
+Pattern partitions are maintained *incrementally*, as Section 4.4 of the
+paper prescribes: every lattice element caches its ``Π(X, sp)`` as a label
+array (:class:`~repro.relational.partition.Partition`), and a level-ℓ element
+derives its partition with a single linear-time :meth:`Partition.product`
+from the partition of its generating level-(ℓ−1) element and the cached
+single-attribute partition of the joined-in ``(attribute, pattern-value)``
+item.  The same partition answers both the k-frequency check of step 4
+(``covered_rows``) and the validity check of step 2, which reduces to O(1)
+count comparisons between the element's partition and its LHS parent's
+(``n_classes`` for a wildcard RHS, ``covered_rows`` for a constant RHS — see
+:meth:`CTane._cfd_valid_partition` and DESIGN.md for the soundness argument),
+so no step re-scans the encoded matrix per candidate.
+``incremental_partitions=False`` restores the original fresh-boolean-mask
+scans; it exists for the perf-benchmark ablation
+(``benchmarks/bench_perf_suite.py``) and as an executable specification.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -32,7 +57,11 @@ from repro.core.cfd import CFD
 from repro.core.minimality import is_minimal
 from repro.core.pattern import WILDCARD, is_wildcard, pattern_leq
 from repro.exceptions import DiscoveryError
+from repro.relational.partition import Partition, attribute_partition
 from repro.relational.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import would be circular)
+    from repro.api.profiler import Profiler
 
 PatternCode = object  # an int value code or WILDCARD
 Element = Tuple[Tuple[int, ...], Tuple[PatternCode, ...]]
@@ -56,10 +85,22 @@ class CTane:
         it off keeps every lattice element alive and emits via definition-level
         minimality checks instead; it exists for the pruning ablation
         benchmark.
+    incremental_partitions:
+        Maintain pattern partitions incrementally across lattice levels (the
+        paper's Section 4.4) and run vectorized validity/support checks on
+        them.  ``False`` restores the original per-candidate matrix re-scans;
+        output is identical either way (the perf suite and the test-suite
+        both assert this).
     verify_minimality:
         Re-check every emitted CFD against the minimality definition and drop
         (and count) any failure.  Off by default; the test-suite validates the
         raw output against the brute-force oracle.
+    session:
+        Optional :class:`~repro.api.profiler.Profiler` bound to ``relation``.
+        When given, single-attribute wildcard partitions are served from (and
+        recorded in) the session's ``attribute_partition`` cache, so TANE,
+        CTANE and the cleaning layer share one partition substrate across a
+        discovery session.
     progress:
         Optional callback ``progress(stage, level, arity)`` invoked once per
         lattice level (for long-run feedback on large relations).
@@ -72,52 +113,126 @@ class CTane:
         *,
         max_lhs_size: Optional[int] = None,
         cplus_pruning: bool = True,
+        incremental_partitions: bool = True,
         verify_minimality: bool = False,
+        session: Optional["Profiler"] = None,
         progress: Optional[Callable[[str, int, int], None]] = None,
     ):
         if min_support < 1:
             raise DiscoveryError("min_support must be at least 1")
+        if (
+            session is not None
+            and session.relation is not relation
+            and session.relation != relation
+        ):
+            raise DiscoveryError("the provided session does not profile this relation")
         self._relation = relation
         self._min_support = min_support
         self._max_lhs_size = max_lhs_size
         self._cplus_pruning = cplus_pruning
+        self._incremental = incremental_partitions
         self._verify_minimality = verify_minimality
+        self._session = session
         self._progress = progress
         self._matrix = relation.encoded_matrix()
         self._arity = relation.arity
         self._n_rows = relation.n_rows
+        # Column masks shared by the legacy scan paths: sibling candidates
+        # with a common constant item reuse one mask instead of recomputing
+        # it per candidate during level generation.
+        self._column_masks: Dict[Tuple[int, int], np.ndarray] = {}
+        self._all_rows_partition: Optional[Partition] = None
+        # Per-attribute code bound (codes are 0..span-1), for the mixed-radix
+        # pairing of refine_by_column.
+        self._column_spans: List[int] = [
+            int(self._matrix[:, a].max()) + 1 if self._n_rows else 1
+            for a in range(self._arity)
+        ]
         #: statistics filled by :meth:`discover`
         self.candidates_checked = 0
         self.elements_generated = 0
         self.non_minimal_dropped = 0
 
     # ------------------------------------------------------------------ #
-    # small helpers on encoded patterns
+    # the partition substrate
+    # ------------------------------------------------------------------ #
+    #: Cap on the number of cached column masks (legacy scan paths only);
+    #: each entry is an n_rows boolean array, so the cache stays bounded even
+    #: at min_support=1 on high-cardinality columns.
+    _MASK_CACHE_LIMIT = 4096
+
+    def _column_mask(self, attribute: int, code: int) -> np.ndarray:
+        """``matrix[:, attribute] == code``, cached per ``(attribute, code)``.
+
+        Sibling candidates sharing a constant item reuse one mask instead of
+        recomputing it.  Only the legacy (non-incremental) scan paths use
+        full-relation masks; the incremental path stores the compressed
+        partitions and compares gathered column values directly.
+        """
+        key = (attribute, code)
+        mask = self._column_masks.get(key)
+        if mask is None:
+            mask = self._matrix[:, attribute] == code
+            if len(self._column_masks) < self._MASK_CACHE_LIMIT:
+                self._column_masks[key] = mask
+        return mask
+
+    def _empty_pattern_partition(self) -> Partition:
+        """``Π(∅, ())``: every row in one class."""
+        if self._all_rows_partition is None:
+            if self._session is not None:
+                self._all_rows_partition = self._session.attribute_partition(())
+            else:
+                self._all_rows_partition = attribute_partition(self._matrix, [])
+        return self._all_rows_partition
+
+    def _single_partition(self, attribute: int, code: PatternCode) -> Partition:
+        """``Π({A}, (code,))``, the partition of one level-1 element.
+
+        Wildcard partitions come from (and warm) the session's shared
+        ``attribute_partition`` cache when one is given.  Constant partitions
+        store only their covered rows (support-sized), so level 1 holds at
+        most one relation's worth of row indices per attribute.  Each level-1
+        element is distinct, so no local memoisation is needed.
+        """
+        if is_wildcard(code):
+            if self._session is not None:
+                return self._session.attribute_partition((attribute,))
+            return attribute_partition(self._matrix, [attribute])
+        return Partition.from_mask(
+            self._matrix[:, attribute] == int(code), self._n_rows
+        )
+
+    # ------------------------------------------------------------------ #
+    # validity and support checks
     # ------------------------------------------------------------------ #
     def _constant_support(self, attrs: Sequence[int], pattern: Sequence[PatternCode]) -> int:
-        """Number of tuples matching the constants of ``pattern`` on ``attrs``."""
+        """Number of tuples matching the constants of ``pattern`` on ``attrs``.
+
+        Legacy scan used by ``incremental_partitions=False``; the incremental
+        path reads ``covered_rows`` off the candidate's partition instead.
+        """
         mask = np.ones(self._n_rows, dtype=bool)
         for attribute, code in zip(attrs, pattern):
             if not is_wildcard(code):
-                mask &= self._matrix[:, attribute] == int(code)
+                mask &= self._column_mask(attribute, int(code))
         return int(mask.sum())
 
-    def _cfd_valid(
+    def _cfd_valid_scan(
         self,
         lhs_attrs: Sequence[int],
         lhs_pattern: Sequence[PatternCode],
         rhs: int,
         rhs_code: PatternCode,
     ) -> bool:
-        """``r ⊨ (lhs → rhs, (lhs_pattern ‖ rhs_code))`` on the encoded matrix."""
-        self.candidates_checked += 1
+        """Legacy validity check: fresh masks and Python grouping per candidate."""
         mask = np.ones(self._n_rows, dtype=bool)
         wildcard_attrs: List[int] = []
         for attribute, code in zip(lhs_attrs, lhs_pattern):
             if is_wildcard(code):
                 wildcard_attrs.append(attribute)
             else:
-                mask &= self._matrix[:, attribute] == int(code)
+                mask &= self._column_mask(attribute, int(code))
         rows = np.nonzero(mask)[0]
         if rows.size == 0:
             return True
@@ -135,6 +250,32 @@ class CTane:
                 return False
         return True
 
+    @staticmethod
+    def _cfd_valid_partition(
+        lhs_partition: Partition,
+        element_partition: Partition,
+        rhs_code: PatternCode,
+    ) -> bool:
+        """Validity as O(1) count comparisons on cached pattern partitions.
+
+        ``lhs_partition`` is ``Π(X \\ {A}, sp')`` and ``element_partition``
+        the element's own ``Π(X, sp)``.
+
+        * Wildcard RHS: both partitions cover the same rows (they share the
+          constants), and the element refines the LHS by additionally
+          grouping on ``A`` — every LHS class is constant on ``A`` iff no
+          class splits, i.e. iff the class counts agree (TANE's test, lifted
+          to pattern partitions).
+        * Constant RHS ``A = c``: the element's partition covers exactly the
+          LHS-matching rows that also satisfy ``A = c``, so the CFD holds iff
+          the covered-row counts agree.  (The plain class-count comparison is
+          *not* sound here, see DESIGN.md — the covered counts are.)
+        """
+        if not is_wildcard(rhs_code):
+            return lhs_partition.covered_rows == element_partition.covered_rows
+        return lhs_partition.n_classes == element_partition.n_classes
+
+    # ------------------------------------------------------------------ #
     def _decode_cfd(
         self,
         lhs_attrs: Sequence[int],
@@ -226,6 +367,16 @@ class CTane:
             base_candidates.add((attrs[0], pattern[0]))
         parent_cplus: Dict[Element, Set[CandidateItem]] = {empty_element: base_candidates}
 
+        incremental = self._incremental
+        parent_partitions: Dict[Element, Partition] = {}
+        level_partitions: Dict[Element, Partition] = {}
+        if incremental:
+            parent_partitions[empty_element] = self._empty_pattern_partition()
+            for element in level:
+                level_partitions[element] = self._single_partition(
+                    element[0][0], element[1][0]
+                )
+
         size = 1
         while level:
             if self._progress is not None:
@@ -253,7 +404,20 @@ class CTane:
                         continue
                     lhs_attrs = attrs[:position] + attrs[position + 1:]
                     lhs_pattern = pattern[:position] + pattern[position + 1:]
-                    if not self._cfd_valid(lhs_attrs, lhs_pattern, rhs, rhs_code):
+                    self.candidates_checked += 1
+                    if incremental:
+                        # The LHS element is an immediate sub-element, so its
+                        # partition is cached in the previous level's table.
+                        valid = self._cfd_valid_partition(
+                            parent_partitions[(lhs_attrs, lhs_pattern)],
+                            level_partitions[element],
+                            rhs_code,
+                        )
+                    else:
+                        valid = self._cfd_valid_scan(
+                            lhs_attrs, lhs_pattern, rhs, rhs_code
+                        )
+                    if not valid:
                         continue
                     cfd = self._decode_cfd(lhs_attrs, lhs_pattern, rhs, rhs_code)
                     if self._verify_minimality and not is_minimal(
@@ -291,6 +455,7 @@ class CTane:
                 break
             level_index = set(level)
             next_level: Set[Element] = set()
+            next_partitions: Dict[Element, Partition] = {}
             prefixes: Dict[Tuple, List[Element]] = {}
             for element in level:
                 attrs, pattern = element
@@ -309,13 +474,55 @@ class CTane:
                         candidate: Element = (z_attrs, z_pattern)
                         if candidate in next_level:
                             continue
-                        if self._constant_support(z_attrs, z_pattern) < self._min_support:
-                            continue
-                        if not self._all_parents_present(candidate, level_index):
-                            continue
+                        if incremental:
+                            # Section 4.4: Π(Z, sp) derives from the
+                            # generating element's cached Π(X, sp) by joining
+                            # in the single new item — a class split for a
+                            # wildcard, a row restriction for a constant.
+                            # The constant support (the covered rows after a
+                            # restriction) is checked before paying for the
+                            # class relabelling.
+                            x_partition = level_partitions[(x_attrs, x_pattern)]
+                            y_attr = y_attrs[-1]
+                            y_code = y_pattern[-1]
+                            if is_wildcard(y_code):
+                                if x_partition.covered_rows < self._min_support:
+                                    continue
+                                if not self._all_parents_present(
+                                    candidate, level_index
+                                ):
+                                    continue
+                                partition = x_partition.refine_by_column(
+                                    self._matrix[:, y_attr],
+                                    self._column_spans[y_attr],
+                                )
+                            else:
+                                keep = (
+                                    self._matrix[x_partition.covered_index, y_attr]
+                                    == int(y_code)
+                                )
+                                if int(np.count_nonzero(keep)) < self._min_support:
+                                    continue
+                                if not self._all_parents_present(
+                                    candidate, level_index
+                                ):
+                                    continue
+                                partition = x_partition.restrict(keep)
+                            next_partitions[candidate] = partition
+                        else:
+                            if (
+                                self._constant_support(z_attrs, z_pattern)
+                                < self._min_support
+                            ):
+                                continue
+                            if not self._all_parents_present(candidate, level_index):
+                                continue
                         next_level.add(candidate)
             self.elements_generated += len(next_level)
             parent_cplus = cplus
+            if incremental:
+                parent_partitions = level_partitions
+                level_partitions = next_partitions
             level = sorted(next_level, key=self._generality_rank)
             size += 1
         return results

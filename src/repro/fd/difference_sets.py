@@ -38,14 +38,29 @@ def _bitmask_to_attrs(mask: int, exclude: Optional[int] = None) -> AttributeSet:
     return frozenset(attrs)
 
 
+#: Per-block working-set target for the blocked pairwise comparison
+#: (the int64 code matrix of one block), in bytes.
+_BLOCK_BUDGET_BYTES = 32 * 2 ** 20
+
+
 def _pairwise_difference_bitmasks(
-    matrix: np.ndarray, require_attr: Optional[int] = None
+    matrix: np.ndarray,
+    require_attr: Optional[int] = None,
+    block_rows: Optional[int] = None,
 ) -> Set[int]:
     """Distinct difference bitmasks over all row pairs of ``matrix``.
 
     When ``require_attr`` is given only pairs differing on that attribute are
     reported.  Duplicate rows are removed first; identical rows produce the
     empty difference set which never matters for covers.
+
+    The pairwise comparison runs in *row blocks*: for a block of ``B`` rows
+    the bitmask codes against every later row are accumulated column by
+    column into one ``B × m`` int64 matrix, then deduplicated with a single
+    ``np.unique`` per block.  This bounds peak memory (``block_rows`` is
+    sized to roughly :data:`_BLOCK_BUDGET_BYTES` unless given explicitly)
+    while replacing the per-row Python set updates of the old implementation
+    with one vectorized pass per block.
     """
     if matrix.shape[0] == 0:
         return set()
@@ -53,17 +68,43 @@ def _pairwise_difference_bitmasks(
     n, arity = unique.shape
     if arity > 62:
         raise ValueError("bitmask difference sets support at most 62 attributes")
-    weights = (np.int64(1) << np.arange(arity, dtype=np.int64))
     masks: Set[int] = set()
-    for i in range(n - 1):
-        diffs = unique[i + 1:] != unique[i]
-        if require_attr is not None:
-            keep = diffs[:, require_attr]
-            if not keep.any():
-                continue
-            diffs = diffs[keep]
-        codes = diffs.astype(np.int64) @ weights
-        masks.update(int(code) for code in np.unique(codes))
+    if n < 2:
+        return masks
+    if block_rows is None:
+        block_rows = max(1, _BLOCK_BUDGET_BYTES // (8 * n))
+    columns = [unique[:, a] for a in range(arity)]
+
+    def pair_codes(rows: slice, others: slice) -> np.ndarray:
+        codes = None
+        for a, column in enumerate(columns):
+            differs = column[rows, None] != column[None, others]
+            shifted = differs.astype(np.int64) << a
+            codes = shifted if codes is None else codes.__ior__(shifted)
+        return codes
+
+    def distinct(codes: np.ndarray) -> np.ndarray:
+        # There are at most 2**arity distinct masks, so for narrow relations
+        # a counting pass beats the sort inside np.unique by a wide margin.
+        if arity <= 22:
+            return np.nonzero(np.bincount(codes, minlength=1 << arity))[0]
+        return np.unique(codes)
+
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        block_codes = []
+        if stop - start > 1:
+            # pairs inside the block: upper triangle only
+            codes = pair_codes(slice(start, stop), slice(start, stop))
+            block_codes.append(codes[np.triu_indices(stop - start, k=1)])
+        if stop < n:
+            # pairs of a block row with any later row: the full rectangle
+            block_codes.append(pair_codes(slice(start, stop), slice(stop, n)).ravel())
+        if block_codes:
+            masks.update(distinct(np.concatenate(block_codes)).tolist())
+    if require_attr is not None:
+        bit = 1 << require_attr
+        masks = {mask for mask in masks if mask & bit}
     masks.discard(0)
     return masks
 

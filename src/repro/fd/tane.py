@@ -13,11 +13,15 @@ on found FDs, empty-C+ elimination).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.exceptions import DiscoveryError
 from repro.fd.fd import FD
 from repro.relational.partition import Partition, attribute_partition
 from repro.relational.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import would be circular)
+    from repro.api.profiler import Profiler
 
 AttrSet = FrozenSet[int]
 
@@ -31,6 +35,12 @@ class Tane:
         The relation instance to profile.
     max_lhs_size:
         Optional cap on the LHS size (``None`` explores the full lattice).
+    session:
+        Optional :class:`~repro.api.profiler.Profiler` bound to ``relation``.
+        When given, the single-attribute base partitions are served from the
+        session's ``attribute_partition`` cache — the same substrate CTANE
+        and the cleaning layer draw from — so repeated runs over one session
+        skip the base-partition construction.
 
     Examples
     --------
@@ -40,11 +50,24 @@ class Tane:
     ['[A] -> B', '[B] -> A']
     """
 
-    def __init__(self, relation: Relation, max_lhs_size: int = None):
+    def __init__(
+        self,
+        relation: Relation,
+        max_lhs_size: int = None,
+        *,
+        session: Optional["Profiler"] = None,
+    ):
+        if (
+            session is not None
+            and session.relation is not relation
+            and session.relation != relation
+        ):
+            raise DiscoveryError("the provided session does not profile this relation")
         self._relation = relation
         self._matrix = relation.encoded_matrix()
         self._arity = relation.arity
         self._max_lhs_size = max_lhs_size
+        self._session = session
         self._partitions: Dict[AttrSet, Partition] = {}
         self.candidates_checked = 0
 
@@ -55,7 +78,10 @@ class Tane:
         if cached is not None:
             return cached
         if len(attrs) <= 1:
-            partition = attribute_partition(self._matrix, sorted(attrs))
+            if self._session is not None:
+                partition = self._session.attribute_partition(tuple(sorted(attrs)))
+            else:
+                partition = attribute_partition(self._matrix, sorted(attrs))
         else:
             attrs_sorted = sorted(attrs)
             left = frozenset(attrs_sorted[:-1])
@@ -124,9 +150,11 @@ class Tane:
         return results
 
 
-def discover_fds_tane(relation: Relation, max_lhs_size: int = None) -> List[FD]:
+def discover_fds_tane(
+    relation: Relation, max_lhs_size: int = None, **kwargs: object
+) -> List[FD]:
     """Convenience wrapper: run :class:`Tane` on ``relation``."""
-    return Tane(relation, max_lhs_size=max_lhs_size).discover()
+    return Tane(relation, max_lhs_size=max_lhs_size, **kwargs).discover()
 
 
 __all__ = ["Tane", "discover_fds_tane"]

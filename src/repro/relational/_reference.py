@@ -1,0 +1,147 @@
+"""Reference tuple-of-tuples partition implementation.
+
+This module preserves the original, obviously-correct :class:`Partition`
+representation (classes as sorted tuples of row indices, Python-dict loops
+for products and refinement) that the label-array substrate in
+:mod:`repro.relational.partition` replaced.  It exists for two reasons:
+
+* the property tests check that the vectorized implementation agrees with
+  this one on randomized inputs (construction, stripping, products,
+  refinement, the ``g3`` error);
+* ``benchmarks/bench_perf_suite.py`` times both implementations side by
+  side, so the speedup of the substrate is re-measured — not merely
+  recorded — on every benchmark run.
+
+It is *not* part of the public API and nothing on the hot paths imports it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pattern import is_wildcard
+
+
+class ReferencePartition:
+    """A partition of row indices stored as sorted tuples of tuples."""
+
+    __slots__ = ("classes", "_n_rows")
+
+    def __init__(self, classes: Iterable[Sequence[int]], n_rows: Optional[int] = None):
+        normalised = tuple(
+            sorted(tuple(sorted(int(i) for i in cls)) for cls in classes if len(cls) > 0)
+        )
+        self.classes: Tuple[Tuple[int, ...], ...] = normalised
+        if n_rows is None:
+            n_rows = sum(len(cls) for cls in normalised)
+        self._n_rows = n_rows
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def covered_rows(self) -> int:
+        return sum(len(cls) for cls in self.classes)
+
+    def __iter__(self):
+        return iter(self.classes)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ReferencePartition) and other.classes == self.classes
+
+    def __hash__(self) -> int:
+        return hash(self.classes)
+
+    # ------------------------------------------------------------------ #
+    def stripped(self) -> "ReferencePartition":
+        return ReferencePartition(
+            [cls for cls in self.classes if len(cls) > 1], n_rows=self._n_rows
+        )
+
+    def refines(self, other: "ReferencePartition") -> bool:
+        membership: Dict[int, int] = {}
+        for idx, cls in enumerate(other.classes):
+            for row in cls:
+                membership[row] = idx
+        for cls in self.classes:
+            targets = {membership.get(row, -1) for row in cls}
+            if len(targets) != 1 or -1 in targets:
+                return False
+        return True
+
+    def product(self, other: "ReferencePartition") -> "ReferencePartition":
+        membership: Dict[int, int] = {}
+        for idx, cls in enumerate(other.classes):
+            for row in cls:
+                membership[row] = idx
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for idx, cls in enumerate(self.classes):
+            for row in cls:
+                other_idx = membership.get(row)
+                if other_idx is None:
+                    continue
+                groups.setdefault((idx, other_idx), []).append(row)
+        return ReferencePartition(groups.values(), n_rows=self._n_rows)
+
+    def error(self) -> int:
+        return self.covered_rows - self.n_classes
+
+
+# ---------------------------------------------------------------------- #
+def reference_attribute_partition(
+    matrix: np.ndarray, attributes: Sequence[int]
+) -> ReferencePartition:
+    """The original dict-of-groups attribute partition."""
+    n_rows = matrix.shape[0]
+    if n_rows == 0:
+        return ReferencePartition([], n_rows=0)
+    if not attributes:
+        return ReferencePartition([range(n_rows)], n_rows=n_rows)
+    groups: Dict[Tuple[int, ...], List[int]] = {}
+    sub = matrix[:, list(attributes)]
+    for row_index, key in enumerate(map(tuple, sub.tolist())):
+        groups.setdefault(key, []).append(row_index)
+    return ReferencePartition(groups.values(), n_rows=n_rows)
+
+
+def reference_pattern_partition(
+    matrix: np.ndarray,
+    attributes: Sequence[int],
+    pattern_codes: Sequence[object],
+) -> ReferencePartition:
+    """The original mask-and-group pattern partition ``Π(X, sp)``."""
+    n_rows = matrix.shape[0]
+    if len(attributes) != len(pattern_codes):
+        raise ValueError("attributes and pattern codes must have equal length")
+    mask = np.ones(n_rows, dtype=bool)
+    wildcard_attrs: List[int] = []
+    for attr, code in zip(attributes, pattern_codes):
+        if is_wildcard(code):
+            wildcard_attrs.append(attr)
+        else:
+            mask &= matrix[:, attr] == int(code)
+    rows = np.nonzero(mask)[0]
+    if rows.size == 0:
+        return ReferencePartition([], n_rows=n_rows)
+    if not wildcard_attrs:
+        return ReferencePartition([rows.tolist()], n_rows=n_rows)
+    groups: Dict[Tuple[int, ...], List[int]] = {}
+    sub = matrix[np.ix_(rows, wildcard_attrs)]
+    for row_index, key in zip(rows.tolist(), map(tuple, sub.tolist())):
+        groups.setdefault(key, []).append(row_index)
+    return ReferencePartition(groups.values(), n_rows=n_rows)
+
+
+__all__ = [
+    "ReferencePartition",
+    "reference_attribute_partition",
+    "reference_pattern_partition",
+]

@@ -99,3 +99,57 @@ class TestDiscoverAndDetect:
         result, report = discover_and_detect(clean, clean)
         assert all(cfd.is_constant for cfd in result.cfds)
         assert report.is_clean
+
+
+class TestSessionFastPath:
+    def test_session_report_identical(self, relation, rules):
+        from repro.api import Profiler
+
+        plain = detect_violations(relation, rules)
+        with_session = detect_violations(relation, rules, session=Profiler(relation))
+        assert {c: len(v) for c, v in plain.per_cfd.items()} == {
+            c: len(v) for c, v in with_session.per_cfd.items()
+        }
+        assert plain.dirty_rows == with_session.dirty_rows
+
+    def test_session_must_profile_the_relation(self, relation, rules):
+        from repro.api import Profiler
+        from repro.exceptions import DiscoveryError
+
+        other = Relation.from_rows(["AC", "CT", "ST"], [("1", "2", "3")])
+        with pytest.raises(DiscoveryError):
+            detect_violations(relation, rules, session=Profiler(other))
+
+    def test_clean_wildcard_rules_use_partition_cache(self, relation):
+        from repro.api import Profiler
+
+        profiler = Profiler(relation)
+        report = detect_violations(
+            relation, [cfd_from_fd(("CT",), "AC")], session=profiler
+        )
+        assert report.is_clean
+        assert profiler.cache_info()["attribute_partitions"]["misses"] > 0
+
+    def test_ctane_and_discover_and_detect_share_one_cache(self):
+        """Acceptance criterion: attribute-partition hits across the session."""
+        from repro.api import DiscoveryRequest, Profiler
+        from repro.cleaning.detect import discover_and_detect
+
+        sample = Relation.from_rows(
+            ["AC", "CT", "ST"],
+            [
+                ("908", "MH", "NJ"),
+                ("908", "MH", "NJ"),
+                ("212", "NYC", "NY"),
+                ("212", "NYC", "NY"),
+            ],
+        )
+        profiler = Profiler(sample)
+        request = DiscoveryRequest(min_support=2, algorithm="ctane")
+        profiler.run(request)  # CTANE warms the shared partition cache
+        result, report = discover_and_detect(
+            sample, sample, request, session=profiler
+        )
+        assert result.cfds
+        info = profiler.cache_info()["attribute_partitions"]
+        assert info["hits"] > 0

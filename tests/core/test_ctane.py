@@ -94,6 +94,41 @@ class TestCTaneOptions:
         verified = set(CTane(relation, 2, verify_minimality=True).discover())
         assert raw == verified
 
+    def test_incremental_partitions_byte_identical_to_scan(self, relation):
+        for k in (1, 2, 3):
+            incremental = CTane(relation, k).discover()
+            legacy = CTane(relation, k, incremental_partitions=False).discover()
+            assert incremental == legacy  # same CFDs in the same order
+
+    def test_incremental_equals_bruteforce_on_random_relations(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        for trial in range(6):
+            rows = [
+                tuple(int(v) for v in rng.integers(0, 3, size=3))
+                for _ in range(int(rng.integers(2, 9)))
+            ]
+            r = Relation.from_rows(["A", "B", "C"], rows)
+            for k in (1, 2):
+                found = CTane(r, k).discover()
+                assert found == CTane(
+                    r, k, incremental_partitions=False
+                ).discover()
+                assert set(found) == discover_bruteforce(r, k)
+
+    def test_session_shares_attribute_partitions(self, relation):
+        from repro.api import Profiler
+
+        profiler = Profiler(relation)
+        with_session = CTane(relation, 2, session=profiler).discover()
+        assert with_session == CTane(relation, 2).discover()
+        info = profiler.cache_info()["attribute_partitions"]
+        assert info["misses"] > 0
+        # a second run over the same session hits the shared cache
+        CTane(relation, 2, session=profiler).discover()
+        assert profiler.cache_info()["attribute_partitions"]["hits"] > 0
+
 
 class TestCTaneEdgeCases:
     def test_single_tuple_relation(self):

@@ -94,3 +94,42 @@ class TestMinimalSets:
     def test_idempotent(self):
         family = {frozenset({1}), frozenset({2})}
         assert minimal_sets(minimal_sets(family)) == family
+
+
+class TestBlockedBitmasks:
+    """The blocked pairwise computation agrees with a naive per-row scan."""
+
+    @staticmethod
+    def _naive(matrix, require=None):
+        unique = np.unique(matrix, axis=0)
+        weights = np.int64(1) << np.arange(unique.shape[1], dtype=np.int64)
+        masks = set()
+        for i in range(unique.shape[0] - 1):
+            diffs = unique[i + 1:] != unique[i]
+            if require is not None:
+                diffs = diffs[diffs[:, require]]
+            masks.update(int(c) for c in (diffs.astype(np.int64) @ weights))
+        masks.discard(0)
+        return masks
+
+    def test_agreement_on_random_matrices(self):
+        from repro.fd.difference_sets import _pairwise_difference_bitmasks
+
+        rng = np.random.default_rng(7)
+        for trial in range(25):
+            n = int(rng.integers(0, 40))
+            arity = int(rng.integers(1, 8))
+            matrix = rng.integers(0, 3, size=(n, arity)).astype(np.int32)
+            require = None if trial % 2 else int(rng.integers(0, arity))
+            for block_rows in (1, 3, None):
+                got = _pairwise_difference_bitmasks(
+                    matrix, require, block_rows=block_rows
+                )
+                assert got == self._naive(matrix, require)
+
+    def test_block_boundaries_do_not_lose_pairs(self, matrix):
+        from repro.fd.difference_sets import _pairwise_difference_bitmasks
+
+        full = _pairwise_difference_bitmasks(matrix)
+        for block_rows in (1, 2, 3, 100):
+            assert _pairwise_difference_bitmasks(matrix, block_rows=block_rows) == full

@@ -93,3 +93,20 @@ class TestKeyLikeRelations:
         # Both columns are constant: the empty LHS determines each of them.
         assert FD((), "A") in fds and FD((), "B") in fds
         assert set(FastFD(r).discover()) == fds
+
+
+class TestTaneSession:
+    def test_session_partitions_shared_and_output_unchanged(self):
+        from repro.api import Profiler
+
+        r = Relation.from_rows(
+            ["A", "B", "C"],
+            [(1, 1, "x"), (1, 1, "x"), (2, 3, "x"), (2, 3, "y")],
+        )
+        profiler = Profiler(r)
+        with_session = set(Tane(r, session=profiler).discover())
+        assert with_session == set(Tane(r).discover())
+        info = profiler.cache_info()["attribute_partitions"]
+        assert info["misses"] > 0
+        Tane(r, session=profiler).discover()
+        assert profiler.cache_info()["attribute_partitions"]["hits"] > 0

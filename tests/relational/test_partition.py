@@ -49,6 +49,26 @@ class TestPartitionBasics:
         stripped = Partition([[0, 1], [2], [3, 4]]).stripped()
         assert stripped.classes == ((0, 1), (3, 4))
 
+    def test_n_rows_uses_explicit_relation_size(self):
+        partition = Partition([[0, 1], [2]], n_rows=10)
+        assert partition.n_rows == 10
+        assert partition.covered_rows == 3
+
+    def test_stripping_keeps_n_rows_and_shrinks_covered_rows(self):
+        partition = Partition([[0, 1], [2], [3, 4]], n_rows=5)
+        stripped = partition.stripped()
+        assert stripped.n_rows == 5          # relation size is stable
+        assert stripped.covered_rows == 4    # the singleton dropped out
+        assert partition.covered_rows == 5
+
+    def test_labels_round_trip(self):
+        partition = Partition([[0, 2], [1]], n_rows=4)
+        assert partition.labels.tolist() == [0, 1, 0, -1]
+        rebuilt = Partition.from_labels(partition.labels, 4, 2)
+        assert rebuilt == partition
+        assert rebuilt.covered_index.tolist() == [0, 1, 2]
+        assert rebuilt.covered_labels.tolist() == [0, 1, 0]
+
     def test_error_measure(self):
         assert Partition([[0, 1], [2]]).error() == 1
 

@@ -1,0 +1,162 @@
+"""Property tests: the label-array Partition agrees with the reference one.
+
+The reference is the original tuple-of-tuples implementation, preserved in
+``repro.relational._reference``.  Agreement is checked through the
+normalised ``classes`` view (sorted tuples of row indices, ordered by first
+element), which both implementations define identically.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pattern import WILDCARD
+from repro.relational._reference import (
+    ReferencePartition,
+    reference_attribute_partition,
+    reference_pattern_partition,
+)
+from repro.relational.partition import (
+    Partition,
+    attribute_partition,
+    pattern_partition,
+)
+
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+def matrices(max_rows: int = 12, max_cols: int = 4, min_cols: int = 1, domain: int = 3):
+    return st.tuples(
+        st.integers(1, max_rows),
+        st.integers(min_cols, max_cols),
+        st.integers(0, 10 ** 6),
+    ).map(
+        lambda args: np.random.default_rng(args[2]).integers(
+            0, domain, size=(args[0], args[1])
+        ).astype(np.int32)
+    )
+
+
+def partition_pairs(max_rows: int = 10):
+    """A random disjoint family of row classes over 0..n-1, as both impls."""
+
+    def build(args):
+        n, seed = args
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(-1, n // 2 + 1, size=n)
+        groups = {}
+        for row, cls in enumerate(assignment.tolist()):
+            if cls >= 0:
+                groups.setdefault(cls, []).append(row)
+        classes = list(groups.values())
+        return Partition(classes, n_rows=n), ReferencePartition(classes, n_rows=n)
+
+    return st.tuples(st.integers(1, max_rows), st.integers(0, 10 ** 6)).map(build)
+
+
+def assert_same(label_partition: Partition, reference: ReferencePartition):
+    assert label_partition.classes == reference.classes
+    assert label_partition.n_classes == reference.n_classes
+    assert label_partition.n_rows == reference.n_rows
+    assert label_partition.covered_rows == reference.covered_rows
+    assert label_partition.error() == reference.error()
+
+
+# ---------------------------------------------------------------------- #
+# constructions from matrices
+# ---------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(matrix=matrices())
+def test_attribute_partition_matches_reference(matrix):
+    arity = matrix.shape[1]
+    for attrs in ([0], list(range(arity)), [arity - 1], []):
+        assert_same(
+            attribute_partition(matrix, attrs),
+            reference_attribute_partition(matrix, attrs),
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=matrices(), data=st.data())
+def test_pattern_partition_matches_reference(matrix, data):
+    arity = matrix.shape[1]
+    attrs = list(range(arity))
+    pattern = [
+        data.draw(st.one_of(st.just(WILDCARD), st.integers(0, 2)), label=f"p{a}")
+        for a in attrs
+    ]
+    assert_same(
+        pattern_partition(matrix, attrs, pattern),
+        reference_pattern_partition(matrix, attrs, pattern),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# operations on random partitions
+# ---------------------------------------------------------------------- #
+@settings(max_examples=80, deadline=None)
+@given(pair=partition_pairs())
+def test_stripped_matches_reference(pair):
+    label_partition, reference = pair
+    assert_same(label_partition.stripped(), reference.stripped())
+    # n_rows is stable under stripping; covered_rows is what shrinks.
+    assert label_partition.stripped().n_rows == label_partition.n_rows
+
+
+@settings(max_examples=80, deadline=None)
+@given(left=partition_pairs(), right=partition_pairs())
+def test_product_matches_reference(left, right):
+    label_left, reference_left = left
+    label_right, reference_right = right
+    assert_same(
+        label_left.product(label_right),
+        reference_left.product(reference_right),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(left=partition_pairs(), right=partition_pairs())
+def test_refines_matches_reference(left, right):
+    label_left, reference_left = left
+    label_right, reference_right = right
+    assert label_left.refines(label_right) == reference_left.refines(reference_right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=matrices(max_rows=10, max_cols=3, min_cols=2))
+def test_product_of_attribute_partitions_is_joint_partition(matrix):
+    joint = attribute_partition(matrix, [0, 1])
+    product = attribute_partition(matrix, [0]).product(
+        attribute_partition(matrix, [1])
+    )
+    assert product == joint
+
+
+# ---------------------------------------------------------------------- #
+# vectorized column helpers
+# ---------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(matrix=matrices(max_cols=3, min_cols=2))
+def test_column_constant_on_classes_matches_class_counts(matrix):
+    lhs = attribute_partition(matrix, [0])
+    rhs_column = matrix[:, 1]
+    expected = all(
+        len({int(rhs_column[row]) for row in cls}) == 1 for cls in lhs.classes
+    )
+    assert lhs.column_constant_on_classes(rhs_column) == expected
+    # ... and agrees with CTANE's O(1) count-comparison formulation: the FD
+    # holds iff adding the RHS attribute splits no class.
+    joint = attribute_partition(matrix, [0, 1])
+    assert lhs.column_constant_on_classes(rhs_column) == (
+        lhs.n_classes == joint.n_classes
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=matrices(max_cols=2), code=st.integers(0, 2))
+def test_column_all_equal(matrix, code):
+    # the full attribute partition covers every row, so column_all_equal
+    # reduces to a plain whole-column test
+    partition = attribute_partition(matrix, [0])
+    expected = bool((matrix[:, 0] == code).all())
+    assert partition.column_all_equal(matrix[:, 0], code) == expected
