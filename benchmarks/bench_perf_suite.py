@@ -1,6 +1,6 @@
 """The tracked perf-benchmark suite → ``BENCH_perf.json`` at the repo root.
 
-Three sections, re-measured on every run so the numbers never rot:
+Four sections, re-measured on every run so the numbers never rot:
 
 1. **Partition microbenchmarks** — construction of the single-attribute
    partitions and a full product chain across the schema, timed for the
@@ -14,6 +14,11 @@ Three sections, re-measured on every run so the numbers never rot:
    pre-change per-candidate matrix re-scans), at a fixed support.
 3. **End-to-end discovery** — CFDMiner, CTANE and FastCFD on generated Tax
    data across a support sweep, the trajectory future PRs compare against.
+4. **Serving throughput** — a mixed batch of requests (two algorithms × a
+   support sweep) pushed through :class:`repro.serve.DiscoveryService` with
+   a pooled session, reported as requests/sec against the same batch run
+   sequentially one-shot (no session, no pool) — the serving layer's
+   cache-reuse win.
 
 Run ``python benchmarks/bench_perf_suite.py`` for the tracked numbers or
 ``--smoke`` for the tiny CI configuration (same shape, toy sizes).
@@ -36,11 +41,13 @@ from benchmarks.perf_common import (
     time_best,
     write_report,
 )
+from repro.api import DiscoveryRequest, execute
 from repro.core.cfdminer import CFDMiner
 from repro.core.ctane import CTane
 from repro.core.fastcfd import FastCFD
 from repro.relational._reference import reference_attribute_partition
 from repro.relational.partition import attribute_partition
+from repro.serve import DiscoveryService, SessionPool
 
 
 # ---------------------------------------------------------------------- #
@@ -136,6 +143,40 @@ def bench_end_to_end(db_size: int, supports: list, repeats: int) -> list:
 
 
 # ---------------------------------------------------------------------- #
+# section 4: serving throughput through the session pool
+# ---------------------------------------------------------------------- #
+def bench_serving(db_size: int, supports: list, workers: int, repeats: int) -> dict:
+    relation = tax_relation(db_size, seed=3)
+    requests = [
+        DiscoveryRequest(min_support=support, algorithm=algorithm)
+        for support in supports
+        for algorithm in ("cfdminer", "fastcfd")
+    ]
+
+    def concurrent():
+        with DiscoveryService(
+            pool=SessionPool(max_sessions=4), max_workers=workers
+        ) as service:
+            service.run_batch([(relation, request) for request in requests])
+
+    def sequential():
+        for request in requests:
+            execute(relation, request)
+
+    concurrent_s = time_best(concurrent, repeats)
+    sequential_s = time_best(sequential, repeats)
+    return {
+        "db_size": db_size,
+        "workers": workers,
+        "n_requests": len(requests),
+        "concurrent_s": concurrent_s,
+        "sequential_oneshot_s": sequential_s,
+        "requests_per_second": round(len(requests) / concurrent_s, 2),
+        "speedup": sequential_s / concurrent_s,
+    }
+
+
+# ---------------------------------------------------------------------- #
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -157,9 +198,11 @@ def main(argv=None) -> int:
     if args.smoke:
         micro_rows, ablation_db, ablation_k = 400, 300, 5
         e2e_db, supports, repeats = 300, [5], 1
+        serving_db, serving_supports = 300, [3, 5, 8]
     else:
         micro_rows, ablation_db, ablation_k = 5000, 2000, 20
         e2e_db, supports, repeats = 2000, [10, 20, 50], 3
+        serving_db, serving_supports = 2000, [10, 20, 50]
     if args.repeats is not None:
         repeats = args.repeats
 
@@ -167,6 +210,9 @@ def main(argv=None) -> int:
     micro = bench_partitions(micro_rows, 7, repeats)
     ablation = bench_ctane_ablation(ablation_db, ablation_k, max(1, repeats - 1))
     end_to_end = bench_end_to_end(e2e_db, supports, max(1, repeats - 1))
+    serving = bench_serving(
+        serving_db, serving_supports, workers=4, repeats=max(1, repeats - 1)
+    )
 
     document = {
         "suite": "bench_perf_suite",
@@ -176,6 +222,7 @@ def main(argv=None) -> int:
         "micro": micro,
         "ctane_partition_ablation": ablation,
         "end_to_end": end_to_end,
+        "serving": serving,
         # Pre-substrate numbers measured on the PR-1 tree (same machine
         # class, db_size=2000/k=20 and the 5000-row product chain), kept as
         # the fixed origin of the trajectory.
@@ -208,6 +255,11 @@ def main(argv=None) -> int:
     print(render_rows(
         end_to_end, ["algorithm", "db_size", "support", "seconds", "n_cfds"]
     ))
+    print(f"\nserving throughput (db={serving['db_size']}, "
+          f"{serving['n_requests']} requests, {serving['workers']} workers): "
+          f"{serving['requests_per_second']} req/s pooled vs "
+          f"{serving['sequential_oneshot_s']:.3f}s sequential one-shot "
+          f"({serving['speedup']:.2f}x)")
     return 0
 
 

@@ -79,6 +79,7 @@ from repro.fd.tane import Tane
 from repro.relational.io import read_csv, write_csv
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+from repro.serve import DiscoveryService, SessionPool, relation_fingerprint
 
 __version__ = "1.0.0"
 
@@ -132,6 +133,10 @@ __all__ = [
     "rank_by_interest",
     "stratified_sample",
     "discover_with_sampling",
+    # serving layer: session pool, request dedup/batching
+    "DiscoveryService",
+    "SessionPool",
+    "relation_fingerprint",
     # FD baselines
     "FD",
     "Tane",

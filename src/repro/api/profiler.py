@@ -22,7 +22,10 @@ the CLI, the experiment harness, sampling and cleaning.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
+from concurrent.futures import Future
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.api.registry import REGISTRY, AlgorithmRegistry
@@ -54,13 +57,26 @@ def execute(
     reuse the session's caches.  ``limit_rows``, the constant/variable
     filters and ``rank_by`` of the request are applied here so every front
     end behaves identically.
+
+    ``elapsed_seconds`` of the result times the *whole* request — truncation,
+    engine run, rule filters and ranking; the engine-only share is surfaced as
+    ``engine_seconds`` in the result's stats (the seed reported engine time as
+    the total, silently excluding post-processing from benchmarks and
+    ``--json`` output).
     """
+    start = time.perf_counter()
     if request.limit_rows is not None and request.limit_rows < relation.n_rows:
         # The truncated prefix is a different relation: session caches built
-        # on the full relation would be wrong (or crash) here, so drop them.
-        relation = relation.head(request.limit_rows)
+        # on the full relation would be wrong (or crash) here.  With a
+        # session the run is served by a pooled prefix sub-session (keyed by
+        # limit_rows, so sampling re-runs reuse its caches); without one the
+        # prefix is profiled one-shot.
+        if session is not None:
+            session = session.prefix_session(request.limit_rows)
+            relation = session.relation
+        else:
+            relation = relation.head(request.limit_rows)
         request = request.replace(limit_rows=None)
-        session = None
     name = request.algorithm
     if name == "auto":
         name = registry.select(relation, request)
@@ -71,9 +87,9 @@ def execute(
             "variable-only"
         )
 
-    start = time.perf_counter()
+    engine_start = time.perf_counter()
     cfds, stats = engine.run(relation, request, session)
-    elapsed = time.perf_counter() - start
+    engine_elapsed = time.perf_counter() - engine_start
 
     cfds = list(cfds)
     if request.constant_only:
@@ -85,11 +101,12 @@ def execute(
 
         cfds = rank_by_interest(relation, cfds, key=request.rank_by)
 
+    stats.extras["engine_seconds"] = engine_elapsed
     return DiscoveryResult(
         algorithm=name,
         cfds=cfds,
         min_support=request.min_support,
-        elapsed_seconds=elapsed,
+        elapsed_seconds=time.perf_counter() - start,
         relation_size=relation.n_rows,
         relation_arity=relation.arity,
         extra=stats.as_dict(),
@@ -97,8 +114,25 @@ def execute(
     )
 
 
+#: Rough bytes per encoded item / closure entry in the free/closed estimates.
+_EST_ITEM_BYTES = 64
+
+#: How many prefix sub-sessions (distinct truncating ``limit_rows`` values)
+#: one session keeps warm; least recently used ones are dropped beyond this.
+MAX_PREFIX_SESSIONS = 4
+
+
 class Profiler:
     """A discovery session over one relation with shared structure caches.
+
+    Sessions are **thread-safe**: one reentrant lock guards the cache
+    dictionaries and the hit/miss counters, so concurrent :meth:`run` calls
+    (a parallel support sweep through the serving layer) build each shared
+    structure exactly once.  The expensive builds (item-set mining, the
+    difference-set providers) run *outside* the lock behind per-key futures:
+    the first thread pays the miss and builds, same-key callers wait on that
+    build's future, and builds for **distinct** keys proceed in parallel —
+    a cold 4-thread sweep mines its four thresholds concurrently.
 
     Examples
     --------
@@ -124,10 +158,13 @@ class Profiler:
         self._relation = relation
         self._registry = registry
         self.progress = progress
-        self._free_closed: Dict[Tuple[int, Optional[int]], FreeClosedResult] = {}
-        self._closed_provider: Optional[ClosedSetDifferenceSets] = None
-        self._partition_provider: Optional[PartitionDifferenceSets] = None
+        self._lock = threading.RLock()
+        # Expensive structures are cached as futures: lookup/insert happens
+        # under the lock, the build itself outside it (see _get_or_build).
+        self._free_closed: Dict[Tuple[int, Optional[int]], "Future[FreeClosedResult]"] = {}
+        self._providers: Dict[str, Future] = {}
         self._partitions: Dict[Tuple[int, ...], "Partition"] = {}
+        self._prefix_sessions: "OrderedDict[int, Profiler]" = OrderedDict()
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
 
@@ -141,6 +178,38 @@ class Profiler:
         bucket = self._hits if hit else self._misses
         bucket[cache] = bucket.get(cache, 0) + 1
 
+    def _get_or_build(self, cache: str, store: Dict, key, build):
+        """Serve ``store[key]``, building it at most once, outside the lock.
+
+        The lock is held only to look up or insert the future; the first
+        caller (the one who inserted it) runs ``build()`` unlocked, so
+        builds for distinct keys proceed in parallel while same-key callers
+        wait on the shared future.  Failed builds are evicted so a later
+        call can retry.
+        """
+        with self._lock:
+            future = store.get(key)
+            if future is not None:
+                self._count(cache, hit=True)
+                is_builder = False
+            else:
+                self._count(cache, hit=False)
+                future = Future()
+                store[key] = future
+                is_builder = True
+        if not is_builder:
+            return future.result()
+        try:
+            result = build()
+        except BaseException as exc:
+            with self._lock:
+                if store.get(key) is future:
+                    del store[key]
+            future.set_exception(exc)
+            raise
+        future.set_result(result)
+        return result
+
     # ------------------------------------------------------------------ #
     # cached per-relation structures
     # ------------------------------------------------------------------ #
@@ -148,17 +217,14 @@ class Profiler:
         self, min_support: int, max_lhs_size: Optional[int] = None
     ) -> FreeClosedResult:
         """The k-frequent free/closed mining result (cached per threshold)."""
-        key = (min_support, max_lhs_size)
-        cached = self._free_closed.get(key)
-        if cached is not None:
-            self._count("free_closed", hit=True)
-            return cached
-        self._count("free_closed", hit=False)
-        result = mine_free_and_closed(
-            self._relation, min_support=min_support, max_size=max_lhs_size
+        return self._get_or_build(
+            "free_closed",
+            self._free_closed,
+            (min_support, max_lhs_size),
+            lambda: mine_free_and_closed(
+                self._relation, min_support=min_support, max_size=max_lhs_size
+            ),
         )
-        self._free_closed[key] = result
-        return result
 
     def closed_difference_sets(self) -> ClosedSetDifferenceSets:
         """The FastCFD difference-set provider (k-independent, cached once).
@@ -168,54 +234,127 @@ class Profiler:
         at *any* support threshold — reuses it, including its per-query
         difference-set cache.
         """
-        if self._closed_provider is not None:
-            self._count("closed_difference_sets", hit=True)
-            return self._closed_provider
-        self._count("closed_difference_sets", hit=False)
-        self._closed_provider = ClosedSetDifferenceSets(
-            self._relation, closed_result=self.free_closed(2)
+        return self._get_or_build(
+            "closed_difference_sets",
+            self._providers,
+            "closed",
+            lambda: ClosedSetDifferenceSets(
+                self._relation, closed_result=self.free_closed(2)
+            ),
         )
-        return self._closed_provider
 
     def partition_difference_sets(self) -> PartitionDifferenceSets:
         """The NaiveFast difference-set provider (k-independent, cached once)."""
-        if self._partition_provider is not None:
-            self._count("partition_difference_sets", hit=True)
-            return self._partition_provider
-        self._count("partition_difference_sets", hit=False)
-        self._partition_provider = PartitionDifferenceSets(self._relation)
-        return self._partition_provider
+        return self._get_or_build(
+            "partition_difference_sets",
+            self._providers,
+            "partition",
+            lambda: PartitionDifferenceSets(self._relation),
+        )
 
     def attribute_partition(self, attributes: Sequence[object]) -> "Partition":
         """The equivalence-class partition by ``attributes`` (names or indices, cached)."""
         from repro.relational.partition import attribute_partition
 
         key = tuple(sorted(self._relation.schema.indices_of(attributes)))
-        cached = self._partitions.get(key)
-        if cached is not None:
-            self._count("attribute_partitions", hit=True)
-            return cached
-        self._count("attribute_partitions", hit=False)
-        partition = attribute_partition(self._relation.encoded_matrix(), key)
-        self._partitions[key] = partition
-        return partition
+        with self._lock:
+            cached = self._partitions.get(key)
+            if cached is not None:
+                self._count("attribute_partitions", hit=True)
+                return cached
+            self._count("attribute_partitions", hit=False)
+            partition = attribute_partition(self._relation.encoded_matrix(), key)
+            self._partitions[key] = partition
+            return partition
+
+    def prefix_session(self, limit_rows: int) -> "Profiler":
+        """A pooled sub-session over the first ``limit_rows`` tuples.
+
+        A truncating ``limit_rows`` profiles a different relation, so it can
+        never share this session's caches — but repeating the same truncation
+        (sampling re-runs, paging front ends) used to rebuild everything from
+        scratch each time.  Prefix sub-sessions are cached per ``limit_rows``
+        and tracked as the ``prefix_sessions`` bucket of :meth:`cache_info`;
+        at most :data:`MAX_PREFIX_SESSIONS` distinct limits stay warm (LRU),
+        so a front end sweeping many limits cannot grow the session without
+        bound.  A non-truncating limit returns this session itself
+        (uncounted).
+        """
+        with self._lock:
+            if limit_rows >= self._relation.n_rows:
+                return self
+            cached = self._prefix_sessions.get(limit_rows)
+            if cached is not None:
+                self._prefix_sessions.move_to_end(limit_rows)
+                self._count("prefix_sessions", hit=True)
+                return cached
+            self._count("prefix_sessions", hit=False)
+            prefix = Profiler(
+                self._relation.head(limit_rows),
+                progress=self.progress,
+                registry=self._registry,
+            )
+            self._prefix_sessions[limit_rows] = prefix
+            while len(self._prefix_sessions) > MAX_PREFIX_SESSIONS:
+                self._prefix_sessions.popitem(last=False)
+            return prefix
 
     def cache_info(self) -> Dict[str, Dict[str, int]]:
         """Hit/miss/size counters of every session cache."""
-        sizes = {
-            "free_closed": len(self._free_closed),
-            "closed_difference_sets": int(self._closed_provider is not None),
-            "partition_difference_sets": int(self._partition_provider is not None),
-            "attribute_partitions": len(self._partitions),
-        }
-        info: Dict[str, Dict[str, int]] = {}
-        for cache, size in sizes.items():
-            info[cache] = {
-                "hits": self._hits.get(cache, 0),
-                "misses": self._misses.get(cache, 0),
-                "size": size,
+        with self._lock:
+            sizes = {
+                "free_closed": len(self._free_closed),
+                "closed_difference_sets": int("closed" in self._providers),
+                "partition_difference_sets": int("partition" in self._providers),
+                "attribute_partitions": len(self._partitions),
+                "prefix_sessions": len(self._prefix_sessions),
             }
-        return info
+            info: Dict[str, Dict[str, int]] = {}
+            for cache, size in sizes.items():
+                info[cache] = {
+                    "hits": self._hits.get(cache, 0),
+                    "misses": self._misses.get(cache, 0),
+                    "size": size,
+                }
+            return info
+
+    @staticmethod
+    def _completed(future: Future):
+        """The future's result if it finished successfully, else ``None``."""
+        if future.done() and future.exception() is None:
+            return future.result()
+        return None
+
+    def estimated_bytes(self) -> int:
+        """Approximate heap bytes held by the session's caches.
+
+        Numpy-backed stores (tid-lists, partitions) are counted exactly via
+        ``nbytes``; pure-Python structures (item sets, posting lists) use
+        coarse per-item constants.  Structures still being built count as
+        zero until their future completes.  Prefix sub-sessions are
+        included, so the serving layer's :class:`~repro.serve.SessionPool`
+        can budget a whole session tree with one call.
+        """
+        with self._lock:
+            mining = [self._completed(f) for f in self._free_closed.values()]
+            providers = [self._completed(f) for f in self._providers.values()]
+            partitions = list(self._partitions.values())
+            prefixes = list(self._prefix_sessions.values())
+        total = 256  # the session object itself
+        for result in mining:
+            if result is None:
+                continue
+            for free in result.free_sets.values():
+                total += int(free.tids.nbytes)
+                total += _EST_ITEM_BYTES * (len(free.items) + len(free.closure) + 2)
+        for provider in providers:
+            if provider is not None:
+                total += provider.estimated_bytes()
+        for partition in partitions:
+            total += partition.nbytes
+        for prefix in prefixes:
+            total += prefix.estimated_bytes()
+        return total
 
     # ------------------------------------------------------------------ #
     # running requests
@@ -224,8 +363,8 @@ class Profiler:
         """Execute one request against the session's relation and caches.
 
         A truncating ``limit_rows`` profiles a different relation, so
-        :func:`execute` runs it one-shot instead of using (or poisoning)
-        the session caches.
+        :func:`execute` serves it from a pooled :meth:`prefix_session`
+        instead of using (or poisoning) this session's own caches.
         """
         return execute(
             self._relation, request, session=self, registry=self._registry

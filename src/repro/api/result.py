@@ -11,11 +11,35 @@ stats so existing callers keep working.
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.cfd import CFD
 from repro.core.pattern import is_wildcard
+
+
+def json_native(value: object) -> object:
+    """Coerce ``value`` to strictly JSON-native types (recursively).
+
+    ``json.dumps`` must never need a ``default=`` escape hatch on the
+    documents the API emits: numpy scalars become Python numbers, mappings
+    become string-keyed dicts, tuples/sets become lists (sets sorted by their
+    repr for determinism), and anything else falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, Mapping):
+        return {str(key): json_native(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_native(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((json_native(item) for item in value), key=repr)
+    return str(value)
 
 
 @dataclass
@@ -130,7 +154,12 @@ class DiscoveryResult:
         )
 
     def to_json_dict(self) -> Dict[str, object]:
-        """A machine-readable rendering of rules and stats (the CLI's --json)."""
+        """A machine-readable rendering of rules and stats (the CLI's --json).
+
+        The document is strictly JSON-native — ``json.dumps`` needs no
+        ``default=`` fallback and ``json.loads`` of the dump round-trips to
+        the identical dictionary, for every algorithm's stats.
+        """
         rules = []
         for cfd in self.cfds:
             rules.append(
@@ -147,7 +176,7 @@ class DiscoveryResult:
                     "text": str(cfd),
                 }
             )
-        return {
+        document = {
             "algorithm": self.algorithm,
             "min_support": self.min_support,
             "elapsed_seconds": self.elapsed_seconds,
@@ -156,6 +185,7 @@ class DiscoveryResult:
             "stats": self.stats.as_dict() if self.stats is not None else dict(self.extra),
             "rules": rules,
         }
+        return json_native(document)
 
 
-__all__ = ["AlgorithmStats", "DiscoveryResult"]
+__all__ = ["AlgorithmStats", "DiscoveryResult", "json_native"]

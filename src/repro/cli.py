@@ -6,6 +6,7 @@ Installed as the ``repro-discover`` console script::
     repro-discover data.csv --support 10 --constant-only --tableau
     repro-discover data.csv --support 10 --json
     repro-discover data.csv --support 10 --output rules.txt
+    repro-discover data.csv --batch requests.json --workers 4
 
 The CSV's first row is taken as the header unless ``--no-header`` is given
 (in which case attributes are named ``A0, A1, …``).  The discovered canonical
@@ -18,6 +19,15 @@ packed into one :class:`repro.api.DiscoveryRequest` and executed through a
 :class:`repro.api.Profiler`, so ``--constant-only`` with the default
 ``auto`` algorithm routes to a constant-only engine (CFDMiner) *before* any
 variable CFDs are mined.
+
+``--batch requests.json`` switches to the serving layer: the file holds a
+JSON array (or a ``{"requests": [...]}`` document) of request objects whose
+fields override the command-line flags — ``csv``, ``support``, ``algorithm``,
+``max_lhs``, ``limit_rows``, ``constant_only``, ``variable_only``,
+``rank_by``, ``options`` — and the whole batch is executed concurrently
+through a :class:`repro.serve.DiscoveryService` (pooled sessions, identical
+in-flight requests deduplicated).  The output is one JSON document with the
+per-request results and the service/pool counters.
 """
 
 from __future__ import annotations
@@ -26,8 +36,9 @@ import argparse
 import csv
 import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api import RANKING_KEYS, REGISTRY, DiscoveryRequest, Profiler
 from repro.exceptions import DiscoveryError
@@ -87,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit rules and run statistics as machine-readable JSON",
     )
     parser.add_argument(
+        "--batch", type=Path, default=None, metavar="REQUESTS_JSON",
+        help="serve a JSON file of request objects concurrently through the "
+        "session pool; entry fields override the command-line flags",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads for --batch (default: 4)",
+    )
+    parser.add_argument(
         "--output", "-o", type=Path, default=None,
         help="write the rules to this file instead of stdout",
     )
@@ -101,20 +121,120 @@ def _peek_arity(path: Path, delimiter: str) -> int:
     return len(first)
 
 
-def _load_relation(args: argparse.Namespace) -> Relation:
+def _load_relation(
+    args: argparse.Namespace, path: Optional[Path] = None, limit: Optional[int] = None
+) -> Relation:
+    path = args.csv if path is None else path
     if args.no_header:
         # Peek at the first record to size the schema; csv handles quoted
         # fields that a naive split on the delimiter would miscount.
-        arity = _peek_arity(args.csv, args.delimiter)
+        arity = _peek_arity(path, args.delimiter)
         names = [f"A{i}" for i in range(arity)]
         return read_csv(
-            args.csv,
+            path,
             has_header=False,
             attribute_names=names,
             delimiter=args.delimiter,
-            limit=args.limit_rows,
+            limit=limit,
         )
-    return read_csv(args.csv, delimiter=args.delimiter, limit=args.limit_rows)
+    return read_csv(path, delimiter=args.delimiter, limit=limit)
+
+
+#: Batch-entry fields that override the corresponding command-line flags.
+_BATCH_FIELDS = (
+    "csv",
+    "support",
+    "algorithm",
+    "max_lhs",
+    "limit_rows",
+    "constant_only",
+    "variable_only",
+    "rank_by",
+    "options",
+)
+
+
+def _batch_entries(path: Path, parser: argparse.ArgumentParser) -> List[Dict]:
+    """Parse and validate the ``--batch`` request file."""
+    try:
+        spec = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        parser.error(f"cannot read batch file {path}: {exc}")
+    entries = spec.get("requests") if isinstance(spec, dict) else spec
+    if not isinstance(entries, list) or not entries:
+        parser.error(
+            f"batch file {path} must hold a non-empty JSON array of request "
+            'objects (or {"requests": [...]})'
+        )
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            parser.error(f"batch entry #{index} is not a JSON object: {entry!r}")
+        unknown = set(entry) - set(_BATCH_FIELDS)
+        if unknown:
+            parser.error(
+                f"batch entry #{index} has unknown fields {sorted(unknown)}; "
+                f"allowed: {list(_BATCH_FIELDS)}"
+            )
+    return entries
+
+
+def _run_batch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Serve every batch entry concurrently through the discovery service."""
+    from repro.serve import DiscoveryService, SessionPool
+
+    entries = _batch_entries(args.batch, parser)
+    relations: Dict[Path, Relation] = {}
+    jobs: List[Tuple[Relation, DiscoveryRequest]] = []
+    try:
+        for entry in entries:
+            csv_path = Path(entry.get("csv", args.csv))
+            if not csv_path.exists():
+                parser.error(f"no such file: {csv_path}")
+            if csv_path not in relations:
+                relations[csv_path] = _load_relation(args, path=csv_path)
+            request = DiscoveryRequest(
+                min_support=entry.get("support", args.support),
+                algorithm=entry.get("algorithm", args.algorithm),
+                max_lhs_size=entry.get("max_lhs", args.max_lhs),
+                constant_only=entry.get("constant_only", args.constant_only),
+                variable_only=entry.get("variable_only", args.variable_only),
+                rank_by=entry.get("rank_by", args.rank_by),
+                limit_rows=entry.get("limit_rows", args.limit_rows),
+                options=entry.get("options", {}),
+            )
+            jobs.append((relations[csv_path], request))
+
+        started = time.perf_counter()
+        with DiscoveryService(
+            pool=SessionPool(), max_workers=args.workers
+        ) as service:
+            results = service.run_batch(jobs)
+            elapsed = time.perf_counter() - started
+            info = service.info()
+    except DiscoveryError as exc:
+        parser.error(str(exc))
+
+    document = {
+        "requests": len(jobs),
+        "elapsed_seconds": elapsed,
+        "requests_per_second": len(jobs) / elapsed if elapsed > 0 else None,
+        "service": info,
+        "results": [result.to_json_dict() for result in results],
+    }
+    text = json.dumps(document, indent=2, allow_nan=False)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    throughput = len(jobs) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"# batch: {len(jobs)} requests ({info['deduplicated']} deduplicated) "
+        f"over {len(relations)} relations in {elapsed:.3f}s "
+        f"-> {throughput:.1f} req/s",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -125,8 +245,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--constant-only and --variable-only are mutually exclusive")
     if not args.csv.exists():
         parser.error(f"no such file: {args.csv}")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if args.batch is not None:
+        return _run_batch(args, parser)
 
-    relation = _load_relation(args)
+    relation = _load_relation(args, limit=args.limit_rows)
     try:
         request = DiscoveryRequest(
             min_support=args.support,
@@ -150,7 +274,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         document = result.to_json_dict()
         if args.tableau:
             document["tableaux"] = [str(t) for t in result.tableaux()]
-        text = json.dumps(document, indent=2, default=str)
+        # to_json_dict() is strictly JSON-native: no default= escape hatch.
+        text = json.dumps(document, indent=2, allow_nan=False)
         n_reported = len(document["rules"])
         unit = "rules"
     elif args.tableau:

@@ -22,6 +22,7 @@ variants:
 
 from __future__ import annotations
 
+import threading
 from typing import (
     Callable,
     Dict,
@@ -53,6 +54,16 @@ from repro.relational.relation import Relation
 
 AttributeSet = FrozenSet[int]
 
+#: Rough bytes per small hashable (an int in a frozenset, an encoded item) in
+#: the :meth:`DifferenceSetProvider.estimated_bytes` estimates.  Deliberately
+#: coarse — the session pool only needs relative sizes for eviction.
+_EST_ITEM_BYTES = 64
+
+
+def _family_bytes(family: Iterable[FrozenSet]) -> int:
+    """Approximate heap bytes of a collection of frozensets."""
+    return 64 + sum(64 + _EST_ITEM_BYTES * len(member) for member in family)
+
 
 # ---------------------------------------------------------------------- #
 # difference-set providers
@@ -64,6 +75,10 @@ class DifferenceSetProvider:
         self, rhs: int, items: EncodedItemSet
     ) -> Set[AttributeSet]:
         raise NotImplementedError
+
+    def estimated_bytes(self) -> int:
+        """Approximate heap bytes held by the provider's indexes and caches."""
+        return 0
 
 
 class PartitionDifferenceSets(DifferenceSetProvider):
@@ -79,18 +94,37 @@ class PartitionDifferenceSets(DifferenceSetProvider):
         self._relation = relation
         self._matrix = relation.encoded_matrix()
         self._cache: Dict[Tuple[int, EncodedItemSet], Set[AttributeSet]] = {}
+        # Guards _cache against concurrent engines sharing one session; the
+        # difference-set computation itself runs outside the lock (duplicate
+        # concurrent computes are benign — the result is deterministic).
+        self._cache_lock = threading.Lock()
 
     def minimal_difference_sets(
         self, rhs: int, items: EncodedItemSet
     ) -> Set[AttributeSet]:
         key = (rhs, frozenset(items))
-        cached = self._cache.get(key)
+        with self._cache_lock:
+            cached = self._cache.get(key)
         if cached is not None:
             return cached
         tids = itemset_support(self._relation, items)
         result = minimal_difference_sets_wrt(self._matrix, rhs, rows=tids)
-        self._cache[key] = result
+        with self._cache_lock:
+            self._cache[key] = result
         return result
+
+    def estimated_bytes(self) -> int:
+        """Approximate heap bytes of the per-query cache.
+
+        The encoded matrix belongs to (and is accounted on) the relation's
+        encoding, not the provider.
+        """
+        with self._cache_lock:
+            entries = list(self._cache.items())
+        total = 0
+        for (_, items), family in entries:
+            total += 64 + _EST_ITEM_BYTES * len(items) + _family_bytes(family)
+        return total
 
 
 class ClosedSetDifferenceSets(DifferenceSetProvider):
@@ -132,6 +166,9 @@ class ClosedSetDifferenceSets(DifferenceSetProvider):
                 self._postings.setdefault(item, set()).add(index)
         self._all_indices = set(range(len(self._closed_items)))
         self._cache: Dict[Tuple[int, EncodedItemSet], Set[AttributeSet]] = {}
+        # Same discipline as PartitionDifferenceSets: the lock guards only
+        # the cache dict, never the query computation.
+        self._cache_lock = threading.Lock()
 
     def _candidate_indices(self, query: EncodedItemSet) -> Set[int]:
         """Indices of the closed sets containing every item of ``query``."""
@@ -155,7 +192,8 @@ class ClosedSetDifferenceSets(DifferenceSetProvider):
         self, rhs: int, items: EncodedItemSet
     ) -> Set[AttributeSet]:
         key = (rhs, frozenset(items))
-        cached = self._cache.get(key)
+        with self._cache_lock:
+            cached = self._cache.get(key)
         if cached is not None:
             return cached
         family: Set[AttributeSet] = set()
@@ -165,8 +203,22 @@ class ClosedSetDifferenceSets(DifferenceSetProvider):
                 continue  # the pair agrees on the RHS attribute
             family.add(self._closed_complements[index] - {rhs})
         result = minimal_sets(family)
-        self._cache[key] = result
+        with self._cache_lock:
+            self._cache[key] = result
         return result
+
+    def estimated_bytes(self) -> int:
+        """Approximate heap bytes of the closed-set index and the query cache."""
+        total = _family_bytes(self._closed_items)
+        total += _family_bytes(self._closed_attrs)
+        total += _family_bytes(self._closed_complements)
+        total += _family_bytes(self._postings.values())
+        total += _EST_ITEM_BYTES * len(self._all_indices)
+        with self._cache_lock:
+            entries = list(self._cache.items())
+        for (_, items), family in entries:
+            total += 64 + _EST_ITEM_BYTES * len(items) + _family_bytes(family)
+        return total
 
 
 # ---------------------------------------------------------------------- #

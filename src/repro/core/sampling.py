@@ -22,11 +22,14 @@ is guaranteed minimal and k-frequent on the full relation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api import DiscoveryRequest, Profiler, execute
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve import SessionPool
 from repro.core.cfd import CFD
 from repro.core.minimality import is_minimal
 from repro.exceptions import DiscoveryError
@@ -125,6 +128,7 @@ def discover_with_sampling(
     seed: int = 0,
     validate: bool = True,
     session: Optional[Profiler] = None,
+    pool: Optional["SessionPool"] = None,
     **options: object,
 ) -> SampledDiscoveryResult:
     """Mine CFDs on a stratified sample and validate them on the full relation.
@@ -151,6 +155,12 @@ def discover_with_sampling(
         Optional :class:`~repro.api.Profiler` bound to the *sample* to mine
         through (e.g. when probing several thresholds over one sample); by
         default a one-shot run through :func:`repro.api.execute` is used.
+    pool:
+        Optional :class:`~repro.serve.SessionPool` to mine through instead:
+        the drawn sample's session comes from (and stays in) the pool, so
+        repeated sampling runs — the same seed re-probed at several
+        thresholds, or a serving workload mixing full and sampled discovery —
+        reuse one warmed session.  Ignored when ``session`` is given.
     """
     if min_support < 1:
         raise DiscoveryError("min_support must be at least 1")
@@ -160,6 +170,8 @@ def discover_with_sampling(
     request = DiscoveryRequest(
         min_support=sample_support, algorithm=algorithm, options=options
     )
+    if session is None and pool is not None:
+        session = pool.session(sample)
     if session is not None:
         if session.relation != sample:
             raise DiscoveryError(

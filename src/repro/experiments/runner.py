@@ -10,11 +10,14 @@ of a whole sweep and renders them as the table each benchmark prints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from repro.api import DiscoveryRequest, Profiler, execute
 from repro.experiments.reporting import format_table
 from repro.relational.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve import SessionPool
 
 #: The algorithm line-up of the scalability figures (Fig. 5, 7, 8, 10).
 DEFAULT_ALGORITHMS = ("cfdminer", "ctane", "naivefast", "fastcfd")
@@ -91,6 +94,7 @@ def run_algorithms(
     algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
     labels: Optional[Dict[str, str]] = None,
     session: Optional[Profiler] = None,
+    pool: Optional["SessionPool"] = None,
 ) -> List[AlgorithmRun]:
     """Time each algorithm on ``relation`` and return one record per run.
 
@@ -116,9 +120,17 @@ def run_algorithms(
         structures, so the reported seconds compare algorithms fairly, which
         is what the paper's figures measure.  Pass a session to study warmed
         (production-style) runs instead.
+    pool:
+        Optional :class:`~repro.serve.SessionPool` to draw the session from.
+        A sweep that calls :func:`run_algorithms` once per parameter point
+        over the *same* relation then reuses one pooled session across
+        points (and the pool's LRU/byte caps bound the sweep's memory).
+        Ignored when ``session`` is given.
     """
     algorithm_options = algorithm_options or {}
     labels = labels or {}
+    if session is None and pool is not None:
+        session = pool.session(relation)
     records: List[AlgorithmRun] = []
     for algorithm in algorithms:
         request = DiscoveryRequest(

@@ -255,6 +255,24 @@ class Partition:
         """Sizes of the classes, indexed by class id."""
         return np.bincount(self.covered_labels, minlength=self._n_classes)
 
+    @property
+    def nbytes(self) -> int:
+        """Estimated bytes held by the partition's materialised backing stores.
+
+        Counts the numpy arrays exactly and the lazily materialised
+        ``classes`` view approximately (Python ints dominate it); views that
+        have not been materialised cost nothing.  The session pool's memory
+        accounting sums this over every cached partition.
+        """
+        total = 0
+        for array in (self._labels, self._covered_index, self._covered_labels):
+            if array is not None:
+                total += int(array.nbytes)
+        if self._classes is not None:
+            # ~28 bytes per small int plus 8 per tuple slot, 56 per tuple.
+            total += sum(56 + 36 * len(cls) for cls in self._classes)
+        return total
+
     def __iter__(self):
         return iter(self.classes)
 

@@ -14,6 +14,7 @@ materialising new relations.
 from __future__ import annotations
 
 import copy
+import hashlib
 from typing import (
     Dict,
     Hashable,
@@ -57,7 +58,7 @@ class Relation:
     '908'
     """
 
-    __slots__ = ("_schema", "_columns", "_encoding")
+    __slots__ = ("_schema", "_columns", "_encoding", "_fingerprint")
 
     def __init__(
         self,
@@ -86,6 +87,7 @@ class Relation:
             raise RelationError(f"columns have inconsistent lengths: {lengths}")
         self._columns: Tuple[Tuple[Hashable, ...], ...] = tuple(ordered)
         self._encoding: Optional[RelationEncoding] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -318,6 +320,27 @@ class Relation:
     def encoded_matrix(self) -> np.ndarray:
         """The ``(n_rows, arity)`` int32 code matrix."""
         return self.encoding.matrix
+
+    def fingerprint(self) -> str:
+        """A stable content digest of schema and data (computed lazily, cached).
+
+        The serving layer keys its session pool on this: the digest depends
+        only on attribute names and the ``repr`` of each column, not on
+        object identity or the process's hash seed, so equal relations built
+        independently share one pooled session.  Being ``repr``-based it is
+        content-faithful for the supported value types (strings, numbers,
+        tuples thereof); exotic value objects whose ``repr`` hides state can
+        collide, and numerically equal values of different types (``1`` vs
+        ``1.0`` vs ``True``) digest differently even though ``==`` holds.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(repr(self._schema.names).encode("utf-8"))
+            for column in self._columns:
+                digest.update(b"\x00")
+                digest.update(repr(column).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------ #
     # misc

@@ -1,0 +1,30 @@
+"""The serving layer: many relations, many callers, one process.
+
+The unified API (PR 1) gave every front end one execution path and the
+partition substrate (PR 2) made it fast; this package makes it *servable*:
+
+* :func:`~repro.serve.fingerprint.relation_fingerprint` — content digests
+  that recognise the same relation across independent objects and callers;
+* :class:`~repro.serve.pool.SessionPool` — fingerprint → pooled
+  :class:`~repro.api.Profiler` sessions with LRU eviction and byte-budgeted
+  memory accounting;
+* :class:`~repro.serve.service.DiscoveryService` — the facade that
+  deduplicates identical in-flight requests and executes batches
+  concurrently over ``concurrent.futures``, with the per-session locking in
+  ``Profiler`` guaranteeing each shared structure is built exactly once.
+
+The CLI's ``repro-discover --batch``, the experiment runner's pooled sweeps
+and sampling-based discovery all route through here; see DESIGN.md for the
+locking discipline and eviction policy.
+"""
+
+from repro.serve.fingerprint import relation_fingerprint
+from repro.serve.pool import SessionPool
+from repro.serve.service import DiscoveryService, RelationRef
+
+__all__ = [
+    "DiscoveryService",
+    "RelationRef",
+    "SessionPool",
+    "relation_fingerprint",
+]

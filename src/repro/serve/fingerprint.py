@@ -1,0 +1,30 @@
+"""Relation fingerprints — the session pool's cache keys.
+
+The serving layer must recognise "the same relation" across independent
+:class:`~repro.relational.relation.Relation` objects (two front ends loading
+the same CSV, a request replayed after a restart of the caller, …).  Object
+identity and Python's salted ``hash()`` are both useless for that, so the
+pool keys on a *content digest*: a BLAKE2b hash over the schema's attribute
+names and every column's values, computed lazily and cached on the relation
+itself (:meth:`~repro.relational.relation.Relation.fingerprint`).
+
+Equal relations therefore always map to one pooled session, and distinct
+relations collide only with cryptographic improbability.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DiscoveryError
+from repro.relational.relation import Relation
+
+
+def relation_fingerprint(relation: Relation) -> str:
+    """The stable content digest of ``relation`` (32 hex characters)."""
+    if not isinstance(relation, Relation):
+        raise DiscoveryError(
+            f"expected a Relation to fingerprint, got {type(relation).__name__}"
+        )
+    return relation.fingerprint()
+
+
+__all__ = ["relation_fingerprint"]

@@ -1,0 +1,216 @@
+"""The multi-relation session pool: fingerprint → :class:`Profiler`, with LRU
+eviction and memory accounting.
+
+A :class:`SessionPool` is the serving layer's working set: every relation a
+front end profiles gets one pooled :class:`~repro.api.Profiler` session, so
+support sweeps, sampling re-runs and repeated requests over the same data
+share the session's structure caches across *callers*, not just within one.
+The pool is bounded two ways:
+
+* ``max_sessions`` — a capacity cap enforced on insertion;
+* ``max_bytes`` — a budget over the sessions' estimated cache footprints
+  (:meth:`~repro.api.Profiler.estimated_bytes`, i.e. ``cache_info()`` sizes
+  backed by per-cache byte estimates), re-checked by
+  :meth:`enforce_limits` after runs grow the caches.
+
+Eviction is least-recently-used by last :meth:`session` access and only drops
+the pool's reference — callers holding an evicted session keep a fully
+functional (just no longer shared) ``Profiler``, so in-flight runs are never
+disturbed.  All operations are thread-safe behind one pool lock; the lock
+order is pool → session and nothing ever takes them the other way around.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.api.profiler import ProgressCallback, Profiler
+from repro.api.registry import REGISTRY, AlgorithmRegistry
+from repro.exceptions import DiscoveryError
+from repro.relational.relation import Relation
+from repro.serve.fingerprint import relation_fingerprint
+
+
+@dataclass
+class _PooledSession:
+    """One pool entry: the session plus its bookkeeping."""
+
+    fingerprint: str
+    profiler: Profiler
+    uses: int = 1
+    estimated_bytes: int = 0
+
+
+class SessionPool:
+    """LRU-bounded, byte-budgeted pool of per-relation ``Profiler`` sessions.
+
+    Parameters
+    ----------
+    max_sessions:
+        Maximum number of live sessions (``None`` for unbounded).
+    max_bytes:
+        Budget over the summed :meth:`~repro.api.Profiler.estimated_bytes`
+        of the pooled sessions (``None`` for unbounded).  The most recently
+        used session is never evicted, even when it alone exceeds the
+        budget — a pool that cannot hold one session cannot serve at all.
+    progress / registry:
+        Forwarded to every :class:`~repro.api.Profiler` the pool creates.
+    """
+
+    def __init__(
+        self,
+        max_sessions: Optional[int] = 8,
+        *,
+        max_bytes: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+        registry: AlgorithmRegistry = REGISTRY,
+    ):
+        if max_sessions is not None and max_sessions < 1:
+            raise DiscoveryError("max_sessions must be at least 1 (or None)")
+        if max_bytes is not None and max_bytes < 1:
+            raise DiscoveryError("max_bytes must be at least 1 (or None)")
+        self._max_sessions = max_sessions
+        self._max_bytes = max_bytes
+        self._progress = progress
+        self._registry = registry
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, _PooledSession]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def session(
+        self, relation: Relation, *, fingerprint: Optional[str] = None
+    ) -> Profiler:
+        """The pooled session for ``relation`` (created on first use).
+
+        Every call refreshes the relation's LRU position.  ``fingerprint``
+        lets callers that already digested the relation skip recomputing it.
+        """
+        key = fingerprint if fingerprint is not None else relation_fingerprint(relation)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                entry.uses += 1
+                self._hits += 1
+                return entry.profiler
+            self._misses += 1
+            profiler = Profiler(
+                relation, progress=self._progress, registry=self._registry
+            )
+            self._entries[key] = _PooledSession(fingerprint=key, profiler=profiler)
+            self._enforce_locked()
+            return profiler
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def fingerprints(self) -> List[str]:
+        """The pooled fingerprints, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # memory accounting and eviction
+    # ------------------------------------------------------------------ #
+    def estimated_bytes(self) -> int:
+        """Summed byte estimate of every pooled session (refreshed now)."""
+        with self._lock:
+            total = 0
+            for entry in self._entries.values():
+                entry.estimated_bytes = entry.profiler.estimated_bytes()
+                total += entry.estimated_bytes
+            return total
+
+    def enforce_limits(self) -> int:
+        """Re-check both caps and evict LRU sessions until satisfied.
+
+        Sessions grow *after* insertion (each run warms more caches), so the
+        serving layer calls this after every executed request.  Returns the
+        number of sessions evicted.
+        """
+        with self._lock:
+            return self._enforce_locked()
+
+    def _enforce_locked(self) -> int:
+        evicted = 0
+        while (
+            self._max_sessions is not None
+            and len(self._entries) > self._max_sessions
+        ):
+            self._entries.popitem(last=False)
+            self._evictions += 1
+            evicted += 1
+        if self._max_bytes is None:
+            return evicted
+        total = 0
+        for entry in self._entries.values():
+            entry.estimated_bytes = entry.profiler.estimated_bytes()
+            total += entry.estimated_bytes
+        while total > self._max_bytes and len(self._entries) > 1:
+            _, entry = self._entries.popitem(last=False)
+            total -= entry.estimated_bytes
+            self._evictions += 1
+            evicted += 1
+        return evicted
+
+    def evict(self, fingerprint: str) -> bool:
+        """Drop one session by fingerprint; ``True`` if it was pooled."""
+        with self._lock:
+            entry = self._entries.pop(fingerprint, None)
+            if entry is not None:
+                self._evictions += 1
+            return entry is not None
+
+    def clear(self) -> None:
+        """Drop every pooled session (counters are kept)."""
+        with self._lock:
+            self._evictions += len(self._entries)
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def info(self) -> Dict[str, object]:
+        """Counters, caps and per-session byte estimates (LRU order)."""
+        with self._lock:
+            sessions = []
+            total = 0
+            for entry in self._entries.values():
+                entry.estimated_bytes = entry.profiler.estimated_bytes()
+                total += entry.estimated_bytes
+                relation = entry.profiler.relation
+                sessions.append(
+                    {
+                        "fingerprint": entry.fingerprint,
+                        "rows": relation.n_rows,
+                        "arity": relation.arity,
+                        "uses": entry.uses,
+                        "estimated_bytes": entry.estimated_bytes,
+                    }
+                )
+            return {
+                "sessions": len(sessions),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "max_sessions": self._max_sessions,
+                "max_bytes": self._max_bytes,
+                "estimated_bytes": total,
+                "lru": sessions,
+            }
+
+
+__all__ = ["SessionPool"]

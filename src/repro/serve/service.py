@@ -1,0 +1,216 @@
+"""The :class:`DiscoveryService` facade: concurrent, deduplicated discovery.
+
+The service is the serving layer's front door.  It accepts
+``(relation_ref, DiscoveryRequest)`` calls — ``relation_ref`` is either a
+:class:`~repro.relational.relation.Relation` or the name of a relation
+registered via :meth:`DiscoveryService.register` — and
+
+* resolves each call to a pooled :class:`~repro.api.Profiler` session
+  through its :class:`~repro.serve.pool.SessionPool` (fingerprint-keyed,
+  LRU-evicted, byte-budgeted),
+* **deduplicates identical in-flight requests**: ``DiscoveryRequest`` is
+  frozen and hashable, so ``(fingerprint, request)`` keys a map of pending
+  futures and concurrent duplicates coalesce onto one engine run,
+* executes requests concurrently on a ``concurrent.futures`` thread pool;
+  the per-session lock inside ``Profiler`` makes parallel support sweeps
+  over one relation share each cached structure with exactly one build.
+
+Results are ordinary :class:`~repro.api.DiscoveryResult` objects — a
+deduplicated caller receives the *same* result object as the request it
+coalesced with, which is safe because results are treated as immutable by
+every front end.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.api.request import DiscoveryRequest
+from repro.api.result import DiscoveryResult
+from repro.exceptions import DiscoveryError
+from repro.relational.relation import Relation
+from repro.serve.fingerprint import relation_fingerprint
+from repro.serve.pool import SessionPool
+
+#: What callers may pass as the relation of a request.
+RelationRef = Union[Relation, str]
+
+
+class DiscoveryService:
+    """Concurrent discovery over a pool of per-relation sessions.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`~repro.serve.pool.SessionPool` to serve from (a fresh
+        default-sized pool if omitted).
+    max_workers:
+        Size of the executor thread pool.
+
+    Examples
+    --------
+    >>> from repro.api import DiscoveryRequest
+    >>> from repro.relational.relation import Relation
+    >>> r = Relation.from_rows(
+    ...     ["AC", "CT"],
+    ...     [("908", "MH"), ("908", "MH"), ("212", "NYC")],
+    ... )
+    >>> with DiscoveryService(max_workers=2) as service:
+    ...     results = service.run_batch(
+    ...         [(r, DiscoveryRequest(min_support=k, algorithm="fastcfd"))
+    ...          for k in (1, 2)]
+    ...     )
+    >>> [result.min_support for result in results]
+    [1, 2]
+    """
+
+    def __init__(
+        self,
+        pool: Optional[SessionPool] = None,
+        *,
+        max_workers: int = 4,
+    ):
+        if max_workers < 1:
+            raise DiscoveryError("max_workers must be at least 1")
+        self._pool = pool if pool is not None else SessionPool()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._max_workers = max_workers
+        self._lock = threading.Lock()
+        self._in_flight: Dict[Tuple[str, DiscoveryRequest], "Future[DiscoveryResult]"] = {}
+        self._named: Dict[str, Relation] = {}
+        self._requests = 0
+        self._deduplicated = 0
+        self._completed = 0
+        self._failed = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pool(self) -> SessionPool:
+        """The session pool the service serves from."""
+        return self._pool
+
+    def register(self, name: str, relation: Relation) -> str:
+        """Register ``relation`` under ``name`` and return its fingerprint.
+
+        Registered names can then be used as the ``relation_ref`` of
+        :meth:`submit` / :meth:`run` — the serving pattern for front ends
+        that address datasets by identifier rather than by value.
+        """
+        if not isinstance(name, str) or not name:
+            raise DiscoveryError(f"invalid relation name: {name!r}")
+        with self._lock:
+            self._named[name] = relation
+        return relation_fingerprint(relation)
+
+    def _resolve(self, relation_ref: RelationRef) -> Relation:
+        if isinstance(relation_ref, Relation):
+            return relation_ref
+        with self._lock:
+            relation = self._named.get(relation_ref)
+        if relation is None:
+            raise DiscoveryError(
+                f"unknown relation {relation_ref!r}; register() it first"
+            )
+        return relation
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, relation_ref: RelationRef, request: DiscoveryRequest
+    ) -> "Future[DiscoveryResult]":
+        """Enqueue one request; identical in-flight requests share one future."""
+        relation = self._resolve(relation_ref)
+        key = (relation_fingerprint(relation), request)
+        with self._lock:
+            self._requests += 1
+            existing = self._in_flight.get(key)
+            # Coalesce onto genuinely pending runs only: a finished future
+            # whose done-callback has not pruned the map yet is *not* reused
+            # (dedup is an in-flight property, not a result cache).
+            if existing is not None and not existing.done():
+                self._deduplicated += 1
+                return existing
+            future = self._executor.submit(self._serve, relation, request)
+            self._in_flight[key] = future
+        future.add_done_callback(lambda done, key=key: self._finish(key, done))
+        return future
+
+    def _serve(self, relation: Relation, request: DiscoveryRequest) -> DiscoveryResult:
+        session = self._pool.session(relation)
+        try:
+            return session.run(request)
+        finally:
+            # The run grew the session's caches: re-check the byte budget.
+            self._pool.enforce_limits()
+
+    def _finish(self, key, future: "Future[DiscoveryResult]") -> None:
+        with self._lock:
+            # Only prune the mapping if it still points at this future — a
+            # new identical request may have been enqueued in the meantime.
+            if self._in_flight.get(key) is future:
+                del self._in_flight[key]
+            if future.cancelled() or future.exception() is not None:
+                self._failed += 1
+            else:
+                self._completed += 1
+
+    # ------------------------------------------------------------------ #
+    # synchronous conveniences
+    # ------------------------------------------------------------------ #
+    def run(
+        self, relation_ref: RelationRef, request: DiscoveryRequest
+    ) -> DiscoveryResult:
+        """Submit one request and wait for its result."""
+        return self.submit(relation_ref, request).result()
+
+    def run_batch(
+        self, jobs: Iterable[Tuple[RelationRef, DiscoveryRequest]]
+    ) -> List[DiscoveryResult]:
+        """Submit every ``(relation_ref, request)`` job, wait, keep order."""
+        futures = [self.submit(ref, request) for ref, request in jobs]
+        return [future.result() for future in futures]
+
+    def sweep(
+        self,
+        relation_ref: RelationRef,
+        request: DiscoveryRequest,
+        supports: Sequence[int],
+    ) -> List[DiscoveryResult]:
+        """Run ``request`` at each support threshold, concurrently."""
+        return self.run_batch(
+            [(relation_ref, request.with_support(k)) for k in supports]
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle and introspection
+    # ------------------------------------------------------------------ #
+    def info(self) -> Dict[str, object]:
+        """Service counters plus the pool's :meth:`~SessionPool.info`."""
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "deduplicated": self._deduplicated,
+                "completed": self._completed,
+                "failed": self._failed,
+                "in_flight": len(self._in_flight),
+                "max_workers": self._max_workers,
+                "pool": self._pool.info(),
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut the executor down (pending futures still complete if ``wait``)."""
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "DiscoveryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+
+__all__ = ["DiscoveryService", "RelationRef"]

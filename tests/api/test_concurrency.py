@@ -1,0 +1,171 @@
+"""Concurrency regression tests for the Profiler session.
+
+The seed Profiler mutated its cache dictionaries and hit/miss counters
+without synchronisation, so concurrent ``run()`` calls could build the same
+provider twice (wasted work, torn counters).  These tests hammer one session
+from many threads and assert the locked behaviour: every shared structure is
+built exactly once and the counters add up.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import DiscoveryRequest, Profiler, execute
+
+N_THREADS = 8
+
+
+def _hammer(n_threads, work):
+    """Run ``work(index)`` on ``n_threads`` threads, gated by one barrier."""
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def runner(index):
+        try:
+            barrier.wait(timeout=30)
+            work(index)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not any(thread.is_alive() for thread in threads)
+    if errors:
+        raise errors[0]
+
+
+class TestSharedStructureBuiltOnce:
+    def test_identical_fastcfd_runs_record_exactly_one_miss(self, cust_relation):
+        """N threads, one session, one request: the closed-set provider and
+        the mining result must each be built exactly once."""
+        profiler = Profiler(cust_relation)
+        request = DiscoveryRequest(min_support=2, algorithm="fastcfd")
+        _hammer(N_THREADS, lambda index: profiler.run(request))
+        info = profiler.cache_info()
+        assert info["closed_difference_sets"]["misses"] == 1
+        assert info["closed_difference_sets"]["hits"] == N_THREADS - 1
+        assert info["closed_difference_sets"]["size"] == 1
+        # One k=2 mining: N adapter lookups + 1 inside the provider build.
+        assert info["free_closed"]["misses"] == 1
+        assert info["free_closed"]["hits"] == N_THREADS
+        assert info["free_closed"]["size"] == 1
+
+    def test_counters_add_up_under_mixed_support_hammer(self, cust_relation):
+        profiler = Profiler(cust_relation)
+        supports = [1 + (i % 4) for i in range(N_THREADS)]
+        _hammer(
+            N_THREADS,
+            lambda index: profiler.run(
+                DiscoveryRequest(min_support=supports[index], algorithm="fastcfd")
+            ),
+        )
+        info = profiler.cache_info()
+        assert info["closed_difference_sets"]["misses"] == 1
+        assert info["closed_difference_sets"]["hits"] == N_THREADS - 1
+        # Four distinct thresholds; every lookup is accounted for exactly once.
+        assert info["free_closed"]["size"] == 4
+        assert info["free_closed"]["misses"] == 4
+        assert (
+            info["free_closed"]["hits"] + info["free_closed"]["misses"]
+            == N_THREADS + 1
+        )
+
+    def test_concurrent_attribute_partitions_built_once(self, cust_relation):
+        profiler = Profiler(cust_relation)
+        seen = []
+        _hammer(
+            N_THREADS,
+            lambda index: seen.append(profiler.attribute_partition(["CC", "AC"])),
+        )
+        assert len({id(partition) for partition in seen}) == 1
+        info = profiler.cache_info()
+        assert info["attribute_partitions"] == {
+            "hits": N_THREADS - 1,
+            "misses": 1,
+            "size": 1,
+        }
+
+
+class TestConcurrentCorrectness:
+    @pytest.mark.parametrize("algorithm", ["fastcfd", "naivefast", "ctane"])
+    def test_concurrent_covers_match_sequential(self, cust_relation, algorithm):
+        profiler = Profiler(cust_relation)
+        results = [None] * N_THREADS
+        supports = [1 + (i % 3) for i in range(N_THREADS)]
+
+        def work(index):
+            results[index] = profiler.run(
+                DiscoveryRequest(min_support=supports[index], algorithm=algorithm)
+            )
+
+        _hammer(N_THREADS, work)
+        for index, result in enumerate(results):
+            oneshot = execute(
+                cust_relation,
+                DiscoveryRequest(min_support=supports[index], algorithm=algorithm),
+            )
+            assert sorted(map(str, result.cfds)) == sorted(map(str, oneshot.cfds))
+
+    def test_concurrent_prefix_sessions_pooled_once(self, cust_relation):
+        profiler = Profiler(cust_relation)
+        request = DiscoveryRequest(min_support=1, algorithm="fastcfd", limit_rows=4)
+        _hammer(N_THREADS, lambda index: profiler.run(request))
+        info = profiler.cache_info()
+        assert info["prefix_sessions"]["misses"] == 1
+        assert info["prefix_sessions"]["hits"] == N_THREADS - 1
+        assert info["prefix_sessions"]["size"] == 1
+
+    def test_estimated_bytes_safe_while_engines_run(self, cust_relation):
+        """Regression: byte accounting used to iterate the providers' query
+        caches while running engines inserted into them, raising
+        'dictionary changed size during iteration'."""
+        profiler = Profiler(cust_relation)
+        stop = threading.Event()
+        poll_errors = []
+
+        def poll():
+            try:
+                while not stop.is_set():
+                    assert profiler.estimated_bytes() >= 0
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                poll_errors.append(exc)
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        try:
+            _hammer(
+                N_THREADS,
+                lambda index: profiler.run(
+                    DiscoveryRequest(
+                        min_support=1 + (index % 4), algorithm="fastcfd"
+                    )
+                ),
+            )
+        finally:
+            stop.set()
+            poller.join(timeout=30)
+        assert not poll_errors, poll_errors
+
+
+class TestPrefixSessionBound:
+    def test_prefix_sessions_are_lru_bounded(self, cust_relation):
+        from repro.api.profiler import MAX_PREFIX_SESSIONS
+
+        profiler = Profiler(cust_relation)
+        limits = list(range(1, MAX_PREFIX_SESSIONS + 3))  # more than the cap
+        for limit in limits:
+            profiler.prefix_session(limit)
+        info = profiler.cache_info()
+        assert info["prefix_sessions"]["size"] == MAX_PREFIX_SESSIONS
+        # The oldest limits were evicted; the newest are still pooled.
+        before = info["prefix_sessions"]["misses"]
+        profiler.prefix_session(limits[-1])
+        assert profiler.cache_info()["prefix_sessions"]["hits"] >= 1
+        profiler.prefix_session(limits[0])  # evicted -> rebuilt
+        assert profiler.cache_info()["prefix_sessions"]["misses"] == before + 1

@@ -114,7 +114,52 @@ class TestExecution:
             DiscoveryRequest(min_support=1, algorithm="fastcfd", limit_rows=4)
         )
         info = profiler.cache_info()
-        assert all(bucket["size"] == 0 for bucket in info.values())
+        # The session's own structure caches stay untouched; the run was
+        # served (and recorded) through a pooled prefix sub-session.
+        for cache, bucket in info.items():
+            if cache != "prefix_sessions":
+                assert bucket["size"] == 0
+        assert info["prefix_sessions"] == {"hits": 0, "misses": 1, "size": 1}
+
+    def test_limit_rows_reruns_reuse_the_prefix_session(self, relation):
+        profiler = Profiler(relation)
+        request = DiscoveryRequest(min_support=1, algorithm="fastcfd", limit_rows=4)
+        first = profiler.run(request)
+        second = profiler.run(request)
+        assert sorted(map(str, first.cfds)) == sorted(map(str, second.cfds))
+        info = profiler.cache_info()
+        assert info["prefix_sessions"] == {"hits": 1, "misses": 1, "size": 1}
+        # The re-run hit the warmed prefix caches instead of rebuilding.
+        prefix = profiler.prefix_session(4)
+        prefix_info = prefix.cache_info()
+        assert prefix_info["closed_difference_sets"]["misses"] == 1
+        assert prefix_info["closed_difference_sets"]["hits"] >= 1
+
+    def test_distinct_limits_get_distinct_prefix_sessions(self, relation):
+        profiler = Profiler(relation)
+        for limit in (3, 4, 3):
+            profiler.run(
+                DiscoveryRequest(min_support=1, algorithm="fastcfd", limit_rows=limit)
+            )
+        info = profiler.cache_info()
+        assert info["prefix_sessions"] == {"hits": 1, "misses": 2, "size": 2}
+
+    def test_non_truncating_limit_is_the_session_itself(self, relation):
+        profiler = Profiler(relation)
+        assert profiler.prefix_session(relation.n_rows) is profiler
+        assert profiler.cache_info()["prefix_sessions"]["size"] == 0
+
+    def test_estimated_bytes_grow_with_caches(self, relation):
+        profiler = Profiler(relation)
+        cold = profiler.estimated_bytes()
+        profiler.run(DiscoveryRequest(min_support=2, algorithm="fastcfd"))
+        warmed = profiler.estimated_bytes()
+        assert warmed > cold
+        # Prefix sub-sessions are included in the session's own budget.
+        profiler.run(
+            DiscoveryRequest(min_support=1, algorithm="fastcfd", limit_rows=4)
+        )
+        assert profiler.estimated_bytes() > warmed
 
     def test_discover_convenience_wrapper(self, relation):
         result = Profiler(relation).discover(

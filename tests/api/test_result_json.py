@@ -1,0 +1,77 @@
+"""Strict JSON-native rendering of DiscoveryResult (the CLI's --json).
+
+The seed CLI papered over non-serializable stats with
+``json.dumps(..., default=str)``; ``to_json_dict()`` must now be strictly
+JSON-native for every algorithm — ``json.dumps`` with no escape hatch, and a
+``json.loads`` round-trip reproducing the identical document.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import REGISTRY, DiscoveryRequest, execute
+from repro.api.result import json_native
+
+
+@pytest.mark.parametrize("algorithm", REGISTRY.names())
+def test_round_trip_for_every_algorithm(cust_relation, algorithm):
+    result = execute(
+        cust_relation, DiscoveryRequest(min_support=2, algorithm=algorithm)
+    )
+    document = result.to_json_dict()
+    # Strict: no default= fallback, no NaN/Infinity extensions.
+    text = json.dumps(document, allow_nan=False)
+    assert json.loads(text) == document
+
+
+def test_engine_seconds_surfaced_in_stats(cust_relation):
+    result = execute(
+        cust_relation, DiscoveryRequest(min_support=2, algorithm="fastcfd")
+    )
+    document = result.to_json_dict()
+    engine_seconds = document["stats"]["engine_seconds"]
+    assert isinstance(engine_seconds, float)
+    assert 0 <= engine_seconds <= result.elapsed_seconds
+
+
+def test_full_request_time_includes_post_processing(cust_relation):
+    # rank_by adds measurable post-processing; elapsed must cover it.
+    result = execute(
+        cust_relation,
+        DiscoveryRequest(min_support=2, algorithm="cfdminer", rank_by="support"),
+    )
+    assert result.elapsed_seconds >= result.stats.extras["engine_seconds"]
+
+
+class TestJsonNative:
+    def test_numpy_scalars_coerced(self):
+        assert json_native(np.int64(3)) == 3
+        assert type(json_native(np.int64(3))) is int
+        assert json_native(np.float64(0.5)) == 0.5
+        assert type(json_native(np.float64(0.5))) is float
+
+    def test_containers_normalised(self):
+        value = {"a": (1, 2), "b": frozenset({"y", "x"}), 3: np.int32(7)}
+        assert json_native(value) == {"a": [1, 2], "b": ["x", "y"], "3": 7}
+
+    def test_bool_and_none_preserved(self):
+        assert json_native(True) is True
+        assert json_native(None) is None
+
+    def test_opaque_objects_stringified(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert json_native(Opaque()) == "<opaque>"
+
+    def test_non_string_pattern_values_round_trip(self, conditional_relation):
+        # Integer-valued relations produce integer pattern constants.
+        result = execute(
+            conditional_relation,
+            DiscoveryRequest(min_support=1, algorithm="cfdminer"),
+        )
+        document = result.to_json_dict()
+        assert json.loads(json.dumps(document, allow_nan=False)) == document

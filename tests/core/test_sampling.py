@@ -96,3 +96,37 @@ class TestDiscoverWithSampling:
         )
         assert result.sample_size == 200
         assert "sampling discovery" in result.summary()
+
+    def test_pooled_reruns_share_the_sample_session(self, tax):
+        from repro.serve import SessionPool
+
+        pool = SessionPool()
+        first = discover_with_sampling(
+            tax, 12, sample_size=200, algorithm="fastcfd", seed=7, pool=pool
+        )
+        second = discover_with_sampling(
+            tax, 18, sample_size=200, algorithm="fastcfd", seed=7, pool=pool
+        )
+        assert first.candidates >= 0 and second.candidates >= 0
+        info = pool.info()
+        # Same seed, same size -> same drawn sample -> one pooled session
+        # whose k-independent provider was built exactly once.
+        assert info["sessions"] == 1
+        assert info["hits"] == 1 and info["misses"] == 1
+        session = pool.session(stratified_sample(tax, 200, seed=7))
+        cache = session.cache_info()
+        assert cache["closed_difference_sets"]["misses"] == 1
+
+    def test_explicit_session_wins_over_pool(self, tax):
+        from repro.api import Profiler
+        from repro.serve import SessionPool
+
+        sample = stratified_sample(tax, 200, seed=7)
+        session = Profiler(sample)
+        pool = SessionPool()
+        discover_with_sampling(
+            tax, 12, sample_size=200, algorithm="fastcfd", seed=7,
+            session=session, pool=pool,
+        )
+        assert len(pool) == 0  # the pool was never consulted
+        assert session.cache_info()["closed_difference_sets"]["misses"] == 1

@@ -30,6 +30,22 @@ class TestRunAlgorithms:
         assert record.n_cfds == record.n_constant + record.n_variable
         assert record.seconds >= 0
 
+    def test_pooled_sweep_reuses_one_session_across_points(self, relation):
+        from repro.serve import SessionPool
+
+        pool = SessionPool()
+        for support in (1, 2):
+            run_algorithms(
+                "figX", relation, support, {"k": support},
+                algorithms=("fastcfd",), pool=pool,
+            )
+        info = pool.info()
+        assert info["sessions"] == 1
+        assert info["hits"] == 1 and info["misses"] == 1
+        session = pool.session(relation)
+        # Both sweep points shared the k-independent provider build.
+        assert session.cache_info()["closed_difference_sets"]["misses"] == 1
+
     def test_labels_override_names(self, relation):
         (record,) = run_algorithms(
             "figX", relation, 2, {}, algorithms=("cfdminer",),

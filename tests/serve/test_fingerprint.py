@@ -1,0 +1,53 @@
+"""Tests for relation fingerprinting — the session pool's cache keys."""
+
+import pytest
+
+from repro.exceptions import DiscoveryError
+from repro.relational.relation import Relation
+from repro.serve import relation_fingerprint
+
+
+def test_equal_relations_share_a_fingerprint():
+    rows = [("908", "MH"), ("212", "NYC")]
+    first = Relation.from_rows(["AC", "CT"], rows)
+    second = Relation.from_rows(["AC", "CT"], list(rows))
+    assert first is not second
+    assert relation_fingerprint(first) == relation_fingerprint(second)
+
+
+def test_fingerprint_is_cached_and_stable():
+    relation = Relation.from_rows(["A"], [("x",), ("y",)])
+    fingerprint = relation_fingerprint(relation)
+    assert fingerprint == relation.fingerprint()
+    assert len(fingerprint) == 32
+    assert int(fingerprint, 16) >= 0  # hex digest
+
+
+def test_data_changes_the_fingerprint():
+    base = Relation.from_rows(["A", "B"], [("1", "2")])
+    other = Relation.from_rows(["A", "B"], [("1", "3")])
+    assert relation_fingerprint(base) != relation_fingerprint(other)
+
+
+def test_schema_rename_changes_the_fingerprint():
+    base = Relation.from_rows(["A", "B"], [("1", "2")])
+    renamed = base.rename({"B": "C"})
+    assert relation_fingerprint(base) != relation_fingerprint(renamed)
+
+
+def test_value_types_are_distinguished():
+    # '1' and 1 encode to different digests: repr-based hashing keeps types.
+    strings = Relation.from_rows(["A"], [("1",), ("2",)])
+    integers = Relation.from_rows(["A"], [(1,), (2,)])
+    assert relation_fingerprint(strings) != relation_fingerprint(integers)
+
+
+def test_column_order_matters():
+    ab = Relation.from_rows(["A", "B"], [("x", "y")])
+    ba = Relation.from_rows(["B", "A"], [("x", "y")])
+    assert relation_fingerprint(ab) != relation_fingerprint(ba)
+
+
+def test_non_relation_rejected():
+    with pytest.raises(DiscoveryError, match="Relation"):
+        relation_fingerprint("not a relation")

@@ -1,0 +1,145 @@
+"""Tests for SessionPool: LRU eviction order, memory caps, accounting."""
+
+import pytest
+
+from repro.api import DiscoveryRequest, Profiler
+from repro.exceptions import DiscoveryError
+from repro.relational.relation import Relation
+from repro.serve import SessionPool, relation_fingerprint
+
+
+def _relation(tag: str) -> Relation:
+    return Relation.from_rows(
+        ["A", "B"],
+        [(tag, "x"), (tag, "x"), (f"{tag}!", "y")],
+    )
+
+
+@pytest.fixture
+def relations():
+    return [_relation(f"r{i}") for i in range(4)]
+
+
+class TestLookup:
+    def test_same_relation_reuses_one_session(self, relations):
+        pool = SessionPool()
+        first = pool.session(relations[0])
+        second = pool.session(relations[0].copy())
+        assert first is second
+        assert isinstance(first, Profiler)
+        info = pool.info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert len(pool) == 1
+
+    def test_equal_content_different_objects_share_a_session(self, relations):
+        pool = SessionPool()
+        twin = _relation("r0")
+        assert pool.session(relations[0]) is pool.session(twin)
+
+    def test_distinct_relations_get_distinct_sessions(self, relations):
+        pool = SessionPool()
+        sessions = [pool.session(r) for r in relations]
+        assert len({id(s) for s in sessions}) == len(relations)
+        assert len(pool) == len(relations)
+
+    def test_explicit_fingerprint_skips_recomputation(self, relations):
+        pool = SessionPool()
+        fingerprint = relation_fingerprint(relations[0])
+        session = pool.session(relations[0], fingerprint=fingerprint)
+        assert pool.session(relations[0]) is session
+        assert fingerprint in pool
+
+
+class TestEviction:
+    def test_lru_eviction_order(self, relations):
+        r1, r2, r3 = relations[:3]
+        pool = SessionPool(max_sessions=2)
+        s1 = pool.session(r1)
+        pool.session(r2)
+        # Touch r1: it becomes most recent, so r2 is the LRU victim.
+        assert pool.session(r1) is s1
+        pool.session(r3)
+        assert len(pool) == 2
+        assert relation_fingerprint(r2) not in pool
+        assert relation_fingerprint(r1) in pool
+        assert relation_fingerprint(r3) in pool
+        assert pool.info()["evictions"] == 1
+
+    def test_fingerprints_in_lru_order(self, relations):
+        r1, r2 = relations[:2]
+        pool = SessionPool()
+        pool.session(r1)
+        pool.session(r2)
+        pool.session(r1)  # refreshes r1
+        assert pool.fingerprints() == [
+            relation_fingerprint(r2),
+            relation_fingerprint(r1),
+        ]
+
+    def test_evicted_session_is_recreated_on_demand(self, relations):
+        r1, r2 = relations[:2]
+        pool = SessionPool(max_sessions=1)
+        s1 = pool.session(r1)
+        pool.session(r2)
+        replacement = pool.session(r1)
+        assert replacement is not s1  # a fresh, cold session
+
+    def test_manual_evict_and_clear(self, relations):
+        pool = SessionPool()
+        pool.session(relations[0])
+        pool.session(relations[1])
+        assert pool.evict(relation_fingerprint(relations[0])) is True
+        assert pool.evict("0" * 32) is False
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.info()["evictions"] == 2
+
+
+class TestMemoryAccounting:
+    def test_estimated_bytes_grow_with_warmed_caches(self, relations):
+        pool = SessionPool()
+        session = pool.session(relations[0])
+        cold = pool.estimated_bytes()
+        session.run(DiscoveryRequest(min_support=1, algorithm="fastcfd"))
+        assert pool.estimated_bytes() > cold
+
+    def test_byte_cap_evicts_down_to_most_recent(self, relations):
+        # A 1-byte budget can never be met, but the most recently used
+        # session must survive: a pool that holds nothing cannot serve.
+        pool = SessionPool(max_sessions=None, max_bytes=1)
+        for relation in relations[:3]:
+            session = pool.session(relation)
+            session.run(DiscoveryRequest(min_support=1, algorithm="fastcfd"))
+            pool.enforce_limits()
+        assert len(pool) == 1
+        assert pool.fingerprints() == [relation_fingerprint(relations[2])]
+        assert pool.info()["evictions"] == 2
+
+    def test_generous_byte_cap_keeps_everything(self, relations):
+        pool = SessionPool(max_sessions=None, max_bytes=1 << 30)
+        for relation in relations:
+            pool.session(relation).run(
+                DiscoveryRequest(min_support=1, algorithm="cfdminer")
+            )
+        assert pool.enforce_limits() == 0
+        assert len(pool) == len(relations)
+
+    def test_info_reports_per_session_bytes(self, relations):
+        pool = SessionPool()
+        pool.session(relations[0]).run(
+            DiscoveryRequest(min_support=1, algorithm="fastcfd")
+        )
+        info = pool.info()
+        assert info["sessions"] == 1
+        (entry,) = info["lru"]
+        assert entry["rows"] == relations[0].n_rows
+        assert entry["estimated_bytes"] > 0
+        assert info["estimated_bytes"] == entry["estimated_bytes"]
+
+
+class TestValidation:
+    def test_bad_caps_rejected(self):
+        with pytest.raises(DiscoveryError, match="max_sessions"):
+            SessionPool(max_sessions=0)
+        with pytest.raises(DiscoveryError, match="max_bytes"):
+            SessionPool(max_bytes=0)

@@ -1,0 +1,192 @@
+"""Tests for DiscoveryService: request dedup, concurrent batches, lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.api import DiscoveryRequest, execute
+from repro.api.registry import (
+    AlgorithmCapabilities,
+    AlgorithmRegistry,
+    DiscoveryAlgorithm,
+)
+from repro.api.result import AlgorithmStats
+from repro.exceptions import DiscoveryError
+from repro.serve import DiscoveryService, SessionPool
+
+
+@pytest.fixture
+def blocking_registry():
+    """A registry whose single engine blocks on an event and counts its runs.
+
+    Holding the gate closed keeps submitted requests *in flight*, which makes
+    the dedup behaviour deterministic to assert.
+    """
+    registry = AlgorithmRegistry()
+
+    class BlockingAlgorithm(DiscoveryAlgorithm):
+        name = "blocker"
+        capabilities = AlgorithmCapabilities(auto_candidate=False)
+        gate = threading.Event()
+        started = threading.Event()
+        runs = 0
+        lock = threading.Lock()
+
+        def run(self, relation, request, session=None):
+            cls = type(self)
+            with cls.lock:
+                cls.runs += 1
+            cls.started.set()
+            assert cls.gate.wait(timeout=30), "test gate never opened"
+            return [], AlgorithmStats(algorithm=self.name)
+
+    registry.register(BlockingAlgorithm)
+    try:
+        yield registry, BlockingAlgorithm
+    finally:
+        BlockingAlgorithm.gate.set()  # never leave workers stuck
+
+
+class TestDedup:
+    def test_identical_in_flight_requests_share_one_run(
+        self, cust_relation, blocking_registry
+    ):
+        registry, blocker = blocking_registry
+        pool = SessionPool(registry=registry)
+        with DiscoveryService(pool=pool, max_workers=1) as service:
+            # The occupier pins the single worker, so everything submitted
+            # after it stays in flight until the gate opens.
+            occupier = service.submit(
+                cust_relation, DiscoveryRequest(min_support=1, algorithm="blocker")
+            )
+            assert blocker.started.wait(timeout=30)
+            target_request = DiscoveryRequest(min_support=2, algorithm="blocker")
+            futures = [
+                service.submit(cust_relation, target_request) for _ in range(3)
+            ]
+            # All three coalesced onto one future before any of them ran.
+            assert futures[1] is futures[0] and futures[2] is futures[0]
+            info = service.info()
+            assert info["requests"] == 4
+            assert info["deduplicated"] == 2
+            blocker.gate.set()
+            results = [future.result(timeout=30) for future in futures]
+            occupier.result(timeout=30)
+        # One engine run for the occupier plus ONE for the three duplicates.
+        assert blocker.runs == 2
+        assert results[0] is results[1] is results[2]
+        info = service.info()
+        assert info["completed"] == 2
+        assert info["in_flight"] == 0
+
+    def test_distinct_requests_do_not_coalesce(
+        self, cust_relation, blocking_registry
+    ):
+        registry, blocker = blocking_registry
+        with DiscoveryService(
+            pool=SessionPool(registry=registry), max_workers=1
+        ) as service:
+            first = service.submit(
+                cust_relation, DiscoveryRequest(min_support=1, algorithm="blocker")
+            )
+            second = service.submit(
+                cust_relation, DiscoveryRequest(min_support=2, algorithm="blocker")
+            )
+            assert second is not first
+            blocker.gate.set()
+            first.result(timeout=30)
+            second.result(timeout=30)
+        assert service.info()["deduplicated"] == 0
+
+    def test_completed_requests_are_not_deduplicated_against(self, cust_relation):
+        request = DiscoveryRequest(min_support=2, algorithm="fastcfd")
+        with DiscoveryService(max_workers=2) as service:
+            first = service.run(cust_relation, request)
+            second = service.run(cust_relation, request)
+        # Two sequential engine runs (no dedup), one warmed session.
+        assert service.info()["deduplicated"] == 0
+        assert sorted(map(str, first.cfds)) == sorted(map(str, second.cfds))
+
+
+class TestConcurrentSweep:
+    def test_four_thread_sweep_is_byte_identical_to_sequential(self, cust_relation):
+        """The ISSUE's acceptance bar: a concurrent support sweep through the
+        service matches sequential one-shot runs exactly and records exactly
+        one miss on each k-independent shared cache."""
+        requests = [
+            DiscoveryRequest(min_support=k, algorithm="fastcfd") for k in (1, 2, 3, 4)
+        ]
+        pool = SessionPool()
+        with DiscoveryService(pool=pool, max_workers=4) as service:
+            results = service.run_batch(
+                [(cust_relation, request) for request in requests]
+            )
+        session = pool.session(cust_relation)
+        info = session.cache_info()
+        # The k-independent difference-set provider: built once, ever.
+        assert info["closed_difference_sets"]["misses"] == 1
+        assert info["closed_difference_sets"]["hits"] == 3
+        # Four distinct thresholds -> four mining misses; the provider build
+        # re-reads the k=2 result as the single hit.
+        assert info["free_closed"]["misses"] == 4
+        assert info["free_closed"]["hits"] == 1
+        for result, request in zip(results, requests):
+            oneshot = execute(cust_relation, request)
+            assert [str(cfd) for cfd in result.cfds] == [
+                str(cfd) for cfd in oneshot.cfds
+            ]
+
+    def test_sweep_convenience(self, cust_relation):
+        with DiscoveryService(max_workers=2) as service:
+            results = service.sweep(
+                cust_relation,
+                DiscoveryRequest(algorithm="fastcfd"),
+                supports=[1, 2],
+            )
+        assert [result.min_support for result in results] == [1, 2]
+        assert results[0].n_cfds >= results[1].n_cfds
+
+
+class TestRelationRefs:
+    def test_registered_names_serve_requests(self, cust_relation):
+        with DiscoveryService(max_workers=2) as service:
+            fingerprint = service.register("cust", cust_relation)
+            assert fingerprint == cust_relation.fingerprint()
+            by_name = service.run(
+                "cust", DiscoveryRequest(min_support=2, algorithm="fastcfd")
+            )
+            by_value = service.run(
+                cust_relation, DiscoveryRequest(min_support=2, algorithm="fastcfd")
+            )
+        assert sorted(map(str, by_name.cfds)) == sorted(map(str, by_value.cfds))
+        # Name and value resolve to one pooled session.
+        assert service.pool.info()["sessions"] == 1
+
+    def test_unknown_name_rejected(self):
+        with DiscoveryService(max_workers=1) as service:
+            with pytest.raises(DiscoveryError, match="register"):
+                service.run("nope", DiscoveryRequest())
+
+    def test_invalid_name_rejected(self, cust_relation):
+        with DiscoveryService(max_workers=1) as service:
+            with pytest.raises(DiscoveryError, match="invalid relation name"):
+                service.register("", cust_relation)
+
+
+class TestFailures:
+    def test_engine_errors_propagate_and_are_counted(self, cust_relation):
+        request = DiscoveryRequest(
+            min_support=1, algorithm="cfdminer", variable_only=True
+        )
+        with DiscoveryService(max_workers=1) as service:
+            future = service.submit(cust_relation, request)
+            with pytest.raises(DiscoveryError, match="variable"):
+                future.result(timeout=30)
+        info = service.info()
+        assert info["failed"] == 1
+        assert info["completed"] == 0
+        assert info["in_flight"] == 0
+
+    def test_max_workers_validated(self):
+        with pytest.raises(DiscoveryError, match="max_workers"):
+            DiscoveryService(max_workers=0)

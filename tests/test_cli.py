@@ -155,3 +155,105 @@ class TestMain:
         document = json.loads(target.read_text(encoding="utf-8"))
         assert document["rules"]
         assert capsys.readouterr().out == ""
+
+    def test_json_output_is_strictly_native(self, csv_path, capsys):
+        main([str(csv_path), "--support", "2", "-a", "ctane", "--json"])
+        document = json.loads(capsys.readouterr().out)
+        # Every stats value survived without a default=str escape hatch.
+        assert json.loads(json.dumps(document, allow_nan=False)) == document
+        assert "engine_seconds" in document["stats"]
+
+
+class TestBatch:
+    def _write_requests(self, tmp_path, entries):
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(entries), encoding="utf-8")
+        return path
+
+    def test_batch_serves_all_requests(self, csv_path, tmp_path, capsys):
+        batch = self._write_requests(
+            tmp_path,
+            [
+                {"support": 2, "algorithm": "fastcfd"},
+                {"support": 2, "algorithm": "fastcfd"},
+                {"support": 3, "algorithm": "fastcfd"},
+                {"support": 2, "algorithm": "cfdminer", "constant_only": True},
+            ],
+        )
+        exit_code = main([str(csv_path), "--batch", str(batch), "--workers", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        document = json.loads(captured.out)
+        assert document["requests"] == 4
+        assert len(document["results"]) == 4
+        assert document["results"][0]["min_support"] == 2
+        assert document["results"][3]["algorithm"] == "cfdminer"
+        assert document["service"]["pool"]["sessions"] == 1
+        assert document["requests_per_second"] > 0
+        assert "req/s" in captured.err
+        # Batch output is strictly JSON-native too.
+        assert json.loads(json.dumps(document, allow_nan=False)) == document
+
+    def test_batch_results_match_single_runs(self, csv_path, tmp_path, capsys):
+        batch = self._write_requests(
+            tmp_path, [{"support": 2, "algorithm": "fastcfd"}]
+        )
+        main([str(csv_path), "--batch", str(batch)])
+        batched = json.loads(capsys.readouterr().out)["results"][0]
+        main([str(csv_path), "--support", "2", "-a", "fastcfd", "--json"])
+        single = json.loads(capsys.readouterr().out)
+        assert sorted(r["text"] for r in batched["rules"]) == sorted(
+            r["text"] for r in single["rules"]
+        )
+
+    def test_batch_document_wrapper_and_output_file(
+        self, csv_path, tmp_path, capsys
+    ):
+        path = tmp_path / "requests.json"
+        path.write_text(
+            json.dumps({"requests": [{"support": 2}]}), encoding="utf-8"
+        )
+        target = tmp_path / "batch_out.json"
+        main([str(csv_path), "--batch", str(path), "-o", str(target)])
+        document = json.loads(target.read_text(encoding="utf-8"))
+        assert document["requests"] == 1
+        assert capsys.readouterr().out == ""
+
+    def test_batch_entry_csv_override(self, csv_path, tmp_path, capsys):
+        other = tmp_path / "other.csv"
+        other.write_text("A,B\n1,2\n1,2\n", encoding="utf-8")
+        batch = self._write_requests(
+            tmp_path,
+            [{"support": 2}, {"support": 2, "csv": str(other)}],
+        )
+        main([str(csv_path), "--batch", str(batch)])
+        document = json.loads(capsys.readouterr().out)
+        assert document["service"]["pool"]["sessions"] == 2
+        assert {r["relation"]["rows"] for r in document["results"]} == {5, 2}
+
+    def test_batch_invalid_file_rejected(self, csv_path, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main([str(csv_path), "--batch", str(bad)])
+
+    def test_batch_unknown_field_rejected(self, csv_path, tmp_path, capsys):
+        batch = self._write_requests(tmp_path, [{"supprt": 2}])
+        with pytest.raises(SystemExit):
+            main([str(csv_path), "--batch", str(batch)])
+        assert "unknown fields" in capsys.readouterr().err
+
+    def test_batch_empty_rejected(self, csv_path, tmp_path):
+        batch = self._write_requests(tmp_path, [])
+        with pytest.raises(SystemExit):
+            main([str(csv_path), "--batch", str(batch)])
+
+    def test_batch_invalid_request_reported_cleanly(
+        self, csv_path, tmp_path, capsys
+    ):
+        batch = self._write_requests(
+            tmp_path, [{"support": 2, "algorithm": "cfdminer", "variable_only": True}]
+        )
+        with pytest.raises(SystemExit):
+            main([str(csv_path), "--batch", str(batch)])
+        assert "variable" in capsys.readouterr().err
