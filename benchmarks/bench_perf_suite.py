@@ -1,6 +1,6 @@
 """The tracked perf-benchmark suite → ``BENCH_perf.json`` at the repo root.
 
-Four sections, re-measured on every run so the numbers never rot:
+Five sections, re-measured on every run so the numbers never rot:
 
 1. **Partition microbenchmarks** — construction of the single-attribute
    partitions and a full product chain across the schema, timed for the
@@ -19,6 +19,11 @@ Four sections, re-measured on every run so the numbers never rot:
    a pooled session, reported as requests/sec against the same batch run
    sequentially one-shot (no session, no pool) — the serving layer's
    cache-reuse win.
+5. **Persistence** — the CTANE end-to-end configuration served cold versus
+   warm-started from a :class:`repro.serve.CacheStore` dumped by a previous
+   session (fresh ``Profiler`` + store load + run, i.e. exactly what a
+   restarted worker pays), plus the store's entry count and on-disk size;
+   the cover must round-trip byte-identically.
 
 Run ``python benchmarks/bench_perf_suite.py`` for the tracked numbers or
 ``--smoke`` for the tiny CI configuration (same shape, toy sizes).
@@ -177,6 +182,65 @@ def bench_serving(db_size: int, supports: list, workers: int, repeats: int) -> d
 
 
 # ---------------------------------------------------------------------- #
+# section 5: persistence — cold vs store-loaded warm start
+# ---------------------------------------------------------------------- #
+def bench_persistence(db_size: int, support: int, repeats: int) -> dict:
+    """Cold vs warm-start wall time of the CTANE end-to-end configuration.
+
+    The warm timing includes *everything* a restarted worker pays: creating
+    a fresh ``Profiler``, loading the store entries, and serving the run —
+    against a cold run that builds every structure from scratch.  The cover
+    must round-trip byte-identically through the store.
+    """
+    import json as json_mod
+    import tempfile
+
+    from repro.api import Profiler
+    from repro.serve import CacheStore
+
+    relation = tax_relation(db_size, seed=3)
+    relation.encoded_matrix()
+    relation.fingerprint()
+    request = DiscoveryRequest(min_support=support, algorithm="ctane")
+
+    def cold():
+        return Profiler(relation).run(request)
+
+    cold_s = time_best(cold, repeats)
+    cold_result = cold()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CacheStore(tmp)
+        seeder = Profiler(relation)
+        seeder.run(request)
+        entries = seeder.dump_caches(store)
+        store_bytes = store.size_bytes()
+
+        warm_results = []
+
+        def warm():
+            profiler = Profiler(relation)
+            profiler.warm_from(store)
+            warm_results.append(profiler.run(request))
+
+        warm_s = time_best(warm, repeats)
+
+    cold_rules = json_mod.dumps(cold_result.to_json_dict()["rules"])
+    warm_rules = json_mod.dumps(warm_results[-1].to_json_dict()["rules"])
+    return {
+        "db_size": db_size,
+        "support": support,
+        "algorithm": "ctane",
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "store_entries": entries,
+        "store_bytes": store_bytes,
+        "byte_identical_output": cold_rules == warm_rules,
+    }
+
+
+# ---------------------------------------------------------------------- #
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -213,6 +277,9 @@ def main(argv=None) -> int:
     serving = bench_serving(
         serving_db, serving_supports, workers=4, repeats=max(1, repeats - 1)
     )
+    persistence = bench_persistence(
+        ablation_db, ablation_k, max(1, repeats - 1)
+    )
 
     document = {
         "suite": "bench_perf_suite",
@@ -223,6 +290,7 @@ def main(argv=None) -> int:
         "ctane_partition_ablation": ablation,
         "end_to_end": end_to_end,
         "serving": serving,
+        "persistence": persistence,
         # Pre-substrate numbers measured on the PR-1 tree (same machine
         # class, db_size=2000/k=20 and the 5000-row product chain), kept as
         # the fixed origin of the trajectory.
@@ -260,6 +328,13 @@ def main(argv=None) -> int:
           f"{serving['requests_per_second']} req/s pooled vs "
           f"{serving['sequential_oneshot_s']:.3f}s sequential one-shot "
           f"({serving['speedup']:.2f}x)")
+    print(f"\npersistence (db={persistence['db_size']}, "
+          f"k={persistence['support']}, ctane): cold {persistence['cold_s']:.3f}s "
+          f"vs warm-start {persistence['warm_s']:.3f}s "
+          f"({persistence['speedup']:.1f}x, store "
+          f"{persistence['store_entries']} entries / "
+          f"{persistence['store_bytes']} bytes, byte-identical="
+          f"{persistence['byte_identical_output']})")
     return 0
 
 

@@ -7,14 +7,17 @@ serving layer (:mod:`repro.serve`) turns the library into exactly that:
 
 * a :class:`~repro.serve.SessionPool` keeps one warmed
   :class:`~repro.api.Profiler` session per relation (recognised by content
-  fingerprint), bounded by an LRU capacity cap and a byte budget over the
-  sessions' estimated cache footprints;
+  fingerprint), bounded by a capacity cap and a byte budget, evicting the
+  cheapest-to-rebuild session first (observed build cost, LRU tiebreak);
 * a :class:`~repro.serve.DiscoveryService` executes batches concurrently and
-  coalesces identical in-flight requests onto one engine run.
+  coalesces identical in-flight requests onto one engine run;
+* a :class:`~repro.serve.CacheStore` persists session caches on disk, so
+  evicted sessions spill instead of vanishing, restarted workers warm-start
+  instead of recomputing, and several workers share one warm substrate.
 
 This example serves a mixed workload over two relations — support sweeps,
-duplicate requests, a named relation — and prints the service and pool
-counters that show the sharing at work.
+duplicate requests, a named relation — prints the counters that show the
+sharing at work, then simulates a worker restart against the same store.
 
 Run with::
 
@@ -23,15 +26,23 @@ Run with::
 
 from __future__ import annotations
 
-from repro import DiscoveryRequest, DiscoveryService, SessionPool
+import tempfile
+import time
+
+from repro import DiscoveryRequest, DiscoveryService, Profiler, SessionPool
 from repro.datagen import generate_tax
+from repro.serve import CacheStore
 
 
 def main() -> None:
     tax_small = generate_tax(db_size=400, arity=7, cf=0.7, seed=3)
     tax_large = generate_tax(db_size=800, arity=7, cf=0.7, seed=5)
 
-    pool = SessionPool(max_sessions=4, max_bytes=64 << 20)  # 64 MiB budget
+    store_dir = tempfile.mkdtemp(prefix="repro-store-")
+    store = CacheStore(store_dir)
+    pool = SessionPool(
+        max_sessions=4, max_bytes=64 << 20, store=store  # 64 MiB budget
+    )
     with DiscoveryService(pool=pool, max_workers=4) as service:
         # Relations can be addressed by name — the serving pattern for front
         # ends that identify datasets rather than shipping them by value.
@@ -76,8 +87,24 @@ def main() -> None:
     for entry in pool_info["lru"]:
         print(
             f"    {entry['fingerprint'][:12]}…  rows={entry['rows']:4d} "
-            f"uses={entry['uses']}  ~{entry['estimated_bytes'] / 1024:.0f} KiB"
+            f"uses={entry['uses']}  ~{entry['estimated_bytes'] / 1024:.0f} KiB "
+            f"build={entry['build_seconds'] * 1000:.0f} ms"
         )
+
+    # Persist the warmed sessions and simulate a worker restart: a fresh
+    # session over the same relation warm-starts from the store instead of
+    # recomputing — this is the cross-process sharing story.
+    pool.persist()
+    print(f"\ncache store: {len(store)} entries, "
+          f"{store.size_bytes() / 1024:.0f} KiB at {store_dir}")
+    request = DiscoveryRequest(min_support=10, algorithm="fastcfd")
+    started = time.perf_counter()
+    restarted = Profiler(tax_large)
+    loaded = restarted.warm_from(CacheStore(store_dir))
+    result = restarted.run(request)
+    print(f"restarted worker: loaded {loaded} entries, served "
+          f"{result.n_cfds} CFDs in {time.perf_counter() - started:.3f}s "
+          f"(engine hits: {restarted.cache_info()['engine_results']['hits']})")
 
 
 if __name__ == "__main__":

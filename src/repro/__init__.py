@@ -79,7 +79,7 @@ from repro.fd.tane import Tane
 from repro.relational.io import read_csv, write_csv
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
-from repro.serve import DiscoveryService, SessionPool, relation_fingerprint
+from repro.serve import CacheStore, DiscoveryService, SessionPool, relation_fingerprint
 
 __version__ = "1.0.0"
 
@@ -135,6 +135,7 @@ __all__ = [
     "discover_with_sampling",
     # serving layer: session pool, request dedup/batching
     "DiscoveryService",
+    "CacheStore",
     "SessionPool",
     "relation_fingerprint",
     # FD baselines

@@ -22,15 +22,17 @@ the CLI, the experiment harness, sampling and cleaning.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import REGISTRY, AlgorithmRegistry
 from repro.api.request import DiscoveryRequest
-from repro.api.result import DiscoveryResult
+from repro.api.result import AlgorithmStats, DiscoveryResult
+from repro.core.cfd import CFD
 from repro.core.fastcfd import ClosedSetDifferenceSets, PartitionDifferenceSets
 from repro.exceptions import DiscoveryError
 from repro.itemsets.mining import FreeClosedResult, mine_free_and_closed
@@ -38,6 +40,7 @@ from repro.relational.relation import Relation
 
 if False:  # pragma: no cover - typing only (import would be circular)
     from repro.relational.partition import Partition
+    from repro.serve.store import CacheStore
 
 #: ``progress(stage, done, total)`` — invoked by engines during long runs.
 ProgressCallback = Callable[[str, int, int], None]
@@ -65,53 +68,77 @@ def execute(
     ``--json`` output).
     """
     start = time.perf_counter()
-    if request.limit_rows is not None and request.limit_rows < relation.n_rows:
-        # The truncated prefix is a different relation: session caches built
-        # on the full relation would be wrong (or crash) here.  With a
-        # session the run is served by a pooled prefix sub-session (keyed by
-        # limit_rows, so sampling re-runs reuse its caches); without one the
-        # prefix is profiled one-shot.
-        if session is not None:
-            session = session.prefix_session(request.limit_rows)
-            relation = session.relation
-        else:
-            relation = relation.head(request.limit_rows)
-        request = request.replace(limit_rows=None)
-    name = request.algorithm
-    if name == "auto":
-        name = registry.select(relation, request)
-    engine = registry.create(name)
-    if request.variable_only and not engine.capabilities.variable_cfds:
-        raise DiscoveryError(
-            f"algorithm {name!r} emits no variable CFDs but the request is "
-            "variable-only"
+    root_session = session
+    try:
+        if request.limit_rows is not None and request.limit_rows < relation.n_rows:
+            # The truncated prefix is a different relation: session caches
+            # built on the full relation would be wrong (or crash) here.
+            # With a session the run is served by a pooled prefix sub-session
+            # (keyed by limit_rows, so sampling re-runs reuse its caches);
+            # without one the prefix is profiled one-shot.
+            if session is not None:
+                session = session.prefix_session(request.limit_rows)
+                relation = session.relation
+            else:
+                relation = relation.head(request.limit_rows)
+            request = request.replace(limit_rows=None)
+        name = request.algorithm
+        if name == "auto":
+            name = registry.select(relation, request)
+        engine = registry.create(name)
+        if request.variable_only and not engine.capabilities.variable_cfds:
+            raise DiscoveryError(
+                f"algorithm {name!r} emits no variable CFDs but the request is "
+                "variable-only"
+            )
+
+        engine_start = time.perf_counter()
+        try:
+            if session is not None:
+                cfds, stats = session.engine_result(
+                    name,
+                    request,
+                    lambda: engine.run(relation, request, session),
+                )
+            else:
+                cfds, stats = engine.run(relation, request, session)
+        except DiscoveryError:
+            raise
+        except ValueError as exc:
+            # Engine-level ValueErrors (e.g. the >62-attribute limit of the
+            # pairwise bitmask difference sets) must not leak through the
+            # front door untranslated.
+            raise DiscoveryError(f"algorithm {name!r} failed: {exc}") from exc
+        engine_elapsed = time.perf_counter() - engine_start
+
+        # The cached engine result is shared across runs; never mutate it.
+        stats = dataclasses.replace(stats, extras=dict(stats.extras))
+        cfds = list(cfds)
+        if request.constant_only:
+            cfds = [cfd for cfd in cfds if cfd.is_constant]
+        elif request.variable_only:
+            cfds = [cfd for cfd in cfds if cfd.is_variable]
+        if request.rank_by is not None:
+            from repro.core.measures import rank_by_interest
+
+            cfds = rank_by_interest(relation, cfds, key=request.rank_by)
+
+        stats.extras["engine_seconds"] = engine_elapsed
+        return DiscoveryResult(
+            algorithm=name,
+            cfds=cfds,
+            min_support=request.min_support,
+            elapsed_seconds=time.perf_counter() - start,
+            relation_size=relation.n_rows,
+            relation_arity=relation.arity,
+            extra=stats.as_dict(),
+            stats=stats,
         )
-
-    engine_start = time.perf_counter()
-    cfds, stats = engine.run(relation, request, session)
-    engine_elapsed = time.perf_counter() - engine_start
-
-    cfds = list(cfds)
-    if request.constant_only:
-        cfds = [cfd for cfd in cfds if cfd.is_constant]
-    elif request.variable_only:
-        cfds = [cfd for cfd in cfds if cfd.is_variable]
-    if request.rank_by is not None:
-        from repro.core.measures import rank_by_interest
-
-        cfds = rank_by_interest(relation, cfds, key=request.rank_by)
-
-    stats.extras["engine_seconds"] = engine_elapsed
-    return DiscoveryResult(
-        algorithm=name,
-        cfds=cfds,
-        min_support=request.min_support,
-        elapsed_seconds=time.perf_counter() - start,
-        relation_size=relation.n_rows,
-        relation_arity=relation.arity,
-        extra=stats.as_dict(),
-        stats=stats,
-    )
+    finally:
+        if root_session is not None:
+            # The run may have grown the session's caches: give observers
+            # (the serving pool's byte accounting) a synchronous signal.
+            root_session._notify_run_complete()
 
 
 #: Rough bytes per encoded item / closure entry in the free/closed estimates.
@@ -120,6 +147,18 @@ _EST_ITEM_BYTES = 64
 #: How many prefix sub-sessions (distinct truncating ``limit_rows`` values)
 #: one session keeps warm; least recently used ones are dropped beyond this.
 MAX_PREFIX_SESSIONS = 4
+
+#: How many engine runs (canonical covers per engine configuration) one
+#: session memoises; least recently used entries are dropped beyond this.
+MAX_ENGINE_RESULTS = 64
+
+#: Byte budget of the session's pattern-partition cache (the CTANE lattice
+#: partitions).  Insertions beyond the budget are silently refused — the
+#: cache is an accelerator, never a correctness dependency.
+PATTERN_PARTITION_BUDGET_BYTES = 64 * 2 ** 20
+
+#: The engine-configuration cache key of :meth:`Profiler.engine_result`.
+EngineKey = Tuple[str, int, Optional[int], Tuple[Tuple[str, object], ...]]
 
 
 class Profiler:
@@ -164,9 +203,14 @@ class Profiler:
         self._free_closed: Dict[Tuple[int, Optional[int]], "Future[FreeClosedResult]"] = {}
         self._providers: Dict[str, Future] = {}
         self._partitions: Dict[Tuple[int, ...], "Partition"] = {}
+        self._pattern_partitions: Dict[Tuple, "Partition"] = {}
+        self._pattern_bytes = 0
+        self._engine_results: "OrderedDict[EngineKey, Future]" = OrderedDict()
         self._prefix_sessions: "OrderedDict[int, Profiler]" = OrderedDict()
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
+        self._build_seconds: Dict[str, float] = {}
+        self._run_listeners: List[Callable[["Profiler"], None]] = []
 
     # ------------------------------------------------------------------ #
     @property
@@ -200,13 +244,19 @@ class Profiler:
         if not is_builder:
             return future.result()
         try:
+            build_start = time.perf_counter()
             result = build()
+            build_elapsed = time.perf_counter() - build_start
         except BaseException as exc:
             with self._lock:
                 if store.get(key) is future:
                     del store[key]
             future.set_exception(exc)
             raise
+        with self._lock:
+            self._build_seconds[cache] = (
+                self._build_seconds.get(cache, 0.0) + build_elapsed
+            )
         future.set_result(result)
         return result
 
@@ -263,9 +313,122 @@ class Profiler:
                 self._count("attribute_partitions", hit=True)
                 return cached
             self._count("attribute_partitions", hit=False)
+            build_start = time.perf_counter()
             partition = attribute_partition(self._relation.encoded_matrix(), key)
+            self._build_seconds["attribute_partitions"] = (
+                self._build_seconds.get("attribute_partitions", 0.0)
+                + time.perf_counter()
+                - build_start
+            )
             self._partitions[key] = partition
             return partition
+
+    # ------------------------------------------------------------------ #
+    # engine-result memoisation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _engine_key(algorithm: str, request: DiscoveryRequest) -> EngineKey:
+        """The engine-configuration key: everything that shapes engine output.
+
+        Post-processing knobs (rule filters, ranking, tableau grouping) are
+        deliberately excluded — they are applied per request on top of the
+        cached cover, so a ``constant_only`` replay of a previous full run is
+        still a cache hit.
+        """
+        return (algorithm, request.min_support, request.max_lhs_size, request.options)
+
+    def engine_result(
+        self, algorithm: str, request: DiscoveryRequest, build: Callable
+    ) -> Tuple[Tuple[CFD, ...], AlgorithmStats]:
+        """The memoised engine run for this configuration (built at most once).
+
+        ``build`` must return the engine's ``(cfds, stats)``; the cover is
+        frozen to a tuple so every caller shares one immutable copy.  Entries
+        are LRU-bounded at :data:`MAX_ENGINE_RESULTS`.  Like every future-
+        backed session cache, concurrent identical requests coalesce onto a
+        single engine run — the across-time completion of the serving
+        layer's in-flight deduplication.
+        """
+        key = self._engine_key(algorithm, request)
+
+        def run_engine():
+            cfds, stats = build()
+            return tuple(cfds), stats
+
+        result = self._get_or_build(
+            "engine_results", self._engine_results, key, run_engine
+        )
+        with self._lock:
+            if key in self._engine_results:
+                self._engine_results.move_to_end(key)
+            while len(self._engine_results) > MAX_ENGINE_RESULTS:
+                self._engine_results.popitem(last=False)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # pattern partitions (the CTANE lattice substrate)
+    # ------------------------------------------------------------------ #
+    def cached_pattern_partition(self, key: Tuple) -> Optional["Partition"]:
+        """The cached CTANE pattern partition ``Π(X, sp)`` for an element key.
+
+        ``key`` is the lattice element ``(attribute_indices, pattern_codes)``
+        with integer codes and :data:`~repro.core.pattern.WILDCARD` entries.
+        Pattern partitions are support-independent, so a sweep at a new
+        threshold re-reads the partitions mined by earlier runs.
+        """
+        with self._lock:
+            partition = self._pattern_partitions.get(key)
+            self._count("pattern_partitions", hit=partition is not None)
+            return partition
+
+    def store_pattern_partition(self, key: Tuple, partition: "Partition") -> bool:
+        """Record a derived pattern partition; ``False`` if the budget is full.
+
+        The cache is bounded by :data:`PATTERN_PARTITION_BUDGET_BYTES`;
+        beyond it new partitions are simply not retained (CTANE keeps its own
+        per-run references, so refusing an insert never affects results).
+        """
+        with self._lock:
+            if key in self._pattern_partitions:
+                return True
+            nbytes = partition.nbytes
+            if self._pattern_bytes + nbytes > PATTERN_PARTITION_BUDGET_BYTES:
+                return False
+            self._pattern_partitions[key] = partition
+            self._pattern_bytes += nbytes
+            return True
+
+    # ------------------------------------------------------------------ #
+    # build-cost accounting and run observers
+    # ------------------------------------------------------------------ #
+    def build_seconds(self) -> Dict[str, float]:
+        """Observed build seconds per cache bucket (engine runs included).
+
+        Warm-started sessions inherit the build cost recorded when the
+        structures were dumped (see :meth:`warm_from`), so the serving pool's
+        cost-aware eviction ranks them by what a cold rebuild would cost.
+        """
+        with self._lock:
+            return dict(self._build_seconds)
+
+    def build_seconds_total(self) -> float:
+        """Summed observed build cost — the pool's rebuild-cost score."""
+        with self._lock:
+            return float(sum(self._build_seconds.values()))
+
+    def add_run_listener(self, listener: Callable[["Profiler"], None]) -> None:
+        """Register a callback fired after every :func:`execute` over this
+        session (the serving pool refreshes its byte accounting with it)."""
+        with self._lock:
+            self._run_listeners.append(listener)
+
+    def _notify_run_complete(self) -> None:
+        with self._lock:
+            if not self._run_listeners:
+                return
+            listeners = list(self._run_listeners)
+        for listener in listeners:
+            listener(self)
 
     def prefix_session(self, limit_rows: int) -> "Profiler":
         """A pooled sub-session over the first ``limit_rows`` tuples.
@@ -307,6 +470,8 @@ class Profiler:
                 "closed_difference_sets": int("closed" in self._providers),
                 "partition_difference_sets": int("partition" in self._providers),
                 "attribute_partitions": len(self._partitions),
+                "pattern_partitions": len(self._pattern_partitions),
+                "engine_results": len(self._engine_results),
                 "prefix_sessions": len(self._prefix_sessions),
             }
             info: Dict[str, Dict[str, int]] = {}
@@ -339,6 +504,10 @@ class Profiler:
             mining = [self._completed(f) for f in self._free_closed.values()]
             providers = [self._completed(f) for f in self._providers.values()]
             partitions = list(self._partitions.values())
+            patterns = list(self._pattern_partitions.values())
+            engine_entries = [
+                self._completed(f) for f in self._engine_results.values()
+            ]
             prefixes = list(self._prefix_sessions.values())
         total = 256  # the session object itself
         for result in mining:
@@ -352,9 +521,288 @@ class Profiler:
                 total += provider.estimated_bytes()
         for partition in partitions:
             total += partition.nbytes
+        for partition in patterns:
+            total += partition.nbytes
+        for entry in engine_entries:
+            if entry is not None:
+                cfds, _ = entry
+                total += 256 + 96 * len(cfds)
         for prefix in prefixes:
             total += prefix.estimated_bytes()
         return total
+
+    # ------------------------------------------------------------------ #
+    # persistence: dump to / warm from a CacheStore
+    # ------------------------------------------------------------------ #
+    def _restore_build_seconds(self, bucket: str, meta: Dict) -> None:
+        value = meta.get("build_seconds")
+        if not value:
+            return
+        with self._lock:
+            self._build_seconds[bucket] = max(
+                self._build_seconds.get(bucket, 0.0), float(value)
+            )
+
+    @staticmethod
+    def _completed_future(value) -> Future:
+        future: Future = Future()
+        future.set_result(value)
+        return future
+
+    def dump_caches(self, store: "CacheStore") -> int:
+        """Spill every completed session structure into ``store``.
+
+        One entry per ``(fingerprint, kind, params)`` key: free/closed mining
+        results per threshold, the attribute- and pattern-partition bundles,
+        each difference-set provider's query cache, and every memoised engine
+        result whose cover survives a JSON round trip byte-identically.
+        Returns the number of entries written; structures still being built
+        (pending futures) are skipped.  Raises
+        :class:`~repro.exceptions.CacheStoreError` on write failures.
+        """
+        from repro.core.pattern import is_wildcard
+        from repro.serve import store as sf
+
+        fingerprint = self._relation.fingerprint()
+        with self._lock:
+            mining = {k: self._completed(f) for k, f in self._free_closed.items()}
+            providers = {k: self._completed(f) for k, f in self._providers.items()}
+            partitions = dict(self._partitions)
+            patterns = dict(self._pattern_partitions)
+            engines = {k: self._completed(f) for k, f in self._engine_results.items()}
+            build = dict(self._build_seconds)
+
+        written = 0
+        for (k, max_lhs), result in mining.items():
+            if result is None:
+                continue
+            meta, arrays = sf.pack_free_closed(result)
+            meta["build_seconds"] = build.get("free_closed", 0.0)
+            store.put(
+                fingerprint,
+                sf.KIND_FREE_CLOSED,
+                {"k": int(k), "max_lhs": max_lhs},
+                meta=meta,
+                arrays=arrays,
+            )
+            written += 1
+        if partitions:
+            items = [
+                ([int(i) for i in key], partition)
+                for key, partition in sorted(partitions.items())
+            ]
+            items = self._merge_bundle(store, sf.KIND_ATTRIBUTE_PARTITIONS, items)
+            meta, arrays = sf.pack_partition_bundle(items)
+            meta["build_seconds"] = build.get("attribute_partitions", 0.0)
+            store.put(
+                fingerprint, sf.KIND_ATTRIBUTE_PARTITIONS, {}, meta=meta, arrays=arrays
+            )
+            written += 1
+        if patterns:
+            items = []
+            for (attrs, codes), partition in patterns.items():
+                json_key = [
+                    [int(a) for a in attrs],
+                    [None if is_wildcard(c) else int(c) for c in codes],
+                ]
+                items.append((json_key, partition))
+            items = self._merge_bundle(store, sf.KIND_PATTERN_PARTITIONS, items)
+            meta, arrays = sf.pack_partition_bundle(items)
+            store.put(
+                fingerprint, sf.KIND_PATTERN_PARTITIONS, {}, meta=meta, arrays=arrays
+            )
+            written += 1
+        for name, provider in providers.items():
+            if provider is None:
+                continue
+            exported = provider.export_cache()
+            exported = self._merge_query_cache(store, name, exported)
+            meta = sf.pack_query_cache(exported)
+            meta["build_seconds"] = build.get(f"{name}_difference_sets", 0.0)
+            store.put(
+                fingerprint, sf.KIND_DIFFERENCE_SETS, {"provider": name}, meta=meta
+            )
+            written += 1
+        for (name, k, max_lhs, options), entry in engines.items():
+            if entry is None:
+                continue
+            if not all(sf.is_json_scalar(value) for _, value in options):
+                continue
+            meta = sf.pack_engine_result(*entry)
+            if meta is None:
+                continue  # cover values would not survive a JSON round trip
+            meta["build_seconds"] = build.get("engine_results", 0.0)
+            store.put(
+                fingerprint,
+                sf.KIND_ENGINE_RESULTS,
+                {
+                    "algorithm": name,
+                    "k": int(k),
+                    "max_lhs": max_lhs,
+                    "options": [[option, value] for option, value in options],
+                },
+                meta=meta,
+            )
+            written += 1
+        return written
+
+    def _merge_bundle(self, store: "CacheStore", kind: str, items):
+        """Union this session's bundle with the one already in the store.
+
+        Bundles live under a single fixed key per relation, so without the
+        merge a colder worker dumping *after* a warmer one would clobber the
+        richer bundle.  Entries this session holds win on key conflicts; a
+        missing or unreadable existing bundle merges as empty.
+        """
+        import json as json_mod
+
+        from repro.serve import store as sf
+
+        entry = store.get(self._relation.fingerprint(), kind, {})
+        if entry is None:
+            return items
+        try:
+            existing = sf.unpack_partition_bundle(entry)
+        except Exception:  # noqa: BLE001 - a bad bundle merges as empty
+            return items
+        seen = {json_mod.dumps(key) for key, _ in items}
+        merged = list(items)
+        for key, partition in existing:
+            if json_mod.dumps(key) not in seen:
+                merged.append((key, partition))
+        return merged
+
+    def _merge_query_cache(self, store: "CacheStore", provider_name: str, exported):
+        """Union a provider's query cache with the persisted one (same reason
+        as :meth:`_merge_bundle`: one fixed store key per provider)."""
+        from repro.serve import store as sf
+
+        entry = store.get(
+            self._relation.fingerprint(),
+            sf.KIND_DIFFERENCE_SETS,
+            {"provider": provider_name},
+        )
+        if entry is None:
+            return exported
+        try:
+            existing = sf.unpack_query_cache(entry.meta)
+        except Exception:  # noqa: BLE001 - a bad entry merges as empty
+            return exported
+        seen = {(rhs, items) for rhs, items, _ in exported}
+        merged = list(exported)
+        for rhs, items, family in existing:
+            if (rhs, items) not in seen:
+                merged.append((rhs, items, family))
+        return merged
+
+    def warm_from(self, store: "CacheStore") -> int:
+        """Pre-seed the session caches from ``store``; returns entries loaded.
+
+        Every malformed, truncated, version- or fingerprint-mismatched entry
+        is skipped (the session simply stays cold for that structure) — a
+        damaged store can never fail a request.  Structures the session
+        already holds are left untouched.
+        """
+        from repro.core.pattern import WILDCARD
+        from repro.serve import store as sf
+
+        fingerprint = self._relation.fingerprint()
+        loaded = 0
+        for entry in store.load_all(fingerprint):
+            try:
+                if entry.kind == sf.KIND_FREE_CLOSED:
+                    max_lhs = entry.params.get("max_lhs")
+                    key = (
+                        int(entry.params["k"]),
+                        None if max_lhs is None else int(max_lhs),
+                    )
+                    result = sf.unpack_free_closed(entry)
+                    with self._lock:
+                        self._free_closed.setdefault(
+                            key, self._completed_future(result)
+                        )
+                    self._restore_build_seconds("free_closed", entry.meta)
+                elif entry.kind == sf.KIND_ATTRIBUTE_PARTITIONS:
+                    for json_key, partition in sf.unpack_partition_bundle(entry):
+                        key = tuple(int(i) for i in json_key)
+                        with self._lock:
+                            self._partitions.setdefault(key, partition)
+                    self._restore_build_seconds("attribute_partitions", entry.meta)
+                elif entry.kind == sf.KIND_PATTERN_PARTITIONS:
+                    for json_key, partition in sf.unpack_partition_bundle(entry):
+                        attrs, codes = json_key
+                        key = (
+                            tuple(int(a) for a in attrs),
+                            tuple(
+                                WILDCARD if code is None else int(code)
+                                for code in codes
+                            ),
+                        )
+                        self.store_pattern_partition(key, partition)
+                elif entry.kind == sf.KIND_DIFFERENCE_SETS:
+                    if not self._warm_provider(entry, sf):
+                        continue
+                elif entry.kind == sf.KIND_ENGINE_RESULTS:
+                    cover = sf.unpack_engine_result(entry.meta)
+                    max_lhs = entry.params.get("max_lhs")
+                    key = (
+                        str(entry.params["algorithm"]),
+                        int(entry.params["k"]),
+                        None if max_lhs is None else int(max_lhs),
+                        tuple(
+                            (str(option), value)
+                            for option, value in entry.params.get("options", [])
+                        ),
+                    )
+                    with self._lock:
+                        if (
+                            key not in self._engine_results
+                            and len(self._engine_results) < MAX_ENGINE_RESULTS
+                        ):
+                            self._engine_results[key] = self._completed_future(cover)
+                    self._restore_build_seconds("engine_results", entry.meta)
+                else:
+                    continue  # an unknown kind from a newer writer
+            except Exception:  # noqa: BLE001 - any bad entry degrades to cold
+                continue
+            loaded += 1
+        return loaded
+
+    def _warm_provider(self, entry, sf) -> bool:
+        """Install one persisted difference-set provider; ``False`` to skip."""
+        name = entry.params.get("provider")
+        query_cache = sf.unpack_query_cache(entry.meta)
+        with self._lock:
+            existing = self._providers.get(name)
+        if existing is not None:
+            provider = self._completed(existing)
+            if provider is None:
+                return False
+            provider.import_cache(query_cache)
+        elif name == "closed":
+            # The closed-set provider is an index over the 2-frequent closed
+            # item sets; rebuild it from the (already loaded) mining entry
+            # rather than persisting the derived index itself.
+            with self._lock:
+                future = self._free_closed.get((2, None))
+            closed_result = self._completed(future) if future is not None else None
+            if closed_result is None:
+                return False
+            provider = ClosedSetDifferenceSets(
+                self._relation, closed_result=closed_result
+            )
+            provider.import_cache(query_cache)
+            with self._lock:
+                self._providers.setdefault(name, self._completed_future(provider))
+        elif name == "partition":
+            provider = PartitionDifferenceSets(self._relation)
+            provider.import_cache(query_cache)
+            with self._lock:
+                self._providers.setdefault(name, self._completed_future(provider))
+        else:
+            return False
+        self._restore_build_seconds(f"{name}_difference_sets", entry.meta)
+        return True
 
     # ------------------------------------------------------------------ #
     # running requests

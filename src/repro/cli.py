@@ -27,7 +27,15 @@ fields override the command-line flags — ``csv``, ``support``, ``algorithm``,
 ``rank_by``, ``options`` — and the whole batch is executed concurrently
 through a :class:`repro.serve.DiscoveryService` (pooled sessions, identical
 in-flight requests deduplicated).  The output is one JSON document with the
-per-request results and the service/pool counters.
+per-request results and the service/pool counters; a malformed or failing
+entry becomes an ``{"error": ...}`` record in place while the rest of the
+batch completes, and the exit code is non-zero only when every request
+failed.
+
+``--cache-dir DIR`` attaches a persistent :class:`repro.serve.CacheStore`:
+the session warm-starts from structures a previous invocation (or another
+worker) dumped, and writes its own warmed caches back after the run, so a
+repeated discovery is served from disk instead of recomputed.
 """
 
 from __future__ import annotations
@@ -41,7 +49,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api import RANKING_KEYS, REGISTRY, DiscoveryRequest, Profiler
-from repro.exceptions import DiscoveryError
+from repro.exceptions import DiscoveryError, ReproError
 from repro.relational.io import read_csv
 from repro.relational.relation import Relation
 
@@ -107,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for --batch (default: 4)",
     )
     parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persistent cache store: warm-start from DIR before discovery "
+        "and write the warmed session caches back afterwards, so repeated "
+        "invocations (and other workers) skip recomputation",
+    )
+    parser.add_argument(
         "--output", "-o", type=Path, default=None,
         help="write the rules to this file instead of stdout",
     )
@@ -140,6 +154,30 @@ def _load_relation(
     return read_csv(path, delimiter=args.delimiter, limit=limit)
 
 
+def _open_store(cache_dir: Optional[Path]):
+    """The ``--cache-dir`` store, or ``None`` (unset, or unusable — warned)."""
+    if cache_dir is None:
+        return None
+    from repro.serve import CacheStore
+
+    try:
+        return CacheStore(cache_dir)
+    except ReproError as exc:
+        print(f"# cache-store warning: {exc}", file=sys.stderr)
+        return None
+
+
+def _store_io(operation) -> int:
+    """Run one store operation; failures warn on stderr and count as 0."""
+    from repro.exceptions import CacheStoreError
+
+    try:
+        return operation()
+    except (CacheStoreError, OSError) as exc:
+        print(f"# cache-store warning: {exc}", file=sys.stderr)
+        return 0
+
+
 #: Batch-entry fields that override the corresponding command-line flags.
 _BATCH_FIELDS = (
     "csv",
@@ -155,7 +193,13 @@ _BATCH_FIELDS = (
 
 
 def _batch_entries(path: Path, parser: argparse.ArgumentParser) -> List[Dict]:
-    """Parse and validate the ``--batch`` request file."""
+    """Parse the ``--batch`` request file (file-level problems abort).
+
+    Per-entry problems (wrong shape, unknown fields, bad parameters, missing
+    CSVs) do **not** abort the batch: they surface as ``{"error": ...}``
+    records in the output document so one malformed request cannot take down
+    the requests submitted alongside it.
+    """
     try:
         spec = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
@@ -166,60 +210,88 @@ def _batch_entries(path: Path, parser: argparse.ArgumentParser) -> List[Dict]:
             f"batch file {path} must hold a non-empty JSON array of request "
             'objects (or {"requests": [...]})'
         )
-    for index, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            parser.error(f"batch entry #{index} is not a JSON object: {entry!r}")
-        unknown = set(entry) - set(_BATCH_FIELDS)
-        if unknown:
-            parser.error(
-                f"batch entry #{index} has unknown fields {sorted(unknown)}; "
-                f"allowed: {list(_BATCH_FIELDS)}"
-            )
     return entries
 
 
+def _batch_job(
+    entry: object,
+    args: argparse.Namespace,
+    relations: Dict[Path, Relation],
+) -> Tuple[Relation, DiscoveryRequest]:
+    """Resolve one batch entry to ``(relation, request)`` or raise."""
+    if not isinstance(entry, dict):
+        raise DiscoveryError(f"batch entry is not a JSON object: {entry!r}")
+    unknown = set(entry) - set(_BATCH_FIELDS)
+    if unknown:
+        raise DiscoveryError(
+            f"unknown fields {sorted(unknown)}; allowed: {list(_BATCH_FIELDS)}"
+        )
+    csv_path = Path(entry.get("csv", args.csv))
+    if not csv_path.exists():
+        raise DiscoveryError(f"no such file: {csv_path}")
+    if csv_path not in relations:
+        relations[csv_path] = _load_relation(args, path=csv_path)
+    request = DiscoveryRequest(
+        min_support=entry.get("support", args.support),
+        algorithm=entry.get("algorithm", args.algorithm),
+        max_lhs_size=entry.get("max_lhs", args.max_lhs),
+        constant_only=entry.get("constant_only", args.constant_only),
+        variable_only=entry.get("variable_only", args.variable_only),
+        rank_by=entry.get("rank_by", args.rank_by),
+        limit_rows=entry.get("limit_rows", args.limit_rows),
+        options=entry.get("options", {}),
+    )
+    return relations[csv_path], request
+
+
 def _run_batch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    """Serve every batch entry concurrently through the discovery service."""
+    """Serve every batch entry concurrently through the discovery service.
+
+    Exit code 0 as long as at least one request succeeded; non-zero only when
+    *every* request failed.
+    """
     from repro.serve import DiscoveryService, SessionPool
 
     entries = _batch_entries(args.batch, parser)
+    store = _open_store(args.cache_dir)
     relations: Dict[Path, Relation] = {}
-    jobs: List[Tuple[Relation, DiscoveryRequest]] = []
-    try:
-        for entry in entries:
-            csv_path = Path(entry.get("csv", args.csv))
-            if not csv_path.exists():
-                parser.error(f"no such file: {csv_path}")
-            if csv_path not in relations:
-                relations[csv_path] = _load_relation(args, path=csv_path)
-            request = DiscoveryRequest(
-                min_support=entry.get("support", args.support),
-                algorithm=entry.get("algorithm", args.algorithm),
-                max_lhs_size=entry.get("max_lhs", args.max_lhs),
-                constant_only=entry.get("constant_only", args.constant_only),
-                variable_only=entry.get("variable_only", args.variable_only),
-                rank_by=entry.get("rank_by", args.rank_by),
-                limit_rows=entry.get("limit_rows", args.limit_rows),
-                options=entry.get("options", {}),
-            )
-            jobs.append((relations[csv_path], request))
+    results_json: List[Optional[Dict]] = [None] * len(entries)
+    jobs: List[Tuple[int, Relation, DiscoveryRequest]] = []
+    for index, entry in enumerate(entries):
+        try:
+            relation, request = _batch_job(entry, args, relations)
+        except (ReproError, OSError, TypeError, ValueError) as exc:
+            results_json[index] = {"error": str(exc)}
+            continue
+        jobs.append((index, relation, request))
 
-        started = time.perf_counter()
-        with DiscoveryService(
-            pool=SessionPool(), max_workers=args.workers
-        ) as service:
-            results = service.run_batch(jobs)
-            elapsed = time.perf_counter() - started
-            info = service.info()
-    except DiscoveryError as exc:
-        parser.error(str(exc))
+    started = time.perf_counter()
+    pool = SessionPool(store=store)
+    with DiscoveryService(pool=pool, max_workers=args.workers) as service:
+        futures = [
+            (index, service.submit(relation, request))
+            for index, relation, request in jobs
+        ]
+        for index, future in futures:
+            try:
+                results_json[index] = future.result().to_json_dict()
+            except Exception as exc:  # noqa: BLE001 - recorded per request
+                results_json[index] = {"error": str(exc)}
+        elapsed = time.perf_counter() - started
+        if store is not None:
+            # Best-effort: a full/unwritable store must not discard the
+            # batch results that were just computed.
+            _store_io(pool.persist)
+        info = service.info()
 
+    failed = sum(1 for record in results_json if record and "error" in record)
     document = {
-        "requests": len(jobs),
+        "requests": len(entries),
+        "failed": failed,
         "elapsed_seconds": elapsed,
-        "requests_per_second": len(jobs) / elapsed if elapsed > 0 else None,
+        "requests_per_second": len(entries) / elapsed if elapsed > 0 else None,
         "service": info,
-        "results": [result.to_json_dict() for result in results],
+        "results": results_json,
     }
     text = json.dumps(document, indent=2, allow_nan=False)
     if args.output is not None:
@@ -227,14 +299,14 @@ def _run_batch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         args.output.write_text(text + "\n", encoding="utf-8")
     else:
         print(text)
-    throughput = len(jobs) / elapsed if elapsed > 0 else float("inf")
+    throughput = len(entries) / elapsed if elapsed > 0 else float("inf")
     print(
-        f"# batch: {len(jobs)} requests ({info['deduplicated']} deduplicated) "
-        f"over {len(relations)} relations in {elapsed:.3f}s "
-        f"-> {throughput:.1f} req/s",
+        f"# batch: {len(entries)} requests ({failed} failed, "
+        f"{info['deduplicated']} deduplicated) over {len(relations)} relations "
+        f"in {elapsed:.3f}s -> {throughput:.1f} req/s",
         file=sys.stderr,
     )
-    return 0
+    return 1 if failed == len(entries) else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -251,6 +323,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_batch(args, parser)
 
     relation = _load_relation(args, limit=args.limit_rows)
+    store = _open_store(args.cache_dir)
     try:
         request = DiscoveryRequest(
             min_support=args.support,
@@ -261,7 +334,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             rank_by=args.rank_by,
             tableau=args.tableau,
         )
-        result = Profiler(relation).run(request)
+        profiler = Profiler(relation)
+        loaded = 0
+        if store is not None:
+            loaded = _store_io(lambda: profiler.warm_from(store))
+        result = profiler.run(request)
+        # A failing store degrades to warnings: the computed rules are
+        # always delivered (the store is an accelerator, never a gate).
+        stored = 0
+        if store is not None:
+            stored = _store_io(lambda: profiler.dump_caches(store))
     except DiscoveryError as exc:
         parser.error(str(exc))
 
@@ -274,6 +356,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         document = result.to_json_dict()
         if args.tableau:
             document["tableaux"] = [str(t) for t in result.tableaux()]
+        if store is not None:
+            document["cache_store"] = {
+                "dir": str(args.cache_dir),
+                "entries_loaded": loaded,
+                "entries_stored": stored,
+            }
         # to_json_dict() is strictly JSON-native: no default= escape hatch.
         text = json.dumps(document, indent=2, allow_nan=False)
         n_reported = len(document["rules"])
@@ -299,6 +387,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"# {result.summary()} -> {n_reported} {unit} reported",
         file=sys.stderr,
     )
+    if store is not None:
+        print(
+            f"# cache-store {args.cache_dir}: loaded {loaded} entries, "
+            f"stored {stored}",
+            file=sys.stderr,
+        )
     return 0
 
 

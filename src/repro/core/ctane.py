@@ -199,6 +199,16 @@ class CTane:
             if self._session is not None:
                 return self._session.attribute_partition((attribute,))
             return attribute_partition(self._matrix, [attribute])
+        if self._session is not None:
+            key = ((attribute,), (int(code),))
+            cached = self._session.cached_pattern_partition(key)
+            if cached is not None:
+                return cached
+            partition = Partition.from_mask(
+                self._matrix[:, attribute] == int(code), self._n_rows
+            )
+            self._session.store_pattern_partition(key, partition)
+            return partition
         return Partition.from_mask(
             self._matrix[:, attribute] == int(code), self._n_rows
         )
@@ -475,6 +485,24 @@ class CTane:
                         if candidate in next_level:
                             continue
                         if incremental:
+                            # A session caches pattern partitions across runs
+                            # (they are support-independent), so a warmed
+                            # sweep skips the derivation below entirely.
+                            cached = (
+                                self._session.cached_pattern_partition(candidate)
+                                if self._session is not None
+                                else None
+                            )
+                            if cached is not None:
+                                if cached.covered_rows < self._min_support:
+                                    continue
+                                if not self._all_parents_present(
+                                    candidate, level_index
+                                ):
+                                    continue
+                                next_partitions[candidate] = cached
+                                next_level.add(candidate)
+                                continue
                             # Section 4.4: Π(Z, sp) derives from the
                             # generating element's cached Π(X, sp) by joining
                             # in the single new item — a class split for a
@@ -508,6 +536,10 @@ class CTane:
                                 ):
                                     continue
                                 partition = x_partition.restrict(keep)
+                            if self._session is not None:
+                                self._session.store_pattern_partition(
+                                    candidate, partition
+                                )
                             next_partitions[candidate] = partition
                         else:
                             if (

@@ -80,6 +80,20 @@ class DifferenceSetProvider:
         """Approximate heap bytes held by the provider's indexes and caches."""
         return 0
 
+    def export_cache(self) -> List[Tuple[int, EncodedItemSet, Set[AttributeSet]]]:
+        """Snapshot of the per-query cache as ``(rhs, items, family)`` triples.
+
+        The serving layer's persistent :class:`~repro.serve.store.CacheStore`
+        dumps this so a restarted worker's provider answers previously seen
+        queries without recomputing them.
+        """
+        return []
+
+    def import_cache(
+        self, entries: Iterable[Tuple[int, EncodedItemSet, Set[AttributeSet]]]
+    ) -> None:
+        """Pre-seed the per-query cache (inverse of :meth:`export_cache`)."""
+
 
 class PartitionDifferenceSets(DifferenceSetProvider):
     """Pairwise (partition style) difference sets — the **NaiveFast** provider.
@@ -125,6 +139,16 @@ class PartitionDifferenceSets(DifferenceSetProvider):
         for (_, items), family in entries:
             total += 64 + _EST_ITEM_BYTES * len(items) + _family_bytes(family)
         return total
+
+    def export_cache(self):
+        with self._cache_lock:
+            entries = list(self._cache.items())
+        return [(rhs, items, set(family)) for (rhs, items), family in entries]
+
+    def import_cache(self, entries) -> None:
+        with self._cache_lock:
+            for rhs, items, family in entries:
+                self._cache.setdefault((int(rhs), frozenset(items)), set(family))
 
 
 class ClosedSetDifferenceSets(DifferenceSetProvider):
@@ -219,6 +243,16 @@ class ClosedSetDifferenceSets(DifferenceSetProvider):
         for (_, items), family in entries:
             total += 64 + _EST_ITEM_BYTES * len(items) + _family_bytes(family)
         return total
+
+    def export_cache(self):
+        with self._cache_lock:
+            entries = list(self._cache.items())
+        return [(rhs, items, set(family)) for (rhs, items), family in entries]
+
+    def import_cache(self, entries) -> None:
+        with self._cache_lock:
+            for rhs, items, family in entries:
+                self._cache.setdefault((int(rhs), frozenset(items)), set(family))
 
 
 # ---------------------------------------------------------------------- #

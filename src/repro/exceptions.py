@@ -36,5 +36,9 @@ class DataGenerationError(ReproError):
     """Raised when a synthetic data generator receives invalid parameters."""
 
 
+class CacheStoreError(ReproError):
+    """Raised when a persistent cache-store entry cannot be read or written."""
+
+
 class RepairError(ReproError):
     """Raised when the repair engine cannot produce a consistent relation."""

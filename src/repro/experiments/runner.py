@@ -17,7 +17,7 @@ from repro.experiments.reporting import format_table
 from repro.relational.relation import Relation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.serve import SessionPool
+    from repro.serve import CacheStore, SessionPool
 
 #: The algorithm line-up of the scalability figures (Fig. 5, 7, 8, 10).
 DEFAULT_ALGORITHMS = ("cfdminer", "ctane", "naivefast", "fastcfd")
@@ -95,6 +95,7 @@ def run_algorithms(
     labels: Optional[Dict[str, str]] = None,
     session: Optional[Profiler] = None,
     pool: Optional["SessionPool"] = None,
+    store: Optional["CacheStore"] = None,
 ) -> List[AlgorithmRun]:
     """Time each algorithm on ``relation`` and return one record per run.
 
@@ -126,11 +127,23 @@ def run_algorithms(
         over the *same* relation then reuses one pooled session across
         points (and the pool's LRU/byte caps bound the sweep's memory).
         Ignored when ``session`` is given.
+    store:
+        Optional :class:`~repro.serve.CacheStore`.  Without a ``session`` or
+        ``pool`` this builds a one-shot session that warm-starts from the
+        store and dumps its caches back afterwards, so repeated experiment
+        invocations across processes reuse each other's structures.  (A pool
+        with its own ``store=`` handles persistence itself; passing both here
+        is redundant but harmless — the pool wins.)
     """
     algorithm_options = algorithm_options or {}
     labels = labels or {}
     if session is None and pool is not None:
         session = pool.session(relation)
+    persist_session = None
+    if session is None and store is not None:
+        session = Profiler(relation)
+        session.warm_from(store)
+        persist_session = session
     records: List[AlgorithmRun] = []
     for algorithm in algorithms:
         request = DiscoveryRequest(
@@ -154,6 +167,8 @@ def run_algorithms(
                 n_variable=counts["variable"],
             )
         )
+    if persist_session is not None:
+        persist_session.dump_caches(store)
     return records
 
 

@@ -239,6 +239,11 @@ class Partition:
         return int(self.covered_index.size)
 
     @property
+    def size(self) -> int:
+        """Length of the full label array (row-index space of the partition)."""
+        return self._size
+
+    @property
     def classes(self) -> Tuple[Tuple[int, ...], ...]:
         """The classes as sorted tuples of row indices, ordered by first element."""
         if self._classes is None:

@@ -11,20 +11,29 @@ partition substrate (PR 2) made it fast; this package makes it *servable*:
 * :class:`~repro.serve.service.DiscoveryService` — the facade that
   deduplicates identical in-flight requests and executes batches
   concurrently over ``concurrent.futures``, with the per-session locking in
-  ``Profiler`` guaranteeing each shared structure is built exactly once.
+  ``Profiler`` guaranteeing each shared structure is built exactly once;
+* :class:`~repro.serve.store.CacheStore` — the versioned persistent store
+  that lets sessions survive process restarts: pools spill evicted sessions
+  into it and warm-start admitted ones from it, so multiple workers share
+  one warm substrate (``repro-discover --cache-dir``).
 
-The CLI's ``repro-discover --batch``, the experiment runner's pooled sweeps
-and sampling-based discovery all route through here; see DESIGN.md for the
-locking discipline and eviction policy.
+The pool's eviction is cost-aware — the cheapest-to-rebuild session
+(observed build cost, LRU tiebreak) goes first.  The CLI's ``repro-discover
+--batch``, the experiment runner's pooled sweeps and sampling-based
+discovery all route through here; see DESIGN.md for the locking discipline,
+the store format and the eviction policy.
 """
 
 from repro.serve.fingerprint import relation_fingerprint
 from repro.serve.pool import SessionPool
 from repro.serve.service import DiscoveryService, RelationRef
+from repro.serve.store import CacheStore, StoreEntry
 
 __all__ = [
+    "CacheStore",
     "DiscoveryService",
     "RelationRef",
     "SessionPool",
+    "StoreEntry",
     "relation_fingerprint",
 ]

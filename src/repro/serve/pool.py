@@ -1,5 +1,5 @@
-"""The multi-relation session pool: fingerprint → :class:`Profiler`, with LRU
-eviction and memory accounting.
+"""The multi-relation session pool: fingerprint → :class:`Profiler`, with
+cost-aware eviction, memory accounting and optional persistent spill.
 
 A :class:`SessionPool` is the serving layer's working set: every relation a
 front end profiles gets one pooled :class:`~repro.api.Profiler` session, so
@@ -9,15 +9,28 @@ The pool is bounded two ways:
 
 * ``max_sessions`` — a capacity cap enforced on insertion;
 * ``max_bytes`` — a budget over the sessions' estimated cache footprints
-  (:meth:`~repro.api.Profiler.estimated_bytes`, i.e. ``cache_info()`` sizes
-  backed by per-cache byte estimates), re-checked by
-  :meth:`enforce_limits` after runs grow the caches.
+  (:meth:`~repro.api.Profiler.estimated_bytes`), re-checked by
+  :meth:`enforce_limits` after runs grow the caches.  The pool registers a
+  run listener on every session it creates, so the byte accounting refreshes
+  after **every** executed request — eviction decisions never run on stale
+  figures from before a request grew a session's caches.
 
-Eviction is least-recently-used by last :meth:`session` access and only drops
-the pool's reference — callers holding an evicted session keep a fully
-functional (just no longer shared) ``Profiler``, so in-flight runs are never
-disturbed.  All operations are thread-safe behind one pool lock; the lock
-order is pool → session and nothing ever takes them the other way around.
+Eviction is **cost-aware**: the victim is the session whose caches were
+cheapest to build (:meth:`~repro.api.Profiler.build_seconds_total` — the
+observed rebuild cost), with least-recently-used order as the tiebreak, and
+the most recently used session is never evicted.  A pool under pressure
+therefore sheds the sessions that are fastest to rebuild instead of blindly
+dropping old-but-expensive ones.  Eviction only drops the pool's reference —
+callers holding an evicted session keep a fully functional (just no longer
+shared) ``Profiler``, so in-flight runs are never disturbed.
+
+With a persistent :class:`~repro.serve.store.CacheStore` attached
+(``store=``), the pool becomes restart-proof: evicted sessions spill their
+caches into the store first, and newly admitted sessions warm-start from it
+— which is also how multiple worker processes share one warm substrate.
+
+All operations are thread-safe behind one pool lock; the lock order is
+pool → session and nothing ever takes them the other way around.
 """
 
 from __future__ import annotations
@@ -29,9 +42,10 @@ from typing import Dict, List, Optional
 
 from repro.api.profiler import ProgressCallback, Profiler
 from repro.api.registry import REGISTRY, AlgorithmRegistry
-from repro.exceptions import DiscoveryError
+from repro.exceptions import CacheStoreError, DiscoveryError
 from repro.relational.relation import Relation
 from repro.serve.fingerprint import relation_fingerprint
+from repro.serve.store import CacheStore
 
 
 @dataclass
@@ -45,7 +59,7 @@ class _PooledSession:
 
 
 class SessionPool:
-    """LRU-bounded, byte-budgeted pool of per-relation ``Profiler`` sessions.
+    """Cost-aware, byte-budgeted pool of per-relation ``Profiler`` sessions.
 
     Parameters
     ----------
@@ -56,6 +70,11 @@ class SessionPool:
         of the pooled sessions (``None`` for unbounded).  The most recently
         used session is never evicted, even when it alone exceeds the
         budget — a pool that cannot hold one session cannot serve at all.
+    store:
+        Optional :class:`~repro.serve.store.CacheStore`.  Evicted sessions
+        spill their caches into it and admitted sessions warm-start from it,
+        so pooled warmth survives process restarts and is shared between
+        workers.
     progress / registry:
         Forwarded to every :class:`~repro.api.Profiler` the pool creates.
     """
@@ -65,6 +84,7 @@ class SessionPool:
         max_sessions: Optional[int] = 8,
         *,
         max_bytes: Optional[int] = None,
+        store: Optional[CacheStore] = None,
         progress: Optional[ProgressCallback] = None,
         registry: AlgorithmRegistry = REGISTRY,
     ):
@@ -74,6 +94,7 @@ class SessionPool:
             raise DiscoveryError("max_bytes must be at least 1 (or None)")
         self._max_sessions = max_sessions
         self._max_bytes = max_bytes
+        self._store = store
         self._progress = progress
         self._registry = registry
         self._lock = threading.RLock()
@@ -81,6 +102,15 @@ class SessionPool:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._spills = 0
+        self._spill_failures = 0
+        self._warm_loads = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> Optional[CacheStore]:
+        """The attached persistent cache store (``None`` when in-memory only)."""
+        return self._store
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -92,6 +122,8 @@ class SessionPool:
 
         Every call refreshes the relation's LRU position.  ``fingerprint``
         lets callers that already digested the relation skip recomputing it.
+        A newly created session warm-starts from the attached store (when one
+        is configured and holds entries for this relation).
         """
         key = fingerprint if fingerprint is not None else relation_fingerprint(relation)
         with self._lock:
@@ -105,9 +137,35 @@ class SessionPool:
             profiler = Profiler(
                 relation, progress=self._progress, registry=self._registry
             )
+            # Refresh this entry's bytes after every run the session serves,
+            # wherever the run enters from (service, direct profiler.run,
+            # experiment sweeps) — see the module docstring.
+            profiler.add_run_listener(lambda _profiler, key=key: self._after_run(key))
             self._entries[key] = _PooledSession(fingerprint=key, profiler=profiler)
-            self._enforce_locked()
-            return profiler
+            evicted = self._enforce_locked()
+        # Disk I/O happens outside the pool lock so one admission never
+        # serializes the serving thread pool behind the store.  The session
+        # is already visible (cold) to concurrent callers while it warms;
+        # warm_from only fills caches they have not started building.
+        self._spill_entries(evicted)
+        if self._store is not None:
+            try:
+                loaded = profiler.warm_from(self._store)
+            except (CacheStoreError, OSError):
+                loaded = 0
+            if loaded:
+                with self._lock:
+                    self._warm_loads += loaded
+        return profiler
+
+    def _after_run(self, fingerprint: str) -> None:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return  # evicted while the run was in flight
+            entry.estimated_bytes = entry.profiler.estimated_bytes()
+            evicted = self._enforce_locked()
+        self._spill_entries(evicted)
 
     def __len__(self) -> int:
         with self._lock:
@@ -135,24 +193,67 @@ class SessionPool:
             return total
 
     def enforce_limits(self) -> int:
-        """Re-check both caps and evict LRU sessions until satisfied.
+        """Re-check both caps and evict sessions until satisfied.
 
-        Sessions grow *after* insertion (each run warms more caches), so the
-        serving layer calls this after every executed request.  Returns the
+        Sessions grow *after* insertion (each run warms more caches); the
+        pool's run listeners call this automatically after every executed
+        request, and external callers may re-check at any time.  Returns the
         number of sessions evicted.
         """
         with self._lock:
-            return self._enforce_locked()
+            evicted = self._enforce_locked()
+        self._spill_entries(evicted)
+        return len(evicted)
 
-    def _enforce_locked(self) -> int:
-        evicted = 0
+    def _pick_victim_locked(self) -> str:
+        """The eviction victim: cheapest observed build cost, LRU tiebreak.
+
+        The most recently used session is exempt whenever any other session
+        exists, preserving the guarantee that the session currently being
+        served never vanishes under its caller.
+        """
+        keys = list(self._entries)
+        candidates = keys[:-1] if len(keys) > 1 else keys
+        index = min(
+            range(len(candidates)),
+            key=lambda i: (
+                self._entries[candidates[i]].profiler.build_seconds_total(),
+                i,
+            ),
+        )
+        return candidates[index]
+
+    def _evict_one_locked(self) -> _PooledSession:
+        entry = self._entries.pop(self._pick_victim_locked())
+        self._evictions += 1
+        return entry
+
+    def _spill_entries(self, entries: List[_PooledSession]) -> None:
+        """Spill evicted sessions into the store — outside the pool lock.
+
+        Spill is best-effort: a full disk or unwritable store must never
+        turn an eviction into a request failure.
+        """
+        if self._store is None:
+            return
+        for entry in entries:
+            try:
+                written = entry.profiler.dump_caches(self._store)
+            except (CacheStoreError, OSError):
+                with self._lock:
+                    self._spill_failures += 1
+                continue
+            with self._lock:
+                self._spills += written
+
+    def _enforce_locked(self) -> List[_PooledSession]:
+        """Evict until both caps hold; returns the entries to be spilled."""
+        evicted: List[_PooledSession] = []
         while (
             self._max_sessions is not None
             and len(self._entries) > self._max_sessions
         ):
-            self._entries.popitem(last=False)
-            self._evictions += 1
-            evicted += 1
+            evicted.append(self._evict_one_locked())
         if self._max_bytes is None:
             return evicted
         total = 0
@@ -160,31 +261,50 @@ class SessionPool:
             entry.estimated_bytes = entry.profiler.estimated_bytes()
             total += entry.estimated_bytes
         while total > self._max_bytes and len(self._entries) > 1:
-            _, entry = self._entries.popitem(last=False)
-            total -= entry.estimated_bytes
-            self._evictions += 1
-            evicted += 1
+            victim = self._evict_one_locked()
+            total -= victim.estimated_bytes
+            evicted.append(victim)
         return evicted
 
     def evict(self, fingerprint: str) -> bool:
-        """Drop one session by fingerprint; ``True`` if it was pooled."""
+        """Drop one session by fingerprint; ``True`` if it was pooled.
+
+        With a store attached the session's caches are spilled first.
+        """
         with self._lock:
             entry = self._entries.pop(fingerprint, None)
             if entry is not None:
                 self._evictions += 1
-            return entry is not None
+        if entry is not None:
+            self._spill_entries([entry])
+        return entry is not None
 
     def clear(self) -> None:
-        """Drop every pooled session (counters are kept)."""
+        """Drop every pooled session (counters are kept; sessions spill)."""
         with self._lock:
-            self._evictions += len(self._entries)
+            dropped = list(self._entries.values())
+            self._evictions += len(dropped)
             self._entries.clear()
+        self._spill_entries(dropped)
+
+    def persist(self, store: Optional[CacheStore] = None) -> int:
+        """Dump every pooled session into ``store`` (default: the attached
+        one) without evicting anything; returns the entries written."""
+        target = store if store is not None else self._store
+        if target is None:
+            raise DiscoveryError("no cache store attached and none given")
+        with self._lock:
+            entries = list(self._entries.values())
+        written = 0
+        for entry in entries:
+            written += entry.profiler.dump_caches(target)
+        return written
 
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def info(self) -> Dict[str, object]:
-        """Counters, caps and per-session byte estimates (LRU order)."""
+        """Counters, caps and per-session byte/cost figures (LRU order)."""
         with self._lock:
             sessions = []
             total = 0
@@ -199,6 +319,7 @@ class SessionPool:
                         "arity": relation.arity,
                         "uses": entry.uses,
                         "estimated_bytes": entry.estimated_bytes,
+                        "build_seconds": entry.profiler.build_seconds_total(),
                     }
                 )
             return {
@@ -206,8 +327,12 @@ class SessionPool:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "spilled_entries": self._spills,
+                "spill_failures": self._spill_failures,
+                "warm_loaded_entries": self._warm_loads,
                 "max_sessions": self._max_sessions,
                 "max_bytes": self._max_bytes,
+                "persistent": self._store is not None,
                 "estimated_bytes": total,
                 "lru": sessions,
             }

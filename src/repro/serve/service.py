@@ -33,6 +33,7 @@ from repro.exceptions import DiscoveryError
 from repro.relational.relation import Relation
 from repro.serve.fingerprint import relation_fingerprint
 from repro.serve.pool import SessionPool
+from repro.serve.store import CacheStore
 
 #: What callers may pass as the relation of a request.
 RelationRef = Union[Relation, str]
@@ -48,6 +49,10 @@ class DiscoveryService:
         default-sized pool if omitted).
     max_workers:
         Size of the executor thread pool.
+    store:
+        Optional :class:`~repro.serve.store.CacheStore` for the default pool
+        (mutually exclusive with ``pool`` — attach the store to your own pool
+        instead): sessions warm-start from it and spill back on eviction.
 
     Examples
     --------
@@ -71,10 +76,15 @@ class DiscoveryService:
         pool: Optional[SessionPool] = None,
         *,
         max_workers: int = 4,
+        store: Optional["CacheStore"] = None,
     ):
         if max_workers < 1:
             raise DiscoveryError("max_workers must be at least 1")
-        self._pool = pool if pool is not None else SessionPool()
+        if pool is not None and store is not None:
+            raise DiscoveryError(
+                "pass the store to the SessionPool when supplying your own pool"
+            )
+        self._pool = pool if pool is not None else SessionPool(store=store)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
@@ -141,12 +151,11 @@ class DiscoveryService:
         return future
 
     def _serve(self, relation: Relation, request: DiscoveryRequest) -> DiscoveryResult:
+        # Byte budgets re-check automatically: the pool registers a run
+        # listener on every session it creates, so each run refreshes the
+        # entry's estimate and enforces the caps on completion.
         session = self._pool.session(relation)
-        try:
-            return session.run(request)
-        finally:
-            # The run grew the session's caches: re-check the byte budget.
-            self._pool.enforce_limits()
+        return session.run(request)
 
     def _finish(self, key, future: "Future[DiscoveryResult]") -> None:
         with self._lock:

@@ -1,0 +1,650 @@
+"""The persistent cache store: ``Profiler`` structures on disk, per relation.
+
+A :class:`CacheStore` is a directory of versioned binary entries keyed by
+``(relation fingerprint, structure kind, params)``.  It is what lets warmed
+sessions survive process restarts and be shared between workers: a
+:class:`~repro.api.Profiler` dumps its caches with
+:meth:`~repro.api.Profiler.dump_caches` and a fresh session (same relation,
+different process) reloads them with :meth:`~repro.api.Profiler.warm_from`;
+the :class:`~repro.serve.pool.SessionPool` does both automatically when
+constructed with ``store=`` (evicted sessions spill, admitted sessions
+warm-start).
+
+Entry format
+------------
+One file per entry::
+
+    magic (8 bytes) | header length (8 bytes LE) | JSON header | raw buffers
+
+The header carries the store format version, the fingerprint, kind and params
+of the entry, a JSON-native ``meta`` payload, and the dtype/shape manifest of
+the numpy buffers that follow (``np.save``-style raw C-order bytes, no
+pickling anywhere).  Loads are defensive — every one of these failures makes
+:meth:`CacheStore.get` return ``None`` (callers fall back to a cold build)
+instead of raising:
+
+* unknown magic or store format version (``FORMAT_VERSION`` bumps whenever
+  the payload layout of any kind changes);
+* a dtype outside the fixed allowlist, or buffers shorter than the manifest
+  promises (truncated/corrupted files);
+* a header fingerprint that does not match the requested one (the
+  re-verification that catches moved or mixed-up files);
+* params recorded in the header differing from the requested params.
+
+Writes are atomic: the entry is written to a temp file in the target
+directory and ``os.replace``d into place, so concurrent readers in other
+worker processes only ever observe complete entries.
+
+The module also hosts the pack/unpack helpers for every persisted structure
+kind (free/closed mining results, partition bundles, difference-set provider
+query caches, engine results); :class:`~repro.api.Profiler` orchestrates
+them but owns no format knowledge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import CacheStoreError
+
+#: Structure kinds the store understands (order = warm-load priority: the
+#: closed difference-set provider is rebuilt from the free/closed result, so
+#: mining entries must land first).
+KIND_FREE_CLOSED = "free_closed"
+KIND_ATTRIBUTE_PARTITIONS = "attribute_partitions"
+KIND_PATTERN_PARTITIONS = "pattern_partitions"
+KIND_DIFFERENCE_SETS = "difference_sets"
+KIND_ENGINE_RESULTS = "engine_results"
+KIND_ORDER = (
+    KIND_FREE_CLOSED,
+    KIND_ATTRIBUTE_PARTITIONS,
+    KIND_PATTERN_PARTITIONS,
+    KIND_DIFFERENCE_SETS,
+    KIND_ENGINE_RESULTS,
+)
+
+#: Numpy dtypes an entry may carry; anything else is rejected on load.
+ALLOWED_DTYPES = frozenset(
+    {"int8", "int16", "int32", "int64", "uint8", "uint16", "uint32", "uint64",
+     "float32", "float64", "bool"}
+)
+
+#: Scalar types that survive a JSON round trip unchanged; engine results and
+#: options containing anything else are simply not persisted.
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def is_json_scalar(value: object) -> bool:
+    return isinstance(value, _JSON_SCALARS)
+
+
+def _canonical_params(params: Dict[str, object]) -> str:
+    """Deterministic JSON rendering of an entry's params (the key suffix)."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class StoreEntry:
+    """One decoded store entry: identity, JSON meta and named numpy buffers."""
+
+    fingerprint: str
+    kind: str
+    params: Dict[str, object]
+    meta: Dict[str, object]
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def array(self, name: str, dtype: str) -> np.ndarray:
+        """The named buffer, guarded to the expected dtype."""
+        try:
+            array = self.arrays[name]
+        except KeyError:
+            raise CacheStoreError(f"entry misses array {name!r}") from None
+        if array.dtype != np.dtype(dtype):
+            raise CacheStoreError(
+                f"array {name!r} has dtype {array.dtype}, expected {dtype}"
+            )
+        return array
+
+
+class CacheStore:
+    """A versioned on-disk store of per-relation discovery structures.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created if missing).  Entries live in
+        one sub-directory per relation fingerprint.
+
+    The store itself is format-only: it reads and writes
+    :class:`StoreEntry` records and never interprets the payloads — the
+    pack/unpack helpers of this module and
+    :meth:`~repro.api.Profiler.dump_caches` /
+    :meth:`~repro.api.Profiler.warm_from` do.
+    """
+
+    #: Bump whenever the binary layout or any kind's payload schema changes;
+    #: readers skip entries written under any other version.
+    FORMAT_VERSION = 1
+    MAGIC = b"RPROCS01"
+    _SUFFIX = ".rpc"
+
+    def __init__(self, root: os.PathLike):
+        self._root = Path(root)
+        try:
+            self._root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CacheStoreError(
+                f"cannot create cache store at {self._root}: {exc}"
+            ) from exc
+        self.writes = 0
+        self.loads = 0
+        self.load_failures = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    def _entry_path(self, fingerprint: str, kind: str, params: Dict) -> Path:
+        import hashlib
+
+        digest = hashlib.blake2b(
+            _canonical_params(params).encode("utf-8"), digest_size=6
+        ).hexdigest()
+        return self._root / fingerprint / f"{kind}-{digest}{self._SUFFIX}"
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def put(
+        self,
+        fingerprint: str,
+        kind: str,
+        params: Dict[str, object],
+        *,
+        meta: Optional[Dict[str, object]] = None,
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Path:
+        """Write one entry atomically (temp file + rename); returns its path."""
+        arrays = arrays or {}
+        manifest = []
+        for name, array in arrays.items():
+            dtype = str(array.dtype)
+            if dtype not in ALLOWED_DTYPES:
+                raise CacheStoreError(f"dtype {dtype} is not storable")
+            manifest.append({"name": name, "dtype": dtype, "shape": list(array.shape)})
+        header = {
+            "format_version": self.FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "kind": kind,
+            "params": params,
+            "meta": meta or {},
+            "arrays": manifest,
+        }
+        try:
+            blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
+            )
+        except (TypeError, ValueError) as exc:
+            raise CacheStoreError(f"entry header is not JSON-native: {exc}") from exc
+        path = self._entry_path(fingerprint, kind, params)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=self._SUFFIX
+            )
+        except OSError as exc:
+            raise CacheStoreError(f"cannot write store entry {path}: {exc}") from exc
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(self.MAGIC)
+                stream.write(struct.pack("<Q", len(blob)))
+                stream.write(blob)
+                for name, array in arrays.items():
+                    stream.write(np.ascontiguousarray(array).tobytes())
+            os.replace(temp_name, path)
+        except OSError as exc:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise CacheStoreError(f"cannot write store entry {path}: {exc}") from exc
+        self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def _load_path(self, path: Path) -> StoreEntry:
+        """Decode one entry file; every malformation raises CacheStoreError."""
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            raise CacheStoreError(f"cannot read store entry {path}: {exc}") from exc
+        if len(blob) < len(self.MAGIC) + 8 or not blob.startswith(self.MAGIC):
+            raise CacheStoreError(f"{path} is not a cache-store entry")
+        offset = len(self.MAGIC)
+        (header_len,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        if offset + header_len > len(blob):
+            raise CacheStoreError(f"{path} is truncated (header)")
+        try:
+            header = json.loads(blob[offset:offset + header_len].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CacheStoreError(f"{path} has a corrupt header: {exc}") from exc
+        offset += header_len
+        if header.get("format_version") != self.FORMAT_VERSION:
+            raise CacheStoreError(
+                f"{path} was written under store format "
+                f"{header.get('format_version')!r}, this reader expects "
+                f"{self.FORMAT_VERSION}"
+            )
+        arrays: Dict[str, np.ndarray] = {}
+        for spec in header.get("arrays", []):
+            dtype = spec.get("dtype")
+            if dtype not in ALLOWED_DTYPES:
+                raise CacheStoreError(f"{path} declares forbidden dtype {dtype!r}")
+            shape = tuple(int(n) for n in spec.get("shape", []))
+            count = int(np.prod(shape)) if shape else 1
+            nbytes = count * np.dtype(dtype).itemsize
+            if offset + nbytes > len(blob):
+                raise CacheStoreError(f"{path} is truncated (array {spec['name']!r})")
+            arrays[spec["name"]] = np.frombuffer(
+                blob, dtype=np.dtype(dtype), count=count, offset=offset
+            ).reshape(shape)
+            offset += nbytes
+        return StoreEntry(
+            fingerprint=header.get("fingerprint", ""),
+            kind=header.get("kind", ""),
+            params=header.get("params", {}),
+            meta=header.get("meta", {}),
+            arrays=arrays,
+        )
+
+    def get(
+        self, fingerprint: str, kind: str, params: Dict[str, object]
+    ) -> Optional[StoreEntry]:
+        """The entry for this key, or ``None`` (missing, corrupt, mismatched)."""
+        path = self._entry_path(fingerprint, kind, params)
+        if not path.exists():
+            return None
+        try:
+            entry = self._load_path(path)
+            self._verify(entry, fingerprint, kind=kind, params=params)
+        except CacheStoreError:
+            self.load_failures += 1
+            return None
+        self.loads += 1
+        return entry
+
+    def _verify(
+        self,
+        entry: StoreEntry,
+        fingerprint: str,
+        *,
+        kind: Optional[str] = None,
+        params: Optional[Dict] = None,
+    ) -> None:
+        if entry.fingerprint != fingerprint:
+            raise CacheStoreError(
+                f"entry fingerprint {entry.fingerprint!r} does not match the "
+                f"requested relation {fingerprint!r}"
+            )
+        if kind is not None and entry.kind != kind:
+            raise CacheStoreError(f"entry kind {entry.kind!r} != {kind!r}")
+        if params is not None and _canonical_params(entry.params) != _canonical_params(
+            params
+        ):
+            raise CacheStoreError("entry params do not match the requested params")
+
+    def load_all(self, fingerprint: str) -> List[StoreEntry]:
+        """Every readable entry of one relation, in warm-load kind order.
+
+        Corrupt/mismatched entries are counted in :attr:`load_failures` and
+        silently skipped — a damaged store degrades to a cold start, never to
+        a crash.
+        """
+        directory = self._root / fingerprint
+        if not directory.is_dir():
+            return []
+        entries: List[StoreEntry] = []
+        for path in sorted(directory.glob(f"*{self._SUFFIX}")):
+            if path.name.startswith("."):
+                continue  # in-progress temp files
+            try:
+                entry = self._load_path(path)
+                self._verify(entry, fingerprint)
+            except CacheStoreError:
+                self.load_failures += 1
+                continue
+            self.loads += 1
+            entries.append(entry)
+        rank = {kind: index for index, kind in enumerate(KIND_ORDER)}
+        entries.sort(key=lambda e: rank.get(e.kind, len(rank)))
+        return entries
+
+    # ------------------------------------------------------------------ #
+    # maintenance / introspection
+    # ------------------------------------------------------------------ #
+    def _entry_files(self) -> List[Path]:
+        return [
+            path
+            for path in self._root.glob(f"*/*{self._SUFFIX}")
+            if not path.name.startswith(".")
+        ]
+
+    def size_bytes(self) -> int:
+        """Total bytes of every entry file currently in the store."""
+        total = 0
+        for path in self._entry_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def __len__(self) -> int:
+        return len(self._entry_files())
+
+    def clear(self, fingerprint: Optional[str] = None) -> int:
+        """Delete all entries (of one relation, if given); returns the count."""
+        removed = 0
+        for path in self._entry_files():
+            if fingerprint is not None and path.parent.name != fingerprint:
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def info(self) -> Dict[str, object]:
+        """Counters plus the on-disk footprint."""
+        return {
+            "root": str(self._root),
+            "entries": len(self),
+            "bytes": self.size_bytes(),
+            "writes": self.writes,
+            "loads": self.loads,
+            "load_failures": self.load_failures,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# pack/unpack: free/closed mining results
+# ---------------------------------------------------------------------- #
+def pack_free_closed(result) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """``(meta, arrays)`` of a :class:`~repro.itemsets.mining.FreeClosedResult`.
+
+    Tid-lists are concatenated into one int64 buffer with an offsets array;
+    the item sets and closures ride in the JSON meta as ``[attr, code]``
+    pairs.
+    """
+    sets = []
+    tid_chunks: List[np.ndarray] = []
+    offsets = [0]
+    for free in result.free_sets.values():
+        sets.append(
+            {
+                "items": sorted([int(a), int(c)] for a, c in free.items),
+                "closure": sorted([int(a), int(c)] for a, c in free.closure),
+            }
+        )
+        tid_chunks.append(np.asarray(free.tids, dtype=np.int64))
+        offsets.append(offsets[-1] + int(free.tids.size))
+    tids = (
+        np.concatenate(tid_chunks) if tid_chunks else np.empty(0, dtype=np.int64)
+    )
+    meta = {
+        "min_support": int(result.min_support),
+        "n_rows": int(result.n_rows),
+        "sets": sets,
+    }
+    arrays = {"tids": tids, "offsets": np.asarray(offsets, dtype=np.int64)}
+    return meta, arrays
+
+
+def unpack_free_closed(entry: StoreEntry):
+    """Rebuild a :class:`~repro.itemsets.mining.FreeClosedResult` from an entry."""
+    from repro.itemsets.mining import FreeClosedResult, FreeItemSet
+
+    tids = entry.array("tids", "int64")
+    offsets = entry.array("offsets", "int64")
+    sets = entry.meta["sets"]
+    if offsets.size != len(sets) + 1:
+        raise CacheStoreError("free/closed offsets do not match the item sets")
+    free_sets = {}
+    for index, spec in enumerate(sets):
+        items = frozenset((int(a), int(c)) for a, c in spec["items"])
+        closure = frozenset((int(a), int(c)) for a, c in spec["closure"])
+        lo, hi = int(offsets[index]), int(offsets[index + 1])
+        if not 0 <= lo <= hi <= tids.size:
+            raise CacheStoreError("free/closed tid offsets out of range")
+        free_sets[items] = FreeItemSet(
+            items=items, tids=tids[lo:hi], closure=closure
+        )
+    return FreeClosedResult(
+        free_sets,
+        min_support=int(entry.meta["min_support"]),
+        n_rows=int(entry.meta["n_rows"]),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# pack/unpack: partition bundles
+# ---------------------------------------------------------------------- #
+def pack_partition_bundle(
+    items: Sequence[Tuple[object, "object"]]
+) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """``(meta, arrays)`` of ``[(json_key, Partition), ...]``.
+
+    The compressed covered form of every partition (sorted int64 row indices
+    plus int32 class labels) is concatenated into two buffers; the keys and
+    per-partition counts ride in the meta.
+    """
+    keys = []
+    shapes = []
+    row_chunks: List[np.ndarray] = []
+    label_chunks: List[np.ndarray] = []
+    offsets = [0]
+    for key, partition in items:
+        keys.append(key)
+        shapes.append(
+            [int(partition.n_rows), int(partition.n_classes), int(partition.size)]
+        )
+        rows = np.asarray(partition.covered_index, dtype=np.int64)
+        row_chunks.append(rows)
+        label_chunks.append(np.asarray(partition.covered_labels, dtype=np.int32))
+        offsets.append(offsets[-1] + int(rows.size))
+    meta = {"keys": keys, "shapes": shapes}
+    arrays = {
+        "rows": np.concatenate(row_chunks)
+        if row_chunks
+        else np.empty(0, dtype=np.int64),
+        "labels": np.concatenate(label_chunks)
+        if label_chunks
+        else np.empty(0, dtype=np.int32),
+        "offsets": np.asarray(offsets, dtype=np.int64),
+    }
+    return meta, arrays
+
+
+def unpack_partition_bundle(entry: StoreEntry) -> List[Tuple[object, "object"]]:
+    """Rebuild ``[(json_key, Partition), ...]`` from a bundle entry."""
+    from repro.relational.partition import Partition
+
+    rows = entry.array("rows", "int64")
+    labels = entry.array("labels", "int32")
+    offsets = entry.array("offsets", "int64")
+    keys = entry.meta["keys"]
+    shapes = entry.meta["shapes"]
+    if rows.size != labels.size:
+        raise CacheStoreError("partition bundle rows/labels length mismatch")
+    if offsets.size != len(keys) + 1 or len(shapes) != len(keys):
+        raise CacheStoreError("partition bundle manifest mismatch")
+    out = []
+    for index, key in enumerate(keys):
+        lo, hi = int(offsets[index]), int(offsets[index + 1])
+        if not 0 <= lo <= hi <= rows.size:
+            raise CacheStoreError("partition bundle offsets out of range")
+        n_rows, n_classes, size = (int(v) for v in shapes[index])
+        out.append(
+            (
+                key,
+                Partition.from_covered(
+                    rows[lo:hi], labels[lo:hi], n_rows, n_classes, size=size
+                ),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# pack/unpack: difference-set provider query caches
+# ---------------------------------------------------------------------- #
+def pack_query_cache(
+    exported: Iterable[Tuple[int, frozenset, Set[frozenset]]]
+) -> Dict:
+    """Meta payload of a difference-set provider's ``export_cache()``."""
+    entries = []
+    for rhs, items, family in exported:
+        entries.append(
+            [
+                int(rhs),
+                sorted([int(a), int(c)] for a, c in items),
+                sorted(sorted(int(a) for a in member) for member in family),
+            ]
+        )
+    entries.sort()
+    return {"entries": entries}
+
+
+def unpack_query_cache(meta: Dict) -> List[Tuple[int, frozenset, Set[frozenset]]]:
+    """The ``import_cache()`` payload of a persisted provider query cache."""
+    out = []
+    for rhs, items, family in meta["entries"]:
+        out.append(
+            (
+                int(rhs),
+                frozenset((int(a), int(c)) for a, c in items),
+                {frozenset(int(a) for a in member) for member in family},
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# pack/unpack: engine results (canonical covers + stats)
+# ---------------------------------------------------------------------- #
+def _pack_pattern_value(value: object) -> Optional[List]:
+    """``[0, constant]`` / ``[1, None]`` (wildcard); ``None`` if not storable."""
+    from repro.core.pattern import is_wildcard
+
+    if is_wildcard(value):
+        return [1, None]
+    if not is_json_scalar(value):
+        return None
+    return [0, value]
+
+
+def _unpack_pattern_value(spec: Sequence) -> object:
+    from repro.core.pattern import WILDCARD
+
+    flag, value = spec
+    return WILDCARD if flag else value
+
+
+def pack_engine_result(cfds, stats) -> Optional[Dict]:
+    """Meta payload of one cached engine run, or ``None`` if any pattern
+    value would not survive a JSON round trip byte-identically."""
+    rules = []
+    for cfd in cfds:
+        lhs_pattern = []
+        for value in cfd.lhs_pattern:
+            packed = _pack_pattern_value(value)
+            if packed is None:
+                return None
+            lhs_pattern.append(packed)
+        rhs_pattern = _pack_pattern_value(cfd.rhs_pattern)
+        if rhs_pattern is None:
+            return None
+        rules.append(
+            {
+                "lhs": list(cfd.lhs),
+                "lhs_pattern": lhs_pattern,
+                "rhs": cfd.rhs,
+                "rhs_pattern": rhs_pattern,
+            }
+        )
+    counters = {
+        name: getattr(stats, name)
+        for name in stats._COUNTERS
+        if getattr(stats, name) is not None
+    }
+    extras = {
+        key: value for key, value in stats.extras.items() if is_json_scalar(value)
+    }
+    return {
+        "rules": rules,
+        "stats": {
+            "algorithm": stats.algorithm,
+            "counters": counters,
+            "extras": extras,
+        },
+    }
+
+
+def unpack_engine_result(meta: Dict):
+    """Rebuild ``(cfds, stats)`` from a persisted engine-result entry."""
+    from repro.api.result import AlgorithmStats
+    from repro.core.cfd import CFD
+
+    cfds = []
+    for rule in meta["rules"]:
+        cfds.append(
+            CFD(
+                tuple(rule["lhs"]),
+                tuple(_unpack_pattern_value(v) for v in rule["lhs_pattern"]),
+                rule["rhs"],
+                _unpack_pattern_value(rule["rhs_pattern"]),
+            )
+        )
+    spec = meta["stats"]
+    stats = AlgorithmStats(
+        algorithm=spec.get("algorithm", ""),
+        extras=dict(spec.get("extras", {})),
+        **{key: int(value) for key, value in spec.get("counters", {}).items()},
+    )
+    return tuple(cfds), stats
+
+
+__all__ = [
+    "ALLOWED_DTYPES",
+    "CacheStore",
+    "StoreEntry",
+    "is_json_scalar",
+    "KIND_ATTRIBUTE_PARTITIONS",
+    "KIND_DIFFERENCE_SETS",
+    "KIND_ENGINE_RESULTS",
+    "KIND_FREE_CLOSED",
+    "KIND_PATTERN_PARTITIONS",
+    "KIND_ORDER",
+    "pack_engine_result",
+    "pack_free_closed",
+    "pack_partition_bundle",
+    "pack_query_cache",
+    "unpack_engine_result",
+    "unpack_free_closed",
+    "unpack_partition_bundle",
+    "unpack_query_cache",
+]

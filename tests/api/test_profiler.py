@@ -129,11 +129,12 @@ class TestExecution:
         assert sorted(map(str, first.cfds)) == sorted(map(str, second.cfds))
         info = profiler.cache_info()
         assert info["prefix_sessions"] == {"hits": 1, "misses": 1, "size": 1}
-        # The re-run hit the warmed prefix caches instead of rebuilding.
+        # The re-run was served from the prefix session's memoised engine
+        # result instead of rebuilding anything.
         prefix = profiler.prefix_session(4)
         prefix_info = prefix.cache_info()
         assert prefix_info["closed_difference_sets"]["misses"] == 1
-        assert prefix_info["closed_difference_sets"]["hits"] >= 1
+        assert prefix_info["engine_results"] == {"hits": 1, "misses": 1, "size": 1}
 
     def test_distinct_limits_get_distinct_prefix_sessions(self, relation):
         profiler = Profiler(relation)
@@ -191,6 +192,45 @@ class TestExecution:
     def test_unknown_algorithm_rejected(self, relation):
         with pytest.raises(DiscoveryError, match="unknown algorithm"):
             Profiler(relation).run(DiscoveryRequest(algorithm="nope"))
+
+
+class TestEngineErrorTranslation:
+    @pytest.fixture
+    def wide_relation(self) -> Relation:
+        """63 attributes: beyond the pairwise bitmask provider's 62 limit."""
+        arity = 63
+        names = [f"A{i}" for i in range(arity)]
+        rows = [
+            tuple(f"x{i}" for i in range(arity)),
+            tuple(f"y{i}" for i in range(arity)),
+        ]
+        return Relation.from_rows(names, rows)
+
+    def test_bitmask_limit_surfaces_as_discovery_error(self, wide_relation):
+        """Regression: the >62-attribute ValueError of
+        _pairwise_difference_bitmasks used to escape execute() untranslated."""
+        request = DiscoveryRequest(min_support=2, algorithm="naivefast")
+        with pytest.raises(DiscoveryError, match="62 attributes"):
+            execute(wide_relation, request)
+
+    def test_translation_applies_with_a_session_too(self, wide_relation):
+        request = DiscoveryRequest(min_support=2, algorithm="naivefast")
+        profiler = Profiler(wide_relation)
+        with pytest.raises(DiscoveryError, match="62 attributes"):
+            profiler.run(request)
+        # The failed build was evicted: a retry re-raises (it does not hang
+        # on a poisoned future) and still reports cleanly.
+        with pytest.raises(DiscoveryError, match="62 attributes"):
+            profiler.run(request)
+
+    def test_wide_relations_still_served_by_the_closed_provider(
+        self, wide_relation
+    ):
+        """FastCFD proper has no bitmask limit; only NaiveFast does."""
+        result = execute(
+            wide_relation, DiscoveryRequest(min_support=2, algorithm="fastcfd")
+        )
+        assert result.algorithm == "fastcfd"
 
 
 class TestProgress:

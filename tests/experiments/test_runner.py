@@ -46,6 +46,22 @@ class TestRunAlgorithms:
         # Both sweep points shared the k-independent provider build.
         assert session.cache_info()["closed_difference_sets"]["misses"] == 1
 
+    def test_store_round_trips_across_runner_invocations(self, relation, tmp_path):
+        from repro.serve import CacheStore
+
+        store = CacheStore(tmp_path / "cache")
+        first = run_algorithms(
+            "figX", relation, 2, {}, algorithms=("fastcfd",), store=store
+        )
+        assert len(store) > 0
+        # A second invocation (a fresh "process") warm-starts from the store
+        # and reports the identical cover.
+        second = run_algorithms(
+            "figX", relation, 2, {}, algorithms=("fastcfd",),
+            store=CacheStore(tmp_path / "cache"),
+        )
+        assert second[0].n_cfds == first[0].n_cfds
+
     def test_labels_override_names(self, relation):
         (record,) = run_algorithms(
             "figX", relation, 2, {}, algorithms=("cfdminer",),

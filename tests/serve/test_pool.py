@@ -1,11 +1,11 @@
-"""Tests for SessionPool: LRU eviction order, memory caps, accounting."""
+"""Tests for SessionPool: cost-aware eviction, memory caps, persistent spill."""
 
 import pytest
 
 from repro.api import DiscoveryRequest, Profiler
 from repro.exceptions import DiscoveryError
 from repro.relational.relation import Relation
-from repro.serve import SessionPool, relation_fingerprint
+from repro.serve import CacheStore, SessionPool, relation_fingerprint
 
 
 def _relation(tag: str) -> Relation:
@@ -135,6 +135,132 @@ class TestMemoryAccounting:
         assert entry["rows"] == relations[0].n_rows
         assert entry["estimated_bytes"] > 0
         assert info["estimated_bytes"] == entry["estimated_bytes"]
+
+
+class TestCostAwareEviction:
+    def test_cheapest_to_rebuild_evicted_first(self, relations):
+        """An expensive (warmed) session outlives colder, more recent ones."""
+        r_costly, r_cold, r_new = relations[:3]
+        pool = SessionPool(max_sessions=2)
+        costly = pool.session(r_costly)
+        costly.run(DiscoveryRequest(min_support=1, algorithm="fastcfd"))
+        assert costly.build_seconds_total() > 0
+        pool.session(r_cold)  # never run: zero observed build cost
+        # Capacity forces one eviction; pure LRU would drop r_costly (the
+        # least recently used), cost-aware eviction drops the cold session.
+        pool.session(r_new)
+        assert relation_fingerprint(r_costly) in pool
+        assert relation_fingerprint(r_cold) not in pool
+        assert relation_fingerprint(r_new) in pool
+
+    def test_equal_cost_falls_back_to_lru(self, relations):
+        r1, r2, r3 = relations[:3]
+        pool = SessionPool(max_sessions=2)
+        pool.session(r1)
+        pool.session(r2)
+        pool.session(r1)  # refresh r1: r2 is now both cheapest-tied and LRU
+        pool.session(r3)
+        assert relation_fingerprint(r2) not in pool
+        assert relation_fingerprint(r1) in pool
+
+    def test_most_recent_session_never_evicted(self, relations):
+        r_old, r_new = relations[:2]
+        pool = SessionPool(max_sessions=1)
+        expensive = pool.session(r_old)
+        expensive.run(DiscoveryRequest(min_support=1, algorithm="fastcfd"))
+        pool.session(r_new)  # r_new is MRU: r_old evicted despite its cost
+        assert relation_fingerprint(r_new) in pool
+        assert relation_fingerprint(r_old) not in pool
+
+
+class TestAutomaticByteAccounting:
+    def test_eviction_triggers_without_manual_poll(self, relations):
+        """Regression: byte estimates used to refresh only when
+        enforce_limits()/estimated_bytes() was explicitly called, so a run
+        that grew a session's caches past the budget went unnoticed until
+        the next manual poll."""
+        r_grow, r_keep = relations[:2]
+        pool = SessionPool(max_sessions=None, max_bytes=2048)
+        grower = pool.session(r_grow)
+        pool.session(r_keep)  # second entry so eviction is permitted
+        assert len(pool) == 2
+        # No service, no manual enforce_limits(): the run itself must
+        # refresh the accounting and evict the over-budget session.
+        grower.run(DiscoveryRequest(min_support=1, algorithm="fastcfd"))
+        assert len(pool) == 1
+        assert relation_fingerprint(r_grow) not in pool
+        assert pool.info()["evictions"] == 1
+
+    def test_run_on_evicted_session_is_harmless(self, relations):
+        pool = SessionPool(max_sessions=1)
+        evicted = pool.session(relations[0])
+        pool.session(relations[1])
+        assert relation_fingerprint(relations[0]) not in pool
+        # The evicted session still notifies the pool; nothing to refresh.
+        result = evicted.run(DiscoveryRequest(min_support=1, algorithm="cfdminer"))
+        assert result.n_cfds >= 0
+        assert len(pool) == 1
+
+
+class TestPersistentSpill:
+    def test_evicted_session_spills_and_readmission_warm_starts(
+        self, relations, tmp_path
+    ):
+        store = CacheStore(tmp_path / "cache")
+        pool = SessionPool(max_sessions=1, store=store)
+        request = DiscoveryRequest(min_support=1, algorithm="fastcfd")
+        first = pool.session(relations[0])
+        expected = first.run(request)
+        pool.session(relations[1])  # evicts relations[0] -> spills to store
+        assert pool.info()["spilled_entries"] > 0
+        assert len(store) > 0
+
+        readmitted = pool.session(relations[0])
+        assert readmitted is not first  # a fresh session...
+        result = readmitted.run(request)
+        assert sorted(map(str, result.cfds)) == sorted(map(str, expected.cfds))
+        # ...but warm: the run was served from the reloaded engine result.
+        assert readmitted.cache_info()["engine_results"]["hits"] == 1
+        assert pool.info()["warm_loaded_entries"] > 0
+
+    def test_store_survives_pool_restart(self, relations, tmp_path):
+        store = CacheStore(tmp_path / "cache")
+        request = DiscoveryRequest(min_support=1, algorithm="ctane")
+        first_pool = SessionPool(store=store)
+        expected = first_pool.session(relations[0]).run(request)
+        first_pool.clear()  # shutdown: every session spills
+
+        second_pool = SessionPool(store=CacheStore(tmp_path / "cache"))
+        session = second_pool.session(relations[0])
+        result = session.run(request)
+        assert sorted(map(str, result.cfds)) == sorted(map(str, expected.cfds))
+        assert session.cache_info()["engine_results"]["hits"] == 1
+
+    def test_persist_dumps_without_evicting(self, relations, tmp_path):
+        store = CacheStore(tmp_path / "cache")
+        pool = SessionPool(store=store)
+        pool.session(relations[0]).run(
+            DiscoveryRequest(min_support=1, algorithm="cfdminer")
+        )
+        written = pool.persist()
+        assert written > 0
+        assert len(pool) == 1
+        with pytest.raises(DiscoveryError, match="store"):
+            SessionPool().persist()
+
+    def test_unwritable_store_never_fails_an_eviction(self, relations, tmp_path):
+        store = CacheStore(tmp_path / "cache")
+        pool = SessionPool(max_sessions=1, store=store)
+        pool.session(relations[0]).run(
+            DiscoveryRequest(min_support=1, algorithm="cfdminer")
+        )
+        # Block the spill target: a plain file where the session's
+        # fingerprint directory would have to be created.
+        (store.root / relation_fingerprint(relations[0])).write_text("blocked")
+        pool.session(relations[1])  # eviction spill fails, admission succeeds
+        assert len(pool) == 1
+        assert relation_fingerprint(relations[1]) in pool
+        assert pool.info()["spill_failures"] > 0
 
 
 class TestValidation:

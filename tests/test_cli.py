@@ -237,23 +237,125 @@ class TestBatch:
         with pytest.raises(SystemExit):
             main([str(csv_path), "--batch", str(bad)])
 
-    def test_batch_unknown_field_rejected(self, csv_path, tmp_path, capsys):
+    def test_batch_unknown_field_is_a_per_request_error(
+        self, csv_path, tmp_path, capsys
+    ):
         batch = self._write_requests(tmp_path, [{"supprt": 2}])
-        with pytest.raises(SystemExit):
-            main([str(csv_path), "--batch", str(batch)])
-        assert "unknown fields" in capsys.readouterr().err
+        exit_code = main([str(csv_path), "--batch", str(batch)])
+        document = json.loads(capsys.readouterr().out)
+        assert exit_code == 1  # every request failed
+        assert "unknown fields" in document["results"][0]["error"]
 
     def test_batch_empty_rejected(self, csv_path, tmp_path):
         batch = self._write_requests(tmp_path, [])
         with pytest.raises(SystemExit):
             main([str(csv_path), "--batch", str(batch)])
 
-    def test_batch_invalid_request_reported_cleanly(
+    def test_batch_invalid_request_is_a_per_request_error(
         self, csv_path, tmp_path, capsys
     ):
         batch = self._write_requests(
             tmp_path, [{"support": 2, "algorithm": "cfdminer", "variable_only": True}]
         )
-        with pytest.raises(SystemExit):
-            main([str(csv_path), "--batch", str(batch)])
-        assert "variable" in capsys.readouterr().err
+        exit_code = main([str(csv_path), "--batch", str(batch)])
+        document = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert "variable" in document["results"][0]["error"]
+
+    def test_batch_mixed_good_and_bad_entries(self, csv_path, tmp_path, capsys):
+        """Regression: one malformed entry used to abort the whole batch."""
+        other = tmp_path / "missing.csv"
+        batch = self._write_requests(
+            tmp_path,
+            [
+                {"support": 2, "algorithm": "fastcfd"},
+                {"support": 0},  # invalid threshold
+                {"support": 2, "csv": str(other)},  # missing file
+                "not-an-object",  # wrong shape
+                {"support": 3, "algorithm": "cfdminer"},
+            ],
+        )
+        exit_code = main([str(csv_path), "--batch", str(batch)])
+        captured = capsys.readouterr()
+        assert exit_code == 0  # not every request failed
+        document = json.loads(captured.out)
+        assert document["requests"] == 5
+        assert document["failed"] == 3
+        assert len(document["results"]) == 5
+        assert document["results"][0]["algorithm"] == "fastcfd"
+        assert "min_support" in document["results"][1]["error"]
+        assert "no such file" in document["results"][2]["error"]
+        assert "not a JSON object" in document["results"][3]["error"]
+        assert document["results"][4]["algorithm"] == "cfdminer"
+        assert "2 failed" not in captured.err  # stderr reports 3 failed
+        assert "3 failed" in captured.err
+        # The document (errors included) stays strictly JSON-native.
+        assert json.loads(json.dumps(document, allow_nan=False)) == document
+
+    def test_batch_all_failing_exits_nonzero(self, csv_path, tmp_path, capsys):
+        batch = self._write_requests(tmp_path, [{"support": 0}, {"support": -1}])
+        exit_code = main([str(csv_path), "--batch", str(batch)])
+        document = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert document["failed"] == 2
+        assert all("error" in record for record in document["results"])
+
+
+class TestCacheDir:
+    def test_second_run_warm_starts_from_the_store(self, csv_path, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = [str(csv_path), "--support", "2", "-a", "ctane",
+                "--cache-dir", str(cache)]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "loaded 0 entries" in first.err
+        assert main(args) == 0
+        second = capsys.readouterr()
+        # The second invocation (a fresh "process") loads what the first
+        # one stored, and the reported rules are identical.
+        assert "# cache-store" in second.err
+        assert "loaded 0 entries" not in second.err
+        assert second.out == first.out
+
+    def test_json_documents_cache_store_counters(self, csv_path, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = [str(csv_path), "--support", "2", "-a", "fastcfd", "--json",
+                "--cache-dir", str(cache)]
+        main(args)
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cache_store"]["entries_loaded"] == 0
+        assert cold["cache_store"]["entries_stored"] > 0
+        main(args)
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cache_store"]["entries_loaded"] > 0
+        assert warm["rules"] == cold["rules"]
+
+    def test_unusable_cache_dir_degrades_to_a_warning(
+        self, csv_path, tmp_path, capsys
+    ):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the store directory should be")
+        exit_code = main(
+            [str(csv_path), "--support", "2", "-a", "fastcfd",
+             "--cache-dir", str(blocked)]
+        )
+        captured = capsys.readouterr()
+        # The rules are still delivered; the store failure is only a warning.
+        assert exit_code == 0
+        assert "->" in captured.out
+        assert "cache-store warning" in captured.err
+
+    def test_batch_uses_the_store(self, csv_path, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        batch = tmp_path / "requests.json"
+        batch.write_text(
+            json.dumps([{"support": 2, "algorithm": "fastcfd"}]), encoding="utf-8"
+        )
+        args = [str(csv_path), "--batch", str(batch), "--cache-dir", str(cache)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        document = json.loads(capsys.readouterr().out)
+        # The second batch's pool warm-started its session from the store.
+        assert document["service"]["pool"]["warm_loaded_entries"] > 0
+        assert document["service"]["pool"]["persistent"] is True
