@@ -1,6 +1,6 @@
 """The tracked perf-benchmark suite → ``BENCH_perf.json`` at the repo root.
 
-Five sections, re-measured on every run so the numbers never rot:
+Six sections, re-measured on every run so the numbers never rot:
 
 1. **Partition microbenchmarks** — construction of the single-attribute
    partitions and a full product chain across the schema, timed for the
@@ -24,6 +24,10 @@ Five sections, re-measured on every run so the numbers never rot:
    session (fresh ``Profiler`` + store load + run, i.e. exactly what a
    restarted worker pays), plus the store's entry count and on-disk size;
    the cover must round-trip byte-identically.
+6. **HTTP serving** — the ``repro-serve`` stack on a real ephemeral-port
+   socket: steady-state requests/sec through upload → discover, and the
+   first-request latency of a cold server versus one restarted over a
+   ``--cache-dir`` store seeded by a previous server's graceful drain.
 
 Run ``python benchmarks/bench_perf_suite.py`` for the tracked numbers or
 ``--smoke`` for the tiny CI configuration (same shape, toy sizes).
@@ -241,6 +245,133 @@ def bench_persistence(db_size: int, support: int, repeats: int) -> dict:
 
 
 # ---------------------------------------------------------------------- #
+# section 6: HTTP serving — requests/sec over a real socket, warm vs cold
+# ---------------------------------------------------------------------- #
+def bench_http_serving(
+    db_size: int, support: int, n_requests: int, workers: int = 4
+) -> dict:
+    """Throughput and first-request latency of the ``repro-serve`` stack.
+
+    Three servers on real ephemeral-port sockets, talked to via
+    ``http.client`` (upload CSV → discover):
+
+    * **cold** — no store: the first ``POST /v1/discover`` pays the full
+      engine build, then ``n_requests`` identical requests measure the
+      steady-state requests/sec of the HTTP + session-pool path;
+    * **seed** — a store-backed server serves one discovery and drains,
+      spilling its warmed session into the cache store (the production
+      shutdown path);
+    * **warm** — a *restarted* store-backed server: its first request
+      warm-starts from the store, which must beat the cold first request.
+    """
+    import http.client
+    import json as json_mod
+    import tempfile
+    from pathlib import Path as PathLib
+
+    from repro.relational.io import write_csv
+    from repro.serve import CacheStore, DiscoveryService, SessionPool
+    from repro.serve.http import ServerConfig, ServerThread
+
+    relation = tax_relation(db_size, seed=3)
+    discover_body = json_mod.dumps(
+        {"relation": "tax", "support": support, "algorithm": "ctane"}
+    ).encode()
+
+    def exchange(connection, method, path, body=None, content_type=None):
+        headers = {"Content-Type": content_type} if content_type else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        payload = response.read()
+        assert response.status in (200, 201), (response.status, payload[:200])
+        return payload
+
+    def boot(store_dir=None):
+        store = CacheStore(store_dir) if store_dir is not None else None
+        service = DiscoveryService(
+            pool=SessionPool(store=store), max_workers=workers
+        )
+        return ServerThread(service, ServerConfig(port=0, request_timeout=300))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = PathLib(tmp) / "tax.csv"
+        write_csv(relation, csv_path)
+        csv_bytes = csv_path.read_bytes()
+        store_dir = PathLib(tmp) / "store"
+
+        with boot() as server:
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=300
+            )
+            exchange(
+                connection, "POST", "/v1/relations?name=tax",
+                body=csv_bytes, content_type="text/csv",
+            )
+            started = time.perf_counter()
+            exchange(
+                connection, "POST", "/v1/discover",
+                body=discover_body, content_type="application/json",
+            )
+            cold_first_s = time.perf_counter() - started
+            started = time.perf_counter()
+            for _ in range(n_requests):
+                exchange(
+                    connection, "POST", "/v1/discover",
+                    body=discover_body, content_type="application/json",
+                )
+            steady_s = time.perf_counter() - started
+            connection.close()
+
+        # Seed the store through the production path: serve once, drain
+        # (the graceful shutdown spills the warmed session to the store).
+        with boot(store_dir) as server:
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=300
+            )
+            exchange(
+                connection, "POST", "/v1/relations?name=tax",
+                body=csv_bytes, content_type="text/csv",
+            )
+            exchange(
+                connection, "POST", "/v1/discover",
+                body=discover_body, content_type="application/json",
+            )
+            connection.close()
+        store_bytes = CacheStore(store_dir).size_bytes()
+
+        # The restarted worker: first request warm-starts from the store.
+        with boot(store_dir) as server:
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=300
+            )
+            exchange(
+                connection, "POST", "/v1/relations?name=tax",
+                body=csv_bytes, content_type="text/csv",
+            )
+            started = time.perf_counter()
+            exchange(
+                connection, "POST", "/v1/discover",
+                body=discover_body, content_type="application/json",
+            )
+            warm_first_s = time.perf_counter() - started
+            connection.close()
+
+    return {
+        "db_size": db_size,
+        "support": support,
+        "algorithm": "ctane",
+        "workers": workers,
+        "n_requests": n_requests,
+        "requests_per_second": round(n_requests / steady_s, 2),
+        "steady_state_s": steady_s,
+        "first_request_cold_s": cold_first_s,
+        "first_request_warm_s": warm_first_s,
+        "warm_speedup": cold_first_s / warm_first_s,
+        "store_bytes": store_bytes,
+    }
+
+
+# ---------------------------------------------------------------------- #
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -263,10 +394,12 @@ def main(argv=None) -> int:
         micro_rows, ablation_db, ablation_k = 400, 300, 5
         e2e_db, supports, repeats = 300, [5], 1
         serving_db, serving_supports = 300, [3, 5, 8]
+        http_requests = 20
     else:
         micro_rows, ablation_db, ablation_k = 5000, 2000, 20
         e2e_db, supports, repeats = 2000, [10, 20, 50], 3
         serving_db, serving_supports = 2000, [10, 20, 50]
+        http_requests = 50
     if args.repeats is not None:
         repeats = args.repeats
 
@@ -280,6 +413,9 @@ def main(argv=None) -> int:
     persistence = bench_persistence(
         ablation_db, ablation_k, max(1, repeats - 1)
     )
+    http_serving = bench_http_serving(
+        ablation_db, ablation_k, n_requests=http_requests
+    )
 
     document = {
         "suite": "bench_perf_suite",
@@ -291,6 +427,7 @@ def main(argv=None) -> int:
         "end_to_end": end_to_end,
         "serving": serving,
         "persistence": persistence,
+        "http_serving": http_serving,
         # Pre-substrate numbers measured on the PR-1 tree (same machine
         # class, db_size=2000/k=20 and the 5000-row product chain), kept as
         # the fixed origin of the trajectory.
@@ -335,6 +472,12 @@ def main(argv=None) -> int:
           f"{persistence['store_entries']} entries / "
           f"{persistence['store_bytes']} bytes, byte-identical="
           f"{persistence['byte_identical_output']})")
+    print(f"\nhttp serving (db={http_serving['db_size']}, "
+          f"k={http_serving['support']}, ctane over a real socket): "
+          f"{http_serving['requests_per_second']} req/s steady-state, "
+          f"first request cold {http_serving['first_request_cold_s']:.3f}s vs "
+          f"warm-start {http_serving['first_request_warm_s']:.3f}s "
+          f"({http_serving['warm_speedup']:.1f}x)")
     return 0
 
 

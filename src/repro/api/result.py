@@ -11,9 +11,10 @@ stats so existing callers keep working.
 
 from __future__ import annotations
 
+import json
 import numbers
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional
 
 from repro.core.cfd import CFD
 from repro.core.pattern import is_wildcard
@@ -80,6 +81,20 @@ class AlgorithmStats:
                 out[name] = value
         out.update(self.extras)
         return out
+
+
+def rule_json_dict(cfd: CFD) -> Dict[str, object]:
+    """The JSON rendering of one rule (shared by documents and JSONL lines)."""
+    return {
+        "lhs": list(cfd.lhs),
+        "lhs_pattern": [None if is_wildcard(v) else v for v in cfd.lhs_pattern],
+        "rhs": cfd.rhs,
+        "rhs_pattern": (
+            None if is_wildcard(cfd.rhs_pattern) else cfd.rhs_pattern
+        ),
+        "constant": cfd.is_constant,
+        "text": str(cfd),
+    }
 
 
 @dataclass
@@ -160,32 +175,39 @@ class DiscoveryResult:
         ``default=`` fallback and ``json.loads`` of the dump round-trips to
         the identical dictionary, for every algorithm's stats.
         """
-        rules = []
-        for cfd in self.cfds:
-            rules.append(
-                {
-                    "lhs": list(cfd.lhs),
-                    "lhs_pattern": [
-                        None if is_wildcard(v) else v for v in cfd.lhs_pattern
-                    ],
-                    "rhs": cfd.rhs,
-                    "rhs_pattern": (
-                        None if is_wildcard(cfd.rhs_pattern) else cfd.rhs_pattern
-                    ),
-                    "constant": cfd.is_constant,
-                    "text": str(cfd),
-                }
-            )
-        document = {
+        document = self._header_dict()
+        document["rules"] = [rule_json_dict(cfd) for cfd in self.cfds]
+        return json_native(document)
+
+    def _header_dict(self) -> Dict[str, object]:
+        """The result document without its rules (shared by JSON and JSONL)."""
+        return {
             "algorithm": self.algorithm,
             "min_support": self.min_support,
             "elapsed_seconds": self.elapsed_seconds,
             "relation": {"rows": self.relation_size, "arity": self.relation_arity},
             "counts": self.counts(),
             "stats": self.stats.as_dict() if self.stats is not None else dict(self.extra),
-            "rules": rules,
         }
-        return json_native(document)
+
+    def iter_jsonl(self) -> Iterator[str]:
+        """Stream the result as JSON Lines (no trailing newlines).
+
+        The first line is the result header (``"kind": "result"`` — everything
+        :meth:`to_json_dict` carries except the rules, plus ``n_rules``); each
+        following line is one rule (``"kind": "rule"``).  A cover of a hundred
+        thousand rules therefore serializes in O(1) memory — this is what the
+        HTTP layer's ``application/x-ndjson`` responses write chunk by chunk,
+        instead of materialising one giant document.
+        """
+        header = self._header_dict()
+        header["kind"] = "result"
+        header["n_rules"] = len(self.cfds)
+        yield json.dumps(json_native(header), allow_nan=False)
+        for cfd in self.cfds:
+            rule = rule_json_dict(cfd)
+            rule["kind"] = "rule"
+            yield json.dumps(json_native(rule), allow_nan=False)
 
 
-__all__ = ["AlgorithmStats", "DiscoveryResult", "json_native"]
+__all__ = ["AlgorithmStats", "DiscoveryResult", "json_native", "rule_json_dict"]

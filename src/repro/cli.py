@@ -36,6 +36,16 @@ failed.
 the session warm-starts from structures a previous invocation (or another
 worker) dumped, and writes its own warmed caches back after the run, so a
 repeated discovery is served from disk instead of recomputed.
+
+``--cache-gc MAX_BYTES`` (with ``--cache-dir``) is a maintenance mode: it
+shrinks the store to at most ``MAX_BYTES`` using the pool's cost-aware
+eviction score — entries with the lowest recorded build cost go first,
+oldest files break ties — prints a summary on stderr and exits without
+discovering anything (no CSV argument needed).
+
+``--stats`` (with ``--batch``) prints the service's latency aggregates and
+pool/store counters on stderr after the batch — the terminal twin of the
+HTTP server's ``/metrics``.
 """
 
 from __future__ import annotations
@@ -61,7 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Discover minimal, k-frequent conditional functional "
         "dependencies (CFDs) in a CSV file.",
     )
-    parser.add_argument("csv", type=Path, help="path of the CSV file to profile")
+    parser.add_argument(
+        "csv", type=Path, nargs="?", default=None,
+        help="path of the CSV file to profile (not needed with --cache-gc)",
+    )
     parser.add_argument(
         "--support", "-k", type=int, default=1,
         help="support threshold k (default: 1)",
@@ -121,6 +134,17 @@ def build_parser() -> argparse.ArgumentParser:
         "invocations (and other workers) skip recomputation",
     )
     parser.add_argument(
+        "--cache-gc", type=int, default=None, metavar="MAX_BYTES",
+        help="maintenance mode: shrink the --cache-dir store to at most "
+        "MAX_BYTES (cost-aware: cheapest-to-rebuild entries evicted first, "
+        "oldest files break ties) and exit without discovering",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="with --batch: print the service's latency aggregates and "
+        "pool/store counters on stderr after the batch",
+    )
+    parser.add_argument(
         "--output", "-o", type=Path, default=None,
         help="write the rules to this file instead of stdout",
     )
@@ -176,6 +200,62 @@ def _store_io(operation) -> int:
     except (CacheStoreError, OSError) as exc:
         print(f"# cache-store warning: {exc}", file=sys.stderr)
         return 0
+
+
+def _run_cache_gc(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``--cache-gc`` maintenance mode: shrink the store and exit."""
+    from repro.exceptions import CacheStoreError
+    from repro.serve import CacheStore
+
+    if args.cache_dir is None:
+        parser.error("--cache-gc requires --cache-dir")
+    if args.cache_gc < 0:
+        parser.error("--cache-gc must be at least 0")
+    try:
+        store = CacheStore(args.cache_dir)
+        summary = store.gc(args.cache_gc)
+    except (CacheStoreError, OSError) as exc:
+        print(f"# cache-gc failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"# cache-gc {args.cache_dir}: removed {summary['removed_entries']} "
+        f"entries ({summary['removed_bytes']} bytes), "
+        f"{summary['remaining_entries']} entries / "
+        f"{summary['remaining_bytes']} bytes remain "
+        f"(budget {summary['max_bytes']})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _print_service_stats(stats: Dict) -> None:
+    """The ``--batch --stats`` stderr summary (one snapshot, human-sized)."""
+    latency = stats["latency"]
+    if latency["count"]:
+        line = (
+            f"# stats: {latency['count']} executed runs, latency "
+            f"mean {latency['mean_seconds'] * 1000:.1f}ms / "
+            f"min {latency['min_seconds'] * 1000:.1f}ms / "
+            f"max {latency['max_seconds'] * 1000:.1f}ms"
+        )
+    else:
+        line = "# stats: no executed runs"
+    print(line, file=sys.stderr)
+    pool = stats["pool"]
+    print(
+        f"# stats: pool {pool['sessions']} sessions / "
+        f"{pool['estimated_bytes']} bytes (hits {pool['hits']}, "
+        f"misses {pool['misses']}, evictions {pool['evictions']}), "
+        f"dedup {stats['deduplicated']}, failed {stats['failed']}",
+        file=sys.stderr,
+    )
+    store = stats.get("store")
+    if store is not None:
+        print(
+            f"# stats: store {store['entries']} entries / {store['bytes']} "
+            f"bytes (loads {store['loads']}, writes {store['writes']})",
+            file=sys.stderr,
+        )
 
 
 #: Batch-entry fields that override the corresponding command-line flags.
@@ -278,11 +358,11 @@ def _run_batch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             except Exception as exc:  # noqa: BLE001 - recorded per request
                 results_json[index] = {"error": str(exc)}
         elapsed = time.perf_counter() - started
-        if store is not None:
-            # Best-effort: a full/unwritable store must not discard the
-            # batch results that were just computed.
-            _store_io(pool.persist)
-        info = service.info()
+    # Exiting the context ran shutdown(wait=True): the pool spilled into the
+    # store (once — spilling here too would rewrite every bundle twice) and
+    # every done-callback has run, so the latency aggregates cover the batch.
+    info = service.info()
+    stats = service.stats() if args.stats else None
 
     failed = sum(1 for record in results_json if record and "error" in record)
     document = {
@@ -306,6 +386,8 @@ def _run_batch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         f"in {elapsed:.3f}s -> {throughput:.1f} req/s",
         file=sys.stderr,
     )
+    if stats is not None:
+        _print_service_stats(stats)
     return 1 if failed == len(entries) else 0
 
 
@@ -315,6 +397,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.constant_only and args.variable_only:
         parser.error("--constant-only and --variable-only are mutually exclusive")
+    if args.cache_gc is not None:
+        return _run_cache_gc(args, parser)
+    if args.csv is None:
+        parser.error("a CSV file is required (only --cache-gc runs without one)")
     if not args.csv.exists():
         parser.error(f"no such file: {args.csv}")
     if args.workers < 1:

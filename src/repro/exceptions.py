@@ -32,6 +32,15 @@ class DiscoveryError(ReproError):
     """Raised when a discovery algorithm is invoked with invalid parameters."""
 
 
+class UnknownRelationError(DiscoveryError):
+    """Raised when a relation reference names nothing registered.
+
+    A distinct type so transport layers can map "you asked for a dataset
+    that is not here" (HTTP 404) apart from every other discovery failure
+    (HTTP 400) without matching on message text.
+    """
+
+
 class DataGenerationError(ReproError):
     """Raised when a synthetic data generator receives invalid parameters."""
 

@@ -44,18 +44,58 @@ def read_csv(
     """
     path = Path(path)
     with path.open(newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        rows = []
-        header: Optional[Sequence[str]] = None
-        for i, row in enumerate(reader):
-            if i == 0 and has_header:
-                header = row
-                continue
-            if not row:
-                continue
-            rows.append(tuple(cell.strip() for cell in row))
-            if limit is not None and len(rows) >= limit:
-                break
+        return _relation_from_reader(
+            csv.reader(handle, delimiter=delimiter),
+            has_header=has_header,
+            attribute_names=attribute_names,
+            limit=limit,
+        )
+
+
+def read_csv_text(
+    text: str,
+    *,
+    has_header: bool = True,
+    attribute_names: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+    limit: Optional[int] = None,
+) -> Relation:
+    """Load a relation from CSV *text* (an upload body, a snippet).
+
+    Same semantics as :func:`read_csv` — one shared parsing core, so a CSV
+    uploaded over HTTP and the same file read by the CLI always produce
+    equal relations (and therefore equal fingerprints / shared cache-store
+    entries).
+    """
+    import io as io_mod
+
+    return _relation_from_reader(
+        csv.reader(io_mod.StringIO(text), delimiter=delimiter),
+        has_header=has_header,
+        attribute_names=attribute_names,
+        limit=limit,
+    )
+
+
+def _relation_from_reader(
+    reader,
+    *,
+    has_header: bool,
+    attribute_names: Optional[Sequence[str]],
+    limit: Optional[int],
+) -> Relation:
+    """The shared CSV-records → Relation core (strip cells, skip blanks)."""
+    rows = []
+    header: Optional[Sequence[str]] = None
+    for i, row in enumerate(reader):
+        if i == 0 and has_header:
+            header = row
+            continue
+        if not row:
+            continue
+        rows.append(tuple(cell.strip() for cell in row))
+        if limit is not None and len(rows) >= limit:
+            break
     if attribute_names is not None:
         names = list(attribute_names)
     elif header is not None:

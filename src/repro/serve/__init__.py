@@ -22,6 +22,12 @@ The pool's eviction is cost-aware — the cheapest-to-rebuild session
 --batch``, the experiment runner's pooled sweeps and sampling-based
 discovery all route through here; see DESIGN.md for the locking discipline,
 the store format and the eviction policy.
+
+The network front end lives in :mod:`repro.serve.http` (imported lazily —
+``python -m repro.serve.http`` runs the ``repro-serve`` command): an
+asyncio HTTP/1.1 server bridging coroutines onto this thread-pool substrate,
+with admission control, per-request deadlines, Prometheus ``/metrics`` and
+graceful drain.
 """
 
 from repro.serve.fingerprint import relation_fingerprint

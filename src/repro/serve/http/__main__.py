@@ -1,0 +1,8 @@
+"""``python -m repro.serve.http`` — the ``repro-serve`` entry point."""
+
+import sys
+
+from repro.serve.http.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+""":class:`AsyncDiscoveryService` — coroutines over the thread-pool service.
+
+The existing :class:`~repro.serve.service.DiscoveryService` is
+transport-agnostic: it accepts submissions from any thread, deduplicates
+identical in-flight requests in its own map, and executes on its own
+``concurrent.futures`` pool.  This adapter is the asyncio face of that same
+object — it owns **no** execution state of its own:
+
+* :meth:`submit` hops the (potentially expensive) fingerprint-and-enqueue
+  step onto the event loop's default executor via ``run_in_executor`` —
+  hashing a million-row relation must never stall the accept loop — and
+  returns the service's ``concurrent.futures.Future`` wrapped for ``await``
+  with :func:`asyncio.wrap_future`;
+* because the *service's* dedup map hands identical concurrent submissions
+  the **same** underlying future, coalescing works transparently across
+  transports: an HTTP request, a CLI batch entry and another HTTP request
+  all await one engine run;
+* awaiting is **shielded**: a caller whose deadline expires abandons its
+  wait without cancelling the shared run (which other coalesced waiters —
+  and the session cache, which the completed run warms — still want).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.api.request import DiscoveryRequest
+from repro.api.result import DiscoveryResult
+from repro.relational.relation import Relation
+from repro.serve.service import DiscoveryService, RelationRef
+
+
+class AsyncDiscoveryService:
+    """The asyncio adapter over one (shared) :class:`DiscoveryService`."""
+
+    def __init__(self, service: DiscoveryService):
+        self._service = service
+
+    @property
+    def service(self) -> DiscoveryService:
+        """The wrapped thread-pool service (shared dedup map and pool)."""
+        return self._service
+
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self, relation_ref: RelationRef, request: DiscoveryRequest
+    ) -> "asyncio.Future[DiscoveryResult]":
+        """Enqueue one request off-loop; returns an awaitable future.
+
+        Identical concurrent submissions (across *all* transports) share one
+        engine run through the service's in-flight dedup map.
+        """
+        loop = asyncio.get_running_loop()
+        future = await loop.run_in_executor(
+            None, self._service.submit, relation_ref, request
+        )
+        return asyncio.wrap_future(future, loop=loop)
+
+    async def run(
+        self,
+        relation_ref: RelationRef,
+        request: DiscoveryRequest,
+        *,
+        timeout: Optional[float] = None,
+    ) -> DiscoveryResult:
+        """Submit and await one request, optionally under a deadline.
+
+        On timeout the wait is abandoned but the run itself is **not**
+        cancelled (it may be shared with coalesced waiters, and its
+        completion warms the pooled session either way);
+        ``asyncio.TimeoutError`` propagates to the caller.
+        """
+        wrapped = await self.submit(relation_ref, request)
+        if timeout is None:
+            return await wrapped
+        try:
+            return await asyncio.wait_for(asyncio.shield(wrapped), timeout)
+        except asyncio.TimeoutError:
+            # Abandon the wait WITHOUT cancelling: the underlying future may
+            # be shared with coalesced waiters (and cancelling a queued run
+            # would fail theirs too).  Swallow its eventual outcome so an
+            # unobserved failure never logs "exception was never retrieved".
+            wrapped.add_done_callback(
+                lambda f: None if f.cancelled() else f.exception()
+            )
+            raise
+
+    async def run_batch(
+        self,
+        jobs: Iterable[Tuple[RelationRef, DiscoveryRequest]],
+        *,
+        timeout: Optional[float] = None,
+    ) -> List[object]:
+        """Run every job concurrently; failures come back as exceptions.
+
+        The returned list is in submission order and holds a
+        :class:`DiscoveryResult` *or* the exception that job raised —
+        mirroring the CLI's per-entry error isolation, one poisoned job
+        cannot take down the batch.
+        """
+        coroutines = [
+            self.run(ref, request, timeout=timeout) for ref, request in jobs
+        ]
+        return await asyncio.gather(*coroutines, return_exceptions=True)
+
+    # ------------------------------------------------------------------ #
+    async def register(self, name: str, relation: Relation) -> str:
+        """Register ``relation`` under ``name`` off-loop; returns the digest."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._service.register, name, relation
+        )
+
+    def registered(self) -> Dict[str, Dict[str, object]]:
+        """The registered relations (cheap: digests are cached)."""
+        return self._service.registered()
+
+    def stats(self) -> Dict[str, object]:
+        """The service's stats snapshot (see ``DiscoveryService.stats``)."""
+        return self._service.stats()
+
+
+__all__ = ["AsyncDiscoveryService"]

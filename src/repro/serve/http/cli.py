@@ -1,0 +1,175 @@
+"""The ``repro-serve`` command: discovery as an HTTP service.
+
+Run with ``python -m repro.serve.http`` (or the ``repro-serve`` console
+script where the package is installed)::
+
+    repro-serve --port 8321 --workers 8 --pool-bytes 268435456 \\
+                --cache-dir /var/cache/repro
+
+    curl -s -X POST --data-binary @tax.csv \\
+         'http://127.0.0.1:8321/v1/relations?name=tax'
+    curl -s -X POST -H 'Content-Type: application/json' \\
+         -d '{"relation": "tax", "support": 10}' \\
+         http://127.0.0.1:8321/v1/discover
+    curl -s http://127.0.0.1:8321/metrics
+
+The process wires one :class:`~repro.serve.DiscoveryService` (its worker
+thread pool sized by ``--workers``, its session pool bounded by
+``--pool-sessions``/``--pool-bytes``, optionally persistent via
+``--cache-dir``) behind one :class:`~repro.serve.http.server.HttpServer`.
+``SIGTERM``/``SIGINT`` trigger a graceful drain: in-flight requests finish
+(bounded by ``--drain-timeout``), the pool spills its warmed sessions into
+the cache store, and the process exits 0 — so a rolling restart hands the
+next worker a warm substrate instead of a cold start.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.serve.http.server import HttpServer, ServerConfig
+from repro.serve.pool import SessionPool
+from repro.serve.service import DiscoveryService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro-serve`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve CFD discovery over HTTP (asyncio, stdlib-only).",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8321,
+        help="TCP port; 0 picks an ephemeral port (default: 8321)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="discovery worker threads (default: 4)",
+    )
+    parser.add_argument(
+        "--pool-sessions", type=int, default=8,
+        help="max pooled profiler sessions (default: 8)",
+    )
+    parser.add_argument(
+        "--pool-bytes", type=int, default=None,
+        help="byte budget over the pooled sessions' caches (default: unbounded)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persistent cache store: admitted sessions warm-start from DIR, "
+        "evicted/drained sessions spill back into it",
+    )
+    parser.add_argument(
+        "--max-in-flight", type=int, default=8,
+        help="requests executing concurrently; more queue (default: 8)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=16,
+        help="requests allowed to wait for a slot before 503 (default: 16)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=30.0, metavar="SECONDS",
+        help="per-request deadline; 0 disables it (default: 30)",
+    )
+    parser.add_argument(
+        "--max-body-bytes", type=int, default=32 * 2 ** 20,
+        help="request body cap in bytes (default: 32 MiB)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="seconds to wait for in-flight requests on SIGTERM (default: 30)",
+    )
+    return parser
+
+
+def _validate(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None:
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if args.max_in_flight < 1:
+        parser.error("--max-in-flight must be at least 1")
+    if args.max_queue < 0:
+        parser.error("--max-queue must be at least 0")
+    if args.pool_sessions < 1:
+        parser.error("--pool-sessions must be at least 1")
+    if args.pool_bytes is not None and args.pool_bytes < 1:
+        parser.error("--pool-bytes must be at least 1")
+    if args.deadline < 0:
+        parser.error("--deadline must be at least 0")
+
+
+def build_service(args: argparse.Namespace) -> DiscoveryService:
+    """The configured service: pool budgets, optional persistent store."""
+    store = None
+    if args.cache_dir is not None:
+        from repro.serve.store import CacheStore
+
+        store = CacheStore(args.cache_dir)
+    pool = SessionPool(
+        max_sessions=args.pool_sessions,
+        max_bytes=args.pool_bytes,
+        store=store,
+    )
+    return DiscoveryService(pool=pool, max_workers=args.workers)
+
+
+async def serve(service: DiscoveryService, config: ServerConfig) -> None:
+    """Start the server, wire signals to the graceful drain, run until done."""
+    server = HttpServer(service, config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+
+    def request_drain() -> None:
+        asyncio.ensure_future(server.drain())
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, request_drain)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platforms without loop signal support (Windows)
+    print(
+        f"repro-serve listening on http://{config.host}:{server.port} "
+        f"(workers={service.info()['max_workers']}, "
+        f"max_in_flight={config.max_in_flight})",
+        file=sys.stderr,
+        flush=True,
+    )
+    await server.wait_stopped()
+    print("repro-serve drained and stopped", file=sys.stderr, flush=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-serve`` command; returns the exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate(args, parser)
+    try:
+        service = build_service(args)
+    except ReproError as exc:
+        parser.error(str(exc))
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        request_timeout=args.deadline or None,
+        max_body_bytes=args.max_body_bytes,
+        drain_timeout=args.drain_timeout,
+    )
+    try:
+        asyncio.run(serve(service, config))
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C fallback
+        service.shutdown()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

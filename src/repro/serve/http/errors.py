@@ -1,0 +1,146 @@
+"""The HTTP error taxonomy: every failure becomes one structured JSON body.
+
+The serving subsystem never lets an exception pick its own wire format.
+Handlers either raise :class:`ApiError` directly (routing, admission,
+deadline problems — things only the HTTP layer knows about) or let library
+errors propagate and have :func:`map_exception` translate them at the
+dispatch boundary:
+
+========================  ======  ====================
+exception                 status  ``error.code``
+========================  ======  ====================
+malformed body/fields      400    ``bad_request``
+``DiscoveryError``         400    ``discovery_error``
+unknown relation           404    ``relation_not_found``
+unknown route              404    ``not_found``
+wrong method on a route    405    ``method_not_allowed``
+oversized body             413    ``payload_too_large``
+admission refused          503    ``overloaded`` (+ ``Retry-After``)
+draining for shutdown      503    ``draining`` (+ ``Retry-After``)
+deadline exceeded          504    ``deadline_exceeded``
+anything else              500    ``internal``
+========================  ======  ====================
+
+The body is always ``{"error": {"status", "code", "message"}}`` so clients
+branch on ``code`` without parsing prose, and unexpected failures never leak
+a traceback onto the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from repro.exceptions import DiscoveryError, ReproError, UnknownRelationError
+
+
+class ApiError(Exception):
+    """One HTTP-mappable failure: status, machine-readable code, message."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+    def to_document(self) -> Dict[str, object]:
+        """The structured JSON body of the error response."""
+        return {
+            "error": {
+                "status": self.status,
+                "code": self.code,
+                "message": self.message,
+            }
+        }
+
+
+def bad_request(message: str) -> ApiError:
+    return ApiError(400, "bad_request", message)
+
+
+def not_found(message: str) -> ApiError:
+    return ApiError(404, "not_found", message)
+
+
+def relation_not_found(ref: str) -> ApiError:
+    return ApiError(
+        404,
+        "relation_not_found",
+        f"unknown relation {ref!r}; upload it via POST /v1/relations first",
+    )
+
+
+def method_not_allowed(method: str, path: str) -> ApiError:
+    return ApiError(
+        405, "method_not_allowed", f"{method} is not supported on {path}"
+    )
+
+
+def payload_too_large(limit: int) -> ApiError:
+    return ApiError(
+        413, "payload_too_large", f"request body exceeds {limit} bytes"
+    )
+
+
+def overloaded(retry_after: int = 1) -> ApiError:
+    return ApiError(
+        503,
+        "overloaded",
+        "server is at capacity; retry shortly",
+        retry_after=retry_after,
+    )
+
+
+def draining(retry_after: int = 5) -> ApiError:
+    return ApiError(
+        503,
+        "draining",
+        "server is draining for shutdown",
+        retry_after=retry_after,
+    )
+
+
+def deadline_exceeded(seconds: float) -> ApiError:
+    return ApiError(
+        504,
+        "deadline_exceeded",
+        f"request exceeded its {seconds:g}s deadline (the discovery run "
+        "continues in the background and will warm the session caches)",
+    )
+
+
+def map_exception(exc: BaseException) -> ApiError:
+    """Translate any handler exception into the taxonomy above."""
+    if isinstance(exc, ApiError):
+        return exc
+    if isinstance(exc, UnknownRelationError):
+        return ApiError(404, "relation_not_found", str(exc))
+    if isinstance(exc, DiscoveryError):
+        return ApiError(400, "discovery_error", str(exc))
+    if isinstance(exc, ReproError):
+        return ApiError(400, "bad_request", str(exc))
+    if isinstance(exc, asyncio.CancelledError):
+        raise exc  # cancellation is control flow, never a response
+    return ApiError(500, "internal", f"internal error: {type(exc).__name__}")
+
+
+__all__ = [
+    "ApiError",
+    "bad_request",
+    "deadline_exceeded",
+    "draining",
+    "map_exception",
+    "method_not_allowed",
+    "not_found",
+    "overloaded",
+    "payload_too_large",
+    "relation_not_found",
+]

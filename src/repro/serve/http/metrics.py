@@ -1,0 +1,315 @@
+"""Dependency-free Prometheus instrumentation for the HTTP layer.
+
+Three metric primitives (:class:`Counter`, :class:`Gauge`,
+:class:`Histogram`) with label support and a text renderer emitting the
+Prometheus exposition format (version 0.0.4) — no client library required.
+:class:`HttpMetrics` bundles the request-level instruments the server
+updates on every response and renders them together with the serving
+substrate's own counters (:meth:`~repro.serve.DiscoveryService.stats`), so
+``GET /metrics`` is one consistent snapshot of both layers:
+
+* ``repro_http_requests_total{method,route,status}`` — responses by route;
+* ``repro_http_request_seconds`` — handler latency histogram;
+* ``repro_http_in_flight`` — requests currently being handled;
+* ``repro_http_admission_rejections_total{reason}`` — 503s by cause;
+* ``repro_service_*`` — request/dedup/failure counters and the service's
+  request-latency histogram;
+* ``repro_pool_*`` — session pool size, hit/miss/eviction/spill counters,
+  byte accounting;
+* ``repro_store_*`` — persistent store entries/bytes/loads/writes/GC.
+
+All primitives are thread-safe: handler coroutines run on the event loop but
+the substrate counters are touched from executor threads, and a scrape may
+race both.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.serve.service import LATENCY_BUCKETS
+
+LabelValues = Tuple[str, ...]
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _render_labels(names: Sequence[str], values: Sequence[object]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape(str(value))}"' for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+class Counter:
+    """A monotonically increasing metric, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str] = ()):
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = tuple(str(labels.get(name, "")) for name in self.label_names)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), 0.0)]
+        for key, value in items:
+            labels = _render_labels(self.label_names, key)
+            lines.append(f"{self.name}{labels} {_format_value(value)}")
+        return lines
+
+
+class Gauge(Counter):
+    """A metric that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = tuple(str(labels.get(name, "")) for name in self.label_names)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+
+class Histogram:
+    """A cumulative-bucket histogram (the Prometheus ``le`` convention)."""
+
+    kind = "histogram"
+
+    #: Default request-latency bounds — the service's histogram shape, so
+    #: the HTTP and substrate histograms on one /metrics page line up.
+    DEFAULT_BUCKETS = LATENCY_BUCKETS
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+        self.bounds = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        self._buckets: Dict[LabelValues, List[int]] = {}
+        self._sums: Dict[LabelValues, float] = {}
+        self._counts: Dict[LabelValues, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = tuple(str(labels.get(name, "")) for name in self.label_names)
+        with self._lock:
+            counts = self._buckets.setdefault(key, [0] * (len(self.bounds) + 1))
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            keys = sorted(self._buckets)
+            snapshot = {
+                key: (list(self._buckets[key]), self._sums[key], self._counts[key])
+                for key in keys
+            }
+        if not snapshot and not self.label_names:
+            snapshot = {(): ([0] * (len(self.bounds) + 1), 0.0, 0)}
+        for key, (counts, total, count) in snapshot.items():
+            cumulative = 0
+            for bound, bucket_count in zip(
+                list(self.bounds) + [float("inf")], counts
+            ):
+                cumulative += bucket_count
+                labels = _render_labels(
+                    self.label_names + ("le",), key + (_format_value(bound),)
+                )
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            labels = _render_labels(self.label_names, key)
+            lines.append(f"{self.name}_sum{labels} {_format_value(total)}")
+            lines.append(f"{self.name}_count{labels} {count}")
+        return lines
+
+
+def render_family(
+    name: str, kind: str, help_text: str, value: Optional[float]
+) -> List[str]:
+    """One unlabelled sample rendered as its own family (``None`` → omitted)."""
+    if value is None:
+        return []
+    return [
+        f"# HELP {name} {help_text}",
+        f"# TYPE {name} {kind}",
+        f"{name} {_format_value(float(value))}",
+    ]
+
+
+class HttpMetrics:
+    """The server's instrument bundle plus the substrate-snapshot renderer."""
+
+    def __init__(self) -> None:
+        self.requests_total = Counter(
+            "repro_http_requests_total",
+            "HTTP responses by method, route and status code.",
+            ("method", "route", "status"),
+        )
+        self.request_seconds = Histogram(
+            "repro_http_request_seconds",
+            "Wall-clock seconds from request read to response written.",
+            ("route",),
+        )
+        self.in_flight = Gauge(
+            "repro_http_in_flight", "Requests currently being handled."
+        )
+        self.admission_rejections_total = Counter(
+            "repro_http_admission_rejections_total",
+            "Requests refused with 503 by the admission controller.",
+            ("reason",),
+        )
+
+    def observe(
+        self, method: str, route: str, status: int, elapsed: float
+    ) -> None:
+        """Record one finished response."""
+        self.requests_total.inc(method=method, route=route, status=status)
+        self.request_seconds.observe(elapsed, route=route)
+
+    # ------------------------------------------------------------------ #
+    def render(self, service_stats: Mapping[str, object]) -> str:
+        """The full exposition document: HTTP instruments + substrate stats."""
+        lines: List[str] = []
+        lines += self.requests_total.render()
+        lines += self.request_seconds.render()
+        lines += self.in_flight.render()
+        lines += self.admission_rejections_total.render()
+        lines += self._render_service(service_stats)
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_service(stats: Mapping[str, object]) -> List[str]:
+        lines: List[str] = []
+
+        def grab(mapping: Mapping, key: str) -> Optional[float]:
+            value = mapping.get(key)
+            return float(value) if isinstance(value, (int, float)) else None
+
+        for key, kind, help_text in (
+            ("requests", "counter", "Requests submitted to the discovery service."),
+            ("deduplicated", "counter",
+             "Submissions coalesced onto an identical in-flight run."),
+            ("completed", "counter", "Discovery runs completed successfully."),
+            ("failed", "counter", "Discovery runs that raised."),
+            ("cancelled", "counter", "Discovery runs cancelled before starting."),
+            ("in_flight", "gauge", "Discovery runs currently in flight."),
+        ):
+            lines += render_family(
+                f"repro_service_{key}", kind, help_text, grab(stats, key)
+            )
+
+        latency = stats.get("latency")
+        if isinstance(latency, Mapping):
+            lines += HttpMetrics._render_service_latency(latency)
+
+        pool = stats.get("pool")
+        if isinstance(pool, Mapping):
+            for key, name, kind, help_text in (
+                ("sessions", "sessions", "gauge", "Pooled profiler sessions."),
+                ("hits", "hits_total", "counter", "Session pool lookup hits."),
+                ("misses", "misses_total", "counter", "Session pool lookup misses."),
+                ("evictions", "evictions_total", "counter", "Sessions evicted."),
+                ("spilled_entries", "spilled_entries_total", "counter",
+                 "Cache entries spilled to the persistent store."),
+                ("warm_loaded_entries", "warm_loaded_entries_total", "counter",
+                 "Cache entries warm-loaded from the persistent store."),
+                ("estimated_bytes", "estimated_bytes", "gauge",
+                 "Estimated bytes held by pooled sessions."),
+            ):
+                lines += render_family(
+                    f"repro_pool_{name}", kind, help_text, grab(pool, key)
+                )
+
+        store = stats.get("store")
+        if isinstance(store, Mapping):
+            for key, name, kind, help_text in (
+                ("entries", "entries", "gauge", "Entries in the persistent store."),
+                ("bytes", "bytes", "gauge", "On-disk bytes of the store."),
+                ("writes", "writes_total", "counter", "Store entries written."),
+                ("loads", "loads_total", "counter", "Store entries loaded."),
+                ("load_failures", "load_failures_total", "counter",
+                 "Store loads that failed verification."),
+                ("gc_removed", "gc_removed_total", "counter",
+                 "Store entries removed by garbage collection."),
+            ):
+                lines += render_family(
+                    f"repro_store_{name}", kind, help_text, grab(store, key)
+                )
+        return lines
+
+    @staticmethod
+    def _render_service_latency(latency: Mapping[str, object]) -> List[str]:
+        """The service's submit→done aggregates as a Prometheus histogram."""
+        buckets = latency.get("buckets")
+        count = latency.get("count")
+        total = latency.get("total_seconds")
+        if not isinstance(buckets, Iterable) or count is None:
+            return []
+        name = "repro_service_request_seconds"
+        lines = [
+            f"# HELP {name} Submit-to-done seconds of executed discovery runs.",
+            f"# TYPE {name} histogram",
+        ]
+        cumulative = 0
+        for bound, bucket_count in buckets:
+            cumulative += int(bucket_count)
+            rendered = "+Inf" if bound is None else _format_value(float(bound))
+            lines.append(f'{name}_bucket{{le="{rendered}"}} {cumulative}')
+        lines.append(f"{name}_sum {_format_value(float(total or 0.0))}")
+        lines.append(f"{name}_count {int(count)}")
+        return lines
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HttpMetrics",
+    "render_family",
+]

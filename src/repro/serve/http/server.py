@@ -1,0 +1,431 @@
+"""The asyncio HTTP server: accept loop, admission control, graceful drain.
+
+:class:`HttpServer` wires ``asyncio.start_server`` to the
+:class:`~repro.serve.http.app.Application` with three serving-discipline
+layers the handlers never see:
+
+**Admission control.**  At most ``max_in_flight`` requests execute
+concurrently (an :class:`asyncio.Semaphore`); up to ``max_queue`` more may
+wait for a slot.  Anything beyond that is refused *immediately* with
+``503`` + ``Retry-After`` — a saturated server degrades to fast rejections,
+never to an unbounded queue or a hang.  ``/healthz`` and ``/metrics`` bypass
+admission so the server stays observable while saturated or draining.
+
+**Deadlines.**  Each admitted request runs under ``request_timeout``
+(``asyncio.wait_for``); expiry answers ``504``.  The underlying discovery
+run is *not* cancelled — it may be shared with coalesced waiters, and its
+completion warms the pooled session, so the timed-out work is not wasted.
+
+**Graceful drain.**  :meth:`drain` (wired to ``SIGTERM``/``SIGINT`` by the
+CLI) stops accepting connections, answers ``503 draining`` on
+non-operational routes, waits for in-flight requests to finish (bounded by
+``drain_timeout``), then shuts the service down — which spills the session
+pool into the persistent store when one is attached, so the next process
+warm-starts.
+
+:class:`ServerThread` hosts a server inside a dedicated thread + event loop
+for tests, benchmarks and examples that need a real socket next to ordinary
+blocking client code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import DiscoveryError
+from repro.serve.http import errors
+from repro.serve.http.app import Application
+from repro.serve.http.bridge import AsyncDiscoveryService
+from repro.serve.http.metrics import HttpMetrics
+from repro.serve.http.protocol import (
+    DEFAULT_MAX_BODY_BYTES,
+    HttpResponse,
+    ProtocolError,
+    error_response,
+    read_request,
+    write_response,
+)
+from repro.serve.service import DiscoveryService
+
+#: Methods worth their own metrics label; anything else (the method token is
+#: client-controlled free text) is folded into "OTHER" so a hostile client
+#: cannot grow the label space — every serving resource stays bounded.
+_KNOWN_METHODS = frozenset(
+    {"GET", "HEAD", "POST", "PUT", "PATCH", "DELETE", "OPTIONS"}
+)
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`HttpServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    #: Requests executing concurrently; more wait, beyond the queue → 503.
+    max_in_flight: int = 8
+    #: Requests allowed to wait for an execution slot before 503.
+    max_queue: int = 16
+    #: Per-request deadline in seconds (``None`` disables it).
+    request_timeout: Optional[float] = 30.0
+    #: Cap on request bodies.
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    #: Idle seconds a keep-alive connection may sit between requests.
+    keep_alive_timeout: float = 30.0
+    #: Upper bound on waiting for in-flight requests during drain.
+    drain_timeout: float = 30.0
+
+
+class HttpServer:
+    """One serving endpoint over one :class:`DiscoveryService`."""
+
+    def __init__(self, service: DiscoveryService, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.service = service
+        self.bridge = AsyncDiscoveryService(service)
+        self.metrics = HttpMetrics()
+        self.app = Application(
+            self.bridge,
+            self.metrics,
+            request_timeout=self.config.request_timeout,
+            is_draining=lambda: self._draining,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        # Loop-affine primitives are created in start() so they bind the
+        # serving loop, not whatever loop (if any) constructed the object —
+        # Python 3.9 binds them at construction time.
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._drained: Optional[asyncio.Event] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._waiting = 0
+        self._active = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listening socket (``port=0`` picks an ephemeral port)."""
+        self._semaphore = asyncio.Semaphore(self.config.max_in_flight)
+        self._drained = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.config.port = sockets[0].getsockname()[1]
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        return self.config.port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` has completed."""
+        if self._stopped is None:
+            raise DiscoveryError("HttpServer.wait_stopped() before start()")
+        await self._stopped.wait()
+
+    async def drain(self) -> None:
+        """Finish in-flight work, then shut the listener and service down.
+
+        Idempotent.  The listener stays open *while* draining — load-balancer
+        probes must be able to reach ``/healthz`` and read the 503
+        ``draining`` answer — but guarded routes are refused immediately and
+        keep-alive is switched off, so connections bleed away.  The service
+        shutdown (a blocking call: it drains the executor and spills the
+        pool into the store) runs on the default executor so the loop is
+        never blocked.
+        """
+        if self._stopped is None:
+            raise DiscoveryError("HttpServer.drain() before start()")
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        self._signal_drained()
+        try:
+            await asyncio.wait_for(
+                self._drained.wait(), timeout=self.config.drain_timeout
+            )
+        except asyncio.TimeoutError:
+            pass  # stragglers are past their deadline; shut down anyway
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        try:
+            # The executor drain is bounded too: an abandoned (504'd) engine
+            # run can linger far past any grace period an orchestrator gives
+            # us, and being SIGKILLed mid-shutdown would lose the spill.
+            await asyncio.wait_for(
+                loop.run_in_executor(None, self.service.shutdown),
+                timeout=self.config.drain_timeout,
+            )
+        except asyncio.TimeoutError:
+            self.service.shutdown(wait=False)  # refuse new work, don't block
+            store = self.service.pool.store
+            if store is not None:
+                try:
+                    # Spill what the pool holds now; the lingering run's
+                    # session misses out, everything else stays warm.
+                    await loop.run_in_executor(None, self.service.pool.persist)
+                except Exception:  # noqa: BLE001 - spill is best-effort
+                    pass
+        self._stopped.set()
+
+    async def stop(self) -> None:
+        """Alias of :meth:`drain` (the graceful path is the only path)."""
+        await self.drain()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    # The timeout bounds only the idle wait for the next
+                    # request line — a slow in-progress upload is not idle.
+                    request = await read_request(
+                        reader,
+                        writer,
+                        max_body_bytes=self.config.max_body_bytes,
+                        head_timeout=self.config.keep_alive_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    break  # idle keep-alive connection: close quietly
+                except ProtocolError as exc:
+                    response = error_response(
+                        errors.ApiError(exc.status, "protocol_error", exc.message)
+                    )
+                    await write_response(writer, response, keep_alive=False)
+                    break
+                if request is None:
+                    break  # clean EOF between requests
+                keep_alive = request.keep_alive and not self._draining
+                # A request counts as active until its response is fully
+                # written — drain must never truncate a chunked stream.
+                self._active += 1
+                try:
+                    response = await self._respond(request)
+                    await write_response(
+                        writer,
+                        response,
+                        keep_alive=keep_alive,
+                        head_only=request.method == "HEAD",
+                    )
+                finally:
+                    self._active -= 1
+                    self._signal_drained()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-exchange; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, request) -> HttpResponse:
+        """Admission control + deadline + dispatch, all failures mapped."""
+        route = self.app.route_name(request)
+        method = request.method if request.method in _KNOWN_METHODS else "OTHER"
+        started = time.perf_counter()
+        guarded = self.app.needs_admission(request)
+        response: HttpResponse
+        if guarded and self._draining:
+            self.metrics.admission_rejections_total.inc(reason="draining")
+            response = error_response(errors.draining())
+            self.metrics.observe(
+                method, route, response.status, time.perf_counter() - started
+            )
+            return response
+        # Refuse only when no execution slot is free AND the wait queue is
+        # full — a free slot must always admit, even with max_queue=0.
+        if (
+            guarded
+            and self._semaphore.locked()
+            and self._waiting >= self.config.max_queue
+        ):
+            self.metrics.admission_rejections_total.inc(reason="overloaded")
+            response = error_response(errors.overloaded())
+            self.metrics.observe(
+                method, route, response.status, time.perf_counter() - started
+            )
+            return response
+        if guarded:
+            self._waiting += 1
+            try:
+                await self._semaphore.acquire()
+            finally:
+                self._waiting -= 1
+                self._signal_drained()
+        try:
+            self.metrics.in_flight.inc()
+            try:
+                response = await self.app.dispatch(request)
+            except errors.ApiError as exc:
+                response = error_response(exc)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - last-resort mapping
+                response = error_response(errors.map_exception(exc))
+        finally:
+            self.metrics.in_flight.dec()
+            if guarded:
+                self._semaphore.release()
+        self.metrics.observe(
+            method, route, response.status, time.perf_counter() - started
+        )
+        return response
+
+    def _signal_drained(self) -> None:
+        """Wake drain() once nothing is executing *or* queued for a slot.
+
+        A request already admitted into the wait queue was never told 503,
+        so drain must let it run — the drained condition requires both
+        counters at zero.
+        """
+        if (
+            self._draining
+            and self._active == 0
+            and self._waiting == 0
+            and self._drained is not None
+        ):
+            self._drained.set()
+
+
+class ServerThread:
+    """A real-socket server hosted in its own thread + event loop.
+
+    The worker pattern of the integration tests, the ``http_serving``
+    benchmark section and ``examples/http_serving.py``: start, talk to
+    ``http://host:port`` with any blocking client, stop (gracefully by
+    default).
+
+    >>> from repro.serve import DiscoveryService
+    >>> with ServerThread(DiscoveryService(max_workers=2)) as server:
+    ...     address = f"http://{server.host}:{server.port}"  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        service: DiscoveryService,
+        config: Optional[ServerConfig] = None,
+    ):
+        self._service = service
+        config = config or ServerConfig(port=0)
+        self._server = HttpServer(service, config)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._drain_future = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self._server.config.host
+
+    @property
+    def port(self) -> int:
+        return self._server.config.port
+
+    @property
+    def server(self) -> HttpServer:
+        return self._server
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ServerThread":
+        """Boot the loop thread; returns once the socket is bound."""
+        if self._thread is not None:
+            raise DiscoveryError("ServerThread is already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise DiscoveryError("HTTP server failed to start within 30s")
+        if self._startup_error is not None:
+            raise DiscoveryError(
+                f"HTTP server failed to start: {self._startup_error}"
+            )
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            try:
+                loop.run_until_complete(self._server.start())
+            except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+                self._startup_error = exc
+                return
+            finally:
+                self._started.set()
+            loop.run_until_complete(self._server.wait_stopped())
+        finally:
+            try:
+                # Lingering connection tasks (idle keep-alive reads) are
+                # cancelled and reaped so the loop closes without warnings.
+                pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+
+    def begin_drain(self) -> None:
+        """Kick off a graceful drain without waiting for it (tests use this
+        to observe the draining state from outside)."""
+        if self._loop is None:
+            return
+        self._drain_future = asyncio.run_coroutine_threadsafe(
+            self._server.drain(), self._loop
+        )
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain gracefully and join the loop thread.  Idempotent."""
+        if self._thread is None or self._loop is None:
+            return
+        if self._thread.is_alive():
+            try:
+                future = asyncio.run_coroutine_threadsafe(
+                    self._server.drain(), self._loop
+                )
+                future.result(timeout=timeout)
+            except Exception:  # noqa: BLE001 - drain is best-effort on stop
+                pass
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+__all__ = ["HttpServer", "ServerConfig", "ServerThread"]

@@ -24,12 +24,14 @@ every front end.
 from __future__ import annotations
 
 import threading
+import time
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.api.request import DiscoveryRequest
 from repro.api.result import DiscoveryResult
-from repro.exceptions import DiscoveryError
+from repro.exceptions import CacheStoreError, DiscoveryError, UnknownRelationError
 from repro.relational.relation import Relation
 from repro.serve.fingerprint import relation_fingerprint
 from repro.serve.pool import SessionPool
@@ -37,6 +39,16 @@ from repro.serve.store import CacheStore
 
 #: What callers may pass as the relation of a request.
 RelationRef = Union[Relation, str]
+
+#: Upper bucket bounds (seconds) of the service's request-latency histogram —
+#: the shape ``/metrics`` renders as a Prometheus histogram.
+LATENCY_BUCKETS = (0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Cap on the named-relation registry.  Every other serving resource is
+#: bounded (pool sessions/bytes, body size, queues); an unbounded registry
+#: would let repeated uploads grow the process without limit, so the least
+#: recently *used* registration is dropped beyond this.
+MAX_REGISTERED_RELATIONS = 512
 
 
 class DiscoveryService:
@@ -91,11 +103,19 @@ class DiscoveryService:
         self._max_workers = max_workers
         self._lock = threading.Lock()
         self._in_flight: Dict[Tuple[str, DiscoveryRequest], "Future[DiscoveryResult]"] = {}
-        self._named: Dict[str, Relation] = {}
+        self._named: "OrderedDict[str, Relation]" = OrderedDict()
         self._requests = 0
         self._deduplicated = 0
         self._completed = 0
         self._failed = 0
+        self._cancelled = 0
+        self._shutdown = False
+        self._spilled_on_shutdown = False
+        self._latency_count = 0
+        self._latency_total = 0.0
+        self._latency_min: Optional[float] = None
+        self._latency_max: Optional[float] = None
+        self._latency_buckets = [0] * (len(LATENCY_BUCKETS) + 1)
 
     # ------------------------------------------------------------------ #
     @property
@@ -108,21 +128,44 @@ class DiscoveryService:
 
         Registered names can then be used as the ``relation_ref`` of
         :meth:`submit` / :meth:`run` — the serving pattern for front ends
-        that address datasets by identifier rather than by value.
+        that address datasets by identifier rather than by value.  The
+        registry is LRU-bounded at :data:`MAX_REGISTERED_RELATIONS`.
         """
         if not isinstance(name, str) or not name:
             raise DiscoveryError(f"invalid relation name: {name!r}")
         with self._lock:
             self._named[name] = relation
+            self._named.move_to_end(name)
+            while len(self._named) > MAX_REGISTERED_RELATIONS:
+                self._named.popitem(last=False)
         return relation_fingerprint(relation)
+
+    def registered(self) -> Dict[str, Dict[str, object]]:
+        """The registered relations: name → shape and fingerprint.
+
+        The listing a network front end serves from ``GET /v1/relations``.
+        """
+        with self._lock:
+            named = dict(self._named)
+        return {
+            name: {
+                "fingerprint": relation_fingerprint(relation),
+                "rows": relation.n_rows,
+                "arity": relation.arity,
+                "attributes": list(relation.schema.names),
+            }
+            for name, relation in named.items()
+        }
 
     def _resolve(self, relation_ref: RelationRef) -> Relation:
         if isinstance(relation_ref, Relation):
             return relation_ref
         with self._lock:
             relation = self._named.get(relation_ref)
+            if relation is not None:
+                self._named.move_to_end(relation_ref)
         if relation is None:
-            raise DiscoveryError(
+            raise UnknownRelationError(
                 f"unknown relation {relation_ref!r}; register() it first"
             )
         return relation
@@ -137,6 +180,8 @@ class DiscoveryService:
         relation = self._resolve(relation_ref)
         key = (relation_fingerprint(relation), request)
         with self._lock:
+            if self._shutdown:
+                raise DiscoveryError("DiscoveryService is shut down")
             self._requests += 1
             existing = self._in_flight.get(key)
             # Coalesce onto genuinely pending runs only: a finished future
@@ -145,9 +190,12 @@ class DiscoveryService:
             if existing is not None and not existing.done():
                 self._deduplicated += 1
                 return existing
+            started = time.perf_counter()
             future = self._executor.submit(self._serve, relation, request)
             self._in_flight[key] = future
-        future.add_done_callback(lambda done, key=key: self._finish(key, done))
+        future.add_done_callback(
+            lambda done, key=key, started=started: self._finish(key, done, started)
+        )
         return future
 
     def _serve(self, relation: Relation, request: DiscoveryRequest) -> DiscoveryResult:
@@ -157,16 +205,43 @@ class DiscoveryService:
         session = self._pool.session(relation)
         return session.run(request)
 
-    def _finish(self, key, future: "Future[DiscoveryResult]") -> None:
+    def _finish(
+        self, key, future: "Future[DiscoveryResult]", started: float
+    ) -> None:
+        elapsed = time.perf_counter() - started
         with self._lock:
             # Only prune the mapping if it still points at this future — a
             # new identical request may have been enqueued in the meantime.
             if self._in_flight.get(key) is future:
                 del self._in_flight[key]
-            if future.cancelled() or future.exception() is not None:
+            if future.cancelled():
+                self._cancelled += 1
+                return  # never executed: no latency to record
+            if future.exception() is not None:
                 self._failed += 1
             else:
                 self._completed += 1
+            self._record_latency_locked(elapsed)
+
+    def _record_latency_locked(self, elapsed: float) -> None:
+        """Fold one executed request's submit→done latency into the aggregates.
+
+        Deduplicated submissions piggyback on the run they coalesced with, so
+        the aggregates count engine executions, not callers.
+        """
+        self._latency_count += 1
+        self._latency_total += elapsed
+        self._latency_min = (
+            elapsed if self._latency_min is None else min(self._latency_min, elapsed)
+        )
+        self._latency_max = (
+            elapsed if self._latency_max is None else max(self._latency_max, elapsed)
+        )
+        for index, bound in enumerate(LATENCY_BUCKETS):
+            if elapsed <= bound:
+                self._latency_buckets[index] += 1
+                return
+        self._latency_buckets[-1] += 1  # the +Inf bucket
 
     # ------------------------------------------------------------------ #
     # synchronous conveniences
@@ -206,14 +281,77 @@ class DiscoveryService:
                 "deduplicated": self._deduplicated,
                 "completed": self._completed,
                 "failed": self._failed,
+                "cancelled": self._cancelled,
                 "in_flight": len(self._in_flight),
                 "max_workers": self._max_workers,
+                "shutdown": self._shutdown,
                 "pool": self._pool.info(),
             }
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Shut the executor down (pending futures still complete if ``wait``)."""
-        self._executor.shutdown(wait=wait)
+    def stats(self) -> Dict[str, object]:
+        """One JSON-native snapshot of everything observable about the service.
+
+        The counters of :meth:`info` plus the per-request latency aggregates
+        (count/total/min/max/mean and the :data:`LATENCY_BUCKETS` histogram of
+        executed runs) and — when the pool persists — the store's counters.
+        This is the single source both ``/metrics`` and the CLI's
+        ``--batch --stats`` summary render from.
+        """
+        snapshot = self.info()
+        with self._lock:
+            mean = (
+                self._latency_total / self._latency_count
+                if self._latency_count
+                else None
+            )
+            snapshot["latency"] = {
+                "count": self._latency_count,
+                "total_seconds": self._latency_total,
+                "min_seconds": self._latency_min,
+                "max_seconds": self._latency_max,
+                "mean_seconds": mean,
+                "buckets": [
+                    [bound, count]
+                    for bound, count in zip(
+                        list(LATENCY_BUCKETS) + [None], self._latency_buckets
+                    )
+                ],
+            }
+        store = self._pool.store
+        if store is not None:
+            snapshot["store"] = store.info()
+        return snapshot
+
+    def shutdown(
+        self, wait: bool = True, *, cancel_pending: bool = False
+    ) -> None:
+        """Shut the service down; idempotent and safe with requests in flight.
+
+        New submissions are refused immediately (``DiscoveryError``), and the
+        executor is shut down: with ``cancel_pending`` queued-but-unstarted
+        futures are cancelled (their waiters see ``CancelledError``), otherwise
+        every accepted request still runs to completion; in either case
+        ``wait=True`` blocks until the executor has drained.  With a
+        persistent store attached to the pool, the drained pool spills its
+        warmed sessions into it exactly once (best-effort — a failing disk
+        never turns shutdown into an error), so a graceful drain preserves
+        warmth for the next process.  Repeated and concurrent calls are safe.
+        """
+        with self._lock:
+            self._shutdown = True
+        # ThreadPoolExecutor.shutdown is itself idempotent and thread-safe.
+        self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+        if not wait:
+            return
+        with self._lock:
+            if self._spilled_on_shutdown:
+                return
+            self._spilled_on_shutdown = True
+        if self._pool.store is not None:
+            try:
+                self._pool.persist()
+            except (CacheStoreError, OSError, DiscoveryError):
+                pass
 
     def __enter__(self) -> "DiscoveryService":
         return self
@@ -222,4 +360,4 @@ class DiscoveryService:
         self.shutdown(wait=True)
 
 
-__all__ = ["DiscoveryService", "RelationRef"]
+__all__ = ["DiscoveryService", "LATENCY_BUCKETS", "RelationRef"]

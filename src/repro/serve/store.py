@@ -147,6 +147,8 @@ class CacheStore:
         self.writes = 0
         self.loads = 0
         self.load_failures = 0
+        self.gc_runs = 0
+        self.gc_removed = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -355,6 +357,92 @@ class CacheStore:
     def __len__(self) -> int:
         return len(self._entry_files())
 
+    def _read_header(self, path: Path) -> Dict:
+        """Decode only the JSON header of one entry (no array buffers)."""
+        try:
+            with path.open("rb") as stream:
+                magic = stream.read(len(self.MAGIC))
+                if magic != self.MAGIC:
+                    raise CacheStoreError(f"{path} is not a cache-store entry")
+                prefix = stream.read(8)
+                if len(prefix) != 8:
+                    raise CacheStoreError(f"{path} is truncated (header length)")
+                (header_len,) = struct.unpack("<Q", prefix)
+                if header_len > 64 * 2 ** 20:
+                    raise CacheStoreError(f"{path} declares an absurd header")
+                blob = stream.read(header_len)
+        except OSError as exc:
+            raise CacheStoreError(f"cannot read store entry {path}: {exc}") from exc
+        if len(blob) != header_len:
+            raise CacheStoreError(f"{path} is truncated (header)")
+        try:
+            return json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CacheStoreError(f"{path} has a corrupt header: {exc}") from exc
+
+    def gc(self, max_bytes: int) -> Dict[str, object]:
+        """Shrink the store to at most ``max_bytes``; returns a summary.
+
+        Victims follow the session pool's cost-aware eviction score: the
+        entry with the **lowest recorded build cost** (the ``build_seconds``
+        its writer observed — what a cold rebuild would pay) goes first, with
+        **oldest mtime** as the tiebreak; unreadable or wrong-version entries
+        score below everything and are collected before any healthy one.
+        Emptied per-relation directories are pruned.  ``gc(0)`` clears the
+        store.  Deletion is best-effort — an entry that vanishes or resists
+        unlinking (a concurrent worker, a read-only file) is skipped, never an
+        error — so GC can run while other workers serve.
+        """
+        if max_bytes < 0:
+            raise CacheStoreError("max_bytes must be at least 0")
+        entries = []
+        total = 0
+        for path in self._entry_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            try:
+                header = self._read_header(path)
+                if header.get("format_version") != self.FORMAT_VERSION:
+                    raise CacheStoreError("wrong format version")
+                score = float(header.get("meta", {}).get("build_seconds") or 0.0)
+            except (AttributeError, CacheStoreError, TypeError, ValueError):
+                # AttributeError covers a null / non-dict "meta" field: any
+                # malformation scores below every healthy entry.
+                score = -1.0
+            entries.append((score, stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        removed = 0
+        removed_bytes = 0
+        if total > max_bytes:
+            entries.sort(key=lambda entry: (entry[0], entry[1]))
+            for score, _mtime, size, path in entries:
+                if total <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
+                removed_bytes += size
+            for directory in self._root.iterdir():
+                if directory.is_dir():
+                    try:
+                        directory.rmdir()  # only succeeds once empty
+                    except OSError:
+                        pass
+        self.gc_runs += 1
+        self.gc_removed += removed
+        return {
+            "max_bytes": int(max_bytes),
+            "removed_entries": removed,
+            "removed_bytes": removed_bytes,
+            "remaining_entries": len(self),
+            "remaining_bytes": total,
+        }
+
     def clear(self, fingerprint: Optional[str] = None) -> int:
         """Delete all entries (of one relation, if given); returns the count."""
         removed = 0
@@ -377,6 +465,8 @@ class CacheStore:
             "writes": self.writes,
             "loads": self.loads,
             "load_failures": self.load_failures,
+            "gc_runs": self.gc_runs,
+            "gc_removed": self.gc_removed,
         }
 
 

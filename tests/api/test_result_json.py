@@ -26,6 +26,27 @@ def test_round_trip_for_every_algorithm(cust_relation, algorithm):
     assert json.loads(text) == document
 
 
+@pytest.mark.parametrize("algorithm", REGISTRY.names())
+def test_jsonl_stream_matches_document(cust_relation, algorithm):
+    """iter_jsonl: header + one line per rule, consistent with to_json_dict."""
+    result = execute(
+        cust_relation, DiscoveryRequest(min_support=2, algorithm=algorithm)
+    )
+    lines = [json.loads(line) for line in result.iter_jsonl()]
+    header, rules = lines[0], lines[1:]
+    assert header["kind"] == "result"
+    assert header["n_rules"] == len(rules) == result.n_cfds
+    document = result.to_json_dict()
+    assert header["algorithm"] == document["algorithm"]
+    assert header["stats"] == document["stats"]
+    assert "rules" not in header  # the header never materialises the cover
+    stripped = [
+        {key: value for key, value in rule.items() if key != "kind"}
+        for rule in rules
+    ]
+    assert stripped == document["rules"]
+
+
 def test_engine_seconds_surfaced_in_stats(cust_relation):
     result = execute(
         cust_relation, DiscoveryRequest(min_support=2, algorithm="fastcfd")

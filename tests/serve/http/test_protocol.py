@@ -1,0 +1,125 @@
+"""Unit tests for the hand-rolled HTTP/1.1 parser and response writer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http.errors import ApiError
+from repro.serve.http.protocol import (
+    HttpResponse,
+    ProtocolError,
+    read_request,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    """Feed raw bytes to the parser in a throwaway event loop."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(run())
+
+
+class TestParsing:
+    def test_simple_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+        assert request.keep_alive is True
+
+    def test_query_string_and_percent_encoding(self):
+        request = parse(b"GET /v1/relations?name=my%20set&header=false HTTP/1.1\r\n\r\n")
+        assert request.path == "/v1/relations"
+        assert request.query == {"name": "my set", "header": "false"}
+
+    def test_post_with_body(self):
+        body = json.dumps({"support": 2}).encode()
+        raw = (
+            b"POST /v1/discover HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.json() == {"support": 2}
+        assert request.content_type == "application/json"
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_connection_close_disables_keep_alive(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_http10_defaults_to_close(self):
+        request = parse(b"GET / HTTP/1.0\r\n\r\n")
+        assert request.keep_alive is False
+
+
+class TestRejections:
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GARBAGE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_version(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET / HTTP/2\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n" + b"x" * 1000
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw, max_body_bytes=10)
+        assert excinfo.value.status == 413
+
+    def test_chunked_request_body_is_411(self):
+        raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 411
+
+    def test_truncated_body_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_header_name_without_colon_is_400(self):
+        raw = b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n"
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_invalid_json_body_raises_api_error(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\n{oop"
+        request = parse(raw)
+        with pytest.raises(ApiError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
+
+
+class TestResponses:
+    def test_json_response_round_trips(self):
+        response = HttpResponse.json({"a": 1}, status=201)
+        assert response.status == 201
+        assert json.loads(response.body) == {"a": 1}
+
+    def test_jsonl_response_streams(self):
+        response = HttpResponse.jsonl(iter(['{"a": 1}', '{"b": 2}']))
+        assert response.content_type == "application/x-ndjson"
+        assert list(response.stream) == ['{"a": 1}', '{"b": 2}']

@@ -1,0 +1,122 @@
+"""Regression tests: idempotent, in-flight-safe DiscoveryService shutdown,
+plus the stats() snapshot both /metrics and --batch --stats render from."""
+
+import threading
+
+import pytest
+
+from repro.api import DiscoveryRequest
+from repro.exceptions import DiscoveryError
+from repro.serve import CacheStore, DiscoveryService, SessionPool
+
+
+class TestShutdown:
+    def test_shutdown_is_idempotent(self, cust_relation):
+        service = DiscoveryService(max_workers=1)
+        service.run(cust_relation, DiscoveryRequest(min_support=2, algorithm="fastcfd"))
+        service.shutdown()
+        service.shutdown()  # the regression: this used to be untested surface
+        service.shutdown(wait=False)
+        assert service.info()["shutdown"] is True
+
+    def test_concurrent_shutdown_calls_are_safe(self, cust_relation):
+        service = DiscoveryService(max_workers=2)
+        future = service.submit(
+            cust_relation, DiscoveryRequest(min_support=1, algorithm="fastcfd")
+        )
+        errors = []
+
+        def shut():
+            try:
+                service.shutdown(wait=True)
+            except Exception as exc:  # noqa: BLE001 - the assertion target
+                errors.append(exc)
+
+        threads = [threading.Thread(target=shut) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        # The in-flight request drained to completion, not cancellation.
+        assert future.result(timeout=1).min_support == 1
+
+    def test_submit_after_shutdown_raises_discovery_error(self, cust_relation):
+        service = DiscoveryService(max_workers=1)
+        service.shutdown()
+        with pytest.raises(DiscoveryError, match="shut down"):
+            service.submit(cust_relation, DiscoveryRequest(min_support=1))
+
+    def test_graceful_shutdown_spills_pool_to_store(self, tmp_path, cust_relation):
+        """The server drain path: shutdown(wait=True) persists warmed
+        sessions exactly once, so the next worker warm-starts."""
+        store = CacheStore(tmp_path)
+        pool = SessionPool(store=store)
+        service = DiscoveryService(pool=pool, max_workers=2)
+        service.run(cust_relation, DiscoveryRequest(min_support=2, algorithm="fastcfd"))
+        writes_before = store.writes
+        service.shutdown(wait=True)
+        assert store.writes > writes_before
+        entries_after_first = store.writes
+        service.shutdown(wait=True)  # idempotent: no second spill
+        assert store.writes == entries_after_first
+
+    def test_shutdown_without_wait_does_not_spill(self, tmp_path, cust_relation):
+        store = CacheStore(tmp_path)
+        service = DiscoveryService(
+            pool=SessionPool(store=store), max_workers=1
+        )
+        service.run(cust_relation, DiscoveryRequest(min_support=2, algorithm="fastcfd"))
+        service.shutdown(wait=False)
+        # A non-waiting shutdown cannot safely dump in-flight sessions; the
+        # later waiting call still gets its one spill.
+        service.shutdown(wait=True)
+        assert store.writes > 0
+
+
+class TestStats:
+    def test_stats_latency_aggregates(self, cust_relation):
+        with DiscoveryService(max_workers=2) as service:
+            service.run_batch(
+                [
+                    (cust_relation, DiscoveryRequest(min_support=k, algorithm="fastcfd"))
+                    for k in (1, 2, 3)
+                ]
+            )
+        stats = service.stats()
+        latency = stats["latency"]
+        assert latency["count"] == 3
+        assert latency["total_seconds"] > 0
+        assert latency["min_seconds"] <= latency["mean_seconds"] <= latency["max_seconds"]
+        # Bucket counts sum to the executed-run count; last bound is +Inf.
+        assert sum(count for _, count in latency["buckets"]) == 3
+        assert latency["buckets"][-1][0] is None
+
+    def test_stats_includes_pool_and_store(self, tmp_path, cust_relation):
+        store = CacheStore(tmp_path)
+        with DiscoveryService(
+            pool=SessionPool(store=store), max_workers=1
+        ) as service:
+            service.run(
+                cust_relation, DiscoveryRequest(min_support=2, algorithm="fastcfd")
+            )
+            stats = service.stats()
+        assert stats["pool"]["sessions"] == 1
+        assert stats["store"]["root"] == str(tmp_path)
+
+    def test_stats_is_json_native(self, cust_relation):
+        import json
+
+        with DiscoveryService(max_workers=1) as service:
+            service.run(
+                cust_relation, DiscoveryRequest(min_support=2, algorithm="fastcfd")
+            )
+        json.dumps(service.stats(), allow_nan=False)
+
+    def test_deduplicated_submissions_do_not_inflate_latency(self, cust_relation):
+        """Latency counts engine executions, not coalesced callers."""
+        request = DiscoveryRequest(min_support=2, algorithm="fastcfd")
+        with DiscoveryService(max_workers=1) as service:
+            service.run(cust_relation, request)
+        stats = service.stats()
+        assert stats["latency"]["count"] == stats["completed"]

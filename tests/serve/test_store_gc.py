@@ -1,0 +1,150 @@
+"""Tests for CacheStore.gc: cost-aware, mtime-tiebroken store shrinking."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CacheStoreError
+from repro.serve import CacheStore
+
+
+def _put(store, fingerprint, kind, params, *, build_seconds, mtime=None, payload=64):
+    """One entry with a controlled build cost, mtime and approximate size."""
+    path = store.put(
+        fingerprint,
+        kind,
+        params,
+        meta={"build_seconds": build_seconds},
+        arrays={"data": np.zeros(payload, dtype=np.int64)},
+    )
+    if mtime is not None:
+        os.utime(path, (mtime, mtime))
+    return path
+
+
+class TestGc:
+    def test_noop_under_budget(self, tmp_path):
+        store = CacheStore(tmp_path)
+        _put(store, "fp1", "free_closed", {"k": 1}, build_seconds=1.0)
+        summary = store.gc(store.size_bytes() + 1)
+        assert summary["removed_entries"] == 0
+        assert summary["remaining_entries"] == 1
+        assert len(store) == 1
+
+    def test_gc_zero_clears_the_store(self, tmp_path):
+        store = CacheStore(tmp_path)
+        _put(store, "fp1", "free_closed", {"k": 1}, build_seconds=1.0)
+        _put(store, "fp2", "free_closed", {"k": 1}, build_seconds=2.0)
+        summary = store.gc(0)
+        assert summary["removed_entries"] == 2
+        assert summary["remaining_bytes"] == 0
+        assert len(store) == 0
+        # Emptied per-relation directories are pruned.
+        assert [p for p in tmp_path.iterdir() if p.is_dir()] == []
+
+    def test_cheapest_build_cost_evicted_first(self, tmp_path):
+        store = CacheStore(tmp_path)
+        now = time.time()
+        cheap = _put(
+            store, "fp1", "free_closed", {"k": 1}, build_seconds=0.01, mtime=now
+        )
+        costly = _put(
+            store, "fp2", "free_closed", {"k": 1}, build_seconds=9.0,
+            mtime=now - 3600,  # older, but expensive to rebuild: survives
+        )
+        one_entry = costly.stat().st_size
+        summary = store.gc(one_entry)
+        assert summary["removed_entries"] == 1
+        assert not cheap.exists()
+        assert costly.exists()
+
+    def test_oldest_mtime_breaks_cost_ties(self, tmp_path):
+        store = CacheStore(tmp_path)
+        now = time.time()
+        old = _put(
+            store, "fp1", "free_closed", {"k": 1}, build_seconds=1.0,
+            mtime=now - 3600,
+        )
+        new = _put(
+            store, "fp2", "free_closed", {"k": 1}, build_seconds=1.0, mtime=now
+        )
+        summary = store.gc(new.stat().st_size)
+        assert summary["removed_entries"] == 1
+        assert not old.exists()
+        assert new.exists()
+
+    def test_unreadable_entries_are_collected_before_healthy_ones(self, tmp_path):
+        store = CacheStore(tmp_path)
+        now = time.time()
+        healthy = _put(
+            store, "fp1", "free_closed", {"k": 1}, build_seconds=0.0, mtime=now
+        )
+        corrupt = tmp_path / "fp2" / "free_closed-garbage.rpc"
+        corrupt.parent.mkdir()
+        corrupt.write_bytes(b"not a store entry, definitely")
+        os.utime(corrupt, (now, now))  # same age: score decides, not mtime
+        summary = store.gc(healthy.stat().st_size)
+        assert summary["removed_entries"] >= 1
+        assert not corrupt.exists()
+        assert healthy.exists()
+
+    def test_null_meta_header_scores_as_cheapest_not_a_crash(self, tmp_path):
+        """A syntactically valid header whose meta is null must be collected
+        first, never abort the GC with an AttributeError."""
+        import json
+        import struct
+
+        store = CacheStore(tmp_path)
+        healthy = _put(
+            store, "fp1", "free_closed", {"k": 1}, build_seconds=2.0
+        )
+        header = json.dumps(
+            {"format_version": CacheStore.FORMAT_VERSION, "fingerprint": "fp2",
+             "kind": "free_closed", "params": {}, "meta": None, "arrays": []}
+        ).encode()
+        torn = tmp_path / "fp2" / "free_closed-torn.rpc"
+        torn.parent.mkdir()
+        torn.write_bytes(
+            CacheStore.MAGIC + struct.pack("<Q", len(header)) + header
+        )
+        summary = store.gc(healthy.stat().st_size)
+        assert summary["removed_entries"] >= 1
+        assert not torn.exists()
+        assert healthy.exists()
+
+    def test_negative_budget_rejected(self, tmp_path):
+        store = CacheStore(tmp_path)
+        with pytest.raises(CacheStoreError, match="at least 0"):
+            store.gc(-1)
+
+    def test_counters_and_info(self, tmp_path):
+        store = CacheStore(tmp_path)
+        _put(store, "fp1", "free_closed", {"k": 1}, build_seconds=1.0)
+        store.gc(0)
+        info = store.info()
+        assert info["gc_runs"] == 1
+        assert info["gc_removed"] == 1
+
+
+class TestGcRoundTrip:
+    def test_profiler_dumps_survive_gc_by_cost(self, tmp_path, cust_relation):
+        """End to end: a dumped session's cheap entries go first and the
+        store still warm-loads whatever survived."""
+        from repro.api import DiscoveryRequest, Profiler
+
+        store = CacheStore(tmp_path)
+        seeder = Profiler(cust_relation)
+        seeder.run(DiscoveryRequest(min_support=2, algorithm="fastcfd"))
+        written = seeder.dump_caches(store)
+        assert written > 1
+        before = len(store)
+        # One byte under the footprint: exactly the cheapest entry goes.
+        summary = store.gc(store.size_bytes() - 1)
+        assert summary["removed_entries"] == 1
+        assert len(store) == before - 1
+        # Whatever survived still loads cleanly into a fresh session.
+        fresh = Profiler(cust_relation)
+        loaded = fresh.warm_from(store)
+        assert loaded == len(store)

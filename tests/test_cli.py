@@ -359,3 +359,63 @@ class TestCacheDir:
         # The second batch's pool warm-started its session from the store.
         assert document["service"]["pool"]["warm_loaded_entries"] > 0
         assert document["service"]["pool"]["persistent"] is True
+
+
+class TestCacheGc:
+    def test_gc_shrinks_the_store_and_exits(self, csv_path, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(
+            [str(csv_path), "--support", "2", "-a", "ctane",
+             "--cache-dir", str(cache)]
+        ) == 0
+        capsys.readouterr()
+        # Maintenance mode: no CSV argument, removes everything at budget 0.
+        assert main(["--cache-gc", "0", "--cache-dir", str(cache)]) == 0
+        captured = capsys.readouterr()
+        assert "cache-gc" in captured.err
+        assert "0 bytes remain" in captured.err
+        assert list(cache.glob("*/*.rpc")) == []
+
+    def test_gc_noop_when_under_budget(self, csv_path, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        main([str(csv_path), "--support", "2", "-a", "fastcfd",
+              "--cache-dir", str(cache)])
+        entries = list(cache.glob("*/*.rpc"))
+        capsys.readouterr()
+        assert main(
+            ["--cache-gc", str(10 ** 9), "--cache-dir", str(cache)]
+        ) == 0
+        assert "removed 0 entries" in capsys.readouterr().err
+        assert list(cache.glob("*/*.rpc")) == entries
+
+    def test_gc_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            main(["--cache-gc", "0"])
+
+    def test_csv_required_without_gc(self):
+        with pytest.raises(SystemExit):
+            main(["--support", "2"])
+
+
+class TestBatchStats:
+    def test_stats_summary_on_stderr(self, csv_path, tmp_path, capsys):
+        batch = tmp_path / "requests.json"
+        batch.write_text(
+            json.dumps([{"support": 1}, {"support": 2}]), encoding="utf-8"
+        )
+        assert main([str(csv_path), "--batch", str(batch), "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "# stats:" in captured.err
+        assert "executed runs" in captured.err
+        assert "pool 1 sessions" in captured.err
+
+    def test_stats_includes_store_counters(self, csv_path, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        batch = tmp_path / "requests.json"
+        batch.write_text(json.dumps([{"support": 2}]), encoding="utf-8")
+        assert main(
+            [str(csv_path), "--batch", str(batch), "--stats",
+             "--cache-dir", str(cache)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "# stats: store" in captured.err
