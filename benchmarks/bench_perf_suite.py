@@ -1,6 +1,6 @@
 """The tracked perf-benchmark suite → ``BENCH_perf.json`` at the repo root.
 
-Six sections, re-measured on every run so the numbers never rot:
+Seven sections, re-measured on every run so the numbers never rot:
 
 1. **Partition microbenchmarks** — construction of the single-attribute
    partitions and a full product chain across the schema, timed for the
@@ -28,6 +28,12 @@ Six sections, re-measured on every run so the numbers never rot:
    socket: steady-state requests/sec through upload → discover, and the
    first-request latency of a cold server versus one restarted over a
    ``--cache-dir`` store seeded by a previous server's graceful drain.
+7. **Fleet serving** — two store-sharing workers behind the ``repro-fleet``
+   router: the same warm request timed direct against the ring owner and
+   through the router (the forwarding overhead, asserted ≤ 30% in CI), and
+   the recovery latency of killing the owner mid-traffic (mark-dead → ring
+   successor → cached-upload replay → warm-start), which must reproduce the
+   owner's cover byte-identically.
 
 Run ``python benchmarks/bench_perf_suite.py`` for the tracked numbers or
 ``--smoke`` for the tiny CI configuration (same shape, toy sizes).
@@ -372,6 +378,139 @@ def bench_http_serving(
 
 
 # ---------------------------------------------------------------------- #
+# section 7: fleet serving — router overhead and failover recovery
+# ---------------------------------------------------------------------- #
+def bench_fleet_serving(
+    db_size: int, support: int, n_requests: int, workers: int = 2
+) -> dict:
+    """The cost of the ``repro-fleet`` hop and the price of a failover.
+
+    Two store-sharing workers behind one router, all on real sockets.  The
+    same warm discover request is timed ``n_requests`` times straight
+    against the ring owner and then through the router — the throughput
+    delta is the router's forwarding overhead (CI asserts it stays under
+    30%).  Then the owner is stopped mid-traffic and the next request
+    through the router times the full failover: mark-dead, retry on the
+    ring successor, replay the cached upload, warm-start from the shared
+    store — and its rules payload must be byte-identical to the owner's.
+    """
+    import http.client
+    import json as json_mod
+    import tempfile
+    from pathlib import Path as PathLib
+
+    from repro.relational.io import write_csv
+    from repro.serve import CacheStore, DiscoveryService, SessionPool
+    from repro.serve.fleet import RouterConfig, RouterThread
+    from repro.serve.http import ServerConfig, ServerThread
+
+    relation = tax_relation(db_size, seed=3)
+    discover_body = json_mod.dumps(
+        {"relation": "tax", "support": support, "algorithm": "ctane"}
+    ).encode()
+
+    def exchange(connection, method, path, body=None, content_type=None):
+        headers = {"Content-Type": content_type} if content_type else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        payload = response.read()
+        assert response.status in (200, 201), (response.status, payload[:200])
+        return payload
+
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = PathLib(tmp) / "tax.csv"
+        write_csv(relation, csv_path)
+        csv_bytes = csv_path.read_bytes()
+        store_dir = PathLib(tmp) / "store"
+
+        fleet = [
+            ServerThread(
+                DiscoveryService(
+                    pool=SessionPool(store=CacheStore(store_dir)), max_workers=4
+                ),
+                ServerConfig(port=0, request_timeout=300),
+            ).start()
+            for _ in range(workers)
+        ]
+        router = RouterThread(RouterConfig(
+            port=0,
+            workers=[worker.address for worker in fleet],
+            health_interval=0.5,
+            request_timeout=300.0,
+        )).start()
+        try:
+            via_router = http.client.HTTPConnection(
+                router.host, router.port, timeout=300
+            )
+            exchange(
+                via_router, "POST", "/v1/relations?name=tax",
+                body=csv_bytes, content_type="text/csv",
+            )
+            baseline = json_mod.loads(exchange(
+                via_router, "POST", "/v1/discover",
+                body=discover_body, content_type="application/json",
+            ))
+            owner_url = router.router.ring.assign(
+                router.router._resolve_key("tax")
+            )
+            owner = next(w for w in fleet if w.address == owner_url)
+            direct = http.client.HTTPConnection(
+                owner.host, owner.port, timeout=300
+            )
+            # Warm both paths past connection setup and first-hit effects.
+            for _ in range(3):
+                exchange(direct, "POST", "/v1/discover",
+                         body=discover_body, content_type="application/json")
+                exchange(via_router, "POST", "/v1/discover",
+                         body=discover_body, content_type="application/json")
+
+            started = time.perf_counter()
+            for _ in range(n_requests):
+                exchange(direct, "POST", "/v1/discover",
+                         body=discover_body, content_type="application/json")
+            direct_s = time.perf_counter() - started
+            direct.close()
+
+            started = time.perf_counter()
+            for _ in range(n_requests):
+                exchange(via_router, "POST", "/v1/discover",
+                         body=discover_body, content_type="application/json")
+            router_s = time.perf_counter() - started
+
+            # Failover: stop the owner (graceful — it spills to the shared
+            # store) and time the next request through the router.
+            owner.stop()
+            started = time.perf_counter()
+            failed_over = json_mod.loads(exchange(
+                via_router, "POST", "/v1/discover",
+                body=discover_body, content_type="application/json",
+            ))
+            failover_recovery_s = time.perf_counter() - started
+            via_router.close()
+
+            identical = json_mod.dumps(
+                failed_over["rules"], sort_keys=True
+            ) == json_mod.dumps(baseline["rules"], sort_keys=True)
+        finally:
+            router.stop()
+            for worker in fleet:
+                worker.stop()
+
+    return {
+        "db_size": db_size,
+        "support": support,
+        "algorithm": "ctane",
+        "workers": workers,
+        "n_requests": n_requests,
+        "requests_per_second_direct": round(n_requests / direct_s, 2),
+        "requests_per_second_router": round(n_requests / router_s, 2),
+        "router_overhead_pct": round((router_s - direct_s) / direct_s * 100, 1),
+        "failover_recovery_s": failover_recovery_s,
+        "failover_byte_identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------- #
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -416,6 +555,9 @@ def main(argv=None) -> int:
     http_serving = bench_http_serving(
         ablation_db, ablation_k, n_requests=http_requests
     )
+    fleet_serving = bench_fleet_serving(
+        ablation_db, ablation_k, n_requests=http_requests
+    )
 
     document = {
         "suite": "bench_perf_suite",
@@ -428,6 +570,7 @@ def main(argv=None) -> int:
         "serving": serving,
         "persistence": persistence,
         "http_serving": http_serving,
+        "fleet_serving": fleet_serving,
         # Pre-substrate numbers measured on the PR-1 tree (same machine
         # class, db_size=2000/k=20 and the 5000-row product chain), kept as
         # the fixed origin of the trajectory.
@@ -478,6 +621,14 @@ def main(argv=None) -> int:
           f"first request cold {http_serving['first_request_cold_s']:.3f}s vs "
           f"warm-start {http_serving['first_request_warm_s']:.3f}s "
           f"({http_serving['warm_speedup']:.1f}x)")
+    print(f"\nfleet serving (db={fleet_serving['db_size']}, "
+          f"k={fleet_serving['support']}, {fleet_serving['workers']} workers): "
+          f"{fleet_serving['requests_per_second_router']} req/s through the "
+          f"router vs {fleet_serving['requests_per_second_direct']} req/s "
+          f"direct ({fleet_serving['router_overhead_pct']}% overhead), "
+          f"failover recovery "
+          f"{fleet_serving['failover_recovery_s']:.3f}s "
+          f"(byte-identical={fleet_serving['failover_byte_identical']})")
     return 0
 
 

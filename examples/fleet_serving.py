@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""A discovery fleet: one router, two workers, one shared cache store.
+
+PR 5 put one ``repro-serve`` worker on a socket; :mod:`repro.serve.fleet`
+scales that worker out.  This walkthrough boots two workers over one shared
+:class:`~repro.serve.CacheStore` directory and one ``repro-fleet`` router in
+front of them (all on ephemeral ports, all stdlib), then shows the three
+fleet behaviours end to end:
+
+1. **placement** — uploads and discover requests route by relation
+   fingerprint on the consistent-hash ring, so each relation's warm session
+   lives on exactly one worker;
+2. **failover** — stopping the owning worker mid-traffic re-routes its arc
+   to the ring successor, which warm-starts from the shared store and
+   serves the *identical* cover (the router replays the cached upload);
+3. **fairness** — a greedy client exhausts its token bucket and gets
+   ``429`` + an honest ``Retry-After`` while a light client keeps being
+   admitted.
+
+In production you would run the standalone processes instead::
+
+    repro-serve --port 8321 --cache-dir /var/cache/repro &
+    repro-serve --port 8322 --cache-dir /var/cache/repro &
+    python -m repro.serve.fleet --port 8400 \\
+        --worker http://127.0.0.1:8321 --worker http://127.0.0.1:8322 \\
+        --client-rate 50 --client-burst 100
+
+Run with::
+
+    python examples/fleet_serving.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.datagen import generate_tax
+from repro.relational.io import write_csv
+from repro.serve import CacheStore, DiscoveryService, SessionPool
+from repro.serve.fleet import RouterConfig, RouterThread
+from repro.serve.http import ServerConfig, ServerThread
+
+
+def call(base: str, method: str, path: str, body=None, content_type=None,
+         client_id=None):
+    """One HTTP exchange; returns (status, headers, parsed-or-raw body)."""
+    request = urllib.request.Request(base + path, data=body, method=method)
+    if content_type:
+        request.add_header("Content-Type", content_type)
+    if client_id:
+        request.add_header("X-Client-Id", client_id)
+    try:
+        with urllib.request.urlopen(request) as response:
+            payload = response.read()
+            headers = dict(response.headers)
+            status = response.status
+    except urllib.error.HTTPError as error:  # 4xx/5xx still carry a body
+        payload = error.read()
+        headers = dict(error.headers)
+        status = error.code
+    kind = headers.get("Content-Type", headers.get("content-type", ""))
+    if kind.startswith("application/json"):
+        return status, headers, json.loads(payload)
+    return status, headers, payload.decode()
+
+
+def start_worker(store_dir: Path) -> ServerThread:
+    """One worker process-equivalent: own service, shared store directory."""
+    service = DiscoveryService(
+        pool=SessionPool(store=CacheStore(store_dir)), max_workers=2
+    )
+    return ServerThread(service, ServerConfig(port=0)).start()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "tax.csv"
+        write_csv(generate_tax(400, arity=7, seed=11), csv_path)
+        store_dir = Path(tmp) / "shared-cache"
+
+        workers = [start_worker(store_dir) for _ in range(2)]
+        router = RouterThread(RouterConfig(
+            port=0,
+            workers=[worker.address for worker in workers],
+            health_interval=0.2,
+            client_rate=2.0,       # 2 requests/second per client id ...
+            client_burst=4.0,      # ... after a 4-request burst
+        )).start()
+        base = router.address
+        print(f"router on {base} fronting "
+              f"{', '.join(w.address for w in workers)}\n")
+
+        # 1. placement ---------------------------------------------------- #
+        status, _, uploaded = call(
+            base, "POST", "/v1/relations?name=tax",
+            body=csv_path.read_bytes(), content_type="text/csv",
+        )
+        fingerprint = uploaded["fingerprint"]
+        owner_url, successor_url = router.router.ring.preference(
+            fingerprint, limit=2
+        )
+        print(f"[{status}] uploaded tax ({uploaded['rows']} rows); "
+              f"ring owner: {owner_url}")
+
+        discover = json.dumps(
+            {"relation": "tax", "support": 10, "algorithm": "ctane"}
+        ).encode()
+        status, _, before = call(
+            base, "POST", "/v1/discover", body=discover,
+            content_type="application/json",
+        )
+        print(f"[{status}] discover through router: "
+              f"{before['counts']['total']} CFDs "
+              f"in {before['elapsed_seconds']:.3f}s (cold, on the owner)")
+
+        # 2. failover ----------------------------------------------------- #
+        owner = next(w for w in workers if w.address == owner_url)
+        owner.stop()  # graceful: spills its warm session into the store
+        print(f"\nstopped the owner {owner_url} — its arc remaps to "
+              f"{successor_url}")
+
+        status, _, after = call(
+            base, "POST", "/v1/discover", body=discover,
+            content_type="application/json",
+        )
+        identical = json.dumps(after["rules"], sort_keys=True) == json.dumps(
+            before["rules"], sort_keys=True
+        )
+        print(f"[{status}] discover again: {after['counts']['total']} CFDs "
+              f"in {after['elapsed_seconds']:.3f}s on the successor "
+              f"(byte-identical rules: {identical})")
+
+        _, _, metrics = call(base, "GET", "/metrics")
+        for line in metrics.splitlines():
+            if line.startswith((
+                "repro_fleet_failovers_total", "repro_fleet_reuploads_total",
+            )) and not line.startswith("#"):
+                print(f"  {line}")
+
+        # 3. fairness ----------------------------------------------------- #
+        print("\na greedy client vs the token bucket "
+              "(rate 2/s, burst 4):")
+        for attempt in range(1, 8):
+            status, headers, _ = call(
+                base, "GET", "/v1/relations", client_id="greedy"
+            )
+            hint = headers.get("Retry-After", "")
+            note = f" Retry-After: {hint}s" if hint else ""
+            print(f"  greedy #{attempt}: {status}{note}")
+        status, _, _ = call(base, "GET", "/v1/relations", client_id="light")
+        print(f"  light  #1: {status}  (unaffected by greedy's exhaustion)")
+
+        router.stop()
+        for worker in workers:
+            worker.stop()
+        print("\nfleet stopped")
+
+
+if __name__ == "__main__":
+    main()

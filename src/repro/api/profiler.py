@@ -586,17 +586,32 @@ class Profiler:
                 arrays=arrays,
             )
             written += 1
+        # The bundle and query-cache entries live under one *fixed* store key
+        # per relation, and persisting them is a read→union→write cycle: two
+        # workers sharing a store directory and spilling the same relation
+        # concurrently would each read the same base, merge their own
+        # additions, and the slower writer would silently drop the faster
+        # one's.  Each cycle therefore runs under the store's cross-process
+        # lock; acquisition is best-effort (a lock timeout degrades to the
+        # old racy merge rather than failing the spill).
         if partitions:
             items = [
                 ([int(i) for i in key], partition)
                 for key, partition in sorted(partitions.items())
             ]
-            items = self._merge_bundle(store, sf.KIND_ATTRIBUTE_PARTITIONS, items)
-            meta, arrays = sf.pack_partition_bundle(items)
-            meta["build_seconds"] = build.get("attribute_partitions", 0.0)
-            store.put(
-                fingerprint, sf.KIND_ATTRIBUTE_PARTITIONS, {}, meta=meta, arrays=arrays
-            )
+            with store.lock(fingerprint, sf.KIND_ATTRIBUTE_PARTITIONS):
+                items = self._merge_bundle(
+                    store, sf.KIND_ATTRIBUTE_PARTITIONS, items
+                )
+                meta, arrays = sf.pack_partition_bundle(items)
+                meta["build_seconds"] = build.get("attribute_partitions", 0.0)
+                store.put(
+                    fingerprint,
+                    sf.KIND_ATTRIBUTE_PARTITIONS,
+                    {},
+                    meta=meta,
+                    arrays=arrays,
+                )
             written += 1
         if patterns:
             items = []
@@ -606,22 +621,28 @@ class Profiler:
                     [None if is_wildcard(c) else int(c) for c in codes],
                 ]
                 items.append((json_key, partition))
-            items = self._merge_bundle(store, sf.KIND_PATTERN_PARTITIONS, items)
-            meta, arrays = sf.pack_partition_bundle(items)
-            store.put(
-                fingerprint, sf.KIND_PATTERN_PARTITIONS, {}, meta=meta, arrays=arrays
-            )
+            with store.lock(fingerprint, sf.KIND_PATTERN_PARTITIONS):
+                items = self._merge_bundle(store, sf.KIND_PATTERN_PARTITIONS, items)
+                meta, arrays = sf.pack_partition_bundle(items)
+                store.put(
+                    fingerprint,
+                    sf.KIND_PATTERN_PARTITIONS,
+                    {},
+                    meta=meta,
+                    arrays=arrays,
+                )
             written += 1
         for name, provider in providers.items():
             if provider is None:
                 continue
             exported = provider.export_cache()
-            exported = self._merge_query_cache(store, name, exported)
-            meta = sf.pack_query_cache(exported)
-            meta["build_seconds"] = build.get(f"{name}_difference_sets", 0.0)
-            store.put(
-                fingerprint, sf.KIND_DIFFERENCE_SETS, {"provider": name}, meta=meta
-            )
+            with store.lock(fingerprint, f"{sf.KIND_DIFFERENCE_SETS}.{name}"):
+                exported = self._merge_query_cache(store, name, exported)
+                meta = sf.pack_query_cache(exported)
+                meta["build_seconds"] = build.get(f"{name}_difference_sets", 0.0)
+                store.put(
+                    fingerprint, sf.KIND_DIFFERENCE_SETS, {"provider": name}, meta=meta
+                )
             written += 1
         for (name, k, max_lhs, options), entry in engines.items():
             if entry is None:
@@ -644,6 +665,7 @@ class Profiler:
                 meta=meta,
             )
             written += 1
+        store.enforce_budget()
         return written
 
     def _merge_bundle(self, store: "CacheStore", kind: str, items):

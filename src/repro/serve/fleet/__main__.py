@@ -1,0 +1,8 @@
+"""``python -m repro.serve.fleet`` — the ``repro-fleet`` router command."""
+
+import sys
+
+from repro.serve.fleet.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""The ``repro-fleet`` command: the shard router in front of N workers.
+
+Run with ``python -m repro.serve.fleet``::
+
+    repro-serve --port 8321 --cache-dir /var/cache/repro &
+    repro-serve --port 8322 --cache-dir /var/cache/repro &
+    repro-fleet --port 8400 \\
+        --worker http://127.0.0.1:8321 --worker http://127.0.0.1:8322
+
+    curl -s -X POST --data-binary @tax.csv \\
+         'http://127.0.0.1:8400/v1/relations?name=tax'
+    curl -s -X POST -H 'Content-Type: application/json' \\
+         -H 'X-Client-Id: team-a' \\
+         -d '{"relation": "tax", "support": 10}' \\
+         http://127.0.0.1:8400/v1/discover
+    curl -s http://127.0.0.1:8400/metrics
+
+Clients speak to the router exactly as they would to a single worker; the
+router pins each relation to one worker (consistent hashing), fails over to
+the ring successor when a worker dies or drains, rate-limits per client
+(``--client-rate``/``--client-burst``) and schedules contended forwards
+weighted-fair.  Workers sharing one ``--cache-dir`` hand warm sessions to
+each other across failovers through the persistent store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import Optional, Sequence
+
+from repro.serve.fleet.router import FleetRouter, RouterConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro-fleet`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Route CFD discovery across repro-serve workers "
+        "(consistent hashing + failover + per-client fairness).",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8400,
+        help="TCP port; 0 picks an ephemeral port (default: 8400)",
+    )
+    parser.add_argument(
+        "--worker", action="append", default=[], metavar="URL",
+        help="a worker base URL (repeat per worker), "
+        "e.g. --worker http://127.0.0.1:8321",
+    )
+    parser.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per worker on the hash ring (default: 64)",
+    )
+    parser.add_argument(
+        "--client-rate", type=float, default=0.0, metavar="RPS",
+        help="per-client token-bucket rate in requests/second; "
+        "0 disables rate limiting (default: 0)",
+    )
+    parser.add_argument(
+        "--client-burst", type=float, default=16.0,
+        help="per-client token-bucket burst capacity (default: 16)",
+    )
+    parser.add_argument(
+        "--forward-slots", type=int, default=16,
+        help="concurrent forwards; more wait weighted-fair (default: 16)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=64,
+        help="forwards allowed to wait for a slot before 503 (default: 64)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=60.0, metavar="SECONDS",
+        help="per-forward deadline; 0 disables it (default: 60)",
+    )
+    parser.add_argument(
+        "--max-body-bytes", type=int, default=32 * 2 ** 20,
+        help="request body cap in bytes (default: 32 MiB)",
+    )
+    parser.add_argument(
+        "--health-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between worker health sweeps (default: 1)",
+    )
+    parser.add_argument(
+        "--fail-after", type=int, default=2,
+        help="consecutive failed polls before a worker leaves the ring "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--upload-cache-bytes", type=int, default=64 * 2 ** 20,
+        help="byte budget of the raw upload cache backing failover "
+        "re-uploads (default: 64 MiB)",
+    )
+    return parser
+
+
+def _validate(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None:
+    if not args.worker:
+        parser.error("at least one --worker URL is required")
+    if args.vnodes < 1:
+        parser.error("--vnodes must be at least 1")
+    if args.forward_slots < 1:
+        parser.error("--forward-slots must be at least 1")
+    if args.max_queue < 0:
+        parser.error("--max-queue must be at least 0")
+    if args.client_rate < 0:
+        parser.error("--client-rate must be at least 0")
+    if args.client_burst < 1:
+        parser.error("--client-burst must be at least 1")
+    if args.deadline < 0:
+        parser.error("--deadline must be at least 0")
+    if args.health_interval <= 0:
+        parser.error("--health-interval must be positive")
+    if args.fail_after < 1:
+        parser.error("--fail-after must be at least 1")
+
+
+def config_from_args(args: argparse.Namespace) -> RouterConfig:
+    return RouterConfig(
+        host=args.host,
+        port=args.port,
+        workers=list(args.worker),
+        vnodes=args.vnodes,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        forward_slots=args.forward_slots,
+        max_queue=args.max_queue,
+        request_timeout=args.deadline or None,
+        max_body_bytes=args.max_body_bytes,
+        health_interval=args.health_interval,
+        fail_after=args.fail_after,
+        upload_cache_bytes=args.upload_cache_bytes,
+    )
+
+
+async def serve(config: RouterConfig) -> None:
+    """Start the router, wire signals to a clean stop, run until stopped."""
+    router = FleetRouter(config)
+    await router.start()
+    loop = asyncio.get_running_loop()
+
+    def request_stop() -> None:
+        asyncio.ensure_future(router.stop())
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, request_stop)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platforms without loop signal support (Windows)
+    members = router.membership.members()
+    print(
+        f"repro-fleet listening on http://{config.host}:{router.port} "
+        f"({len(members)}/{len(config.workers)} workers healthy, "
+        f"vnodes={config.vnodes})",
+        file=sys.stderr,
+        flush=True,
+    )
+    await router.wait_stopped()
+    print("repro-fleet stopped", file=sys.stderr, flush=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-fleet`` command; returns the exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate(args, parser)
+    config = config_from_args(args)
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C fallback
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,257 @@
+"""A minimal asyncio HTTP/1.1 client for router → worker forwarding.
+
+The counterpart of :mod:`repro.serve.http.protocol` on the client side, and
+just as deliberately small: request line + headers + fixed-length body out,
+status line + headers in, body either ``Content-Length`` or chunked.  A
+chunked body (the workers' JSONL rule streams) is surfaced as an async
+iterator of raw chunks so the router can re-stream it to its own client
+without buffering an unbounded tableau in memory.
+
+Connections are pooled per worker (keep-alive): a forward takes an idle
+connection when one exists, and returns it after a cleanly-finished
+fixed-length exchange.  Streamed responses and error paths close the
+connection instead — cheap insurance against half-consumed bodies poisoning
+the pool.  Connection failures raise :class:`WorkerUnavailableError`, which
+is the router's failover trigger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.exceptions import DiscoveryError
+
+#: Caps mirroring the server-side parser: a worker answering absurd heads is
+#: treated as broken, not buffered.
+MAX_STATUS_LINE_BYTES = 8192
+MAX_HEADER_BYTES = 65536
+
+#: Idle connections kept per worker.
+MAX_IDLE_PER_WORKER = 4
+
+
+class WorkerUnavailableError(DiscoveryError):
+    """The worker could not be reached or answered garbage — fail over."""
+
+
+class WorkerResponse:
+    """One upstream response: status, headers, and exactly one body form.
+
+    ``body`` is set for fixed-length responses; ``chunks`` (an async
+    iterator) for chunked ones.  Exactly one of the two is non-``None``.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        headers: Dict[str, str],
+        body: Optional[bytes] = None,
+        chunks: Optional[AsyncIterator[bytes]] = None,
+    ):
+        self.status = status
+        self.headers = headers
+        self.body = body
+        self.chunks = chunks
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("content-type", "application/json")
+
+    def json(self) -> object:
+        """The fixed-length body decoded as JSON (``None`` when undecodable)."""
+        if self.body is None:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+
+
+class WorkerClient:
+    """Keep-alive HTTP client over the fleet's workers, addressed by URL."""
+
+    def __init__(self, *, connect_timeout: float = 5.0):
+        self._connect_timeout = connect_timeout
+        self._idle: Dict[str, List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]] = {}
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def endpoint(worker: str) -> Tuple[str, int]:
+        """``(host, port)`` of a worker URL like ``http://127.0.0.1:8321``."""
+        split = urlsplit(worker if "//" in worker else f"//{worker}")
+        if not split.hostname or not split.port:
+            raise DiscoveryError(f"worker URL needs host and port: {worker!r}")
+        return split.hostname, split.port
+
+    async def _connect(
+        self, worker: str
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        idle = self._idle.get(worker)
+        while idle:
+            reader, writer = idle.pop()
+            if not writer.is_closing() and not reader.at_eof():
+                return reader, writer
+            self._discard(writer)
+        host, port = self.endpoint(worker)
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(host, port), self._connect_timeout
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise WorkerUnavailableError(f"cannot reach worker {worker}: {exc}") from exc
+
+    def _park(self, worker: str, reader, writer) -> None:
+        idle = self._idle.setdefault(worker, [])
+        if len(idle) < MAX_IDLE_PER_WORKER and not writer.is_closing():
+            idle.append((reader, writer))
+        else:
+            self._discard(writer)
+
+    @staticmethod
+    def _discard(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except Exception:  # noqa: BLE001 - closing a dead socket is best-effort
+            pass
+
+    async def close(self) -> None:
+        """Close every pooled connection (router shutdown)."""
+        for idle in self._idle.values():
+            for _reader, writer in idle:
+                self._discard(writer)
+        self._idle.clear()
+
+    # ------------------------------------------------------------------ #
+    async def request(
+        self,
+        worker: str,
+        method: str,
+        target: str,
+        *,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+        timeout: Optional[float] = None,
+    ) -> WorkerResponse:
+        """One HTTP exchange with ``worker``; raises
+        :class:`WorkerUnavailableError` on transport failure.
+
+        Fixed-length responses are read fully (and the connection returned
+        to the pool); chunked responses come back as a chunk iterator that
+        owns — and finally closes — the connection.
+        """
+        reader, writer = await self._connect(worker)
+        try:
+            head = [f"{method} {target} HTTP/1.1"]
+            host, port = self.endpoint(worker)
+            sent = {"host": f"{host}:{port}", "content-length": str(len(body))}
+            for name, value in (headers or {}).items():
+                sent[name.lower()] = value
+            head.extend(f"{name}: {value}" for name, value in sent.items())
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+            if body:
+                writer.write(body)
+            await writer.drain()
+            return await asyncio.wait_for(
+                self._read_response(worker, reader, writer), timeout
+            )
+        except WorkerUnavailableError:
+            self._discard(writer)
+            raise
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            self._discard(writer)
+            raise WorkerUnavailableError(f"worker {worker} dropped: {exc}") from exc
+        except asyncio.TimeoutError:
+            self._discard(writer)
+            raise
+        except asyncio.CancelledError:
+            self._discard(writer)
+            raise
+
+    async def _read_response(
+        self, worker: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> WorkerResponse:
+        line = await reader.readline()
+        if not line:
+            raise WorkerUnavailableError(f"worker {worker} closed before answering")
+        if len(line) > MAX_STATUS_LINE_BYTES:
+            raise WorkerUnavailableError(f"worker {worker} sent an absurd status line")
+        parts = line.decode("latin-1").strip().split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise WorkerUnavailableError(
+                f"worker {worker} answered a malformed status line"
+            )
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        total = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            total += len(line)
+            if total > MAX_HEADER_BYTES:
+                raise WorkerUnavailableError(f"worker {worker} sent absurd headers")
+            name, sep, value = line.decode("latin-1").rstrip("\r\n").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            return WorkerResponse(
+                status, headers, chunks=self._iter_chunks(reader, writer)
+            )
+        length = int(headers.get("content-length", "0") or 0)
+        payload = await reader.readexactly(length) if length else b""
+        if keep_alive:
+            self._park(worker, reader, writer)
+        else:
+            self._discard(writer)
+        return WorkerResponse(status, headers, body=payload)
+
+    async def _iter_chunks(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> AsyncIterator[bytes]:
+        """Decode a chunked body; the iterator owns and closes the socket."""
+        try:
+            while True:
+                size_line = await reader.readline()
+                try:
+                    size = int(size_line.strip().split(b";")[0], 16)
+                except ValueError as exc:
+                    raise WorkerUnavailableError(
+                        f"malformed chunk header {size_line!r}"
+                    ) from exc
+                if size == 0:
+                    await reader.readline()  # trailing CRLF of the last chunk
+                    return
+                chunk = await reader.readexactly(size)
+                await reader.readexactly(2)  # chunk CRLF
+                yield chunk
+        finally:
+            # Streamed connections never rejoin the pool: a half-consumed
+            # stream would poison the next exchange.
+            self._discard(writer)
+
+    # ------------------------------------------------------------------ #
+    async def healthz(
+        self, worker: str, *, timeout: float = 5.0
+    ) -> Optional[Dict[str, object]]:
+        """The worker's ``/healthz`` document, or ``None`` when unreachable."""
+        try:
+            response = await self.request(worker, "GET", "/healthz", timeout=timeout)
+        except (WorkerUnavailableError, asyncio.TimeoutError):
+            return None
+        document = response.json()
+        if not isinstance(document, dict):
+            return None
+        document["_status_code"] = response.status
+        return document
+
+
+__all__ = [
+    "WorkerClient",
+    "WorkerResponse",
+    "WorkerUnavailableError",
+]

@@ -1,0 +1,254 @@
+"""Per-client multi-tenancy: token-bucket rate limiting + weighted-fair queueing.
+
+Two cooperating disciplines, both keyed on the client identity the router
+derives from ``X-Client-Id`` (default: one id per connection):
+
+* :class:`TokenBucket` / :class:`ClientRegistry` — a rate cap per client.
+  Each client holds a bucket of ``burst`` tokens refilling at ``rate``
+  tokens/second; a request with no token is answered ``429`` immediately,
+  with an honest ``Retry-After`` (the seconds until a token actually
+  refills).  The registry is LRU-bounded, so a churn of one-shot client ids
+  cannot grow the router without limit.
+
+* :class:`FairQueue` — weighted-fair queueing over the router's forward
+  slots.  Admission is the classical virtual-finish-time discipline: each
+  client's next request is stamped ``max(virtual_time, client's last stamp)
+  + cost/weight`` and the smallest stamp is admitted when a slot frees.  A
+  greedy client's requests stack up *its own* stamp sequence far into the
+  virtual future, while a light client's occasional request lands near the
+  current virtual time and jumps the queue — bounded delay for the light
+  tenant no matter how hard the greedy one pushes.  The rate limiter caps
+  how fast a client may *arrive*; the fair queue decides who *runs* when
+  the forward pool is contended.
+
+Everything here runs on the router's event loop — single-threaded by
+construction, so no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import DiscoveryError
+
+#: Most clients the registry tracks; least-recently-seen ids are dropped
+#: (their bucket restarts full, their stats restart at zero — the price of
+#: bounding the router against client-id churn).
+MAX_TRACKED_CLIENTS = 1024
+
+
+class TokenBucket:
+    """One client's rate state: ``burst`` capacity refilled at ``rate``/s."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def acquire(self, now: float) -> Optional[float]:
+        """Take one token; ``None`` on success, else seconds until one refills."""
+        if now > self.updated:
+            self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+            self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return None
+        if self.rate <= 0:
+            return None  # rate 0 disables limiting entirely
+        return (1.0 - self.tokens) / self.rate
+
+
+class ClientStats:
+    """Per-client counters the router renders into ``/metrics``."""
+
+    __slots__ = ("admitted", "throttled", "queued", "weight")
+
+    def __init__(self, weight: float = 1.0):
+        self.admitted = 0
+        self.throttled = 0
+        self.queued = 0
+        self.weight = weight
+
+
+class ClientRegistry:
+    """LRU-bounded client table: rate buckets, weights and counters.
+
+    ``rate <= 0`` disables rate limiting (every client always admits);
+    ``default_weight`` seeds the WFQ weight of new clients.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        max_clients: int = MAX_TRACKED_CLIENTS,
+        default_weight: float = 1.0,
+        clock=time.monotonic,
+    ):
+        if burst < 1:
+            raise DiscoveryError("burst must be at least 1")
+        if max_clients < 1:
+            raise DiscoveryError("max_clients must be at least 1")
+        self._rate = rate
+        self._burst = burst
+        self._max_clients = max_clients
+        self._default_weight = default_weight
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._stats: Dict[str, ClientStats] = {}
+        self.throttled_total = 0
+
+    # ------------------------------------------------------------------ #
+    def _touch(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self._rate, self._burst, self._clock())
+            self._buckets[client] = bucket
+            self._stats[client] = ClientStats(self._default_weight)
+            while len(self._buckets) > self._max_clients:
+                dropped, _ = self._buckets.popitem(last=False)
+                self._stats.pop(dropped, None)
+        else:
+            self._buckets.move_to_end(client)
+        return bucket
+
+    def admit(self, client: str) -> Optional[float]:
+        """Rate-check one request; ``None`` admits, else the Retry-After hint."""
+        bucket = self._touch(client)
+        stats = self._stats[client]
+        if self._rate <= 0:
+            stats.admitted += 1
+            return None
+        wait = bucket.acquire(self._clock())
+        if wait is None:
+            stats.admitted += 1
+            return None
+        stats.throttled += 1
+        self.throttled_total += 1
+        return wait
+
+    def weight(self, client: str) -> float:
+        stats = self._stats.get(client)
+        return stats.weight if stats is not None else self._default_weight
+
+    def stats(self, client: str) -> Optional[ClientStats]:
+        return self._stats.get(client)
+
+    def snapshot(self) -> List[Tuple[str, ClientStats]]:
+        """The tracked clients and their counters (bounded, render-safe)."""
+        return list(self._stats.items())
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class QueueFullError(DiscoveryError):
+    """The fair queue's wait room is full — reject, never buffer unboundedly."""
+
+
+class FairQueue:
+    """Weighted-fair admission onto a fixed pool of forward slots.
+
+    ``slots`` requests run concurrently; up to ``max_queue`` more wait,
+    dequeued in virtual-finish-time order; beyond that :meth:`acquire`
+    raises :class:`QueueFullError` immediately.  Every successful
+    ``acquire`` must be paired with exactly one :meth:`release` (use
+    ``try/finally``).
+    """
+
+    def __init__(self, slots: int, max_queue: int):
+        if slots < 1:
+            raise DiscoveryError("slots must be at least 1")
+        if max_queue < 0:
+            raise DiscoveryError("max_queue must be at least 0")
+        self._slots = slots
+        self._max_queue = max_queue
+        self._free = slots
+        self._virtual = 0.0
+        self._last_tag: "OrderedDict[str, float]" = OrderedDict()
+        self._heap: List[Tuple[float, int, str, "asyncio.Future[None]"]] = []
+        self._queued = 0
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting for a slot."""
+        return self._queued
+
+    @property
+    def slots(self) -> int:
+        return self._slots
+
+    def depth_of(self, client: str) -> int:
+        return sum(1 for _, _, owner, f in self._heap if owner == client and not f.done())
+
+    def _stamp(self, client: str, weight: float) -> float:
+        tag = max(self._virtual, self._last_tag.get(client, 0.0)) + 1.0 / max(
+            weight, 1e-9
+        )
+        self._last_tag[client] = tag
+        self._last_tag.move_to_end(client)
+        while len(self._last_tag) > MAX_TRACKED_CLIENTS:
+            self._last_tag.popitem(last=False)
+        return tag
+
+    async def acquire(self, client: str, weight: float = 1.0) -> None:
+        """Wait for a forward slot in weighted-fair order.
+
+        Immediate when a slot is free and nothing queues ahead; raises
+        :class:`QueueFullError` when the wait room is full.  Cancellation
+        while queued cleanly abandons the spot (no slot is consumed).
+        """
+        if self._free > 0 and self._queued == 0:
+            self._free -= 1
+            return
+        if self._queued >= self._max_queue:
+            raise QueueFullError("fair queue is full")
+        tag = self._stamp(client, weight)
+        future: "asyncio.Future[None]" = asyncio.get_running_loop().create_future()
+        heapq.heappush(self._heap, (tag, next(self._counter), client, future))
+        self._queued += 1
+        try:
+            await future
+        except asyncio.CancelledError:
+            if future.cancelled():
+                # Still parked in the heap: account for the departure now;
+                # release() will skip the dead entry without re-counting it.
+                self._queued -= 1
+            elif future.done() and future.exception() is None:
+                # The slot was handed over in release() just as the waiter
+                # was cancelled; pass it on so no slot ever leaks.
+                self.release()
+            raise
+
+    def release(self) -> None:
+        """Return a slot; the earliest-stamped waiter (if any) takes it over."""
+        while self._heap:
+            tag, _, _, future = heapq.heappop(self._heap)
+            if future.done():
+                continue  # cancelled waiter: acquire() already accounted for it
+            self._virtual = max(self._virtual, tag)
+            self._queued -= 1
+            future.set_result(None)
+            return
+        self._free = min(self._slots, self._free + 1)
+
+
+__all__ = [
+    "ClientRegistry",
+    "ClientStats",
+    "FairQueue",
+    "MAX_TRACKED_CLIENTS",
+    "QueueFullError",
+    "TokenBucket",
+]

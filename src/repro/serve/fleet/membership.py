@@ -1,0 +1,176 @@
+"""Fleet membership: health-polled worker liveness driving the hash ring.
+
+The router is configured with a *static roster* of worker URLs; membership
+decides, continuously, which of them are ring members.  A background task
+polls each worker's ``/healthz`` every ``interval`` seconds:
+
+* ``200 {"status": "ok"}``       → member (added back if it was out);
+* ``503 {"status": "draining"}`` → removed immediately — a draining worker
+  finishes its in-flight requests but must take no new arcs;
+* unreachable                    → removed after ``fail_after`` consecutive
+  misses (one lost poll is not an outage).
+
+The router can also call :meth:`mark_dead` the instant a *forward* hits a
+connection error — failover must not wait for the next poll tick.  A dead
+worker keeps being polled and rejoins the ring on its first healthy answer,
+at which point the ring's determinism hands it back exactly the arcs it
+owned before (warm sessions and store entries intact).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional
+
+from repro.serve.fleet.client import WorkerClient
+from repro.serve.fleet.ring import HashRing
+
+#: Consecutive failed polls before an unreachable worker leaves the ring.
+DEFAULT_FAIL_AFTER = 2
+
+#: Seconds between health sweeps.
+DEFAULT_INTERVAL = 1.0
+
+
+class WorkerHealth:
+    """One worker's last observed health state."""
+
+    __slots__ = ("url", "member", "status", "failures", "polls")
+
+    def __init__(self, url: str):
+        self.url = url
+        self.member = False
+        self.status = "unknown"
+        self.failures = 0
+        self.polls = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "url": self.url,
+            "member": self.member,
+            "status": self.status,
+            "consecutive_failures": self.failures,
+        }
+
+
+class FleetMembership:
+    """Keeps the ring's member set in step with observed worker health."""
+
+    def __init__(
+        self,
+        workers: List[str],
+        ring: HashRing,
+        client: WorkerClient,
+        *,
+        interval: float = DEFAULT_INTERVAL,
+        fail_after: int = DEFAULT_FAIL_AFTER,
+        poll_timeout: float = 2.0,
+        on_change: Optional[Callable[[str, bool], None]] = None,
+    ):
+        self._ring = ring
+        self._client = client
+        self._interval = interval
+        self._fail_after = max(1, fail_after)
+        self._poll_timeout = poll_timeout
+        self._on_change = on_change
+        self._health: Dict[str, WorkerHealth] = {
+            url: WorkerHealth(url) for url in workers
+        }
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._wake = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def workers(self) -> List[str]:
+        """The configured roster (members and non-members alike)."""
+        return list(self._health)
+
+    def members(self) -> List[str]:
+        return [h.url for h in self._health.values() if h.member]
+
+    def info(self) -> List[Dict[str, object]]:
+        return [h.to_dict() for h in self._health.values()]
+
+    # ------------------------------------------------------------------ #
+    def _set_member(self, health: WorkerHealth, member: bool) -> None:
+        if member and self._ring.add(health.url):
+            health.member = True
+            if self._on_change is not None:
+                self._on_change(health.url, True)
+        elif not member and self._ring.remove(health.url):
+            health.member = False
+            if self._on_change is not None:
+                self._on_change(health.url, False)
+        else:
+            health.member = member
+
+    def mark_dead(self, worker: str) -> None:
+        """Evict a worker now (a forward just hit a connection error)."""
+        health = self._health.get(worker)
+        if health is None:
+            return
+        health.status = "dead"
+        health.failures = max(health.failures, self._fail_after)
+        self._set_member(health, False)
+        self._wake.set()  # re-poll soon: it may come straight back
+
+    # ------------------------------------------------------------------ #
+    async def poll_once(self) -> None:
+        """One health sweep over the whole roster (concurrently)."""
+        await asyncio.gather(
+            *(self._poll_worker(h) for h in self._health.values())
+        )
+
+    async def _poll_worker(self, health: WorkerHealth) -> None:
+        health.polls += 1
+        document = await self._client.healthz(
+            health.url, timeout=self._poll_timeout
+        )
+        if document is None:
+            health.failures += 1
+            if health.failures >= self._fail_after:
+                health.status = "unreachable"
+                self._set_member(health, False)
+            return
+        health.failures = 0
+        status = str(document.get("status", ""))
+        health.status = status or "unknown"
+        if status == "ok":
+            self._set_member(health, True)
+        else:
+            # Draining (or any not-ok answer): finish what it has, route
+            # nothing new — its arc remaps to the ring successor.
+            self._set_member(health, False)
+
+    async def _run(self) -> None:
+        while True:
+            await self.poll_once()
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), self._interval)
+            except asyncio.TimeoutError:
+                pass
+
+    async def start(self, *, initial_poll: bool = True) -> None:
+        """Begin polling; optionally complete one sweep before returning."""
+        if initial_poll:
+            await self.poll_once()
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+
+__all__ = [
+    "DEFAULT_FAIL_AFTER",
+    "DEFAULT_INTERVAL",
+    "FleetMembership",
+    "WorkerHealth",
+]

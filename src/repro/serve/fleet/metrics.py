@@ -1,0 +1,162 @@
+"""Router observability: the fleet's own Prometheus instrument bundle.
+
+Reuses the dependency-free primitives of :mod:`repro.serve.http.metrics`.
+The exposition covers the routing layer end to end:
+
+* ``repro_fleet_requests_total{route,status}`` — router responses;
+* ``repro_fleet_forwards_total{worker}`` — requests forwarded per worker;
+* ``repro_fleet_forward_seconds`` — forward round-trip latency histogram
+  (also the source of the honest ``Retry-After`` hints);
+* ``repro_fleet_failovers_total{worker}`` — forwards retried away from a
+  worker that failed mid-request;
+* ``repro_fleet_reuploads_total`` — cached relation bodies replayed onto a
+  worker that had never seen the relation (the warm-start handoff);
+* ``repro_fleet_throttled_total`` / ``repro_fleet_client_*`` — rate-limit
+  rejections, in total and per tracked client (rendered from the bounded
+  :class:`~repro.serve.fleet.fairness.ClientRegistry` snapshot, so client-id
+  churn cannot grow the exposition without limit);
+* ``repro_fleet_queue_depth`` / ``repro_fleet_queue_rejections_total`` — the
+  weighted-fair forward queue;
+* ``repro_fleet_ring_workers`` / ``repro_fleet_ring_points`` /
+  ``repro_fleet_worker_up{worker}`` — ring and membership state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from repro.serve.http.metrics import Counter, Gauge, Histogram, _escape
+
+#: Forward-latency bucket bounds (seconds) — proxy hops are much faster than
+#: discovery runs, so the grid starts finer than the service histogram.
+FORWARD_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+)
+
+
+class FleetMetrics:
+    """Instrument bundle + renderer for the router's ``/metrics``."""
+
+    def __init__(self) -> None:
+        self.requests_total = Counter(
+            "repro_fleet_requests_total",
+            "Router responses by route and status code.",
+            ("route", "status"),
+        )
+        self.forwards_total = Counter(
+            "repro_fleet_forwards_total",
+            "Requests forwarded to each worker.",
+            ("worker",),
+        )
+        self.forward_seconds = Histogram(
+            "repro_fleet_forward_seconds",
+            "Round-trip seconds of one worker forward.",
+            buckets=FORWARD_BUCKETS,
+        )
+        self.failovers_total = Counter(
+            "repro_fleet_failovers_total",
+            "Forwards retried on a ring successor after this worker failed.",
+            ("worker",),
+        )
+        self.reuploads_total = Counter(
+            "repro_fleet_reuploads_total",
+            "Cached relation bodies re-uploaded to a worker during failover.",
+        )
+        self.throttled_total = Counter(
+            "repro_fleet_throttled_total",
+            "Requests answered 429 by the per-client rate limiter.",
+        )
+        self.queue_rejections_total = Counter(
+            "repro_fleet_queue_rejections_total",
+            "Requests refused because the fair queue's wait room was full.",
+        )
+        self.queue_depth = Gauge(
+            "repro_fleet_queue_depth",
+            "Requests waiting for a forward slot right now.",
+        )
+        self.ring_workers = Gauge(
+            "repro_fleet_ring_workers", "Workers currently on the hash ring."
+        )
+        self.ring_points = Gauge(
+            "repro_fleet_ring_points", "Virtual nodes currently on the ring."
+        )
+        self.worker_up = Gauge(
+            "repro_fleet_worker_up",
+            "1 when the worker is a ring member, 0 otherwise.",
+            ("worker",),
+        )
+        # Forward-latency aggregates for the Retry-After hints: kept apart
+        # from the histogram so reading the mean needs no bucket walk.
+        self._latency_lock = threading.Lock()
+        self._latency_count = 0
+        self._latency_total = 0.0
+
+    # ------------------------------------------------------------------ #
+    def observe_forward(self, worker: str, elapsed: float) -> None:
+        self.forwards_total.inc(worker=worker)
+        self.forward_seconds.observe(elapsed)
+        with self._latency_lock:
+            self._latency_count += 1
+            self._latency_total += elapsed
+
+    def mean_forward_seconds(self) -> Optional[float]:
+        """Mean forward round-trip (``None`` before the first forward)."""
+        with self._latency_lock:
+            if self._latency_count == 0:
+                return None
+            return self._latency_total / self._latency_count
+
+    # ------------------------------------------------------------------ #
+    def render(self, router) -> str:
+        """The exposition document; ``router`` supplies live ring/client state."""
+        lines: List[str] = []
+        lines += self.requests_total.render()
+        lines += self.forwards_total.render()
+        lines += self.forward_seconds.render()
+        lines += self.failovers_total.render()
+        lines += self.reuploads_total.render()
+        lines += self.throttled_total.render()
+        lines += self.queue_rejections_total.render()
+        lines += self.queue_depth.render()
+        lines += self.ring_workers.render()
+        lines += self.ring_points.render()
+        lines += self.worker_up.render()
+        lines += self._render_clients(router)
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_clients(router) -> List[str]:
+        snapshot = router.clients.snapshot()
+        if not snapshot:
+            return []
+        lines: List[str] = []
+        for name, help_text, attribute, kind in (
+            ("repro_fleet_client_admitted_total",
+             "Requests admitted per tracked client.", "admitted", "counter"),
+            ("repro_fleet_client_throttled_total",
+             "Requests throttled per tracked client.", "throttled", "counter"),
+        ):
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for client, stats in sorted(snapshot):
+                value = getattr(stats, attribute)
+                lines.append(f'{name}{{client="{_escape(client)}"}} {value}')
+        name = "repro_fleet_client_queue_depth"
+        lines.append(f"# HELP {name} Queued requests per tracked client.")
+        lines.append(f"# TYPE {name} gauge")
+        for client, _stats in sorted(snapshot):
+            depth = router.queue.depth_of(client)
+            lines.append(f'{name}{{client="{_escape(client)}"}} {depth}')
+        return lines
+
+
+__all__ = ["FORWARD_BUCKETS", "FleetMetrics"]

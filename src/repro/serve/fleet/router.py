@@ -1,0 +1,809 @@
+"""The fleet router: one front door over N ``repro-serve`` workers.
+
+The router speaks the *same* ``/v1`` API as a worker — clients point at the
+router and nothing else changes.  What it adds:
+
+**Shard placement.**  Every request that concerns a relation is keyed by the
+relation's content fingerprint and forwarded to the worker owning that key
+on the consistent-hash ring (:mod:`~repro.serve.fleet.ring`).  Uploads are
+parsed just enough to *compute* the fingerprint (the same code path the
+worker uses, so both sides always agree); named references are rewritten to
+fingerprints when the router saw the upload; inline-rows discover bodies are
+fingerprinted the same way.  One relation → one worker → one warm session,
+fleet-wide.
+
+**Failover.**  A forward that hits a dead or draining worker retries down
+the ring's preference list — exactly the workers the arc remaps onto.  The
+router keeps an LRU byte-budgeted cache of raw upload bodies; when a
+successor answers ``404 relation_not_found`` the cached body is replayed
+onto it first, and the worker's session pool then warm-starts the expensive
+structures from the shared :class:`~repro.serve.store.CacheStore`.
+
+**Multi-tenancy.**  Per-client token buckets answer ``429`` (honest
+``Retry-After``) ahead of any forwarding, and a weighted-fair queue
+schedules the forward slots so one greedy client cannot monopolise the
+fleet (:mod:`~repro.serve.fleet.fairness`).  Clients identify themselves
+with ``X-Client-Id``; anonymous connections get a per-connection identity.
+
+The router holds **no discovery state** — killing it loses nothing but the
+upload-body cache.  All heavy state stays in the workers and the shared
+store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.fleet.client import (
+    WorkerClient,
+    WorkerResponse,
+    WorkerUnavailableError,
+)
+from repro.serve.fleet.fairness import ClientRegistry, FairQueue, QueueFullError
+from repro.serve.fleet.membership import (
+    DEFAULT_FAIL_AFTER,
+    DEFAULT_INTERVAL,
+    FleetMembership,
+)
+from repro.serve.fleet.metrics import FleetMetrics
+from repro.serve.fleet.ring import DEFAULT_VNODES, HashRing
+from repro.serve.http import errors
+from repro.serve.http.app import (
+    MAX_BATCH_REQUESTS,
+    relation_from_csv_text,
+    relation_from_rows_document,
+)
+from repro.serve.http.errors import ApiError
+from repro.serve.http.protocol import (
+    DEFAULT_MAX_BODY_BYTES,
+    HttpRequest,
+    HttpResponse,
+    ProtocolError,
+    error_response,
+    read_request,
+    write_response,
+)
+
+#: Named relation references remembered for rewrite (LRU-bounded).
+MAX_TRACKED_NAMES = 4096
+
+#: Route labels the router's metrics use (fixed cardinality).
+_ROUTES = {
+    ("POST", "/v1/relations"): "upload_relation",
+    ("GET", "/v1/relations"): "list_relations",
+    ("POST", "/v1/discover"): "discover",
+    ("POST", "/v1/batch"): "batch",
+    ("GET", "/healthz"): "healthz",
+    ("GET", "/metrics"): "metrics",
+}
+
+#: Headers never forwarded worker→client or client→worker (hop-by-hop).
+_HOP_HEADERS = frozenset(
+    {"connection", "keep-alive", "transfer-encoding", "content-length", "host"}
+)
+
+
+@dataclass
+class RouterConfig:
+    """Tunables of one :class:`FleetRouter`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8400
+    #: Worker base URLs, e.g. ``["http://127.0.0.1:8321", ...]``.
+    workers: List[str] = field(default_factory=list)
+    vnodes: int = DEFAULT_VNODES
+    #: Per-client token-bucket rate (requests/second); ``0`` disables.
+    client_rate: float = 0.0
+    client_burst: float = 16.0
+    #: Concurrent forwards; more wait in weighted-fair order, then 503.
+    forward_slots: int = 16
+    max_queue: int = 64
+    #: Per-forward deadline in seconds (``None`` disables it).
+    request_timeout: Optional[float] = 60.0
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    keep_alive_timeout: float = 30.0
+    #: Health-poll cadence and tolerance.
+    health_interval: float = DEFAULT_INTERVAL
+    fail_after: int = DEFAULT_FAIL_AFTER
+    poll_timeout: float = 2.0
+    #: Byte budget of the raw upload-body cache backing failover re-uploads.
+    upload_cache_bytes: int = 64 * 2 ** 20
+    connect_timeout: float = 5.0
+
+
+class UploadCache:
+    """LRU byte-budgeted cache of raw upload requests, keyed by fingerprint.
+
+    An entry is everything needed to replay the upload verbatim onto another
+    worker: the original target (path + query, so ``?name=``/``?header=``
+    survive), the content type, and the raw body bytes.
+    """
+
+    def __init__(self, max_bytes: int):
+        self._max_bytes = max_bytes
+        self._entries: "OrderedDict[str, Tuple[str, str, bytes]]" = OrderedDict()
+        self._bytes = 0
+
+    def put(self, fingerprint: str, target: str, content_type: str, body: bytes) -> None:
+        if len(body) > self._max_bytes:
+            return  # one oversized body must not wipe the whole cache
+        old = self._entries.pop(fingerprint, None)
+        if old is not None:
+            self._bytes -= len(old[2])
+        self._entries[fingerprint] = (target, content_type, body)
+        self._bytes += len(body)
+        while self._bytes > self._max_bytes and self._entries:
+            _, (_, _, dropped) = self._entries.popitem(last=False)
+            self._bytes -= len(dropped)
+
+    def get(self, fingerprint: str) -> Optional[Tuple[str, str, bytes]]:
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            self._entries.move_to_end(fingerprint)
+        return entry
+
+    @property
+    def bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class FleetRouter:
+    """The asyncio router process: accept loop, placement, failover, WFQ."""
+
+    def __init__(self, config: RouterConfig):
+        if not config.workers:
+            raise errors.ApiError(500, "internal", "router needs at least one worker")
+        self.config = config
+        self.ring = HashRing(config.vnodes)
+        self.client = WorkerClient(connect_timeout=config.connect_timeout)
+        self.membership = FleetMembership(
+            config.workers,
+            self.ring,
+            self.client,
+            interval=config.health_interval,
+            fail_after=config.fail_after,
+            poll_timeout=config.poll_timeout,
+        )
+        self.clients = ClientRegistry(config.client_rate, config.client_burst)
+        self.queue = FairQueue(config.forward_slots, config.max_queue)
+        self.metrics = FleetMetrics()
+        self.uploads = UploadCache(config.upload_cache_bytes)
+        self._names: "OrderedDict[str, str]" = OrderedDict()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._connections = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Poll the roster once, then bind (``port=0`` → ephemeral port)."""
+        self._stopped = asyncio.Event()
+        await self.membership.start(initial_poll=True)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.config.port = sockets[0].getsockname()[1]
+
+    @property
+    def port(self) -> int:
+        return self.config.port
+
+    async def wait_stopped(self) -> None:
+        if self._stopped is None:
+            raise errors.ApiError(500, "internal", "router not started")
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Close the listener, the poller and every pooled connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.membership.stop()
+        await self.client.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection_id = f"conn-{next(self._connections)}"
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader,
+                        writer,
+                        max_body_bytes=self.config.max_body_bytes,
+                        head_timeout=self.config.keep_alive_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    break
+                except ProtocolError as exc:
+                    response = error_response(
+                        ApiError(exc.status, "protocol_error", exc.message)
+                    )
+                    await write_response(writer, response, keep_alive=False)
+                    break
+                if request is None:
+                    break
+                client_id = request.headers.get("x-client-id") or connection_id
+                keep_alive = request.keep_alive
+                await self._respond_and_write(request, writer, client_id, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # loop teardown cancels lingering keep-alive connections
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _route_name(self, request: HttpRequest) -> str:
+        method = "GET" if request.method == "HEAD" else request.method
+        return _ROUTES.get((method, request.path), "unrouted")
+
+    async def _respond_and_write(
+        self,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+        client_id: str,
+        keep_alive: bool,
+    ) -> None:
+        """Rate limit → fair queue → dispatch → relay; slot held until the
+        response (streams included) is fully on the wire."""
+        route = self._route_name(request)
+        guarded = request.path not in ("/healthz", "/metrics")
+        response: Optional[HttpResponse] = None
+        held = False
+        if guarded:
+            wait = self.clients.admit(client_id)
+            if wait is not None:
+                self.metrics.throttled_total.inc()
+                response = error_response(
+                    errors.too_many_requests(self._retry_after(extra_wait=wait))
+                )
+            else:
+                try:
+                    weight = self.clients.weight(client_id)
+                    await self.queue.acquire(client_id, weight=weight)
+                    held = True
+                except QueueFullError:
+                    self.metrics.queue_rejections_total.inc()
+                    response = error_response(
+                        errors.overloaded(self._retry_after())
+                    )
+        try:
+            if response is None:
+                try:
+                    response = await self._dispatch(request, client_id)
+                except ApiError as exc:
+                    response = error_response(exc)
+                except asyncio.TimeoutError:
+                    response = error_response(
+                        errors.deadline_exceeded(self.config.request_timeout or 0.0)
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - last-resort mapping
+                    response = error_response(errors.map_exception(exc))
+            await write_response(
+                writer,
+                response,
+                keep_alive=keep_alive,
+                head_only=request.method == "HEAD",
+            )
+        finally:
+            if held:
+                self.queue.release()
+            if response is not None:
+                self.metrics.requests_total.inc(route=route, status=response.status)
+
+    def _retry_after(self, extra_wait: float = 0.0) -> int:
+        """The honest hint: observed forward latency × load, floor 1s."""
+        return errors.retry_after_hint(
+            self.metrics.mean_forward_seconds(),
+            self.queue.depth,
+            self.queue.slots,
+            floor=extra_wait,
+        )
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, request: HttpRequest, client_id: str) -> HttpResponse:
+        method = "GET" if request.method == "HEAD" else request.method
+        path = request.path
+        if path == "/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/metrics" and method == "GET":
+            return self._render_metrics()
+        if path == "/v1/relations" and method == "POST":
+            return await self._upload(request, client_id)
+        if path == "/v1/relations" and method == "GET":
+            return await self._list_relations(client_id)
+        if path == "/v1/discover" and method == "POST":
+            return await self._discover(request, client_id)
+        if path == "/v1/batch" and method == "POST":
+            return await self._batch(request, client_id)
+        if path in {p for (_m, p) in _ROUTES}:
+            raise errors.method_not_allowed(request.method, path)
+        raise errors.not_found(f"no route for {path}")
+
+    def _healthz(self) -> HttpResponse:
+        members = self.membership.members()
+        document = {
+            "status": "ok" if members else "no_workers",
+            "workers": self.membership.info(),
+            "ring": self.ring.info(),
+            "queue_depth": self.queue.depth,
+        }
+        status = 200 if members else 503
+        response = HttpResponse.json(document, status=status)
+        if not members:
+            response.headers["Retry-After"] = str(self._retry_after())
+        return response
+
+    def _render_metrics(self) -> HttpResponse:
+        members = set(self.membership.members())
+        self.metrics.queue_depth.set(self.queue.depth)
+        info = self.ring.info()
+        self.metrics.ring_workers.set(len(members))
+        self.metrics.ring_points.set(int(info["points"]))
+        for health in self.membership.info():
+            self.metrics.worker_up.set(
+                1.0 if health["url"] in members else 0.0, worker=health["url"]
+            )
+        response = HttpResponse.plain(self.metrics.render(self))
+        response.content_type = "text/plain; version=0.0.4; charset=utf-8"
+        return response
+
+    # ------------------------------------------------------------------ #
+    # relation bookkeeping
+    # ------------------------------------------------------------------ #
+    def _remember_name(self, name: str, fingerprint: str) -> None:
+        self._names[name] = fingerprint
+        self._names.move_to_end(name)
+        while len(self._names) > MAX_TRACKED_NAMES:
+            self._names.popitem(last=False)
+
+    def _resolve_key(self, ref: str) -> str:
+        """The placement key of a relation reference (name → fingerprint)."""
+        return self._names.get(ref, ref)
+
+    async def _fingerprint_upload(self, request: HttpRequest) -> Tuple[str, Optional[str]]:
+        """Parse an upload body exactly as the worker will, returning
+        ``(fingerprint, name)`` — the placement key and the alias to track."""
+        loop = asyncio.get_running_loop()
+        name = request.query.get("name")
+        if request.content_type in ("application/json", "application/x-ndjson"):
+            document = request.json()
+            if not isinstance(document, dict):
+                raise errors.bad_request("upload body must be a JSON object")
+            if document.get("name") is not None:
+                name = str(document["name"])
+            relation = await loop.run_in_executor(
+                None, relation_from_rows_document, document
+            )
+        else:
+            text = request.text()
+            has_header = request.query.get("header", "true").lower() != "false"
+            delimiter = request.query.get("delimiter", ",")
+            relation = await loop.run_in_executor(
+                None,
+                lambda: relation_from_csv_text(
+                    text, has_header=has_header, delimiter=delimiter
+                ),
+            )
+        return relation.fingerprint(), name
+
+    # ------------------------------------------------------------------ #
+    # handlers
+    # ------------------------------------------------------------------ #
+    async def _upload(self, request: HttpRequest, client_id: str) -> HttpResponse:
+        fingerprint, name = await self._fingerprint_upload(request)
+        content_type = request.headers.get("content-type", "text/csv")
+        self.uploads.put(fingerprint, request.target, content_type, request.body)
+        if name:
+            self._remember_name(name, fingerprint)
+        self._remember_name(fingerprint, fingerprint)
+        response = await self._forward(
+            fingerprint,
+            "POST",
+            request.target,
+            body=request.body,
+            headers=self._forward_headers(request, client_id),
+        )
+        return self._relay(response)
+
+    async def _list_relations(self, client_id: str) -> HttpResponse:
+        members = self.membership.members()
+        if not members:
+            raise self._no_workers()
+        headers = {"x-client-id": client_id}
+
+        async def list_one(worker: str) -> Dict[str, object]:
+            try:
+                response = await self.client.request(
+                    worker,
+                    "GET",
+                    "/v1/relations",
+                    headers=headers,
+                    timeout=self.config.request_timeout,
+                )
+            except (WorkerUnavailableError, asyncio.TimeoutError):
+                return {}
+            document = response.json()
+            relations = (
+                document.get("relations") if isinstance(document, dict) else None
+            )
+            return relations if isinstance(relations, dict) else {}
+
+        merged: Dict[str, object] = {}
+        for part in await asyncio.gather(*(list_one(w) for w in members)):
+            merged.update(part)
+        return HttpResponse.json({"relations": merged})
+
+    async def _discover(self, request: HttpRequest, client_id: str) -> HttpResponse:
+        document = request.json()
+        if not isinstance(document, dict):
+            raise errors.bad_request("discover body must be a JSON object")
+        key, body = await self._place_discover(document, request.body)
+        target = request.target
+        response = await self._forward(
+            key,
+            "POST",
+            target,
+            body=body,
+            headers=self._forward_headers(request, client_id),
+        )
+        return self._relay(response)
+
+    async def _place_discover(
+        self, document: Dict[str, object], raw_body: bytes
+    ) -> Tuple[str, bytes]:
+        """The placement key of a discover body, plus the body to forward
+        (rewritten when a known name is resolved to its fingerprint)."""
+        ref = document.get("relation")
+        if ref is not None:
+            if not isinstance(ref, str) or not ref:
+                raise errors.bad_request('"relation" must be a non-empty string')
+            key = self._resolve_key(ref)
+            if key != ref:
+                rewritten = dict(document)
+                rewritten["relation"] = key
+                return key, json.dumps(rewritten).encode("utf-8")
+            return key, raw_body
+        if "rows" in document or "attributes" in document:
+            loop = asyncio.get_running_loop()
+            relation = await loop.run_in_executor(
+                None, relation_from_rows_document, document
+            )
+            return relation.fingerprint(), raw_body
+        raise errors.bad_request(
+            'the discover body needs a "relation" reference or inline '
+            '"attributes"/"rows"'
+        )
+
+    async def _batch(self, request: HttpRequest, client_id: str) -> HttpResponse:
+        document = request.json()
+        entries = document.get("requests") if isinstance(document, dict) else document
+        if not isinstance(entries, list) or not entries:
+            raise errors.bad_request(
+                'batch body must be a non-empty JSON array (or {"requests": [...]})'
+            )
+        if len(entries) > MAX_BATCH_REQUESTS:
+            raise errors.bad_request(f"batch exceeds {MAX_BATCH_REQUESTS} requests")
+        headers = {"x-client-id": client_id}
+
+        async def run_one(entry: object) -> Dict[str, object]:
+            try:
+                if not isinstance(entry, dict):
+                    raise errors.bad_request("batch entry is not a JSON object")
+                body_document = {k: v for k, v in entry.items() if k != "stream"}
+                key, body = await self._place_discover(
+                    body_document, json.dumps(body_document).encode("utf-8")
+                )
+                response = await self._forward(
+                    key, "POST", "/v1/discover", body=body, headers=dict(headers)
+                )
+                result = response.json()
+                if isinstance(result, dict):
+                    return result
+                raise errors.bad_gateway("worker answered a non-JSON batch entry")
+            except asyncio.CancelledError:
+                raise
+            except ApiError as exc:
+                return exc.to_document()
+            except asyncio.TimeoutError:
+                return errors.deadline_exceeded(
+                    self.config.request_timeout or 0.0
+                ).to_document()
+            except Exception as exc:  # noqa: BLE001 - isolated per entry
+                return errors.map_exception(exc).to_document()
+
+        results = await asyncio.gather(*(run_one(entry) for entry in entries))
+        failed = sum(1 for record in results if "error" in record)
+        return HttpResponse.json(
+            {"requests": len(entries), "failed": failed, "results": list(results)}
+        )
+
+    # ------------------------------------------------------------------ #
+    # forwarding
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _forward_headers(request: HttpRequest, client_id: str) -> Dict[str, str]:
+        headers = {
+            name: value
+            for name, value in request.headers.items()
+            if name not in _HOP_HEADERS and name != "expect"
+        }
+        headers["x-client-id"] = client_id
+        return headers
+
+    def _no_workers(self) -> ApiError:
+        return ApiError(
+            503,
+            "no_workers",
+            "no healthy workers on the ring",
+            retry_after=self._retry_after(),
+        )
+
+    async def _forward(
+        self,
+        key: str,
+        method: str,
+        target: str,
+        *,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> WorkerResponse:
+        """Send to the key's owner, failing over down the preference list.
+
+        Connection failures evict the worker (and retry); ``503 draining``
+        evicts and retries; ``503 overloaded`` retries without evicting (a
+        busy worker is still a member).  ``404 relation_not_found`` triggers
+        a re-upload of the cached relation body before one same-worker retry.
+        """
+        attempts = self.ring.preference(key)
+        if not attempts:
+            raise self._no_workers()
+        last_error: Optional[ApiError] = None
+        for index, worker in enumerate(attempts):
+            if index > 0:
+                self.metrics.failovers_total.inc(worker=attempts[index - 1])
+            started = time.perf_counter()
+            try:
+                response = await self._send_once(
+                    worker, key, method, target, body, headers
+                )
+            except WorkerUnavailableError:
+                self.membership.mark_dead(worker)
+                last_error = errors.bad_gateway(
+                    f"worker {worker} failed mid-request"
+                )
+                continue
+            self.metrics.observe_forward(worker, time.perf_counter() - started)
+            if response.status == 503:
+                code = self._error_code(response)
+                if code == "draining":
+                    self.membership.mark_dead(worker)
+                last_error = ApiError(
+                    503,
+                    code or "overloaded",
+                    f"worker {worker} refused the request",
+                    retry_after=self._retry_after(),
+                )
+                continue
+            return response
+        raise last_error if last_error is not None else self._no_workers()
+
+    async def _send_once(
+        self,
+        worker: str,
+        key: str,
+        method: str,
+        target: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]],
+    ) -> WorkerResponse:
+        """One forward, with the relation re-upload retry folded in."""
+        response = await self.client.request(
+            worker,
+            method,
+            target,
+            body=body,
+            headers=headers,
+            timeout=self.config.request_timeout,
+        )
+        if response.status == 404 and self._error_code(response) == "relation_not_found":
+            cached = self.uploads.get(key)
+            if cached is not None:
+                upload_target, content_type, upload_body = cached
+                upload = await self.client.request(
+                    worker,
+                    "POST",
+                    upload_target,
+                    body=upload_body,
+                    headers={"content-type": content_type},
+                    timeout=self.config.request_timeout,
+                )
+                if upload.status == 201:
+                    self.metrics.reuploads_total.inc()
+                    return await self.client.request(
+                        worker,
+                        method,
+                        target,
+                        body=body,
+                        headers=headers,
+                        timeout=self.config.request_timeout,
+                    )
+        return response
+
+    @staticmethod
+    def _error_code(response: WorkerResponse) -> Optional[str]:
+        document = response.json()
+        if isinstance(document, dict):
+            error = document.get("error")
+            if isinstance(error, dict):
+                code = error.get("code")
+                return str(code) if code is not None else None
+        return None
+
+    def _relay(self, response: WorkerResponse) -> HttpResponse:
+        """A worker response rebuilt for the router's own wire."""
+        # The client parser lowercases header names; re-canonicalize so
+        # relayed responses match the casing of router-born ones.
+        headers = {
+            name.title(): value
+            for name, value in response.headers.items()
+            if name not in _HOP_HEADERS
+            and name not in ("server", "date", "content-type")
+        }
+        if response.chunks is not None:
+            relayed = HttpResponse(
+                status=response.status,
+                content_type=response.content_type,
+                headers=headers,
+            )
+            relayed.stream = response.chunks
+            return relayed
+        return HttpResponse(
+            status=response.status,
+            body=response.body or b"",
+            content_type=response.content_type,
+            headers=headers,
+        )
+
+
+class RouterThread:
+    """A real-socket router hosted in its own thread + event loop.
+
+    The fleet counterpart of :class:`~repro.serve.http.server.ServerThread`:
+    tests, the ``fleet_serving`` benchmark section and
+    ``examples/fleet_serving.py`` start a router next to blocking client
+    code without touching asyncio themselves.
+    """
+
+    def __init__(self, config: RouterConfig):
+        self._router = FleetRouter(config)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def router(self) -> FleetRouter:
+        return self._router
+
+    @property
+    def host(self) -> str:
+        return self._router.config.host
+
+    @property
+    def port(self) -> int:
+        return self._router.config.port
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "RouterThread":
+        """Boot the loop thread; returns once the socket is bound."""
+        if self._thread is not None:
+            raise ApiError(500, "internal", "RouterThread is already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-fleet-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise ApiError(500, "internal", "router failed to start within 30s")
+        if self._startup_error is not None:
+            raise ApiError(
+                500, "internal", f"router failed to start: {self._startup_error}"
+            )
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            try:
+                loop.run_until_complete(self._router.start())
+            except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+                self._startup_error = exc
+                return
+            finally:
+                self._started.set()
+            loop.run_until_complete(self._router.wait_stopped())
+        finally:
+            try:
+                pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+
+    def run_coroutine(self, coroutine):
+        """Run a coroutine on the router's loop (tests poke membership)."""
+        if self._loop is None:
+            raise ApiError(500, "internal", "RouterThread is not running")
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Stop the router and join the loop thread.  Idempotent."""
+        if self._thread is None or self._loop is None:
+            return
+        if self._thread.is_alive():
+            try:
+                future = asyncio.run_coroutine_threadsafe(
+                    self._router.stop(), self._loop
+                )
+                future.result(timeout=timeout)
+            except Exception:  # noqa: BLE001 - stop is best-effort
+                pass
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "RouterThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+__all__ = [
+    "FleetRouter",
+    "MAX_TRACKED_NAMES",
+    "RouterConfig",
+    "RouterThread",
+    "UploadCache",
+]

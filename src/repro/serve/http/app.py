@@ -335,7 +335,14 @@ class Application:
                 },
                 status=503,
             )
-            response.headers["Retry-After"] = "5"
+            response.headers["Retry-After"] = str(
+                errors.retry_after_hint(
+                    self._bridge.service.mean_latency_seconds(),
+                    int(stats["in_flight"]),
+                    int(stats["max_workers"]),
+                    default=5,
+                )
+            )
             return response
         return HttpResponse.json(
             {

@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
         "evicted/drained sessions spill back into it",
     )
     parser.add_argument(
+        "--store-max-bytes", type=int, default=None,
+        help="size budget of the persistent store; every spill that pushes "
+        "the store past it triggers cost-aware GC back down to the budget "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
         "--max-in-flight", type=int, default=8,
         help="requests executing concurrently; more queue (default: 8)",
     )
@@ -102,6 +108,10 @@ def _validate(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None
         parser.error("--pool-sessions must be at least 1")
     if args.pool_bytes is not None and args.pool_bytes < 1:
         parser.error("--pool-bytes must be at least 1")
+    if args.store_max_bytes is not None and args.store_max_bytes < 0:
+        parser.error("--store-max-bytes must be at least 0")
+    if args.store_max_bytes is not None and args.cache_dir is None:
+        parser.error("--store-max-bytes requires --cache-dir")
     if args.deadline < 0:
         parser.error("--deadline must be at least 0")
 
@@ -112,7 +122,7 @@ def build_service(args: argparse.Namespace) -> DiscoveryService:
     if args.cache_dir is not None:
         from repro.serve.store import CacheStore
 
-        store = CacheStore(args.cache_dir)
+        store = CacheStore(args.cache_dir, max_bytes=args.store_max_bytes)
     pool = SessionPool(
         max_sessions=args.pool_sessions,
         max_bytes=args.pool_bytes,

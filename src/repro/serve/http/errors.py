@@ -29,9 +29,14 @@ a traceback onto the wire.
 from __future__ import annotations
 
 import asyncio
+import math
 from typing import Dict, Optional
 
 from repro.exceptions import DiscoveryError, ReproError, UnknownRelationError
+
+#: Retry-After hints never exceed this — a client told to wait minutes will
+#: simply leave, and load estimates that far out are fiction anyway.
+MAX_RETRY_AFTER = 60
 
 
 class ApiError(Exception):
@@ -90,6 +95,45 @@ def payload_too_large(limit: int) -> ApiError:
     )
 
 
+def retry_after_hint(
+    mean_seconds: Optional[float],
+    pending: int,
+    slots: int,
+    *,
+    floor: float = 0.0,
+    default: int = 1,
+    cap: int = MAX_RETRY_AFTER,
+) -> int:
+    """An honest ``Retry-After``: when work will plausibly fit again.
+
+    ``mean_seconds`` is the observed mean request latency (``None`` before
+    any request completed — the hint falls back to ``default``); ``pending``
+    requests ahead of the caller drain through ``slots`` concurrent
+    executors, so the backlog clears in roughly ``mean × (pending + 1) /
+    slots`` seconds.  ``floor`` lifts the hint to an externally-known wait
+    (a token bucket's exact refill time).  Always at least 1 and at most
+    ``cap`` — a bounded lie beats an unbounded truth.
+    """
+    if mean_seconds is None or mean_seconds <= 0:
+        estimate = float(default)
+    else:
+        estimate = mean_seconds * (pending + 1) / max(1, slots)
+    return max(1, min(cap, math.ceil(max(estimate, floor))))
+
+
+def too_many_requests(retry_after: int = 1) -> ApiError:
+    return ApiError(
+        429,
+        "rate_limited",
+        "client exceeded its request rate; retry after the indicated delay",
+        retry_after=retry_after,
+    )
+
+
+def bad_gateway(message: str) -> ApiError:
+    return ApiError(502, "bad_gateway", message)
+
+
 def overloaded(retry_after: int = 1) -> ApiError:
     return ApiError(
         503,
@@ -134,6 +178,8 @@ def map_exception(exc: BaseException) -> ApiError:
 
 __all__ = [
     "ApiError",
+    "MAX_RETRY_AFTER",
+    "bad_gateway",
     "bad_request",
     "deadline_exceeded",
     "draining",
@@ -143,4 +189,6 @@ __all__ = [
     "overloaded",
     "payload_too_large",
     "relation_not_found",
+    "retry_after_hint",
+    "too_many_requests",
 ]

@@ -46,9 +46,11 @@ STATUS_PHRASES = {
     408: "Request Timeout",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -89,6 +91,15 @@ class HttpRequest:
         """The media type of the body, lowercased, parameters stripped."""
         return self.headers.get("content-type", "").split(";")[0].strip().lower()
 
+    @property
+    def client_id(self) -> Optional[str]:
+        """The caller's declared identity (``X-Client-Id``), if any.
+
+        The fleet router keys rate limits and fair-queue weights on this;
+        workers receive it forwarded for log/metric correlation.
+        """
+        return self.headers.get("x-client-id") or None
+
     def json(self) -> object:
         """The body decoded as JSON; malformed bodies raise a 400 ApiError."""
         try:
@@ -116,9 +127,11 @@ class HttpResponse:
     body: bytes = b""
     content_type: str = "application/json"
     headers: Dict[str, str] = field(default_factory=dict)
-    #: When set, the response streams these lines chunk-by-chunk (chunked
-    #: transfer encoding) instead of sending ``body``; each item is one line
-    #: *without* its trailing newline.
+    #: When set, the response streams chunk-by-chunk (chunked transfer
+    #: encoding) instead of sending ``body``.  A plain iterable yields
+    #: *lines* (``str``, no trailing newline — the JSONL rule streams); an
+    #: async iterable yields raw ``bytes`` chunks forwarded verbatim (the
+    #: fleet router's passthrough of a worker's chunked body).
     stream = None
 
     @classmethod
@@ -285,12 +298,24 @@ async def write_response(
     headers["Transfer-Encoding"] = "chunked"
     writer.write(_head(response.status, response.content_type, headers))
     writer.write(b"\r\n")
+    if head_only and hasattr(response.stream, "aclose"):
+        await response.stream.aclose()  # unconsumed upstream stream: close now
     if not head_only:
-        for line in response.stream:
-            chunk = (line + "\n").encode("utf-8")
-            writer.write(f"{len(chunk):x}\r\n".encode("ascii"))
-            writer.write(chunk + b"\r\n")
-            await writer.drain()
+        if hasattr(response.stream, "__aiter__"):
+            # Raw passthrough: each item is already encoded bytes (a chunk
+            # relayed from an upstream worker) and is re-framed verbatim.
+            async for chunk in response.stream:
+                if not chunk:
+                    continue
+                writer.write(f"{len(chunk):x}\r\n".encode("ascii"))
+                writer.write(chunk + b"\r\n")
+                await writer.drain()
+        else:
+            for line in response.stream:
+                chunk = (line + "\n").encode("utf-8")
+                writer.write(f"{len(chunk):x}\r\n".encode("ascii"))
+                writer.write(chunk + b"\r\n")
+                await writer.drain()
     writer.write(b"0\r\n\r\n")
     await writer.drain()
 

@@ -232,6 +232,11 @@ class HttpServer:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # peer went away mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            # Loop teardown cancels lingering keep-alive connections; end
+            # the handler quietly instead of letting the cancellation bounce
+            # through the stream-protocol callback as logged noise.
+            pass
         finally:
             try:
                 writer.close()
@@ -248,7 +253,7 @@ class HttpServer:
         response: HttpResponse
         if guarded and self._draining:
             self.metrics.admission_rejections_total.inc(reason="draining")
-            response = error_response(errors.draining())
+            response = error_response(errors.draining(self._retry_after(default=5)))
             self.metrics.observe(
                 method, route, response.status, time.perf_counter() - started
             )
@@ -261,7 +266,7 @@ class HttpServer:
             and self._waiting >= self.config.max_queue
         ):
             self.metrics.admission_rejections_total.inc(reason="overloaded")
-            response = error_response(errors.overloaded())
+            response = error_response(errors.overloaded(self._retry_after()))
             self.metrics.observe(
                 method, route, response.status, time.perf_counter() - started
             )
@@ -291,6 +296,20 @@ class HttpServer:
             method, route, response.status, time.perf_counter() - started
         )
         return response
+
+    def _retry_after(self, default: int = 1) -> int:
+        """An honest ``Retry-After`` for this server's 503s.
+
+        Derived from the service's observed mean run latency and the work
+        currently occupying or queued for the execution slots — what the
+        backlog actually costs, not a constant.
+        """
+        return errors.retry_after_hint(
+            self.service.mean_latency_seconds(),
+            self._active + self._waiting,
+            self.config.max_in_flight,
+            default=default,
+        )
 
     def _signal_drained(self) -> None:
         """Wake drain() once nothing is executing *or* queued for a slot.

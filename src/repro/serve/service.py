@@ -288,6 +288,18 @@ class DiscoveryService:
                 "pool": self._pool.info(),
             }
 
+    def mean_latency_seconds(self) -> Optional[float]:
+        """Mean submit→done latency of executed runs (``None`` before any).
+
+        The cheap accessor behind honest ``Retry-After`` hints: rejection
+        paths read it on every refused request, so it must not pay
+        :meth:`stats`'s store-walk — just two counters under the lock.
+        """
+        with self._lock:
+            if not self._latency_count:
+                return None
+            return self._latency_total / self._latency_count
+
     def stats(self) -> Dict[str, object]:
         """One JSON-native snapshot of everything observable about the service.
 

@@ -43,13 +43,15 @@ them but owns no format knowledge.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import struct
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -122,6 +124,13 @@ class CacheStore:
     root:
         Directory holding the store (created if missing).  Entries live in
         one sub-directory per relation fingerprint.
+    max_bytes:
+        Optional size budget.  The store never *blocks* a write on it;
+        instead :meth:`enforce_budget` (called by spill paths —
+        :meth:`~repro.api.Profiler.dump_caches` and the session pool's
+        persist) runs :meth:`gc` down to the budget whenever the footprint
+        exceeds it, so a long-lived serving store converges to the cap
+        instead of growing without bound.
 
     The store itself is format-only: it reads and writes
     :class:`StoreEntry` records and never interprets the payloads — the
@@ -136,8 +145,18 @@ class CacheStore:
     MAGIC = b"RPROCS01"
     _SUFFIX = ".rpc"
 
-    def __init__(self, root: os.PathLike):
+    #: Lock-file acquisition: retry cadence, give-up horizon, and the mtime
+    #: age past which a lock is presumed abandoned (a crashed worker) and
+    #: broken.
+    LOCK_RETRY_SECONDS = 0.005
+    LOCK_TIMEOUT_SECONDS = 5.0
+    LOCK_STALE_SECONDS = 30.0
+
+    def __init__(self, root: os.PathLike, *, max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes < 0:
+            raise CacheStoreError("max_bytes must be at least 0")
         self._root = Path(root)
+        self.max_bytes = max_bytes
         try:
             self._root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -149,6 +168,7 @@ class CacheStore:
         self.load_failures = 0
         self.gc_runs = 0
         self.gc_removed = 0
+        self.lock_timeouts = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -335,6 +355,64 @@ class CacheStore:
         return entries
 
     # ------------------------------------------------------------------ #
+    # cross-process locking
+    # ------------------------------------------------------------------ #
+    @contextlib.contextmanager
+    def lock(self, fingerprint: str, kind: str) -> Iterator[bool]:
+        """A cross-process lock over one ``(fingerprint, kind)`` merge scope.
+
+        Two workers sharing a store directory both run read→union→write on
+        the fixed-key bundle entries during spill; without mutual exclusion
+        the slower writer silently drops the faster one's additions.  The
+        lock is an ``O_CREAT | O_EXCL`` file (``.lock-<kind>`` inside the
+        relation's directory — dot-prefixed, so entry walks skip it) retried
+        every :attr:`LOCK_RETRY_SECONDS`.  Locks older than
+        :attr:`LOCK_STALE_SECONDS` are presumed abandoned by a crashed
+        holder and broken.  Acquisition is **best-effort**: after
+        :attr:`LOCK_TIMEOUT_SECONDS` the context proceeds *without* the lock
+        (yielding ``False``) — a spill must degrade to the old racy merge,
+        never fail or hang the serving path.
+        """
+        directory = self._root / fingerprint
+        path = directory / f".lock-{kind}"
+        deadline = time.monotonic() + self.LOCK_TIMEOUT_SECONDS
+        acquired = False
+        while True:
+            try:
+                directory.mkdir(parents=True, exist_ok=True)
+                handle = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(handle)
+                acquired = True
+                break
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    self.lock_timeouts += 1
+                    break
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except OSError:
+                    continue  # holder just released: retry immediately
+                if age > self.LOCK_STALE_SECONDS:
+                    try:
+                        path.unlink()  # break the abandoned lock
+                    except OSError:
+                        pass
+                    continue
+                time.sleep(self.LOCK_RETRY_SECONDS)
+            except OSError:
+                # An unwritable directory must not fail the spill either.
+                self.lock_timeouts += 1
+                break
+        try:
+            yield acquired
+        finally:
+            if acquired:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------ #
     # maintenance / introspection
     # ------------------------------------------------------------------ #
     def _entry_files(self) -> List[Path]:
@@ -443,6 +521,20 @@ class CacheStore:
             "remaining_bytes": total,
         }
 
+    def enforce_budget(self) -> Optional[Dict[str, object]]:
+        """Run :meth:`gc` down to :attr:`max_bytes` when the store exceeds it.
+
+        ``None`` when no budget is configured or the store is within it.
+        Spill paths call this after writing (``Profiler.dump_caches``, the
+        session pool's persist), so the cap is enforced exactly where growth
+        happens instead of only via the offline ``--cache-gc`` command.
+        """
+        if self.max_bytes is None:
+            return None
+        if self.size_bytes() <= self.max_bytes:
+            return None
+        return self.gc(self.max_bytes)
+
     def clear(self, fingerprint: Optional[str] = None) -> int:
         """Delete all entries (of one relation, if given); returns the count."""
         removed = 0
@@ -462,11 +554,13 @@ class CacheStore:
             "root": str(self._root),
             "entries": len(self),
             "bytes": self.size_bytes(),
+            "max_bytes": self.max_bytes,
             "writes": self.writes,
             "loads": self.loads,
             "load_failures": self.load_failures,
             "gc_runs": self.gc_runs,
             "gc_removed": self.gc_removed,
+            "lock_timeouts": self.lock_timeouts,
         }
 
 

