@@ -1,6 +1,6 @@
 """The tracked perf-benchmark suite → ``BENCH_perf.json`` at the repo root.
 
-Seven sections, re-measured on every run so the numbers never rot:
+Eight sections, re-measured on every run so the numbers never rot:
 
 1. **Partition microbenchmarks** — construction of the single-attribute
    partitions and a full product chain across the schema, timed for the
@@ -34,6 +34,14 @@ Seven sections, re-measured on every run so the numbers never rot:
    the recovery latency of killing the owner mid-traffic (mark-dead → ring
    successor → cached-upload replay → warm-start), which must reproduce the
    owner's cover byte-identically.
+8. **Fault recovery** — time-to-result after a mid-lattice crash:
+   checkpointed resume (fresh ``Profiler`` over the store holding the
+   crashed run's last durable level frontier) against a cold restart from
+   scratch — both sides store-attached, so both pay the per-level
+   checkpoint persistence a production worker pays — byte-identical covers
+   required; plus the fault-free cost of the injection hooks themselves —
+   an armed :class:`repro.serve.FaultPlan` whose rules match no injection
+   point versus no plan at all, asserted ≤ 2% overhead in CI.
 
 Run ``python benchmarks/bench_perf_suite.py`` for the tracked numbers or
 ``--smoke`` for the tiny CI configuration (same shape, toy sizes).
@@ -511,6 +519,111 @@ def bench_fleet_serving(
 
 
 # ---------------------------------------------------------------------- #
+# section 8: fault recovery — checkpointed resume vs cold restart, and the
+# fault-free cost of the injection hooks themselves
+# ---------------------------------------------------------------------- #
+def bench_fault_recovery(db_size: int, support: int, repeats: int) -> dict:
+    """Time-to-result after a mid-lattice crash, resume vs cold restart.
+
+    Each timed resume is seeded by an untimed crashed run: a victim
+    ``Profiler`` armed with ``engine.level:error:after=1,times=1`` dies at
+    the level-3 checkpoint, leaving the level frontier durable in a
+    ``CacheStore``.  The resume timing is then everything a restarted
+    worker pays — fresh ``Profiler``, ``attach_store``, run — against a
+    cold restart that rebuilds the lattice from scratch.  Both sides run
+    store-attached (a production worker always does), so both pay the
+    per-level checkpoint persistence; the resume's win is the skipped
+    level computation.  The resumed cover must match the cold cover
+    byte-identically.
+
+    The second half prices the hooks when nothing is injected: the same
+    cold run with no plan versus with an armed plan whose rules match no
+    injection point, interleaved best-of so CI can hold the overhead to
+    ≤ 2% without flaking on scheduler noise.
+    """
+    import json as json_mod
+    import tempfile
+
+    from repro.api import Profiler
+    from repro.serve import CacheStore, FaultPlan
+    from repro.serve.faults import FaultInjected
+
+    relation = tax_relation(db_size, seed=3)
+    relation.encoded_matrix()
+    relation.fingerprint()
+    request = DiscoveryRequest(min_support=support, algorithm="ctane")
+
+    resume_s = float("inf")
+    resumed = None
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_store = CacheStore(Path(tmp) / "cold")
+
+        def cold():
+            profiler = Profiler(relation)
+            profiler.attach_store(cold_store)
+            return profiler.run(request)
+
+        cold_s = time_best(cold, repeats)
+        cold_rules = json_mod.dumps(cold().to_json_dict()["rules"])
+
+        store = CacheStore(Path(tmp) / "crash")
+        for _ in range(max(1, repeats)):
+            # Seed the crash (untimed): the victim dies mid-lattice but the
+            # completed level frontier is already durable in the store.
+            victim = Profiler(relation, faults=FaultPlan.from_specs(
+                ["engine.level:error:after=1,times=1"], seed=7
+            ))
+            victim.attach_store(store)
+            try:
+                victim.run(request)
+            except FaultInjected:
+                pass
+            survivor = Profiler(relation)
+            survivor.attach_store(store)
+            started = time.perf_counter()
+            resumed = survivor.run(request)
+            resume_s = min(resume_s, time.perf_counter() - started)
+    resumed_rules = json_mod.dumps(resumed.to_json_dict()["rules"])
+
+    # Hook overhead: an armed plan that never matches, against no plan at
+    # all.  Interleaved back-to-back pairs, overhead taken as the median
+    # of the per-pair ratios — the two runs of a pair share the machine's
+    # load conditions, so slow load drift cancels out of each ratio where
+    # it would poison a best-of or a pooled median.
+    import statistics
+
+    idle_plan = FaultPlan.from_specs(["no.such.point:error"], seed=7)
+    baseline_times, armed_times, ratios = [], [], []
+    for _ in range(max(7, repeats)):
+        started = time.perf_counter()
+        Profiler(relation).run(request)
+        baseline_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        Profiler(relation, faults=idle_plan).run(request)
+        armed_times.append(time.perf_counter() - started)
+        ratios.append(armed_times[-1] / baseline_times[-1])
+    assert not idle_plan.describe()["injected"], "idle plan must stay idle"
+    baseline_s = min(baseline_times)
+    armed_s = min(armed_times)
+    hook_overhead_pct = round((statistics.median(ratios) - 1.0) * 100, 2)
+
+    return {
+        "db_size": db_size,
+        "support": support,
+        "algorithm": "ctane",
+        "cold_restart_s": cold_s,
+        "resume_s": resume_s,
+        "resume_speedup": cold_s / resume_s,
+        "resumed_level": resumed.stats.extras["resumed_level"],
+        "resume_levels_skipped": resumed.stats.extras["resume_levels_skipped"],
+        "byte_identical_output": resumed_rules == cold_rules,
+        "hook_baseline_s": baseline_s,
+        "hook_armed_s": armed_s,
+        "hook_overhead_pct": hook_overhead_pct,
+    }
+
+
+# ---------------------------------------------------------------------- #
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -558,6 +671,9 @@ def main(argv=None) -> int:
     fleet_serving = bench_fleet_serving(
         ablation_db, ablation_k, n_requests=http_requests
     )
+    fault_recovery = bench_fault_recovery(
+        ablation_db, ablation_k, max(1, repeats - 1)
+    )
 
     document = {
         "suite": "bench_perf_suite",
@@ -571,6 +687,7 @@ def main(argv=None) -> int:
         "persistence": persistence,
         "http_serving": http_serving,
         "fleet_serving": fleet_serving,
+        "fault_recovery": fault_recovery,
         # Pre-substrate numbers measured on the PR-1 tree (same machine
         # class, db_size=2000/k=20 and the 5000-row product chain), kept as
         # the fixed origin of the trajectory.
@@ -629,6 +746,15 @@ def main(argv=None) -> int:
           f"failover recovery "
           f"{fleet_serving['failover_recovery_s']:.3f}s "
           f"(byte-identical={fleet_serving['failover_byte_identical']})")
+    print(f"\nfault recovery (db={fault_recovery['db_size']}, "
+          f"k={fault_recovery['support']}, ctane): checkpointed resume "
+          f"{fault_recovery['resume_s']:.3f}s vs cold restart "
+          f"{fault_recovery['cold_restart_s']:.3f}s "
+          f"({fault_recovery['resume_speedup']:.1f}x, resumed at level "
+          f"{fault_recovery['resumed_level']} skipping "
+          f"{fault_recovery['resume_levels_skipped']}, byte-identical="
+          f"{fault_recovery['byte_identical_output']}); idle fault hooks "
+          f"{fault_recovery['hook_overhead_pct']}% overhead")
     return 0
 
 

@@ -111,11 +111,17 @@ class CTaneAlgorithm(DiscoveryAlgorithm):
             **request.options_dict,
         )
         cfds = ctane.discover()
+        extras: Dict[str, object] = {
+            "resume_levels_skipped": int(ctane.resume_levels_skipped),
+        }
+        if ctane.resumed_level is not None:
+            extras["resumed_level"] = int(ctane.resumed_level)
         stats = AlgorithmStats(
             algorithm=self.name,
             candidates_checked=ctane.candidates_checked,
             elements_generated=ctane.elements_generated,
             non_minimal_dropped=ctane.non_minimal_dropped,
+            extras=extras,
         )
         return cfds, stats
 

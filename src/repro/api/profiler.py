@@ -193,10 +193,21 @@ class Profiler:
         *,
         progress: Optional[ProgressCallback] = None,
         registry: AlgorithmRegistry = REGISTRY,
+        faults: Optional[object] = None,
     ):
         self._relation = relation
         self._registry = registry
         self.progress = progress
+        #: Optional :class:`~repro.serve.faults.FaultPlan` threaded down from
+        #: the serving layer; the engine checkpoint hook visits it so chaos
+        #: drills can kill/fail a run right after a level checkpoint.
+        self._faults = faults
+        #: Optional :class:`~repro.serve.store.CacheStore` the session writes
+        #: its mid-run engine checkpoints through (see :meth:`attach_store`).
+        self._attached_store: Optional["CacheStore"] = None
+        #: In-memory engine checkpoints keyed by canonical params (the
+        #: in-process resume path; the attached store is the durable one).
+        self._checkpoints: Dict[str, Dict] = {}
         self._lock = threading.RLock()
         # Expensive structures are cached as futures: lookup/insert happens
         # under the lock, the build itself outside it (see _get_or_build).
@@ -233,6 +244,17 @@ class Profiler:
         """
         with self._lock:
             future = store.get(key)
+            if (
+                future is not None
+                and future.done()
+                and future.exception() is not None
+            ):
+                # Defensive re-check: a failed build is evicted by its
+                # builder below, but any path that leaves an errored future
+                # installed (a racing eviction, an overwritten key) would
+                # poison this key until process restart — evict and rebuild.
+                del store[key]
+                future = None
             if future is not None:
                 self._count(cache, hit=True)
                 is_builder = False
@@ -399,6 +421,34 @@ class Profiler:
             return True
 
     # ------------------------------------------------------------------ #
+    # engine checkpoints (crash-safe resumable CTANE runs)
+    # ------------------------------------------------------------------ #
+    def attach_store(self, store: Optional["CacheStore"]) -> None:
+        """Bind the persistent store the engine checkpoints write through.
+
+        The serving pool attaches its store on admission; one-shot CLI runs
+        attach theirs before :meth:`run`.  With a store attached, every
+        lattice level a CTANE run completes is durably checkpointed, so a
+        killed process (crash, deadline, drain, chaos drill) resumes from
+        the last completed level — on this worker or, via a shared cache
+        directory, on the fleet successor a failover lands on.
+        """
+        with self._lock:
+            self._attached_store = store
+
+    def ctane_checkpoint(self, params: Dict[str, object]) -> "_CTaneCheckpoint":
+        """The engine's checkpoint handle for one traversal configuration."""
+        import json as json_mod
+
+        key = json_mod.dumps(params, sort_keys=True, separators=(",", ":"))
+        return _CTaneCheckpoint(self, key, params)
+
+    def checkpoint_info(self) -> Dict[str, int]:
+        """Counters of the in-memory engine checkpoints (observability)."""
+        with self._lock:
+            return {"entries": len(self._checkpoints)}
+
+    # ------------------------------------------------------------------ #
     # build-cost accounting and run observers
     # ------------------------------------------------------------------ #
     def build_seconds(self) -> Dict[str, float]:
@@ -456,6 +506,7 @@ class Profiler:
                 self._relation.head(limit_rows),
                 progress=self.progress,
                 registry=self._registry,
+                faults=self._faults,
             )
             self._prefix_sessions[limit_rows] = prefix
             while len(self._prefix_sessions) > MAX_PREFIX_SESSIONS:
@@ -857,6 +908,85 @@ class Profiler:
                 options=options,
             )
         )
+
+
+class _CTaneCheckpoint:
+    """The engine-facing checkpoint handle (``load``/``save``/``clear``).
+
+    In-memory state lives on the owning :class:`Profiler` (in-process
+    resume after an injected engine error); with a store attached via
+    :meth:`Profiler.attach_store` every save also writes through durably —
+    best-effort, because a failing store must degrade the *resume*, never
+    the run.  After the durable save the ``engine.level`` fault point is
+    visited, so chaos drills kill or fail a run at exactly the moment the
+    checkpoint guarantees the completed levels are safe.
+    """
+
+    def __init__(self, profiler: Profiler, key: str, params: Dict[str, object]):
+        self._profiler = profiler
+        self._key = key
+        self._params = params
+
+    def load(self) -> Optional[Dict]:
+        profiler = self._profiler
+        with profiler._lock:
+            state = profiler._checkpoints.get(self._key)
+            store = profiler._attached_store
+        if state is not None:
+            return state
+        if store is None:
+            return None
+        from repro.serve import store as sf
+
+        entry = store.get(
+            profiler._relation.fingerprint(), sf.KIND_CTANE_CHECKPOINT, self._params
+        )
+        if entry is None:
+            return None
+        try:
+            return sf.unpack_ctane_checkpoint(entry)
+        except Exception:  # noqa: BLE001 - a bad checkpoint degrades to cold
+            return None
+
+    def save(self, state: Dict) -> None:
+        profiler = self._profiler
+        with profiler._lock:
+            profiler._checkpoints[self._key] = state
+            store = profiler._attached_store
+        if store is not None:
+            from repro.exceptions import CacheStoreError
+            from repro.serve import store as sf
+
+            try:
+                packed = sf.pack_ctane_checkpoint(state)
+                if packed is not None:
+                    meta, arrays = packed
+                    store.put(
+                        profiler._relation.fingerprint(),
+                        sf.KIND_CTANE_CHECKPOINT,
+                        self._params,
+                        meta=meta,
+                        arrays=arrays,
+                    )
+            except CacheStoreError:
+                pass  # resume stays in-memory only; the run must not fail
+        faults = profiler._faults
+        if faults is not None:
+            faults.visit("engine.level")
+
+    def clear(self) -> None:
+        profiler = self._profiler
+        with profiler._lock:
+            profiler._checkpoints.pop(self._key, None)
+            store = profiler._attached_store
+        if store is not None:
+            from repro.serve import store as sf
+
+            store.delete(
+                profiler._relation.fingerprint(),
+                sf.KIND_CTANE_CHECKPOINT,
+                self._params,
+            )
 
 
 __all__ = ["ProgressCallback", "Profiler", "execute"]

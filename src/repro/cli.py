@@ -73,7 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "csv", type=Path, nargs="?", default=None,
-        help="path of the CSV file to profile (not needed with --cache-gc)",
+        help="path of the CSV file to profile (not needed with "
+        "--cache-gc/--cache-fsck)",
     )
     parser.add_argument(
         "--support", "-k", type=int, default=1,
@@ -138,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="maintenance mode: shrink the --cache-dir store to at most "
         "MAX_BYTES (cost-aware: cheapest-to-rebuild entries evicted first, "
         "oldest files break ties) and exit without discovering",
+    )
+    parser.add_argument(
+        "--cache-fsck", action="store_true",
+        help="maintenance mode: deep-verify every entry of the --cache-dir "
+        "store (magic, header, checksums), quarantine corrupt files under "
+        "<dir>/quarantine/ with .reason sidecars, and exit without "
+        "discovering (exit 1 when anything was quarantined)",
     )
     parser.add_argument(
         "--stats", action="store_true",
@@ -226,6 +234,37 @@ def _run_cache_gc(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         file=sys.stderr,
     )
     return 0
+
+
+def _run_cache_fsck(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``--cache-fsck`` maintenance mode: verify, quarantine, report."""
+    from repro.exceptions import CacheStoreError
+    from repro.serve import CacheStore
+
+    if args.cache_dir is None:
+        parser.error("--cache-fsck requires --cache-dir")
+    try:
+        store = CacheStore(args.cache_dir)
+        report = store.fsck(deep=True)
+    except (CacheStoreError, OSError) as exc:
+        print(f"# cache-fsck failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"# cache-fsck {args.cache_dir}: {report['checked']} entries checked, "
+        f"{report['healthy']} healthy, {report['quarantined']} quarantined",
+        file=sys.stderr,
+    )
+    for problem in report["problems"]:
+        print(
+            f"# cache-fsck   {problem['path']}: {problem['reason']}",
+            file=sys.stderr,
+        )
+    if report["quarantined"]:
+        print(
+            f"# cache-fsck quarantined files moved to {report['quarantine_dir']}",
+            file=sys.stderr,
+        )
+    return 1 if report["quarantined"] else 0
 
 
 def _print_service_stats(stats: Dict) -> None:
@@ -399,8 +438,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--constant-only and --variable-only are mutually exclusive")
     if args.cache_gc is not None:
         return _run_cache_gc(args, parser)
+    if args.cache_fsck:
+        return _run_cache_fsck(args, parser)
     if args.csv is None:
-        parser.error("a CSV file is required (only --cache-gc runs without one)")
+        parser.error(
+            "a CSV file is required (only --cache-gc/--cache-fsck run "
+            "without one)"
+        )
     if not args.csv.exists():
         parser.error(f"no such file: {args.csv}")
     if args.workers < 1:

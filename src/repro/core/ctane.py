@@ -104,6 +104,16 @@ class CTane:
     progress:
         Optional callback ``progress(stage, level, arity)`` invoked once per
         lattice level (for long-run feedback on large relations).
+    checkpoint:
+        Optional checkpoint handle with ``load() -> Optional[state]``,
+        ``save(state)`` and ``clear()``.  When given (or derivable from the
+        session via :meth:`~repro.api.profiler.Profiler.ctane_checkpoint`),
+        the traversal snapshots its loop frontier at the top of every level
+        and a re-run after a crash/kill/deadline resumes from the last
+        completed level instead of from scratch — with byte-identical output,
+        since the snapshot captures everything the remaining levels read.
+        :attr:`resumed_level` / :attr:`resume_levels_skipped` record whether
+        (and how far) a run warm-resumed.
     """
 
     def __init__(
@@ -117,6 +127,7 @@ class CTane:
         verify_minimality: bool = False,
         session: Optional["Profiler"] = None,
         progress: Optional[Callable[[str, int, int], None]] = None,
+        checkpoint: Optional[object] = None,
     ):
         if min_support < 1:
             raise DiscoveryError("min_support must be at least 1")
@@ -152,6 +163,26 @@ class CTane:
         self.candidates_checked = 0
         self.elements_generated = 0
         self.non_minimal_dropped = 0
+        #: resume bookkeeping: the level a checkpointed run restarted at, and
+        #: how many completed levels it skipped (0 = cold run).
+        self.resumed_level: Optional[int] = None
+        self.resume_levels_skipped = 0
+        self._checkpoint = checkpoint
+        if self._checkpoint is None and session is not None:
+            factory = getattr(session, "ctane_checkpoint", None)
+            if factory is not None:
+                self._checkpoint = factory(self._checkpoint_params())
+
+    def _checkpoint_params(self) -> Dict[str, object]:
+        """The request shape a checkpoint is keyed by (resume safety: a
+        checkpoint only ever feeds a traversal with identical parameters)."""
+        return {
+            "min_support": int(self._min_support),
+            "max_lhs_size": self._max_lhs_size,
+            "cplus_pruning": bool(self._cplus_pruning),
+            "incremental_partitions": bool(self._incremental),
+            "verify_minimality": bool(self._verify_minimality),
+        }
 
     # ------------------------------------------------------------------ #
     # the partition substrate
@@ -368,29 +399,81 @@ class CTane:
             # No pattern (not even the all-wildcard one) can reach the support
             # threshold, so the canonical cover is empty.
             return results
-        level = self._initial_level()
-        self.elements_generated += len(level)
-
-        empty_element: Element = ((), ())
-        base_candidates: Set[CandidateItem] = set()
-        for attrs, pattern in level:
-            base_candidates.add((attrs[0], pattern[0]))
-        parent_cplus: Dict[Element, Set[CandidateItem]] = {empty_element: base_candidates}
-
         incremental = self._incremental
-        parent_partitions: Dict[Element, Partition] = {}
-        level_partitions: Dict[Element, Partition] = {}
-        if incremental:
-            parent_partitions[empty_element] = self._empty_pattern_partition()
-            for element in level:
-                level_partitions[element] = self._single_partition(
-                    element[0][0], element[1][0]
-                )
+        state = None
+        if self._checkpoint is not None:
+            state = self._checkpoint.load()
+            if state is not None and bool(state.get("incremental")) != incremental:
+                state = None  # a checkpoint of the other traversal mode
+        if state is not None:
+            # Warm resume: restore the loop frontier the checkpoint captured
+            # at the top of level ``size`` — everything before it is done.
+            size = int(state["size"])
+            level: List[Element] = list(state["level"])
+            parent_cplus: Dict[Element, Set[CandidateItem]] = state["parent_cplus"]
+            parent_partitions: Dict[Element, Partition] = state.get(
+                "parent_partitions", {}
+            )
+            level_partitions: Dict[Element, Partition] = state.get(
+                "level_partitions", {}
+            )
+            results = list(state["results"])
+            counters = state.get("counters", {})
+            self.candidates_checked += int(counters.get("candidates_checked", 0))
+            self.elements_generated += int(counters.get("elements_generated", 0))
+            self.non_minimal_dropped += int(counters.get("non_minimal_dropped", 0))
+            self.resumed_level = size
+            self.resume_levels_skipped = size - 1
+        else:
+            level = self._initial_level()
+            self.elements_generated += len(level)
 
-        size = 1
+            empty_element: Element = ((), ())
+            base_candidates: Set[CandidateItem] = set()
+            for attrs, pattern in level:
+                base_candidates.add((attrs[0], pattern[0]))
+            parent_cplus = {empty_element: base_candidates}
+
+            parent_partitions = {}
+            level_partitions = {}
+            if incremental:
+                parent_partitions[empty_element] = self._empty_pattern_partition()
+                for element in level:
+                    level_partitions[element] = self._single_partition(
+                        element[0][0], element[1][0]
+                    )
+            size = 1
+
         while level:
             if self._progress is not None:
                 self._progress("ctane:level", size, self._arity)
+            if (
+                self._checkpoint is not None
+                and size > 1
+                and size != self.resumed_level
+            ):
+                # Snapshot the frontier *before* processing the level: every
+                # container step 2 mutates is copied, so the saved state is
+                # exactly what a resumed run needs to replay this level.
+                self._checkpoint.save(
+                    {
+                        "size": size,
+                        "incremental": incremental,
+                        "level": list(level),
+                        "parent_cplus": {
+                            element: set(items)
+                            for element, items in parent_cplus.items()
+                        },
+                        "parent_partitions": dict(parent_partitions),
+                        "level_partitions": dict(level_partitions),
+                        "results": list(results),
+                        "counters": {
+                            "candidates_checked": self.candidates_checked,
+                            "elements_generated": self.elements_generated,
+                            "non_minimal_dropped": self.non_minimal_dropped,
+                        },
+                    }
+                )
             # --- Step 1: candidate RHS sets ------------------------------ #
             cplus: Dict[Element, Set[CandidateItem]] = {}
             for element in level:
@@ -557,6 +640,8 @@ class CTane:
                 level_partitions = next_partitions
             level = sorted(next_level, key=self._generality_rank)
             size += 1
+        if self._checkpoint is not None:
+            self._checkpoint.clear()  # the run completed: nothing to resume
         return results
 
     # ------------------------------------------------------------------ #

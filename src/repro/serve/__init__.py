@@ -28,8 +28,21 @@ The network front end lives in :mod:`repro.serve.http` (imported lazily —
 asyncio HTTP/1.1 server bridging coroutines onto this thread-pool substrate,
 with admission control, per-request deadlines, Prometheus ``/metrics`` and
 graceful drain.
+
+Chaos tooling lives in :mod:`repro.serve.faults`: a deterministic, seeded
+:class:`~repro.serve.faults.FaultPlan` threaded through every layer above
+(``--fault`` flags / ``REPRO_FAULTS``), driving the circuit breakers, the
+crash-safe store recovery and the checkpointed discovery runs under test.
 """
 
+from repro.serve.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    parse_fault_spec,
+    plan_from_env,
+    resolve_fault_plan,
+)
 from repro.serve.fingerprint import relation_fingerprint
 from repro.serve.pool import SessionPool
 from repro.serve.service import DiscoveryService, RelationRef
@@ -38,8 +51,14 @@ from repro.serve.store import CacheStore, StoreEntry
 __all__ = [
     "CacheStore",
     "DiscoveryService",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
     "RelationRef",
     "SessionPool",
     "StoreEntry",
+    "parse_fault_spec",
+    "plan_from_env",
     "relation_fingerprint",
+    "resolve_fault_plan",
 ]

@@ -1,0 +1,237 @@
+"""Per-worker circuit breakers and the fleet's retry budget.
+
+The router's failover loop walks a preference list; this module decides
+*whether each step is worth taking*.  Two complementary guards:
+
+:class:`CircuitBreaker` — one per worker, a three-state machine over
+**transport** failures (connection refused/reset, malformed answers — the
+``WorkerUnavailableError`` family; a worker answering an honest ``503`` is
+alive and does not trip it):
+
+* ``CLOSED`` — healthy; forwards flow.  ``fail_threshold`` *consecutive*
+  failures trip the breaker to ``OPEN``.
+* ``OPEN`` — every forward to this worker is skipped without touching the
+  socket, so a flapping worker cannot tax each request with a connect
+  timeout.  After ``reset_seconds`` the breaker admits exactly one probe.
+* ``HALF_OPEN`` — one probe in flight; success closes the breaker, failure
+  re-opens it (and restarts the reset clock).  Concurrent forwards keep
+  skipping while the probe is out.
+
+:class:`RetryBudget` — a token bucket over *retries* (failover attempts past
+the first), shared across the router.  Every first attempt earns ``ratio``
+tokens; every retry spends one.  During an outage broad enough that most
+requests retry, the budget drains and the router starts failing fast instead
+of multiplying load onto the survivors — the classic retry-storm brake.
+The per-request refill keeps occasional retries working forever under a
+mostly-healthy steady state.
+
+Both are lock-free by construction: the router mutates them only from its
+event loop.  The metrics renderer reads from another thread, but only ever
+single word-sized snapshots (ints/floats), which CPython reads atomically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Breaker state encoding used by the ``repro_breaker_state`` gauge.
+STATE_CLOSED = 0
+STATE_OPEN = 1
+STATE_HALF_OPEN = 2
+
+_STATE_NAMES = {
+    STATE_CLOSED: "closed",
+    STATE_OPEN: "open",
+    STATE_HALF_OPEN: "half_open",
+}
+
+
+class CircuitBreaker:
+    """One worker's transport-failure state machine (see module docstring)."""
+
+    def __init__(
+        self,
+        fail_threshold: int = 3,
+        reset_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if fail_threshold < 1:
+            raise ValueError("fail_threshold must be at least 1")
+        if reset_seconds < 0:
+            raise ValueError("reset_seconds must be non-negative")
+        self._fail_threshold = fail_threshold
+        self._reset_seconds = reset_seconds
+        self._clock = clock
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.opened_total = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> int:
+        return self._state
+
+    @property
+    def state_name(self) -> str:
+        return _STATE_NAMES[self._state]
+
+    def allow(self) -> bool:
+        """May a forward go to this worker right now?
+
+        An ``OPEN`` breaker past its reset deadline transitions to
+        ``HALF_OPEN`` and admits the caller as the single probe; the
+        outcome must be reported via :meth:`record_success` /
+        :meth:`record_failure` or the breaker stays half-open.
+        """
+        if self._state == STATE_CLOSED:
+            return True
+        if self._state == STATE_OPEN:
+            if self._clock() - self._opened_at >= self._reset_seconds:
+                self._state = STATE_HALF_OPEN
+                self._probe_in_flight = True
+                return True
+            return False
+        # HALF_OPEN: one probe at a time.
+        if not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        return False
+
+    def cancel_probe(self) -> None:
+        """Release an admitted probe that was never actually sent.
+
+        Without this a probe admitted by :meth:`allow` but abandoned before
+        the exchange (retry budget dry, forward timed out upstream) would
+        leave the breaker half-open and refusing probes forever.
+        """
+        self._probe_in_flight = False
+
+    def record_success(self) -> None:
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        self._probe_in_flight = False
+        self._consecutive_failures += 1
+        if self._state == STATE_HALF_OPEN:
+            self._open()
+        elif (
+            self._state == STATE_CLOSED
+            and self._consecutive_failures >= self._fail_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = self._clock()
+        self.opened_total += 1
+
+    def seconds_until_probe(self) -> float:
+        """How long until an ``OPEN`` breaker admits a probe (0 otherwise)."""
+        if self._state != STATE_OPEN:
+            return 0.0
+        return max(0.0, self._reset_seconds - (self._clock() - self._opened_at))
+
+
+class BreakerBoard:
+    """The router's breakers, one per worker URL, created on first sight."""
+
+    def __init__(
+        self,
+        fail_threshold: int = 3,
+        reset_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._fail_threshold = fail_threshold
+        self._reset_seconds = reset_seconds
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, worker: str) -> CircuitBreaker:
+        breaker = self._breakers.get(worker)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self._fail_threshold, self._reset_seconds, self._clock
+            )
+            self._breakers[worker] = breaker
+        return breaker
+
+    def allow(self, worker: str) -> bool:
+        return self.breaker(worker).allow()
+
+    def record_success(self, worker: str) -> None:
+        self.breaker(worker).record_success()
+
+    def record_failure(self, worker: str) -> None:
+        self.breaker(worker).record_failure()
+
+    def states(self) -> List[Tuple[str, int]]:
+        """``(worker, state)`` pairs, sorted — the gauge's label set."""
+        return sorted(
+            (worker, breaker.state) for worker, breaker in self._breakers.items()
+        )
+
+    def opened_total(self) -> int:
+        return sum(breaker.opened_total for breaker in self._breakers.values())
+
+    def min_seconds_until_probe(self) -> float:
+        """The soonest any open breaker will probe (0 when none are open)."""
+        waits = [
+            breaker.seconds_until_probe()
+            for breaker in self._breakers.values()
+            if breaker.state == STATE_OPEN
+        ]
+        return min(waits) if waits else 0.0
+
+
+class RetryBudget:
+    """A token bucket over failover retries (see module docstring).
+
+    ``ratio`` tokens are earned per first attempt, one token is spent per
+    retry, and the balance is clamped to ``[0, capacity]`` — the ceiling
+    stops a long quiet period from banking an unbounded retry storm, while
+    the per-request refill keeps isolated failures retryable forever under
+    a mostly-healthy steady state.
+    """
+
+    def __init__(self, ratio: float = 0.1, capacity: float = 10.0):
+        if ratio < 0:
+            raise ValueError("ratio must be non-negative")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._ratio = ratio
+        self._capacity = capacity
+        self._tokens = capacity
+        self.spent_total = 0
+        self.exhausted_total = 0
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def on_request(self) -> None:
+        """Earn the per-request refill (called once per forward, not retry)."""
+        self._tokens = min(self._capacity, self._tokens + self._ratio)
+
+    def try_spend(self) -> bool:
+        """Spend one token for a retry; ``False`` means fail fast instead."""
+        if self._tokens < 1.0:
+            self.exhausted_total += 1
+            return False
+        self._tokens -= 1.0
+        self.spent_total += 1
+        return True
+
+
+__all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
+    "RetryBudget",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+]

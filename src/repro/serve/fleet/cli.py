@@ -31,6 +31,7 @@ import signal
 import sys
 from typing import Optional, Sequence
 
+from repro.serve.faults import resolve_fault_plan
 from repro.serve.fleet.router import FleetRouter, RouterConfig
 
 
@@ -96,6 +97,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="byte budget of the raw upload cache backing failover "
         "re-uploads (default: 64 MiB)",
     )
+    parser.add_argument(
+        "--breaker-fail-threshold", type=int, default=3,
+        help="consecutive transport failures that open a worker's circuit "
+        "breaker (default: 3)",
+    )
+    parser.add_argument(
+        "--breaker-reset", type=float, default=5.0, metavar="SECONDS",
+        help="seconds an open breaker waits before one half-open probe "
+        "(default: 5)",
+    )
+    parser.add_argument(
+        "--retry-budget-ratio", type=float, default=0.1,
+        help="retry tokens earned per forwarded request; each failover "
+        "retry spends one (default: 0.1)",
+    )
+    parser.add_argument(
+        "--retry-budget-capacity", type=float, default=10.0,
+        help="retry-token bucket capacity (default: 10)",
+    )
+    parser.add_argument(
+        "--backoff-base", type=float, default=0.05, metavar="SECONDS",
+        help="base of the jittered exponential failover backoff; 0 "
+        "disables backoff (default: 0.05)",
+    )
+    parser.add_argument(
+        "--backoff-max", type=float, default=2.0, metavar="SECONDS",
+        help="failover backoff ceiling (default: 2)",
+    )
+    parser.add_argument(
+        "--fault", action="append", default=[], metavar="SPEC",
+        help="inject a deterministic fault, 'point:kind[:key=value,...]' "
+        "(repeatable; merged with $REPRO_FAULTS), e.g. "
+        "'fleet.send:reset:p=0.2'",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="seed of the fault plan's RNG (default: $REPRO_FAULT_SEED or 0)",
+    )
     return parser
 
 
@@ -118,9 +157,32 @@ def _validate(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None
         parser.error("--health-interval must be positive")
     if args.fail_after < 1:
         parser.error("--fail-after must be at least 1")
+    if args.breaker_fail_threshold < 1:
+        parser.error("--breaker-fail-threshold must be at least 1")
+    if args.breaker_reset < 0:
+        parser.error("--breaker-reset must be at least 0")
+    if args.retry_budget_ratio < 0:
+        parser.error("--retry-budget-ratio must be at least 0")
+    if args.retry_budget_capacity < 1:
+        parser.error("--retry-budget-capacity must be at least 1")
+    if args.backoff_base < 0:
+        parser.error("--backoff-base must be at least 0")
+    if args.backoff_max < 0:
+        parser.error("--backoff-max must be at least 0")
 
 
 def config_from_args(args: argparse.Namespace) -> RouterConfig:
+    try:
+        faults = resolve_fault_plan(args.fault, args.fault_seed)
+    except ValueError as exc:
+        raise SystemExit(f"repro-fleet: {exc}")
+    if faults is not None:
+        print(
+            f"repro-fleet fault plan active: seed={faults.seed} "
+            f"rules={[rule.spec() for rule in faults.rules()]}",
+            file=sys.stderr,
+            flush=True,
+        )
     return RouterConfig(
         host=args.host,
         port=args.port,
@@ -135,6 +197,13 @@ def config_from_args(args: argparse.Namespace) -> RouterConfig:
         health_interval=args.health_interval,
         fail_after=args.fail_after,
         upload_cache_bytes=args.upload_cache_bytes,
+        breaker_fail_threshold=args.breaker_fail_threshold,
+        breaker_reset_seconds=args.breaker_reset,
+        retry_budget_ratio=args.retry_budget_ratio,
+        retry_budget_capacity=args.retry_budget_capacity,
+        backoff_base=args.backoff_base,
+        backoff_max=args.backoff_max,
+        faults=faults,
     )
 
 

@@ -23,6 +23,7 @@ from typing import AsyncIterator, Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.exceptions import DiscoveryError
+from repro.serve.faults import FaultPlan
 
 #: Caps mirroring the server-side parser: a worker answering absurd heads is
 #: treated as broken, not buffered.
@@ -73,9 +74,39 @@ class WorkerResponse:
 class WorkerClient:
     """Keep-alive HTTP client over the fleet's workers, addressed by URL."""
 
-    def __init__(self, *, connect_timeout: float = 5.0):
+    def __init__(
+        self,
+        *,
+        connect_timeout: float = 5.0,
+        faults: Optional[FaultPlan] = None,
+    ):
         self._connect_timeout = connect_timeout
+        self._faults = faults
         self._idle: Dict[str, List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]] = {}
+
+    async def _visit_fault(self, worker: str, target: str) -> None:
+        """Visit the client's injection point before an exchange.
+
+        Health probes visit ``fleet.poll`` and everything else visits
+        ``fleet.send`` — two traffic classes, so a drill can flap the data
+        path deterministically without the membership poller racing it for
+        the armed rule (or flap the poller alone, with ``fleet.poll:...``).
+
+        Runs in the default executor so an injected latency fault never
+        blocks the event loop.  An injected connection reset surfaces as
+        :class:`WorkerUnavailableError` — exactly the failover signal a real
+        mid-flight reset would produce.
+        """
+        if self._faults is None:
+            return
+        point = "fleet.poll" if target == "/healthz" else "fleet.send"
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, self._faults.visit, point)
+        except ConnectionResetError as exc:
+            raise WorkerUnavailableError(
+                f"worker {worker} dropped (injected): {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -142,6 +173,7 @@ class WorkerClient:
         to the pool); chunked responses come back as a chunk iterator that
         owns — and finally closes — the connection.
         """
+        await self._visit_fault(worker, target)
         reader, writer = await self._connect(worker)
         try:
             head = [f"{method} {target} HTTP/1.1"]

@@ -26,7 +26,14 @@ from __future__ import annotations
 import threading
 from typing import List, Optional
 
-from repro.serve.http.metrics import Counter, Gauge, Histogram, _escape
+from repro.serve.http.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HttpMetrics,
+    _escape,
+    render_family,
+)
 
 #: Forward-latency bucket bounds (seconds) — proxy hops are much faster than
 #: discovery runs, so the grid starts finer than the service histogram.
@@ -65,6 +72,11 @@ class FleetMetrics:
         self.failovers_total = Counter(
             "repro_fleet_failovers_total",
             "Forwards retried on a ring successor after this worker failed.",
+            ("worker",),
+        )
+        self.breaker_skips_total = Counter(
+            "repro_fleet_breaker_skips_total",
+            "Forwards skipped because the worker's circuit breaker was open.",
             ("worker",),
         )
         self.reuploads_total = Counter(
@@ -123,6 +135,7 @@ class FleetMetrics:
         lines += self.forwards_total.render()
         lines += self.forward_seconds.render()
         lines += self.failovers_total.render()
+        lines += self.breaker_skips_total.render()
         lines += self.reuploads_total.render()
         lines += self.throttled_total.render()
         lines += self.queue_rejections_total.render()
@@ -130,8 +143,53 @@ class FleetMetrics:
         lines += self.ring_workers.render()
         lines += self.ring_points.render()
         lines += self.worker_up.render()
+        lines += self._render_breakers(router)
         lines += self._render_clients(router)
+        faults = getattr(router, "faults", None)
+        if faults is not None:
+            lines += HttpMetrics._render_faults(faults.describe())
         return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_breakers(router) -> List[str]:
+        """Breaker states and the shared retry budget, from live router state."""
+        lines: List[str] = []
+        states = router.breakers.states()
+        if states:
+            name = "repro_breaker_state"
+            lines.append(
+                f"# HELP {name} Circuit breaker state per worker "
+                "(0=closed, 1=open, 2=half-open)."
+            )
+            lines.append(f"# TYPE {name} gauge")
+            for worker, state in states:
+                lines.append(f'{name}{{worker="{_escape(worker)}"}} {state}')
+        lines += render_family(
+            "repro_fleet_breaker_opened_total",
+            "counter",
+            "Circuit breaker open transitions across all workers.",
+            float(router.breakers.opened_total()),
+        )
+        budget = router.retry_budget
+        lines += render_family(
+            "repro_fleet_retry_tokens",
+            "gauge",
+            "Retry-budget tokens currently available.",
+            float(budget.tokens),
+        )
+        lines += render_family(
+            "repro_fleet_retries_total",
+            "counter",
+            "Failover retries paid for from the retry budget.",
+            float(budget.spent_total),
+        )
+        lines += render_family(
+            "repro_fleet_retry_budget_exhausted_total",
+            "counter",
+            "Failovers abandoned because the retry budget was empty.",
+            float(budget.exhausted_total),
+        )
+        return lines
 
     @staticmethod
     def _render_clients(router) -> List[str]:

@@ -35,12 +35,15 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import random
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.serve.faults import FaultPlan
+from repro.serve.fleet.breaker import BreakerBoard, RetryBudget
 from repro.serve.fleet.client import (
     WorkerClient,
     WorkerResponse,
@@ -116,6 +119,21 @@ class RouterConfig:
     #: Byte budget of the raw upload-body cache backing failover re-uploads.
     upload_cache_bytes: int = 64 * 2 ** 20
     connect_timeout: float = 5.0
+    #: Circuit breaker: consecutive transport failures that open a worker's
+    #: breaker, and how long it stays open before admitting one probe.
+    breaker_fail_threshold: int = 3
+    breaker_reset_seconds: float = 5.0
+    #: Retry budget: tokens earned per forward and the bucket's capacity.
+    #: Each failover retry spends one token; an empty bucket fails fast.
+    retry_budget_ratio: float = 0.1
+    retry_budget_capacity: float = 10.0
+    #: Exponential backoff between failover attempts (seconds); jitter is
+    #: drawn from a seeded RNG so chaos drills replay identically.
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    backoff_seed: int = 0
+    #: Optional deterministic fault plan threaded into the worker client.
+    faults: Optional[FaultPlan] = None
 
 
 class UploadCache:
@@ -165,7 +183,17 @@ class FleetRouter:
             raise errors.ApiError(500, "internal", "router needs at least one worker")
         self.config = config
         self.ring = HashRing(config.vnodes)
-        self.client = WorkerClient(connect_timeout=config.connect_timeout)
+        self.faults = config.faults
+        self.client = WorkerClient(
+            connect_timeout=config.connect_timeout, faults=config.faults
+        )
+        self.breakers = BreakerBoard(
+            config.breaker_fail_threshold, config.breaker_reset_seconds
+        )
+        self.retry_budget = RetryBudget(
+            config.retry_budget_ratio, config.retry_budget_capacity
+        )
+        self._backoff_rng = random.Random(config.backoff_seed)
         self.membership = FleetMembership(
             config.workers,
             self.ring,
@@ -357,6 +385,10 @@ class FleetRouter:
             "workers": self.membership.info(),
             "ring": self.ring.info(),
             "queue_depth": self.queue.depth,
+            "breakers": {
+                worker: state for worker, state in self.breakers.states()
+            },
+            "retry_tokens": round(self.retry_budget.tokens, 3),
         }
         status = 200 if members else 503
         response = HttpResponse.json(document, status=status)
@@ -580,29 +612,63 @@ class FleetRouter:
     ) -> WorkerResponse:
         """Send to the key's owner, failing over down the preference list.
 
-        Connection failures evict the worker (and retry); ``503 draining``
-        evicts and retries; ``503 overloaded`` retries without evicting (a
-        busy worker is still a member).  ``404 relation_not_found`` triggers
-        a re-upload of the cached relation body before one same-worker retry.
+        Connection failures trip the worker's circuit breaker, evict it from
+        the ring and retry; workers with an **open** breaker are skipped
+        without touching the socket; each retry past the first attempt
+        spends a :class:`~repro.serve.fleet.breaker.RetryBudget` token and
+        waits a jittered exponential backoff.  ``503 draining`` evicts and
+        retries; ``503 overloaded`` retries without evicting (a busy worker
+        is still a member).  ``404 relation_not_found`` triggers a re-upload
+        of the cached relation body before one same-worker retry.
         """
         attempts = self.ring.preference(key)
         if not attempts:
             raise self._no_workers()
+        self.retry_budget.on_request()
         last_error: Optional[ApiError] = None
-        for index, worker in enumerate(attempts):
-            if index > 0:
-                self.metrics.failovers_total.inc(worker=attempts[index - 1])
+        previous: Optional[str] = None
+        sent = 0
+        skipped = 0
+        for worker in attempts:
+            if not self.breakers.allow(worker):
+                self.metrics.breaker_skips_total.inc(worker=worker)
+                skipped += 1
+                continue
+            if sent > 0:
+                if not self.retry_budget.try_spend():
+                    self.breakers.breaker(worker).cancel_probe()
+                    last_error = ApiError(
+                        503,
+                        "retry_budget_exhausted",
+                        "failover retry budget exhausted; failing fast",
+                        retry_after=self._retry_after(),
+                    )
+                    break
+                if previous is not None:
+                    self.metrics.failovers_total.inc(worker=previous)
+                delay = self._backoff_delay(sent)
+                if delay > 0:
+                    await asyncio.sleep(delay)
             started = time.perf_counter()
             try:
                 response = await self._send_once(
                     worker, key, method, target, body, headers
                 )
             except WorkerUnavailableError:
+                self.breakers.record_failure(worker)
                 self.membership.mark_dead(worker)
                 last_error = errors.bad_gateway(
                     f"worker {worker} failed mid-request"
                 )
+                previous = worker
+                sent += 1
                 continue
+            except asyncio.TimeoutError:
+                # A slow worker is not a transport failure, but an admitted
+                # half-open probe must be released or the breaker wedges.
+                self.breakers.breaker(worker).cancel_probe()
+                raise
+            self.breakers.record_success(worker)
             self.metrics.observe_forward(worker, time.perf_counter() - started)
             if response.status == 503:
                 code = self._error_code(response)
@@ -614,9 +680,28 @@ class FleetRouter:
                     f"worker {worker} refused the request",
                     retry_after=self._retry_after(),
                 )
+                previous = worker
+                sent += 1
                 continue
             return response
+        if last_error is None and skipped:
+            raise ApiError(
+                503,
+                "breaker_open",
+                "every candidate worker's circuit breaker is open",
+                retry_after=self._retry_after(
+                    extra_wait=self.breakers.min_seconds_until_probe()
+                ),
+            )
         raise last_error if last_error is not None else self._no_workers()
+
+    def _backoff_delay(self, retry_index: int) -> float:
+        """Jittered exponential backoff before failover retry ``retry_index``."""
+        base = self.config.backoff_base
+        if base <= 0:
+            return 0.0
+        delay = min(self.config.backoff_max, base * (2 ** (retry_index - 1)))
+        return delay * (0.5 + 0.5 * self._backoff_rng.random())
 
     async def _send_once(
         self,

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.exceptions import ReproError
+from repro.serve.faults import resolve_fault_plan
 from repro.serve.http.server import HttpServer, ServerConfig
 from repro.serve.pool import SessionPool
 from repro.serve.service import DiscoveryService
@@ -94,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
         help="seconds to wait for in-flight requests on SIGTERM (default: 30)",
     )
+    parser.add_argument(
+        "--fault", action="append", default=[], metavar="SPEC",
+        help="inject a deterministic fault, 'point:kind[:key=value,...]' "
+        "(repeatable; merged with $REPRO_FAULTS), e.g. "
+        "'store.put:torn_write:p=1.0,times=1'",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="seed of the fault plan's RNG (default: $REPRO_FAULT_SEED or 0)",
+    )
     return parser
 
 
@@ -117,18 +128,41 @@ def _validate(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None
 
 
 def build_service(args: argparse.Namespace) -> DiscoveryService:
-    """The configured service: pool budgets, optional persistent store."""
+    """The configured service: pool budgets, optional persistent store.
+
+    A serving store always starts with a shallow fsck sweep: entries left
+    torn by a crash mid-write are quarantined before any session can trip
+    over them, so a killed-and-restarted worker degrades to a cold cache
+    instead of failing loads.
+    """
+    try:
+        faults = resolve_fault_plan(args.fault, args.fault_seed)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    if faults is not None:
+        print(
+            f"repro-serve fault plan active: seed={faults.seed} "
+            f"rules={[rule.spec() for rule in faults.rules()]}",
+            file=sys.stderr,
+            flush=True,
+        )
     store = None
     if args.cache_dir is not None:
         from repro.serve.store import CacheStore
 
-        store = CacheStore(args.cache_dir, max_bytes=args.store_max_bytes)
+        store = CacheStore(
+            args.cache_dir,
+            max_bytes=args.store_max_bytes,
+            faults=faults,
+            sweep=True,
+        )
     pool = SessionPool(
         max_sessions=args.pool_sessions,
         max_bytes=args.pool_bytes,
         store=store,
+        faults=faults,
     )
-    return DiscoveryService(pool=pool, max_workers=args.workers)
+    return DiscoveryService(pool=pool, max_workers=args.workers, faults=faults)
 
 
 async def serve(service: DiscoveryService, config: ServerConfig) -> None:

@@ -113,12 +113,28 @@ def retry_after_hint(
     slots`` seconds.  ``floor`` lifts the hint to an externally-known wait
     (a token bucket's exact refill time).  Always at least 1 and at most
     ``cap`` — a bounded lie beats an unbounded truth.
+
+    Every degenerate input degrades to the same sane clamp: a cold start
+    (``None`` mean), a zero/negative mean, a non-finite mean or floor (NaN
+    or infinity from a poisoned aggregate), negative backlog figures —
+    none may ever produce a hint outside ``[1, cap]`` or raise out of a
+    rejection path.
     """
-    if mean_seconds is None or mean_seconds <= 0:
+    cap = max(1, int(cap))
+    if (
+        mean_seconds is None
+        or not math.isfinite(mean_seconds)
+        or mean_seconds <= 0
+    ):
         estimate = float(default)
     else:
-        estimate = mean_seconds * (pending + 1) / max(1, slots)
-    return max(1, min(cap, math.ceil(max(estimate, floor))))
+        estimate = mean_seconds * (max(0, pending) + 1) / max(1, slots)
+    if not math.isfinite(floor):
+        floor = 0.0
+    estimate = max(estimate, floor)
+    if not math.isfinite(estimate):
+        return cap
+    return max(1, min(cap, math.ceil(estimate)))
 
 
 def too_many_requests(retry_after: int = 1) -> ApiError:

@@ -248,6 +248,25 @@ class HttpMetrics:
         if isinstance(latency, Mapping):
             lines += HttpMetrics._render_service_latency(latency)
 
+        resumes = stats.get("resumes")
+        if isinstance(resumes, Mapping):
+            lines += render_family(
+                "repro_resume_levels_skipped_total",
+                "counter",
+                "Lattice levels skipped by checkpoint-resumed discovery runs.",
+                grab(resumes, "levels_skipped"),
+            )
+            lines += render_family(
+                "repro_resumed_runs_total",
+                "counter",
+                "Discovery runs that warm-resumed from an engine checkpoint.",
+                grab(resumes, "runs"),
+            )
+
+        faults = stats.get("faults")
+        if isinstance(faults, Mapping):
+            lines += HttpMetrics._render_faults(faults)
+
         pool = stats.get("pool")
         if isinstance(pool, Mapping):
             for key, name, kind, help_text in (
@@ -277,10 +296,29 @@ class HttpMetrics:
                  "Store loads that failed verification."),
                 ("gc_removed", "gc_removed_total", "counter",
                  "Store entries removed by garbage collection."),
+                ("quarantined", "quarantined_total", "counter",
+                 "Corrupt store entries moved to quarantine."),
             ):
                 lines += render_family(
                     f"repro_store_{name}", kind, help_text, grab(store, key)
                 )
+        return lines
+
+    @staticmethod
+    def _render_faults(faults: Mapping[str, object]) -> List[str]:
+        """The active fault plan's injected-fault counters, per point/kind."""
+        injected = faults.get("injected")
+        if not isinstance(injected, Mapping):
+            return []
+        name = "repro_faults_injected_total"
+        lines = [
+            f"# HELP {name} Faults injected by the active fault plan.",
+            f"# TYPE {name} counter",
+        ]
+        for key in sorted(injected):
+            point, _, kind = str(key).rpartition(":")
+            labels = _render_labels(("point", "kind"), (point, kind))
+            lines.append(f"{name}{labels} {int(injected[key])}")
         return lines
 
     @staticmethod

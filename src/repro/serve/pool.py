@@ -44,6 +44,7 @@ from repro.api.profiler import ProgressCallback, Profiler
 from repro.api.registry import REGISTRY, AlgorithmRegistry
 from repro.exceptions import CacheStoreError, DiscoveryError
 from repro.relational.relation import Relation
+from repro.serve.faults import FaultPlan
 from repro.serve.fingerprint import relation_fingerprint
 from repro.serve.store import CacheStore
 
@@ -87,6 +88,7 @@ class SessionPool:
         store: Optional[CacheStore] = None,
         progress: Optional[ProgressCallback] = None,
         registry: AlgorithmRegistry = REGISTRY,
+        faults: Optional["FaultPlan"] = None,
     ):
         if max_sessions is not None and max_sessions < 1:
             raise DiscoveryError("max_sessions must be at least 1 (or None)")
@@ -95,6 +97,7 @@ class SessionPool:
         self._max_sessions = max_sessions
         self._max_bytes = max_bytes
         self._store = store
+        self._faults = faults
         self._progress = progress
         self._registry = registry
         self._lock = threading.RLock()
@@ -135,8 +138,15 @@ class SessionPool:
                 return entry.profiler
             self._misses += 1
             profiler = Profiler(
-                relation, progress=self._progress, registry=self._registry
+                relation,
+                progress=self._progress,
+                registry=self._registry,
+                faults=self._faults,
             )
+            # Write-through engine checkpoints: a long CTANE run killed
+            # mid-lattice resumes from its last completed level — on this
+            # worker or (shared cache dir) on a failover successor.
+            profiler.attach_store(self._store)
             # Refresh this entry's bytes after every run the session serves,
             # wherever the run enters from (service, direct profiler.run,
             # experiment sweeps) — see the module docstring.

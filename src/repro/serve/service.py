@@ -33,6 +33,7 @@ from repro.api.request import DiscoveryRequest
 from repro.api.result import DiscoveryResult
 from repro.exceptions import CacheStoreError, DiscoveryError, UnknownRelationError
 from repro.relational.relation import Relation
+from repro.serve.faults import FaultPlan
 from repro.serve.fingerprint import relation_fingerprint
 from repro.serve.pool import SessionPool
 from repro.serve.store import CacheStore
@@ -89,6 +90,7 @@ class DiscoveryService:
         *,
         max_workers: int = 4,
         store: Optional["CacheStore"] = None,
+        faults: Optional["FaultPlan"] = None,
     ):
         if max_workers < 1:
             raise DiscoveryError("max_workers must be at least 1")
@@ -96,6 +98,7 @@ class DiscoveryService:
             raise DiscoveryError(
                 "pass the store to the SessionPool when supplying your own pool"
             )
+        self._faults = faults
         self._pool = pool if pool is not None else SessionPool(store=store)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
@@ -116,6 +119,8 @@ class DiscoveryService:
         self._latency_min: Optional[float] = None
         self._latency_max: Optional[float] = None
         self._latency_buckets = [0] * (len(LATENCY_BUCKETS) + 1)
+        self._resumed_runs = 0
+        self._resume_levels_skipped = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -199,6 +204,11 @@ class DiscoveryService:
         return future
 
     def _serve(self, relation: Relation, request: DiscoveryRequest) -> DiscoveryResult:
+        if self._faults is not None:
+            # Chaos hook: an injected error here fails this run the way any
+            # unexpected engine crash would (callers see the future's
+            # exception); a latency rule stalls the worker thread.
+            self._faults.visit("service.execute")
         # Byte budgets re-check automatically: the pool registers a run
         # listener on every session it creates, so each run refreshes the
         # entry's estimate and enforces the caps on completion.
@@ -221,6 +231,17 @@ class DiscoveryService:
                 self._failed += 1
             else:
                 self._completed += 1
+                skipped = 0
+                try:
+                    result = future.result()
+                    skipped = int(
+                        result.stats.extras.get("resume_levels_skipped", 0)
+                    )
+                except Exception:  # noqa: BLE001 - stats shape is advisory
+                    skipped = 0
+                if skipped > 0:
+                    self._resumed_runs += 1
+                    self._resume_levels_skipped += skipped
             self._record_latency_locked(elapsed)
 
     def _record_latency_locked(self, elapsed: float) -> None:
@@ -329,6 +350,13 @@ class DiscoveryService:
                     )
                 ],
             }
+        with self._lock:
+            snapshot["resumes"] = {
+                "runs": self._resumed_runs,
+                "levels_skipped": self._resume_levels_skipped,
+            }
+        if self._faults is not None:
+            snapshot["faults"] = self._faults.describe()
         store = self._pool.store
         if store is not None:
             snapshot["store"] = store.info()

@@ -17,19 +17,28 @@ One file per entry::
     magic (8 bytes) | header length (8 bytes LE) | JSON header | raw buffers
 
 The header carries the store format version, the fingerprint, kind and params
-of the entry, a JSON-native ``meta`` payload, and the dtype/shape manifest of
+of the entry, a JSON-native ``meta`` payload, the dtype/shape manifest of
 the numpy buffers that follow (``np.save``-style raw C-order bytes, no
-pickling anywhere).  Loads are defensive — every one of these failures makes
-:meth:`CacheStore.get` return ``None`` (callers fall back to a cold build)
-instead of raising:
+pickling anywhere), and a BLAKE2b digest over those buffers.  Loads are
+defensive — every one of these failures makes :meth:`CacheStore.get` return
+``None`` (callers fall back to a cold build) instead of raising:
 
 * unknown magic or store format version (``FORMAT_VERSION`` bumps whenever
   the payload layout of any kind changes);
 * a dtype outside the fixed allowlist, or buffers shorter than the manifest
   promises (truncated/corrupted files);
+* a payload digest that does not match the header's (bit rot, torn or
+  patched buffers);
 * a header fingerprint that does not match the requested one (the
   re-verification that catches moved or mixed-up files);
 * params recorded in the header differing from the requested params.
+
+Structurally corrupt files additionally get **quarantined**: moved to
+``<root>/quarantine/`` next to a ``.reason`` file naming what was wrong, so
+a damaged store degrades to a cold start *visibly* instead of silently.
+:meth:`CacheStore.fsck` sweeps the whole store on demand (shallow header
+checks or deep digest verification — the ``repro-discover --cache-fsck``
+command and the serving CLIs' startup sweep run it).
 
 Writes are atomic: the entry is written to a temp file in the target
 directory and ``os.replace``d into place, so concurrent readers in other
@@ -44,6 +53,7 @@ them but owns no format knowledge.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import os
 import struct
@@ -56,6 +66,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 import numpy as np
 
 from repro.exceptions import CacheStoreError
+from repro.serve.faults import FaultInjected, FaultPlan
 
 #: Structure kinds the store understands (order = warm-load priority: the
 #: closed difference-set provider is rebuilt from the free/closed result, so
@@ -65,6 +76,10 @@ KIND_ATTRIBUTE_PARTITIONS = "attribute_partitions"
 KIND_PATTERN_PARTITIONS = "pattern_partitions"
 KIND_DIFFERENCE_SETS = "difference_sets"
 KIND_ENGINE_RESULTS = "engine_results"
+#: Mid-run lattice frontier of a CTANE run (resume-after-crash); not part of
+#: KIND_ORDER because it is not a warm-load structure — the engine fetches it
+#: by key when (and only when) it runs.
+KIND_CTANE_CHECKPOINT = "ctane_checkpoint"
 KIND_ORDER = (
     KIND_FREE_CLOSED,
     KIND_ATTRIBUTE_PARTITIONS,
@@ -140,10 +155,15 @@ class CacheStore:
     """
 
     #: Bump whenever the binary layout or any kind's payload schema changes;
-    #: readers skip entries written under any other version.
-    FORMAT_VERSION = 1
+    #: readers skip entries written under any other version.  Version 2 added
+    #: the mandatory ``payload_digest`` header field (BLAKE2b over the raw
+    #: array buffers, verified on every full load).
+    FORMAT_VERSION = 2
     MAGIC = b"RPROCS01"
     _SUFFIX = ".rpc"
+    #: Corrupt entries are moved here (flattened ``<fingerprint>-<entry>``
+    #: names, each with a ``.reason`` sidecar) instead of being deleted.
+    QUARANTINE_DIRNAME = "quarantine"
 
     #: Lock-file acquisition: retry cadence, give-up horizon, and the mtime
     #: age past which a lock is presumed abandoned (a crashed worker) and
@@ -152,11 +172,19 @@ class CacheStore:
     LOCK_TIMEOUT_SECONDS = 5.0
     LOCK_STALE_SECONDS = 30.0
 
-    def __init__(self, root: os.PathLike, *, max_bytes: Optional[int] = None):
+    def __init__(
+        self,
+        root: os.PathLike,
+        *,
+        max_bytes: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+        sweep: bool = False,
+    ):
         if max_bytes is not None and max_bytes < 0:
             raise CacheStoreError("max_bytes must be at least 0")
         self._root = Path(root)
         self.max_bytes = max_bytes
+        self._faults = faults
         try:
             self._root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -169,6 +197,12 @@ class CacheStore:
         self.gc_runs = 0
         self.gc_removed = 0
         self.lock_timeouts = 0
+        self.quarantined = 0
+        if sweep:
+            # Startup recovery: shallow-check every entry (magic, header,
+            # version, manifest-vs-size) and quarantine the torn/corrupt
+            # leftovers of a crashed writer before serving starts.
+            self.fsck(deep=False)
 
     # ------------------------------------------------------------------ #
     @property
@@ -183,6 +217,24 @@ class CacheStore:
             _canonical_params(params).encode("utf-8"), digest_size=6
         ).hexdigest()
         return self._root / fingerprint / f"{kind}-{digest}{self._SUFFIX}"
+
+    def _visit_fault(self, point: str) -> Optional[float]:
+        """Apply the fault plan at ``point``; injected failures surface as
+        the store's native :class:`CacheStoreError` (torn-write faults
+        return the surviving payload fraction for :meth:`put` to apply)."""
+        if self._faults is None:
+            return None
+        try:
+            return self._faults.visit(point)
+        except (FaultInjected, ConnectionResetError) as exc:
+            raise CacheStoreError(f"injected fault at {point}: {exc}") from exc
+
+    @staticmethod
+    def _payload_digest(chunks: Iterable[bytes]) -> str:
+        digest = hashlib.blake2b(digest_size=16)
+        for chunk in chunks:
+            digest.update(chunk)
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     # writing
@@ -199,11 +251,13 @@ class CacheStore:
         """Write one entry atomically (temp file + rename); returns its path."""
         arrays = arrays or {}
         manifest = []
+        buffers: List[bytes] = []
         for name, array in arrays.items():
             dtype = str(array.dtype)
             if dtype not in ALLOWED_DTYPES:
                 raise CacheStoreError(f"dtype {dtype} is not storable")
             manifest.append({"name": name, "dtype": dtype, "shape": list(array.shape)})
+            buffers.append(np.ascontiguousarray(array).tobytes())
         header = {
             "format_version": self.FORMAT_VERSION,
             "fingerprint": fingerprint,
@@ -211,6 +265,7 @@ class CacheStore:
             "params": params,
             "meta": meta or {},
             "arrays": manifest,
+            "payload_digest": self._payload_digest(buffers),
         }
         try:
             blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode(
@@ -219,6 +274,20 @@ class CacheStore:
         except (TypeError, ValueError) as exc:
             raise CacheStoreError(f"entry header is not JSON-native: {exc}") from exc
         path = self._entry_path(fingerprint, kind, params)
+        torn_fraction = self._visit_fault("store.put")
+        if torn_fraction is not None:
+            # Emulate a crash mid-write that bypassed the atomic rename: a
+            # truncated entry lands on the *final* path, then the writer
+            # "dies" (the caller sees the store's native failure).  Recovery
+            # sweeps and digest checks must catch exactly this file.
+            full = self.MAGIC + struct.pack("<Q", len(blob)) + blob + b"".join(buffers)
+            keep = max(len(self.MAGIC) + 4, int(len(full) * torn_fraction))
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_bytes(full[:keep])
+            except OSError:
+                pass
+            raise CacheStoreError(f"injected torn write at store entry {path}")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             handle, temp_name = tempfile.mkstemp(
@@ -231,8 +300,8 @@ class CacheStore:
                 stream.write(self.MAGIC)
                 stream.write(struct.pack("<Q", len(blob)))
                 stream.write(blob)
-                for name, array in arrays.items():
-                    stream.write(np.ascontiguousarray(array).tobytes())
+                for chunk in buffers:
+                    stream.write(chunk)
             os.replace(temp_name, path)
         except OSError as exc:
             try:
@@ -271,6 +340,7 @@ class CacheStore:
                 f"{self.FORMAT_VERSION}"
             )
         arrays: Dict[str, np.ndarray] = {}
+        payload_start = offset
         for spec in header.get("arrays", []):
             dtype = spec.get("dtype")
             if dtype not in ALLOWED_DTYPES:
@@ -284,6 +354,15 @@ class CacheStore:
                 blob, dtype=np.dtype(dtype), count=count, offset=offset
             ).reshape(shape)
             offset += nbytes
+        expected = header.get("payload_digest")
+        if not isinstance(expected, str):
+            raise CacheStoreError(f"{path} carries no payload digest")
+        actual = self._payload_digest([blob[payload_start:offset]])
+        if actual != expected:
+            raise CacheStoreError(
+                f"{path} fails its payload digest "
+                f"(header {expected}, computed {actual})"
+            )
         return StoreEntry(
             fingerprint=header.get("fingerprint", ""),
             kind=header.get("kind", ""),
@@ -297,10 +376,22 @@ class CacheStore:
     ) -> Optional[StoreEntry]:
         """The entry for this key, or ``None`` (missing, corrupt, mismatched)."""
         path = self._entry_path(fingerprint, kind, params)
+        try:
+            self._visit_fault("store.get")
+        except CacheStoreError:
+            self.load_failures += 1
+            return None
         if not path.exists():
             return None
         try:
             entry = self._load_path(path)
+        except CacheStoreError as exc:
+            # Structural corruption (torn write, bit rot, bad version): move
+            # the file out of the serving path with its reason on record.
+            self.load_failures += 1
+            self._quarantine(path, str(exc))
+            return None
+        try:
             self._verify(entry, fingerprint, kind=kind, params=params)
         except CacheStoreError:
             self.load_failures += 1
@@ -344,6 +435,11 @@ class CacheStore:
                 continue  # in-progress temp files
             try:
                 entry = self._load_path(path)
+            except CacheStoreError as exc:
+                self.load_failures += 1
+                self._quarantine(path, str(exc))
+                continue
+            try:
                 self._verify(entry, fingerprint)
             except CacheStoreError:
                 self.load_failures += 1
@@ -413,13 +509,144 @@ class CacheStore:
                     pass
 
     # ------------------------------------------------------------------ #
+    # recovery: quarantine and fsck
+    # ------------------------------------------------------------------ #
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved (``<root>/quarantine/``)."""
+        return self._root / self.QUARANTINE_DIRNAME
+
+    def _quarantine(self, path: Path, reason: str) -> bool:
+        """Move one corrupt entry to the quarantine directory, best-effort.
+
+        The entry keeps its bytes (``<fingerprint>-<name>``) and gains a
+        ``.reason`` sidecar recording why it was pulled; a store that cannot
+        quarantine (read-only, races) still degrades to a cold start.
+        """
+        target_dir = self.quarantine_dir
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / f"{path.parent.name}-{path.name}"
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = target_dir / f"{path.parent.name}-{path.name}.{suffix}"
+            os.replace(str(path), str(target))
+            target.with_name(target.name + ".reason").write_text(
+                f"source: {path}\nreason: {reason}\n", encoding="utf-8"
+            )
+        except OSError:
+            return False
+        self.quarantined += 1
+        return True
+
+    def _check_shallow(self, path: Path) -> None:
+        """Cheap integrity check: magic, header, version, manifest vs size.
+
+        Catches torn writes and truncation without reading the array
+        payload; :meth:`fsck` with ``deep=True`` adds the digest pass.
+        """
+        try:
+            size = path.stat().st_size
+            with path.open("rb") as stream:
+                magic = stream.read(len(self.MAGIC))
+                if magic != self.MAGIC:
+                    raise CacheStoreError(f"{path} is not a cache-store entry")
+                prefix = stream.read(8)
+                if len(prefix) != 8:
+                    raise CacheStoreError(f"{path} is truncated (header length)")
+                (header_len,) = struct.unpack("<Q", prefix)
+                if header_len > 64 * 2 ** 20:
+                    raise CacheStoreError(f"{path} declares an absurd header")
+                blob = stream.read(header_len)
+        except OSError as exc:
+            raise CacheStoreError(f"cannot read store entry {path}: {exc}") from exc
+        if len(blob) != header_len:
+            raise CacheStoreError(f"{path} is truncated (header)")
+        try:
+            header = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CacheStoreError(f"{path} has a corrupt header: {exc}") from exc
+        if header.get("format_version") != self.FORMAT_VERSION:
+            raise CacheStoreError(
+                f"{path} was written under store format "
+                f"{header.get('format_version')!r}, this reader expects "
+                f"{self.FORMAT_VERSION}"
+            )
+        if not isinstance(header.get("payload_digest"), str):
+            raise CacheStoreError(f"{path} carries no payload digest")
+        expected = len(self.MAGIC) + 8 + header_len
+        try:
+            for spec in header.get("arrays", []):
+                dtype = spec.get("dtype")
+                if dtype not in ALLOWED_DTYPES:
+                    raise CacheStoreError(
+                        f"{path} declares forbidden dtype {dtype!r}"
+                    )
+                shape = tuple(int(n) for n in spec.get("shape", []))
+                count = int(np.prod(shape)) if shape else 1
+                expected += count * np.dtype(dtype).itemsize
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CacheStoreError(f"{path} has a corrupt manifest: {exc}") from exc
+        if size < expected:
+            raise CacheStoreError(
+                f"{path} is truncated ({size} bytes on disk, manifest "
+                f"promises {expected})"
+            )
+
+    def fsck(self, *, deep: bool = True) -> Dict[str, object]:
+        """Sweep every entry, quarantining the corrupt ones; returns a report.
+
+        ``deep=True`` fully decodes each entry (including the payload-digest
+        verification); ``deep=False`` runs the shallow header/size check only
+        — that is the startup sweep (``CacheStore(..., sweep=True)``), cheap
+        enough to run before serving.  The report lists each quarantined
+        entry with its reason.
+        """
+        checked = 0
+        healthy = 0
+        problems: List[Dict[str, str]] = []
+        for path in self._entry_files():
+            checked += 1
+            try:
+                if deep:
+                    self._load_path(path)
+                else:
+                    self._check_shallow(path)
+            except CacheStoreError as exc:
+                reason = str(exc)
+                self._quarantine(path, reason)
+                problems.append({"path": str(path), "reason": reason})
+                continue
+            healthy += 1
+        return {
+            "checked": checked,
+            "healthy": healthy,
+            "quarantined": len(problems),
+            "problems": problems,
+            "quarantine_dir": str(self.quarantine_dir),
+        }
+
+    # ------------------------------------------------------------------ #
     # maintenance / introspection
     # ------------------------------------------------------------------ #
+    def delete(
+        self, fingerprint: str, kind: str, params: Dict[str, object]
+    ) -> bool:
+        """Remove one entry by key; ``True`` if a file was deleted."""
+        path = self._entry_path(fingerprint, kind, params)
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        return True
+
     def _entry_files(self) -> List[Path]:
         return [
             path
             for path in self._root.glob(f"*/*{self._SUFFIX}")
             if not path.name.startswith(".")
+            and path.parent.name != self.QUARANTINE_DIRNAME
         ]
 
     def size_bytes(self) -> int:
@@ -561,6 +788,7 @@ class CacheStore:
             "gc_runs": self.gc_runs,
             "gc_removed": self.gc_removed,
             "lock_timeouts": self.lock_timeouts,
+            "quarantined": self.quarantined,
         }
 
 
@@ -812,21 +1040,166 @@ def unpack_engine_result(meta: Dict):
     return tuple(cfds), stats
 
 
+# ---------------------------------------------------------------------- #
+# pack/unpack: CTANE checkpoints (mid-run lattice frontiers)
+# ---------------------------------------------------------------------- #
+def _pack_code(code: object) -> List:
+    """``[1, None]`` for the wildcard, ``[0, int]`` for a constant code."""
+    from repro.core.pattern import is_wildcard
+
+    return [1, None] if is_wildcard(code) else [0, int(code)]
+
+
+def _unpack_code(spec: Sequence) -> object:
+    from repro.core.pattern import WILDCARD
+
+    flag, value = spec
+    return WILDCARD if flag else int(value)
+
+
+def _pack_element(element: Tuple) -> List:
+    attrs, pattern = element
+    return [[int(a) for a in attrs], [_pack_code(code) for code in pattern]]
+
+
+def _unpack_element(spec: Sequence) -> Tuple:
+    attrs, pattern = spec
+    return (
+        tuple(int(a) for a in attrs),
+        tuple(_unpack_code(code) for code in pattern),
+    )
+
+
+def pack_ctane_checkpoint(state: Dict) -> Optional[Tuple[Dict, Dict[str, np.ndarray]]]:
+    """``(meta, arrays)`` of a CTANE per-level checkpoint, or ``None`` when
+    the already-emitted CFDs carry values that would not survive a JSON
+    round trip byte-identically (then the run simply is not checkpointable).
+
+    The state is the engine's loop frontier at the top of one lattice level:
+    the level's elements, the previous level's candidate-RHS sets and (in
+    incremental mode) pattern partitions, the current level's partitions,
+    the results so far, and the traversal counters.
+    """
+    rules = []
+    for cfd in state["results"]:
+        lhs_pattern = []
+        for value in cfd.lhs_pattern:
+            packed = _pack_pattern_value(value)
+            if packed is None:
+                return None
+            lhs_pattern.append(packed)
+        rhs_pattern = _pack_pattern_value(cfd.rhs_pattern)
+        if rhs_pattern is None:
+            return None
+        rules.append(
+            {
+                "lhs": list(cfd.lhs),
+                "lhs_pattern": lhs_pattern,
+                "rhs": cfd.rhs,
+                "rhs_pattern": rhs_pattern,
+            }
+        )
+    cplus = [
+        [
+            _pack_element(element),
+            sorted([int(attr), _pack_code(code)] for attr, code in items),
+        ]
+        for element, items in state["parent_cplus"].items()
+    ]
+    meta: Dict[str, object] = {
+        "size": int(state["size"]),
+        "incremental": bool(state["incremental"]),
+        "level": [_pack_element(element) for element in state["level"]],
+        "parent_cplus": cplus,
+        "rules": rules,
+        "counters": {
+            key: int(value) for key, value in state["counters"].items()
+        },
+    }
+    arrays: Dict[str, np.ndarray] = {}
+    for prefix, key in (("p", "parent_partitions"), ("l", "level_partitions")):
+        items = [
+            (_pack_element(element), partition)
+            for element, partition in state.get(key, {}).items()
+        ]
+        bundle_meta, bundle_arrays = pack_partition_bundle(items)
+        meta[f"{prefix}_keys"] = bundle_meta["keys"]
+        meta[f"{prefix}_shapes"] = bundle_meta["shapes"]
+        for name, array in bundle_arrays.items():
+            arrays[f"{prefix}_{name}"] = array
+    return meta, arrays
+
+
+def unpack_ctane_checkpoint(entry: StoreEntry) -> Dict:
+    """Rebuild a CTANE checkpoint state dict from a persisted entry."""
+    from repro.core.cfd import CFD
+
+    results = []
+    for rule in entry.meta["rules"]:
+        results.append(
+            CFD(
+                tuple(rule["lhs"]),
+                tuple(_unpack_pattern_value(v) for v in rule["lhs_pattern"]),
+                rule["rhs"],
+                _unpack_pattern_value(rule["rhs_pattern"]),
+            )
+        )
+    parent_cplus = {
+        _unpack_element(element): {
+            (int(attr), _unpack_code(code)) for attr, code in items
+        }
+        for element, items in entry.meta["parent_cplus"]
+    }
+    state: Dict[str, object] = {
+        "size": int(entry.meta["size"]),
+        "incremental": bool(entry.meta["incremental"]),
+        "level": [_unpack_element(element) for element in entry.meta["level"]],
+        "parent_cplus": parent_cplus,
+        "results": results,
+        "counters": {
+            key: int(value) for key, value in entry.meta["counters"].items()
+        },
+    }
+    for prefix, key in (("p", "parent_partitions"), ("l", "level_partitions")):
+        bundle = StoreEntry(
+            fingerprint=entry.fingerprint,
+            kind=entry.kind,
+            params=entry.params,
+            meta={
+                "keys": entry.meta[f"{prefix}_keys"],
+                "shapes": entry.meta[f"{prefix}_shapes"],
+            },
+            arrays={
+                "rows": entry.array(f"{prefix}_rows", "int64"),
+                "labels": entry.array(f"{prefix}_labels", "int32"),
+                "offsets": entry.array(f"{prefix}_offsets", "int64"),
+            },
+        )
+        state[key] = {
+            _unpack_element(packed): partition
+            for packed, partition in unpack_partition_bundle(bundle)
+        }
+    return state
+
+
 __all__ = [
     "ALLOWED_DTYPES",
     "CacheStore",
     "StoreEntry",
     "is_json_scalar",
     "KIND_ATTRIBUTE_PARTITIONS",
+    "KIND_CTANE_CHECKPOINT",
     "KIND_DIFFERENCE_SETS",
     "KIND_ENGINE_RESULTS",
     "KIND_FREE_CLOSED",
     "KIND_PATTERN_PARTITIONS",
     "KIND_ORDER",
+    "pack_ctane_checkpoint",
     "pack_engine_result",
     "pack_free_closed",
     "pack_partition_bundle",
     "pack_query_cache",
+    "unpack_ctane_checkpoint",
     "unpack_engine_result",
     "unpack_free_closed",
     "unpack_partition_bundle",

@@ -1,0 +1,91 @@
+"""Regression tests: a failed build must never poison a profiler cache key.
+
+``Profiler._get_or_build`` memoises builds behind shared futures.  The bug
+class under test: an errored future left installed under a key (builder
+crash, racing eviction, injected fault) would make every later lookup
+re-raise the stale exception until process restart.  Failed builds are
+evicted by the builder, and — defensively — an errored future found at
+lookup time is evicted and rebuilt.
+"""
+
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.api import DiscoveryRequest, Profiler
+from repro.serve.faults import FaultInjected, FaultPlan
+
+
+class TestFailedBuildEviction:
+    def test_builder_crash_is_not_cached(self, cust_relation):
+        profiler = Profiler(cust_relation)
+        store = {}
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient build failure")
+            return "built"
+
+        with pytest.raises(RuntimeError, match="transient"):
+            profiler._get_or_build("bucket", store, "key", flaky)
+        assert store == {}  # the errored future was evicted with the raise
+        assert profiler._get_or_build("bucket", store, "key", flaky) == "built"
+        assert len(calls) == 2
+
+    def test_stale_errored_future_is_evicted_at_lookup(self, cust_relation):
+        """The defensive path: a poisoned key self-heals on the next lookup."""
+        profiler = Profiler(cust_relation)
+        poisoned = Future()
+        poisoned.set_exception(RuntimeError("stale poison"))
+        store = {"key": poisoned}
+        assert profiler._get_or_build("bucket", store, "key", lambda: 7) == 7
+        assert store["key"].result() == 7
+
+    def test_waiters_share_the_failure_then_a_fresh_call_rebuilds(
+        self, cust_relation
+    ):
+        profiler = Profiler(cust_relation)
+        store = {}
+        release = threading.Event()
+        entered = threading.Event()
+
+        def blocking_then_crash():
+            entered.set()
+            assert release.wait(timeout=30)
+            raise RuntimeError("crash after waiters piled up")
+
+        outcomes = []
+
+        def call(build):
+            try:
+                outcomes.append(("ok", profiler._get_or_build("b", store, "k", build)))
+            except RuntimeError as exc:
+                outcomes.append(("err", str(exc)))
+
+        builder = threading.Thread(target=call, args=(blocking_then_crash,))
+        builder.start()
+        assert entered.wait(timeout=30)
+        waiter = threading.Thread(target=call, args=(blocking_then_crash,))
+        waiter.start()
+        release.set()
+        builder.join(timeout=30)
+        waiter.join(timeout=30)
+        assert outcomes.count(("err", "crash after waiters piled up")) == 2
+        # The key healed: an ordinary build succeeds now.
+        assert profiler._get_or_build("b", store, "k", lambda: 42) == 42
+
+    def test_engine_fault_does_not_poison_the_session(self, cust_relation):
+        """End to end: an injected engine crash, then the same session
+        serves the request cleanly on retry (no stale errored future)."""
+        plan = FaultPlan.from_specs(["engine.level:error:times=1"])
+        profiler = Profiler(cust_relation, faults=plan)
+        ctane_request = DiscoveryRequest(min_support=2, algorithm="ctane")
+        with pytest.raises(FaultInjected):
+            profiler.run(ctane_request)
+        result = profiler.run(ctane_request)
+        assert result.counts()["total"] > 0
+        clean = Profiler(cust_relation).run(ctane_request)
+        assert result.to_json_dict()["rules"] == clean.to_json_dict()["rules"]

@@ -1,0 +1,148 @@
+"""Unit tests of the circuit breakers and the retry budget.
+
+Clocks are injected so state transitions are tested without sleeping.
+"""
+
+import pytest
+
+from repro.serve.fleet.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+    RetryBudget,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(fail_threshold=3, reset_seconds=5.0)
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == STATE_CLOSED
+            assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+        assert breaker.opened_total == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(fail_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED  # never two in a row
+
+    def test_open_admits_one_probe_after_reset(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(fail_threshold=1, reset_seconds=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.seconds_until_probe() == pytest.approx(5.0)
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == STATE_HALF_OPEN
+        assert not breaker.allow()  # concurrent forwards keep skipping
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(fail_threshold=1, reset_seconds=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_the_clock(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(fail_threshold=1, reset_seconds=2.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.opened_total == 2
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert not breaker.allow()  # the reset clock restarted at re-open
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_cancel_probe_releases_the_slot(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(fail_threshold=1, reset_seconds=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.cancel_probe()
+        assert breaker.allow()  # a later caller can probe instead
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(fail_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_seconds=-1.0)
+
+
+class TestBreakerBoard:
+    def test_boards_isolate_workers(self):
+        board = BreakerBoard(fail_threshold=1, reset_seconds=60.0)
+        board.record_failure("http://a")
+        assert not board.allow("http://a")
+        assert board.allow("http://b")
+        assert board.states() == [
+            ("http://a", STATE_OPEN),
+            ("http://b", STATE_CLOSED),
+        ]
+        assert board.opened_total() == 1
+
+    def test_min_seconds_until_probe(self):
+        clock = FakeClock()
+        board = BreakerBoard(fail_threshold=1, reset_seconds=10.0, clock=clock)
+        assert board.min_seconds_until_probe() == 0.0
+        board.record_failure("http://a")
+        clock.advance(4.0)
+        board.record_failure("http://b")
+        assert board.min_seconds_until_probe() == pytest.approx(6.0)
+
+
+class TestRetryBudget:
+    def test_spend_drains_then_fails_fast(self):
+        budget = RetryBudget(ratio=0.0, capacity=2.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.spent_total == 2
+        assert budget.exhausted_total == 1
+
+    def test_requests_refill_up_to_capacity(self):
+        budget = RetryBudget(ratio=0.5, capacity=2.0)
+        for _ in range(2):
+            assert budget.try_spend()
+        assert not budget.try_spend()
+        budget.on_request()
+        assert not budget.try_spend()  # 0.5 tokens is not a whole retry
+        budget.on_request()
+        assert budget.try_spend()
+        for _ in range(100):
+            budget.on_request()
+        assert budget.tokens == 2.0  # capped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(ratio=-0.1)
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=0.5)

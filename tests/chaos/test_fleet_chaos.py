@@ -1,0 +1,386 @@
+"""Fleet-level chaos drills: seeded faults against a real 2-worker fleet.
+
+The tentpole acceptance bar, end to end over real sockets:
+
+* an injected transport reset trips the owner's circuit breaker and fails
+  the request over — the served cover is byte-identical to a locally
+  computed ground truth, and the breaker/retry/fault counters all show up
+  in the router's ``/metrics``;
+* injected send latency slows the fleet down but corrupts nothing;
+* a worker **killed mid-discovery** (``engine.level:kill``, a real
+  ``os._exit`` in a real ``repro-serve`` subprocess) loses the request to
+  failover, and the ring successor warm-resumes from the shared store's
+  CTANE checkpoint — byte-identical rules, ``repro_resume_levels_skipped_total``
+  on the survivor, failover visible on the router.
+
+Every schedule is seeded and the seed is printed, so a failing drill
+replays identically with ``pytest -s``.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.api import DiscoveryRequest, Profiler
+from repro.serve import CacheStore, DiscoveryService, FaultPlan, SessionPool
+from repro.serve.fleet import RouterConfig, RouterThread
+from repro.serve.http import ServerConfig, ServerThread
+from repro.serve.http.app import relation_from_csv_text
+
+SEED = 7
+
+CSV_BODY = (
+    "CC,AC,PN,NM,STR,CT,ZIP\n"
+    "01,908,1111111,Mike,Tree Ave.,MH,07974\n"
+    "01,908,1111111,Rick,Tree Ave.,MH,07974\n"
+    "01,212,2222222,Joe,5th Ave,NYC,01202\n"
+    "01,908,2222222,Jim,Elm Str.,MH,07974\n"
+    "44,131,3333333,Ben,High St.,EDI,EH4 1DT\n"
+    "44,131,4444444,Ian,High St.,EDI,EH4 1DT\n"
+    "44,908,4444444,Ian,Port PI,MH,W1B 1JH\n"
+    "01,131,2222222,Sean,3rd Str.,UN,01202\n"
+)
+
+
+def local_rules(algorithm, support=2):
+    """Ground truth computed outside the fleet — what every drill compares to."""
+    relation = relation_from_csv_text(CSV_BODY, has_header=True)
+    result = Profiler(relation).run(
+        DiscoveryRequest(min_support=support, algorithm=algorithm)
+    )
+    return json.dumps(result.to_json_dict()["rules"], sort_keys=True)
+
+
+def request(handle, method, path, body=None, headers=None, timeout=60):
+    import http.client
+
+    connection = http.client.HTTPConnection(handle.host, handle.port, timeout=timeout)
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+def json_request(handle, method, path, document=None, timeout=60):
+    body = None if document is None else json.dumps(document).encode()
+    status, received, data = request(
+        handle, method, path, body=body,
+        headers={"Content-Type": "application/json"}, timeout=timeout,
+    )
+    return status, received, json.loads(data) if data else None
+
+
+def upload(handle, name="tax"):
+    status, _, data = request(
+        handle, "POST", f"/v1/relations?name={name}",
+        body=CSV_BODY.encode(), headers={"Content-Type": "text/csv"},
+    )
+    assert status == 201, data
+    return json.loads(data)["fingerprint"]
+
+
+def metric_value(text, name, **labels):
+    for line in text.splitlines():
+        if not line.startswith(name):
+            continue
+        rest = line[len(name):]
+        if rest[:1] not in ("{", " "):
+            continue
+        if labels:
+            if not rest.startswith("{"):
+                continue
+            rendered = rest[1 : rest.index("}")]
+            if not all(f'{k}="{v}"' in rendered for k, v in labels.items()):
+                continue
+        return float(line.rsplit(" ", 1)[1])
+    return None
+
+
+def metrics_text(handle):
+    _, _, data = request(handle, "GET", "/metrics")
+    return data.decode()
+
+
+class Fleet:
+    """Two in-process workers over one shared store, one (faultable) router."""
+
+    def __init__(self, tmp_path, **router_overrides):
+        self.store_dir = tmp_path / "shared-store"
+        self.workers = []
+        for _ in range(2):
+            service = DiscoveryService(
+                pool=SessionPool(max_sessions=4, store=CacheStore(self.store_dir)),
+                max_workers=2,
+            )
+            self.workers.append(ServerThread(service, ServerConfig(port=0)).start())
+        options = dict(
+            port=0,
+            workers=[worker.address for worker in self.workers],
+            health_interval=0.2,
+            fail_after=2,
+            request_timeout=30.0,
+        )
+        options.update(router_overrides)
+        self.router = RouterThread(RouterConfig(**options)).start()
+
+    def worker_for(self, url):
+        for worker in self.workers:
+            if worker.address == url:
+                return worker
+        raise AssertionError(f"unknown worker url {url}")
+
+    def stop(self):
+        self.router.stop()
+        for worker in self.workers:
+            worker.stop()
+
+
+class TestTransportFlaps:
+    def test_reset_trips_the_breaker_and_fails_over(self, tmp_path):
+        # Health probes visit ``fleet.poll``, so this rule deterministically
+        # hits the first data-path send: the upload forward to the owner.
+        plan = FaultPlan.from_specs(["fleet.send:reset:times=1"], seed=SEED)
+        print(f"chaos flap schedule: seed={SEED} rules={plan.describe()['rules']}")
+        fleet = Fleet(
+            tmp_path,
+            faults=plan,
+            breaker_fail_threshold=1,
+            breaker_reset_seconds=60.0,
+            backoff_base=0.01,
+        )
+        try:
+            fingerprint_preview = relation_from_csv_text(
+                CSV_BODY, has_header=True
+            ).fingerprint()
+            owner_url = fleet.router.router.ring.preference(fingerprint_preview)[0]
+
+            fingerprint = upload(fleet.router)
+            assert fingerprint == fingerprint_preview
+
+            # The reset evicted the owner; the poller puts it straight back
+            # (it is perfectly healthy), but its breaker stays open.
+            ring = fleet.router.router.ring
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and len(ring.workers()) < 2:
+                time.sleep(0.05)
+            assert len(ring.workers()) == 2
+
+            status, _, result = json_request(
+                fleet.router, "POST", "/v1/discover",
+                {"relation": fingerprint, "support": 2, "algorithm": "fastcfd"},
+            )
+            assert status == 200, result
+            assert json.dumps(result["rules"], sort_keys=True) == local_rules(
+                "fastcfd"
+            )
+
+            exposition = metrics_text(fleet.router)
+            # The discover skipped the open breaker without touching a socket.
+            assert metric_value(
+                exposition, "repro_fleet_breaker_skips_total", worker=owner_url
+            ) >= 1
+            assert metric_value(
+                exposition, "repro_faults_injected_total",
+                point="fleet.send", kind="reset",
+            ) == 1
+            assert metric_value(
+                exposition, "repro_breaker_state", worker=owner_url
+            ) == 1.0
+            assert metric_value(exposition, "repro_fleet_breaker_opened_total") == 1
+            assert metric_value(exposition, "repro_fleet_retries_total") == 1
+            assert metric_value(
+                exposition, "repro_fleet_failovers_total", worker=owner_url
+            ) >= 1
+
+            _, _, health = json_request(fleet.router, "GET", "/healthz")
+            assert health["breakers"][owner_url] == 1
+            assert health["retry_tokens"] < 10.0
+        finally:
+            fleet.stop()
+
+    def test_injected_latency_slows_nothing_breaks(self, tmp_path):
+        plan = FaultPlan.from_specs(
+            ["fleet.send:latency:seconds=0.05"], seed=SEED
+        )
+        fleet = Fleet(tmp_path, faults=plan)
+        try:
+            fingerprint = upload(fleet.router)
+            status, _, result = json_request(
+                fleet.router, "POST", "/v1/discover",
+                {"relation": fingerprint, "support": 2, "algorithm": "fastcfd"},
+            )
+            assert status == 200, result
+            assert json.dumps(result["rules"], sort_keys=True) == local_rules(
+                "fastcfd"
+            )
+            assert metric_value(
+                metrics_text(fleet.router), "repro_faults_injected_total",
+                point="fleet.send", kind="latency",
+            ) >= 2  # at least the upload and the discover forwards
+        finally:
+            fleet.stop()
+
+
+class WorkerProc:
+    """A real ``repro-serve`` subprocess (the kill drill needs a real exit)."""
+
+    LISTENING = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+    def __init__(self, store_dir, port=0, fault=None, seed=None):
+        command = [
+            sys.executable, "-m", "repro.serve.http",
+            "--port", str(port),
+            "--cache-dir", str(store_dir),
+            "--workers", "2",
+            "--deadline", "60",
+        ]
+        if fault is not None:
+            command += ["--fault", fault, "--fault-seed", str(seed or 0)]
+        env = dict(os.environ)
+        source_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = source_root + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = subprocess.Popen(
+            command,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        self.lines = []
+        self._drain = threading.Thread(target=self._pump, daemon=True)
+        self._drain.start()
+        self.host = None
+        self.port = None
+
+    def _pump(self):
+        for line in self.process.stderr:
+            self.lines.append(line)
+
+    def wait_ready(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for line in list(self.lines):
+                match = self.LISTENING.search(line)
+                if match:
+                    self.host, self.port = match.group(1), int(match.group(2))
+                    return self
+            if self.process.poll() is not None:
+                raise AssertionError(f"worker exited early:\n{self.log()}")
+            time.sleep(0.05)
+        raise AssertionError(f"worker never came up:\n{self.log()}")
+
+    @property
+    def address(self):
+        return f"http://{self.host}:{self.port}"
+
+    def log(self):
+        return "".join(self.lines)
+
+    def kill(self):
+        self.process.kill()
+        self.process.wait(timeout=30)
+
+    def stop(self):
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=30)
+
+
+class TestKillAndResume:
+    def test_owner_killed_mid_run_successor_resumes_from_checkpoint(self, tmp_path):
+        """The headline drill: SIGKILL-grade death at a lattice level.
+
+        The relation's ring owner is armed with
+        ``engine.level:kill:after=1,times=1`` — it durably checkpoints
+        level 3, then ``os._exit(137)``s *mid-request*.  The router fails
+        the discover over; the successor re-uploads from the router's
+        body cache and warm-resumes from the shared store's checkpoint.
+        """
+        store_dir = tmp_path / "shared-store"
+        kill_spec = "engine.level:kill:after=1,times=1"
+        print(f"chaos kill schedule: seed={SEED} rule={kill_spec}")
+
+        first = WorkerProc(store_dir).wait_ready()
+        second = WorkerProc(store_dir).wait_ready()
+        router = None
+        workers = [first, second]
+        try:
+            router = RouterThread(
+                RouterConfig(
+                    port=0,
+                    workers=[first.address, second.address],
+                    health_interval=0.2,
+                    fail_after=2,
+                    request_timeout=60.0,
+                    backoff_base=0.01,
+                )
+            ).start()
+            fingerprint = upload(router)
+            owner_url = router.router.ring.preference(fingerprint)[0]
+            owner = first if first.address == owner_url else second
+            survivor = second if owner is first else first
+
+            # Re-arm the owner: same port (same ring position), but now it
+            # dies at the second ``engine.level`` checkpoint visit.
+            owner.kill()
+            armed = WorkerProc(
+                store_dir, port=owner.port, fault=kill_spec, seed=SEED
+            ).wait_ready()
+            workers.append(armed)
+            roster = sorted([owner_url, survivor.address])
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if sorted(router.router.ring.workers()) == roster:
+                    break
+                time.sleep(0.1)
+            assert sorted(router.router.ring.workers()) == roster
+
+            status, _, result = json_request(
+                router, "POST", "/v1/discover",
+                {"relation": fingerprint, "support": 2, "algorithm": "ctane"},
+                timeout=120,
+            )
+            assert status == 200, result
+            assert json.dumps(result["rules"], sort_keys=True) == local_rules(
+                "ctane"
+            )
+
+            # The armed owner really died the hard way, mid-request.
+            assert armed.process.wait(timeout=30) == 137
+            assert "killing process at engine.level" in armed.log()
+
+            # The survivor resumed from the shared checkpoint...
+            survivor_metrics = metrics_text(survivor)
+            assert metric_value(survivor_metrics, "repro_resumed_runs_total") >= 1
+            assert (
+                metric_value(survivor_metrics, "repro_resume_levels_skipped_total")
+                >= 2
+            )
+            # ...and its log shows no unhandled exception along the way.
+            assert "Traceback" not in survivor.log()
+
+            # The router saw the death and the handoff.
+            router_metrics = metrics_text(router)
+            assert metric_value(
+                router_metrics, "repro_fleet_failovers_total", worker=owner_url
+            ) >= 1
+            assert metric_value(router_metrics, "repro_fleet_reuploads_total") >= 1
+        finally:
+            if router is not None:
+                router.stop()
+            for worker in workers:
+                worker.stop()

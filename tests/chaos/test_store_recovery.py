@@ -1,0 +1,245 @@
+"""Crash-safe store recovery: torn writes, quarantine, fsck, startup sweep.
+
+Satellite acceptance bar: every corruption class — truncated header, bad
+magic, wrong format version, forbidden dtype, payload-digest mismatch —
+degrades to a cold read (``None``) without raising, and structural damage
+is quarantined with its reason on record instead of being re-read forever.
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CacheStoreError
+from repro.serve import CacheStore, FaultPlan
+
+FP = "fp-recovery"
+KIND = "free_closed"
+PARAMS = {"k": 2}
+
+
+def write_entry(store, fingerprint=FP):
+    return store.put(
+        fingerprint,
+        KIND,
+        PARAMS,
+        meta={"x": 1},
+        arrays={"rows": np.arange(64, dtype=np.int64)},
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CacheStore(tmp_path / "cache")
+
+
+def corrupt_payload(path):
+    """Flip the last byte (array payload) — header stays pristine."""
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+class TestTornWrites:
+    def test_injected_torn_write_raises_and_leaves_a_torn_file(self, store, tmp_path):
+        faulted = CacheStore(
+            tmp_path / "cache",
+            faults=FaultPlan.from_specs(["store.put:torn_write:fraction=0.5,times=1"]),
+        )
+        with pytest.raises(CacheStoreError, match="injected torn write"):
+            write_entry(faulted)
+        # The torn file sits on the final path, visibly truncated.
+        files = faulted._entry_files()
+        assert len(files) == 1
+        torn = files[0]
+        healthy = write_entry(CacheStore(tmp_path / "reference"))
+        assert torn.stat().st_size < healthy.stat().st_size
+
+    def test_torn_entry_quarantined_on_get(self, store, tmp_path):
+        faulted = CacheStore(
+            tmp_path / "cache",
+            faults=FaultPlan.from_specs(["store.put:torn_write:fraction=0.5,times=1"]),
+        )
+        with pytest.raises(CacheStoreError):
+            write_entry(faulted)
+        reader = CacheStore(tmp_path / "cache")
+        assert reader.get(FP, KIND, PARAMS) is None
+        assert reader.load_failures == 1
+        assert reader.quarantined == 1
+        assert reader._entry_files() == []
+        quarantined = [
+            path
+            for path in reader.quarantine_dir.iterdir()
+            if not path.name.endswith(".reason")
+        ]
+        assert len(quarantined) == 1
+        reason = quarantined[0].with_name(quarantined[0].name + ".reason")
+        assert "truncated" in reason.read_text()
+        # The next get is a plain miss: nothing left to trip over.
+        assert reader.get(FP, KIND, PARAMS) is None
+        assert reader.load_failures == 1
+
+    def test_startup_sweep_quarantines_before_serving(self, tmp_path):
+        faulted = CacheStore(
+            tmp_path / "cache",
+            faults=FaultPlan.from_specs(["store.put:torn_write:fraction=0.5,times=1"]),
+        )
+        with pytest.raises(CacheStoreError):
+            write_entry(faulted)
+        swept = CacheStore(tmp_path / "cache", sweep=True)
+        assert swept.quarantined == 1
+        assert swept.load_failures == 0  # cleaned up front, not tripped over
+        assert swept.get(FP, KIND, PARAMS) is None
+        assert swept.load_failures == 0  # a plain miss now
+
+
+class TestCorruptionClasses:
+    def test_truncated_header_degrades_and_quarantines(self, store):
+        path = write_entry(store)
+        path.write_bytes(CacheStore.MAGIC + struct.pack("<Q", 10 ** 6) + b"{}")
+        assert store.get(FP, KIND, PARAMS) is None
+        assert store.load_failures == 1
+        assert store.quarantined == 1
+
+    def test_bad_magic_degrades_and_quarantines(self, store):
+        path = write_entry(store)
+        blob = path.read_bytes()
+        path.write_bytes(b"XXXXXXXX" + blob[8:])
+        assert store.get(FP, KIND, PARAMS) is None
+        assert store.quarantined == 1
+
+    def test_wrong_format_version_degrades_and_quarantines(self, store, tmp_path):
+        writer = CacheStore(tmp_path / "cache")
+        writer.FORMAT_VERSION = 1  # an entry from an older store
+        write_entry(writer)
+        assert store.get(FP, KIND, PARAMS) is None
+        assert store.quarantined == 1
+
+    def test_forbidden_dtype_degrades_and_quarantines(self, store):
+        path = write_entry(store)
+        header = {
+            "format_version": CacheStore.FORMAT_VERSION,
+            "fingerprint": FP,
+            "kind": KIND,
+            "params": PARAMS,
+            "meta": {},
+            "arrays": [{"name": "rows", "dtype": "complex128", "shape": [1]}],
+            "payload_digest": "00",
+        }
+        blob = json.dumps(header).encode()
+        path.write_bytes(
+            CacheStore.MAGIC + struct.pack("<Q", len(blob)) + blob + b"\0" * 16
+        )
+        assert store.get(FP, KIND, PARAMS) is None
+        assert store.quarantined == 1
+        reasons = list(store.quarantine_dir.glob("*.reason"))
+        assert len(reasons) == 1
+        assert "forbidden dtype" in reasons[0].read_text()
+
+    def test_payload_digest_mismatch_degrades_and_quarantines(self, store):
+        path = write_entry(store)
+        corrupt_payload(path)
+        assert store.get(FP, KIND, PARAMS) is None
+        assert store.load_failures == 1
+        assert store.quarantined == 1
+        reasons = list(store.quarantine_dir.glob("*.reason"))
+        assert "digest" in reasons[0].read_text()
+
+    def test_load_all_skips_corrupt_keeps_healthy(self, store):
+        write_entry(store)
+        other = store.put(
+            FP, "attribute_partitions", {"attrs": [0]},
+            meta={}, arrays={"a": np.arange(4, dtype=np.int32)},
+        )
+        corrupt_payload(other)
+        entries = store.load_all(FP)
+        assert [entry.kind for entry in entries] == [KIND]
+        assert store.load_failures == 1
+        assert store.quarantined == 1
+
+
+class TestFsck:
+    def test_deep_fsck_reports_and_quarantines(self, store):
+        write_entry(store, "healthy-fp")
+        bad = write_entry(store)
+        corrupt_payload(bad)
+        report = store.fsck(deep=True)
+        assert report["checked"] == 2
+        assert report["healthy"] == 1
+        assert report["quarantined"] == 1
+        assert report["problems"][0]["path"] == str(bad)
+        assert "digest" in report["problems"][0]["reason"]
+        # The healthy entry still loads, the bad one is gone from the walk.
+        assert store.get("healthy-fp", KIND, PARAMS) is not None
+        assert store.fsck(deep=True)["checked"] == 1
+
+    def test_shallow_fsck_misses_payload_rot_deep_catches_it(self, store):
+        bad = write_entry(store)
+        corrupt_payload(bad)
+        assert store.fsck(deep=False)["quarantined"] == 0
+        assert store.fsck(deep=True)["quarantined"] == 1
+
+    def test_quarantine_preserves_bytes_and_collision_suffixes(self, store):
+        path = write_entry(store)
+        blob = path.read_bytes()
+        store._quarantine(path, "first")
+        path.write_bytes(blob)
+        store._quarantine(path, "second")
+        names = sorted(
+            p.name for p in store.quarantine_dir.iterdir()
+            if not p.name.endswith(".reason")
+        )
+        assert len(names) == 2
+        assert names[1] == names[0] + ".1"
+
+    def test_info_counts_quarantined(self, store):
+        path = write_entry(store)
+        corrupt_payload(path)
+        store.get(FP, KIND, PARAMS)
+        assert store.info()["quarantined"] == 1
+
+
+class TestStoreFaultPoints:
+    def test_injected_get_error_counts_a_load_failure(self, tmp_path):
+        store = CacheStore(
+            tmp_path / "cache",
+            faults=FaultPlan.from_specs(["store.get:error:times=1"]),
+        )
+        write_entry(store)
+        assert store.get(FP, KIND, PARAMS) is None
+        assert store.load_failures == 1
+        assert store.get(FP, KIND, PARAMS) is not None  # rule spent
+
+
+class TestCacheFsckCli:
+    def test_cli_reports_clean_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = CacheStore(tmp_path / "cache")
+        write_entry(store)
+        code = main(["--cache-dir", str(tmp_path / "cache"), "--cache-fsck"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "1 entries checked, 1 healthy, 0 quarantined" in err
+
+    def test_cli_quarantines_and_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = CacheStore(tmp_path / "cache")
+        path = write_entry(store)
+        corrupt_payload(path)
+        code = main(["--cache-dir", str(tmp_path / "cache"), "--cache-fsck"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "1 quarantined" in err
+        assert "quarantine" in err
+        survivors = list((tmp_path / "cache" / "quarantine").iterdir())
+        assert len(survivors) == 2  # the entry and its .reason sidecar
+
+    def test_cli_requires_cache_dir(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--cache-fsck"])

@@ -1,0 +1,82 @@
+"""Unit tests of the error vocabulary's ``Retry-After`` hint.
+
+The hint is computed on rejection paths (429/503) — paths that must never
+raise and never emit a hint outside ``[1, cap]``, no matter how degenerate
+the latency aggregates feeding it are.  A poisoned mean (NaN/infinity),
+negative backlog figures, a cold start with zero traffic: every one of
+them clamps to a sane bounded answer.
+"""
+
+import math
+
+import pytest
+
+from repro.serve.http.errors import MAX_RETRY_AFTER, retry_after_hint
+
+
+class TestHappyPath:
+    def test_backlog_estimate(self):
+        # 2s mean, 5 ahead of the caller, 2 slots: ceil(2 * 6 / 2) = 6.
+        assert retry_after_hint(2.0, 5, 2) == 6
+
+    def test_floor_lifts_the_estimate(self):
+        assert retry_after_hint(0.1, 0, 4, floor=3.2) == 4
+
+    def test_fast_service_still_hints_at_least_one_second(self):
+        assert retry_after_hint(0.001, 0, 8) == 1
+
+    def test_cap_clamps_huge_backlogs(self):
+        assert retry_after_hint(1000.0, 50, 1) == MAX_RETRY_AFTER
+        assert retry_after_hint(10.0, 5, 2, cap=7) == 7
+
+
+class TestNoTraffic:
+    def test_cold_start_uses_the_default(self):
+        # Before any request completes, the mean is None — the service has
+        # no evidence, so the hint is the configured default, not a crash.
+        assert retry_after_hint(None, 0, 4) == 1
+        assert retry_after_hint(None, 10, 2, default=5) == 5
+
+    def test_default_respects_floor_and_cap(self):
+        assert retry_after_hint(None, 0, 4, floor=9.5) == 10
+        assert retry_after_hint(None, 0, 4, default=100, cap=30) == 30
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("mean", [0.0, -1.0, math.nan, math.inf, -math.inf])
+    def test_unusable_mean_degrades_to_default(self, mean):
+        assert retry_after_hint(mean, 10, 2) == 1
+        assert retry_after_hint(mean, 10, 2, default=4) == 4
+
+    @pytest.mark.parametrize("floor", [math.nan, math.inf, -math.inf])
+    def test_non_finite_floor_is_ignored(self, floor):
+        assert retry_after_hint(2.0, 0, 2) == 1
+        assert retry_after_hint(2.0, 0, 2, floor=floor) == 1
+
+    def test_negative_pending_and_zero_slots_clamp(self):
+        assert retry_after_hint(2.0, -5, 2) == 1
+        assert retry_after_hint(2.0, 3, 0) == 8  # slots clamps to 1
+
+    def test_infinite_estimate_returns_the_cap(self):
+        # A finite mean with an absurd backlog can overflow to infinity;
+        # the hint must stay bounded.
+        assert retry_after_hint(1e308, 10, 1) == MAX_RETRY_AFTER
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mean_seconds": math.nan, "pending": -1, "slots": 0},
+            {"mean_seconds": math.inf, "pending": 10 ** 9, "slots": 1,
+             "floor": math.inf},
+            {"mean_seconds": None, "pending": 0, "slots": 0, "floor": math.nan},
+        ],
+    )
+    def test_every_hint_stays_in_bounds(self, kwargs):
+        hint = retry_after_hint(
+            kwargs.pop("mean_seconds"), kwargs.pop("pending"),
+            kwargs.pop("slots"), **kwargs,
+        )
+        assert 1 <= hint <= MAX_RETRY_AFTER
+
+    def test_cap_below_one_still_yields_one(self):
+        assert retry_after_hint(5.0, 0, 1, cap=0) == 1
