@@ -1,11 +1,33 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
-The project is fully described by ``pyproject.toml``; this file exists so that
-legacy editable installs (``pip install -e . --no-use-pep517``) work in
-offline environments that lack the ``wheel`` package required by PEP 660
-editable builds.
+Kept as ``setup.py`` (rather than ``pyproject.toml``) so legacy editable
+installs (``pip install -e . --no-use-pep517``) work in offline
+environments that lack the ``wheel`` package required by PEP 660 editable
+builds.  The console scripts mirror the ``python -m`` entry points:
+
+* ``repro-serve`` → :mod:`repro.serve.http.cli`
+* ``repro-fleet`` → :mod:`repro.serve.fleet.cli`
+* ``repro-lint``  → :mod:`repro.devtools.cli`
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-cfd",
+    version="0.8.0",
+    description=(
+        "Reproduction of conditional functional dependency discovery "
+        "(CFDMiner / CTANE / FastCFD) with a serving and tooling stack"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-serve=repro.serve.http.cli:main",
+            "repro-fleet=repro.serve.fleet.cli:main",
+            "repro-lint=repro.devtools.cli:main",
+        ]
+    },
+)

@@ -34,6 +34,7 @@ from repro.api.request import DiscoveryRequest
 from repro.api.result import AlgorithmStats, DiscoveryResult
 from repro.core.cfd import CFD
 from repro.core.fastcfd import ClosedSetDifferenceSets, PartitionDifferenceSets
+from repro.devtools.lockcheck import RANK_SESSION, ranked_lock
 from repro.exceptions import DiscoveryError
 from repro.itemsets.mining import FreeClosedResult, mine_free_and_closed
 from repro.relational.relation import Relation
@@ -208,7 +209,7 @@ class Profiler:
         #: In-memory engine checkpoints keyed by canonical params (the
         #: in-process resume path; the attached store is the durable one).
         self._checkpoints: Dict[str, Dict] = {}
-        self._lock = threading.RLock()
+        self._lock = ranked_lock(RANK_SESSION, "Profiler._lock", reentrant=True)
         # Expensive structures are cached as futures: lookup/insert happens
         # under the lock, the build itself outside it (see _get_or_build).
         self._free_closed: Dict[Tuple[int, Optional[int]], "Future[FreeClosedResult]"] = {}
@@ -972,7 +973,11 @@ class _CTaneCheckpoint:
                 pass  # resume stays in-memory only; the run must not fail
         faults = profiler._faults
         if faults is not None:
-            faults.visit("engine.level")
+            # Local import: serve -> pool -> profiler already forms the
+            # module import chain, so the constant cannot come in at the top.
+            from repro.serve.faults import FAULT_POINT_ENGINE_LEVEL
+
+            faults.visit(FAULT_POINT_ENGINE_LEVEL)
 
     def clear(self) -> None:
         profiler = self._profiler

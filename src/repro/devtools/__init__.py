@@ -1,0 +1,37 @@
+"""Developer tooling: the ``repro-lint`` invariant linter and the runtime
+lock-order / event-loop checkers (see DESIGN.md "Invariants as checks").
+
+Static side — :mod:`repro.devtools.lint` (framework),
+:mod:`repro.devtools.rules` (REP001–REP008), :mod:`repro.devtools.cli`
+(``repro-lint``).  Runtime side — :mod:`repro.devtools.lockcheck`, armed
+via ``REPRO_LOCKCHECK=1``.
+
+This package intentionally keeps its top-level import graph empty of the
+serving stack: ``lockcheck`` imports nothing from ``repro`` so the serving
+layer can import it without cycles, and the linter resolves the fault-point
+registry and dtype allowlist lazily at run time.
+"""
+
+from repro.devtools.lockcheck import (
+    RANK_POOL,
+    RANK_PROVIDER,
+    RANK_SERVICE,
+    RANK_SESSION,
+    BlockingUnderLockError,
+    LockOrderError,
+    check_io_unlocked,
+    maybe_watch_loop,
+    ranked_lock,
+)
+
+__all__ = [
+    "RANK_SERVICE",
+    "RANK_POOL",
+    "RANK_SESSION",
+    "RANK_PROVIDER",
+    "LockOrderError",
+    "BlockingUnderLockError",
+    "ranked_lock",
+    "check_io_unlocked",
+    "maybe_watch_loop",
+]

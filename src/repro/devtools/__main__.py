@@ -1,0 +1,6 @@
+"""``python -m repro.devtools`` → the ``repro-lint`` CLI."""
+
+from repro.devtools.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""``repro-lint`` — run the REP invariant rules over a source tree.
+
+Usage::
+
+    repro-lint src/                  # lint everything, exit 1 on findings
+    repro-lint --list-rules          # show the rule table
+    repro-lint --select REP004 src/  # only metrics naming
+    repro-lint --ignore REP006 src/  # everything but determinism
+
+The exit code is the contract CI relies on: ``0`` clean, ``1`` findings,
+``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools.lint import run_lint
+from repro.devtools.rules import all_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analysis for this repo's DESIGN.md invariants: lock "
+            "order, async hygiene, fault-point names, metrics naming, "
+            "JSON-native results, engine determinism, broad-except "
+            "justifications, and store dtypes (rules REP001-REP008)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ if it exists, else .)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (id, name, summary, scope) and exit",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="only run the given rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        default=[],
+        help="skip the given rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line; print findings only",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = ["repro-lint rules:", ""]
+    for rule in all_rules():
+        scope = ", ".join(rule.scope) if rule.scope else "all files"
+        lines.append(f"  {rule.id}  {rule.name}")
+        lines.append(f"          {rule.summary}")
+        lines.append(f"          scope: {scope}")
+    lines.append("")
+    lines.append(
+        "Runtime companions (repro.devtools.lockcheck): set REPRO_LOCKCHECK=1 "
+        "to arm the lock-order stack, the blocking-I/O-under-lock guard, and "
+        "the event-loop watchdog."
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths: List[Path] = [Path(p) for p in args.paths]
+    if not paths:
+        default = Path("src")
+        paths = [default if default.is_dir() else Path(".")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"repro-lint: no such path: {path}", file=sys.stderr)
+        return 2
+
+    known = {rule.id for rule in all_rules()}
+    for rule_id in (args.select or []) + list(args.ignore):
+        if rule_id not in known:
+            print(f"repro-lint: unknown rule id: {rule_id}", file=sys.stderr)
+            return 2
+
+    started = time.perf_counter()
+    findings = run_lint(
+        paths, all_rules(), select=args.select, ignore=args.ignore
+    )
+    elapsed = time.perf_counter() - started
+
+    for finding in findings:
+        print(finding.render())
+    if not args.quiet:
+        label = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"repro-lint: {len(findings)} {label} in "
+            f"{elapsed:.2f}s",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

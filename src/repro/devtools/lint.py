@@ -1,0 +1,264 @@
+"""The ``repro-lint`` static-analysis framework (``repro.devtools.lint``).
+
+A dependency-free linter over Python's stdlib :mod:`ast` that encodes this
+project's *prose* invariants — the DESIGN.md locking discipline, the
+canonical fault-point registry, Prometheus naming, JSON-native results,
+engine determinism — as named, testable rules (REP001–REP008, implemented
+in :mod:`repro.devtools.rules`).
+
+The framework is deliberately small:
+
+* :class:`Finding` — one violation: rule id, file, line, column, message.
+* :class:`Rule` — a rule has an ``id``/``name``/``summary``, a path scope
+  (``fnmatch`` patterns over the posix path; empty = every file), a
+  per-file :meth:`Rule.check`, and an optional cross-file
+  :meth:`Rule.finalize` that runs once after every file was visited
+  (duplicate-metric detection, doc-consistency checks).
+* :func:`run_lint` — collect ``*.py`` under the given paths, parse each
+  once, fan the trees out to the selected rules, then run finalizers.
+
+Scoping by *path pattern* rather than by import means the same rules fire
+on the test fixtures under ``tests/devtools/fixtures`` — the bad snippets
+mirror the directory shapes the scopes match (``.../serve/http/...``,
+``.../core/...``), so every rule has an executable counterexample.
+
+Unparseable files are reported under the pseudo-rule ``REP000`` rather
+than crashing the run: a syntax error in the tree being linted is itself
+a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "LintProject",
+    "run_lint",
+    "iter_python_files",
+]
+
+#: Pseudo rule id for files the parser rejects.
+PARSE_ERROR_RULE = "REP000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule sees for one file: path, source lines, parsed tree."""
+
+    path: Path
+    source: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def posix(self) -> str:
+        return self.path.as_posix()
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-indexed source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclass
+class LintProject:
+    """Cross-file state shared with rule finalizers."""
+
+    root: Path
+    files: List[FileContext] = field(default_factory=list)
+
+
+class Rule:
+    """Base class for a named invariant check.
+
+    Subclasses set ``id`` / ``name`` / ``summary`` and override
+    :meth:`check`; rules needing cross-file state stash it on ``self``
+    during :meth:`check` and emit from :meth:`finalize`.  One rule
+    instance sees one :func:`run_lint` invocation, so instance state is
+    per-run.
+    """
+
+    id: str = "REP999"
+    name: str = "unnamed"
+    summary: str = ""
+    #: ``fnmatch`` patterns over the posix file path; empty = all files.
+    scope: Sequence[str] = ()
+
+    def applies(self, posix_path: str) -> bool:
+        if not self.scope:
+            return True
+        return any(fnmatch.fnmatch(posix_path, pattern) for pattern in self.scope)
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        raise NotImplementedError
+
+    def finalize(self, project: LintProject) -> List[Finding]:
+        return []
+
+    # -- helpers ---------------------------------------------------------
+    def finding(
+        self, ctx: FileContext, node: Optional[ast.AST], message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(self.id, ctx.posix, line, col, message)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    collected: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            collected.extend(
+                p for p in sorted(path.rglob("*.py")) if p.is_file()
+            )
+        elif path.suffix == ".py" and path.is_file():
+            collected.append(path)
+    # De-duplicate while preserving the sorted-per-argument order.
+    seen = {}
+    for path in collected:
+        seen.setdefault(path.resolve().as_posix(), path)
+    return list(seen.values())
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Iterable[Rule],
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Sequence[str] = (),
+) -> List[Finding]:
+    """Lint every ``*.py`` under ``paths`` with the given rules.
+
+    ``select`` keeps only the named rule ids (``None`` = all); ``ignore``
+    drops ids after selection.  Findings are ordered by file, then line.
+    """
+    chosen: List[Rule] = []
+    for rule in rules:
+        if select is not None and rule.id not in select:
+            continue
+        if rule.id in ignore:
+            continue
+        chosen.append(rule)
+
+    files = iter_python_files([Path(p) for p in paths])
+    root = _common_root(files) if files else Path(".")
+    project = LintProject(root=root)
+    findings: List[Finding] = []
+
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, ValueError, OSError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            findings.append(
+                Finding(
+                    PARSE_ERROR_RULE,
+                    path.as_posix(),
+                    int(line),
+                    0,
+                    f"file could not be parsed: {exc}",
+                )
+            )
+            continue
+        ctx = FileContext(path=path, source=source, tree=tree)
+        project.files.append(ctx)
+        for rule in chosen:
+            if rule.applies(ctx.posix):
+                findings.extend(rule.check(ctx))
+
+    for rule in chosen:
+        findings.extend(rule.finalize(project))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _common_root(files: Sequence[Path]) -> Path:
+    resolved = [path.resolve() for path in files]
+    if len(resolved) == 1:
+        return resolved[0].parent
+    import os
+
+    return Path(os.path.commonpath([str(p) for p in resolved]))
+
+
+# -- shared AST utilities (used by the rules module) ---------------------- #
+def call_name(node: ast.Call) -> str:
+    """The dotted name of a call target, best effort (``''`` if dynamic)."""
+    return dotted_name(node.func)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for nested attribute access on names; ``''`` otherwise."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    elif parts:
+        # Dynamic base (call result, subscript): keep the attribute tail so
+        # callers can still match on the method name.
+        parts.append("")
+    else:
+        return ""
+    return ".".join(reversed(parts))
+
+
+def string_value(node: ast.AST) -> Optional[str]:
+    """The value of a string-constant node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def keyword_arg(node: ast.Call, name: str) -> Optional[ast.AST]:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def enclosing_functions(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Map every node to its nearest enclosing function def (or ``None``)."""
+    owner: Dict[ast.AST, ast.AST] = {}
+
+    def walk(node: ast.AST, current: Optional[ast.AST]) -> None:
+        for child in ast.iter_child_nodes(node):
+            owner[child] = current
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walk(child, child)
+            else:
+                walk(child, current)
+
+    walk(tree, None)
+    return owner

@@ -1,0 +1,327 @@
+"""Runtime lock-order and event-loop checkers (``repro.devtools.lockcheck``).
+
+The serving stack's concurrency correctness rests on a page of prose
+invariants in DESIGN.md — the strict **service → pool → session** lock
+order, *no blocking store I/O under any ranked lock*, and *never block the
+asyncio accept loop*.  This module turns those sentences into assertions
+that run inside the real code paths when armed:
+
+* :func:`ranked_lock` — the lock factory the serving classes use.  Unarmed
+  it returns a plain ``threading.Lock``/``RLock`` (zero overhead — the
+  armed check happens once, at lock *creation*).  Armed, it returns a
+  :class:`_RankedLock` that keeps a thread-local stack of held ranked locks
+  and raises :class:`LockOrderError` the moment an acquisition inverts the
+  rank order (pool → service, session → pool, …) or would self-deadlock a
+  non-reentrant lock.
+* :func:`check_io_unlocked` — the blocking-I/O guard.  Store read/write
+  entry points call it; armed, it raises :class:`BlockingUnderLockError`
+  if the calling thread holds *any* ranked lock, enforcing DESIGN.md's
+  "store I/O never runs under the pool lock" (and its session-lock
+  sibling) at runtime.
+* :class:`EventLoopWatchdog` / :func:`maybe_watch_loop` — a heartbeat
+  thread that measures how long ``call_soon_threadsafe`` callbacks wait on
+  an asyncio loop.  A callback delayed past the threshold means something
+  blocked the loop (the exact failure REP002 hunts statically); stalls are
+  counted, the worst delay kept, and a warning printed to stderr.
+
+Arming: export ``REPRO_LOCKCHECK=1`` (the CI concurrency and chaos steps
+do), or call :func:`arm` / :func:`disarm` from a test.  Arming affects
+locks created *after* the flag flips — services built under ``arm()`` are
+checked, services built before it are not.
+
+This module is intentionally dependency-free and imports nothing from
+``repro`` so the serving layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ENV_LOCKCHECK",
+    "RANK_SERVICE",
+    "RANK_POOL",
+    "RANK_SESSION",
+    "RANK_PROVIDER",
+    "LockOrderError",
+    "BlockingUnderLockError",
+    "arm",
+    "disarm",
+    "armed",
+    "ranked_lock",
+    "held_ranked_locks",
+    "check_io_unlocked",
+    "EventLoopWatchdog",
+    "maybe_watch_loop",
+]
+
+#: Environment variable that arms the runtime checkers (any non-empty value
+#: other than ``0``).  Exported by the CI concurrency and chaos test steps.
+ENV_LOCKCHECK = "REPRO_LOCKCHECK"
+
+#: The canonical lock ranks, strictly increasing along the permitted
+#: acquisition order service → pool → session (→ provider cache locks).
+#: A thread may only acquire a lock whose rank is strictly greater than
+#: every ranked lock it already holds.
+RANK_SERVICE = 10
+RANK_POOL = 20
+RANK_SESSION = 30
+RANK_PROVIDER = 40
+
+#: Human names for diagnostics, keyed by rank.
+RANK_NAMES: Dict[int, str] = {
+    RANK_SERVICE: "service",
+    RANK_POOL: "pool",
+    RANK_SESSION: "session",
+    RANK_PROVIDER: "provider",
+}
+
+
+class LockOrderError(AssertionError):
+    """A ranked lock was acquired against the service→pool→session order."""
+
+
+class BlockingUnderLockError(AssertionError):
+    """Blocking I/O was attempted while a ranked lock was held."""
+
+
+# --------------------------------------------------------------------- #
+# arming
+# --------------------------------------------------------------------- #
+_armed_override: Optional[bool] = None
+
+
+def armed() -> bool:
+    """Whether the runtime checkers are armed (env or explicit override)."""
+    if _armed_override is not None:
+        return _armed_override
+    raw = os.environ.get(ENV_LOCKCHECK, "").strip()
+    return bool(raw) and raw != "0"
+
+
+def arm() -> None:
+    """Force-arm the checkers for locks created from now on (tests)."""
+    global _armed_override
+    _armed_override = True
+
+
+def disarm() -> None:
+    """Force-disarm the checkers regardless of the environment (tests)."""
+    global _armed_override
+    _armed_override = False
+
+
+def reset_arming() -> None:
+    """Return arming control to the environment variable."""
+    global _armed_override
+    _armed_override = None
+
+
+# --------------------------------------------------------------------- #
+# ranked locks
+# --------------------------------------------------------------------- #
+_tls = threading.local()
+
+
+def _held_stack() -> List["_RankedLock"]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def held_ranked_locks() -> Tuple[Tuple[int, str], ...]:
+    """``(rank, name)`` of every ranked lock the current thread holds."""
+    return tuple((lock.rank, lock.name) for lock in _held_stack())
+
+
+class _RankedLock:
+    """A lock wrapper asserting rank order on every acquisition.
+
+    Re-entrant acquisition of the *same* lock object is permitted only when
+    the underlying lock is an ``RLock``; acquiring a second lock of equal
+    or lower rank raises :class:`LockOrderError` before touching the real
+    lock, so the would-be deadlock surfaces as a stack trace instead of a
+    hang.
+    """
+
+    __slots__ = ("rank", "name", "_lock", "_reentrant")
+
+    def __init__(self, rank: int, name: str, *, reentrant: bool):
+        self.rank = rank
+        self.name = name
+        self._reentrant = reentrant
+        self._lock = threading.RLock() if reentrant else threading.Lock()
+
+    def _check_order(self) -> None:
+        stack = _held_stack()
+        if not stack:
+            return
+        if stack[-1] is self or any(held is self for held in stack):
+            if self._reentrant:
+                return
+            raise LockOrderError(
+                f"non-reentrant {self.name!r} lock (rank {self.rank}) "
+                "re-acquired by the thread already holding it — this would "
+                "deadlock"
+            )
+        worst = max(stack, key=lambda held: held.rank)
+        if worst.rank >= self.rank:
+            order = " -> ".join(
+                f"{held.name}({held.rank})" for held in stack
+            )
+            raise LockOrderError(
+                f"lock-order inversion: acquiring {self.name!r} "
+                f"(rank {self.rank}) while holding [{order}]; the permitted "
+                "order is service -> pool -> session (strictly increasing "
+                "ranks)"
+            )
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._check_order()
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            _held_stack().append(self)
+        return acquired
+
+    def release(self) -> None:
+        stack = _held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is self:
+                del stack[index]
+                break
+        self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+def ranked_lock(rank: int, name: Optional[str] = None, *, reentrant: bool = False):
+    """The lock factory the serving classes create their locks through.
+
+    Unarmed (the production default) this is exactly
+    ``threading.RLock()``/``threading.Lock()``; armed it returns a
+    rank-asserting wrapper.  ``rank`` should be one of :data:`RANK_SERVICE`,
+    :data:`RANK_POOL`, :data:`RANK_SESSION`, :data:`RANK_PROVIDER`.
+    """
+    if not armed():
+        return threading.RLock() if reentrant else threading.Lock()
+    label = name if name is not None else RANK_NAMES.get(rank, str(rank))
+    return _RankedLock(rank, label, reentrant=reentrant)
+
+
+def check_io_unlocked(point: str) -> None:
+    """Assert the calling thread holds no ranked lock (blocking-I/O guard).
+
+    Store read/write entry points call this; unarmed it is one module-global
+    test.  Armed, a held ranked lock raises :class:`BlockingUnderLockError`
+    naming the I/O point and the held locks — the runtime form of
+    DESIGN.md's "store I/O never runs under the pool lock".
+    """
+    if not armed():
+        return
+    stack = _held_stack()
+    if stack:
+        held = ", ".join(f"{lock.name}({lock.rank})" for lock in stack)
+        raise BlockingUnderLockError(
+            f"blocking I/O at {point!r} while holding ranked locks [{held}]; "
+            "store I/O must run outside the service/pool/session locks"
+        )
+
+
+# --------------------------------------------------------------------- #
+# asyncio event-loop watchdog
+# --------------------------------------------------------------------- #
+class EventLoopWatchdog:
+    """Detects callbacks blocking an asyncio event loop.
+
+    A daemon thread schedules a heartbeat onto the loop with
+    ``call_soon_threadsafe`` every ``interval`` seconds and measures how
+    long the loop takes to run it.  A healthy loop answers in microseconds;
+    a delay past ``threshold`` means a callback blocked the loop (sync
+    store I/O, an un-executor'd engine run — exactly what REP002 flags
+    statically).  Stalls are counted and the worst observed delay kept;
+    each stall prints one warning line to stderr.
+    """
+
+    def __init__(
+        self,
+        loop,
+        name: str = "loop",
+        *,
+        threshold: float = 0.5,
+        interval: float = 0.1,
+    ):
+        self._loop = loop
+        self.name = name
+        self.threshold = threshold
+        self.interval = interval
+        self.stalls = 0
+        self.worst_delay = 0.0
+        self._stop_event = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-loop-watchdog-{name}", daemon=True
+        )
+
+    def start(self) -> "EventLoopWatchdog":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        import sys
+
+        while not self._stop_event.wait(self.interval):
+            beat = threading.Event()
+            started = time.perf_counter()
+            try:
+                self._loop.call_soon_threadsafe(beat.set)
+            except RuntimeError:
+                return  # the loop closed; nothing left to watch
+            # Wait past the threshold to see the real delay, but never hang
+            # the watchdog thread on a dead loop: give up after 10x.
+            if beat.wait(self.threshold):
+                continue
+            beat.wait(self.threshold * 9)
+            delay = time.perf_counter() - started
+            self.stalls += 1
+            self.worst_delay = max(self.worst_delay, delay)
+            print(
+                f"repro.devtools.lockcheck: event loop {self.name!r} stalled "
+                f"{delay:.3f}s (threshold {self.threshold:.3f}s) — a callback "
+                "is blocking the loop",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+    def report(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "stalls": self.stalls,
+            "worst_delay_seconds": self.worst_delay,
+            "threshold_seconds": self.threshold,
+        }
+
+
+def maybe_watch_loop(
+    loop, name: str, *, threshold: float = 0.5
+) -> Optional[EventLoopWatchdog]:
+    """Start a watchdog over ``loop`` when the checkers are armed.
+
+    The HTTP server and fleet router call this at loop startup; unarmed it
+    returns ``None`` and costs nothing.
+    """
+    if not armed():
+        return None
+    return EventLoopWatchdog(loop, name, threshold=threshold).start()

@@ -49,6 +49,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "FAULT_KINDS",
+    "FAULT_POINTS",
+    "FAULT_POINT_STORE_PUT",
+    "FAULT_POINT_STORE_GET",
+    "FAULT_POINT_ENGINE_LEVEL",
+    "FAULT_POINT_SERVICE_EXECUTE",
+    "FAULT_POINT_FLEET_SEND",
+    "FAULT_POINT_FLEET_POLL",
+    "fault_points_help",
     "FaultInjected",
     "FaultRule",
     "FaultPlan",
@@ -66,6 +74,32 @@ ENV_FAULT_SEED = "REPRO_FAULT_SEED"
 
 #: The injectable failure kinds.
 FAULT_KINDS = ("latency", "error", "torn_write", "reset", "kill")
+
+#: The canonical injection points — the **single source of truth** for every
+#: ``plan.visit(...)`` call site, both CLIs' ``--fault`` help, the DESIGN.md
+#: failure-model table, and the ``repro-lint`` REP003 rule.  A point name
+#: that is not in this registry never fires, so adding a hook means adding
+#: its constant here first.
+FAULT_POINT_STORE_PUT = "store.put"
+FAULT_POINT_STORE_GET = "store.get"
+FAULT_POINT_ENGINE_LEVEL = "engine.level"
+FAULT_POINT_SERVICE_EXECUTE = "service.execute"
+FAULT_POINT_FLEET_SEND = "fleet.send"
+FAULT_POINT_FLEET_POLL = "fleet.poll"
+
+FAULT_POINTS = (
+    FAULT_POINT_STORE_PUT,
+    FAULT_POINT_STORE_GET,
+    FAULT_POINT_ENGINE_LEVEL,
+    FAULT_POINT_SERVICE_EXECUTE,
+    FAULT_POINT_FLEET_SEND,
+    FAULT_POINT_FLEET_POLL,
+)
+
+
+def fault_points_help() -> str:
+    """The canonical injection points, rendered for CLI ``--fault`` help."""
+    return ", ".join(FAULT_POINTS)
 
 
 class FaultInjected(RuntimeError):

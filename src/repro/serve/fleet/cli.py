@@ -31,7 +31,7 @@ import signal
 import sys
 from typing import Optional, Sequence
 
-from repro.serve.faults import resolve_fault_plan
+from repro.serve.faults import fault_points_help, resolve_fault_plan
 from repro.serve.fleet.router import FleetRouter, RouterConfig
 
 
@@ -129,7 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault", action="append", default=[], metavar="SPEC",
         help="inject a deterministic fault, 'point:kind[:key=value,...]' "
         "(repeatable; merged with $REPRO_FAULTS), e.g. "
-        "'fleet.send:reset:p=0.2'",
+        "'fleet.send:reset:p=0.2'; points: " + fault_points_help(),
     )
     parser.add_argument(
         "--fault-seed", type=int, default=None, metavar="N",

@@ -23,7 +23,11 @@ from typing import AsyncIterator, Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.exceptions import DiscoveryError
-from repro.serve.faults import FaultPlan
+from repro.serve.faults import (
+    FAULT_POINT_FLEET_POLL,
+    FAULT_POINT_FLEET_SEND,
+    FaultPlan,
+)
 
 #: Caps mirroring the server-side parser: a worker answering absurd heads is
 #: treated as broken, not buffered.
@@ -99,7 +103,11 @@ class WorkerClient:
         """
         if self._faults is None:
             return
-        point = "fleet.poll" if target == "/healthz" else "fleet.send"
+        point = (
+            FAULT_POINT_FLEET_POLL
+            if target == "/healthz"
+            else FAULT_POINT_FLEET_SEND
+        )
         loop = asyncio.get_running_loop()
         try:
             await loop.run_in_executor(None, self._faults.visit, point)

@@ -42,6 +42,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.devtools.lockcheck import maybe_watch_loop
 from repro.serve.faults import FaultPlan
 from repro.serve.fleet.breaker import BreakerBoard, RetryBudget
 from repro.serve.fleet.client import (
@@ -843,7 +844,12 @@ class RouterThread:
                 return
             finally:
                 self._started.set()
-            loop.run_until_complete(self._router.wait_stopped())
+            watchdog = maybe_watch_loop(loop, "repro-fleet")
+            try:
+                loop.run_until_complete(self._router.wait_stopped())
+            finally:
+                if watchdog is not None:
+                    watchdog.stop()
         finally:
             try:
                 pending = [t for t in asyncio.all_tasks(loop) if not t.done()]

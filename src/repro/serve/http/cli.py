@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.exceptions import ReproError
-from repro.serve.faults import resolve_fault_plan
+from repro.serve.faults import fault_points_help, resolve_fault_plan
 from repro.serve.http.server import HttpServer, ServerConfig
 from repro.serve.pool import SessionPool
 from repro.serve.service import DiscoveryService
@@ -99,7 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault", action="append", default=[], metavar="SPEC",
         help="inject a deterministic fault, 'point:kind[:key=value,...]' "
         "(repeatable; merged with $REPRO_FAULTS), e.g. "
-        "'store.put:torn_write:p=1.0,times=1'",
+        "'store.put:torn_write:p=1.0,times=1'; points: "
+        + fault_points_help(),
     )
     parser.add_argument(
         "--fault-seed", type=int, default=None, metavar="N",

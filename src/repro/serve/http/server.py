@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.devtools.lockcheck import maybe_watch_loop
 from repro.exceptions import DiscoveryError
 from repro.serve.http import errors
 from repro.serve.http.app import Application
@@ -400,7 +401,12 @@ class ServerThread:
                 return
             finally:
                 self._started.set()
-            loop.run_until_complete(self._server.wait_stopped())
+            watchdog = maybe_watch_loop(loop, "repro-serve")
+            try:
+                loop.run_until_complete(self._server.wait_stopped())
+            finally:
+                if watchdog is not None:
+                    watchdog.stop()
         finally:
             try:
                 # Lingering connection tasks (idle keep-alive reads) are

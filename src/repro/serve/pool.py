@@ -42,6 +42,7 @@ from typing import Dict, List, Optional
 
 from repro.api.profiler import ProgressCallback, Profiler
 from repro.api.registry import REGISTRY, AlgorithmRegistry
+from repro.devtools.lockcheck import RANK_POOL, ranked_lock
 from repro.exceptions import CacheStoreError, DiscoveryError
 from repro.relational.relation import Relation
 from repro.serve.faults import FaultPlan
@@ -100,7 +101,7 @@ class SessionPool:
         self._faults = faults
         self._progress = progress
         self._registry = registry
-        self._lock = threading.RLock()
+        self._lock = ranked_lock(RANK_POOL, "SessionPool._lock", reentrant=True)
         self._entries: "OrderedDict[str, _PooledSession]" = OrderedDict()
         self._hits = 0
         self._misses = 0

@@ -30,10 +30,11 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.api.request import DiscoveryRequest
+from repro.devtools.lockcheck import RANK_SERVICE, ranked_lock
 from repro.api.result import DiscoveryResult
 from repro.exceptions import CacheStoreError, DiscoveryError, UnknownRelationError
 from repro.relational.relation import Relation
-from repro.serve.faults import FaultPlan
+from repro.serve.faults import FAULT_POINT_SERVICE_EXECUTE, FaultPlan
 from repro.serve.fingerprint import relation_fingerprint
 from repro.serve.pool import SessionPool
 from repro.serve.store import CacheStore
@@ -104,7 +105,7 @@ class DiscoveryService:
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
         self._max_workers = max_workers
-        self._lock = threading.Lock()
+        self._lock = ranked_lock(RANK_SERVICE, "DiscoveryService._lock")
         self._in_flight: Dict[Tuple[str, DiscoveryRequest], "Future[DiscoveryResult]"] = {}
         self._named: "OrderedDict[str, Relation]" = OrderedDict()
         self._requests = 0
@@ -208,7 +209,7 @@ class DiscoveryService:
             # Chaos hook: an injected error here fails this run the way any
             # unexpected engine crash would (callers see the future's
             # exception); a latency rule stalls the worker thread.
-            self._faults.visit("service.execute")
+            self._faults.visit(FAULT_POINT_SERVICE_EXECUTE)
         # Byte budgets re-check automatically: the pool registers a run
         # listener on every session it creates, so each run refreshes the
         # entry's estimate and enforces the caps on completion.

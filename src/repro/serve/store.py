@@ -65,8 +65,14 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from repro.devtools.lockcheck import check_io_unlocked
 from repro.exceptions import CacheStoreError
-from repro.serve.faults import FaultInjected, FaultPlan
+from repro.serve.faults import (
+    FAULT_POINT_STORE_GET,
+    FAULT_POINT_STORE_PUT,
+    FaultInjected,
+    FaultPlan,
+)
 
 #: Structure kinds the store understands (order = warm-load priority: the
 #: closed difference-set provider is rebuilt from the free/closed result, so
@@ -249,6 +255,7 @@ class CacheStore:
         arrays: Optional[Dict[str, np.ndarray]] = None,
     ) -> Path:
         """Write one entry atomically (temp file + rename); returns its path."""
+        check_io_unlocked(FAULT_POINT_STORE_PUT)
         arrays = arrays or {}
         manifest = []
         buffers: List[bytes] = []
@@ -274,7 +281,7 @@ class CacheStore:
         except (TypeError, ValueError) as exc:
             raise CacheStoreError(f"entry header is not JSON-native: {exc}") from exc
         path = self._entry_path(fingerprint, kind, params)
-        torn_fraction = self._visit_fault("store.put")
+        torn_fraction = self._visit_fault(FAULT_POINT_STORE_PUT)
         if torn_fraction is not None:
             # Emulate a crash mid-write that bypassed the atomic rename: a
             # truncated entry lands on the *final* path, then the writer
@@ -375,9 +382,10 @@ class CacheStore:
         self, fingerprint: str, kind: str, params: Dict[str, object]
     ) -> Optional[StoreEntry]:
         """The entry for this key, or ``None`` (missing, corrupt, mismatched)."""
+        check_io_unlocked(FAULT_POINT_STORE_GET)
         path = self._entry_path(fingerprint, kind, params)
         try:
-            self._visit_fault("store.get")
+            self._visit_fault(FAULT_POINT_STORE_GET)
         except CacheStoreError:
             self.load_failures += 1
             return None

@@ -1,0 +1,8 @@
+"""Deliberate REP004 violations: naming breaks in one metrics module."""
+
+
+class Metrics:
+    def __init__(self):
+        self.requests = Counter("repro_http_requests")  # counter sans _total
+        self.latency = Histogram("repro_Bad-Name_seconds")  # invalid chars
+        self.depth = Gauge("repro_depth_total")  # gauge claiming _total

@@ -1,0 +1,13 @@
+"""Deliberate REP003 violation: --fault help hand-lists stale points."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--fault",
+        action="append",
+        help="inject a fault, e.g. 'store.put:torn_write' or 'engine.tick'",
+    )
+    return parser

@@ -1,0 +1,15 @@
+"""Deliberate REP006 violations in an engine-shaped module."""
+
+import random
+import time
+
+
+def emit(attrs):
+    for attr in {a for a in attrs}:  # unordered set iteration
+        yield attr
+
+
+def order(values):
+    result = list({v for v in values})  # list() over a set expression
+    random.shuffle(result)  # unseeded module-level RNG
+    return result, time.time()  # wall clock in an engine

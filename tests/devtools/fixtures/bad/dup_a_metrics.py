@@ -1,0 +1,6 @@
+"""One half of a cross-module duplicate family registration."""
+
+
+class MetricsA:
+    def __init__(self):
+        self.things = Counter("repro_dup_things_total")

@@ -1,0 +1,6 @@
+"""Other half of a cross-module duplicate family registration."""
+
+
+class MetricsB:
+    def __init__(self):
+        self.things = Counter("repro_dup_things_total")

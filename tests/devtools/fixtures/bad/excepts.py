@@ -1,0 +1,15 @@
+"""Deliberate REP007 violations: unjustified broad excepts."""
+
+
+def risky():
+    try:
+        return 1
+    except Exception:
+        return None
+
+
+def bare():
+    try:
+        return 1
+    except:
+        return None

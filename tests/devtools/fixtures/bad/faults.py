@@ -1,0 +1,9 @@
+"""Deliberate REP003 violations: typo'd fault points that never fire."""
+
+
+class Store:
+    def put(self, plan):
+        plan.visit("store.putt")  # typo: not a canonical point
+
+    def wired(self):
+        self._visit_fault("store.write")  # not in the registry

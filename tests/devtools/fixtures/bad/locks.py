@@ -1,0 +1,19 @@
+"""Deliberate REP001 violations: inversion, expensive-under-lock, re-acquire."""
+
+
+class DemoPool:
+    def inverted(self, service):
+        with self._lock:  # pool rank 20
+            with service._lock:  # service rank 10 — inversion
+                return None
+
+    def expensive(self, profiler):
+        with self._lock:
+            return profiler.dump_caches()  # store I/O under the pool lock
+
+
+class DemoService:
+    def self_deadlock(self):
+        with self._lock:
+            with self._lock:  # plain Lock re-acquired: deadlock
+                return None

@@ -1,0 +1,11 @@
+"""Deliberate REP008 violations: dtypes the store rejects on load."""
+
+import numpy as np
+
+
+def pack_rows(rows):
+    return np.asarray(rows, dtype=np.float16)
+
+
+def save(store, arr):
+    return store.put("fp", "kind", {}, arrays={"a": arr.astype("complex64")})

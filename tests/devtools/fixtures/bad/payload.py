@@ -1,0 +1,7 @@
+"""Deliberate REP005 violation: the default= escape hatch."""
+
+import json
+
+
+def render(result):
+    return json.dumps(result, default=str)

@@ -1,0 +1,12 @@
+"""Deliberate REP002 violations: blocking calls on the event loop."""
+
+import time
+
+
+class Handler:
+    async def handle(self, request):
+        time.sleep(0.1)
+        with open("/tmp/fixture") as fh:
+            data = fh.read()
+        value = self._future.result(timeout=1)
+        return self.service.run(request), data, value

@@ -1,0 +1,15 @@
+"""Clean --fault help: the point list comes from the registry."""
+
+import argparse
+
+from repro.serve.faults import fault_points_help
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--fault",
+        action="append",
+        help="inject a fault 'point:kind'; points: " + fault_points_help(),
+    )
+    return parser

@@ -1,0 +1,16 @@
+"""Deterministic engine idiom: sorted sets, seeded RNG, perf_counter."""
+
+import random
+import time
+
+
+def emit(attrs):
+    for attr in sorted({a for a in attrs}):
+        yield attr
+
+
+def order(values, seed):
+    result = sorted({v for v in values})
+    rng = random.Random(seed)
+    rng.shuffle(result)
+    return result, time.perf_counter()

@@ -1,0 +1,15 @@
+"""Clean exception hygiene: narrow types, justified breadth."""
+
+
+def risky():
+    try:
+        return 1
+    except ValueError:
+        return None
+
+
+def boundary():
+    try:
+        return 1
+    except Exception:  # noqa: BLE001 - fixture demonstrating the convention
+        return None

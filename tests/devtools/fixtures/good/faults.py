@@ -1,0 +1,12 @@
+"""Clean fault-point usage: canonical literals and pass-through variables."""
+
+
+class Store:
+    def put(self, plan):
+        plan.visit("store.put")
+
+    def wired(self):
+        self._visit_fault("service.execute")
+
+    def dynamic(self, plan, point):
+        plan.visit(point)  # non-literal: the call site is not the registry

@@ -1,0 +1,13 @@
+"""Clean metrics: valid names, counters end _total, unique families."""
+
+
+class Metrics:
+    def __init__(self):
+        self.requests = Counter("repro_demo_requests_total")
+        self.latency = Histogram("repro_demo_latency_seconds")
+        self.depth = Gauge("repro_demo_queue_depth")
+
+    def render(self):
+        return render_family(
+            "repro_demo_renders_total", "counter", "renders", 1
+        )

@@ -1,0 +1,20 @@
+"""Clean lock usage: increasing ranks, builds outside the lock."""
+
+
+class DemoService:
+    def ordered(self, pool):
+        with self._lock:  # service rank 10
+            with pool._lock:  # pool rank 20 — strictly increasing
+                return None
+
+    def build_outside(self, profiler):
+        with self._lock:
+            token = self._token
+        return profiler.dump_caches(), token
+
+
+class DemoPool:
+    def reentrant(self):
+        with self._lock:  # RLock rank: re-entry of the same object is fine
+            with self._lock:
+                return None

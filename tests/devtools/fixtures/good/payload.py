@@ -1,0 +1,7 @@
+"""Clean JSON serialization: payloads are JSON-native before dumps."""
+
+import json
+
+
+def render(result):
+    return json.dumps(result, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,14 @@
+"""Clean async handlers: awaits and executor hops only."""
+
+import asyncio
+
+
+class Handler:
+    async def handle(self, request):
+        await asyncio.sleep(0.01)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.service.run, request)
+
+    def sync_stop(self):
+        # Blocking in a *sync* method is fine; only coroutine bodies matter.
+        return self._future.result(timeout=1)

@@ -1,0 +1,62 @@
+"""The six fault points have one source of truth and every surface tracks it."""
+
+import re
+from pathlib import Path
+
+from repro.serve import faults
+from repro.serve.faults import FAULT_POINTS, fault_points_help
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CANONICAL = {
+    "store.put",
+    "store.get",
+    "engine.level",
+    "service.execute",
+    "fleet.send",
+    "fleet.poll",
+}
+
+
+def test_registry_is_exactly_the_six_points():
+    assert set(FAULT_POINTS) == CANONICAL
+    assert len(FAULT_POINTS) == 6
+
+
+def test_constants_match_their_names():
+    assert faults.FAULT_POINT_STORE_PUT == "store.put"
+    assert faults.FAULT_POINT_STORE_GET == "store.get"
+    assert faults.FAULT_POINT_ENGINE_LEVEL == "engine.level"
+    assert faults.FAULT_POINT_SERVICE_EXECUTE == "service.execute"
+    assert faults.FAULT_POINT_FLEET_SEND == "fleet.send"
+    assert faults.FAULT_POINT_FLEET_POLL == "fleet.poll"
+
+
+def test_help_string_lists_every_point():
+    rendered = fault_points_help()
+    for point in CANONICAL:
+        assert point in rendered
+
+
+def test_design_md_table_matches_registry():
+    text = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    documented = set(
+        re.findall(r"^\|\s*`([a-z_]+\.[a-z_]+)`\s*\|", text, flags=re.M)
+    )
+    assert documented == CANONICAL
+
+
+def test_http_cli_fault_help_lists_every_point():
+    from repro.serve.http.cli import build_parser
+
+    rendered = build_parser().format_help()
+    for point in CANONICAL:
+        assert point in rendered
+
+
+def test_fleet_cli_fault_help_lists_every_point():
+    from repro.serve.fleet.cli import build_parser
+
+    rendered = build_parser().format_help()
+    for point in CANONICAL:
+        assert point in rendered

@@ -1,0 +1,61 @@
+"""The repro-lint CLI: exit codes, rule listing, selection, and the src/ gate."""
+
+import time
+from pathlib import Path
+
+from repro.devtools.cli import main
+from repro.devtools.lint import run_lint
+from repro.devtools.rules import all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_list_rules_shows_the_whole_table(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for index in range(1, 9):
+        assert f"REP00{index}" in out
+    assert "REPRO_LOCKCHECK" in out
+
+
+def test_bad_fixture_exits_one(capsys):
+    assert main([str(FIXTURES / "bad" / "payload.py")]) == 1
+    out = capsys.readouterr().out
+    assert "REP005" in out
+
+
+def test_good_tree_exits_zero():
+    assert main([str(FIXTURES / "good"), "--quiet"]) == 0
+
+
+def test_select_limits_the_rules(capsys):
+    code = main(["--select", "REP005", str(FIXTURES / "bad")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REP005" in out
+    assert "REP007" not in out
+
+
+def test_unknown_rule_is_a_usage_error():
+    assert main(["--select", "REP042", str(FIXTURES / "good")]) == 2
+
+
+def test_missing_path_is_a_usage_error():
+    assert main([str(FIXTURES / "no-such-dir")]) == 2
+
+
+def test_src_lints_clean_with_all_rules():
+    # The CI gate: the repo's own source carries zero findings.
+    findings = run_lint([SRC], all_rules())
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"src/ has lint findings:\n{rendered}"
+
+
+def test_full_lint_pass_is_fast():
+    # CI guards the wall-clock budget; keep a generous local margin.
+    started = time.perf_counter()
+    run_lint([SRC], all_rules())
+    elapsed = time.perf_counter() - started
+    assert elapsed < 10.0, f"lint of src/ took {elapsed:.1f}s (budget 10s)"

@@ -1,0 +1,193 @@
+"""The runtime lock-order, I/O-guard, and watchdog checkers."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.devtools import lockcheck
+from repro.devtools.lockcheck import (
+    RANK_POOL,
+    RANK_SERVICE,
+    RANK_SESSION,
+    BlockingUnderLockError,
+    EventLoopWatchdog,
+    LockOrderError,
+    check_io_unlocked,
+    held_ranked_locks,
+    maybe_watch_loop,
+    ranked_lock,
+)
+
+
+@pytest.fixture(autouse=True)
+def armed_checkers():
+    lockcheck.arm()
+    try:
+        yield
+    finally:
+        lockcheck.reset_arming()
+
+
+def test_disarmed_factory_returns_plain_locks():
+    lockcheck.disarm()
+    lock = ranked_lock(RANK_SERVICE)
+    assert not hasattr(lock, "rank")
+    rlock = ranked_lock(RANK_POOL, reentrant=True)
+    assert not hasattr(rlock, "rank")
+    with lock:
+        check_io_unlocked("store.put")  # disarmed: never raises
+
+
+def test_increasing_ranks_are_permitted():
+    service = ranked_lock(RANK_SERVICE, "svc")
+    pool = ranked_lock(RANK_POOL, "pool", reentrant=True)
+    session = ranked_lock(RANK_SESSION, "sess", reentrant=True)
+    with service:
+        with pool:
+            with session:
+                assert [r for r, _ in held_ranked_locks()] == [
+                    RANK_SERVICE,
+                    RANK_POOL,
+                    RANK_SESSION,
+                ]
+    assert held_ranked_locks() == ()
+
+
+def test_pool_to_service_inversion_raises():
+    service = ranked_lock(RANK_SERVICE, "svc")
+    pool = ranked_lock(RANK_POOL, "pool", reentrant=True)
+    with pool:
+        with pytest.raises(LockOrderError, match="inversion"):
+            with service:
+                pass
+    assert held_ranked_locks() == ()
+
+
+def test_equal_rank_second_lock_raises():
+    pool_a = ranked_lock(RANK_POOL, "pool-a", reentrant=True)
+    pool_b = ranked_lock(RANK_POOL, "pool-b", reentrant=True)
+    with pool_a:
+        with pytest.raises(LockOrderError):
+            pool_b.acquire()
+
+
+def test_reentrant_reacquire_is_permitted():
+    session = ranked_lock(RANK_SESSION, "sess", reentrant=True)
+    with session:
+        with session:
+            assert len(held_ranked_locks()) == 2
+    assert held_ranked_locks() == ()
+
+
+def test_non_reentrant_reacquire_raises():
+    service = ranked_lock(RANK_SERVICE, "svc")
+    with service:
+        with pytest.raises(LockOrderError, match="re-acquired"):
+            service.acquire()
+
+
+def test_held_stack_is_thread_local():
+    pool = ranked_lock(RANK_POOL, "pool", reentrant=True)
+    service = ranked_lock(RANK_SERVICE, "svc")
+    errors = []
+
+    def other_thread():
+        try:
+            with service:  # fine: this thread holds nothing
+                pass
+        except LockOrderError as exc:  # pragma: no cover - the failure case
+            errors.append(exc)
+
+    with pool:
+        worker = threading.Thread(target=other_thread)
+        worker.start()
+        worker.join()
+    assert errors == []
+
+
+def test_check_io_unlocked_raises_under_ranked_lock():
+    pool = ranked_lock(RANK_POOL, "pool", reentrant=True)
+    with pool:
+        with pytest.raises(BlockingUnderLockError, match="store.put"):
+            check_io_unlocked("store.put")
+    check_io_unlocked("store.put")  # nothing held: fine
+
+
+def test_real_pool_then_service_inversion_raises():
+    # The integration form of the invariant: the actual serving classes'
+    # locks are ranked, so a coded-in inversion surfaces as an error.
+    from repro.serve.service import DiscoveryService
+
+    service = DiscoveryService(max_workers=1)
+    try:
+        pool = service.info()["pool"]  # service->pool is the legal order
+        assert isinstance(pool, dict)
+        with service._pool._lock:
+            with pytest.raises(LockOrderError):
+                with service._lock:
+                    pass
+    finally:
+        service.shutdown()
+    assert held_ranked_locks() == ()
+
+
+# --------------------------------------------------------------------- #
+# event-loop watchdog
+# --------------------------------------------------------------------- #
+def _loop_in_thread():
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    return loop, thread
+
+
+def _stop_loop(loop, thread):
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=5)
+    loop.close()
+
+
+def test_watchdog_detects_a_blocked_loop():
+    loop, thread = _loop_in_thread()
+    try:
+        watchdog = EventLoopWatchdog(
+            loop, "test", threshold=0.05, interval=0.01
+        ).start()
+        loop.call_soon_threadsafe(time.sleep, 0.4)
+        time.sleep(0.6)
+        watchdog.stop()
+        assert watchdog.stalls >= 1
+        assert watchdog.worst_delay > 0.05
+        report = watchdog.report()
+        assert report["name"] == "test"
+        assert report["stalls"] == watchdog.stalls
+    finally:
+        _stop_loop(loop, thread)
+
+
+def test_watchdog_quiet_on_healthy_loop():
+    loop, thread = _loop_in_thread()
+    try:
+        watchdog = EventLoopWatchdog(
+            loop, "test", threshold=0.25, interval=0.01
+        ).start()
+        time.sleep(0.3)
+        watchdog.stop()
+        assert watchdog.stalls == 0
+    finally:
+        _stop_loop(loop, thread)
+
+
+def test_maybe_watch_loop_respects_arming():
+    loop, thread = _loop_in_thread()
+    try:
+        lockcheck.disarm()
+        assert maybe_watch_loop(loop, "test") is None
+        lockcheck.arm()
+        watchdog = maybe_watch_loop(loop, "test", threshold=0.5)
+        assert watchdog is not None
+        watchdog.stop()
+    finally:
+        _stop_loop(loop, thread)
