@@ -1,6 +1,6 @@
 """The tracked perf-benchmark suite → ``BENCH_perf.json`` at the repo root.
 
-Eight sections, re-measured on every run so the numbers never rot:
+Nine sections, re-measured on every run so the numbers never rot:
 
 1. **Partition microbenchmarks** — construction of the single-attribute
    partitions and a full product chain across the schema, timed for the
@@ -42,6 +42,14 @@ Eight sections, re-measured on every run so the numbers never rot:
    required; plus the fault-free cost of the injection hooks themselves —
    an armed :class:`repro.serve.FaultPlan` whose rules match no injection
    point versus no plan at all, asserted ≤ 2% overhead in CI.
+9. **Wide relations** — the schema-width axis the walk engine opened: on a
+   seeded :mod:`repro.datagen.wide` relation at CTANE-feasible arity every
+   wide-capable engine (CTANE, FastCFD, ``dfd``) is timed and their covers
+   asserted identical (the oracle criterion, gated in CI); at 120 columns —
+   far beyond CTANE's declared ``max_auto_arity`` of 17, so its levelwise
+   sweep is recorded as not-attempted (``None``) rather than timed — the
+   random-walk ``dfd`` engine completes in seconds, with its walk counters
+   (partitions computed, restarts) recorded alongside the runtime.
 
 Run ``python benchmarks/bench_perf_suite.py`` for the tracked numbers or
 ``--smoke`` for the tiny CI configuration (same shape, toy sizes).
@@ -624,6 +632,83 @@ def bench_fault_recovery(db_size: int, support: int, repeats: int) -> dict:
 
 
 # ---------------------------------------------------------------------- #
+# ---------------------------------------------------------------------- #
+# section 9: wide relations (the dfd walk engine's scenario class)
+# ---------------------------------------------------------------------- #
+def bench_wide_relations(narrow_cols: int, wide_cols: int, n_rows: int,
+                         wide_cfds: int, repeats: int) -> dict:
+    """Schema-wide profiling: the walk engine against the levelwise sweep.
+
+    Two seeded :class:`~repro.datagen.wide.WideRelationGenerator` relations
+    with embedded FDs/CFDs at the generator's derived support threshold:
+
+    * at ``narrow_cols`` (CTANE-feasible) every wide-capable engine runs and
+      the covers must match rule for rule — the oracle criterion;
+    * at ``wide_cols`` CTANE's levelwise lattice is infeasible (the paper
+      reports failure beyond arity 17; its ``max_auto_arity`` declares it,
+      so ``auto`` never sends such a relation there) — recorded as ``None``
+      rather than timed — while ``dfd`` and FastCFD complete; ``dfd`` is
+      the engine whose runtime scales with the dependency boundary.
+    """
+    from repro.core.dfd import DFD
+    from repro.datagen.wide import WideRelationGenerator
+
+    def canonical(cfds):
+        return sorted(repr(cfd) for cfd in cfds)
+
+    narrow_gen = WideRelationGenerator(
+        n_cols=narrow_cols, n_rows=n_rows, seed=0, n_fds=3, n_cfds=2
+    )
+    narrow = narrow_gen.generate()
+    narrow_k = narrow_gen.min_support
+    ctane_s = time_best(
+        lambda: CTane(narrow, narrow_k).discover(), repeats
+    )
+    fastcfd_narrow_s = time_best(
+        lambda: FastCFD(narrow, narrow_k).discover(), repeats
+    )
+    dfd_narrow_s = time_best(
+        lambda: DFD(narrow, narrow_k, seed=0).discover(), repeats
+    )
+    ctane_cover = canonical(CTane(narrow, narrow_k).discover())
+    dfd_cover = canonical(DFD(narrow, narrow_k, seed=0).discover())
+    fastcfd_cover = canonical(FastCFD(narrow, narrow_k).discover())
+
+    wide_gen = WideRelationGenerator(
+        n_cols=wide_cols, n_rows=n_rows, seed=0, n_fds=4, n_cfds=wide_cfds
+    )
+    wide = wide_gen.generate()
+    wide_k = wide_gen.min_support
+    wide_engine = DFD(wide, wide_k, seed=0)
+    started = time.perf_counter()
+    wide_cover = wide_engine.discover()
+    dfd_wide_s = time.perf_counter() - started
+
+    return {
+        "rows": n_rows,
+        "narrow": {
+            "arity": narrow_cols,
+            "support": narrow_k,
+            "ctane_s": ctane_s,
+            "fastcfd_s": fastcfd_narrow_s,
+            "dfd_s": dfd_narrow_s,
+            "n_cfds": len(ctane_cover),
+            "covers_match": ctane_cover == dfd_cover == fastcfd_cover,
+        },
+        "wide": {
+            "arity": wide_cols,
+            "support": wide_k,
+            # Levelwise CTANE is infeasible at this arity (its declared
+            # max_auto_arity is 17) — not attempted, recorded as None.
+            "ctane_s": None,
+            "dfd_s": dfd_wide_s,
+            "dfd_n_cfds": len(wide_cover),
+            "dfd_partitions_computed": wide_engine.partitions_computed,
+            "dfd_restarts": wide_engine.restarts,
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -647,11 +732,13 @@ def main(argv=None) -> int:
         e2e_db, supports, repeats = 300, [5], 1
         serving_db, serving_supports = 300, [3, 5, 8]
         http_requests = 20
+        wide_cfds = 0  # FD-only at 120 columns keeps the smoke run short
     else:
         micro_rows, ablation_db, ablation_k = 5000, 2000, 20
         e2e_db, supports, repeats = 2000, [10, 20, 50], 3
         serving_db, serving_supports = 2000, [10, 20, 50]
         http_requests = 50
+        wide_cfds = 2
     if args.repeats is not None:
         repeats = args.repeats
 
@@ -674,6 +761,10 @@ def main(argv=None) -> int:
     fault_recovery = bench_fault_recovery(
         ablation_db, ablation_k, max(1, repeats - 1)
     )
+    wide_relations = bench_wide_relations(
+        narrow_cols=30, wide_cols=120, n_rows=96,
+        wide_cfds=wide_cfds, repeats=max(1, repeats - 1),
+    )
 
     document = {
         "suite": "bench_perf_suite",
@@ -688,6 +779,7 @@ def main(argv=None) -> int:
         "http_serving": http_serving,
         "fleet_serving": fleet_serving,
         "fault_recovery": fault_recovery,
+        "wide_relations": wide_relations,
         # Pre-substrate numbers measured on the PR-1 tree (same machine
         # class, db_size=2000/k=20 and the 5000-row product chain), kept as
         # the fixed origin of the trajectory.
@@ -755,6 +847,18 @@ def main(argv=None) -> int:
           f"{fault_recovery['resume_levels_skipped']}, byte-identical="
           f"{fault_recovery['byte_identical_output']}); idle fault hooks "
           f"{fault_recovery['hook_overhead_pct']}% overhead")
+    narrow_w = wide_relations["narrow"]
+    wide_w = wide_relations["wide"]
+    print(f"\nwide relations ({wide_relations['rows']} rows): at arity "
+          f"{narrow_w['arity']} ctane {narrow_w['ctane_s']:.3f}s vs "
+          f"fastcfd {narrow_w['fastcfd_s']:.3f}s vs "
+          f"dfd {narrow_w['dfd_s']:.3f}s "
+          f"({narrow_w['n_cfds']} CFDs, covers_match="
+          f"{narrow_w['covers_match']}); at arity {wide_w['arity']} "
+          f"ctane N/A, dfd {wide_w['dfd_s']:.3f}s "
+          f"({wide_w['dfd_n_cfds']} CFDs, "
+          f"{wide_w['dfd_partitions_computed']} partitions, "
+          f"{wide_w['dfd_restarts']} restarts)")
     return 0
 
 

@@ -1,15 +1,17 @@
-"""Registered adapters for the paper's four discovery engines.
+"""Registered adapters for the toolbox's five discovery engines.
 
 Each adapter wraps one algorithm class behind the uniform
 :class:`~repro.api.registry.DiscoveryAlgorithm` interface, declares its
 capability metadata, wires in the :class:`~repro.api.profiler.Profiler`
-session caches (free/closed mining, difference-set providers) when one is
-supplied, and normalises the engine's counters into
+session caches (free/closed mining, difference-set providers, partitions)
+when one is supplied, and normalises the engine's counters into
 :class:`~repro.api.result.AlgorithmStats`.
 
 Importing this module populates :data:`repro.api.registry.REGISTRY`; the
-registration order (cfdminer, ctane, fastcfd, naivefast) is also the
-precedence order used by capability-driven ``"auto"`` selection.
+registration order (cfdminer, ctane, fastcfd, naivefast, dfd) is also the
+precedence order used by capability-driven ``"auto"`` selection — the
+quantitative ``max_auto_arity`` ceilings decide where FastCFD hands wide
+relations over to the random-walk ``dfd`` engine.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from repro.api.result import AlgorithmStats
 from repro.core.cfd import CFD
 from repro.core.cfdminer import CFDMiner
 from repro.core.ctane import CTane
+from repro.core.dfd import DFD
 from repro.core.fastcfd import FastCFD, NaiveFast
 from repro.relational.relation import Relation
 
@@ -89,6 +92,9 @@ class CTaneAlgorithm(DiscoveryAlgorithm):
         variable_cfds=True,
         supports_max_lhs=True,
         prefers_high_support=True,
+        # The paper reports CTANE failing to complete beyond arity 17
+        # (Section 6.2.1) — "auto" never sends wider relations here.
+        max_auto_arity=17,
         reported_stats=(
             "candidates_checked",
             "elements_generated",
@@ -136,6 +142,10 @@ class FastCFDAlgorithm(DiscoveryAlgorithm):
         variable_cfds=True,
         supports_max_lhs=True,
         handles_wide_relations=True,
+        # The sweet spot of the pairwise int64 bitmask batching; wider
+        # relations auto-dispatch to the walk-based "dfd" engine (FastCFD
+        # itself still runs at any width via the packbits path).
+        max_auto_arity=62,
         reported_stats=("free_sets", "closed_sets"),
     )
 
@@ -204,9 +214,77 @@ class NaiveFastAlgorithm(FastCFDAlgorithm):
         return session.partition_difference_sets()
 
 
+@register_algorithm
+class DFDAlgorithm(DiscoveryAlgorithm):
+    """DFD: seeded random-walk lattice traversal for wide relations.
+
+    Output-identical to FastCFD (and asserted against CTANE on seeded
+    fixtures), but decides node validity directly on the partition substrate
+    instead of pairwise difference sets, so runtime scales with the size of
+    the dependency boundary rather than the full lattice — the engine of
+    choice for 100+-column relations.  The ``{"seed": int}`` request option
+    seeds the walk; the cover is byte-identical for every seed.
+    """
+
+    name = "dfd"
+    capabilities = AlgorithmCapabilities(
+        constant_cfds=True,
+        variable_cfds=True,
+        supports_max_lhs=True,
+        handles_wide_relations=True,
+        reported_stats=(
+            "candidates_checked",
+            "free_sets",
+            "closed_sets",
+            "nodes_visited",
+            "partitions_computed",
+            "restarts",
+            "walk_seed",
+        ),
+    )
+
+    def run(
+        self,
+        relation: Relation,
+        request: "DiscoveryRequest",
+        session: Optional["Profiler"] = None,
+    ) -> Tuple[List[CFD], AlgorithmStats]:
+        free_result = None
+        if session is not None:
+            free_result = session.free_closed(
+                request.min_support, request.max_lhs_size
+            )
+        engine = DFD(
+            relation,
+            request.min_support,
+            max_lhs_size=request.max_lhs_size,
+            free_result=free_result,
+            session=session,
+            progress=_session_progress(session),
+            **request.options_dict,
+        )
+        cfds = engine.discover()
+        mined = engine.free_result
+        extras: Dict[str, object] = {
+            "nodes_visited": int(engine.nodes_visited),
+            "partitions_computed": int(engine.partitions_computed),
+            "restarts": int(engine.restarts),
+            "walk_seed": int(engine.seed),
+        }
+        stats = AlgorithmStats(
+            algorithm=self.name,
+            candidates_checked=engine.candidates_checked,
+            free_sets=len(mined.free_sets),
+            closed_sets=len(mined.closed_to_free),
+            extras=extras,
+        )
+        return cfds, stats
+
+
 __all__ = [
     "CFDMinerAlgorithm",
     "CTaneAlgorithm",
     "FastCFDAlgorithm",
     "NaiveFastAlgorithm",
+    "DFDAlgorithm",
 ]

@@ -94,22 +94,14 @@ def execute(
             )
 
         engine_start = time.perf_counter()
-        try:
-            if session is not None:
-                cfds, stats = session.engine_result(
-                    name,
-                    request,
-                    lambda: engine.run(relation, request, session),
-                )
-            else:
-                cfds, stats = engine.run(relation, request, session)
-        except DiscoveryError:
-            raise
-        except ValueError as exc:
-            # Engine-level ValueErrors (e.g. the >62-attribute limit of the
-            # pairwise bitmask difference sets) must not leak through the
-            # front door untranslated.
-            raise DiscoveryError(f"algorithm {name!r} failed: {exc}") from exc
+        if session is not None:
+            cfds, stats = session.engine_result(
+                name,
+                request,
+                lambda: engine.run(relation, request, session),
+            )
+        else:
+            cfds, stats = engine.run(relation, request, session)
         engine_elapsed = time.perf_counter() - engine_start
 
         # The cached engine result is shared across runs; never mutate it.

@@ -55,6 +55,15 @@ class AlgorithmCapabilities:
     prefers_high_support:
         Levelwise engines whose runtime drops as ``k`` grows; preferred by
         ``"auto"`` when ``k/|r|`` exceeds :data:`AUTO_SUPPORT_RATIO_CUTOFF`.
+    max_auto_arity:
+        Quantitative width ceiling for ``"auto"`` dispatch: the largest
+        relation arity at which the engine is still the *right* choice
+        (``None``: unbounded).  CTANE declares the paper's arity-17
+        completion limit; FastCFD declares 62 — the sweet spot of its
+        pairwise int64 bitmask batching, beyond which the walk-based
+        ``dfd`` engine takes over.  This is dispatch guidance, not a hard
+        capability: every engine now runs at any width via the
+        width-unbounded :class:`~repro.relational.attrset.AttrSet` paths.
     auto_candidate:
         Eligible for ``"auto"`` selection (ablation baselines opt out).
     reported_stats:
@@ -67,6 +76,7 @@ class AlgorithmCapabilities:
     supports_max_lhs: bool = True
     handles_wide_relations: bool = False
     prefers_high_support: bool = False
+    max_auto_arity: Optional[int] = None
     auto_candidate: bool = True
     reported_stats: Tuple[str, ...] = ()
 
@@ -169,12 +179,14 @@ class AlgorithmRegistry:
 
         * A constant-only request goes to a constant-only engine (CFDMiner):
           variable CFDs are never mined just to be filtered out.
-        * Wide relations (arity > :data:`AUTO_ARITY_CUTOFF`) go to an engine
-          that ``handles_wide_relations``.
+        * Wide relations (arity > :data:`AUTO_ARITY_CUTOFF`) go to the first
+          engine that ``handles_wide_relations`` *and* whose quantitative
+          ``max_auto_arity`` ceiling accommodates the relation — FastCFD up
+          to 62 attributes, the random-walk ``dfd`` engine beyond that.
         * Large relative thresholds (k/|r| ≥
           :data:`AUTO_SUPPORT_RATIO_CUTOFF`) go to an engine that
-          ``prefers_high_support``.
-        * Otherwise a wide-relation-capable engine wins (FastCFD).
+          ``prefers_high_support`` whose width ceiling fits.
+        * Otherwise a width-fitting wide-relation-capable engine wins.
         """
         candidates = [
             name
@@ -197,6 +209,10 @@ class AlgorithmRegistry:
             raise DiscoveryError(
                 "no registered algorithm can serve variable CFDs"
             )
+        def width_fits(name: str) -> bool:
+            ceiling = self._classes[name].capabilities.max_auto_arity
+            return ceiling is None or relation.arity <= ceiling
+
         wide = [
             name
             for name in general
@@ -207,14 +223,18 @@ class AlgorithmRegistry:
             for name in general
             if self._classes[name].capabilities.prefers_high_support
         ]
-        if relation.arity > AUTO_ARITY_CUTOFF and wide:
-            return wide[0]
+        wide_fit = [name for name in wide if width_fits(name)]
+        levelwise_fit = [name for name in levelwise if width_fits(name)]
+        if relation.arity > AUTO_ARITY_CUTOFF and wide_fit:
+            return wide_fit[0]
         if (
-            levelwise
+            levelwise_fit
             and relation.n_rows
             and request.min_support / relation.n_rows >= AUTO_SUPPORT_RATIO_CUTOFF
         ):
-            return levelwise[0]
+            return levelwise_fit[0]
+        if wide_fit:
+            return wide_fit[0]
         return wide[0] if wide else general[0]
 
 

@@ -82,7 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--algorithm", "-a", choices=REGISTRY.choices(), default="auto",
-        help="discovery algorithm (default: auto — the paper's guidance)",
+        help="discovery algorithm (default: auto — the paper's guidance; "
+        "wide relations beyond 62 attributes dispatch to the random-walk "
+        "dfd engine, whose --json stats report nodes visited, partitions "
+        "computed and walk restarts)",
     )
     parser.add_argument(
         "--max-lhs", type=int, default=None,

@@ -50,9 +50,10 @@ from repro.itemsets.mining import (
     itemset_support,
     mine_free_and_closed,
 )
+from repro.relational.attrset import AttrSet
 from repro.relational.relation import Relation
 
-AttributeSet = FrozenSet[int]
+AttributeSet = AttrSet
 
 #: Rough bytes per small hashable (an int in a frozenset, an encoded item) in
 #: the :meth:`DifferenceSetProvider.estimated_bytes` estimates.  Deliberately
@@ -178,12 +179,12 @@ class ClosedSetDifferenceSets(DifferenceSetProvider):
         self._closed_items: List[EncodedItemSet] = list(
             closed_result.closed_to_free.keys()
         )
-        all_attrs = frozenset(range(self._arity))
-        self._closed_attrs: List[FrozenSet[int]] = []
-        self._closed_complements: List[FrozenSet[int]] = []
+        all_attrs = AttrSet.full(self._arity)
+        self._closed_attrs: List[AttrSet] = []
+        self._closed_complements: List[AttrSet] = []
         self._postings: Dict[EncodedItem, Set[int]] = {}
         for index, items in enumerate(self._closed_items):
-            attrs = frozenset(attr for attr, _ in items)
+            attrs = AttrSet(attr for attr, _ in items)
             self._closed_attrs.append(attrs)
             self._closed_complements.append(all_attrs - attrs)
             for item in items:

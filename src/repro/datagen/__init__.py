@@ -6,15 +6,20 @@
   Cancer and Chess (KRK) data sets (same shape, cardinalities and dependency
   structure; see DESIGN.md for the substitution rationale).
 * :mod:`repro.datagen.noise` — error injection used by the cleaning examples.
+* :mod:`repro.datagen.wide` — 100+-column relations with controllable
+  embedded FDs/CFDs (the schema-wide profiling scenario served by ``dfd``).
 """
 
 from repro.datagen.tax import TaxGenerator, generate_tax
 from repro.datagen.uci import chess, wisconsin_breast_cancer
 from repro.datagen.noise import inject_errors
+from repro.datagen.wide import WideRelationGenerator, wide_relation
 
 __all__ = [
     "TaxGenerator",
     "generate_tax",
+    "WideRelationGenerator",
+    "wide_relation",
     "chess",
     "wisconsin_breast_cancer",
     "inject_errors",

@@ -1,0 +1,324 @@
+"""Wide-relation generator: 100+-column tables with embedded FDs and CFDs.
+
+The scenario class the ROADMAP calls "schema-wide profiling" — log exports,
+feature stores, denormalised analytics tables — is wide (100-500 columns)
+but *low-dimensional*: the columns are views of a couple of underlying
+entities.  :class:`WideRelationGenerator` reproduces that shape
+deterministically, and the shape is load-bearing.  Uniform random columns
+would be useless here: for any per-column cardinality there is a set size
+at which the joint cardinality crosses ``n_rows²``, and near that threshold
+a constant fraction of *all* attribute combinations accidentally validates
+— the canonical cover explodes combinatorially no matter which engine runs.
+Real wide tables avoid this through algebraic structure, which the
+generator encodes directly:
+
+* **two factor chains**: each chain is a sequence of hidden code columns
+  where level ``l+1`` is a deterministic *coarsening* of level ``l``
+  (values merged pairwise, like city → region → country).  Within a chain
+  all partitions are totally ordered by refinement, so a within-chain
+  attribute set is only as strong as its finest member and is never an
+  accidental minimal LHS;
+* **base columns**: each is a random bijection of one (chain, level)
+  factor.  Same-cluster columns mutually determine each other (shallow
+  singleton FDs); *cross*-chain sets keep ≥ ``rows_per_value²/2`` expected
+  agreeing row pairs at every set size, so they practically never validate
+  accidentally — the dependency boundary stays small and engineered;
+* **embedded FDs**: dependent ``F``-columns are injective scramblings of
+  one chain-0 and one chain-1 factor, discovered as genuinely two-column
+  cross-chain LHS sets;
+* **embedded CFDs**: a small-domain ``COND`` column gates ``C``-columns
+  that are bijections of a source factor *within* one condition group and
+  row-unique sentinels outside it — the dependency is genuinely
+  conditional.  Condition groups halve the per-value counts, which is why
+  the finest factor level keeps ``rows_per_value`` occurrences (default 6):
+  in-group counts stay ≥ 3 and the in-group sub-relations inherit the same
+  small boundary.
+
+Because every non-``COND`` value occurs at most
+``rows_per_value · 2^(levels-1)`` times (the coarsest factor level), no
+constant pattern outside the engineered ``COND`` items is frequent at the
+derived :attr:`WideRelationGenerator.min_support`.  Discovery at that threshold
+visits exactly ``1 + n_groups`` pattern contexts per RHS, the canonical
+covers of ``ctane``, ``fastcfd`` and ``dfd`` coincide exactly (asserted by
+the oracle tests and the CI wide-smoke step on pinned seeds), and CTANE
+stays feasible at 30 columns while at 120+ columns only the walk-based
+``dfd`` engine answers in reasonable time.
+
+All generation is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataGenerationError
+from repro.relational.relation import Relation
+
+#: Default number of independent factor chains (the generated "entities").
+DEFAULT_N_CHAINS = 2
+
+
+def _exact_count_codes(
+    rng: np.random.Generator, n_rows: int, rows_per_value: int
+) -> np.ndarray:
+    """Codes ``0..ceil(n/m)-1``, each occurring exactly ``m`` times
+    (the last possibly fewer), in shuffled row order."""
+    n_values = -(-n_rows // rows_per_value)
+    values = np.repeat(np.arange(n_values), rows_per_value)[:n_rows]
+    return values[rng.permutation(n_rows)]
+
+
+@dataclass
+class WideRelationGenerator:
+    """Seeded generator for wide relations with controllable dependencies.
+
+    Parameters
+    ----------
+    n_cols:
+        Total number of columns (condition + base + dependent).
+    n_rows:
+        Number of tuples.
+    seed:
+        Seed of the pseudo-random generator.
+    n_fds:
+        Number of embedded functional dependencies; dependent column
+        ``F{i}`` is an injective function of a cross-chain factor pair, so
+        any base-column pair drawn from the two named clusters (or finer
+        ones) is a minimal LHS.
+    n_cfds:
+        Number of embedded *conditional* dependencies gated on one shared
+        small-domain condition column (column 0 when ``n_cfds > 0``).
+    rows_per_value:
+        Exact occurrence count of every finest-level factor value (default
+        6; coarser levels double it per step).  The derived
+        :attr:`min_support` threshold ``rows_per_value + 1`` is the
+        smallest ``k`` at which no accidental constant pattern is frequent.
+    """
+
+    n_cols: int
+    n_rows: int
+    seed: int = 0
+    n_fds: int = 4
+    n_cfds: int = 0
+    rows_per_value: int = 6
+    n_chains: int = DEFAULT_N_CHAINS
+
+    def __post_init__(self) -> None:
+        if self.n_cols < 2:
+            raise DataGenerationError("n_cols must be at least 2")
+        if self.n_rows < 1:
+            raise DataGenerationError("n_rows must be positive")
+        if self.n_fds < 0 or self.n_cfds < 0:
+            raise DataGenerationError("n_fds and n_cfds must not be negative")
+        if self.rows_per_value < 1:
+            raise DataGenerationError("rows_per_value must be positive")
+        if self.n_chains < 2:
+            raise DataGenerationError("n_chains must be at least 2")
+        condition_cols = 1 if self.n_cfds else 0
+        dependents = self.n_fds + self.n_cfds
+        if condition_cols + dependents + self.n_chains > self.n_cols:
+            raise DataGenerationError(
+                "n_cols too small for the requested embedded dependencies "
+                f"(need at least {condition_cols + dependents + self.n_chains})"
+            )
+        if self.n_cfds and self.n_rows < self.n_groups * self.min_support:
+            raise DataGenerationError(
+                "n_rows too small for the condition groups to be frequent "
+                f"(need at least {self.n_groups * self.min_support})"
+            )
+        if self.n_cfds and self._coarsest_values() < self.n_groups:
+            raise DataGenerationError(
+                "n_rows too small to fold the coarsest factor into "
+                f"{self.n_groups} condition groups"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def min_support(self) -> int:
+        """The smallest ``k`` with no accidental frequent constant pattern.
+
+        Value counts peak at the *coarsest* factor level,
+        ``rows_per_value · 2^(n_levels-1)`` — one above that, the frequent
+        patterns are exactly the empty pattern and the engineered condition
+        items (a coarsest value folds wholly into one condition group, so
+        even its pairing with a ``COND`` item never reaches this ``k``).
+        Discovery below this threshold still works but drowns in
+        accidental constant-pattern contexts.
+        """
+        return self.rows_per_value * 2 ** (self.n_levels - 1) + 1
+
+    @property
+    def n_groups(self) -> int:
+        """Number of condition-column groups (0 without embedded CFDs)."""
+        return max(2, self.n_cfds) if self.n_cfds else 0
+
+    @property
+    def n_levels(self) -> int:
+        """Coarsening levels per chain: value counts ``m·2^l`` stay ≤ n/4."""
+        levels = 1
+        count = self.rows_per_value * 2
+        while count <= max(2, self.n_rows // 4) and levels < 8:
+            levels += 1
+            count *= 2
+        n_base = len(self._base_names())
+        return max(1, min(levels, n_base // self.n_chains))
+
+    def _coarsest_values(self) -> int:
+        """Distinct values of a chain's coarsest level (analytic)."""
+        count = -(-self.n_rows // self.rows_per_value)
+        for _ in range(1, self.n_levels):
+            count = -(-count // 2)
+        return count
+
+    def _base_names(self) -> List[str]:
+        n_base = (
+            self.n_cols
+            - (1 if self.n_cfds else 0)
+            - self.n_fds
+            - self.n_cfds
+        )
+        return [f"B{i:03d}" for i in range(n_base)]
+
+    def _clusters(self) -> List[Tuple[int, int]]:
+        """The (chain, level) clusters, in column round-robin order."""
+        return [
+            (chain, level)
+            for chain in range(self.n_chains)
+            for level in range(self.n_levels)
+        ]
+
+    def _cluster_representative(self, chain: int, level: int) -> str:
+        """The first base column derived from factor ``(chain, level)``."""
+        index = self._clusters().index((chain, level))
+        return self._base_names()[index]  # column j → cluster j % len
+
+    def attribute_names(self) -> List[str]:
+        """``COND, B000.., F00.., C00..`` for the configured layout."""
+        names: List[str] = []
+        if self.n_cfds:
+            names.append("COND")
+        names.extend(self._base_names())
+        names.extend(f"F{i:02d}" for i in range(self.n_fds))
+        names.extend(f"C{i:02d}" for i in range(self.n_cfds))
+        return names
+
+    def _fd_factor_pair(self, index: int) -> Tuple[int, int]:
+        """Levels of the (chain 0, chain 1) factor pair behind ``F{index}``."""
+        levels = self.n_levels
+        return (index % levels, (index // levels) % levels)
+
+    def embedded_fds(self) -> List[Tuple[Tuple[str, str], str]]:
+        """The embedded FDs as ``((determinant_a, determinant_b), dependent)``.
+
+        The named determinants are cluster *representatives*; same-cluster
+        siblings (or finer levels of the same chain) combine into equally
+        valid LHS sets.
+        """
+        out = []
+        for i in range(self.n_fds):
+            level_a, level_b = self._fd_factor_pair(i)
+            pair = (
+                self._cluster_representative(0, level_a),
+                self._cluster_representative(1, level_b),
+            )
+            out.append((pair, f"F{i:02d}"))
+        return out
+
+    def embedded_cfds(self) -> List[Tuple[str, str, str]]:
+        """The embedded CFDs as ``(condition_value, source, target)``."""
+        return [
+            (f"g{i}", self._cluster_representative(i % self.n_chains, 0), f"C{i:02d}")
+            for i in range(self.n_cfds)
+        ]
+
+    def generate(self) -> Relation:
+        """Generate the relation."""
+        rng = np.random.default_rng(self.seed)
+        names = self.attribute_names()
+        n, m = self.n_rows, self.rows_per_value
+        columns: Dict[str, List[str]] = {}
+
+        # Factor chains: finest level drawn with exact counts, coarser
+        # levels merge value pairs (deterministic refinement).
+        chains: List[List[np.ndarray]] = []
+        for _ in range(self.n_chains):
+            levels = [_exact_count_codes(rng, n, m)]
+            for _ in range(1, self.n_levels):
+                levels.append(levels[-1] // 2)
+            chains.append(levels)
+
+        def factor_of(chain: int, level: int) -> np.ndarray:
+            return chains[chain][level]
+
+        def n_values_of(chain: int, level: int) -> int:
+            return int(factor_of(chain, level).max()) + 1
+
+        # Base columns: random bijections of their cluster's factor.
+        clusters = self._clusters()
+        for j, name in enumerate(self._base_names()):
+            chain, level = clusters[j % len(clusters)]
+            codes = factor_of(chain, level)
+            relabel = rng.permutation(n_values_of(chain, level))
+            columns[name] = [f"v{int(relabel[c])}" for c in codes]
+
+        # Embedded FDs: F = injective scrambling of a cross-chain factor
+        # pair's joint code, so the minimal LHS sets are exactly the
+        # two-column cross-chain combinations (no single chain suffices).
+        for i in range(self.n_fds):
+            level_a, level_b = self._fd_factor_pair(i)
+            codes_a = factor_of(0, level_a)
+            codes_b = factor_of(1, level_b)
+            width = n_values_of(1, level_b)
+            relabel = rng.permutation(n_values_of(0, level_a) * width)
+            joint = codes_a * width + codes_b
+            columns[f"F{i:02d}"] = [f"f{int(relabel[j])}" for j in joint]
+
+        # Embedded CFDs: within COND == g{i} the target is a bijection of
+        # its source factor; other rows carry row-unique sentinels so the
+        # dependency holds only conditionally and no accidental constant
+        # pattern forms.  COND itself folds chain 0's *coarsest* factor
+        # into the groups — were it independent noise, no engineered set
+        # would determine it and near-key attribute combinations would
+        # accidentally separate the groups in droves (the cover-explosion
+        # problem the chain structure exists to prevent).
+        if self.n_cfds:
+            group_codes = chains[0][-1] % self.n_groups
+            columns["COND"] = [f"g{int(c)}" for c in group_codes]
+            for i in range(self.n_cfds):
+                source = factor_of(i % self.n_chains, 0)
+                relabel = rng.permutation(n_values_of(i % self.n_chains, 0))
+                gated = group_codes == i
+                columns[f"C{i:02d}"] = [
+                    f"c{int(relabel[source[row]])}" if gated[row] else f"u{row}"
+                    for row in range(n)
+                ]
+
+        return Relation(names, columns)
+
+
+def wide_relation(
+    n_cols: int,
+    n_rows: int,
+    seed: int = 0,
+    *,
+    n_fds: int = 4,
+    n_cfds: int = 0,
+    rows_per_value: int = 6,
+    n_chains: int = DEFAULT_N_CHAINS,
+) -> Relation:
+    """Convenience wrapper around :class:`WideRelationGenerator`."""
+    return WideRelationGenerator(
+        n_cols=n_cols,
+        n_rows=n_rows,
+        seed=seed,
+        n_fds=n_fds,
+        n_cfds=n_cfds,
+        rows_per_value=rows_per_value,
+        n_chains=n_chains,
+    ).generate()
+
+
+__all__ = ["DEFAULT_N_CHAINS", "WideRelationGenerator", "wide_relation"]

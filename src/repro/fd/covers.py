@@ -11,15 +11,27 @@ optionally with the dynamic greedy reordering of Section 5.6.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
 
-AttributeSet = FrozenSet[int]
+from repro.relational.attrset import AttrSet
+
+AttributeSet = AttrSet
+
+
+def _member_elems(family: Iterable[AttributeSet]) -> List[frozenset]:
+    """Family members as plain frozensets (C-speed disjointness tests)."""
+    return [
+        member.as_frozenset if isinstance(member, AttrSet) else frozenset(member)
+        for member in family
+    ]
 
 
 def covers(candidate: Iterable[int], family: Iterable[AttributeSet]) -> bool:
     """``True`` iff ``candidate`` intersects every member of ``family``."""
-    candidate = set(candidate)
-    return all(candidate & member for member in family)
+    candidate = frozenset(candidate)
+    return all(
+        not candidate.isdisjoint(member) for member in _member_elems(family)
+    )
 
 
 def is_minimal_cover(candidate: Iterable[int], family: Iterable[AttributeSet]) -> bool:
@@ -27,12 +39,20 @@ def is_minimal_cover(candidate: Iterable[int], family: Iterable[AttributeSet]) -
 
     Because covering is monotone it suffices to test single-element removals.
     """
-    candidate = set(candidate)
-    family = list(family)
-    if not covers(candidate, family):
+    candidate = frozenset(candidate)
+    members = _member_elems(family)
+    if any(candidate.isdisjoint(member) for member in members):
         return False
+    return _no_redundant_element(candidate, members)
+
+
+def _no_redundant_element(
+    candidate: frozenset, members: List[frozenset]
+) -> bool:
+    """``True`` iff every element of a *covering* candidate is needed."""
     for element in candidate:
-        if covers(candidate - {element}, family):
+        reduced = candidate - {element}
+        if all(not reduced.isdisjoint(member) for member in members):
             return False
     return True
 
@@ -40,17 +60,25 @@ def is_minimal_cover(candidate: Iterable[int], family: Iterable[AttributeSet]) -
 def _order_by_cover_count(
     attributes: Sequence[int], family: Sequence[AttributeSet]
 ) -> List[int]:
-    """Attributes ordered by how many family members they cover (descending).
+    """Covering attributes ordered by how many family members they cover
+    (descending).
 
     Ties are broken by attribute index so the enumeration stays deterministic.
     This is the greedy cost model FastFD/FastCFD use for dynamic reordering.
+    Attributes covering *no* member are dropped: the remaining family only
+    shrinks along a branch, so they can never contribute to a minimal cover
+    deeper down — branching on them explores an exponential number of dead
+    ends on wide relations without ever yielding.
     """
     counts = {a: 0 for a in attributes}
     for member in family:
         for attribute in member:
             if attribute in counts:
                 counts[attribute] += 1
-    return sorted(attributes, key=lambda a: (-counts[a], a))
+    return sorted(
+        (a for a in attributes if counts[a]),
+        key=lambda a: (-counts[a], a),
+    )
 
 
 def minimal_covers(
@@ -58,7 +86,7 @@ def minimal_covers(
     attributes: Sequence[int],
     *,
     dynamic_reordering: bool = True,
-) -> Iterator[FrozenSet[int]]:
+) -> Iterator[AttrSet]:
     """Enumerate all minimal covers of ``family`` using ``attributes``.
 
     Parameters
@@ -74,35 +102,50 @@ def minimal_covers(
 
     Yields
     ------
-    frozenset of int
-        Each minimal cover exactly once.
+    AttrSet
+        Each minimal cover exactly once (hash/eq-compatible with the
+        equivalent ``frozenset``).
 
     Notes
     -----
-    * An empty family is covered by the empty set only (yields ``frozenset()``).
+    * An empty family is covered by the empty set only (yields ``AttrSet()``).
     * If some member of the family is empty no cover exists and nothing is
       yielded.
     """
-    family = [frozenset(member) for member in family]
+    family = [
+        member if isinstance(member, AttrSet) else AttrSet(member)
+        for member in family
+    ]
     if any(not member for member in family):
         return
-    seen: Set[FrozenSet[int]] = set()
+    member_elems = _member_elems(family)
+    seen: Set[AttrSet] = set()
 
     def recurse(current: Tuple[int, ...], remaining: List[AttributeSet],
-                available: Sequence[int]) -> Iterator[FrozenSet[int]]:
+                available: Sequence[int]) -> Iterator[AttrSet]:
         if not remaining:
-            candidate = frozenset(current)
-            if candidate not in seen and is_minimal_cover(candidate, family):
+            # ``current`` covers by construction (each branch removed the
+            # members containing the chosen attribute) — only minimality
+            # still needs checking.
+            candidate = AttrSet(current)
+            if candidate not in seen and _no_redundant_element(
+                candidate.as_frozenset, member_elems
+            ):
                 seen.add(candidate)
                 yield candidate
             return
         if not available:
             return
-        order = (
-            _order_by_cover_count(available, remaining)
-            if dynamic_reordering
-            else list(available)
-        )
+        if dynamic_reordering:
+            order = _order_by_cover_count(available, remaining)
+        else:
+            # Same dead-end pruning as the reordered path, keeping the
+            # plain left-to-right attribute order.
+            order = [
+                a
+                for a in available
+                if any(a in member for member in remaining)
+            ]
         for position, attribute in enumerate(order):
             next_remaining = [m for m in remaining if attribute not in m]
             next_available = order[position + 1:]

@@ -10,32 +10,38 @@ and, crucially, with its *minimal* elements ``Dᵐ_A(r)``: a set of attributes
 ``Y`` covers ``Dᵐ_A(r)`` iff the FD/CFD with LHS ``Y`` (and wildcards) holds.
 
 The functions here operate on encoded integer matrices (optionally restricted
-to a row subset) and use bitmask tricks so that the inner pairwise loop stays
-inside numpy.  The complexity is inherently quadratic in the number of
-distinct rows — that is exactly the behaviour the paper observes for
-NaiveFast, and the closed-item-set based provider in
-:mod:`repro.core.fastcfd` exists to avoid it.
+to a row subset) and keep the inner pairwise loop inside numpy.  Two
+interchangeable encodings back the scan, selected by relation width behind
+the same interface:
+
+* **arity ≤ 62** — the historical int64 ``1 << attr`` bitmask path: one
+  shifted-OR accumulation per column, deduplicated per block with
+  ``np.bincount``/``np.unique``.
+* **arity > 62** — a width-unbounded path: the boolean difference rows of a
+  block are packed with :func:`numpy.packbits` into ``ceil(arity/8)``-byte
+  rows, deduplicated per block with ``np.unique(axis=0)``, and accumulated
+  as a set of ``bytes``.
+
+Both return :class:`~repro.relational.attrset.AttrSet` families.  The
+complexity is inherently quadratic in the number of distinct rows — that is
+exactly the behaviour the paper observes for NaiveFast, and the closed-item-
+set based provider in :mod:`repro.core.fastcfd` exists to avoid it.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
-AttributeSet = FrozenSet[int]
+from repro.relational.attrset import AttrSet, pack_bool_rows
 
+AttributeSet = AttrSet
 
-def _bitmask_to_attrs(mask: int, exclude: Optional[int] = None) -> AttributeSet:
-    """Decode a difference bitmask into a frozenset of attribute indices."""
-    attrs = []
-    index = 0
-    while mask:
-        if mask & 1 and index != exclude:
-            attrs.append(index)
-        mask >>= 1
-        index += 1
-    return frozenset(attrs)
+#: Widest relation the int64 bitmask fast path can encode (bit 63 is the
+#: sign bit).  Above this the packbits path takes over — same interface,
+#: no width ceiling.
+BITMASK_MAX_ARITY = 62
 
 
 #: Per-block working-set target for the blocked pairwise comparison
@@ -48,7 +54,8 @@ def _pairwise_difference_bitmasks(
     require_attr: Optional[int] = None,
     block_rows: Optional[int] = None,
 ) -> Set[int]:
-    """Distinct difference bitmasks over all row pairs of ``matrix``.
+    """Distinct difference bitmasks over all row pairs of ``matrix``
+    (arity ≤ :data:`BITMASK_MAX_ARITY`).
 
     When ``require_attr`` is given only pairs differing on that attribute are
     reported.  Duplicate rows are removed first; identical rows produce the
@@ -66,8 +73,6 @@ def _pairwise_difference_bitmasks(
         return set()
     unique = np.unique(matrix, axis=0)
     n, arity = unique.shape
-    if arity > 62:
-        raise ValueError("bitmask difference sets support at most 62 attributes")
     masks: Set[int] = set()
     if n < 2:
         return masks
@@ -109,14 +114,90 @@ def _pairwise_difference_bitmasks(
     return masks
 
 
+def _pairwise_difference_bitrows(
+    matrix: np.ndarray,
+    require_attr: Optional[int] = None,
+    block_rows: Optional[int] = None,
+) -> Set[bytes]:
+    """Distinct packed difference rows over all row pairs of ``matrix`` —
+    the width-unbounded twin of :func:`_pairwise_difference_bitmasks`.
+
+    Each pair's boolean difference vector is packed with ``np.packbits``
+    into a ``ceil(arity/8)``-byte row; byte-equality of packed rows is
+    set-equality of the difference sets, so per-block ``np.unique(axis=0)``
+    plus a ``bytes`` accumulator deduplicates exactly like the int64 masks.
+    """
+    if matrix.shape[0] == 0:
+        return set()
+    unique = np.unique(matrix, axis=0)
+    n, arity = unique.shape
+    packed_rows: Set[bytes] = set()
+    if n < 2:
+        return packed_rows
+    if block_rows is None:
+        # One block materialises up to block_rows × n × arity boolean cells.
+        block_rows = max(1, _BLOCK_BUDGET_BYTES // max(1, n * arity))
+
+    def pair_rows(block: np.ndarray, others: np.ndarray) -> np.ndarray:
+        return (block[:, None, :] != others[None, :, :]).reshape(-1, arity)
+
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        block = unique[start:stop]
+        segments: List[np.ndarray] = []
+        if stop - start > 1:
+            diff = block[:, None, :] != block[None, :, :]
+            segments.append(diff[np.triu_indices(stop - start, k=1)])
+        if stop < n:
+            segments.append(pair_rows(block, unique[stop:n]))
+        for segment in segments:
+            if require_attr is not None:
+                segment = segment[segment[:, require_attr]]
+            if segment.shape[0] == 0:
+                continue
+            distinct = np.unique(pack_bool_rows(segment), axis=0)
+            packed_rows.update(row.tobytes() for row in distinct)
+    empty = bytes((arity + 7) // 8)
+    packed_rows.discard(empty)
+    return packed_rows
+
+
+def _pairwise_difference_attrsets(
+    matrix: np.ndarray,
+    require_attr: Optional[int] = None,
+    exclude: Optional[int] = None,
+    block_rows: Optional[int] = None,
+) -> Set[AttrSet]:
+    """Distinct non-empty difference sets over all row pairs of ``matrix``.
+
+    Duplicate rows are removed first; identical rows produce the empty
+    difference set which never matters for covers.  Dispatches to the int64
+    bitmask fast path when the arity fits, the packbits path otherwise.
+    """
+    arity = matrix.shape[1]
+    if arity <= BITMASK_MAX_ARITY:
+        masks = _pairwise_difference_bitmasks(matrix, require_attr, block_rows)
+        return {AttrSet.from_bitmask(mask, exclude=exclude) for mask in masks}
+    packed = _pairwise_difference_bitrows(matrix, require_attr, block_rows)
+    out = set()
+    for row in packed:
+        bits = np.unpackbits(np.frombuffer(row, dtype=np.uint8), count=arity)
+        attrs = np.nonzero(bits)[0]
+        if exclude is not None:
+            attrs = attrs[attrs != exclude]
+        # A pair differing *only* on the excluded RHS decodes to the empty
+        # set — kept: an empty member of D_A(r) means no LHS can work.
+        out.add(AttrSet.from_indices(attrs))
+    return out
+
+
 def difference_sets(
     matrix: np.ndarray, rows: Optional[Sequence[int]] = None
 ) -> Set[AttributeSet]:
     """``D(r)``: the distinct non-empty difference sets over all tuple pairs."""
     if rows is not None:
         matrix = matrix[np.asarray(rows, dtype=np.int64), :]
-    masks = _pairwise_difference_bitmasks(matrix)
-    return {_bitmask_to_attrs(mask) for mask in masks}
+    return _pairwise_difference_attrsets(matrix)
 
 
 def difference_sets_wrt(
@@ -127,13 +208,12 @@ def difference_sets_wrt(
     """``D_A(r)``: difference sets of pairs disagreeing on ``rhs``, with ``rhs`` removed."""
     if rows is not None:
         matrix = matrix[np.asarray(rows, dtype=np.int64), :]
-    masks = _pairwise_difference_bitmasks(matrix, require_attr=rhs)
-    return {_bitmask_to_attrs(mask, exclude=rhs) for mask in masks}
+    return _pairwise_difference_attrsets(matrix, require_attr=rhs, exclude=rhs)
 
 
 def minimal_sets(family: Iterable[AttributeSet]) -> Set[AttributeSet]:
     """The ⊆-minimal members of a family of attribute sets."""
-    ordered = sorted(set(family), key=len)
+    ordered = sorted(set(family), key=lambda member: (len(member), sorted(member)))
     minimal: List[AttributeSet] = []
     for candidate in ordered:
         if not any(kept <= candidate for kept in minimal):
@@ -152,6 +232,7 @@ def minimal_difference_sets_wrt(
 
 __all__ = [
     "AttributeSet",
+    "BITMASK_MAX_ARITY",
     "difference_sets",
     "difference_sets_wrt",
     "minimal_sets",

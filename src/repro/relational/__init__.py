@@ -3,6 +3,9 @@
 This subpackage provides the storage layer shared by every discovery
 algorithm in the library:
 
+* :class:`~repro.relational.attrset.AttrSet` — the width-unbounded frozen
+  attribute-index set every engine's difference sets, covers and lattice
+  nodes are built from (frozenset-compatible hashing, sorted iteration).
 * :class:`~repro.relational.schema.Schema` — an ordered set of named
   attributes.
 * :class:`~repro.relational.relation.Relation` — an immutable, column
@@ -14,6 +17,12 @@ algorithm in the library:
 * :mod:`~repro.relational.io` — CSV import/export helpers.
 """
 
+from repro.relational.attrset import (
+    AttrSet,
+    EMPTY_ATTRSET,
+    attrset_from_packed,
+    pack_bool_rows,
+)
 from repro.relational.schema import Attribute, Schema
 from repro.relational.encoding import ColumnEncoder, RelationEncoding
 from repro.relational.relation import Relation
@@ -25,6 +34,10 @@ from repro.relational.partition import (
 from repro.relational.io import read_csv, write_csv
 
 __all__ = [
+    "AttrSet",
+    "EMPTY_ATTRSET",
+    "attrset_from_packed",
+    "pack_bool_rows",
     "Attribute",
     "Schema",
     "ColumnEncoder",

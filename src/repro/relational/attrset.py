@@ -1,0 +1,286 @@
+"""Width-unbounded attribute sets.
+
+Every discovery engine reasons about *sets of attribute indices* — difference
+sets, minimal covers, lattice nodes, closed-item-set complements.  The
+original representation leaned on ``1 << attr`` int64 bitmasks, which caps a
+relation at 62 attributes.  :class:`AttrSet` replaces that with a frozen,
+sorted tuple of ``int`` indices plus numpy index-array batch helpers, so the
+same code path serves a 4-column toy table and a 500-column log schema.
+
+Design constraints (load-bearing — the whole test suite relies on them):
+
+* **frozenset compatibility.**  ``AttrSet`` subclasses
+  :class:`collections.abc.Set` and hashes with ``Set._hash()``, the same
+  algorithm CPython's ``frozenset`` uses.  ``AttrSet({1, 2}) ==
+  frozenset({1, 2})`` and both land in the same hash bucket, so families that
+  mix the two (e.g. a store-rehydrated query cache of plain frozensets merged
+  into live ``AttrSet`` results) behave as one coherent set family.
+* **deterministic iteration.**  Iteration yields indices in ascending order,
+  so an ``AttrSet`` never needs ``sorted(...)`` guards to satisfy the REP006
+  determinism lint — engines can iterate it directly into output.
+* **batch decode.**  The pairwise difference-set scan above 62 attributes
+  packs boolean difference rows with :func:`numpy.packbits`;
+  :func:`attrset_from_packed` decodes one packed row back into an
+  :class:`AttrSet` without a Python-level bit loop.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Set as _AbstractSet
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+
+class AttrSet(_AbstractSet):
+    """A frozen, ordered set of attribute indices (width-unbounded).
+
+    Supports the full :class:`collections.abc.Set` operator algebra
+    (``&``, ``|``, ``-``, ``^``, ``<=`` …) against any other set type;
+    operator results are again ``AttrSet``.  Comparisons and binary
+    operators against another ``AttrSet`` (or a builtin ``set`` /
+    ``frozenset``) take C-speed :class:`frozenset` fast paths — the walk
+    engines hammer ``<=`` and ``-`` millions of times per discovery run.
+    """
+
+    __slots__ = ("_attrs", "_elems", "_hashcode")
+
+    _attrs: Tuple[int, ...]
+    _elems: FrozenSet[int]
+
+    def __init__(self, attrs: Iterable[int] = ()):
+        elems = frozenset({int(a) for a in attrs})
+        object.__setattr__(self, "_attrs", tuple(sorted(elems)))
+        object.__setattr__(self, "_elems", elems)
+        object.__setattr__(self, "_hashcode", None)
+
+    @classmethod
+    def _from_iterable(cls, iterable: Iterable[int]) -> "AttrSet":
+        # collections.abc.Set builds operator results through this hook.
+        return cls(iterable)
+
+    @classmethod
+    def _from_sorted(
+        cls, attrs: Tuple[int, ...], elems: FrozenSet[int]
+    ) -> "AttrSet":
+        # Internal fast path: callers guarantee attrs == tuple(sorted(elems)).
+        self = object.__new__(cls)
+        object.__setattr__(self, "_attrs", attrs)
+        object.__setattr__(self, "_elems", elems)
+        object.__setattr__(self, "_hashcode", None)
+        return self
+
+    @classmethod
+    def _from_frozenset(cls, elems: FrozenSet[int]) -> "AttrSet":
+        return cls._from_sorted(tuple(sorted(elems)), elems)
+
+    @classmethod
+    def of(cls, *attrs: int) -> "AttrSet":
+        """``AttrSet.of(3, 1, 4)`` — variadic constructor."""
+        return cls(attrs)
+
+    @classmethod
+    def full(cls, arity: int) -> "AttrSet":
+        """The complete attribute set ``{0, …, arity - 1}``."""
+        return cls(range(arity))
+
+    @classmethod
+    def from_indices(cls, indices: np.ndarray) -> "AttrSet":
+        """Build from a numpy index array (any integer dtype)."""
+        return cls(int(a) for a in np.asarray(indices).ravel())
+
+    @classmethod
+    def from_bitmask(cls, mask: int, exclude: Optional[int] = None) -> "AttrSet":
+        """Decode a ``1 << attr`` difference bitmask (any width — Python
+        ints are unbounded; only the *numpy* bitmask pipeline caps at 62)."""
+        attrs = []
+        index = 0
+        while mask:
+            if mask & 1 and index != exclude:
+                attrs.append(index)
+            mask >>= 1
+            index += 1
+        return cls(attrs)
+
+    # -- core Set protocol ------------------------------------------------ #
+    def __contains__(self, attr: object) -> bool:
+        if type(attr) is int:
+            return attr in self._elems
+        try:
+            needle = int(attr)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+        return needle in self._elems
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __hash__(self) -> int:
+        code = self._hashcode
+        if code is None:
+            # frozenset's hash is the Set._hash() algorithm: AttrSet and
+            # frozenset of the same indices collide into the same bucket.
+            code = hash(self._elems)
+            object.__setattr__(self, "_hashcode", code)
+        return code
+
+    # -- frozenset fast paths --------------------------------------------- #
+    @staticmethod
+    def _as_elems(other: object) -> Optional[FrozenSet[int]]:
+        if isinstance(other, AttrSet):
+            return other._elems
+        if isinstance(other, (set, frozenset)):
+            return other  # type: ignore[return-value]
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        elems = self._as_elems(other)
+        if elems is None:
+            return super().__eq__(other)
+        return self._elems == elems
+
+    def __ne__(self, other: object) -> bool:
+        elems = self._as_elems(other)
+        if elems is None:
+            return super().__ne__(other)
+        return self._elems != elems
+
+    def __le__(self, other) -> bool:
+        elems = self._as_elems(other)
+        if elems is None:
+            return super().__le__(other)
+        return self._elems <= elems
+
+    def __lt__(self, other) -> bool:
+        elems = self._as_elems(other)
+        if elems is None:
+            return super().__lt__(other)
+        return self._elems < elems
+
+    def __ge__(self, other) -> bool:
+        elems = self._as_elems(other)
+        if elems is None:
+            return super().__ge__(other)
+        return self._elems >= elems
+
+    def __gt__(self, other) -> bool:
+        elems = self._as_elems(other)
+        if elems is None:
+            return super().__gt__(other)
+        return self._elems > elems
+
+    def isdisjoint(self, other: Iterable[int]) -> bool:
+        elems = self._as_elems(other)
+        if elems is None:
+            return super().isdisjoint(other)
+        return self._elems.isdisjoint(elems)
+
+    def __and__(self, other) -> "AttrSet":
+        elems = self._as_elems(other)
+        if elems is None:
+            return super().__and__(other)
+        return AttrSet._from_frozenset(self._elems & elems)
+
+    def __or__(self, other) -> "AttrSet":
+        elems = self._as_elems(other)
+        if elems is None:
+            return super().__or__(other)
+        return AttrSet._from_frozenset(self._elems | elems)
+
+    def __sub__(self, other) -> "AttrSet":
+        elems = self._as_elems(other)
+        if elems is None:
+            return super().__sub__(other)
+        return AttrSet._from_frozenset(self._elems - elems)
+
+    def __xor__(self, other) -> "AttrSet":
+        elems = self._as_elems(other)
+        if elems is None:
+            return super().__xor__(other)
+        return AttrSet._from_frozenset(self._elems ^ elems)
+
+    def __repr__(self) -> str:
+        return f"AttrSet({list(self._attrs)!r})"
+
+    def __reduce__(self):
+        return (AttrSet, (self._attrs,))
+
+    # -- convenience views ------------------------------------------------ #
+    @property
+    def as_tuple(self) -> Tuple[int, ...]:
+        """The backing sorted tuple of attribute indices."""
+        return self._attrs
+
+    @property
+    def as_frozenset(self) -> FrozenSet[int]:
+        """The backing :class:`frozenset` (for C-speed bulk set algebra)."""
+        return self._elems
+
+    @property
+    def indices(self) -> np.ndarray:
+        """The indices as an ``int64`` array (for fancy-indexing columns)."""
+        return np.fromiter(self._attrs, dtype=np.int64, count=len(self._attrs))
+
+    def bitmask(self) -> int:
+        """The ``1 << attr`` encoding as an unbounded Python int."""
+        mask = 0
+        for attr in self._attrs:
+            mask |= 1 << attr
+        return mask
+
+    def add(self, attr: int) -> "AttrSet":
+        """A new set with ``attr`` added (frozen sets never mutate)."""
+        attr = int(attr)
+        if attr in self._elems:
+            return self
+        position = bisect_left(self._attrs, attr)
+        attrs = self._attrs[:position] + (attr,) + self._attrs[position:]
+        return AttrSet._from_sorted(attrs, self._elems | {attr})
+
+    def discard(self, attr: int) -> "AttrSet":
+        """A new set with ``attr`` removed (no-op when absent)."""
+        attr = int(attr)
+        if attr not in self._elems:
+            return self
+        attrs = tuple(a for a in self._attrs if a != attr)
+        return AttrSet._from_sorted(attrs, self._elems - {attr})
+
+
+#: The canonical empty attribute set (shared — AttrSet is immutable).
+EMPTY_ATTRSET = AttrSet()
+
+
+def pack_bool_rows(rows: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, arity)`` boolean matrix into ``(n, ceil(arity/8))``
+    uint8 rows (:func:`numpy.packbits` along axis 1).
+
+    Two packed rows are byte-equal iff the attribute sets are equal, so the
+    packed form deduplicates with ``np.unique(axis=0)`` or a ``set`` of
+    ``bytes`` — the width-unbounded analogue of deduplicating int64 bitmasks.
+    """
+    return np.packbits(np.asarray(rows, dtype=bool), axis=1)
+
+
+def attrset_from_packed(
+    packed: bytes, arity: int, exclude: Optional[int] = None
+) -> AttrSet:
+    """Decode one :func:`pack_bool_rows` row back into an :class:`AttrSet`."""
+    bits = np.unpackbits(
+        np.frombuffer(packed, dtype=np.uint8), count=int(arity)
+    )
+    attrs = np.nonzero(bits)[0]
+    if exclude is not None:
+        attrs = attrs[attrs != exclude]
+    return AttrSet.from_indices(attrs)
+
+
+__all__ = [
+    "AttrSet",
+    "EMPTY_ATTRSET",
+    "attrset_from_packed",
+    "pack_bool_rows",
+]

@@ -194,43 +194,55 @@ class TestExecution:
             Profiler(relation).run(DiscoveryRequest(algorithm="nope"))
 
 
-class TestEngineErrorTranslation:
+class TestWideRelations:
+    """Every engine serves >62-attribute relations (the old pairwise bitmask
+    path raised a ValueError there; it now switches to packed boolean rows).
+    """
+
     @pytest.fixture
     def wide_relation(self) -> Relation:
-        """63 attributes: beyond the pairwise bitmask provider's 62 limit."""
+        """63 attributes: just beyond the int64 bitmask fast path."""
         arity = 63
         names = [f"A{i}" for i in range(arity)]
         rows = [
             tuple(f"x{i}" for i in range(arity)),
             tuple(f"y{i}" for i in range(arity)),
+            tuple(f"x{i}" if i % 2 else f"z{i}" for i in range(arity)),
         ]
         return Relation.from_rows(names, rows)
 
-    def test_bitmask_limit_surfaces_as_discovery_error(self, wide_relation):
-        """Regression: the >62-attribute ValueError of
-        _pairwise_difference_bitmasks used to escape execute() untranslated."""
+    def test_naivefast_serves_beyond_the_bitmask_limit(self, wide_relation):
+        """Regression: the pairwise provider used to raise at 63 attributes."""
         request = DiscoveryRequest(min_support=2, algorithm="naivefast")
-        with pytest.raises(DiscoveryError, match="62 attributes"):
-            execute(wide_relation, request)
+        result = execute(wide_relation, request)
+        assert result.algorithm == "naivefast"
 
-    def test_translation_applies_with_a_session_too(self, wide_relation):
+    def test_wide_relations_with_a_session_too(self, wide_relation):
         request = DiscoveryRequest(min_support=2, algorithm="naivefast")
         profiler = Profiler(wide_relation)
-        with pytest.raises(DiscoveryError, match="62 attributes"):
-            profiler.run(request)
-        # The failed build was evicted: a retry re-raises (it does not hang
-        # on a poisoned future) and still reports cleanly.
-        with pytest.raises(DiscoveryError, match="62 attributes"):
-            profiler.run(request)
+        first = profiler.run(request)
+        second = profiler.run(request)
+        assert [repr(c) for c in first.cfds] == [repr(c) for c in second.cfds]
 
-    def test_wide_relations_still_served_by_the_closed_provider(
-        self, wide_relation
-    ):
-        """FastCFD proper has no bitmask limit; only NaiveFast does."""
-        result = execute(
-            wide_relation, DiscoveryRequest(min_support=2, algorithm="fastcfd")
+    def test_engines_agree_beyond_the_bitmask_limit(self, wide_relation):
+        covers = {}
+        for algorithm in ("fastcfd", "naivefast", "dfd"):
+            # min_support = |r| keeps the walk on the pure-FD contexts; the
+            # seeded oracle tests cover the conditional contexts widely.
+            result = execute(
+                wide_relation,
+                DiscoveryRequest(min_support=3, algorithm=algorithm),
+            )
+            covers[algorithm] = sorted(repr(c) for c in result.cfds)
+        assert covers["fastcfd"] == covers["naivefast"] == covers["dfd"]
+
+    def test_auto_routes_wide_requests_to_dfd(self):
+        relation = Relation.from_rows(
+            [f"A{i}" for i in range(70)],
+            [tuple(i % 3 for i in range(70)), tuple(i % 5 for i in range(70))],
         )
-        assert result.algorithm == "fastcfd"
+        result = execute(relation, DiscoveryRequest(min_support=1))
+        assert result.algorithm == "dfd"
 
 
 class TestProgress:

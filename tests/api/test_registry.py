@@ -79,14 +79,32 @@ class TestRegistration:
 
 
 class TestGlobalRegistry:
-    def test_all_four_engines_registered(self):
-        assert REGISTRY.names() == ("cfdminer", "ctane", "fastcfd", "naivefast")
+    def test_all_five_engines_registered(self):
+        assert REGISTRY.names() == (
+            "cfdminer",
+            "ctane",
+            "fastcfd",
+            "naivefast",
+            "dfd",
+        )
 
     def test_capability_metadata_of_the_paper_toolbox(self):
         assert not REGISTRY.capabilities_of("cfdminer").variable_cfds
         assert REGISTRY.capabilities_of("ctane").prefers_high_support
         assert REGISTRY.capabilities_of("fastcfd").handles_wide_relations
         assert not REGISTRY.capabilities_of("naivefast").auto_candidate
+        assert REGISTRY.capabilities_of("dfd").handles_wide_relations
+
+    def test_quantitative_width_ceilings(self):
+        assert REGISTRY.capabilities_of("ctane").max_auto_arity == 17
+        assert REGISTRY.capabilities_of("fastcfd").max_auto_arity == 62
+        assert REGISTRY.capabilities_of("dfd").max_auto_arity is None
+        assert REGISTRY.capabilities_of("cfdminer").max_auto_arity is None
+
+    def test_dfd_reports_walk_stats(self):
+        reported = REGISTRY.capabilities_of("dfd").reported_stats
+        for counter in ("nodes_visited", "partitions_computed", "restarts"):
+            assert counter in reported
 
 
 class TestCapabilityDrivenSelection:
@@ -95,6 +113,27 @@ class TestCapabilityDrivenSelection:
             [f"A{i}" for i in range(12)], [tuple(range(12)), tuple(range(12))]
         )
         assert REGISTRY.select(wide, DiscoveryRequest(min_support=2)) == "fastcfd"
+
+    def test_beyond_bitmask_width_prefers_dfd(self):
+        # Above FastCFD's declared 62-attribute ceiling, auto dispatches to
+        # the width-unbounded random-walk engine.
+        very_wide = Relation.from_rows(
+            [f"A{i}" for i in range(120)],
+            [tuple(range(120)), tuple(range(120))],
+        )
+        request = DiscoveryRequest(min_support=2)
+        assert REGISTRY.select(very_wide, request) == "dfd"
+
+    def test_bitmask_width_boundary(self):
+        at_limit = Relation.from_rows(
+            [f"A{i}" for i in range(62)], [tuple(range(62))]
+        )
+        just_over = Relation.from_rows(
+            [f"A{i}" for i in range(63)], [tuple(range(63))]
+        )
+        request = DiscoveryRequest(min_support=1)
+        assert REGISTRY.select(at_limit, request) == "fastcfd"
+        assert REGISTRY.select(just_over, request) == "dfd"
 
     def test_high_support_prefers_ctane(self, relation):
         # k/|r| = 0.5 is above the cutoff.

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.cfdminer import CFDMiner
 from repro.core.ctane import CTane
+from repro.core.dfd import DFD
 from repro.core.discovery import ALGORITHMS, choose_algorithm, discover
 from repro.core.fastcfd import FastCFD, NaiveFast
 from repro.exceptions import DiscoveryError
@@ -15,12 +16,16 @@ DIRECT = {
     "ctane": CTane,
     "fastcfd": FastCFD,
     "naivefast": NaiveFast,
+    "dfd": DFD,
 }
 
 
 class TestDiscoverShim:
-    def test_algorithms_tuple_unchanged(self):
-        assert ALGORITHMS == ("cfdminer", "ctane", "fastcfd", "naivefast", "auto")
+    def test_algorithms_tuple_tracks_the_registry(self):
+        # The seed names stay, in order; later PRs may append engines.
+        assert ALGORITHMS == (
+            "cfdminer", "ctane", "fastcfd", "naivefast", "dfd", "auto"
+        )
 
     @pytest.mark.parametrize("algorithm", sorted(DIRECT))
     def test_identical_cover_to_seed_api(self, cust_relation, algorithm):

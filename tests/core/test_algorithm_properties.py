@@ -16,6 +16,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.bruteforce import discover_bruteforce
 from repro.core.cfdminer import CFDMiner
 from repro.core.ctane import CTane
+from repro.core.dfd import DFD
 from repro.core.fastcfd import FastCFD, NaiveFast
 from repro.core.implication import is_implied_by_cover
 from repro.core.minimality import is_minimal
@@ -79,3 +80,17 @@ def test_ctane_and_fastcfd_agree_on_constant_cfds(relation, k):
     ctane = {c for c in CTane(relation, k).discover() if c.is_constant}
     fastcfd = {c for c in FastCFD(relation, k).discover() if c.is_constant}
     assert ctane == fastcfd
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    relation=small_relations(max_rows=7, n_cols=4, domain=2),
+    k=SUPPORTS,
+    walk_seed=st.integers(0, 3),
+)
+def test_dfd_equals_fastcfd(relation, k, walk_seed):
+    """The random walk confirms exactly FastCFD's cover (FastFD lemma), for
+    any walk seed."""
+    dfd = set(DFD(relation, k, seed=walk_seed).discover())
+    fastcfd = set(FastCFD(relation, k).discover())
+    assert dfd == fastcfd

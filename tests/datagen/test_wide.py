@@ -1,0 +1,117 @@
+"""Tests for the wide-relation generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datagen.wide import WideRelationGenerator, wide_relation
+from repro.exceptions import DataGenerationError
+
+
+def functional(relation, lhs_names, rhs_name):
+    """``True`` iff ``lhs_names → rhs_name`` holds exactly on the relation."""
+    mapping = {}
+    lhs_cols = [relation.column(a) for a in lhs_names]
+    rhs_col = relation.column(rhs_name)
+    for row in range(relation.n_rows):
+        key = tuple(col[row] for col in lhs_cols)
+        if mapping.setdefault(key, rhs_col[row]) != rhs_col[row]:
+            return False
+    return True
+
+
+class TestShape:
+    def test_dimensions_and_names(self):
+        gen = WideRelationGenerator(n_cols=30, n_rows=96, seed=0, n_fds=3, n_cfds=2)
+        relation = gen.generate()
+        assert relation.arity == 30
+        assert relation.n_rows == 96
+        names = relation.attributes
+        assert names[0] == "COND"
+        assert names[-2:] == ("C00", "C01")
+        assert tuple(gen.attribute_names()) == names
+
+    def test_supports_hundred_plus_columns(self):
+        relation = wide_relation(n_cols=150, n_rows=48, seed=1)
+        assert relation.arity == 150
+        assert relation.n_rows == 48
+
+    def test_no_condition_column_without_cfds(self):
+        gen = WideRelationGenerator(n_cols=12, n_rows=24, seed=0, n_fds=1, n_cfds=0)
+        assert "COND" not in gen.attribute_names()
+
+
+class TestDeterminism:
+    def test_same_seed_same_relation(self):
+        first = wide_relation(n_cols=40, n_rows=48, seed=9, n_fds=2, n_cfds=2)
+        second = wide_relation(n_cols=40, n_rows=48, seed=9, n_fds=2, n_cfds=2)
+        assert first.attributes == second.attributes
+        assert list(first.rows()) == list(second.rows())
+
+    def test_different_seed_different_relation(self):
+        first = wide_relation(n_cols=40, n_rows=48, seed=0)
+        second = wide_relation(n_cols=40, n_rows=48, seed=1)
+        assert list(first.rows()) != list(second.rows())
+
+
+class TestEmbeddedDependencies:
+    def test_embedded_fds_hold(self):
+        gen = WideRelationGenerator(n_cols=30, n_rows=96, seed=0, n_fds=3, n_cfds=2)
+        relation = gen.generate()
+        for lhs, rhs in gen.embedded_fds():
+            assert functional(relation, lhs, rhs), f"{lhs} -> {rhs}"
+
+    def test_embedded_cfds_hold_only_in_group(self):
+        gen = WideRelationGenerator(n_cols=30, n_rows=96, seed=0, n_fds=3, n_cfds=2)
+        relation = gen.generate()
+        cond = relation.column("COND")
+        for group, source, target in gen.embedded_cfds():
+            src_col = relation.column(source)
+            tgt_col = relation.column(target)
+            in_group = [r for r in range(relation.n_rows) if cond[r] == group]
+            assert len(in_group) >= gen.min_support
+            mapping = {}
+            for r in in_group:
+                assert mapping.setdefault(src_col[r], tgt_col[r]) == tgt_col[r]
+            outside = [tgt_col[r] for r in range(relation.n_rows) if cond[r] != group]
+            # Row-unique sentinels outside the group: no accidental support.
+            assert len(set(outside)) == len(outside)
+
+    def test_base_column_is_not_globally_unique(self):
+        gen = WideRelationGenerator(n_cols=30, n_rows=96, seed=0, n_fds=3, n_cfds=2)
+        relation = gen.generate()
+        counts = Counter(relation.column("B000"))
+        assert max(counts.values()) >= 2
+
+
+class TestMinSupport:
+    def test_no_accidental_frequent_value(self):
+        """At the derived threshold the only frequent values are the
+        condition groups — every other column's counts stay below it."""
+        gen = WideRelationGenerator(n_cols=30, n_rows=96, seed=0, n_fds=3, n_cfds=2)
+        relation = gen.generate()
+        k = gen.min_support
+        for name in relation.attributes:
+            counts = Counter(relation.column(name))
+            if name == "COND":
+                assert all(count >= k for count in counts.values())
+            else:
+                assert max(counts.values()) < k, name
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_cols=1, n_rows=10),
+            dict(n_cols=10, n_rows=0),
+            dict(n_cols=10, n_rows=10, n_fds=-1),
+            dict(n_cols=10, n_rows=10, rows_per_value=0),
+            dict(n_cols=10, n_rows=10, n_chains=1),
+            dict(n_cols=4, n_rows=10, n_fds=3, n_cfds=2),
+            dict(n_cols=30, n_rows=8, n_cfds=2),
+        ],
+    )
+    def test_rejected_configurations(self, kwargs):
+        with pytest.raises(DataGenerationError):
+            WideRelationGenerator(**kwargs)

@@ -48,9 +48,24 @@ class TestDifferenceSets:
     def test_empty_matrix(self):
         assert difference_sets(np.empty((0, 3), dtype=np.int32)) == set()
 
-    def test_wide_matrix_rejected(self):
-        with pytest.raises(ValueError):
-            difference_sets(np.zeros((2, 70), dtype=np.int32))
+    def test_wide_matrix_served_by_packbits_path(self):
+        # 70 attributes exceeds the int64 bitmask ceiling; the packbits
+        # path serves it through the same interface instead of raising.
+        matrix = np.zeros((3, 70), dtype=np.int32)
+        matrix[1, 5] = 1
+        matrix[2, 5] = 1
+        matrix[2, 69] = 2
+        assert difference_sets(matrix) == {
+            frozenset({5}),
+            frozenset({69}),
+            frozenset({5, 69}),
+        }
+
+    def test_wide_matrix_wrt_keeps_empty_member(self):
+        # A pair differing only on the RHS must contribute frozenset().
+        matrix = np.zeros((2, 70), dtype=np.int32)
+        matrix[1, 7] = 1
+        assert difference_sets_wrt(matrix, 7) == {frozenset()}
 
 
 class TestDifferenceSetsWrt:
@@ -133,3 +148,42 @@ class TestBlockedBitmasks:
         full = _pairwise_difference_bitmasks(matrix)
         for block_rows in (1, 2, 3, 100):
             assert _pairwise_difference_bitmasks(matrix, block_rows=block_rows) == full
+
+
+class TestPackbitsPath:
+    """The width-unbounded packbits path agrees with the bitmask fast path."""
+
+    @staticmethod
+    def _via_bitrows(matrix, require=None, exclude=None, block_rows=None):
+        from repro.fd.difference_sets import _pairwise_difference_bitrows
+
+        arity = matrix.shape[1]
+        packed = _pairwise_difference_bitrows(matrix, require, block_rows)
+        out = set()
+        for row in packed:
+            bits = np.unpackbits(np.frombuffer(row, dtype=np.uint8), count=arity)
+            attrs = {int(a) for a in np.nonzero(bits)[0] if a != exclude}
+            out.add(frozenset(attrs))
+        return out
+
+    def test_agreement_with_bitmask_path_on_random_matrices(self):
+        rng = np.random.default_rng(11)
+        for trial in range(20):
+            n = int(rng.integers(0, 30))
+            arity = int(rng.integers(1, 10))
+            matrix = rng.integers(0, 3, size=(n, arity)).astype(np.int32)
+            require = None if trial % 2 else int(rng.integers(0, arity))
+            expected = difference_sets(matrix) if require is None else {
+                member | {require}
+                for member in difference_sets_wrt(matrix, require)
+            }
+            for block_rows in (1, 4, None):
+                got = self._via_bitrows(matrix, require, block_rows=block_rows)
+                assert got == expected
+
+    def test_block_boundaries_do_not_lose_pairs_wide(self):
+        rng = np.random.default_rng(13)
+        matrix = rng.integers(0, 2, size=(12, 70)).astype(np.int32)
+        full = self._via_bitrows(matrix)
+        for block_rows in (1, 2, 5, 100):
+            assert self._via_bitrows(matrix, block_rows=block_rows) == full

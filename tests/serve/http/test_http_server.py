@@ -104,6 +104,34 @@ class TestRelationLifecycle:
             assert result["algorithm"] == "fastcfd"
             assert result["counts"]["total"] > 0
 
+    def test_wide_relation_served_by_dfd(self, server):
+        """A 70-column upload is served by the walk engine — explicitly and
+        via ``auto`` dispatch — with the walk statistics in the response."""
+        from repro.datagen.wide import wide_relation
+
+        relation = wide_relation(n_cols=70, n_rows=24, seed=0, n_fds=2)
+        lines = [",".join(relation.attributes)]
+        lines += [",".join(str(v) for v in row) for row in relation.rows()]
+        status, _, _body = request(
+            server, "POST", "/v1/relations?name=wide",
+            body="\n".join(lines).encode(),
+            headers={"Content-Type": "text/csv"},
+        )
+        assert status == 201
+        covers = {}
+        for algorithm in ("dfd", "auto"):
+            status, _, result = json_request(
+                server, "POST", "/v1/discover",
+                {"relation": "wide", "support": 7, "algorithm": algorithm},
+                timeout=120,
+            )
+            assert status == 200
+            assert result["algorithm"] == "dfd"
+            for counter in ("nodes_visited", "partitions_computed", "restarts"):
+                assert result["stats"][counter] > 0
+            covers[algorithm] = result["counts"]["total"]
+        assert covers["dfd"] == covers["auto"] > 0
+
     def test_inline_rows_discover(self, server):
         status, _, result = json_request(
             server, "POST", "/v1/discover",
