@@ -1,6 +1,6 @@
 """The tracked perf-benchmark suite → ``BENCH_perf.json`` at the repo root.
 
-Nine sections, re-measured on every run so the numbers never rot:
+Ten sections, re-measured on every run so the numbers never rot:
 
 1. **Partition microbenchmarks** — construction of the single-attribute
    partitions and a full product chain across the schema, timed for the
@@ -50,6 +50,12 @@ Nine sections, re-measured on every run so the numbers never rot:
    sweep is recorded as not-attempted (``None``) rather than timed — the
    random-walk ``dfd`` engine completes in seconds, with its walk counters
    (partitions computed, restarts) recorded alongside the runtime.
+10. **Tracing overhead** — the cost of the :mod:`repro.obs` instrumentation
+    when it records nothing: a fully-disabled tracer against an enabled
+    tracer at ``sample_rate=0`` (every ``start_span`` site pays the check
+    and takes the shared no-op fast path), interleaved back-to-back pairs
+    through the most span-dense path (CTANE with its per-level spans),
+    overhead taken as the median per-pair ratio and asserted ≤ 2% in CI.
 
 Run ``python benchmarks/bench_perf_suite.py`` for the tracked numbers or
 ``--smoke`` for the tiny CI configuration (same shape, toy sizes).
@@ -709,6 +715,78 @@ def bench_wide_relations(narrow_cols: int, wide_cols: int, n_rows: int,
     }
 
 
+# ---------------------------------------------------------------------- #
+# section 10: tracing overhead (the sampled-out no-op fast path)
+# ---------------------------------------------------------------------- #
+def bench_tracing_overhead(db_size: int, support: int, pairs: int) -> dict:
+    """The cost of instrumentation that records nothing.
+
+    Two process-global tracer states, interleaved back-to-back so machine
+    load drift cancels out of each per-pair ratio (the same methodology as
+    the idle-fault-hook overhead in section 8):
+
+    * **untraced** — a disabled tracer: every ``start_*`` short-circuits on
+      the ``enabled`` flag;
+    * **sampled-out** — an enabled tracer at ``sample_rate=0``: the root
+      roll fails, children find an unsampled context, and every site gets
+      the shared :data:`~repro.obs.NOOP_SPAN` — the state a production
+      worker is in for every unsampled request.
+
+    CTANE is the workload because its per-level spans make it the most
+    span-dense instrumented path per unit of work.
+    """
+    import gc
+    import statistics
+
+    from repro import obs
+
+    relation = tax_relation(db_size)
+    request = DiscoveryRequest(min_support=support, algorithm="ctane")
+    execute(relation, request)  # warm-up: page in the caches and code paths
+
+    untraced = obs.Tracer(enabled=False)
+    sampled_out = obs.Tracer(service="bench", sample_rate=0.0)
+
+    def run(tracer) -> float:
+        obs.set_tracer(tracer)
+        gc.collect()
+        gc.disable()
+        started = time.perf_counter()
+        with tracer.start_trace("repro.bench.request"):
+            execute(relation, request)
+        elapsed = time.perf_counter() - started
+        gc.enable()
+        return elapsed
+
+    untraced_times, sampled_out_times, ratios = [], [], []
+    try:
+        # ABBA ordering: alternate which side of the pair runs first, so a
+        # monotonic load or thermal drift cancels out of the pair ratios
+        # instead of biasing them all one way.
+        for pair in range(max(9, pairs)):
+            if pair % 2 == 0:
+                off, on = run(untraced), run(sampled_out)
+            else:
+                on, off = run(sampled_out), run(untraced)
+            untraced_times.append(off)
+            sampled_out_times.append(on)
+            ratios.append(on / off)
+    finally:
+        obs.disable()
+    assert len(sampled_out.ring) == 0, "sampled-out tracer must record nothing"
+
+    return {
+        "db_size": db_size,
+        "support": support,
+        "algorithm": "ctane",
+        "pairs": len(ratios),
+        "untraced_s": min(untraced_times),
+        "sampled_out_s": min(sampled_out_times),
+        "overhead_ratio": round(statistics.median(ratios), 4),
+        "overhead_pct": round((statistics.median(ratios) - 1.0) * 100, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -765,6 +843,9 @@ def main(argv=None) -> int:
         narrow_cols=30, wide_cols=120, n_rows=96,
         wide_cfds=wide_cfds, repeats=max(1, repeats - 1),
     )
+    tracing_overhead = bench_tracing_overhead(
+        ablation_db, ablation_k, pairs=max(7, repeats)
+    )
 
     document = {
         "suite": "bench_perf_suite",
@@ -780,6 +861,7 @@ def main(argv=None) -> int:
         "fleet_serving": fleet_serving,
         "fault_recovery": fault_recovery,
         "wide_relations": wide_relations,
+        "tracing_overhead": tracing_overhead,
         # Pre-substrate numbers measured on the PR-1 tree (same machine
         # class, db_size=2000/k=20 and the 5000-row product chain), kept as
         # the fixed origin of the trajectory.
@@ -859,6 +941,12 @@ def main(argv=None) -> int:
           f"({wide_w['dfd_n_cfds']} CFDs, "
           f"{wide_w['dfd_partitions_computed']} partitions, "
           f"{wide_w['dfd_restarts']} restarts)")
+    print(f"\ntracing overhead (db={tracing_overhead['db_size']}, "
+          f"k={tracing_overhead['support']}, ctane, "
+          f"{tracing_overhead['pairs']} interleaved pairs): sampled-out "
+          f"{tracing_overhead['sampled_out_s']:.3f}s vs untraced "
+          f"{tracing_overhead['untraced_s']:.3f}s "
+          f"({tracing_overhead['overhead_pct']}% overhead)")
     return 0
 
 

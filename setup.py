@@ -8,6 +8,7 @@ builds.  The console scripts mirror the ``python -m`` entry points:
 * ``repro-serve`` → :mod:`repro.serve.http.cli`
 * ``repro-fleet`` → :mod:`repro.serve.fleet.cli`
 * ``repro-lint``  → :mod:`repro.devtools.cli`
+* ``repro-trace`` → :mod:`repro.obs.render`
 """
 
 from setuptools import find_packages, setup
@@ -28,6 +29,7 @@ setup(
             "repro-serve=repro.serve.http.cli:main",
             "repro-fleet=repro.serve.fleet.cli:main",
             "repro-lint=repro.devtools.cli:main",
+            "repro-trace=repro.obs.render:main",
         ]
     },
 )

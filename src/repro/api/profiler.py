@@ -29,6 +29,7 @@ from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.api.registry import REGISTRY, AlgorithmRegistry
 from repro.api.request import DiscoveryRequest
 from repro.api.result import AlgorithmStats, DiscoveryResult
@@ -37,6 +38,11 @@ from repro.core.fastcfd import ClosedSetDifferenceSets, PartitionDifferenceSets
 from repro.devtools.lockcheck import RANK_SESSION, ranked_lock
 from repro.exceptions import DiscoveryError
 from repro.itemsets.mining import FreeClosedResult, mine_free_and_closed
+from repro.obs.names import (
+    SPAN_ENGINE_CHECKPOINT,
+    SPAN_ENGINE_RUN,
+    SPAN_PROFILER_BUILD,
+)
 from repro.relational.relation import Relation
 
 if False:  # pragma: no cover - typing only (import would be circular)
@@ -94,14 +100,16 @@ def execute(
             )
 
         engine_start = time.perf_counter()
-        if session is not None:
-            cfds, stats = session.engine_result(
-                name,
-                request,
-                lambda: engine.run(relation, request, session),
-            )
-        else:
-            cfds, stats = engine.run(relation, request, session)
+        with obs.get_tracer().start_span(SPAN_ENGINE_RUN, algorithm=name) as span:
+            if session is not None:
+                cfds, stats = session.engine_result(
+                    name,
+                    request,
+                    lambda: engine.run(relation, request, session),
+                )
+            else:
+                cfds, stats = engine.run(relation, request, session)
+            span.set_attr("rules", len(cfds))
         engine_elapsed = time.perf_counter() - engine_start
 
         # The cached engine result is shared across runs; never mutate it.
@@ -260,7 +268,8 @@ class Profiler:
             return future.result()
         try:
             build_start = time.perf_counter()
-            result = build()
+            with obs.get_tracer().start_span(SPAN_PROFILER_BUILD, cache=cache):
+                result = build()
             build_elapsed = time.perf_counter() - build_start
         except BaseException as exc:
             with self._lock:
@@ -950,19 +959,23 @@ class _CTaneCheckpoint:
             from repro.exceptions import CacheStoreError
             from repro.serve import store as sf
 
-            try:
-                packed = sf.pack_ctane_checkpoint(state)
-                if packed is not None:
-                    meta, arrays = packed
-                    store.put(
-                        profiler._relation.fingerprint(),
-                        sf.KIND_CTANE_CHECKPOINT,
-                        self._params,
-                        meta=meta,
-                        arrays=arrays,
-                    )
-            except CacheStoreError:
-                pass  # resume stays in-memory only; the run must not fail
+            with obs.get_tracer().start_span(
+                SPAN_ENGINE_CHECKPOINT, level=state.get("size")
+            ) as span:
+                try:
+                    packed = sf.pack_ctane_checkpoint(state)
+                    if packed is not None:
+                        meta, arrays = packed
+                        store.put(
+                            profiler._relation.fingerprint(),
+                            sf.KIND_CTANE_CHECKPOINT,
+                            self._params,
+                            meta=meta,
+                            arrays=arrays,
+                        )
+                except CacheStoreError:
+                    # Resume stays in-memory only; the run must not fail.
+                    span.set_status("error", error="CacheStoreError")
         faults = profiler._faults
         if faults is not None:
             # Local import: serve -> pool -> profiler already forms the

@@ -53,10 +53,12 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
 from repro.core.cfd import CFD
 from repro.core.minimality import is_minimal
 from repro.core.pattern import WILDCARD, is_wildcard, pattern_leq
 from repro.exceptions import DiscoveryError
+from repro.obs.names import SPAN_ENGINE_LEVEL
 from repro.relational.partition import Partition, attribute_partition
 from repro.relational.relation import Relation
 
@@ -445,201 +447,207 @@ class CTane:
             size = 1
 
         while level:
-            if self._progress is not None:
-                self._progress("ctane:level", size, self._arity)
-            if (
-                self._checkpoint is not None
-                and size > 1
-                and size != self.resumed_level
+            # One span per lattice level: the per-level cost profile is
+            # the trace's engine-side waterfall (and a per-phase training
+            # row for the cost model).
+            with obs.get_tracer().start_span(
+                SPAN_ENGINE_LEVEL, level=size, elements=len(level)
             ):
-                # Snapshot the frontier *before* processing the level: every
-                # container step 2 mutates is copied, so the saved state is
-                # exactly what a resumed run needs to replay this level.
-                self._checkpoint.save(
-                    {
-                        "size": size,
-                        "incremental": incremental,
-                        "level": list(level),
-                        "parent_cplus": {
-                            element: set(items)
-                            for element, items in parent_cplus.items()
-                        },
-                        "parent_partitions": dict(parent_partitions),
-                        "level_partitions": dict(level_partitions),
-                        "results": list(results),
-                        "counters": {
-                            "candidates_checked": self.candidates_checked,
-                            "elements_generated": self.elements_generated,
-                            "non_minimal_dropped": self.non_minimal_dropped,
-                        },
-                    }
-                )
-            # --- Step 1: candidate RHS sets ------------------------------ #
-            cplus: Dict[Element, Set[CandidateItem]] = {}
-            for element in level:
-                cplus[element] = self._intersect_parent_candidates(element, parent_cplus)
+                if self._progress is not None:
+                    self._progress("ctane:level", size, self._arity)
+                if (
+                    self._checkpoint is not None
+                    and size > 1
+                    and size != self.resumed_level
+                ):
+                    # Snapshot the frontier *before* processing the level: every
+                    # container step 2 mutates is copied, so the saved state is
+                    # exactly what a resumed run needs to replay this level.
+                    self._checkpoint.save(
+                        {
+                            "size": size,
+                            "incremental": incremental,
+                            "level": list(level),
+                            "parent_cplus": {
+                                element: set(items)
+                                for element, items in parent_cplus.items()
+                            },
+                            "parent_partitions": dict(parent_partitions),
+                            "level_partitions": dict(level_partitions),
+                            "results": list(results),
+                            "counters": {
+                                "candidates_checked": self.candidates_checked,
+                                "elements_generated": self.elements_generated,
+                                "non_minimal_dropped": self.non_minimal_dropped,
+                            },
+                        }
+                    )
+                # --- Step 1: candidate RHS sets ------------------------------ #
+                cplus: Dict[Element, Set[CandidateItem]] = {}
+                for element in level:
+                    cplus[element] = self._intersect_parent_candidates(element, parent_cplus)
 
-            # Group elements by attribute set: the step-2(c) update only ever
-            # touches elements with the same attribute set.
-            by_attrs: Dict[Tuple[int, ...], List[Element]] = {}
-            for element in level:
-                by_attrs.setdefault(element[0], []).append(element)
+                # Group elements by attribute set: the step-2(c) update only ever
+                # touches elements with the same attribute set.
+                by_attrs: Dict[Tuple[int, ...], List[Element]] = {}
+                for element in level:
+                    by_attrs.setdefault(element[0], []).append(element)
 
-            # --- Step 2: validity checks and emission -------------------- #
-            for element in sorted(level, key=self._generality_rank):
-                attrs, pattern = element
-                candidates = cplus[element]
-                if not candidates:
-                    continue
-                for position, rhs in enumerate(attrs):
-                    rhs_code = pattern[position]
-                    if (rhs, rhs_code) not in candidates:
+                # --- Step 2: validity checks and emission -------------------- #
+                for element in sorted(level, key=self._generality_rank):
+                    attrs, pattern = element
+                    candidates = cplus[element]
+                    if not candidates:
                         continue
-                    lhs_attrs = attrs[:position] + attrs[position + 1:]
-                    lhs_pattern = pattern[:position] + pattern[position + 1:]
-                    self.candidates_checked += 1
-                    if incremental:
-                        # The LHS element is an immediate sub-element, so its
-                        # partition is cached in the previous level's table.
-                        valid = self._cfd_valid_partition(
-                            parent_partitions[(lhs_attrs, lhs_pattern)],
-                            level_partitions[element],
-                            rhs_code,
-                        )
-                    else:
-                        valid = self._cfd_valid_scan(
-                            lhs_attrs, lhs_pattern, rhs, rhs_code
-                        )
-                    if not valid:
-                        continue
-                    cfd = self._decode_cfd(lhs_attrs, lhs_pattern, rhs, rhs_code)
-                    if self._verify_minimality and not is_minimal(
-                        self._relation, cfd, k=self._min_support
-                    ):
-                        self.non_minimal_dropped += 1
-                    else:
-                        results.append(cfd)
-                    # Step 2(c): prune the candidate sets of this element and
-                    # of every element with the same attributes, an identical
-                    # RHS pattern value and a more specific LHS pattern.
-                    for other in by_attrs[attrs]:
-                        other_pattern = other[1]
-                        if other_pattern[position] != rhs_code:
+                    for position, rhs in enumerate(attrs):
+                        rhs_code = pattern[position]
+                        if (rhs, rhs_code) not in candidates:
                             continue
-                        if not all(
-                            pattern_leq(other_pattern[i], pattern[i])
-                            for i in range(len(attrs))
-                            if i != position
-                        ):
-                            continue
-                        other_candidates = cplus[other]
-                        other_candidates.discard((rhs, rhs_code))
-                        if self._cplus_pruning:
-                            for item in list(other_candidates):
-                                if item[0] not in attrs:
-                                    other_candidates.discard(item)
-
-            # --- Step 3: prune elements with empty candidate sets -------- #
-            if self._cplus_pruning:
-                level = [element for element in level if cplus[element]]
-
-            # --- Step 4: generate the next level ------------------------- #
-            if self._max_lhs_size is not None and size > self._max_lhs_size:
-                break
-            level_index = set(level)
-            next_level: Set[Element] = set()
-            next_partitions: Dict[Element, Partition] = {}
-            prefixes: Dict[Tuple, List[Element]] = {}
-            for element in level:
-                attrs, pattern = element
-                key = (attrs[:-1], tuple(map(self._code_key, pattern[:-1])))
-                prefixes.setdefault(key, []).append(element)
-            for bucket in prefixes.values():
-                bucket_sorted = sorted(
-                    bucket, key=lambda e: (e[0][-1], self._code_key(e[1][-1]))
-                )
-                for i, (x_attrs, x_pattern) in enumerate(bucket_sorted):
-                    for y_attrs, y_pattern in bucket_sorted[i + 1:]:
-                        if x_attrs[-1] == y_attrs[-1]:
-                            continue  # same attribute, different value: no join
-                        z_attrs = x_attrs + (y_attrs[-1],)
-                        z_pattern = x_pattern + (y_pattern[-1],)
-                        candidate: Element = (z_attrs, z_pattern)
-                        if candidate in next_level:
-                            continue
+                        lhs_attrs = attrs[:position] + attrs[position + 1:]
+                        lhs_pattern = pattern[:position] + pattern[position + 1:]
+                        self.candidates_checked += 1
                         if incremental:
-                            # A session caches pattern partitions across runs
-                            # (they are support-independent), so a warmed
-                            # sweep skips the derivation below entirely.
-                            cached = (
-                                self._session.cached_pattern_partition(candidate)
-                                if self._session is not None
-                                else None
+                            # The LHS element is an immediate sub-element, so its
+                            # partition is cached in the previous level's table.
+                            valid = self._cfd_valid_partition(
+                                parent_partitions[(lhs_attrs, lhs_pattern)],
+                                level_partitions[element],
+                                rhs_code,
                             )
-                            if cached is not None:
-                                if cached.covered_rows < self._min_support:
-                                    continue
-                                if not self._all_parents_present(
-                                    candidate, level_index
-                                ):
-                                    continue
-                                next_partitions[candidate] = cached
-                                next_level.add(candidate)
-                                continue
-                            # Section 4.4: Π(Z, sp) derives from the
-                            # generating element's cached Π(X, sp) by joining
-                            # in the single new item — a class split for a
-                            # wildcard, a row restriction for a constant.
-                            # The constant support (the covered rows after a
-                            # restriction) is checked before paying for the
-                            # class relabelling.
-                            x_partition = level_partitions[(x_attrs, x_pattern)]
-                            y_attr = y_attrs[-1]
-                            y_code = y_pattern[-1]
-                            if is_wildcard(y_code):
-                                if x_partition.covered_rows < self._min_support:
-                                    continue
-                                if not self._all_parents_present(
-                                    candidate, level_index
-                                ):
-                                    continue
-                                partition = x_partition.refine_by_column(
-                                    self._matrix[:, y_attr],
-                                    self._column_spans[y_attr],
-                                )
-                            else:
-                                keep = (
-                                    self._matrix[x_partition.covered_index, y_attr]
-                                    == int(y_code)
-                                )
-                                if int(np.count_nonzero(keep)) < self._min_support:
-                                    continue
-                                if not self._all_parents_present(
-                                    candidate, level_index
-                                ):
-                                    continue
-                                partition = x_partition.restrict(keep)
-                            if self._session is not None:
-                                self._session.store_pattern_partition(
-                                    candidate, partition
-                                )
-                            next_partitions[candidate] = partition
                         else:
-                            if (
-                                self._constant_support(z_attrs, z_pattern)
-                                < self._min_support
+                            valid = self._cfd_valid_scan(
+                                lhs_attrs, lhs_pattern, rhs, rhs_code
+                            )
+                        if not valid:
+                            continue
+                        cfd = self._decode_cfd(lhs_attrs, lhs_pattern, rhs, rhs_code)
+                        if self._verify_minimality and not is_minimal(
+                            self._relation, cfd, k=self._min_support
+                        ):
+                            self.non_minimal_dropped += 1
+                        else:
+                            results.append(cfd)
+                        # Step 2(c): prune the candidate sets of this element and
+                        # of every element with the same attributes, an identical
+                        # RHS pattern value and a more specific LHS pattern.
+                        for other in by_attrs[attrs]:
+                            other_pattern = other[1]
+                            if other_pattern[position] != rhs_code:
+                                continue
+                            if not all(
+                                pattern_leq(other_pattern[i], pattern[i])
+                                for i in range(len(attrs))
+                                if i != position
                             ):
                                 continue
-                            if not self._all_parents_present(candidate, level_index):
+                            other_candidates = cplus[other]
+                            other_candidates.discard((rhs, rhs_code))
+                            if self._cplus_pruning:
+                                for item in list(other_candidates):
+                                    if item[0] not in attrs:
+                                        other_candidates.discard(item)
+
+                # --- Step 3: prune elements with empty candidate sets -------- #
+                if self._cplus_pruning:
+                    level = [element for element in level if cplus[element]]
+
+                # --- Step 4: generate the next level ------------------------- #
+                if self._max_lhs_size is not None and size > self._max_lhs_size:
+                    break
+                level_index = set(level)
+                next_level: Set[Element] = set()
+                next_partitions: Dict[Element, Partition] = {}
+                prefixes: Dict[Tuple, List[Element]] = {}
+                for element in level:
+                    attrs, pattern = element
+                    key = (attrs[:-1], tuple(map(self._code_key, pattern[:-1])))
+                    prefixes.setdefault(key, []).append(element)
+                for bucket in prefixes.values():
+                    bucket_sorted = sorted(
+                        bucket, key=lambda e: (e[0][-1], self._code_key(e[1][-1]))
+                    )
+                    for i, (x_attrs, x_pattern) in enumerate(bucket_sorted):
+                        for y_attrs, y_pattern in bucket_sorted[i + 1:]:
+                            if x_attrs[-1] == y_attrs[-1]:
+                                continue  # same attribute, different value: no join
+                            z_attrs = x_attrs + (y_attrs[-1],)
+                            z_pattern = x_pattern + (y_pattern[-1],)
+                            candidate: Element = (z_attrs, z_pattern)
+                            if candidate in next_level:
                                 continue
-                        next_level.add(candidate)
-            self.elements_generated += len(next_level)
-            parent_cplus = cplus
-            if incremental:
-                parent_partitions = level_partitions
-                level_partitions = next_partitions
-            level = sorted(next_level, key=self._generality_rank)
-            size += 1
+                            if incremental:
+                                # A session caches pattern partitions across runs
+                                # (they are support-independent), so a warmed
+                                # sweep skips the derivation below entirely.
+                                cached = (
+                                    self._session.cached_pattern_partition(candidate)
+                                    if self._session is not None
+                                    else None
+                                )
+                                if cached is not None:
+                                    if cached.covered_rows < self._min_support:
+                                        continue
+                                    if not self._all_parents_present(
+                                        candidate, level_index
+                                    ):
+                                        continue
+                                    next_partitions[candidate] = cached
+                                    next_level.add(candidate)
+                                    continue
+                                # Section 4.4: Π(Z, sp) derives from the
+                                # generating element's cached Π(X, sp) by joining
+                                # in the single new item — a class split for a
+                                # wildcard, a row restriction for a constant.
+                                # The constant support (the covered rows after a
+                                # restriction) is checked before paying for the
+                                # class relabelling.
+                                x_partition = level_partitions[(x_attrs, x_pattern)]
+                                y_attr = y_attrs[-1]
+                                y_code = y_pattern[-1]
+                                if is_wildcard(y_code):
+                                    if x_partition.covered_rows < self._min_support:
+                                        continue
+                                    if not self._all_parents_present(
+                                        candidate, level_index
+                                    ):
+                                        continue
+                                    partition = x_partition.refine_by_column(
+                                        self._matrix[:, y_attr],
+                                        self._column_spans[y_attr],
+                                    )
+                                else:
+                                    keep = (
+                                        self._matrix[x_partition.covered_index, y_attr]
+                                        == int(y_code)
+                                    )
+                                    if int(np.count_nonzero(keep)) < self._min_support:
+                                        continue
+                                    if not self._all_parents_present(
+                                        candidate, level_index
+                                    ):
+                                        continue
+                                    partition = x_partition.restrict(keep)
+                                if self._session is not None:
+                                    self._session.store_pattern_partition(
+                                        candidate, partition
+                                    )
+                                next_partitions[candidate] = partition
+                            else:
+                                if (
+                                    self._constant_support(z_attrs, z_pattern)
+                                    < self._min_support
+                                ):
+                                    continue
+                                if not self._all_parents_present(candidate, level_index):
+                                    continue
+                            next_level.add(candidate)
+                self.elements_generated += len(next_level)
+                parent_cplus = cplus
+                if incremental:
+                    parent_partitions = level_partitions
+                    level_partitions = next_partitions
+                level = sorted(next_level, key=self._generality_rank)
+                size += 1
         if self._checkpoint is not None:
             self._checkpoint.clear()  # the run completed: nothing to resume
         return results

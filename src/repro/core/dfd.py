@@ -56,6 +56,7 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
 from repro.core.cfd import CFD
 from repro.core.cfdminer import CFDMiner
 from repro.core.pattern import WILDCARD
@@ -63,6 +64,7 @@ from repro.core.validation import satisfies
 from repro.exceptions import DiscoveryError
 from repro.fd.covers import minimal_covers
 from repro.itemsets.itemset import EncodedItemSet
+from repro.obs.names import SPAN_ENGINE_WALK
 from repro.itemsets.mining import FreeClosedResult, mine_free_and_closed
 from repro.relational.attrset import EMPTY_ATTRSET, AttrSet
 from repro.relational.partition import (
@@ -471,7 +473,16 @@ class _LatticeWalk:
             if seed is None:
                 return
             self._engine.restarts += 1
-            self._walk_from(seed)
+            # One span per seeded walk: restart count and per-walk node
+            # visits are the DFD-side waterfall of a trace.
+            with obs.get_tracer().start_span(
+                SPAN_ENGINE_WALK, restart=self._engine.restarts, rhs=self._rhs
+            ) as span:
+                visited_before = self._engine.nodes_visited
+                self._walk_from(seed)
+                span.set_attr(
+                    "nodes_visited", self._engine.nodes_visited - visited_before
+                )
 
     def _next_seed(self) -> Optional[AttrSet]:
         """The next still-interesting minimal hitting set, or ``None``.

@@ -32,7 +32,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "Static analysis for this repo's DESIGN.md invariants: lock "
             "order, async hygiene, fault-point names, metrics naming, "
             "JSON-native results, engine determinism, broad-except "
-            "justifications, and store dtypes (rules REP001-REP008)."
+            "justifications, and store dtypes (rules REP001-REP009)."
         ),
     )
     parser.add_argument(

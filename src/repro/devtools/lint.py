@@ -3,7 +3,7 @@
 A dependency-free linter over Python's stdlib :mod:`ast` that encodes this
 project's *prose* invariants — the DESIGN.md locking discipline, the
 canonical fault-point registry, Prometheus naming, JSON-native results,
-engine determinism — as named, testable rules (REP001–REP008, implemented
+engine determinism — as named, testable rules (REP001–REP009, implemented
 in :mod:`repro.devtools.rules`).
 
 The framework is deliberately small:

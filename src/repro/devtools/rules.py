@@ -1,4 +1,4 @@
-"""The REP001–REP008 invariant rules (``repro.devtools.rules``).
+"""The REP001–REP009 invariant rules (``repro.devtools.rules``).
 
 Each rule encodes one invariant DESIGN.md states in prose.  Rules are
 path-scoped (see :class:`~repro.devtools.lint.Rule`), so the same code
@@ -20,6 +20,8 @@ fires on ``src/repro`` and on the fixture trees under
 |        | unseeded module-level RNG, no wall-clock calls                   |
 | REP007 | every ``except Exception`` carries ``# noqa: BLE001 - <reason>`` |
 | REP008 | arrays serialized into the CacheStore use allowlisted dtypes     |
+| REP009 | span names come from the ``repro.obs.names`` registry and match  |
+|        | ``repro.[a-z0-9_.]+``; DESIGN.md's span taxonomy tracks the set  |
 """
 
 from __future__ import annotations
@@ -56,6 +58,23 @@ def _registry_fault_points() -> Tuple[str, ...]:
             "service.execute",
             "fleet.send",
             "fleet.poll",
+        )
+
+
+def _registry_span_names() -> Tuple[str, ...]:
+    """The canonical span names, from the single source of truth."""
+    try:
+        from repro.obs.names import SPAN_NAMES
+
+        return tuple(SPAN_NAMES)
+    except ImportError:  # pragma: no cover - repro.obs not importable
+        return (
+            "repro.fleet.request",
+            "repro.http.request",
+            "repro.service.execute",
+            "repro.pool.admit",
+            "repro.store.put",
+            "repro.engine.run",
         )
 
 
@@ -918,6 +937,137 @@ class StoreDtypeRule(Rule):
                 )
 
 
+# --------------------------------------------------------------------- #
+# REP009 — span names
+# --------------------------------------------------------------------- #
+_SPAN_NAME_RE = re.compile(r"^repro\.[a-z0-9_.]+$")
+_SPAN_STARTERS = frozenset({"start_span", "start_trace"})
+#: DESIGN.md span-taxonomy rows: ``| `repro.layer.op` | ... |``.  Span
+#: names carry the ``repro.`` prefix, so fault-point rows never match.
+_SPAN_ROW_RE = re.compile(r"^\|\s*`(repro\.[a-z0-9_.]+)`\s*\|")
+
+
+class SpanNamesRule(Rule):
+    id = "REP009"
+    name = "span-names"
+    summary = (
+        "start_span/start_trace sites must pass a SPAN_* constant from the "
+        "repro.obs.names registry (never an inline literal); SPAN_* "
+        "constants match repro.[a-z0-9_.]+; DESIGN.md's span-taxonomy "
+        "table must list exactly the registered set"
+    )
+
+    def __init__(self) -> None:
+        self.names = frozenset(_registry_span_names())
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                self._check_start(ctx, node, findings)
+            elif isinstance(node, ast.Assign):
+                self._check_constant(ctx, node, findings)
+        return findings
+
+    def _check_start(
+        self, ctx: FileContext, node: ast.Call, findings: List[Finding]
+    ) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in _SPAN_STARTERS:
+            return
+        if not node.args:
+            return
+        literal = string_value(node.args[0])
+        if literal is None:
+            return  # a SPAN_* constant (or dynamic passthrough) — fine
+        if literal in self.names:
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"span name {literal!r} passed as an inline literal; "
+                    "import the SPAN_* constant from repro.obs.names so the "
+                    "registry stays the single source of truth",
+                )
+            )
+        else:
+            expected = ", ".join(sorted(self.names))
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"span name {literal!r} is not in the canonical "
+                    f"registry ({expected}); add it to repro.obs.names "
+                    "and use the constant",
+                )
+            )
+
+    def _check_constant(
+        self, ctx: FileContext, node: ast.Assign, findings: List[Finding]
+    ) -> None:
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        target = node.targets[0].id
+        if not target.startswith("SPAN_"):
+            return
+        value = string_value(node.value)
+        if value is None:
+            return  # SPAN_NAMES tuple (or similar aggregate) — not a name
+        if not _SPAN_NAME_RE.match(value):
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"span constant {target} = {value!r} does not match "
+                    "repro.[a-z0-9_.]+ (layer-dotted lowercase)",
+                )
+            )
+
+    def finalize(self, project: LintProject) -> List[Finding]:
+        design = FaultPointNamesRule._find_design(project)
+        if design is None:
+            return []
+        try:
+            text = design.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        documented: Dict[str, int] = {}
+        table_line = 0
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _SPAN_ROW_RE.match(line)
+            if match:
+                documented.setdefault(match.group(1), lineno)
+                table_line = table_line or lineno
+        if not documented:
+            return []  # no span-taxonomy table in this DESIGN.md
+        findings: List[Finding] = []
+        for name in sorted(self.names - set(documented)):
+            findings.append(
+                Finding(
+                    self.id,
+                    design.as_posix(),
+                    table_line or 1,
+                    0,
+                    f"registered span name {name!r} is missing from the "
+                    "DESIGN.md span-taxonomy table",
+                )
+            )
+        for name, lineno in sorted(documented.items()):
+            if name not in self.names:
+                findings.append(
+                    Finding(
+                        self.id,
+                        design.as_posix(),
+                        lineno,
+                        0,
+                        f"DESIGN.md documents span name {name!r} which is "
+                        "not in the repro.obs.names registry",
+                    )
+                )
+        return findings
+
+
 RULE_CLASSES = (
     LockOrderRule,
     NoBlockingInAsyncRule,
@@ -927,6 +1077,7 @@ RULE_CLASSES = (
     EngineDeterminismRule,
     BroadExceptRule,
     StoreDtypeRule,
+    SpanNamesRule,
 )
 
 

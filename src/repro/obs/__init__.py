@@ -1,0 +1,127 @@
+"""``repro.obs`` — dependency-free tracing and unified telemetry.
+
+The observability layer under the whole serving stack:
+
+* :mod:`repro.obs.trace` — :class:`Tracer`/:class:`Span` with sampling,
+  ``traceparent`` propagation and a zero-allocation no-op fast path;
+* :mod:`repro.obs.context` — ``contextvars`` propagation, including the
+  :func:`bind_context` bridge across executor thread hops;
+* :mod:`repro.obs.names` — the span-name registry (the ``REP009``-enforced
+  single source of truth, like ``FAULT_POINTS``);
+* :mod:`repro.obs.export` — ring buffer, JSONL trace log, slow-trace trees;
+* :mod:`repro.obs.render` — waterfalls and the ``repro-trace`` script;
+* :mod:`repro.obs.promfmt` — the one shared Prometheus exposition path;
+* :mod:`repro.obs.logs` — structured (plain/JSON) event logging.
+
+Process-wide wiring goes through the module-level tracer: serving CLIs call
+:func:`configure` once at boot; instrumented modules call :func:`get_tracer`
+per use, so tests can swap tracers at any time.  The default tracer is
+disabled — library embedders pay nothing until they opt in.
+"""
+
+from __future__ import annotations
+
+from repro.obs.context import (
+    bind_context,
+    current_span,
+    current_trace_id,
+)
+from repro.obs.logs import EventLog
+from repro.obs.names import (
+    SPAN_ENGINE_CHECKPOINT,
+    SPAN_ENGINE_LEVEL,
+    SPAN_ENGINE_RUN,
+    SPAN_ENGINE_WALK,
+    SPAN_FLEET_FAILOVER,
+    SPAN_FLEET_FORWARD,
+    SPAN_FLEET_QUEUE_WAIT,
+    SPAN_FLEET_REQUEST,
+    SPAN_HTTP_ADMISSION,
+    SPAN_HTTP_PARSE,
+    SPAN_HTTP_REQUEST,
+    SPAN_NAMES,
+    SPAN_POOL_ADMIT,
+    SPAN_POOL_EVICT,
+    SPAN_POOL_SPILL,
+    SPAN_PROFILER_BUILD,
+    SPAN_SERVICE_EXECUTE,
+    SPAN_SERVICE_SUBMIT,
+    SPAN_STORE_GET,
+    SPAN_STORE_PUT,
+    span_layer,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    NoopSpan,
+    Span,
+    TRACEPARENT_HEADER,
+    TRACE_ID_HEADER,
+    Tracer,
+    format_traceparent,
+    parse_traceparent,
+)
+
+_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled until :func:`configure`)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide tracer; returns it."""
+    global _tracer
+    _tracer = tracer
+    return tracer
+
+
+def configure(**kwargs: object) -> Tracer:
+    """Build a :class:`Tracer` from keyword knobs and install it."""
+    return set_tracer(Tracer(**kwargs))  # type: ignore[arg-type]
+
+
+def disable() -> Tracer:
+    """Install a disabled tracer (the library default); returns it."""
+    return set_tracer(Tracer(enabled=False))
+
+
+__all__ = [
+    "EventLog",
+    "NOOP_SPAN",
+    "NoopSpan",
+    "SPAN_NAMES",
+    "Span",
+    "TRACEPARENT_HEADER",
+    "TRACE_ID_HEADER",
+    "Tracer",
+    "bind_context",
+    "configure",
+    "current_span",
+    "current_trace_id",
+    "disable",
+    "format_traceparent",
+    "get_tracer",
+    "parse_traceparent",
+    "set_tracer",
+    "span_layer",
+    "SPAN_ENGINE_CHECKPOINT",
+    "SPAN_ENGINE_LEVEL",
+    "SPAN_ENGINE_RUN",
+    "SPAN_ENGINE_WALK",
+    "SPAN_FLEET_FAILOVER",
+    "SPAN_FLEET_FORWARD",
+    "SPAN_FLEET_QUEUE_WAIT",
+    "SPAN_FLEET_REQUEST",
+    "SPAN_HTTP_ADMISSION",
+    "SPAN_HTTP_PARSE",
+    "SPAN_HTTP_REQUEST",
+    "SPAN_POOL_ADMIT",
+    "SPAN_POOL_EVICT",
+    "SPAN_POOL_SPILL",
+    "SPAN_PROFILER_BUILD",
+    "SPAN_SERVICE_EXECUTE",
+    "SPAN_SERVICE_SUBMIT",
+    "SPAN_STORE_GET",
+    "SPAN_STORE_PUT",
+]

@@ -1,0 +1,119 @@
+"""Shared observability wiring of the serving CLIs.
+
+``repro-serve`` and ``repro-fleet`` expose the same tracing and logging
+knobs; this module owns the argparse group, its validation, and the
+:func:`configure_observability` call that turns parsed arguments into the
+process-global tracer plus an :class:`~repro.obs.logs.EventLog`.  Keeping
+it in one place means the two commands cannot drift apart.
+
+Serving processes trace by default (``--trace-sample 1.0``): traces feed
+``GET /v1/traces`` and the waterfall renderer with zero setup, and the
+sampled-out fast path is cheap enough (bench-guarded ≤2%) that turning it
+down is a tuning decision, not a requirement.  Library embedders are the
+opposite — the module-level tracer starts disabled there.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional
+
+from repro import obs
+from repro.obs.logs import FORMATS, EventLog
+
+
+def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--trace-*`` / ``--log-format`` options."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="fraction of new root requests traced, 0..1; 0 disables tracing "
+        "(default: 1.0; forwarded trace headers override the roll)",
+    )
+    group.add_argument(
+        "--trace-ring", type=int, default=2048, metavar="SPANS",
+        help="finished spans kept in memory behind GET /v1/traces "
+        "(default: 2048)",
+    )
+    group.add_argument(
+        "--trace-log", type=Path, default=None, metavar="FILE",
+        help="append every finished span to FILE as JSONL (rotated once to "
+        "FILE.1 past --trace-log-max-bytes); repro-trace renders it",
+    )
+    group.add_argument(
+        "--trace-log-max-bytes", type=int, default=16 * 2 ** 20, metavar="N",
+        help="rotation threshold of --trace-log in bytes (default: 16 MiB)",
+    )
+    group.add_argument(
+        "--trace-slow-threshold", type=float, default=None, metavar="SECONDS",
+        help="capture the full span tree of any request at least this slow "
+        "(to --trace-slow-log when given, else the event log)",
+    )
+    group.add_argument(
+        "--trace-slow-log", type=Path, default=None, metavar="FILE",
+        help="JSONL sink for slow-request span trees (default: derived from "
+        "--trace-log as FILE.slow when that is set)",
+    )
+    group.add_argument(
+        "--log-format", choices=FORMATS, default="plain",
+        help="event log rendering on stderr: plain or json (default: plain)",
+    )
+
+
+def validate_observability(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> None:
+    if not 0.0 <= args.trace_sample <= 1.0:
+        parser.error("--trace-sample must be between 0 and 1")
+    if args.trace_ring < 1:
+        parser.error("--trace-ring must be at least 1")
+    if args.trace_log_max_bytes < 4096:
+        parser.error("--trace-log-max-bytes must be at least 4096")
+    if args.trace_slow_threshold is not None and args.trace_slow_threshold < 0:
+        parser.error("--trace-slow-threshold must be at least 0")
+
+
+def configure_observability(
+    args: argparse.Namespace, service: str
+) -> EventLog:
+    """Configure the global tracer from parsed args; returns the event log.
+
+    ``service`` stamps both the spans and the log lines (``worker`` /
+    ``router``), so merged fleet traces and interleaved logs stay
+    attributable.  Slow traces always leave a log event; the full span
+    tree additionally lands in the slow JSONL sink when one is resolvable.
+    """
+    log = EventLog(service, fmt=args.log_format)
+    slow_log: Optional[Path] = args.trace_slow_log
+    if slow_log is None and args.trace_log is not None:
+        slow_log = args.trace_log.with_name(args.trace_log.name + ".slow")
+
+    def on_slow(document: dict) -> None:
+        log.event(
+            "trace.slow",
+            trace_id=document.get("trace_id"),
+            name=document.get("name"),
+            duration=round(float(document.get("duration") or 0.0), 6),
+            threshold=document.get("threshold"),
+        )
+
+    obs.configure(
+        service=service,
+        enabled=args.trace_sample > 0.0,
+        sample_rate=args.trace_sample,
+        ring_capacity=args.trace_ring,
+        trace_log=str(args.trace_log) if args.trace_log else None,
+        trace_log_max_bytes=args.trace_log_max_bytes,
+        slow_threshold=args.trace_slow_threshold,
+        slow_log=str(slow_log) if slow_log else None,
+        on_slow=on_slow if args.trace_slow_threshold is not None else None,
+    )
+    return log
+
+
+__all__ = [
+    "add_observability_arguments",
+    "configure_observability",
+    "validate_observability",
+]

@@ -1,0 +1,66 @@
+"""Trace-context propagation: one ``ContextVar`` plus the executor bridge.
+
+The current span travels with :mod:`contextvars`, so nested ``with
+tracer.start_span(...)`` blocks parent correctly across ``await`` points for
+free.  What does *not* come for free is the thread hop:
+``loop.run_in_executor`` and ``ThreadPoolExecutor.submit`` both run the
+callable in the worker thread's own (empty) context, dropping the active
+span.  :func:`bind_context` closes that gap — it snapshots the submitting
+context and replays the callable inside it, which is how the HTTP bridge
+(``serve/http/bridge.py``) and the :class:`~repro.serve.DiscoveryService`
+thread pool carry the request's trace across their executors.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from typing import Any, Callable, Optional
+
+#: The active span of the calling context (``None`` outside any trace).
+_CURRENT_SPAN: "contextvars.ContextVar[Optional[object]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def current_span() -> Optional[object]:
+    """The innermost active span in this context, or ``None``."""
+    return _CURRENT_SPAN.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """The active trace id, for stitching into log events (or ``None``)."""
+    span = _CURRENT_SPAN.get()
+    return getattr(span, "trace_id", None) if span is not None else None
+
+
+def attach(span: object) -> "contextvars.Token":
+    """Make ``span`` the context's current span; returns the reset token."""
+    return _CURRENT_SPAN.set(span)
+
+
+def detach(token: "contextvars.Token") -> None:
+    _CURRENT_SPAN.reset(token)
+
+
+def bind_context(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """``fn`` bound to a snapshot of the *calling* context.
+
+    Use at every executor boundary: the returned callable replays ``fn``
+    inside the submitting context, so ``current_span()`` (and every other
+    context variable) survives the thread hop.
+    """
+    snapshot = contextvars.copy_context()
+
+    def bound(*args: Any, **kwargs: Any) -> Any:
+        return snapshot.run(fn, *args, **kwargs)
+
+    return bound
+
+
+__all__ = [
+    "attach",
+    "bind_context",
+    "current_span",
+    "current_trace_id",
+    "detach",
+]

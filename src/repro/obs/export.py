@@ -1,0 +1,207 @@
+"""Trace exports: the span ring buffer, JSONL trace log, and span trees.
+
+Finished spans leave the tracer through up to three sinks:
+
+* :class:`SpanRing` — a bounded in-memory buffer (oldest spans evicted
+  first) that backs ``GET /v1/traces`` and ``GET /v1/traces/{trace_id}``;
+* :class:`TraceLog` — an optional append-only JSONL file (one span record
+  per line) rotated by size to ``<path>.1``;
+* the slow-request sink — the tracer writes one *tree* line (the whole
+  trace, nested) through a :class:`TraceLog` when a root span exceeds the
+  configured threshold, so outliers keep their full context even after the
+  ring has moved on.
+
+Everything here is plain dicts and stdlib JSON: span records double as
+per-phase training rows for the learned cost models on the roadmap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class SpanRing:
+    """A thread-safe bounded buffer of finished span records."""
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError("SpanRing capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: "deque[Dict[str, object]]" = deque(maxlen=capacity)
+        self._appended = 0
+
+    def append(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            self._spans.append(record)
+            self._appended += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    @property
+    def appended_total(self) -> int:
+        """Spans ever appended (evicted ones included)."""
+        with self._lock:
+            return self._appended
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._spans)
+
+    def trace(self, trace_id: str) -> List[Dict[str, object]]:
+        """Every buffered span of one trace, in finish order."""
+        with self._lock:
+            return [s for s in self._spans if s.get("trace_id") == trace_id]
+
+    def traces(self) -> List[Dict[str, object]]:
+        """Per-trace summaries, most recently finished trace last."""
+        summaries: "Dict[str, Dict[str, object]]" = {}
+        for record in self.snapshot():
+            trace_id = str(record.get("trace_id"))
+            summary = summaries.setdefault(
+                trace_id,
+                {
+                    "trace_id": trace_id,
+                    "name": record.get("name"),
+                    "spans": 0,
+                    "duration_seconds": 0.0,
+                    "status": "ok",
+                },
+            )
+            summary["spans"] = int(summary["spans"]) + 1
+            if record.get("root"):
+                summary["name"] = record.get("name")
+                summary["duration_seconds"] = record.get("duration")
+                summary["service"] = record.get("service")
+            if record.get("status") == "error":
+                summary["status"] = "error"
+        return list(summaries.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+class TraceLog:
+    """Append-only JSONL sink with size-based rotation to ``<path>.1``."""
+
+    def __init__(self, path: str, *, max_bytes: int = 16 << 20):
+        if max_bytes < 1:
+            raise ValueError("TraceLog max_bytes must be at least 1")
+        self.path = str(path)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def write(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            if self._handle.closed:
+                return
+            if self._handle.tell() + len(line) + 1 > self.max_bytes:
+                self._rotate_locked()
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def _rotate_locked(self) -> None:
+        self._handle.close()
+        try:
+            os.replace(self.path, self.path + ".1")
+        except OSError:
+            pass  # rotation is best-effort; keep appending to the same file
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+def build_tree(records: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Nest flat span records into parent→children trees.
+
+    Spans whose parent is unknown locally (e.g. the remote router span a
+    worker root continues) become top-level roots.  Children sort by wall
+    start so the tree reads in execution order.
+    """
+    nodes: Dict[str, Dict[str, object]] = {}
+    ordered: List[Dict[str, object]] = []
+    for record in records:
+        node = dict(record)
+        node["children"] = []
+        span_id = str(node.get("span_id"))
+        nodes[span_id] = node
+        ordered.append(node)
+    roots: List[Dict[str, object]] = []
+    for node in ordered:
+        parent_id = node.get("parent_id")
+        parent = nodes.get(str(parent_id)) if parent_id else None
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+
+    def sort_key(node: Dict[str, object]) -> float:
+        wall = node.get("wall")
+        return float(wall) if isinstance(wall, (int, float)) else 0.0
+
+    def sort_children(node: Dict[str, object]) -> None:
+        node["children"].sort(key=sort_key)
+        for child in node["children"]:
+            sort_children(child)
+
+    roots.sort(key=sort_key)
+    for root in roots:
+        sort_children(root)
+    return roots
+
+
+def flatten_tree(roots: Iterable[Dict[str, object]]) -> Iterator[Dict[str, object]]:
+    """Depth-first walk of a :func:`build_tree` forest (children included)."""
+    stack = list(roots)[::-1]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.get("children") or []))
+
+
+def load_jsonl(path: str) -> List[Dict[str, object]]:
+    """Span records from a trace log or slow log (malformed lines skipped).
+
+    Slow-log lines carry a nested ``spans`` tree; they are flattened back
+    into plain records so both file shapes render the same way.
+    """
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(document, dict):
+                continue
+            if isinstance(document.get("spans"), list):
+                for node in flatten_tree(document["spans"]):
+                    record = {k: v for k, v in node.items() if k != "children"}
+                    records.append(record)
+            else:
+                records.append(document)
+    return records
+
+
+__all__ = [
+    "SpanRing",
+    "TraceLog",
+    "build_tree",
+    "flatten_tree",
+    "load_jsonl",
+]

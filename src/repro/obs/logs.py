@@ -1,0 +1,67 @@
+"""Structured event logging for the serving CLIs.
+
+One :class:`EventLog` replaces the ad-hoc ``print(..., file=sys.stderr)``
+calls on the serving paths.  Every event is a name plus key=value fields;
+the active trace id (when the emitting context is inside a span) is
+stitched in automatically, so a grep for one trace id crosses the log and
+the trace store.  Two formats:
+
+* ``plain`` (default) — ``[repro-serve] listening host=127.0.0.1 port=8080``;
+* ``json`` — one JSON object per line
+  (``{"ts": ..., "service": ..., "event": ..., "trace_id": ..., ...}``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import IO, Optional
+
+from repro.obs.context import current_trace_id
+
+FORMATS = ("plain", "json")
+
+
+class EventLog:
+    """A line-per-event logger with plain-text and JSON renderings."""
+
+    def __init__(
+        self,
+        service: str,
+        *,
+        fmt: str = "plain",
+        stream: Optional[IO[str]] = None,
+    ):
+        if fmt not in FORMATS:
+            raise ValueError(f"unknown log format {fmt!r} (choose from {FORMATS})")
+        self.service = service
+        self.fmt = fmt
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def event(self, event: str, **fields: object) -> None:
+        """Emit one event; ``trace_id`` is stitched in when one is active."""
+        trace_id = current_trace_id()
+        if self.fmt == "json":
+            document = {"ts": time.time(), "service": self.service, "event": event}
+            if trace_id is not None:
+                document["trace_id"] = trace_id
+            document.update(fields)
+            line = json.dumps(document, separators=(",", ":"), sort_keys=True)
+        else:
+            parts = [f"[{self.service}]", event]
+            if trace_id is not None:
+                parts.append(f"trace_id={trace_id}")
+            parts.extend(f"{key}={value}" for key, value in fields.items())
+            line = " ".join(parts)
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass  # a closed/broken log stream must never fail serving
+
+
+__all__ = ["FORMATS", "EventLog"]

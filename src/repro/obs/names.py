@@ -1,0 +1,77 @@
+"""The span-name registry: every span the tree ever starts, in one place.
+
+Exactly like :data:`repro.serve.faults.FAULT_POINTS`, these constants are the
+single source of truth: instrumentation sites must pass one of these
+constants to ``start_span``/``start_trace`` (never an ad-hoc literal), names
+must match ``repro.[a-z0-9_.]+``, and the ``REP009`` lint rule enforces both
+against this registry.  The segment after ``repro.`` is the *layer* — the
+obs-smoke CI gate counts distinct layers under one trace id.
+"""
+
+from __future__ import annotations
+
+#: Fleet router layer.
+SPAN_FLEET_REQUEST = "repro.fleet.request"
+SPAN_FLEET_QUEUE_WAIT = "repro.fleet.queue_wait"
+SPAN_FLEET_FORWARD = "repro.fleet.forward"
+SPAN_FLEET_FAILOVER = "repro.fleet.failover"
+
+#: Worker HTTP layer.
+SPAN_HTTP_REQUEST = "repro.http.request"
+SPAN_HTTP_PARSE = "repro.http.parse"
+SPAN_HTTP_ADMISSION = "repro.http.admission"
+
+#: Discovery service layer.
+SPAN_SERVICE_SUBMIT = "repro.service.submit"
+SPAN_SERVICE_EXECUTE = "repro.service.execute"
+
+#: Session pool layer.
+SPAN_POOL_ADMIT = "repro.pool.admit"
+SPAN_POOL_EVICT = "repro.pool.evict"
+SPAN_POOL_SPILL = "repro.pool.spill"
+
+#: Persistent cache store layer.
+SPAN_STORE_PUT = "repro.store.put"
+SPAN_STORE_GET = "repro.store.get"
+
+#: Profiler (structure-cache) layer.
+SPAN_PROFILER_BUILD = "repro.profiler.build"
+
+#: Engine layer.
+SPAN_ENGINE_RUN = "repro.engine.run"
+SPAN_ENGINE_LEVEL = "repro.engine.level"
+SPAN_ENGINE_CHECKPOINT = "repro.engine.checkpoint"
+SPAN_ENGINE_WALK = "repro.engine.walk"
+
+#: Every registered span name.  ``REP009`` cross-checks literal
+#: ``start_span`` arguments and the DESIGN.md span taxonomy against this.
+SPAN_NAMES = (
+    SPAN_FLEET_REQUEST,
+    SPAN_FLEET_QUEUE_WAIT,
+    SPAN_FLEET_FORWARD,
+    SPAN_FLEET_FAILOVER,
+    SPAN_HTTP_REQUEST,
+    SPAN_HTTP_PARSE,
+    SPAN_HTTP_ADMISSION,
+    SPAN_SERVICE_SUBMIT,
+    SPAN_SERVICE_EXECUTE,
+    SPAN_POOL_ADMIT,
+    SPAN_POOL_EVICT,
+    SPAN_POOL_SPILL,
+    SPAN_STORE_PUT,
+    SPAN_STORE_GET,
+    SPAN_PROFILER_BUILD,
+    SPAN_ENGINE_RUN,
+    SPAN_ENGINE_LEVEL,
+    SPAN_ENGINE_CHECKPOINT,
+    SPAN_ENGINE_WALK,
+)
+
+
+def span_layer(name: str) -> str:
+    """The layer segment of a span name (``repro.http.parse`` → ``http``)."""
+    parts = name.split(".")
+    return parts[1] if len(parts) > 1 else name
+
+
+__all__ = [name for name in dir() if name.startswith("SPAN_")] + ["span_layer"]

@@ -1,0 +1,186 @@
+"""The one Prometheus text-exposition path shared by every registry.
+
+Three dependency-free metric primitives (:class:`Counter`, :class:`Gauge`,
+:class:`Histogram`) with label support, plus the escaping/formatting helpers
+that render them in the Prometheus exposition format (version 0.0.4).  Both
+serving registries — :class:`~repro.serve.http.metrics.HttpMetrics` and
+:class:`~repro.serve.fleet.metrics.FleetMetrics` — render through this
+module, so there is exactly one label-escaping and value-formatting
+implementation in the tree.
+
+All primitives are thread-safe: handler coroutines run on the event loop but
+substrate counters are touched from executor threads, and a scrape may race
+both.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+LabelValues = Tuple[str, ...]
+
+#: Request-latency bucket bounds (seconds) shared by the service's own
+#: submit-to-done aggregates and the HTTP handler histogram, so the two
+#: latency histograms on one /metrics page line up bucket for bucket.
+DEFAULT_LATENCY_BUCKETS = (0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+def escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_labels(names: Sequence[str], values: Sequence[object]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{escape_label_value(str(value))}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+class Counter:
+    """A monotonically increasing metric, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str] = ()):
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = tuple(str(labels.get(name, "")) for name in self.label_names)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), 0.0)]
+        for key, value in items:
+            labels = render_labels(self.label_names, key)
+            lines.append(f"{self.name}{labels} {format_value(value)}")
+        return lines
+
+
+class Gauge(Counter):
+    """A metric that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = tuple(str(labels.get(name, "")) for name in self.label_names)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+
+class Histogram:
+    """A cumulative-bucket histogram (the Prometheus ``le`` convention)."""
+
+    kind = "histogram"
+
+    DEFAULT_BUCKETS = DEFAULT_LATENCY_BUCKETS
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+        self.bounds = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        self._buckets: Dict[LabelValues, List[int]] = {}
+        self._sums: Dict[LabelValues, float] = {}
+        self._counts: Dict[LabelValues, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = tuple(str(labels.get(name, "")) for name in self.label_names)
+        with self._lock:
+            counts = self._buckets.setdefault(key, [0] * (len(self.bounds) + 1))
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            keys = sorted(self._buckets)
+            snapshot = {
+                key: (list(self._buckets[key]), self._sums[key], self._counts[key])
+                for key in keys
+            }
+        if not snapshot and not self.label_names:
+            snapshot = {(): ([0] * (len(self.bounds) + 1), 0.0, 0)}
+        for key, (counts, total, count) in snapshot.items():
+            cumulative = 0
+            for bound, bucket_count in zip(
+                list(self.bounds) + [float("inf")], counts
+            ):
+                cumulative += bucket_count
+                labels = render_labels(
+                    self.label_names + ("le",), key + (format_value(bound),)
+                )
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            labels = render_labels(self.label_names, key)
+            lines.append(f"{self.name}_sum{labels} {format_value(total)}")
+            lines.append(f"{self.name}_count{labels} {count}")
+        return lines
+
+
+def render_family(
+    name: str, kind: str, help_text: str, value: Optional[float]
+) -> List[str]:
+    """One unlabelled sample rendered as its own family (``None`` → omitted)."""
+    if value is None:
+        return []
+    return [
+        f"# HELP {name} {help_text}",
+        f"# TYPE {name} {kind}",
+        f"{name} {format_value(float(value))}",
+    ]
+
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "escape_label_value",
+    "format_value",
+    "render_family",
+    "render_labels",
+]

@@ -1,0 +1,202 @@
+"""Waterfall rendering and the ``repro-trace`` console script.
+
+Renders one trace as an indented waterfall — offset, duration, nested span
+names, and a proportional timeline bar — from either trace source:
+
+* a JSONL file written by ``--trace-log`` / ``--trace-slow-threshold``::
+
+      repro-trace traces.jsonl --trace 3f2a...
+      repro-trace traces.jsonl            # every trace in the file
+
+* a live server's trace endpoint (worker or router)::
+
+      repro-trace http://127.0.0.1:8600              # list buffered traces
+      repro-trace http://127.0.0.1:8600 --trace 3f2a...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterable, List, Optional
+from urllib.error import URLError
+from urllib.request import urlopen
+
+from repro.obs.export import build_tree, load_jsonl
+
+_BAR_FILL = "#"
+_BAR_PAD = "."
+
+
+def _format_ms(value: object) -> str:
+    if not isinstance(value, (int, float)):
+        return "?"
+    return f"{value * 1000.0:.1f}ms"
+
+
+def _bounds(records: List[Dict[str, object]]) -> Optional[tuple]:
+    starts = [
+        float(r["wall"]) for r in records if isinstance(r.get("wall"), (int, float))
+    ]
+    ends = [
+        float(r["wall"]) + float(r["duration"])
+        for r in records
+        if isinstance(r.get("wall"), (int, float))
+        and isinstance(r.get("duration"), (int, float))
+    ]
+    if not starts or not ends:
+        return None
+    t0, t1 = min(starts), max(ends)
+    return t0, max(t1 - t0, 1e-9)
+
+
+def _bar(record: Dict[str, object], t0: float, total: float, width: int) -> str:
+    wall = record.get("wall")
+    duration = record.get("duration")
+    if not isinstance(wall, (int, float)) or not isinstance(duration, (int, float)):
+        return " " * width
+    left = int((float(wall) - t0) / total * width)
+    left = max(0, min(width - 1, left))
+    length = max(1, int(float(duration) / total * width))
+    length = min(length, width - left)
+    return _BAR_PAD * left + _BAR_FILL * length + _BAR_PAD * (width - left - length)
+
+
+def _attr_text(record: Dict[str, object]) -> str:
+    attrs = record.get("attrs")
+    if not isinstance(attrs, dict) or not attrs:
+        return ""
+    pairs = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    return f" {pairs}"
+
+
+def render_waterfall(
+    records: Iterable[Dict[str, object]], *, width: int = 40
+) -> str:
+    """One trace's spans (flat records) as an indented text waterfall."""
+    records = list(records)
+    if not records:
+        return "(no spans)"
+    bounds = _bounds(records)
+    lines: List[str] = []
+    trace_id = records[0].get("trace_id")
+    lines.append(f"trace {trace_id}  ({len(records)} spans)")
+
+    def walk(node: Dict[str, object], depth: int) -> None:
+        indent = "  " * depth
+        status = "" if node.get("status") == "ok" else f" [{node.get('status')}]"
+        service = node.get("service")
+        origin = f" @{service}" if service else ""
+        line = (
+            f"{_format_ms(node.get('duration')):>10}  "
+            f"{indent}{node.get('name')}{origin}{status}{_attr_text(node)}"
+        )
+        if bounds is not None:
+            t0, total = bounds
+            line = f"|{_bar(node, t0, total, width)}| {line}"
+        lines.append(line)
+        for child in node.get("children") or []:
+            walk(child, depth + 1)
+
+    for root in build_tree(records):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_summaries(summaries: Iterable[Dict[str, object]]) -> str:
+    lines = [f"{'trace_id':<34} {'spans':>5} {'duration':>10}  root"]
+    for summary in summaries:
+        lines.append(
+            f"{str(summary.get('trace_id')):<34} "
+            f"{summary.get('spans', '?'):>5} "
+            f"{_format_ms(summary.get('duration_seconds')):>10}  "
+            f"{summary.get('name')}"
+        )
+    return "\n".join(lines)
+
+
+def _fetch_json(url: str) -> Dict[str, object]:
+    with urlopen(url, timeout=10.0) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _group_by_trace(
+    records: List[Dict[str, object]],
+) -> "Dict[str, List[Dict[str, object]]]":
+    grouped: "Dict[str, List[Dict[str, object]]]" = {}
+    for record in records:
+        grouped.setdefault(str(record.get("trace_id")), []).append(record)
+    return grouped
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Render request traces as a waterfall, from a --trace-log JSONL "
+            "file or from a live server's GET /v1/traces endpoint."
+        ),
+    )
+    parser.add_argument(
+        "source",
+        help="Path to a trace/slow JSONL file, or a server base URL "
+        "(e.g. http://127.0.0.1:8600).",
+    )
+    parser.add_argument(
+        "--trace", metavar="TRACE_ID", help="Render only this trace id."
+    )
+    parser.add_argument(
+        "--width", type=int, default=40, help="Timeline bar width (default 40)."
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _run(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # The reader (a pager, a head, a grep -q) went away mid-print;
+        # silence the shutdown flush too, then exit cleanly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _run(args: argparse.Namespace) -> int:
+    from_url = args.source.startswith(("http://", "https://"))
+    try:
+        if from_url:
+            base = args.source.rstrip("/")
+            if args.trace:
+                document = _fetch_json(f"{base}/v1/traces/{args.trace}")
+                spans = document.get("spans")
+                print(render_waterfall(spans or [], width=args.width))
+            else:
+                document = _fetch_json(f"{base}/v1/traces")
+                print(render_summaries(document.get("traces") or []))
+            return 0
+        records = load_jsonl(args.source)
+    except (OSError, URLError, ValueError) as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        return 1
+    grouped = _group_by_trace(records)
+    if args.trace:
+        if args.trace not in grouped:
+            print(f"repro-trace: trace {args.trace} not found", file=sys.stderr)
+            return 1
+        print(render_waterfall(grouped[args.trace], width=args.width))
+        return 0
+    for index, (trace_id, spans) in enumerate(grouped.items()):
+        if index:
+            print()
+        print(render_waterfall(spans, width=args.width))
+    return 0
+
+
+__all__ = ["build_parser", "main", "render_summaries", "render_waterfall"]
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

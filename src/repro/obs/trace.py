@@ -1,0 +1,408 @@
+"""The tracer: nested spans, sampling, ``traceparent`` propagation.
+
+A :class:`Span` is one timed phase of a request — ``trace_id`` (shared by
+every span of the request, across processes), ``span_id``, ``parent_id``,
+a monotonic start/duration pair, a wall-clock start for cross-process
+alignment, a status and free-form attrs.  Spans nest through the context
+variable in :mod:`repro.obs.context`, so ``with tracer.start_span(...)``
+blocks parent correctly across ``await`` points and (via
+:func:`~repro.obs.context.bind_context`) across executor threads.
+
+Sampling happens once, at the root: :meth:`Tracer.start_trace` either
+honours the incoming ``traceparent`` header's sampled flag (so a failover
+successor joins the router's decision) or rolls the configured sample rate.
+An unsampled — or disabled — tracer hands back the shared :data:`NOOP_SPAN`
+singleton, and every child ``start_span`` under it short-circuits to the
+same object: the sampled-out fast path allocates nothing and does no
+bookkeeping, which is what keeps the bench-guarded overhead budget (≤2%)
+honest.
+
+Header format (W3C trace-context shaped)::
+
+    traceparent: 00-<32 hex trace id>-<16 hex span id>-<01|00>
+
+Responses from traced servers carry ``x-repro-trace-id`` so callers know
+which trace to fetch from ``GET /v1/traces/{trace_id}``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.obs import context as _context
+from repro.obs.export import SpanRing, TraceLog, build_tree
+
+#: The propagation header carried worker-ward by the fleet client.
+TRACEPARENT_HEADER = "traceparent"
+
+#: The response header naming the trace a request produced.
+TRACE_ID_HEADER = "x-repro-trace-id"
+
+_FLAG_SAMPLED = "01"
+_FLAG_UNSAMPLED = "00"
+
+
+def _new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+def format_traceparent(trace_id: str, span_id: str, *, sampled: bool = True) -> str:
+    """The outgoing header value for a span (version 00)."""
+    flag = _FLAG_SAMPLED if sampled else _FLAG_UNSAMPLED
+    return f"00-{trace_id}-{span_id}-{flag}"
+
+
+def parse_traceparent(header: str) -> Optional[Tuple[str, str, bool]]:
+    """``(trace_id, parent_span_id, sampled)`` or ``None`` if malformed."""
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, flags = parts
+    if version != "00" or len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16)
+        int(span_id, 16)
+    except ValueError:
+        return None
+    return trace_id, span_id, flags == _FLAG_SAMPLED
+
+
+class NoopSpan:
+    """The shared do-nothing span: the sampled-out fast path.
+
+    One module-level instance serves every untraced call site; entering,
+    exiting and attribute updates are all no-ops and allocate nothing.
+    """
+
+    __slots__ = ()
+
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    sampled = False
+    duration: Optional[float] = None
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set_attr(self, _key: str, _value: object) -> "NoopSpan":
+        return self
+
+    def set_status(self, _status: str, error: Optional[str] = None) -> "NoopSpan":
+        return self
+
+    def child_record(self, _name: str, **_kwargs: object) -> None:
+        return None
+
+    def end(self) -> None:
+        return None
+
+    def discard(self) -> None:
+        return None
+
+    def traceparent(self) -> Optional[str]:
+        return None
+
+
+#: The singleton every sampled-out ``start_span``/``start_trace`` returns.
+NOOP_SPAN = NoopSpan()
+
+
+class Span:
+    """One live, sampled span.  Use as a context manager."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "root",
+        "start",
+        "wall",
+        "duration",
+        "status",
+        "error",
+        "attrs",
+        "_tracer",
+        "_token",
+    )
+
+    sampled = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str],
+        attrs: Optional[Dict[str, object]] = None,
+        *,
+        root: bool = False,
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.root = root
+        self.start = time.perf_counter()
+        self.wall = time.time()
+        self.duration: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self._token: Optional[object] = None
+
+    def __enter__(self) -> "Span":
+        self._token = _context.attach(self)
+        return self
+
+    def __exit__(self, exc_type: Optional[type], exc: object, tb: object) -> bool:
+        if exc_type is not None and self.status == "ok":
+            self.set_status("error", error=exc_type.__name__)
+        self.end()
+        return False
+
+    def __bool__(self) -> bool:
+        return True
+
+    def set_attr(self, key: str, value: object) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def set_status(self, status: str, error: Optional[str] = None) -> "Span":
+        self.status = status
+        if error is not None:
+            self.error = error
+        return self
+
+    def child_record(
+        self,
+        name: str,
+        *,
+        start: Optional[float] = None,
+        duration: float = 0.0,
+        **attrs: object,
+    ) -> None:
+        """Record an already-finished child (timed before the span existed).
+
+        ``start`` is a ``time.perf_counter()`` reading; the wall start is
+        back-dated by the same offset so waterfalls line up.
+        """
+        if self._tracer is None:
+            return
+        child = Span(self._tracer, name, self.trace_id, self.span_id, attrs)
+        if start is not None:
+            offset = child.start - start
+            child.start = start
+            child.wall -= offset
+        child.duration = duration
+        self._tracer._record(child)
+
+    def discard(self) -> None:
+        """Drop the span without recording it (a probe that found nothing
+        to time — e.g. a pool lookup that hit).  Safe inside ``with``."""
+        if self._token is not None:
+            _context.detach(self._token)
+            self._token = None
+        self._tracer = None
+
+    def end(self) -> None:
+        """Finish the span once; later calls are ignored."""
+        if self._tracer is None:
+            return
+        if self.duration is None:
+            self.duration = time.perf_counter() - self.start
+        if self._token is not None:
+            _context.detach(self._token)
+            self._token = None
+        tracer, self._tracer = self._tracer, None
+        tracer._record(self)
+
+    def traceparent(self) -> str:
+        """The header value a downstream hop should carry."""
+        return format_traceparent(self.trace_id, self.span_id, sampled=True)
+
+    def to_record(self, service: str) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "service": service,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "root": self.root,
+            "start": self.start,
+            "wall": self.wall,
+            "duration": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Produces spans, applies sampling, and fans finished spans out.
+
+    Parameters
+    ----------
+    service:
+        Stamped on every record (``router``, ``worker``, ...) so merged
+        multi-process traces stay attributable.
+    enabled:
+        ``False`` turns every ``start_*`` into :data:`NOOP_SPAN` — the
+        library default, so untraced embedders pay nothing.
+    sample_rate:
+        Probability a *new* root is sampled.  An incoming ``traceparent``
+        overrides the roll: the upstream decision wins, so one trace never
+        ends up half-sampled across the fleet.
+    ring_capacity / trace_log / trace_log_max_bytes:
+        Retention knobs — see :mod:`repro.obs.export`.
+    slow_threshold / slow_log / on_slow:
+        Root spans at least ``slow_threshold`` seconds long get their full
+        span tree written to ``slow_log`` (JSONL) and/or passed to the
+        ``on_slow`` hook.
+    """
+
+    def __init__(
+        self,
+        *,
+        service: str = "repro",
+        enabled: bool = True,
+        sample_rate: float = 1.0,
+        ring_capacity: int = 2048,
+        trace_log: Optional[str] = None,
+        trace_log_max_bytes: int = 16 << 20,
+        slow_threshold: Optional[float] = None,
+        slow_log: Optional[str] = None,
+        on_slow: Optional[Callable[[Dict[str, object]], None]] = None,
+    ):
+        self.service = service
+        self._enabled = enabled
+        self._sample_rate = max(0.0, min(1.0, sample_rate))
+        self.ring = SpanRing(ring_capacity)
+        self._log = (
+            TraceLog(trace_log, max_bytes=trace_log_max_bytes) if trace_log else None
+        )
+        self._slow_threshold = slow_threshold
+        self._slow_log = (
+            TraceLog(slow_log, max_bytes=trace_log_max_bytes) if slow_log else None
+        )
+        self._on_slow = on_slow
+        self._random = random.Random(os.urandom(8))
+        self.slow_traces = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def sample_rate(self) -> float:
+        return self._sample_rate
+
+    def start_trace(
+        self,
+        name: str,
+        *,
+        traceparent: Optional[str] = None,
+        **attrs: object,
+    ) -> "Span | NoopSpan":
+        """A root span: new trace, or a continuation of ``traceparent``."""
+        if not self._enabled:
+            return NOOP_SPAN
+        trace_id: Optional[str] = None
+        parent_id: Optional[str] = None
+        sampled: Optional[bool] = None
+        if traceparent:
+            parsed = parse_traceparent(traceparent)
+            if parsed is not None:
+                trace_id, parent_id, sampled = parsed
+        if sampled is None:
+            sampled = (
+                self._sample_rate >= 1.0
+                or self._random.random() < self._sample_rate
+            )
+        if not sampled:
+            return NOOP_SPAN
+        return Span(
+            self,
+            name,
+            trace_id or _new_trace_id(),
+            parent_id,
+            attrs or None,
+            root=True,
+        )
+
+    def start_span(self, name: str, **attrs: object) -> "Span | NoopSpan":
+        """A child of the context's current span (noop outside a trace)."""
+        parent = _context.current_span()
+        if parent is None or not parent.sampled or not self._enabled:
+            return NOOP_SPAN
+        return Span(self, name, parent.trace_id, parent.span_id, attrs or None)
+
+    # ------------------------------------------------------------------ #
+    def _record(self, span: Span) -> None:
+        record = span.to_record(self.service)
+        self.ring.append(record)
+        if self._log is not None:
+            self._log.write(record)
+        if (
+            span.root
+            and self._slow_threshold is not None
+            and span.duration is not None
+            and span.duration >= self._slow_threshold
+        ):
+            self._emit_slow(span, record)
+
+    def _emit_slow(self, span: Span, record: Dict[str, object]) -> None:
+        self.slow_traces += 1
+        spans = self.ring.trace(span.trace_id)
+        document = {
+            "slow": True,
+            "trace_id": span.trace_id,
+            "name": span.name,
+            "duration": span.duration,
+            "threshold": self._slow_threshold,
+            "spans": build_tree(spans),
+        }
+        if self._slow_log is not None:
+            self._slow_log.write(document)
+        if self._on_slow is not None:
+            try:
+                self._on_slow(document)
+            except Exception:  # noqa: BLE001 - a broken slow hook must not fail requests
+                pass
+
+    def close(self) -> None:
+        if self._log is not None:
+            self._log.close()
+        if self._slow_log is not None:
+            self._slow_log.close()
+
+
+__all__ = [
+    "NOOP_SPAN",
+    "NoopSpan",
+    "Span",
+    "TRACEPARENT_HEADER",
+    "TRACE_ID_HEADER",
+    "Tracer",
+    "format_traceparent",
+    "parse_traceparent",
+]

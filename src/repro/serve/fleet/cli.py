@@ -31,6 +31,13 @@ import signal
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
+from repro.obs.cli import (
+    add_observability_arguments,
+    configure_observability,
+    validate_observability,
+)
+from repro.obs.logs import EventLog
 from repro.serve.faults import fault_points_help, resolve_fault_plan
 from repro.serve.fleet.router import FleetRouter, RouterConfig
 
@@ -135,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=None, metavar="N",
         help="seed of the fault plan's RNG (default: $REPRO_FAULT_SEED or 0)",
     )
+    add_observability_arguments(parser)
     return parser
 
 
@@ -169,19 +177,21 @@ def _validate(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None
         parser.error("--backoff-base must be at least 0")
     if args.backoff_max < 0:
         parser.error("--backoff-max must be at least 0")
+    validate_observability(args, parser)
 
 
-def config_from_args(args: argparse.Namespace) -> RouterConfig:
+def config_from_args(
+    args: argparse.Namespace, log: Optional[EventLog] = None
+) -> RouterConfig:
     try:
         faults = resolve_fault_plan(args.fault, args.fault_seed)
     except ValueError as exc:
         raise SystemExit(f"repro-fleet: {exc}")
     if faults is not None:
-        print(
-            f"repro-fleet fault plan active: seed={faults.seed} "
-            f"rules={[rule.spec() for rule in faults.rules()]}",
-            file=sys.stderr,
-            flush=True,
+        (log or EventLog("router")).event(
+            "faults.active",
+            seed=faults.seed,
+            rules=[rule.spec() for rule in faults.rules()],
         )
     return RouterConfig(
         host=args.host,
@@ -207,8 +217,9 @@ def config_from_args(args: argparse.Namespace) -> RouterConfig:
     )
 
 
-async def serve(config: RouterConfig) -> None:
+async def serve(config: RouterConfig, log: Optional[EventLog] = None) -> None:
     """Start the router, wire signals to a clean stop, run until stopped."""
+    log = log or EventLog("router")
     router = FleetRouter(config)
     await router.start()
     loop = asyncio.get_running_loop()
@@ -222,15 +233,15 @@ async def serve(config: RouterConfig) -> None:
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             pass  # platforms without loop signal support (Windows)
     members = router.membership.members()
-    print(
-        f"repro-fleet listening on http://{config.host}:{router.port} "
-        f"({len(members)}/{len(config.workers)} workers healthy, "
-        f"vnodes={config.vnodes})",
-        file=sys.stderr,
-        flush=True,
+    log.event(
+        "router.listening",
+        address=f"http://{config.host}:{router.port}",
+        workers_healthy=len(members),
+        workers_total=len(config.workers),
+        vnodes=config.vnodes,
     )
     await router.wait_stopped()
-    print("repro-fleet stopped", file=sys.stderr, flush=True)
+    log.event("router.stopped")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -238,11 +249,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _validate(args, parser)
-    config = config_from_args(args)
+    log = configure_observability(args, "router")
+    config = config_from_args(args, log)
     try:
-        asyncio.run(serve(config))
+        asyncio.run(serve(config, log))
     except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C fallback
         pass
+    finally:
+        obs.get_tracer().close()
     return 0
 
 

@@ -22,6 +22,7 @@ import json
 from typing import AsyncIterator, Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
+from repro import obs
 from repro.exceptions import DiscoveryError
 from repro.serve.faults import (
     FAULT_POINT_FLEET_POLL,
@@ -189,6 +190,13 @@ class WorkerClient:
             sent = {"host": f"{host}:{port}", "content-length": str(len(body))}
             for name, value in (headers or {}).items():
                 sent[name.lower()] = value
+            # Every hop under an active span carries the trace context: the
+            # worker continues the router's trace (forwards, failover
+            # retries and 404 re-uploads alike).  Health polls run outside
+            # any span, so they stay header-free.
+            span = obs.current_span()
+            if span is not None and span.sampled:
+                sent.setdefault(obs.TRACEPARENT_HEADER, span.traceparent())
             head.extend(f"{name}: {value}" for name, value in sent.items())
             writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
             if body:

@@ -1,7 +1,8 @@
 """Router observability: the fleet's own Prometheus instrument bundle.
 
-Reuses the dependency-free primitives of :mod:`repro.serve.http.metrics`.
-The exposition covers the routing layer end to end:
+Reuses the dependency-free primitives of :mod:`repro.obs.promfmt` — the
+single shared exposition path.  The exposition covers the routing layer end
+to end:
 
 * ``repro_fleet_requests_total{route,status}`` — router responses;
 * ``repro_fleet_forwards_total{worker}`` — requests forwarded per worker;
@@ -26,14 +27,14 @@ from __future__ import annotations
 import threading
 from typing import List, Optional
 
-from repro.serve.http.metrics import (
+from repro.obs.promfmt import (
     Counter,
     Gauge,
     Histogram,
-    HttpMetrics,
-    _escape,
+    escape_label_value,
     render_family,
 )
+from repro.serve.http.metrics import HttpMetrics
 
 #: Forward-latency bucket bounds (seconds) — proxy hops are much faster than
 #: discovery runs, so the grid starts finer than the service histogram.
@@ -163,7 +164,7 @@ class FleetMetrics:
             )
             lines.append(f"# TYPE {name} gauge")
             for worker, state in states:
-                lines.append(f'{name}{{worker="{_escape(worker)}"}} {state}')
+                lines.append(f'{name}{{worker="{escape_label_value(worker)}"}} {state}')
         lines += render_family(
             "repro_fleet_breaker_opened_total",
             "counter",
@@ -207,13 +208,13 @@ class FleetMetrics:
             lines.append(f"# TYPE {name} {kind}")
             for client, stats in sorted(snapshot):
                 value = getattr(stats, attribute)
-                lines.append(f'{name}{{client="{_escape(client)}"}} {value}')
+                lines.append(f'{name}{{client="{escape_label_value(client)}"}} {value}')
         name = "repro_fleet_client_queue_depth"
         lines.append(f"# HELP {name} Queued requests per tracked client.")
         lines.append(f"# TYPE {name} gauge")
         for client, _stats in sorted(snapshot):
             depth = router.queue.depth_of(client)
-            lines.append(f'{name}{{client="{_escape(client)}"}} {depth}')
+            lines.append(f'{name}{{client="{escape_label_value(client)}"}} {depth}')
         return lines
 
 

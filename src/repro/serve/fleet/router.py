@@ -42,7 +42,15 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.devtools.lockcheck import maybe_watch_loop
+from repro.obs.export import build_tree
+from repro.obs.names import (
+    SPAN_FLEET_FAILOVER,
+    SPAN_FLEET_FORWARD,
+    SPAN_FLEET_QUEUE_WAIT,
+    SPAN_FLEET_REQUEST,
+)
 from repro.serve.faults import FaultPlan
 from repro.serve.fleet.breaker import BreakerBoard, RetryBudget
 from repro.serve.fleet.client import (
@@ -290,7 +298,21 @@ class FleetRouter:
 
     def _route_name(self, request: HttpRequest) -> str:
         method = "GET" if request.method == "HEAD" else request.method
+        if request.path == "/v1/traces":
+            return "traces"
+        if self._trace_id_of(request.path) is not None:
+            return "trace"
         return _ROUTES.get((method, request.path), "unrouted")
+
+    @staticmethod
+    def _trace_id_of(path: str) -> Optional[str]:
+        prefix = "/v1/traces/"
+        if not path.startswith(prefix):
+            return None
+        trace_id = path[len(prefix):]
+        if not trace_id or "/" in trace_id:
+            return None
+        return trace_id
 
     async def _respond_and_write(
         self,
@@ -302,51 +324,74 @@ class FleetRouter:
         """Rate limit → fair queue → dispatch → relay; slot held until the
         response (streams included) is fully on the wire."""
         route = self._route_name(request)
-        guarded = request.path not in ("/healthz", "/metrics")
-        response: Optional[HttpResponse] = None
-        held = False
-        if guarded:
-            wait = self.clients.admit(client_id)
-            if wait is not None:
-                self.metrics.throttled_total.inc()
-                response = error_response(
-                    errors.too_many_requests(self._retry_after(extra_wait=wait))
-                )
-            else:
-                try:
-                    weight = self.clients.weight(client_id)
-                    await self.queue.acquire(client_id, weight=weight)
-                    held = True
-                except QueueFullError:
-                    self.metrics.queue_rejections_total.inc()
-                    response = error_response(
-                        errors.overloaded(self._retry_after())
-                    )
-        try:
-            if response is None:
-                try:
-                    response = await self._dispatch(request, client_id)
-                except ApiError as exc:
-                    response = error_response(exc)
-                except asyncio.TimeoutError:
-                    response = error_response(
-                        errors.deadline_exceeded(self.config.request_timeout or 0.0)
-                    )
-                except asyncio.CancelledError:
-                    raise
-                except Exception as exc:  # noqa: BLE001 - last-resort mapping
-                    response = error_response(errors.map_exception(exc))
-            await write_response(
-                writer,
-                response,
-                keep_alive=keep_alive,
-                head_only=request.method == "HEAD",
+        span = obs.get_tracer().start_trace(
+            SPAN_FLEET_REQUEST,
+            traceparent=request.headers.get(obs.TRACEPARENT_HEADER),
+            method=request.method,
+            route=route,
+        )
+        with span:
+            guarded = request.path not in ("/healthz", "/metrics") and route not in (
+                "traces",
+                "trace",
             )
-        finally:
-            if held:
-                self.queue.release()
-            if response is not None:
-                self.metrics.requests_total.inc(route=route, status=response.status)
+            response: Optional[HttpResponse] = None
+            held = False
+            if guarded:
+                wait = self.clients.admit(client_id)
+                if wait is not None:
+                    self.metrics.throttled_total.inc()
+                    response = error_response(
+                        errors.too_many_requests(self._retry_after(extra_wait=wait))
+                    )
+                else:
+                    try:
+                        weight = self.clients.weight(client_id)
+                        with obs.get_tracer().start_span(SPAN_FLEET_QUEUE_WAIT):
+                            await self.queue.acquire(client_id, weight=weight)
+                        held = True
+                    except QueueFullError:
+                        self.metrics.queue_rejections_total.inc()
+                        response = error_response(
+                            errors.overloaded(self._retry_after())
+                        )
+            try:
+                if response is None:
+                    try:
+                        response = await self._dispatch(request, client_id)
+                    except ApiError as exc:
+                        response = error_response(exc)
+                    except asyncio.TimeoutError:
+                        response = error_response(
+                            errors.deadline_exceeded(
+                                self.config.request_timeout or 0.0
+                            )
+                        )
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as exc:  # noqa: BLE001 - last-resort mapping
+                        response = error_response(errors.map_exception(exc))
+                span.set_attr("status", response.status)
+                if response.status >= 500:
+                    span.set_status("error")
+                if span.trace_id is not None and not any(
+                    name.lower() == obs.TRACE_ID_HEADER
+                    for name in response.headers
+                ):
+                    response.headers[obs.TRACE_ID_HEADER] = span.trace_id
+                await write_response(
+                    writer,
+                    response,
+                    keep_alive=keep_alive,
+                    head_only=request.method == "HEAD",
+                )
+            finally:
+                if held:
+                    self.queue.release()
+                if response is not None:
+                    self.metrics.requests_total.inc(
+                        route=route, status=response.status
+                    )
 
     def _retry_after(self, extra_wait: float = 0.0) -> int:
         """The honest hint: observed forward latency × load, floor 1s."""
@@ -375,9 +420,79 @@ class FleetRouter:
             return await self._discover(request, client_id)
         if path == "/v1/batch" and method == "POST":
             return await self._batch(request, client_id)
-        if path in {p for (_m, p) in _ROUTES}:
+        if path == "/v1/traces" and method == "GET":
+            return self._traces_summary()
+        trace_id = self._trace_id_of(path)
+        if trace_id is not None:
+            if method != "GET":
+                raise errors.method_not_allowed(request.method, path)
+            return await self._trace(trace_id, client_id)
+        if path in {p for (_m, p) in _ROUTES} or path == "/v1/traces":
             raise errors.method_not_allowed(request.method, path)
         raise errors.not_found(f"no route for {path}")
+
+    def _traces_summary(self) -> HttpResponse:
+        """The router's own buffered traces (summaries; no worker fan-out)."""
+        tracer = obs.get_tracer()
+        return HttpResponse.json(
+            {
+                "enabled": tracer.enabled,
+                "sample_rate": tracer.sample_rate,
+                "buffered_spans": len(tracer.ring),
+                "traces": tracer.ring.traces(),
+            }
+        )
+
+    async def _trace(self, trace_id: str, client_id: str) -> HttpResponse:
+        """One merged trace: the router's spans plus every member worker's.
+
+        Fan-out is best-effort — an unreachable worker contributes nothing
+        (its spans are simply absent) — and records are deduplicated by
+        ``span_id``, so the endpoint answers the whole-fleet span tree for
+        the acceptance path: router, owning worker, and (after failover) the
+        successor all under one trace id.
+        """
+        merged: Dict[str, Dict[str, object]] = {
+            str(record["span_id"]): record
+            for record in obs.get_tracer().ring.trace(trace_id)
+        }
+        headers = {"x-client-id": client_id}
+
+        async def fetch(worker: str) -> List[Dict[str, object]]:
+            try:
+                response = await self.client.request(
+                    worker,
+                    "GET",
+                    f"/v1/traces/{trace_id}",
+                    headers=dict(headers),
+                    timeout=self.config.poll_timeout,
+                )
+            except (WorkerUnavailableError, asyncio.TimeoutError):
+                return []
+            if response.status != 200:
+                return []
+            document = response.json()
+            spans = document.get("spans") if isinstance(document, dict) else None
+            if not isinstance(spans, list):
+                return []
+            return [record for record in spans if isinstance(record, dict)]
+
+        members = self.membership.members()
+        for part in await asyncio.gather(*(fetch(worker) for worker in members)):
+            for record in part:
+                merged.setdefault(str(record.get("span_id")), record)
+        if not merged:
+            raise errors.not_found(f"no spans buffered for trace {trace_id!r}")
+        records = sorted(
+            merged.values(), key=lambda r: float(r.get("wall") or 0.0)
+        )
+        return HttpResponse.json(
+            {
+                "trace_id": trace_id,
+                "spans": records,
+                "tree": build_tree(records),
+            }
+        )
 
     def _healthz(self) -> HttpResponse:
         members = self.membership.members()
@@ -645,16 +760,24 @@ class FleetRouter:
                         retry_after=self._retry_after(),
                     )
                     break
-                if previous is not None:
-                    self.metrics.failovers_total.inc(worker=previous)
-                delay = self._backoff_delay(sent)
-                if delay > 0:
-                    await asyncio.sleep(delay)
+                with obs.get_tracer().start_span(
+                    SPAN_FLEET_FAILOVER, attempt=sent, successor=worker
+                ) as failover_span:
+                    if previous is not None:
+                        failover_span.set_attr("failed", previous)
+                        self.metrics.failovers_total.inc(worker=previous)
+                    delay = self._backoff_delay(sent)
+                    if delay > 0:
+                        await asyncio.sleep(delay)
             started = time.perf_counter()
             try:
-                response = await self._send_once(
-                    worker, key, method, target, body, headers
-                )
+                with obs.get_tracer().start_span(
+                    SPAN_FLEET_FORWARD, worker=worker, attempt=sent + 1
+                ) as forward_span:
+                    response = await self._send_once(
+                        worker, key, method, target, body, headers
+                    )
+                    forward_span.set_attr("status", response.status)
             except WorkerUnavailableError:
                 self.breakers.record_failure(worker)
                 self.membership.mark_dead(worker)

@@ -25,6 +25,9 @@ The route table (all under ``/v1`` except the operational endpoints):
                            ``{"error": ...}`` records
 ``GET /healthz``           liveness + drain state (503 while draining)
 ``GET /metrics``           Prometheus text (HTTP + service + pool + store)
+``GET /v1/traces``         summaries of the traces buffered in the tracer's
+                           span ring (most recent last)
+``GET /v1/traces/{id}``    one trace's spans, flat and as a nested span tree
 =========================  =====================================================
 
 Handlers are transport-thin: they translate JSON ↔ the existing API objects
@@ -40,8 +43,10 @@ import csv
 import io
 from typing import Awaitable, Callable, Dict, Optional, Tuple
 
+from repro import obs
 from repro.api.request import DiscoveryRequest
 from repro.exceptions import ReproError
+from repro.obs.export import build_tree
 from repro.relational.io import read_csv_text
 from repro.relational.relation import Relation
 from repro.serve.http import errors
@@ -156,6 +161,7 @@ class Application:
         self._add("POST", "/v1/batch", "batch", self.batch)
         self._add("GET", "/healthz", "healthz", self.healthz)
         self._add("GET", "/metrics", "metrics", self.metrics)
+        self._add("GET", "/v1/traces", "traces", self.traces)
 
     def _add(self, method: str, path: str, route: str, handler: Handler) -> None:
         self._routes.setdefault(path, {})[method] = (route, handler)
@@ -171,6 +177,8 @@ class Application:
         """
         methods = self._routes.get(request.path)
         if methods is None:
+            if self._trace_id_of(request) is not None:
+                return "trace"
             return "unrouted"
         entry = methods.get(request.method)
         if entry is None and request.method == "HEAD":
@@ -180,15 +188,32 @@ class Application:
     def needs_admission(self, request: HttpRequest) -> bool:
         """Whether the admission controller guards this request.
 
-        The operational endpoints (``/healthz``, ``/metrics``) always answer —
-        a saturated or draining server must stay observable.
+        The operational endpoints (``/healthz``, ``/metrics``, the trace
+        views) always answer — a saturated or draining server must stay
+        observable.
         """
-        return request.path not in ("/healthz", "/metrics")
+        if request.path in ("/healthz", "/metrics"):
+            return False
+        return not request.path.startswith("/v1/traces")
+
+    @staticmethod
+    def _trace_id_of(request: HttpRequest) -> Optional[str]:
+        """The trace id of a ``/v1/traces/{trace_id}`` path (else ``None``)."""
+        prefix = "/v1/traces/"
+        if not request.path.startswith(prefix):
+            return None
+        trace_id = request.path[len(prefix):]
+        return trace_id if trace_id and "/" not in trace_id else None
 
     async def dispatch(self, request: HttpRequest) -> HttpResponse:
         """Route one request; every failure becomes a structured error body."""
         methods = self._routes.get(request.path)
         if methods is None:
+            trace_id = self._trace_id_of(request)
+            if trace_id is not None:
+                if request.method not in ("GET", "HEAD"):
+                    raise errors.method_not_allowed(request.method, request.path)
+                return await self.trace(trace_id)
             raise errors.not_found(f"no route for {request.path}")
         entry = methods.get(request.method)
         if entry is None and request.method == "HEAD":
@@ -358,6 +383,31 @@ class Application:
         response = HttpResponse.plain(text)
         response.content_type = "text/plain; version=0.0.4; charset=utf-8"
         return response
+
+    async def traces(self, request: HttpRequest) -> HttpResponse:
+        """Summaries of every trace currently buffered in the span ring."""
+        tracer = obs.get_tracer()
+        return HttpResponse.json(
+            {
+                "enabled": tracer.enabled,
+                "sample_rate": tracer.sample_rate,
+                "buffered_spans": len(tracer.ring),
+                "traces": tracer.ring.traces(),
+            }
+        )
+
+    async def trace(self, trace_id: str) -> HttpResponse:
+        """One trace: the flat span records plus their nested tree."""
+        spans = obs.get_tracer().ring.trace(trace_id)
+        if not spans:
+            raise errors.not_found(f"no buffered trace {trace_id!r}")
+        return HttpResponse.json(
+            {
+                "trace_id": trace_id,
+                "spans": spans,
+                "tree": build_tree(spans),
+            }
+        )
 
 
 __all__ = [

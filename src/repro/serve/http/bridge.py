@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.api.request import DiscoveryRequest
 from repro.api.result import DiscoveryResult
+from repro.obs import bind_context
 from repro.relational.relation import Relation
 from repro.serve.service import DiscoveryService, RelationRef
 
@@ -52,8 +53,11 @@ class AsyncDiscoveryService:
         engine run through the service's in-flight dedup map.
         """
         loop = asyncio.get_running_loop()
+        # run_in_executor does not propagate contextvars; bind_context
+        # snapshots this coroutine's context (the request's active span
+        # included) so the trace survives the executor hop.
         future = await loop.run_in_executor(
-            None, self._service.submit, relation_ref, request
+            None, bind_context(self._service.submit), relation_ref, request
         )
         return asyncio.wrap_future(future, loop=loop)
 

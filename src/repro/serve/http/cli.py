@@ -32,7 +32,14 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.exceptions import ReproError
+from repro.obs.cli import (
+    add_observability_arguments,
+    configure_observability,
+    validate_observability,
+)
+from repro.obs.logs import EventLog
 from repro.serve.faults import fault_points_help, resolve_fault_plan
 from repro.serve.http.server import HttpServer, ServerConfig
 from repro.serve.pool import SessionPool
@@ -106,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=None, metavar="N",
         help="seed of the fault plan's RNG (default: $REPRO_FAULT_SEED or 0)",
     )
+    add_observability_arguments(parser)
     return parser
 
 
@@ -126,9 +134,10 @@ def _validate(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None
         parser.error("--store-max-bytes requires --cache-dir")
     if args.deadline < 0:
         parser.error("--deadline must be at least 0")
+    validate_observability(args, parser)
 
 
-def build_service(args: argparse.Namespace) -> DiscoveryService:
+def build_service(args: argparse.Namespace, log: EventLog) -> DiscoveryService:
     """The configured service: pool budgets, optional persistent store.
 
     A serving store always starts with a shallow fsck sweep: entries left
@@ -141,11 +150,10 @@ def build_service(args: argparse.Namespace) -> DiscoveryService:
     except ValueError as exc:
         raise ReproError(str(exc)) from exc
     if faults is not None:
-        print(
-            f"repro-serve fault plan active: seed={faults.seed} "
-            f"rules={[rule.spec() for rule in faults.rules()]}",
-            file=sys.stderr,
-            flush=True,
+        log.event(
+            "faults.active",
+            seed=faults.seed,
+            rules=[rule.spec() for rule in faults.rules()],
         )
     store = None
     if args.cache_dir is not None:
@@ -166,7 +174,9 @@ def build_service(args: argparse.Namespace) -> DiscoveryService:
     return DiscoveryService(pool=pool, max_workers=args.workers, faults=faults)
 
 
-async def serve(service: DiscoveryService, config: ServerConfig) -> None:
+async def serve(
+    service: DiscoveryService, config: ServerConfig, log: EventLog
+) -> None:
     """Start the server, wire signals to the graceful drain, run until done."""
     server = HttpServer(service, config)
     await server.start()
@@ -180,15 +190,14 @@ async def serve(service: DiscoveryService, config: ServerConfig) -> None:
             loop.add_signal_handler(signum, request_drain)
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             pass  # platforms without loop signal support (Windows)
-    print(
-        f"repro-serve listening on http://{config.host}:{server.port} "
-        f"(workers={service.info()['max_workers']}, "
-        f"max_in_flight={config.max_in_flight})",
-        file=sys.stderr,
-        flush=True,
+    log.event(
+        "server.listening",
+        address=f"http://{config.host}:{server.port}",
+        workers=service.info()["max_workers"],
+        max_in_flight=config.max_in_flight,
     )
     await server.wait_stopped()
-    print("repro-serve drained and stopped", file=sys.stderr, flush=True)
+    log.event("server.stopped")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -196,8 +205,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _validate(args, parser)
+    log = configure_observability(args, "worker")
     try:
-        service = build_service(args)
+        service = build_service(args, log)
     except ReproError as exc:
         parser.error(str(exc))
     config = ServerConfig(
@@ -210,9 +220,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         drain_timeout=args.drain_timeout,
     )
     try:
-        asyncio.run(serve(service, config))
+        asyncio.run(serve(service, config, log))
     except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C fallback
         service.shutdown()
+    finally:
+        obs.get_tracer().close()
     return 0
 
 

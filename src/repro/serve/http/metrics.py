@@ -1,8 +1,8 @@
-"""Dependency-free Prometheus instrumentation for the HTTP layer.
+"""Prometheus instrumentation for the HTTP layer.
 
-Three metric primitives (:class:`Counter`, :class:`Gauge`,
-:class:`Histogram`) with label support and a text renderer emitting the
-Prometheus exposition format (version 0.0.4) — no client library required.
+The metric primitives (:class:`Counter`, :class:`Gauge`, :class:`Histogram`)
+and the exposition helpers live in :mod:`repro.obs.promfmt` — the one shared
+format path — and are re-exported here for compatibility.
 :class:`HttpMetrics` bundles the request-level instruments the server
 updates on every response and renders them together with the serving
 substrate's own counters (:meth:`~repro.serve.DiscoveryService.stats`), so
@@ -13,173 +13,31 @@ substrate's own counters (:meth:`~repro.serve.DiscoveryService.stats`), so
 * ``repro_http_in_flight`` — requests currently being handled;
 * ``repro_http_admission_rejections_total{reason}`` — 503s by cause;
 * ``repro_service_*`` — request/dedup/failure counters and the service's
-  request-latency histogram;
+  request-latency histogram, labelled by executed ``algorithm`` once runs
+  have completed (ctane vs fastcfd vs dfd latency, told apart);
 * ``repro_pool_*`` — session pool size, hit/miss/eviction/spill counters,
   byte accounting;
 * ``repro_store_*`` — persistent store entries/bytes/loads/writes/GC.
-
-All primitives are thread-safe: handler coroutines run on the event loop but
-the substrate counters are touched from executor threads, and a scrape may
-race both.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional
 
-from repro.serve.service import LATENCY_BUCKETS
+from repro.obs.promfmt import (
+    Counter,
+    Gauge,
+    Histogram,
+    escape_label_value,
+    format_value,
+    render_family,
+    render_labels,
+)
 
-LabelValues = Tuple[str, ...]
-
-
-def _escape(value: str) -> str:
-    return (
-        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
-    )
-
-
-def _format_value(value: float) -> str:
-    if value == float("inf"):
-        return "+Inf"
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
-    return repr(value) if isinstance(value, float) else str(value)
-
-
-def _render_labels(names: Sequence[str], values: Sequence[object]) -> str:
-    if not names:
-        return ""
-    pairs = ",".join(
-        f'{name}="{_escape(str(value))}"' for name, value in zip(names, values)
-    )
-    return "{" + pairs + "}"
-
-
-class Counter:
-    """A monotonically increasing metric, optionally labelled."""
-
-    kind = "counter"
-
-    def __init__(self, name: str, help_text: str, label_names: Sequence[str] = ()):
-        self.name = name
-        self.help_text = help_text
-        self.label_names = tuple(label_names)
-        self._lock = threading.Lock()
-        self._values: Dict[LabelValues, float] = {}
-
-    def inc(self, amount: float = 1.0, **labels: object) -> None:
-        key = tuple(str(labels.get(name, "")) for name in self.label_names)
-        with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
-
-    def render(self) -> List[str]:
-        lines = [
-            f"# HELP {self.name} {self.help_text}",
-            f"# TYPE {self.name} {self.kind}",
-        ]
-        with self._lock:
-            items = sorted(self._values.items())
-        if not items and not self.label_names:
-            items = [((), 0.0)]
-        for key, value in items:
-            labels = _render_labels(self.label_names, key)
-            lines.append(f"{self.name}{labels} {_format_value(value)}")
-        return lines
-
-
-class Gauge(Counter):
-    """A metric that can go up and down."""
-
-    kind = "gauge"
-
-    def set(self, value: float, **labels: object) -> None:
-        key = tuple(str(labels.get(name, "")) for name in self.label_names)
-        with self._lock:
-            self._values[key] = float(value)
-
-    def dec(self, amount: float = 1.0, **labels: object) -> None:
-        self.inc(-amount, **labels)
-
-
-class Histogram:
-    """A cumulative-bucket histogram (the Prometheus ``le`` convention)."""
-
-    kind = "histogram"
-
-    #: Default request-latency bounds — the service's histogram shape, so
-    #: the HTTP and substrate histograms on one /metrics page line up.
-    DEFAULT_BUCKETS = LATENCY_BUCKETS
-
-    def __init__(
-        self,
-        name: str,
-        help_text: str,
-        label_names: Sequence[str] = (),
-        buckets: Sequence[float] = DEFAULT_BUCKETS,
-    ):
-        self.name = name
-        self.help_text = help_text
-        self.label_names = tuple(label_names)
-        self.bounds = tuple(sorted(buckets))
-        self._lock = threading.Lock()
-        self._buckets: Dict[LabelValues, List[int]] = {}
-        self._sums: Dict[LabelValues, float] = {}
-        self._counts: Dict[LabelValues, int] = {}
-
-    def observe(self, value: float, **labels: object) -> None:
-        key = tuple(str(labels.get(name, "")) for name in self.label_names)
-        with self._lock:
-            counts = self._buckets.setdefault(key, [0] * (len(self.bounds) + 1))
-            for index, bound in enumerate(self.bounds):
-                if value <= bound:
-                    counts[index] += 1
-                    break
-            else:
-                counts[-1] += 1
-            self._sums[key] = self._sums.get(key, 0.0) + value
-            self._counts[key] = self._counts.get(key, 0) + 1
-
-    def render(self) -> List[str]:
-        lines = [
-            f"# HELP {self.name} {self.help_text}",
-            f"# TYPE {self.name} {self.kind}",
-        ]
-        with self._lock:
-            keys = sorted(self._buckets)
-            snapshot = {
-                key: (list(self._buckets[key]), self._sums[key], self._counts[key])
-                for key in keys
-            }
-        if not snapshot and not self.label_names:
-            snapshot = {(): ([0] * (len(self.bounds) + 1), 0.0, 0)}
-        for key, (counts, total, count) in snapshot.items():
-            cumulative = 0
-            for bound, bucket_count in zip(
-                list(self.bounds) + [float("inf")], counts
-            ):
-                cumulative += bucket_count
-                labels = _render_labels(
-                    self.label_names + ("le",), key + (_format_value(bound),)
-                )
-                lines.append(f"{self.name}_bucket{labels} {cumulative}")
-            labels = _render_labels(self.label_names, key)
-            lines.append(f"{self.name}_sum{labels} {_format_value(total)}")
-            lines.append(f"{self.name}_count{labels} {count}")
-        return lines
-
-
-def render_family(
-    name: str, kind: str, help_text: str, value: Optional[float]
-) -> List[str]:
-    """One unlabelled sample rendered as its own family (``None`` → omitted)."""
-    if value is None:
-        return []
-    return [
-        f"# HELP {name} {help_text}",
-        f"# TYPE {name} {kind}",
-        f"{name} {_format_value(float(value))}",
-    ]
+#: Compatibility aliases — the canonical spellings live in ``promfmt``.
+_escape = escape_label_value
+_format_value = format_value
+_render_labels = render_labels
 
 
 class HttpMetrics:
@@ -317,13 +175,41 @@ class HttpMetrics:
         ]
         for key in sorted(injected):
             point, _, kind = str(key).rpartition(":")
-            labels = _render_labels(("point", "kind"), (point, kind))
+            labels = render_labels(("point", "kind"), (point, kind))
             lines.append(f"{name}{labels} {int(injected[key])}")
         return lines
 
     @staticmethod
+    def _render_histogram_series(
+        name: str,
+        buckets: Iterable,
+        total: float,
+        count: int,
+        label_names: tuple,
+        label_values: tuple,
+    ) -> List[str]:
+        lines: List[str] = []
+        cumulative = 0
+        for bound, bucket_count in buckets:
+            cumulative += int(bucket_count)
+            rendered = "+Inf" if bound is None else format_value(float(bound))
+            labels = render_labels(
+                label_names + ("le",), label_values + (rendered,)
+            )
+            lines.append(f"{name}_bucket{labels} {cumulative}")
+        labels = render_labels(label_names, label_values)
+        lines.append(f"{name}_sum{labels} {format_value(float(total))}")
+        lines.append(f"{name}_count{labels} {int(count)}")
+        return lines
+
+    @staticmethod
     def _render_service_latency(latency: Mapping[str, object]) -> List[str]:
-        """The service's submit→done aggregates as a Prometheus histogram."""
+        """The service's submit→done aggregates as a Prometheus histogram.
+
+        Once runs have executed, the histogram is labelled by the algorithm
+        that actually ran (the label sets sum to the service aggregate);
+        before any run, an unlabelled zero-series keeps the family present.
+        """
         buckets = latency.get("buckets")
         count = latency.get("count")
         total = latency.get("total_seconds")
@@ -334,13 +220,24 @@ class HttpMetrics:
             f"# HELP {name} Submit-to-done seconds of executed discovery runs.",
             f"# TYPE {name} histogram",
         ]
-        cumulative = 0
-        for bound, bucket_count in buckets:
-            cumulative += int(bucket_count)
-            rendered = "+Inf" if bound is None else _format_value(float(bound))
-            lines.append(f'{name}_bucket{{le="{rendered}"}} {cumulative}')
-        lines.append(f"{name}_sum {_format_value(float(total or 0.0))}")
-        lines.append(f"{name}_count {int(count)}")
+        by_algorithm = latency.get("by_algorithm")
+        if isinstance(by_algorithm, Mapping) and by_algorithm:
+            for algorithm in sorted(by_algorithm):
+                series = by_algorithm[algorithm]
+                if not isinstance(series, Mapping):
+                    continue
+                lines += HttpMetrics._render_histogram_series(
+                    name,
+                    series.get("buckets") or [],
+                    float(series.get("total_seconds") or 0.0),
+                    int(series.get("count") or 0),
+                    ("algorithm",),
+                    (str(algorithm),),
+                )
+            return lines
+        lines += HttpMetrics._render_histogram_series(
+            name, buckets, float(total or 0.0), int(count), (), ()
+        )
         return lines
 
 
@@ -349,5 +246,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HttpMetrics",
+    "escape_label_value",
+    "format_value",
     "render_family",
+    "render_labels",
 ]

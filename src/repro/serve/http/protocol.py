@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 from urllib.parse import parse_qsl, unquote, urlsplit
@@ -78,6 +79,10 @@ class HttpRequest:
     version: str
     headers: Dict[str, str]
     body: bytes = b""
+    #: Seconds spent parsing head + body, measured from the arrival of the
+    #: request line (idle keep-alive wait excluded).  The server records it
+    #: as the request's ``repro.http.parse`` span.
+    parse_seconds: float = 0.0
 
     @property
     def keep_alive(self) -> bool:
@@ -197,6 +202,7 @@ async def read_request(
         line = await first_line
     if not line:
         return None  # peer closed between requests: normal keep-alive end
+    parse_started = time.perf_counter()
     try:
         request_line = line.decode("ascii").strip()
     except UnicodeDecodeError as exc:
@@ -263,6 +269,7 @@ async def read_request(
         version=version,
         headers=headers,
         body=body,
+        parse_seconds=time.perf_counter() - parse_started,
     )
 
 

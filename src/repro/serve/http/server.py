@@ -36,8 +36,14 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.devtools.lockcheck import maybe_watch_loop
 from repro.exceptions import DiscoveryError
+from repro.obs.names import (
+    SPAN_HTTP_ADMISSION,
+    SPAN_HTTP_PARSE,
+    SPAN_HTTP_REQUEST,
+)
 from repro.serve.http import errors
 from repro.serve.http.app import Application
 from repro.serve.http.bridge import AsyncDiscoveryService
@@ -246,9 +252,39 @@ class HttpServer:
                 pass
 
     async def _respond(self, request) -> HttpResponse:
-        """Admission control + deadline + dispatch, all failures mapped."""
+        """Admission control + deadline + dispatch, all failures mapped.
+
+        The whole exchange runs under the request's root span: a new trace,
+        or — when the fleet router forwarded a ``traceparent`` header — a
+        continuation of the router's, so one trace id covers every hop.
+        """
         route = self.app.route_name(request)
         method = request.method if request.method in _KNOWN_METHODS else "OTHER"
+        span = obs.get_tracer().start_trace(
+            SPAN_HTTP_REQUEST,
+            traceparent=request.headers.get(obs.TRACEPARENT_HEADER),
+            method=method,
+            route=route,
+        )
+        with span:
+            if request.parse_seconds and span.sampled:
+                span.child_record(
+                    SPAN_HTTP_PARSE,
+                    start=span.start - request.parse_seconds,
+                    duration=request.parse_seconds,
+                    bytes=len(request.body),
+                )
+            response = await self._respond_admitted(request, method, route)
+            span.set_attr("status", response.status)
+            if response.status == 504:
+                span.set_status("error", error="deadline")
+            if span.trace_id is not None:
+                response.headers.setdefault(obs.TRACE_ID_HEADER, span.trace_id)
+        return response
+
+    async def _respond_admitted(
+        self, request, method: str, route: str
+    ) -> HttpResponse:
         started = time.perf_counter()
         guarded = self.app.needs_admission(request)
         response: HttpResponse
@@ -275,7 +311,8 @@ class HttpServer:
         if guarded:
             self._waiting += 1
             try:
-                await self._semaphore.acquire()
+                with obs.get_tracer().start_span(SPAN_HTTP_ADMISSION):
+                    await self._semaphore.acquire()
             finally:
                 self._waiting -= 1
                 self._signal_drained()

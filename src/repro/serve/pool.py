@@ -40,10 +40,12 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.api.profiler import ProgressCallback, Profiler
 from repro.api.registry import REGISTRY, AlgorithmRegistry
 from repro.devtools.lockcheck import RANK_POOL, ranked_lock
 from repro.exceptions import CacheStoreError, DiscoveryError
+from repro.obs.names import SPAN_POOL_ADMIT, SPAN_POOL_EVICT, SPAN_POOL_SPILL
 from repro.relational.relation import Relation
 from repro.serve.faults import FaultPlan
 from repro.serve.fingerprint import relation_fingerprint
@@ -130,44 +132,52 @@ class SessionPool:
         is configured and holds entries for this relation).
         """
         key = fingerprint if fingerprint is not None else relation_fingerprint(relation)
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
-                entry.uses += 1
-                self._hits += 1
-                return entry.profiler
-            self._misses += 1
-            profiler = Profiler(
-                relation,
-                progress=self._progress,
-                registry=self._registry,
-                faults=self._faults,
-            )
-            # Write-through engine checkpoints: a long CTANE run killed
-            # mid-lattice resumes from its last completed level — on this
-            # worker or (shared cache dir) on a failover successor.
-            profiler.attach_store(self._store)
-            # Refresh this entry's bytes after every run the session serves,
-            # wherever the run enters from (service, direct profiler.run,
-            # experiment sweeps) — see the module docstring.
-            profiler.add_run_listener(lambda _profiler, key=key: self._after_run(key))
-            self._entries[key] = _PooledSession(fingerprint=key, profiler=profiler)
-            evicted = self._enforce_locked()
-        # Disk I/O happens outside the pool lock so one admission never
-        # serializes the serving thread pool behind the store.  The session
-        # is already visible (cold) to concurrent callers while it warms;
-        # warm_from only fills caches they have not started building.
-        self._spill_entries(evicted)
-        if self._store is not None:
-            try:
-                loaded = profiler.warm_from(self._store)
-            except (CacheStoreError, OSError):
-                loaded = 0
-            if loaded:
-                with self._lock:
-                    self._warm_loads += loaded
-        return profiler
+        # The admit span is discarded on a pool hit — only a genuine
+        # admission (create + enforce + spill + warm) is worth a span.
+        with obs.get_tracer().start_span(SPAN_POOL_ADMIT, fingerprint=key) as span:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    entry.uses += 1
+                    self._hits += 1
+                    span.discard()
+                    return entry.profiler
+                self._misses += 1
+                profiler = Profiler(
+                    relation,
+                    progress=self._progress,
+                    registry=self._registry,
+                    faults=self._faults,
+                )
+                # Write-through engine checkpoints: a long CTANE run killed
+                # mid-lattice resumes from its last completed level — on this
+                # worker or (shared cache dir) on a failover successor.
+                profiler.attach_store(self._store)
+                # Refresh this entry's bytes after every run the session serves,
+                # wherever the run enters from (service, direct profiler.run,
+                # experiment sweeps) — see the module docstring.
+                profiler.add_run_listener(
+                    lambda _profiler, key=key: self._after_run(key)
+                )
+                self._entries[key] = _PooledSession(fingerprint=key, profiler=profiler)
+                evicted = self._enforce_locked()
+            # Disk I/O happens outside the pool lock so one admission never
+            # serializes the serving thread pool behind the store.  The session
+            # is already visible (cold) to concurrent callers while it warms;
+            # warm_from only fills caches they have not started building.
+            self._spill_entries(evicted)
+            loaded = 0
+            if self._store is not None:
+                try:
+                    loaded = profiler.warm_from(self._store)
+                except (CacheStoreError, OSError):
+                    loaded = 0
+                if loaded:
+                    with self._lock:
+                        self._warm_loads += loaded
+            span.set_attr("warm_loaded", loaded)
+            return profiler
 
     def _after_run(self, fingerprint: str) -> None:
         with self._lock:
@@ -245,17 +255,25 @@ class SessionPool:
         Spill is best-effort: a full disk or unwritable store must never
         turn an eviction into a request failure.
         """
-        if self._store is None:
+        if not entries:
             return
-        for entry in entries:
-            try:
-                written = entry.profiler.dump_caches(self._store)
-            except (CacheStoreError, OSError):
+        with obs.get_tracer().start_span(SPAN_POOL_EVICT, sessions=len(entries)):
+            if self._store is None:
+                return
+            for entry in entries:
+                with obs.get_tracer().start_span(
+                    SPAN_POOL_SPILL, fingerprint=entry.fingerprint
+                ) as span:
+                    try:
+                        written = entry.profiler.dump_caches(self._store)
+                    except (CacheStoreError, OSError) as exc:
+                        span.set_status("error", error=type(exc).__name__)
+                        with self._lock:
+                            self._spill_failures += 1
+                        continue
+                    span.set_attr("entries", written)
                 with self._lock:
-                    self._spill_failures += 1
-                continue
-            with self._lock:
-                self._spills += written
+                    self._spills += written
 
     def _enforce_locked(self) -> List[_PooledSession]:
         """Evict until both caps hold; returns the entries to be spilled."""

@@ -29,10 +29,13 @@ from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.api.request import DiscoveryRequest
 from repro.devtools.lockcheck import RANK_SERVICE, ranked_lock
 from repro.api.result import DiscoveryResult
 from repro.exceptions import CacheStoreError, DiscoveryError, UnknownRelationError
+from repro.obs.names import SPAN_SERVICE_EXECUTE, SPAN_SERVICE_SUBMIT
+from repro.obs.promfmt import DEFAULT_LATENCY_BUCKETS
 from repro.relational.relation import Relation
 from repro.serve.faults import FAULT_POINT_SERVICE_EXECUTE, FaultPlan
 from repro.serve.fingerprint import relation_fingerprint
@@ -43,8 +46,10 @@ from repro.serve.store import CacheStore
 RelationRef = Union[Relation, str]
 
 #: Upper bucket bounds (seconds) of the service's request-latency histogram —
-#: the shape ``/metrics`` renders as a Prometheus histogram.
-LATENCY_BUCKETS = (0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+#: the shape ``/metrics`` renders as a Prometheus histogram.  One definition
+#: (:data:`repro.obs.promfmt.DEFAULT_LATENCY_BUCKETS`) shared with the HTTP
+#: handler histogram, so both latency views on a /metrics page line up.
+LATENCY_BUCKETS = DEFAULT_LATENCY_BUCKETS
 
 #: Cap on the named-relation registry.  Every other serving resource is
 #: bounded (pool sessions/bytes, body size, queues); an unbounded registry
@@ -120,8 +125,13 @@ class DiscoveryService:
         self._latency_min: Optional[float] = None
         self._latency_max: Optional[float] = None
         self._latency_buckets = [0] * (len(LATENCY_BUCKETS) + 1)
+        # Per-executed-algorithm aggregates: name → [count, total, buckets].
+        # Keyed by the algorithm that actually ran (``"auto"`` resolves), so
+        # /metrics can tell ctane/fastcfd/dfd latencies apart.
+        self._latency_by_algorithm: Dict[str, List[object]] = {}
         self._resumed_runs = 0
         self._resume_levels_skipped = 0
+        self._resumes_by_algorithm: Dict[str, List[int]] = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -185,41 +195,63 @@ class DiscoveryService:
         """Enqueue one request; identical in-flight requests share one future."""
         relation = self._resolve(relation_ref)
         key = (relation_fingerprint(relation), request)
-        with self._lock:
-            if self._shutdown:
-                raise DiscoveryError("DiscoveryService is shut down")
-            self._requests += 1
-            existing = self._in_flight.get(key)
-            # Coalesce onto genuinely pending runs only: a finished future
-            # whose done-callback has not pruned the map yet is *not* reused
-            # (dedup is an in-flight property, not a result cache).
-            if existing is not None and not existing.done():
-                self._deduplicated += 1
-                return existing
-            started = time.perf_counter()
-            future = self._executor.submit(self._serve, relation, request)
-            self._in_flight[key] = future
+        # Deliberately not entered as a context manager: the submit span
+        # records the dedup decision without becoming the execute span's
+        # parent — the caller's span (HTTP request) stays the parent, and
+        # ``bind_context`` carries that context across the thread pool hop.
+        submit_span = obs.get_tracer().start_span(
+            SPAN_SERVICE_SUBMIT, algorithm=request.algorithm
+        )
+        try:
+            serve = obs.bind_context(self._serve)
+            with self._lock:
+                if self._shutdown:
+                    raise DiscoveryError("DiscoveryService is shut down")
+                self._requests += 1
+                existing = self._in_flight.get(key)
+                # Coalesce onto genuinely pending runs only: a finished future
+                # whose done-callback has not pruned the map yet is *not* reused
+                # (dedup is an in-flight property, not a result cache).
+                if existing is not None and not existing.done():
+                    self._deduplicated += 1
+                    submit_span.set_attr("deduplicated", True)
+                    return existing
+                submit_span.set_attr("deduplicated", False)
+                started = time.perf_counter()
+                future = self._executor.submit(serve, relation, request)
+                self._in_flight[key] = future
+        finally:
+            submit_span.end()
         future.add_done_callback(
             lambda done, key=key, started=started: self._finish(key, done, started)
         )
         return future
 
     def _serve(self, relation: Relation, request: DiscoveryRequest) -> DiscoveryResult:
-        if self._faults is not None:
-            # Chaos hook: an injected error here fails this run the way any
-            # unexpected engine crash would (callers see the future's
-            # exception); a latency rule stalls the worker thread.
-            self._faults.visit(FAULT_POINT_SERVICE_EXECUTE)
-        # Byte budgets re-check automatically: the pool registers a run
-        # listener on every session it creates, so each run refreshes the
-        # entry's estimate and enforces the caps on completion.
-        session = self._pool.session(relation)
-        return session.run(request)
+        with obs.get_tracer().start_span(
+            SPAN_SERVICE_EXECUTE, algorithm=request.algorithm
+        ) as span:
+            if self._faults is not None:
+                # Chaos hook: an injected error here fails this run the way any
+                # unexpected engine crash would (callers see the future's
+                # exception); a latency rule stalls the worker thread.
+                self._faults.visit(FAULT_POINT_SERVICE_EXECUTE)
+            # Byte budgets re-check automatically: the pool registers a run
+            # listener on every session it creates, so each run refreshes the
+            # entry's estimate and enforces the caps on completion.
+            session = self._pool.session(relation)
+            result = session.run(request)
+            span.set_attr("algorithm", result.algorithm)
+            return result
 
     def _finish(
         self, key, future: "Future[DiscoveryResult]", started: float
     ) -> None:
         elapsed = time.perf_counter() - started
+        # The algorithm that actually executed: the result's resolved name
+        # when the run succeeded, the request's (possibly ``"auto"``) when it
+        # failed before resolving.
+        algorithm = key[1].algorithm
         with self._lock:
             # Only prune the mapping if it still points at this future — a
             # new identical request may have been enqueued in the meantime.
@@ -235,6 +267,7 @@ class DiscoveryService:
                 skipped = 0
                 try:
                     result = future.result()
+                    algorithm = result.algorithm or algorithm
                     skipped = int(
                         result.stats.extras.get("resume_levels_skipped", 0)
                     )
@@ -243,9 +276,14 @@ class DiscoveryService:
                 if skipped > 0:
                     self._resumed_runs += 1
                     self._resume_levels_skipped += skipped
-            self._record_latency_locked(elapsed)
+                    per_algo = self._resumes_by_algorithm.setdefault(
+                        algorithm, [0, 0]
+                    )
+                    per_algo[0] += 1
+                    per_algo[1] += skipped
+            self._record_latency_locked(elapsed, algorithm)
 
-    def _record_latency_locked(self, elapsed: float) -> None:
+    def _record_latency_locked(self, elapsed: float, algorithm: str) -> None:
         """Fold one executed request's submit→done latency into the aggregates.
 
         Deduplicated submissions piggyback on the run they coalesced with, so
@@ -259,11 +297,18 @@ class DiscoveryService:
         self._latency_max = (
             elapsed if self._latency_max is None else max(self._latency_max, elapsed)
         )
+        per_algo = self._latency_by_algorithm.setdefault(
+            algorithm, [0, 0.0, [0] * (len(LATENCY_BUCKETS) + 1)]
+        )
+        per_algo[0] += 1
+        per_algo[1] += elapsed
         for index, bound in enumerate(LATENCY_BUCKETS):
             if elapsed <= bound:
                 self._latency_buckets[index] += 1
+                per_algo[2][index] += 1
                 return
         self._latency_buckets[-1] += 1  # the +Inf bucket
+        per_algo[2][-1] += 1
 
     # ------------------------------------------------------------------ #
     # synchronous conveniences
@@ -350,11 +395,32 @@ class DiscoveryService:
                         list(LATENCY_BUCKETS) + [None], self._latency_buckets
                     )
                 ],
+                "by_algorithm": {
+                    algorithm: {
+                        "count": per_algo[0],
+                        "total_seconds": per_algo[1],
+                        "buckets": [
+                            [bound, count]
+                            for bound, count in zip(
+                                list(LATENCY_BUCKETS) + [None], per_algo[2]
+                            )
+                        ],
+                    }
+                    for algorithm, per_algo in sorted(
+                        self._latency_by_algorithm.items()
+                    )
+                },
             }
         with self._lock:
             snapshot["resumes"] = {
                 "runs": self._resumed_runs,
                 "levels_skipped": self._resume_levels_skipped,
+                "by_algorithm": {
+                    algorithm: {"runs": runs, "levels_skipped": skipped}
+                    for algorithm, (runs, skipped) in sorted(
+                        self._resumes_by_algorithm.items()
+                    )
+                },
             }
         if self._faults is not None:
             snapshot["faults"] = self._faults.describe()

@@ -65,8 +65,10 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from repro import obs
 from repro.devtools.lockcheck import check_io_unlocked
 from repro.exceptions import CacheStoreError
+from repro.obs.names import SPAN_STORE_GET, SPAN_STORE_PUT
 from repro.serve.faults import (
     FAULT_POINT_STORE_GET,
     FAULT_POINT_STORE_PUT,
@@ -256,6 +258,18 @@ class CacheStore:
     ) -> Path:
         """Write one entry atomically (temp file + rename); returns its path."""
         check_io_unlocked(FAULT_POINT_STORE_PUT)
+        with obs.get_tracer().start_span(SPAN_STORE_PUT, kind=kind) as span:
+            return self._put_traced(span, fingerprint, kind, params, meta, arrays)
+
+    def _put_traced(
+        self,
+        span,
+        fingerprint: str,
+        kind: str,
+        params: Dict[str, object],
+        meta: Optional[Dict[str, object]],
+        arrays: Optional[Dict[str, np.ndarray]],
+    ) -> Path:
         arrays = arrays or {}
         manifest = []
         buffers: List[bytes] = []
@@ -317,6 +331,7 @@ class CacheStore:
                 pass
             raise CacheStoreError(f"cannot write store entry {path}: {exc}") from exc
         self.writes += 1
+        span.set_attr("bytes", len(blob) + sum(len(chunk) for chunk in buffers))
         return path
 
     # ------------------------------------------------------------------ #
@@ -383,29 +398,37 @@ class CacheStore:
     ) -> Optional[StoreEntry]:
         """The entry for this key, or ``None`` (missing, corrupt, mismatched)."""
         check_io_unlocked(FAULT_POINT_STORE_GET)
-        path = self._entry_path(fingerprint, kind, params)
-        try:
-            self._visit_fault(FAULT_POINT_STORE_GET)
-        except CacheStoreError:
-            self.load_failures += 1
-            return None
-        if not path.exists():
-            return None
-        try:
-            entry = self._load_path(path)
-        except CacheStoreError as exc:
-            # Structural corruption (torn write, bit rot, bad version): move
-            # the file out of the serving path with its reason on record.
-            self.load_failures += 1
-            self._quarantine(path, str(exc))
-            return None
-        try:
-            self._verify(entry, fingerprint, kind=kind, params=params)
-        except CacheStoreError:
-            self.load_failures += 1
-            return None
-        self.loads += 1
-        return entry
+        with obs.get_tracer().start_span(SPAN_STORE_GET, kind=kind) as span:
+            path = self._entry_path(fingerprint, kind, params)
+            try:
+                self._visit_fault(FAULT_POINT_STORE_GET)
+            except CacheStoreError:
+                self.load_failures += 1
+                span.set_attr("hit", False)
+                return None
+            if not path.exists():
+                span.set_attr("hit", False)
+                return None
+            try:
+                entry = self._load_path(path)
+            except CacheStoreError as exc:
+                # Structural corruption (torn write, bit rot, bad version):
+                # move the file out of the serving path with its reason on
+                # record.
+                self.load_failures += 1
+                self._quarantine(path, str(exc))
+                span.set_attr("hit", False)
+                span.set_status("error", error="corrupt")
+                return None
+            try:
+                self._verify(entry, fingerprint, kind=kind, params=params)
+            except CacheStoreError:
+                self.load_failures += 1
+                span.set_attr("hit", False)
+                return None
+            self.loads += 1
+            span.set_attr("hit", True)
+            return entry
 
     def _verify(
         self,

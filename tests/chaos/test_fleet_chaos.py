@@ -234,7 +234,7 @@ class TestTransportFlaps:
 class WorkerProc:
     """A real ``repro-serve`` subprocess (the kill drill needs a real exit)."""
 
-    LISTENING = re.compile(r"listening on http://([\d.]+):(\d+)")
+    LISTENING = re.compile(r"server\.listening address=http://([\d.]+):(\d+)")
 
     def __init__(self, store_dir, port=0, fault=None, seed=None):
         command = [

@@ -1,0 +1,13 @@
+"""Bad fixture for REP009: inline literals and a malformed SPAN_ constant."""
+
+SPAN_SHOUTY = "Repro Spans!"  # does not match repro.[a-z0-9_.]+
+
+
+class Handler:
+    def handle(self, tracer):
+        # A registered name, but inlined instead of importing the constant.
+        with tracer.start_span("repro.store.put"):
+            pass
+        # Not a registered name at all.
+        with tracer.start_trace("repro.storr.putt"):
+            pass

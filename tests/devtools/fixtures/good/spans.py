@@ -1,0 +1,13 @@
+"""Good fixture for REP009: constants in, dynamic passthrough untouched."""
+
+SPAN_DEMO_WORK = "repro.demo.work"
+
+
+class Handler:
+    def handle(self, tracer):
+        with tracer.start_span(SPAN_DEMO_WORK, key="value"):
+            pass
+
+    def relay(self, tracer, name):
+        # Dynamic names (e.g. the tracer's own internals) are out of scope.
+        return tracer.start_span(name)

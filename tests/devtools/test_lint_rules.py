@@ -170,6 +170,29 @@ def test_rep008_quiet_on_good_fixture():
 
 
 # --------------------------------------------------------------------- #
+# REP009 span names
+# --------------------------------------------------------------------- #
+def test_rep009_fires_on_bad_fixture():
+    findings = lint([BAD / "spans.py"], "REP009")
+    text = messages(findings)
+    assert len(findings) == 3
+    assert "inline literal" in text  # valid name, but not the constant
+    assert "repro.storr.putt" in text  # unknown name
+    assert "SPAN_SHOUTY" in text  # malformed constant value
+
+
+def test_rep009_quiet_on_good_fixture():
+    assert lint([GOOD / "spans.py"], "REP009") == []
+
+
+def test_rep009_registry_matches_design_doc():
+    # The real tree: every instrumentation site plus the DESIGN.md span
+    # taxonomy must agree with repro.obs.names.SPAN_NAMES.
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    assert lint([src], "REP009") == []
+
+
+# --------------------------------------------------------------------- #
 # framework behaviour
 # --------------------------------------------------------------------- #
 def test_parse_error_becomes_rep000(tmp_path):
@@ -187,16 +210,16 @@ def test_good_tree_is_clean_under_all_rules():
 def test_bad_tree_fires_every_rule():
     findings = lint([BAD])
     fired = {f.rule for f in findings}
-    expected = {f"REP00{i}" for i in range(1, 9)}
+    expected = {f"REP00{i}" for i in range(1, 10)}
     assert expected <= fired
 
 
 def test_ignore_drops_rules():
-    findings = run_lint([BAD], all_rules(), ignore=["REP00%d" % i for i in range(1, 9)])
+    findings = run_lint([BAD], all_rules(), ignore=["REP00%d" % i for i in range(1, 10)])
     assert findings == []
 
 
-@pytest.mark.parametrize("rule_id", [f"REP00{i}" for i in range(1, 9)])
+@pytest.mark.parametrize("rule_id", [f"REP00{i}" for i in range(1, 10)])
 def test_each_rule_has_a_failing_fixture(rule_id):
     findings = lint([BAD], rule_id)
     assert findings, f"{rule_id} has no failing fixture"

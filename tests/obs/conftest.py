@@ -1,0 +1,15 @@
+"""Shared fixtures: install a fresh process tracer, restore the disabled one."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def tracer():
+    """A fully-sampling tracer installed as the process-global one."""
+    installed = obs.configure(service="test", sample_rate=1.0, ring_capacity=512)
+    yield installed
+    obs.disable()

@@ -1,0 +1,175 @@
+"""Fleet-level tracing over real sockets: router and workers share one trace."""
+
+import http.client
+import json
+
+import pytest
+
+from repro import obs
+from repro.serve import CacheStore, DiscoveryService, SessionPool
+from repro.serve.fleet import RouterConfig, RouterThread
+from repro.serve.http import ServerConfig, ServerThread
+
+CSV_BODY = (
+    "CC,AC,PN,NM,STR,CT,ZIP\n"
+    "01,908,1111111,Mike,Tree Ave.,MH,07974\n"
+    "01,908,1111111,Rick,Tree Ave.,MH,07974\n"
+    "01,212,2222222,Joe,5th Ave,NYC,01202\n"
+    "01,908,2222222,Jim,Elm Str.,MH,07974\n"
+    "44,131,3333333,Ben,High St.,EDI,EH4 1DT\n"
+    "44,131,4444444,Ian,High St.,EDI,EH4 1DT\n"
+)
+DISCOVER = {"support": 2, "algorithm": "fastcfd"}
+
+
+def request(handle, method, path, body=None, headers=None, timeout=60):
+    connection = http.client.HTTPConnection(handle.host, handle.port, timeout=timeout)
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+class Fleet:
+    """Two workers over one shared store, fronted by one router."""
+
+    def __init__(self, tmp_path):
+        self.workers = []
+        for _ in range(2):
+            service = DiscoveryService(
+                pool=SessionPool(
+                    max_sessions=4, store=CacheStore(tmp_path / "shared-store")
+                ),
+                max_workers=2,
+            )
+            self.workers.append(ServerThread(service, ServerConfig(port=0)).start())
+        self.router = RouterThread(
+            RouterConfig(
+                port=0,
+                workers=[worker.address for worker in self.workers],
+                health_interval=0.2,
+                fail_after=2,
+                request_timeout=30.0,
+            )
+        ).start()
+
+    def owner_and_successor(self, fingerprint):
+        preference = self.router.router.ring.preference(fingerprint, limit=2)
+        by_url = {worker.address: worker for worker in self.workers}
+        return by_url[preference[0]], by_url[preference[1]]
+
+    def stop(self):
+        self.router.stop()
+        for worker in self.workers:
+            worker.stop()
+
+
+@pytest.fixture
+def fleet(tracer, tmp_path):
+    handle = Fleet(tmp_path)
+    yield handle
+    handle.stop()
+
+
+def upload(fleet):
+    status, _, data = request(
+        fleet.router, "POST", "/v1/relations?name=tax",
+        body=CSV_BODY.encode(), headers={"Content-Type": "text/csv"},
+    )
+    assert status == 201, data
+    return json.loads(data)["fingerprint"]
+
+
+def discover(fleet, fingerprint, headers=None):
+    status, received, data = request(
+        fleet.router, "POST", "/v1/discover",
+        body=json.dumps({"relation": fingerprint, **DISCOVER}).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    assert status == 200, data
+    return received, json.loads(data)
+
+
+def fetch_trace(fleet, trace_id):
+    status, _, data = request(fleet.router, "GET", f"/v1/traces/{trace_id}")
+    assert status == 200, data
+    return json.loads(data)
+
+
+class TestOneTraceAcrossTheFleet:
+    def test_router_and_worker_spans_share_the_trace_id(self, fleet):
+        fingerprint = upload(fleet)
+        received, _ = discover(fleet, fingerprint)
+        trace_id = {k.lower(): v for k, v in received.items()}[obs.TRACE_ID_HEADER]
+
+        document = fetch_trace(fleet, trace_id)
+        spans = document["spans"]
+        assert all(span["trace_id"] == trace_id for span in spans)
+        names = {span["name"] for span in spans}
+        # The router's side and the worker's side of the same request.
+        assert {"repro.fleet.request", "repro.fleet.forward"} <= names
+        assert {"repro.http.request", "repro.service.execute"} <= names
+        layers = {obs.span_layer(str(span["name"])) for span in spans}
+        assert len(layers) >= 3
+        assert len(spans) >= 8
+
+        # The worker's root hangs off the router's forward via traceparent.
+        worker_roots = [s for s in spans if s["name"] == "repro.http.request"]
+        forward_ids = {s["span_id"] for s in spans if s["name"] == "repro.fleet.forward"}
+        assert worker_roots
+        assert all(s["parent_id"] in forward_ids for s in worker_roots)
+
+    def test_client_traceparent_threads_through_both_hops(self, fleet):
+        fingerprint = upload(fleet)
+        trace_id = "ab" * 16
+        received, _ = discover(
+            fleet, fingerprint,
+            {obs.TRACEPARENT_HEADER: obs.format_traceparent(trace_id, "cd" * 8)},
+        )
+        lowered = {k.lower(): v for k, v in received.items()}
+        assert lowered[obs.TRACE_ID_HEADER] == trace_id
+        spans = fetch_trace(fleet, trace_id)["spans"]
+        assert {s["name"] for s in spans} >= {
+            "repro.fleet.request", "repro.http.request",
+        }
+
+    def test_trace_summaries_list_the_request(self, fleet):
+        fingerprint = upload(fleet)
+        received, _ = discover(fleet, fingerprint)
+        trace_id = {k.lower(): v for k, v in received.items()}[obs.TRACE_ID_HEADER]
+        status, _, data = request(fleet.router, "GET", "/v1/traces")
+        assert status == 200
+        listing = json.loads(data)
+        assert trace_id in {t["trace_id"] for t in listing["traces"]}
+
+
+class TestFailoverTracing:
+    def test_failover_continues_the_trace_on_the_successor(self, fleet):
+        fingerprint = upload(fleet)
+        discover(fleet, fingerprint)  # warm the owner, seed the store
+        owner, successor = fleet.owner_and_successor(fingerprint)
+        owner.stop()  # graceful: the worker spills its warm session
+
+        trace_id = "ef" * 16
+        received, result = discover(
+            fleet, fingerprint,
+            {obs.TRACEPARENT_HEADER: obs.format_traceparent(trace_id, "cd" * 8)},
+        )
+        assert result["counts"]["total"] > 0
+        lowered = {k.lower(): v for k, v in received.items()}
+        assert lowered[obs.TRACE_ID_HEADER] == trace_id
+
+        spans = fetch_trace(fleet, trace_id)["spans"]
+        names = {span["name"] for span in spans}
+        assert "repro.fleet.failover" in names
+        failover = next(s for s in spans if s["name"] == "repro.fleet.failover")
+        assert failover["attrs"]["successor"] == successor.address
+        assert failover["attrs"]["failed"] == owner.address
+        # The retried forward and the successor's serving spans stay inside
+        # the same trace.
+        forwards = [s for s in spans if s["name"] == "repro.fleet.forward"]
+        assert {f["attrs"]["worker"] for f in forwards} >= {successor.address}
+        assert "repro.http.request" in names
+        assert all(span["trace_id"] == trace_id for span in spans)

@@ -1,0 +1,161 @@
+"""Worker-level tracing over a real socket: one request, one deep trace."""
+
+import http.client
+import json
+
+import pytest
+
+from repro import obs
+from repro.serve import DiscoveryService, SessionPool
+from repro.serve.http import ServerConfig, ServerThread
+
+CSV_BODY = (
+    "CC,AC,PN,NM,STR,CT,ZIP\n"
+    "01,908,1111111,Mike,Tree Ave.,MH,07974\n"
+    "01,908,1111111,Rick,Tree Ave.,MH,07974\n"
+    "01,212,2222222,Joe,5th Ave,NYC,01202\n"
+    "01,908,2222222,Jim,Elm Str.,MH,07974\n"
+)
+DISCOVER = {"relation": "tax", "support": 2, "algorithm": "fastcfd"}
+
+
+def request(handle, method, path, body=None, headers=None):
+    connection = http.client.HTTPConnection(handle.host, handle.port, timeout=30)
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+@pytest.fixture
+def worker(tracer):
+    service = DiscoveryService(pool=SessionPool(max_sessions=4), max_workers=2)
+    handle = ServerThread(service, ServerConfig(port=0)).start()
+    yield handle
+    handle.stop()
+
+
+def upload(handle):
+    status, headers, data = request(
+        handle, "POST", "/v1/relations?name=tax",
+        body=CSV_BODY.encode(), headers={"Content-Type": "text/csv"},
+    )
+    assert status == 201, data
+    return headers
+
+
+def discover(handle, headers=None):
+    status, received, data = request(
+        handle, "POST", "/v1/discover",
+        body=json.dumps(DISCOVER).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    assert status == 200, data
+    return received, json.loads(data)
+
+
+class TestTraceHeader:
+    def test_every_traced_response_carries_the_trace_id(self, worker):
+        headers = upload(worker)
+        assert obs.TRACE_ID_HEADER in {k.lower() for k in headers}
+
+    def test_incoming_traceparent_pins_the_trace_id(self, worker, tracer):
+        upload(worker)
+        trace_id, parent_id = "ab" * 16, "cd" * 8
+        received, _ = discover(
+            worker,
+            {obs.TRACEPARENT_HEADER: obs.format_traceparent(trace_id, parent_id)},
+        )
+        lowered = {k.lower(): v for k, v in received.items()}
+        assert lowered[obs.TRACE_ID_HEADER] == trace_id
+        # The server's root span hangs off the upstream caller's span.
+        roots = [
+            r for r in tracer.ring.trace(trace_id) if r["name"] == "repro.http.request"
+        ]
+        assert roots and all(r["parent_id"] == parent_id for r in roots)
+
+    def test_unsampled_traceparent_suppresses_tracing(self, worker, tracer):
+        upload(worker)
+        header = obs.format_traceparent("ef" * 16, "cd" * 8, sampled=False)
+        received, _ = discover(worker, {obs.TRACEPARENT_HEADER: header})
+        lowered = {k.lower() for k in received}
+        assert obs.TRACE_ID_HEADER not in lowered
+        assert tracer.ring.trace("ef" * 16) == []
+
+
+class TestTraceDepth:
+    def test_one_discover_spans_every_layer(self, worker, tracer):
+        upload(worker)
+        received, _ = discover(worker)
+        lowered = {k.lower(): v for k, v in received.items()}
+        trace_id = lowered[obs.TRACE_ID_HEADER]
+        records = tracer.ring.trace(trace_id)
+        names = {r["name"] for r in records}
+        assert {
+            "repro.http.request",
+            "repro.http.parse",
+            "repro.service.submit",
+            "repro.service.execute",
+            "repro.pool.admit",
+            "repro.profiler.build",
+            "repro.engine.run",
+        } <= names
+        layers = {obs.span_layer(str(r["name"])) for r in records}
+        assert len(layers) >= 3
+        assert all(r["trace_id"] == trace_id for r in records)
+        # Exactly one root, and every other span reaches it through parents.
+        by_id = {r["span_id"]: r for r in records}
+        roots = [r for r in records if r["root"]]
+        assert len(roots) == 1
+        for record in records:
+            node = record
+            while node["parent_id"] in by_id:
+                node = by_id[node["parent_id"]]
+            assert node is roots[0]
+
+
+class TestTraceEndpoints:
+    def test_trace_listing_and_lookup(self, worker, tracer):
+        upload(worker)
+        received, _ = discover(worker)
+        trace_id = {k.lower(): v for k, v in received.items()}[obs.TRACE_ID_HEADER]
+
+        status, _, data = request(worker, "GET", "/v1/traces")
+        assert status == 200
+        listing = json.loads(data)
+        assert listing["enabled"] is True
+        # The GET itself is traced, so the ring keeps growing behind the
+        # snapshot the handler took.
+        assert 0 < listing["buffered_spans"] <= len(tracer.ring)
+        assert trace_id in {t["trace_id"] for t in listing["traces"]}
+
+        status, _, data = request(worker, "GET", f"/v1/traces/{trace_id}")
+        assert status == 200
+        document = json.loads(data)
+        assert document["trace_id"] == trace_id
+        assert len(document["spans"]) >= 7
+        (root,) = document["tree"]
+        assert root["name"] == "repro.http.request"
+        assert root["children"]
+
+    def test_unknown_trace_is_404(self, worker):
+        status, _, data = request(worker, "GET", "/v1/traces/" + "00" * 16)
+        assert status == 404
+        assert json.loads(data)["error"]["code"] == "not_found"
+
+
+class TestTracingIsInert:
+    def test_traced_and_untraced_covers_are_byte_identical(self, worker):
+        upload(worker)
+        _, traced = discover(worker)
+        obs.disable()
+        try:
+            _, untraced = discover(worker)
+        finally:
+            obs.configure(service="test", sample_rate=1.0, ring_capacity=512)
+        assert json.dumps(traced["rules"], sort_keys=True) == json.dumps(
+            untraced["rules"], sort_keys=True
+        )
+        assert traced["counts"] == untraced["counts"]

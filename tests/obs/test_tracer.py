@@ -1,0 +1,214 @@
+"""Unit tests of the tracer core: spans, sampling, context, retention."""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.obs.export import SpanRing, TraceLog, build_tree, load_jsonl
+from repro.obs.trace import NOOP_SPAN, Tracer, format_traceparent, parse_traceparent
+
+
+class TestSpanNesting:
+    def test_children_chain_parent_ids_under_one_trace(self, tracer):
+        with tracer.start_trace("repro.test.root") as root:
+            with tracer.start_span("repro.test.middle") as middle:
+                with tracer.start_span("repro.test.leaf") as leaf:
+                    pass
+        assert middle.trace_id == root.trace_id == leaf.trace_id
+        assert middle.parent_id == root.span_id
+        assert leaf.parent_id == middle.span_id
+        records = tracer.ring.trace(root.trace_id)
+        # Finish order: leaf, middle, root.
+        assert [r["name"] for r in records] == [
+            "repro.test.leaf", "repro.test.middle", "repro.test.root",
+        ]
+        assert records[-1]["root"] is True
+        tree = build_tree(records)
+        assert len(tree) == 1
+        assert tree[0]["children"][0]["children"][0]["name"] == "repro.test.leaf"
+
+    def test_exception_marks_error_status(self, tracer):
+        try:
+            with tracer.start_trace("repro.test.root"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (record,) = tracer.ring.snapshot()
+        assert record["status"] == "error"
+        assert record["error"] == "ValueError"
+
+    def test_discard_drops_span_and_restores_context(self, tracer):
+        with tracer.start_trace("repro.test.root") as root:
+            probe = tracer.start_span("repro.test.probe")
+            probe.__enter__()
+            assert obs.current_span() is probe
+            probe.discard()
+            assert obs.current_span() is root
+            probe.end()  # after discard, end() must be a no-op
+        names = [r["name"] for r in tracer.ring.snapshot()]
+        assert names == ["repro.test.root"]
+
+    def test_child_record_backdates_into_the_parent_trace(self, tracer):
+        with tracer.start_trace("repro.test.root") as root:
+            root.child_record("repro.test.early", duration=0.25, bytes=3)
+        records = tracer.ring.trace(root.trace_id)
+        early = next(r for r in records if r["name"] == "repro.test.early")
+        assert early["parent_id"] == root.span_id
+        assert early["duration"] == 0.25
+        assert early["attrs"]["bytes"] == 3
+
+
+class TestSamplingAndNoop:
+    def test_disabled_tracer_hands_back_the_noop_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.start_trace("repro.test.root") is NOOP_SPAN
+        assert tracer.start_span("repro.test.child") is NOOP_SPAN
+        assert len(tracer.ring) == 0
+
+    def test_sample_rate_zero_noops_every_root(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert all(
+            tracer.start_trace("repro.test.root") is NOOP_SPAN for _ in range(32)
+        )
+
+    def test_span_outside_any_trace_is_noop(self, tracer):
+        assert tracer.start_span("repro.test.orphan") is NOOP_SPAN
+
+    def test_children_under_an_unsampled_root_are_noop(self):
+        tracer = Tracer(sample_rate=0.0)
+        with tracer.start_trace("repro.test.root"):
+            assert tracer.start_span("repro.test.child") is NOOP_SPAN
+
+    def test_noop_span_is_inert_and_falsy(self):
+        with NOOP_SPAN as span:
+            span.set_attr("k", "v").set_status("error", error="X")
+            span.child_record("repro.test.child")
+            span.discard()
+        assert not NOOP_SPAN
+        assert NOOP_SPAN.traceparent() is None
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        header = format_traceparent("ab" * 16, "cd" * 8, sampled=True)
+        assert parse_traceparent(header) == ("ab" * 16, "cd" * 8, True)
+        header = format_traceparent("ab" * 16, "cd" * 8, sampled=False)
+        assert parse_traceparent(header) == ("ab" * 16, "cd" * 8, False)
+
+    def test_malformed_headers_are_rejected(self):
+        for bad in ("", "00-xyz", "00-short-cdcd-01", "zz-" + "ab" * 16, None):
+            assert parse_traceparent(bad or "") is None
+
+    def test_continuation_adopts_trace_and_parent(self, tracer):
+        header = format_traceparent("ab" * 16, "cd" * 8)
+        with tracer.start_trace("repro.test.root", traceparent=header) as span:
+            assert span.trace_id == "ab" * 16
+            assert span.parent_id == "cd" * 8
+
+    def test_upstream_unsampled_flag_wins_over_local_sampling(self, tracer):
+        header = format_traceparent("ab" * 16, "cd" * 8, sampled=False)
+        assert tracer.start_trace("repro.test.root", traceparent=header) is NOOP_SPAN
+
+    def test_upstream_sampled_flag_wins_over_local_zero_rate(self):
+        tracer = Tracer(sample_rate=0.0)
+        header = format_traceparent("ab" * 16, "cd" * 8, sampled=True)
+        span = tracer.start_trace("repro.test.root", traceparent=header)
+        assert span is not NOOP_SPAN
+        span.end()
+
+
+class TestContextPropagation:
+    def test_bind_context_carries_the_span_across_an_executor_hop(self, tracer):
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            with tracer.start_trace("repro.test.root") as root:
+                bare = executor.submit(obs.current_trace_id).result()
+                bound = executor.submit(
+                    obs.bind_context(obs.current_trace_id)
+                ).result()
+        assert bare is None  # the worker thread has no ambient context
+        assert bound == root.trace_id
+
+    def test_spans_started_in_the_bound_thread_nest_under_the_root(self, tracer):
+        def work():
+            with tracer.start_span("repro.test.threaded") as span:
+                return span.parent_id
+
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            with tracer.start_trace("repro.test.root") as root:
+                parent_id = executor.submit(obs.bind_context(work)).result()
+        assert parent_id == root.span_id
+
+
+class TestRetention:
+    def test_ring_eviction_is_bounded_and_counted(self):
+        ring = SpanRing(capacity=8)
+        for index in range(20):
+            ring.append({"trace_id": f"t{index}", "name": "repro.test.root"})
+        assert len(ring) == 8
+        assert ring.appended_total == 20
+        kept = [record["trace_id"] for record in ring.snapshot()]
+        assert kept == [f"t{index}" for index in range(12, 20)]
+
+    def test_trace_log_rotates_once_past_max_bytes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        log = TraceLog(str(path), max_bytes=512)
+        for index in range(64):
+            log.write({"span_id": f"{index:016x}", "name": "repro.test.root"})
+        log.close()
+        rotated = tmp_path / "trace.jsonl.1"
+        assert rotated.exists()
+        assert path.stat().st_size <= 512
+        # Every line on both sides is intact JSON.
+        for source in (path, rotated):
+            for line in source.read_text().splitlines():
+                json.loads(line)
+
+    def test_tracer_writes_records_to_the_trace_log(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(service="unit", trace_log=str(path))
+        with tracer.start_trace("repro.test.root"):
+            with tracer.start_span("repro.test.child"):
+                pass
+        tracer.close()
+        records = load_jsonl(str(path))
+        assert [r["name"] for r in records] == [
+            "repro.test.child", "repro.test.root",
+        ]
+        assert all(r["service"] == "unit" for r in records)
+
+
+class TestSlowTraces:
+    def test_slow_roots_fire_the_hook_with_the_full_tree(self, tmp_path):
+        captured = []
+        slow_path = tmp_path / "slow.jsonl"
+        tracer = Tracer(
+            service="unit",
+            slow_threshold=0.0,
+            slow_log=str(slow_path),
+            on_slow=captured.append,
+        )
+        with tracer.start_trace("repro.test.root"):
+            with tracer.start_span("repro.test.child"):
+                pass
+        tracer.close()
+        assert tracer.slow_traces == 1
+        (document,) = captured
+        assert document["slow"] is True
+        assert document["name"] == "repro.test.root"
+        (root,) = document["spans"]
+        assert [child["name"] for child in root["children"]] == ["repro.test.child"]
+        # load_jsonl flattens the slow document back into plain records.
+        written = load_jsonl(str(slow_path))
+        assert [r["name"] for r in written] == [
+            "repro.test.root", "repro.test.child",
+        ]
+        assert all(r["trace_id"] == document["trace_id"] for r in written)
+
+    def test_non_root_spans_never_count_as_slow(self):
+        tracer = Tracer(service="unit", slow_threshold=0.0)
+        with tracer.start_trace("repro.test.root"):
+            with tracer.start_span("repro.test.child"):
+                pass
+        # Root + child both exceeded the zero threshold, but only the root
+        # may emit a slow document.
+        assert tracer.slow_traces == 1
